@@ -1,0 +1,46 @@
+//! Ablation for the paper's "only additional cost is a small amount of
+//! computational overhead" claim (§4.1): AdamW step time under the stock
+//! 2-group layout vs the reconstructed 2L+x layer-wise layout, plus the
+//! sharded engine across world sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmt_model::{Model, ModelConfig, ParamSet};
+use llmt_optim::{build_groups, AdamWHyper, GroupLayout, GroupedAdamW};
+use llmt_zero::ZeroEngine;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ModelConfig::llama32_1b_sim();
+    let model = Model::new(cfg.clone(), 1);
+    let mut grads = ParamSet::zeros(&cfg);
+    for (_, g) in grads.iter_mut() {
+        g.data_mut().fill(1e-3);
+    }
+
+    let mut group = c.benchmark_group("adamw_step_layout");
+    for (name, layout) in [("stock_2_groups", GroupLayout::Stock), ("layerwise_2Lx", GroupLayout::LayerWise)] {
+        group.bench_function(name, |b| {
+            let mut params = model.params.clone();
+            let mut opt = GroupedAdamW::new(&params, build_groups(&cfg, layout), AdamWHyper::default());
+            b.iter(|| opt.step(&mut params, &grads, 1e-3, true))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("zero_engine_step_vs_world");
+    for world in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &w| {
+            let mut params = model.params.clone();
+            let mut engine = ZeroEngine::new(
+                &params,
+                build_groups(&cfg, GroupLayout::LayerWise),
+                w,
+                AdamWHyper::default(),
+            );
+            b.iter(|| engine.step(&mut params, &grads, 1e-3, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! The Table 7 mechanism in isolation: sequential vs parity-interleaved
+//! load order, eager vs lazy access, on a fixed two-source merge.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmt_bench::fixtures::{parity_recipe, CkptFactory};
+use llmt_ckpt::LoadMode;
+use llmt_model::ModelConfig;
+use llmtailor::{merge_with_recipe, LoadPattern};
+
+fn bench(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let mut factory = CkptFactory::new(ModelConfig::tiny_test(), 2, 5, 1);
+    let recipe = parity_recipe(&mut factory, dir.path(), &dir.path().join("out"));
+
+    let mut g = c.benchmark_group("load_pattern");
+    g.sample_size(10);
+    let mut i = 0u64;
+    for (name, mode, pattern) in [
+        ("sequential_eager", LoadMode::EagerFull, LoadPattern::Sequential),
+        ("parity_eager", LoadMode::EagerFull, LoadPattern::ParityInterleaved),
+        ("sequential_lazy", LoadMode::LazyRange, LoadPattern::Sequential),
+        ("parity_lazy", LoadMode::LazyRange, LoadPattern::ParityInterleaved),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut r = recipe.clone();
+                r.output = dir.path().join(format!("out_{name}_{i}"));
+                i += 1;
+                merge_with_recipe(&r, mode, pattern).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

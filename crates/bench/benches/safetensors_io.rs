@@ -1,0 +1,53 @@
+//! Throughput of the safetensors container: write, eager whole-file read,
+//! and lazy single-tensor range read.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use llmt_ckpt::safetensors;
+use llmt_tensor::rng::Prng;
+use llmt_tensor::{DType, Tensor};
+use std::collections::BTreeMap;
+
+fn fixture(n_tensors: usize, numel: usize) -> Vec<(String, llmt_tensor::RawTensor)> {
+    let mut rng = Prng::seed_from_u64(1);
+    (0..n_tensors)
+        .map(|i| {
+            (
+                format!("model.layers.{i}.weight"),
+                Tensor::randn([numel], 1.0, &mut rng).to_raw(DType::F32),
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let tensors = fixture(16, 64 * 1024); // 4 MiB of data
+    let bytes: u64 = tensors.iter().map(|(_, t)| t.byte_len() as u64).sum();
+
+    let mut g = c.benchmark_group("safetensors");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(20);
+
+    let write_path = dir.path().join("w.safetensors");
+    g.bench_function("write_4MiB", |b| {
+        b.iter(|| safetensors::write_file(&write_path, &tensors, &BTreeMap::new()).unwrap())
+    });
+
+    let read_path = dir.path().join("r.safetensors");
+    safetensors::write_file(&read_path, &tensors, &BTreeMap::new()).unwrap();
+    g.bench_function("read_eager_4MiB", |b| {
+        b.iter(|| safetensors::read_file(&read_path).unwrap())
+    });
+
+    g.bench_function("read_lazy_one_tensor", |b| {
+        b.iter_batched(
+            || safetensors::open_index(&read_path).unwrap(),
+            |index| safetensors::read_tensor_at(&read_path, &index, "model.layers.7.weight").unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Merge cost as a function of the simulated world size (rank-file count):
+//! the paper's "up to N x (L+3) optimizer files" scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmt_bench::fixtures::{block_recipe, CkptFactory};
+use llmt_ckpt::LoadMode;
+use llmt_model::ModelConfig;
+use llmtailor::{merge_with_recipe, LoadPattern};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_merge_vs_world");
+    g.sample_size(10);
+    for world in [1usize, 2, 4, 8] {
+        let dir = tempfile::tempdir().unwrap();
+        let mut factory = CkptFactory::new(ModelConfig::tiny_test(), world, 3, 1);
+        let out = dir.path().join("out");
+        let recipe = block_recipe(&mut factory, dir.path(), 2, true, &out);
+        g.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                // Fresh output dir per iteration; sources are reused.
+                let mut r = recipe.clone();
+                r.output = dir.path().join(format!("out{i}"));
+                i += 1;
+                merge_with_recipe(&r, LoadMode::EagerFull, LoadPattern::Sequential).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

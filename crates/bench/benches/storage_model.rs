@@ -1,0 +1,38 @@
+//! Projection sweeps: how the checkpoint-time proportion responds to the
+//! checkpoint interval and to the strategy, at paper scale. Pure
+//! arithmetic — this is the fast sanity sweep behind Tables 3/6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmt_bench::projection::{project, RunShape};
+use llmtailor::StrategyKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("projection");
+    g.bench_function("full_table3_and_6", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for shape in [RunShape::llama8b_cpt(), RunShape::qwen7b_sft()] {
+                for strat in [StrategyKind::Full, StrategyKind::Parity, StrategyKind::Filtered] {
+                    acc += project(black_box(&shape), strat, 8).proportion;
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("interval_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for interval in [25u64, 50, 100, 200, 400] {
+                let mut shape = RunShape::llama8b_cpt();
+                shape.interval = interval;
+                acc += project(black_box(&shape), StrategyKind::Full, 8).proportion;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

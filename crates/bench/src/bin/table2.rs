@@ -1,0 +1,44 @@
+//! Table 2 — zero-shot benchmark scores of the final models from use case
+//! 1 (parity): uninterrupted baseline vs merged-then-resumed, across the
+//! five synthetic suites standing in for MMLU / MMLU_med / MedMCQA /
+//! MedQA / PubMedQA.
+//!
+//! Run: `cargo run --release -p llmt-bench --bin table2`
+
+use llmt_bench::tables::print_table;
+use llmt_bench::usecase::{run_use_case, UseCaseSpec};
+use llmt_eval::{score_suite, standard_suites};
+use llmtailor::StrategyKind;
+
+fn main() {
+    for (label, spec) in [
+        ("Table 2 (SFT): Qwen2.5-7B-sim", UseCaseSpec::qwen_sft(StrategyKind::Parity)),
+        ("Table 2 (CPT): Llama3.1-8B-sim", UseCaseSpec::llama_cpt(StrategyKind::Parity)),
+    ] {
+        eprintln!("running {label}...");
+        let ref_dir = tempfile::tempdir().unwrap();
+        let par_dir = tempfile::tempdir().unwrap();
+        let out = run_use_case(&spec, ref_dir.path(), par_dir.path());
+        let suites = standard_suites(spec.seed ^ 0x5EED);
+        let mut header = vec!["model"];
+        for s in &suites {
+            header.push(s.name.as_str());
+        }
+        let mut rows = Vec::new();
+        for (name, model) in [
+            ("baseline", &out.reference.model),
+            ("parity-resumed", &out.resumed.model),
+        ] {
+            let mut row = vec![name.to_string()];
+            for s in &suites {
+                row.push(format!("{:.1}", score_suite(model, s).percent()));
+            }
+            rows.push(row);
+        }
+        print_table(label, &header, &rows);
+        println!(
+            "(paper's point: the two rows should be close; absolute scores on \
+             toy models hover near chance)"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Table 7 — loading/merging time for different checkpoint counts and
+//! access patterns: {baseline resume, 2 full sources, parity(2), 8 partial
+//! sources, one-checkpoint-per-unit}, for the 1B-sim (18 units) and
+//! 8B-sim (35 units) models.
+//!
+//! Absolute seconds are CPU/tmpfs numbers; the *ordering and ratios*
+//! reproduce the paper's: baseline << {8, per-unit} < 2-full << parity(2).
+//!
+//! Run: `cargo run --release -p llmt-bench --bin table7`
+
+use llmt_bench::fixtures::{block_recipe, parity_recipe, CkptFactory};
+use llmt_bench::tables::print_table;
+use llmt_ckpt::{CheckpointHandle, LoadMode};
+use llmt_model::ModelConfig;
+use llmtailor::{merge_with_recipe, LoadPattern, MergeRecipe};
+use std::time::Instant;
+
+const WORLD: usize = 4;
+
+fn timed_merge(recipe: &MergeRecipe, pattern: LoadPattern) -> (f64, u64, u64, f64) {
+    let t0 = Instant::now();
+    let report = merge_with_recipe(recipe, LoadMode::EagerFull, pattern).unwrap();
+    (
+        t0.elapsed().as_secs_f64(),
+        report.io.bytes_read,
+        report.io.full_loads,
+        modeled(report.io.bytes_read, report.io.files_opened),
+    )
+}
+
+/// Read time the same traffic would take on the paper's Lustre system.
+fn modeled(bytes: u64, files: u64) -> f64 {
+    llmt_storage::StorageModel::lustre_paper().read_time(bytes, files)
+}
+
+fn main() {
+    for (name, cfg, paper) in [
+        (
+            "Llama3-1B-sim",
+            ModelConfig::llama32_1b_sim(),
+            [("Baseline: 1", 0.80), ("2", 117.0), ("parity (2)", 233.6), ("8", 60.4), ("18 (per unit)", 62.5)],
+        ),
+        (
+            "Llama3-8B-sim",
+            ModelConfig::llama31_8b_sim(),
+            [("Baseline: 1", 16.8), ("2", 332.4), ("parity (2)", 1027.5), ("8", 279.2), ("35 (per unit)", 264.3)],
+        ),
+    ] {
+        eprintln!("building fixtures for {name}...");
+        let units = cfg.num_units();
+        let dir = tempfile::tempdir().unwrap();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+
+        // Baseline: plain resume-load of one full checkpoint.
+        let factory = CkptFactory::new(cfg.clone(), WORLD, 11, 1);
+        let full = factory.save(&dir.path().join("baseline"), &llmt_model::LayerUnit::all(&cfg));
+        let t0 = Instant::now();
+        let mut h = CheckpointHandle::open(&full, LoadMode::EagerFull).unwrap();
+        let mut loaded = 0u64;
+        for r in 0..WORLD {
+            let st = h.rank_state_full(r).unwrap();
+            loaded += st.shards.len() as u64;
+        }
+        let base_t = t0.elapsed().as_secs_f64();
+        assert!(loaded > 0);
+        rows.push(vec![
+            paper[0].0.to_string(),
+            format!("{:.3}", base_t),
+            h.stats().bytes_read.to_string(),
+            h.stats().full_loads.to_string(),
+            format!("{:.3}", modeled(h.stats().bytes_read, h.stats().files_opened)),
+            format!("{:.1}", paper[0].1),
+        ]);
+
+        // 2 full sources, sequential blocks.
+        let mut factory = CkptFactory::new(cfg.clone(), WORLD, 11, 1);
+        let r2 = block_recipe(&mut factory, &dir.path().join("two"), 2, false, &dir.path().join("out2"));
+        let (t, b, l, m) = timed_merge(&r2, LoadPattern::Sequential);
+        rows.push(vec![paper[1].0.into(), format!("{t:.3}"), b.to_string(), l.to_string(), format!("{m:.3}"), format!("{:.1}", paper[1].1)]);
+
+        // parity (2): interleaved load order with cache discard.
+        let mut factory = CkptFactory::new(cfg.clone(), WORLD, 11, 1);
+        let rp = parity_recipe(&mut factory, &dir.path().join("par"), &dir.path().join("outp"));
+        let (t, b, l, m) = timed_merge(&rp, LoadPattern::ParityInterleaved);
+        rows.push(vec![paper[2].0.into(), format!("{t:.3}"), b.to_string(), l.to_string(), format!("{m:.3}"), format!("{:.1}", paper[2].1)]);
+
+        // 8 partial sources.
+        let mut factory = CkptFactory::new(cfg.clone(), WORLD, 11, 1);
+        let r8 = block_recipe(&mut factory, &dir.path().join("eight"), 8, true, &dir.path().join("out8"));
+        let (t, b, l, m) = timed_merge(&r8, LoadPattern::Sequential);
+        rows.push(vec![paper[3].0.into(), format!("{t:.3}"), b.to_string(), l.to_string(), format!("{m:.3}"), format!("{:.1}", paper[3].1)]);
+
+        // One checkpoint per unit.
+        let mut factory = CkptFactory::new(cfg.clone(), WORLD, 11, 1);
+        let rn = block_recipe(&mut factory, &dir.path().join("per_unit"), units, true, &dir.path().join("outn"));
+        let (t, b, l, m) = timed_merge(&rn, LoadPattern::Sequential);
+        rows.push(vec![paper[4].0.into(), format!("{t:.3}"), b.to_string(), l.to_string(), format!("{m:.3}"), format!("{:.1}", paper[4].1)]);
+
+        print_table(
+            &format!("Table 7: loading time, {name} ({units} units, world {WORLD})"),
+            &["CKPTs included", "time (s)", "bytes read", "full loads", "modeled Lustre (s)", "paper time (s)"],
+            &rows,
+        );
+        println!(
+            "expected ordering (paper): baseline << per-unit ~ 8-partial < 2-full << parity(2)"
+        );
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! Experiment machinery shared by the table/figure binaries and the
+//! Criterion micro-benches.
+//!
+//! Each binary in `src/bin/` regenerates one element of the paper's
+//! evaluation (Tables 1–7, Figure 3, plus the §2.2/§3 claims); see
+//! DESIGN.md's per-experiment index and EXPERIMENTS.md for
+//! paper-vs-measured records. [`usecase`] runs the full
+//! train → crash → auto-merge → resume pipeline at simulation scale;
+//! [`projection`] does the calibrated paper-scale size/time arithmetic
+//! behind Tables 3 and 6; [`fixtures`] builds checkpoint sets for the
+//! loading experiments; [`tables`] is a small aligned-table printer.
+
+pub mod fixtures;
+pub mod projection;
+pub mod tables;
+pub mod usecase;

@@ -1,0 +1,47 @@
+//! Error type for checkpoint I/O.
+
+use std::fmt;
+
+/// Anything that can go wrong reading or writing a checkpoint.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying filesystem error, with the offending path.
+    Io(std::path::PathBuf, std::io::Error),
+    /// Malformed container or metadata.
+    Format(String),
+    /// JSON (de)serialization failure.
+    Json(String),
+    /// The checkpoint exists but does not contain what was asked for.
+    Missing(String),
+    /// Structural incompatibility (config mismatch, wrong world size, ...).
+    Incompatible(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(p, e) => write!(f, "I/O error at {}: {e}", p.display()),
+            CkptError::Format(m) => write!(f, "malformed checkpoint: {m}"),
+            CkptError::Json(m) => write!(f, "JSON error: {m}"),
+            CkptError::Missing(m) => write!(f, "missing from checkpoint: {m}"),
+            CkptError::Incompatible(m) => write!(f, "incompatible checkpoints: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CkptError>;
+
+/// Attach a path to an io::Error.
+pub fn io_err(path: impl Into<std::path::PathBuf>) -> impl FnOnce(std::io::Error) -> CkptError {
+    let p = path.into();
+    move |e| CkptError::Io(p, e)
+}
+
+impl From<serde_json::Error> for CkptError {
+    fn from(e: serde_json::Error) -> Self {
+        CkptError::Json(e.to_string())
+    }
+}

@@ -1,0 +1,182 @@
+//! Checkpoint directory layout, mirroring HF `Trainer` + DeepSpeed ZeRO-3.
+//!
+//! ```text
+//! <root>/checkpoint-<step>/
+//!   config.json                  model hyperparameters
+//!   model.safetensors            consolidated BF16 weights (maybe partial)
+//!   trainer_state.json           step, RNG, loss history (paper §4.4)
+//!   latest                       text file naming the global_step dir
+//!   partial_manifest.json        units present (partial checkpoints only)
+//!   global_step<step>/
+//!     zero_meta.json             group layout + world size
+//!     bf16_zero_pp_rank_<r>_mp_rank_00_optim_states.safetensors
+//! ```
+
+use std::path::{Path, PathBuf};
+
+/// Path builder for one checkpoint directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPaths {
+    /// The `checkpoint-<step>` directory.
+    pub dir: PathBuf,
+    /// Global step the checkpoint was taken at.
+    pub step: u64,
+}
+
+impl CheckpointPaths {
+    /// Paths for `checkpoint-<step>` under a training-run root.
+    pub fn under(root: &Path, step: u64) -> Self {
+        CheckpointPaths {
+            dir: root.join(format!("checkpoint-{step}")),
+            step,
+        }
+    }
+
+    /// Wrap an existing checkpoint directory, inferring the step from its
+    /// name (`checkpoint-123` -> 123) or from the `latest` file.
+    pub fn open(dir: &Path) -> Option<Self> {
+        let name = dir.file_name()?.to_str()?;
+        let step = if let Some(s) = name.strip_prefix("checkpoint-") {
+            s.parse::<u64>().ok()?
+        } else {
+            let latest = std::fs::read_to_string(dir.join("latest")).ok()?;
+            latest.trim().strip_prefix("global_step")?.parse::<u64>().ok()?
+        };
+        Some(CheckpointPaths {
+            dir: dir.to_path_buf(),
+            step,
+        })
+    }
+
+    /// `config.json`.
+    pub fn config(&self) -> PathBuf {
+        self.dir.join("config.json")
+    }
+
+    /// Consolidated model weights.
+    pub fn model(&self) -> PathBuf {
+        self.dir.join("model.safetensors")
+    }
+
+    /// `trainer_state.json`.
+    pub fn trainer_state(&self) -> PathBuf {
+        self.dir.join("trainer_state.json")
+    }
+
+    /// The `latest` marker file.
+    pub fn latest(&self) -> PathBuf {
+        self.dir.join("latest")
+    }
+
+    /// Partial-checkpoint manifest.
+    pub fn manifest(&self) -> PathBuf {
+        self.dir.join("partial_manifest.json")
+    }
+
+    /// The DeepSpeed-style `global_step<N>` subdirectory.
+    pub fn global_step_dir(&self) -> PathBuf {
+        self.dir.join(format!("global_step{}", self.step))
+    }
+
+    /// Shared ZeRO metadata file.
+    pub fn zero_meta(&self) -> PathBuf {
+        self.global_step_dir().join("zero_meta.json")
+    }
+
+    /// Rank `r`'s optimizer shard file.
+    pub fn optim_shard(&self, rank: usize) -> PathBuf {
+        self.global_step_dir().join(format!(
+            "bf16_zero_pp_rank_{rank}_mp_rank_00_optim_states.safetensors"
+        ))
+    }
+
+    /// Total on-disk size of the checkpoint (recursive), in bytes.
+    pub fn total_bytes(&self) -> std::io::Result<u64> {
+        fn walk(dir: &Path) -> std::io::Result<u64> {
+            let mut total = 0;
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                let meta = entry.metadata()?;
+                total += if meta.is_dir() {
+                    walk(&entry.path())?
+                } else {
+                    meta.len()
+                };
+            }
+            Ok(total)
+        }
+        walk(&self.dir)
+    }
+
+    /// Enumerate all `checkpoint-*` directories under a run root, sorted
+    /// by step.
+    pub fn list(root: &Path) -> Vec<CheckpointPaths> {
+        let mut out = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(root) {
+            for entry in rd.flatten() {
+                let p = entry.path();
+                if p.is_dir() {
+                    if let Some(cp) = CheckpointPaths::open(&p) {
+                        out.push(cp);
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|c| c.step);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_names_match_deepspeed_convention() {
+        let cp = CheckpointPaths::under(Path::new("/runs/x"), 100);
+        assert_eq!(cp.dir, Path::new("/runs/x/checkpoint-100"));
+        assert!(cp
+            .optim_shard(3)
+            .ends_with("global_step100/bf16_zero_pp_rank_3_mp_rank_00_optim_states.safetensors"));
+        assert!(cp.zero_meta().ends_with("global_step100/zero_meta.json"));
+    }
+
+    #[test]
+    fn open_parses_step_from_dirname() {
+        let cp = CheckpointPaths::open(Path::new("/a/b/checkpoint-250")).unwrap();
+        assert_eq!(cp.step, 250);
+        assert!(CheckpointPaths::open(Path::new("/a/b/ckpt")).is_none());
+    }
+
+    #[test]
+    fn open_falls_back_to_latest_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let oddly_named = dir.path().join("resume_me");
+        std::fs::create_dir(&oddly_named).unwrap();
+        std::fs::write(oddly_named.join("latest"), "global_step77\n").unwrap();
+        let cp = CheckpointPaths::open(&oddly_named).unwrap();
+        assert_eq!(cp.step, 77);
+    }
+
+    #[test]
+    fn list_sorts_by_step() {
+        let dir = tempfile::tempdir().unwrap();
+        for s in [300u64, 100, 200] {
+            std::fs::create_dir(dir.path().join(format!("checkpoint-{s}"))).unwrap();
+        }
+        std::fs::create_dir(dir.path().join("not-a-checkpoint")).unwrap();
+        let found = CheckpointPaths::list(dir.path());
+        let steps: Vec<u64> = found.iter().map(|c| c.step).collect();
+        assert_eq!(steps, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn total_bytes_walks_recursively() {
+        let dir = tempfile::tempdir().unwrap();
+        let cp = CheckpointPaths::under(dir.path(), 5);
+        std::fs::create_dir_all(cp.global_step_dir()).unwrap();
+        std::fs::write(cp.config(), b"{}").unwrap();
+        std::fs::write(cp.optim_shard(0), vec![0u8; 100]).unwrap();
+        assert_eq!(cp.total_bytes().unwrap(), 102);
+    }
+}

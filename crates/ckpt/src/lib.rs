@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Checkpoint substrate: serialization format and directory layout.
+//!
+//! Mirrors what the paper's stack produces on disk:
+//! * a consolidated BF16 `model.safetensors` (our [`safetensors`] module is
+//!   wire-compatible with the safetensors spec),
+//! * per-rank ZeRO optimizer shard files under `global_step{N}/`
+//!   (FP32 master + exp_avg + exp_avg_sq per parameter group, paper §2.2),
+//! * `config.json` / `trainer_state.json` / `latest` metadata files
+//!   (paper §4.4), and
+//! * a `partial_manifest.json` recording which units a *partial* checkpoint
+//!   actually contains — the artifact the paper's selective strategies
+//!   produce and LLMTailor consumes.
+//!
+//! [`writer`] saves full or partial checkpoints; [`reader`] loads them
+//! either eagerly (whole-file, the paper's semantics: "the optimizer state
+//! can only be accessed after the checkpoint is fully loaded") or lazily
+//! by byte range (the improvement the paper's §5.4 closing remark
+//! anticipates).
+
+pub mod error;
+pub mod layout;
+pub mod manifest;
+pub mod reader;
+pub mod safetensors;
+pub mod trainer_state;
+pub mod verify;
+pub mod writer;
+pub mod zero_meta;
+
+pub use error::{CkptError, Result};
+pub use layout::CheckpointPaths;
+pub use manifest::PartialManifest;
+pub use reader::{CheckpointHandle, LoadMode};
+pub use trainer_state::TrainerState;
+pub use verify::{verify_checkpoint, VerifyReport};
+pub use writer::{save_checkpoint, CheckpointReport, SaveRequest};
+pub use zero_meta::ZeroMeta;

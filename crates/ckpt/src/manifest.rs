@@ -1,0 +1,152 @@
+//! Partial-checkpoint manifest and the cross-checkpoint save log.
+//!
+//! [`PartialManifest`] lives inside one checkpoint directory and lists the
+//! units whose state is actually stored there, with content digests for
+//! integrity checking. [`SaveLog`] is the run-level JSON the paper's
+//! artifact appendix describes ("an optional JSON file that records the
+//! partial checkpointing decisions"): for every unit, the steps at which it
+//! was saved — exactly what LLMTailor needs to auto-generate a merge recipe
+//! for a given failure step.
+
+use crate::error::{io_err, CkptError, Result};
+use llmt_model::LayerUnit;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Manifest of one (possibly partial) checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialManifest {
+    /// Step the checkpoint was written at.
+    pub step: u64,
+    /// Units present, ascending canonical order.
+    pub units: Vec<LayerUnit>,
+    /// FNV-1a digest of each unit's weight tensors (name-keyed).
+    pub weight_digests: BTreeMap<String, u64>,
+    /// Whether the checkpoint claims to be complete.
+    pub full: bool,
+}
+
+impl PartialManifest {
+    /// Write to `partial_manifest.json`.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)?;
+        std::fs::write(path, json).map_err(io_err(path))
+    }
+
+    /// Read from `partial_manifest.json`.
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(io_err(path))?;
+        Ok(serde_json::from_str(&text)?)
+    }
+
+    /// Does the manifest contain a unit?
+    pub fn has_unit(&self, unit: LayerUnit) -> bool {
+        self.units.contains(&unit)
+    }
+}
+
+/// Run-level log of which units were saved at which steps.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SaveLog {
+    /// unit (canonical string) -> ascending list of steps it was saved at.
+    pub saved_at: BTreeMap<String, Vec<u64>>,
+}
+
+impl SaveLog {
+    /// Record that `unit` was saved at `step`.
+    pub fn record(&mut self, unit: LayerUnit, step: u64) {
+        let entry = self.saved_at.entry(unit.as_string()).or_default();
+        debug_assert!(entry.last().is_none_or(|l| *l <= step));
+        if entry.last() != Some(&step) {
+            entry.push(step);
+        }
+    }
+
+    /// The most recent step `<= failure_step` at which a unit was saved.
+    pub fn latest_for(&self, unit: LayerUnit, failure_step: u64) -> Option<u64> {
+        let steps = self.saved_at.get(&unit.as_string())?;
+        steps.iter().rev().find(|s| **s <= failure_step).copied()
+    }
+
+    /// All units that appear anywhere in the log.
+    pub fn units(&self) -> Result<Vec<LayerUnit>> {
+        self.saved_at
+            .keys()
+            .map(|k| LayerUnit::parse(k).map_err(CkptError::Format))
+            .collect()
+    }
+
+    /// Write to a JSON file.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)?;
+        std::fs::write(path, json).map_err(io_err(path))
+    }
+
+    /// Read from a JSON file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(io_err(path))?;
+        Ok(serde_json::from_str(&text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let p = dir.path().join("partial_manifest.json");
+        let mut digests = BTreeMap::new();
+        digests.insert("model.norm.weight".to_string(), 0xDEAD_BEEFu64);
+        let m = PartialManifest {
+            step: 100,
+            units: vec![LayerUnit::EmbedTokens, LayerUnit::Transformer(1)],
+            weight_digests: digests,
+            full: false,
+        };
+        m.save(&p).unwrap();
+        let back = PartialManifest::load(&p).unwrap();
+        assert_eq!(back, m);
+        assert!(back.has_unit(LayerUnit::Transformer(1)));
+        assert!(!back.has_unit(LayerUnit::FinalNorm));
+    }
+
+    #[test]
+    fn save_log_latest_for_picks_most_recent_at_or_before() {
+        let mut log = SaveLog::default();
+        for s in [100u64, 200, 300] {
+            log.record(LayerUnit::Transformer(0), s);
+        }
+        log.record(LayerUnit::Transformer(1), 200);
+        assert_eq!(log.latest_for(LayerUnit::Transformer(0), 250), Some(200));
+        assert_eq!(log.latest_for(LayerUnit::Transformer(0), 300), Some(300));
+        assert_eq!(log.latest_for(LayerUnit::Transformer(0), 99), None);
+        assert_eq!(log.latest_for(LayerUnit::Transformer(1), 400), Some(200));
+        assert_eq!(log.latest_for(LayerUnit::LmHead, 400), None);
+    }
+
+    #[test]
+    fn save_log_deduplicates_same_step() {
+        let mut log = SaveLog::default();
+        log.record(LayerUnit::FinalNorm, 100);
+        log.record(LayerUnit::FinalNorm, 100);
+        assert_eq!(log.saved_at["norm"], vec![100]);
+    }
+
+    #[test]
+    fn save_log_round_trip_and_units() {
+        let dir = tempfile::tempdir().unwrap();
+        let p = dir.path().join("save_log.json");
+        let mut log = SaveLog::default();
+        log.record(LayerUnit::EmbedTokens, 50);
+        log.record(LayerUnit::Transformer(3), 50);
+        log.save(&p).unwrap();
+        let back = SaveLog::load(&p).unwrap();
+        assert_eq!(back, log);
+        let mut units = back.units().unwrap();
+        units.sort();
+        assert_eq!(units, vec![LayerUnit::EmbedTokens, LayerUnit::Transformer(3)]);
+    }
+}

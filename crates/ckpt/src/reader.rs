@@ -1,0 +1,470 @@
+//! Checkpoint reader with eager and lazy access modes, plus I/O accounting.
+//!
+//! The paper observes (§5.4) that optimizer state "can only be accessed
+//! after the checkpoint is fully loaded, with no possibility of lazy
+//! loading" — that is [`LoadMode::EagerFull`], where touching any tensor of
+//! a file reads the whole file. [`LoadMode::LazyRange`] is the counterpoint
+//! our safetensors container makes possible (and the paper's conclusion
+//! anticipates for layer-wise checkpointing systems): per-tensor range
+//! reads. Every read is metered in [`IoStats`] so the Table 7 experiment
+//! can report both time and bytes, and [`CheckpointHandle::evict`] models
+//! the "load and discard" behaviour of the interleaved parity pattern.
+
+use crate::error::{io_err, CkptError, Result};
+use crate::layout::CheckpointPaths;
+use crate::manifest::PartialManifest;
+use crate::safetensors::{self, SafetensorsIndex};
+use crate::trainer_state::TrainerState;
+use crate::zero_meta::{shard_tensor_names, ZeroMeta};
+use llmt_model::naming::unit_param_specs;
+use llmt_model::{LayerUnit, ModelConfig};
+use llmt_tensor::RawTensor;
+use llmt_zero::{RankState, ShardState};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// How file contents are fetched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Whole-file reads (the paper's optimizer-loading semantics).
+    EagerFull,
+    /// Header parse + per-tensor range reads.
+    LazyRange,
+}
+
+/// Cumulative I/O accounting for one handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Total bytes fetched from disk.
+    pub bytes_read: u64,
+    /// Files opened (headers count).
+    pub files_opened: u64,
+    /// Whole-file loads performed (eager mode).
+    pub full_loads: u64,
+    /// Individual tensor reads served.
+    pub tensor_reads: u64,
+}
+
+impl IoStats {
+    /// Merge another handle's stats into this one.
+    pub fn absorb(&mut self, other: &IoStats) {
+        self.bytes_read += other.bytes_read;
+        self.files_opened += other.files_opened;
+        self.full_loads += other.full_loads;
+        self.tensor_reads += other.tensor_reads;
+    }
+}
+
+/// An opened checkpoint directory.
+#[derive(Debug)]
+pub struct CheckpointHandle {
+    /// Paths of the checkpoint.
+    pub paths: CheckpointPaths,
+    /// Model config from `config.json`.
+    pub config: ModelConfig,
+    /// ZeRO metadata from `zero_meta.json`.
+    pub zero_meta: ZeroMeta,
+    /// Partial manifest, if present.
+    pub manifest: Option<PartialManifest>,
+    /// Trainer state.
+    pub trainer_state: TrainerState,
+    mode: LoadMode,
+    stats: IoStats,
+    model_cache: Option<HashMap<String, RawTensor>>,
+    model_index: Option<SafetensorsIndex>,
+    shard_cache: HashMap<usize, HashMap<String, RawTensor>>,
+    shard_index: HashMap<usize, SafetensorsIndex>,
+}
+
+impl CheckpointHandle {
+    /// Open a checkpoint directory.
+    pub fn open(dir: &Path, mode: LoadMode) -> Result<Self> {
+        let paths = CheckpointPaths::open(dir)
+            .ok_or_else(|| CkptError::Format(format!("{} is not a checkpoint dir", dir.display())))?;
+        let config_text =
+            std::fs::read_to_string(paths.config()).map_err(io_err(paths.config()))?;
+        let config: ModelConfig = serde_json::from_str(&config_text)?;
+        let zero_meta = ZeroMeta::load(&paths.zero_meta())?;
+        let trainer_state = TrainerState::load(&paths.trainer_state())?;
+        let manifest = if paths.manifest().exists() {
+            Some(PartialManifest::load(&paths.manifest())?)
+        } else {
+            None
+        };
+        Ok(CheckpointHandle {
+            paths,
+            config,
+            zero_meta,
+            manifest,
+            trainer_state,
+            mode,
+            stats: IoStats::default(),
+            model_cache: None,
+            model_index: None,
+            shard_cache: HashMap::new(),
+            shard_index: HashMap::new(),
+        })
+    }
+
+    /// Cumulative I/O statistics.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Units stored in this checkpoint.
+    pub fn units_present(&self) -> Vec<LayerUnit> {
+        match &self.manifest {
+            Some(m) => m.units.clone(),
+            None => LayerUnit::all(&self.config),
+        }
+    }
+
+    /// Drop all cached file contents ("discard" in the paper's parity-load
+    /// description); the next access re-reads from disk.
+    pub fn evict(&mut self) {
+        self.model_cache = None;
+        self.model_index = None;
+        self.shard_cache.clear();
+        self.shard_index.clear();
+    }
+
+    fn ensure_model_loaded(&mut self) -> Result<()> {
+        match self.mode {
+            LoadMode::EagerFull => {
+                if self.model_cache.is_none() {
+                    let path = self.paths.model();
+                    let len = std::fs::metadata(&path).map_err(io_err(&path))?.len();
+                    let (tensors, _) = safetensors::read_file(&path)?;
+                    self.stats.bytes_read += len;
+                    self.stats.files_opened += 1;
+                    self.stats.full_loads += 1;
+                    self.model_cache = Some(tensors.into_iter().collect());
+                }
+            }
+            LoadMode::LazyRange => {
+                if self.model_index.is_none() {
+                    let path = self.paths.model();
+                    let index = safetensors::open_index(&path)?;
+                    self.stats.files_opened += 1;
+                    self.stats.bytes_read += index.data_start; // header bytes
+                    self.model_index = Some(index);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read one named weight tensor.
+    pub fn weight(&mut self, name: &str) -> Result<RawTensor> {
+        self.ensure_model_loaded()?;
+        self.stats.tensor_reads += 1;
+        match self.mode {
+            LoadMode::EagerFull => self
+                .model_cache
+                .as_ref()
+                .unwrap()
+                .get(name)
+                .cloned()
+                .ok_or_else(|| CkptError::Missing(format!("weight '{name}'"))),
+            LoadMode::LazyRange => {
+                let index = self.model_index.as_ref().unwrap();
+                let t = safetensors::read_tensor_at(&self.paths.model(), index, name)?;
+                self.stats.bytes_read += t.byte_len() as u64;
+                Ok(t)
+            }
+        }
+    }
+
+    /// Read every weight tensor of one unit (canonical order).
+    pub fn unit_weights(&mut self, unit: LayerUnit) -> Result<Vec<(String, RawTensor)>> {
+        let specs = unit_param_specs(&self.config, unit);
+        if specs.is_empty() {
+            return Err(CkptError::Missing(format!(
+                "unit {unit} has no parameters in model {}",
+                self.config.model_name
+            )));
+        }
+        specs
+            .into_iter()
+            .map(|s| self.weight(&s.name).map(|t| (s.name, t)))
+            .collect()
+    }
+
+    fn ensure_shard_loaded(&mut self, rank: usize) -> Result<()> {
+        if rank >= self.zero_meta.world_size {
+            return Err(CkptError::Incompatible(format!(
+                "rank {rank} out of world size {}",
+                self.zero_meta.world_size
+            )));
+        }
+        match self.mode {
+            LoadMode::EagerFull => {
+                if !self.shard_cache.contains_key(&rank) {
+                    let path = self.paths.optim_shard(rank);
+                    let len = std::fs::metadata(&path).map_err(io_err(&path))?.len();
+                    let (tensors, _) = safetensors::read_file(&path)?;
+                    self.stats.bytes_read += len;
+                    self.stats.files_opened += 1;
+                    self.stats.full_loads += 1;
+                    self.shard_cache.insert(rank, tensors.into_iter().collect());
+                }
+            }
+            LoadMode::LazyRange => {
+                if !self.shard_index.contains_key(&rank) {
+                    let path = self.paths.optim_shard(rank);
+                    let index = safetensors::open_index(&path)?;
+                    self.stats.files_opened += 1;
+                    self.stats.bytes_read += index.data_start;
+                    self.shard_index.insert(rank, index);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read one rank's shard of one optimizer group.
+    pub fn group_shard(&mut self, rank: usize, group_id: usize) -> Result<ShardState> {
+        if !self.zero_meta.has_group(group_id) {
+            return Err(CkptError::Missing(format!(
+                "group {group_id} not stored in checkpoint-{}",
+                self.paths.step
+            )));
+        }
+        self.ensure_shard_loaded(rank)?;
+        let names = shard_tensor_names(group_id);
+        let fetch = |this: &mut Self, name: &str| -> Result<Vec<f32>> {
+            this.stats.tensor_reads += 1;
+            match this.mode {
+                LoadMode::EagerFull => this
+                    .shard_cache
+                    .get(&rank)
+                    .unwrap()
+                    .get(name)
+                    .map(|t| t.to_f32s())
+                    .ok_or_else(|| CkptError::Missing(format!("shard tensor '{name}'"))),
+                LoadMode::LazyRange => {
+                    let index = this.shard_index.get(&rank).unwrap();
+                    let t = safetensors::read_tensor_at(&this.paths.optim_shard(rank), index, name)?;
+                    this.stats.bytes_read += t.byte_len() as u64;
+                    Ok(t.to_f32s())
+                }
+            }
+        };
+        Ok(ShardState {
+            master: fetch(self, &names[0])?,
+            exp_avg: fetch(self, &names[1])?,
+            exp_avg_sq: fetch(self, &names[2])?,
+        })
+    }
+
+    /// Materialize the checkpoint's model for inference: every unit's
+    /// weights loaded into a [`llmt_model::Model`]. Requires all units to
+    /// be present (merge partial checkpoints first). This is the "the
+    /// model weights are stored as a single consolidated file so it can be
+    /// used for reasoning at any time" path (paper §2.3).
+    pub fn load_model(&mut self) -> Result<llmt_model::Model> {
+        let all = LayerUnit::all(&self.config);
+        let present = self.units_present();
+        for u in &all {
+            if !present.contains(u) {
+                return Err(CkptError::Incompatible(format!(
+                    "cannot load model for inference: unit {u} missing (partial checkpoint)"
+                )));
+            }
+        }
+        let mut params = llmt_model::ParamSet::zeros(&self.config);
+        for unit in all {
+            for (name, raw) in self.unit_weights(unit)? {
+                params.set(&name, llmt_tensor::Tensor::from_raw(&raw));
+            }
+        }
+        Ok(llmt_model::Model::from_params(self.config.clone(), params))
+    }
+
+    /// Read one rank's complete state. Requires a full checkpoint.
+    pub fn rank_state_full(&mut self, rank: usize) -> Result<RankState> {
+        if !self.zero_meta.is_full() {
+            return Err(CkptError::Incompatible(format!(
+                "checkpoint-{} is partial; assemble a full one with LLMTailor first",
+                self.paths.step
+            )));
+        }
+        let n_groups = self.zero_meta.groups.len();
+        let mut shards = Vec::with_capacity(n_groups);
+        for gid in 0..n_groups {
+            shards.push(self.group_shard(rank, gid)?);
+        }
+        Ok(RankState { shards })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{save_checkpoint, SaveRequest};
+    use llmt_model::{Model, ModelConfig, ParamSet};
+    use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
+    use llmt_tensor::rng::Prng;
+    use llmt_zero::ZeroEngine;
+
+    fn write_ckpt(dir: &Path, cfg: &ModelConfig, step: u64, units: &[LayerUnit]) -> (Model, ZeroEngine) {
+        let mut model = Model::new(cfg.clone(), 21);
+        let mut engine = ZeroEngine::new(
+            &model.params,
+            build_groups(cfg, GroupLayout::LayerWise),
+            2,
+            AdamWHyper::default(),
+        );
+        let mut rng = Prng::seed_from_u64(9);
+        let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+        let batch = llmt_model::Batch::new(tokens, 2, 8);
+        let mut grads = ParamSet::zeros(cfg);
+        model.loss_and_grad(&batch, &mut grads);
+        engine.step(&mut model.params, &grads, 1e-3, true);
+        let ts = TrainerState {
+            global_step: step,
+            ckpt_event: 0,
+            lr_schedule: LrSchedule::Constant { lr: 1e-3 },
+            last_lr: 1e-3,
+            loss_history: vec![(step, 2.0)],
+            data_rng: Prng::seed_from_u64(2),
+            task: "test".into(),
+            model_name: cfg.model_name.clone(),
+            micro_batch: 2,
+            grad_accum: 1,
+            seq_len: 8,
+        };
+        save_checkpoint(&SaveRequest {
+            root: dir,
+            step,
+            config: cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units,
+        })
+        .unwrap();
+        (model, engine)
+    }
+
+    #[test]
+    fn eager_and_lazy_read_identical_tensors() {
+        let cfg = ModelConfig::tiny_test();
+        let dir = tempfile::tempdir().unwrap();
+        let (model, engine) = write_ckpt(dir.path(), &cfg, 10, &LayerUnit::all(&cfg));
+        let ckpt_dir = dir.path().join("checkpoint-10");
+        let mut eager = CheckpointHandle::open(&ckpt_dir, LoadMode::EagerFull).unwrap();
+        let mut lazy = CheckpointHandle::open(&ckpt_dir, LoadMode::LazyRange).unwrap();
+        for unit in LayerUnit::all(&cfg) {
+            let a = eager.unit_weights(unit).unwrap();
+            let b = lazy.unit_weights(unit).unwrap();
+            assert_eq!(a, b);
+            // Weights round-trip the BF16 model copy bit-exactly.
+            for (name, t) in &a {
+                let live = model.params.get(name).unwrap();
+                assert_eq!(&llmt_tensor::Tensor::from_raw(t), live, "{name}");
+            }
+        }
+        for rank in 0..2 {
+            for gid in 0..engine.groups().len() {
+                let a = eager.group_shard(rank, gid).unwrap();
+                let b = lazy.group_shard(rank, gid).unwrap();
+                assert_eq!(a, b);
+                assert_eq!(a.master, engine.ranks[rank].shards[gid].master);
+                assert_eq!(a.exp_avg, engine.ranks[rank].shards[gid].exp_avg);
+            }
+        }
+    }
+
+    #[test]
+    fn eager_mode_reads_whole_files_lazy_reads_ranges() {
+        let cfg = ModelConfig::tiny_test();
+        let dir = tempfile::tempdir().unwrap();
+        write_ckpt(dir.path(), &cfg, 10, &LayerUnit::all(&cfg));
+        let ckpt_dir = dir.path().join("checkpoint-10");
+        let mut eager = CheckpointHandle::open(&ckpt_dir, LoadMode::EagerFull).unwrap();
+        let mut lazy = CheckpointHandle::open(&ckpt_dir, LoadMode::LazyRange).unwrap();
+        // Touch one small tensor in the optimizer shard of rank 0.
+        eager.group_shard(0, 0).unwrap();
+        lazy.group_shard(0, 0).unwrap();
+        let shard_len = std::fs::metadata(eager.paths.optim_shard(0)).unwrap().len();
+        assert_eq!(eager.stats().bytes_read, shard_len, "eager reads everything");
+        assert!(
+            lazy.stats().bytes_read < shard_len / 2,
+            "lazy reads a small range ({} vs file {shard_len})",
+            lazy.stats().bytes_read
+        );
+        assert_eq!(eager.stats().full_loads, 1);
+        assert_eq!(lazy.stats().full_loads, 0);
+    }
+
+    #[test]
+    fn evict_forces_reload() {
+        let cfg = ModelConfig::tiny_test();
+        let dir = tempfile::tempdir().unwrap();
+        write_ckpt(dir.path(), &cfg, 10, &LayerUnit::all(&cfg));
+        let mut h =
+            CheckpointHandle::open(&dir.path().join("checkpoint-10"), LoadMode::EagerFull).unwrap();
+        h.group_shard(0, 0).unwrap();
+        h.group_shard(0, 1).unwrap(); // cached: no extra full load
+        assert_eq!(h.stats().full_loads, 1);
+        h.evict();
+        h.group_shard(0, 2).unwrap();
+        assert_eq!(h.stats().full_loads, 2, "evict() discards the cache");
+    }
+
+    #[test]
+    fn partial_checkpoint_reports_missing_groups_and_refuses_full_resume() {
+        let cfg = ModelConfig::tiny_test();
+        let dir = tempfile::tempdir().unwrap();
+        write_ckpt(dir.path(), &cfg, 10, &[LayerUnit::Transformer(0), LayerUnit::FinalNorm]);
+        let mut h =
+            CheckpointHandle::open(&dir.path().join("checkpoint-10"), LoadMode::EagerFull).unwrap();
+        assert_eq!(
+            h.units_present(),
+            vec![LayerUnit::Transformer(0), LayerUnit::FinalNorm]
+        );
+        // The embedding's group is absent.
+        let embed_group = h.zero_meta.index_map().groups_for_unit(LayerUnit::EmbedTokens).unwrap()[0];
+        assert!(matches!(
+            h.group_shard(0, embed_group).unwrap_err(),
+            CkptError::Missing(_)
+        ));
+        assert!(matches!(
+            h.rank_state_full(0).unwrap_err(),
+            CkptError::Incompatible(_)
+        ));
+        // Present unit still loads.
+        let t0_groups = h.zero_meta.index_map().groups_for_unit(LayerUnit::Transformer(0)).unwrap();
+        for g in t0_groups {
+            h.group_shard(1, g).unwrap();
+        }
+    }
+
+    #[test]
+    fn rank_state_full_matches_engine() {
+        let cfg = ModelConfig::tiny_test_tied();
+        let dir = tempfile::tempdir().unwrap();
+        let (_, engine) = write_ckpt(dir.path(), &cfg, 5, &LayerUnit::all(&cfg));
+        let mut h =
+            CheckpointHandle::open(&dir.path().join("checkpoint-5"), LoadMode::EagerFull).unwrap();
+        for rank in 0..2 {
+            let state = h.rank_state_full(rank).unwrap();
+            assert_eq!(state, engine.ranks[rank]);
+        }
+        assert_eq!(h.zero_meta.optimizer_step, engine.step_count);
+    }
+
+    #[test]
+    fn out_of_range_rank_rejected() {
+        let cfg = ModelConfig::tiny_test();
+        let dir = tempfile::tempdir().unwrap();
+        write_ckpt(dir.path(), &cfg, 10, &LayerUnit::all(&cfg));
+        let mut h =
+            CheckpointHandle::open(&dir.path().join("checkpoint-10"), LoadMode::EagerFull).unwrap();
+        assert!(matches!(
+            h.group_shard(5, 0).unwrap_err(),
+            CkptError::Incompatible(_)
+        ));
+    }
+}

@@ -1,0 +1,327 @@
+//! safetensors container: spec-compatible reader/writer.
+//!
+//! Wire format: 8-byte little-endian header length `N`, then `N` bytes of
+//! JSON mapping tensor names to `{dtype, shape, data_offsets}` (offsets
+//! relative to the start of the data section), optionally with a
+//! `__metadata__` string map, then the tightly packed tensor data.
+//!
+//! Two access paths exist on purpose:
+//! * [`read_file`] — eager: one sequential read of the whole file. This is
+//!   the paper's optimizer-loading semantics (no lazy access).
+//! * [`open_index`] + [`read_tensor_at`] — lazy: parse the header, then
+//!   range-read single tensors. This models safetensors' zero-copy lazy
+//!   loading of model weights, and powers the ablation the paper's §5.4
+//!   suggests for future layer-wise checkpoint systems.
+
+use crate::error::{io_err, CkptError, Result};
+use llmt_tensor::{DType, RawTensor, Shape};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Header entry for one tensor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HeaderEntry {
+    dtype: String,
+    shape: Vec<usize>,
+    data_offsets: [u64; 2],
+}
+
+/// Parsed header: tensor directory plus free-form metadata.
+#[derive(Debug, Clone)]
+pub struct SafetensorsIndex {
+    /// Byte offset of the data section within the file.
+    pub data_start: u64,
+    /// Name -> (dtype, shape, begin, end) in file order.
+    pub entries: Vec<(String, DType, Shape, u64, u64)>,
+    /// `__metadata__` string map (empty if absent).
+    pub metadata: BTreeMap<String, String>,
+}
+
+impl SafetensorsIndex {
+    /// Find an entry by name.
+    pub fn entry(&self, name: &str) -> Option<&(String, DType, Shape, u64, u64)> {
+        self.entries.iter().find(|(n, ..)| n == name)
+    }
+
+    /// All tensor names in file order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, ..)| n.as_str())
+    }
+
+    /// Total data-section bytes.
+    pub fn data_len(&self) -> u64 {
+        self.entries.iter().map(|(.., _b, e)| *e).max().unwrap_or(0)
+    }
+}
+
+/// Serialize tensors (with optional metadata) to a safetensors file.
+/// Tensors are written tightly packed in the given order.
+pub fn write_file(
+    path: &Path,
+    tensors: &[(String, RawTensor)],
+    metadata: &BTreeMap<String, String>,
+) -> Result<u64> {
+    let mut header = serde_json::Map::new();
+    if !metadata.is_empty() {
+        header.insert(
+            "__metadata__".to_string(),
+            serde_json::to_value(metadata)?,
+        );
+    }
+    let mut offset = 0u64;
+    for (name, t) in tensors {
+        if header.contains_key(name) {
+            return Err(CkptError::Format(format!("duplicate tensor name '{name}'")));
+        }
+        let len = t.byte_len() as u64;
+        let entry = HeaderEntry {
+            dtype: t.dtype().as_str().to_string(),
+            shape: t.shape().dims().to_vec(),
+            data_offsets: [offset, offset + len],
+        };
+        header.insert(name.clone(), serde_json::to_value(&entry)?);
+        offset += len;
+    }
+    let header_bytes = serde_json::to_vec(&serde_json::Value::Object(header))?;
+
+    let mut f = File::create(path).map_err(io_err(path))?;
+    let mut w = std::io::BufWriter::new(&mut f);
+    w.write_all(&(header_bytes.len() as u64).to_le_bytes())
+        .map_err(io_err(path))?;
+    w.write_all(&header_bytes).map_err(io_err(path))?;
+    for (_, t) in tensors {
+        w.write_all(t.bytes()).map_err(io_err(path))?;
+    }
+    w.flush().map_err(io_err(path))?;
+    Ok(8 + header_bytes.len() as u64 + offset)
+}
+
+fn parse_header(path: &Path, header_bytes: &[u8], data_start: u64) -> Result<SafetensorsIndex> {
+    let value: serde_json::Value = serde_json::from_slice(header_bytes)
+        .map_err(|e| CkptError::Format(format!("{}: bad header JSON: {e}", path.display())))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| CkptError::Format(format!("{}: header is not an object", path.display())))?;
+    let mut metadata = BTreeMap::new();
+    let mut entries = Vec::new();
+    for (name, v) in obj {
+        if name == "__metadata__" {
+            let m: BTreeMap<String, String> = serde_json::from_value(v.clone())?;
+            metadata = m;
+            continue;
+        }
+        let e: HeaderEntry = serde_json::from_value(v.clone())
+            .map_err(|err| CkptError::Format(format!("entry '{name}': {err}")))?;
+        let dtype = DType::from_str_opt(&e.dtype)
+            .ok_or_else(|| CkptError::Format(format!("entry '{name}': unsupported dtype {}", e.dtype)))?;
+        // Untrusted boundary: dimension products must not overflow.
+        let numel = e
+            .shape
+            .iter()
+            .try_fold(1u64, |acc, d| acc.checked_mul(*d as u64))
+            .and_then(|n| n.checked_mul(dtype.size_bytes() as u64))
+            .ok_or_else(|| {
+                CkptError::Format(format!("entry '{name}': shape {:?} overflows", e.shape))
+            })?;
+        let shape = Shape::new(e.shape);
+        let [b, end] = e.data_offsets;
+        let want = numel;
+        if end < b || end - b != want {
+            return Err(CkptError::Format(format!(
+                "entry '{name}': offsets [{b}, {end}) disagree with shape {shape} dtype {dtype}"
+            )));
+        }
+        entries.push((name.clone(), dtype, shape, b, end));
+    }
+    entries.sort_by_key(|(.., b, _)| *b);
+    Ok(SafetensorsIndex {
+        data_start,
+        entries,
+        metadata,
+    })
+}
+
+/// Named tensors plus free-form metadata, as stored in one file.
+pub type TensorsAndMetadata = (Vec<(String, RawTensor)>, BTreeMap<String, String>);
+
+/// Eagerly read a whole safetensors file (single sequential pass).
+pub fn read_file(path: &Path) -> Result<TensorsAndMetadata> {
+    let mut f = File::open(path).map_err(io_err(path))?;
+    let mut all = Vec::new();
+    f.read_to_end(&mut all).map_err(io_err(path))?;
+    if all.len() < 8 {
+        return Err(CkptError::Format(format!("{}: truncated (no header length)", path.display())));
+    }
+    let hlen = u64::from_le_bytes(all[..8].try_into().unwrap()) as usize;
+    if all.len() < 8 + hlen {
+        return Err(CkptError::Format(format!("{}: truncated header", path.display())));
+    }
+    let index = parse_header(path, &all[8..8 + hlen], (8 + hlen) as u64)?;
+    let data = &all[8 + hlen..];
+    let mut out = Vec::with_capacity(index.entries.len());
+    for (name, dtype, shape, b, e) in &index.entries {
+        let (b, e) = (*b as usize, *e as usize);
+        if e > data.len() {
+            return Err(CkptError::Format(format!(
+                "{}: tensor '{name}' extends past end of file",
+                path.display()
+            )));
+        }
+        out.push((
+            name.clone(),
+            RawTensor::from_bytes(*dtype, shape.clone(), data[b..e].to_vec()),
+        ));
+    }
+    Ok((out, index.metadata))
+}
+
+/// Parse only the header of a safetensors file (cheap).
+pub fn open_index(path: &Path) -> Result<SafetensorsIndex> {
+    let mut f = File::open(path).map_err(io_err(path))?;
+    let mut len_buf = [0u8; 8];
+    f.read_exact(&mut len_buf).map_err(io_err(path))?;
+    let hlen = u64::from_le_bytes(len_buf) as usize;
+    let mut header = vec![0u8; hlen];
+    f.read_exact(&mut header).map_err(io_err(path))?;
+    parse_header(path, &header, 8 + hlen as u64)
+}
+
+/// Range-read a single tensor using a previously parsed index.
+pub fn read_tensor_at(path: &Path, index: &SafetensorsIndex, name: &str) -> Result<RawTensor> {
+    let (_, dtype, shape, b, e) = index
+        .entry(name)
+        .ok_or_else(|| CkptError::Missing(format!("tensor '{name}' in {}", path.display())))?;
+    let mut f = File::open(path).map_err(io_err(path))?;
+    f.seek(SeekFrom::Start(index.data_start + b))
+        .map_err(io_err(path))?;
+    let mut buf = vec![0u8; (e - b) as usize];
+    f.read_exact(&mut buf).map_err(io_err(path))?;
+    Ok(RawTensor::from_bytes(*dtype, shape.clone(), buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmt_tensor::rng::Prng;
+    use llmt_tensor::Tensor;
+
+    fn sample_tensors() -> Vec<(String, RawTensor)> {
+        let mut rng = Prng::seed_from_u64(1);
+        vec![
+            (
+                "model.embed_tokens.weight".into(),
+                Tensor::randn([8, 4], 1.0, &mut rng).to_raw(DType::BF16),
+            ),
+            (
+                "model.norm.weight".into(),
+                Tensor::randn([4], 1.0, &mut rng).to_raw(DType::F32),
+            ),
+            (
+                "group0.master".into(),
+                Tensor::randn([16], 1.0, &mut rng).to_raw(DType::F32),
+            ),
+        ]
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.safetensors");
+        let tensors = sample_tensors();
+        let mut meta = BTreeMap::new();
+        meta.insert("format".to_string(), "pt".to_string());
+        let bytes = write_file(&path, &tensors, &meta).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        let (back, meta_back) = read_file(&path).unwrap();
+        assert_eq!(meta_back.get("format").map(String::as_str), Some("pt"));
+        assert_eq!(back.len(), tensors.len());
+        for ((na, ta), (nb, tb)) in tensors.iter().zip(back.iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn lazy_read_matches_eager() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.safetensors");
+        let tensors = sample_tensors();
+        write_file(&path, &tensors, &BTreeMap::new()).unwrap();
+        let index = open_index(&path).unwrap();
+        for (name, t) in &tensors {
+            let lazy = read_tensor_at(&path, &index, name).unwrap();
+            assert_eq!(&lazy, t, "{name}");
+        }
+    }
+
+    #[test]
+    fn missing_tensor_is_reported() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.safetensors");
+        write_file(&path, &sample_tensors(), &BTreeMap::new()).unwrap();
+        let index = open_index(&path).unwrap();
+        let err = read_tensor_at(&path, &index, "nope").unwrap_err();
+        assert!(matches!(err, CkptError::Missing(_)));
+    }
+
+    #[test]
+    fn duplicate_names_rejected_on_write() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.safetensors");
+        let t = Tensor::zeros([1]).to_raw(DType::F32);
+        let err = write_file(
+            &path,
+            &[("a".into(), t.clone()), ("a".into(), t)],
+            &BTreeMap::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CkptError::Format(_)));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.safetensors");
+        std::fs::write(&path, [1, 2, 3]).unwrap();
+        assert!(matches!(read_file(&path).unwrap_err(), CkptError::Format(_)));
+    }
+
+    #[test]
+    fn corrupt_offsets_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.safetensors");
+        // Hand-build a header whose offsets disagree with the shape.
+        let header = br#"{"x":{"dtype":"F32","shape":[2],"data_offsets":[0,4]}}"#;
+        let mut bytes = (header.len() as u64).to_le_bytes().to_vec();
+        bytes.extend_from_slice(header);
+        bytes.extend_from_slice(&[0u8; 4]);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(read_file(&path).unwrap_err(), CkptError::Format(_)));
+    }
+
+    #[test]
+    fn empty_metadata_is_omitted_and_round_trips() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.safetensors");
+        write_file(&path, &sample_tensors(), &BTreeMap::new()).unwrap();
+        let (_, meta) = read_file(&path).unwrap();
+        assert!(meta.is_empty());
+    }
+
+    #[test]
+    fn header_is_valid_json_and_spec_shaped() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.safetensors");
+        write_file(&path, &sample_tensors(), &BTreeMap::new()).unwrap();
+        let all = std::fs::read(&path).unwrap();
+        let hlen = u64::from_le_bytes(all[..8].try_into().unwrap()) as usize;
+        let v: serde_json::Value = serde_json::from_slice(&all[8..8 + hlen]).unwrap();
+        let entry = &v["model.embed_tokens.weight"];
+        assert_eq!(entry["dtype"], "BF16");
+        assert_eq!(entry["shape"], serde_json::json!([8, 4]));
+        assert!(entry["data_offsets"].is_array());
+    }
+}

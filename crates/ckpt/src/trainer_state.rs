@@ -1,0 +1,114 @@
+//! `trainer_state.json`: everything beyond weights and optimizer moments
+//! that must survive a failure (paper §4.4 — "metadata and configuration
+//! files record user-configured arguments, training state history, the
+//! current training step, and the current learning rate").
+
+use crate::error::{io_err, Result};
+use llmt_optim::LrSchedule;
+use llmt_tensor::rng::Prng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Serialized trainer state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerState {
+    /// Global step: number of optimizer steps completed.
+    pub global_step: u64,
+    /// Checkpoint events completed (drives selective-strategy phase
+    /// continuity across resumes).
+    #[serde(default)]
+    pub ckpt_event: u64,
+    /// Learning-rate schedule (pure function of step).
+    pub lr_schedule: LrSchedule,
+    /// Learning rate that was used for the most recent step.
+    pub last_lr: f32,
+    /// `(step, train_loss)` history, one entry per logged step.
+    pub loss_history: Vec<(u64, f64)>,
+    /// Data-order RNG state, so resumed runs see the same sample stream.
+    pub data_rng: Prng,
+    /// Name of the training task ("cpt" / "sft" / ...).
+    pub task: String,
+    /// Model identifier, for sanity checks at resume.
+    pub model_name: String,
+    /// Micro-batch size.
+    pub micro_batch: usize,
+    /// Gradient accumulation steps.
+    pub grad_accum: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+}
+
+impl TrainerState {
+    /// Write to `trainer_state.json`.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)?;
+        std::fs::write(path, json).map_err(io_err(path))
+    }
+
+    /// Read from `trainer_state.json`.
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(io_err(path))?;
+        Ok(serde_json::from_str(&text)?)
+    }
+
+    /// Most recent recorded training loss, if any.
+    pub fn last_loss(&self) -> Option<f64> {
+        self.loss_history.last().map(|(_, l)| *l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainerState {
+        TrainerState {
+            global_step: 400,
+            ckpt_event: 8,
+            lr_schedule: LrSchedule::WarmupCosine {
+                peak_lr: 3e-4,
+                min_lr: 3e-5,
+                warmup_steps: 10,
+                total_steps: 500,
+            },
+            last_lr: 1.7e-4,
+            loss_history: vec![(100, 2.5), (200, 2.1), (400, 1.8)],
+            data_rng: Prng::seed_from_u64(42),
+            task: "sft".into(),
+            model_name: "qwen2.5-7b-sim".into(),
+            micro_batch: 2,
+            grad_accum: 2,
+            seq_len: 64,
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let p = dir.path().join("trainer_state.json");
+        let s = sample();
+        s.save(&p).unwrap();
+        assert_eq!(TrainerState::load(&p).unwrap(), s);
+    }
+
+    #[test]
+    fn rng_state_survives_serialization() {
+        let dir = tempfile::tempdir().unwrap();
+        let p = dir.path().join("trainer_state.json");
+        let mut s = sample();
+        for _ in 0..17 {
+            s.data_rng.next_u64();
+        }
+        s.save(&p).unwrap();
+        let mut loaded = TrainerState::load(&p).unwrap();
+        assert_eq!(loaded.data_rng.next_u64(), s.data_rng.next_u64());
+    }
+
+    #[test]
+    fn last_loss() {
+        assert_eq!(sample().last_loss(), Some(1.8));
+        let mut s = sample();
+        s.loss_history.clear();
+        assert_eq!(s.last_loss(), None);
+    }
+}

@@ -1,0 +1,329 @@
+//! Checkpoint integrity verification.
+//!
+//! A merged "Frankenstein" checkpoint is only trustworthy if every copied
+//! tensor arrived intact; the manifest's FNV digests (written at save and
+//! at merge time) make that checkable. `verify_checkpoint` validates, for
+//! any full or partial checkpoint:
+//!
+//! * config.json parses and is self-consistent;
+//! * every manifest-listed unit's weight tensors exist with the shapes the
+//!   config dictates, and their digests match the manifest;
+//! * `zero_meta.json` agrees with the config (`2L+x` group count, unit
+//!   arithmetic) and with itself (shard lengths vs numels and world size);
+//! * every present group's shards exist in every rank file with the
+//!   advertised length and finite values.
+
+use crate::error::{CkptError, Result};
+use crate::reader::{CheckpointHandle, LoadMode};
+use llmt_model::naming::unit_param_specs;
+use llmt_optim::GroupIndexMap;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// What was checked (tensor name, group id, file).
+    pub subject: String,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// Result of verifying a checkpoint.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifyReport {
+    /// Tensors whose digests were checked.
+    pub weights_checked: usize,
+    /// (rank, group) shards checked.
+    pub shards_checked: usize,
+    /// Problems found (empty = checkpoint verifies).
+    pub findings: Vec<Finding>,
+}
+
+impl VerifyReport {
+    /// True when no problems were found.
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Verify a checkpoint directory. I/O errors abort with `Err`; integrity
+/// problems are collected into the report.
+pub fn verify_checkpoint(dir: &Path) -> Result<VerifyReport> {
+    let mut h = CheckpointHandle::open(dir, LoadMode::LazyRange)?;
+    let mut report = VerifyReport::default();
+    let find = |subject: &str, problem: String, report: &mut VerifyReport| {
+        report.findings.push(Finding {
+            subject: subject.to_string(),
+            problem,
+        });
+    };
+
+    if let Err(e) = h.config.validate() {
+        find("config.json", format!("invalid config: {e}"), &mut report);
+        return Ok(report); // everything else depends on the config
+    }
+
+    // Weights: shape + digest per manifest-listed unit.
+    let manifest = h.manifest.clone();
+    for unit in h.units_present() {
+        for spec in unit_param_specs(&h.config, unit) {
+            match h.weight(&spec.name) {
+                Err(CkptError::Missing(_)) => {
+                    find(&spec.name, "listed in manifest but absent".into(), &mut report)
+                }
+                Err(e) => return Err(e),
+                Ok(t) => {
+                    report.weights_checked += 1;
+                    if t.shape().dims() != spec.shape.as_slice() {
+                        find(
+                            &spec.name,
+                            format!("shape {} != expected {:?}", t.shape(), spec.shape),
+                            &mut report,
+                        );
+                    }
+                    if let Some(m) = &manifest {
+                        match m.weight_digests.get(&spec.name) {
+                            None => find(&spec.name, "no digest in manifest".into(), &mut report),
+                            Some(d) if *d != t.digest() => find(
+                                &spec.name,
+                                format!("digest mismatch: manifest {d:#x}, file {:#x}", t.digest()),
+                                &mut report,
+                            ),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ZeRO metadata consistency.
+    let meta = h.zero_meta.clone();
+    let map = GroupIndexMap {
+        num_layers: meta.num_layers,
+        tied: meta.tied,
+    };
+    if meta.num_layers != h.config.num_hidden_layers || meta.tied != h.config.tie_word_embeddings {
+        find(
+            "zero_meta.json",
+            format!(
+                "layout (L={}, tied={}) disagrees with config (L={}, tied={})",
+                meta.num_layers,
+                meta.tied,
+                h.config.num_hidden_layers,
+                h.config.tie_word_embeddings
+            ),
+            &mut report,
+        );
+    }
+    if meta.groups.len() != map.group_count() {
+        find(
+            "zero_meta.json",
+            format!(
+                "{} groups recorded, 2L+x says {}",
+                meta.groups.len(),
+                map.group_count()
+            ),
+            &mut report,
+        );
+    }
+    for g in &meta.groups {
+        let want = g.numel.div_ceil(meta.world_size);
+        if g.shard_len != want {
+            find(
+                &format!("group {}", g.id),
+                format!("shard_len {} != ceil({} / {})", g.shard_len, g.numel, meta.world_size),
+                &mut report,
+            );
+        }
+    }
+
+    // Shards: presence, length, finiteness.
+    for rank in 0..meta.world_size {
+        for gid in &meta.groups_present {
+            match h.group_shard(rank, *gid) {
+                Err(CkptError::Missing(_)) => find(
+                    &format!("rank {rank} group {gid}"),
+                    "advertised but absent from shard file".into(),
+                    &mut report,
+                ),
+                Err(e) => return Err(e),
+                Ok(shard) => {
+                    report.shards_checked += 1;
+                    let want = meta.groups[*gid].shard_len;
+                    for (name, buf) in [
+                        ("master", &shard.master),
+                        ("exp_avg", &shard.exp_avg),
+                        ("exp_avg_sq", &shard.exp_avg_sq),
+                    ] {
+                        if buf.len() != want {
+                            find(
+                                &format!("rank {rank} group {gid} {name}"),
+                                format!("length {} != shard_len {want}", buf.len()),
+                                &mut report,
+                            );
+                        }
+                        if buf.iter().any(|v| !v.is_finite()) {
+                            find(
+                                &format!("rank {rank} group {gid} {name}"),
+                                "contains non-finite values".into(),
+                                &mut report,
+                            );
+                        }
+                    }
+                    if shard.exp_avg_sq.iter().any(|v| *v < 0.0) {
+                        find(
+                            &format!("rank {rank} group {gid} exp_avg_sq"),
+                            "second moment is negative".into(),
+                            &mut report,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{save_checkpoint, SaveRequest};
+    use crate::{CheckpointPaths, TrainerState};
+    use llmt_model::{Batch, LayerUnit, Model, ModelConfig, ParamSet};
+    use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
+    use llmt_tensor::rng::Prng;
+    use llmt_zero::ZeroEngine;
+    use std::path::PathBuf;
+
+    fn make_ckpt(root: &Path, units: Option<Vec<LayerUnit>>) -> (PathBuf, ModelConfig) {
+        let cfg = ModelConfig::tiny_test();
+        let mut model = Model::new(cfg.clone(), 3);
+        let mut engine = ZeroEngine::new(
+            &model.params,
+            build_groups(&cfg, GroupLayout::LayerWise),
+            2,
+            AdamWHyper::default(),
+        );
+        let mut rng = Prng::seed_from_u64(7);
+        let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+        let mut grads = ParamSet::zeros(&cfg);
+        model.loss_and_grad(&Batch::new(tokens, 2, 8), &mut grads);
+        engine.step(&mut model.params, &grads, 1e-3, true);
+        let ts = TrainerState {
+            global_step: 1,
+            ckpt_event: 0,
+            lr_schedule: LrSchedule::Constant { lr: 1e-3 },
+            last_lr: 1e-3,
+            loss_history: vec![],
+            data_rng: rng,
+            task: "verify-test".into(),
+            model_name: cfg.model_name.clone(),
+            micro_batch: 2,
+            grad_accum: 1,
+            seq_len: 8,
+        };
+        let units = units.unwrap_or_else(|| LayerUnit::all(&cfg));
+        let dir = save_checkpoint(&SaveRequest {
+            root,
+            step: 1,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &units,
+        })
+        .unwrap()
+        .paths
+        .dir;
+        (dir, cfg)
+    }
+
+    #[test]
+    fn pristine_checkpoints_verify_clean() {
+        let root = tempfile::tempdir().unwrap();
+        let (dir, cfg) = make_ckpt(root.path(), None);
+        let report = verify_checkpoint(&dir).unwrap();
+        assert!(report.ok(), "{:?}", report.findings);
+        assert_eq!(
+            report.weights_checked,
+            llmt_model::naming::all_param_specs(&cfg).len()
+        );
+        assert!(report.shards_checked > 0);
+    }
+
+    #[test]
+    fn partial_checkpoints_verify_clean_too() {
+        let root = tempfile::tempdir().unwrap();
+        let (dir, _) = make_ckpt(
+            root.path(),
+            Some(vec![LayerUnit::Transformer(0), LayerUnit::FinalNorm]),
+        );
+        let report = verify_checkpoint(&dir).unwrap();
+        assert!(report.ok(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn corrupted_weight_bytes_are_detected() {
+        let root = tempfile::tempdir().unwrap();
+        let (dir, _) = make_ckpt(root.path(), None);
+        let model_file = dir.join("model.safetensors");
+        let mut bytes = std::fs::read(&model_file).unwrap();
+        // Flip bits near the end of the data section (inside some tensor).
+        let n = bytes.len();
+        bytes[n - 20] ^= 0xFF;
+        std::fs::write(&model_file, bytes).unwrap();
+        let report = verify_checkpoint(&dir).unwrap();
+        assert!(!report.ok());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.problem.contains("digest mismatch")), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn truncated_shard_file_is_detected_or_errors() {
+        let root = tempfile::tempdir().unwrap();
+        let (dir, _) = make_ckpt(root.path(), None);
+        let paths = CheckpointPaths::open(&dir).unwrap();
+        let shard = paths.optim_shard(1);
+        let bytes = std::fs::read(&shard).unwrap();
+        std::fs::write(&shard, &bytes[..bytes.len() - 8]).unwrap();
+        // Either a clean failure or findings — never a silent pass.
+        match verify_checkpoint(&dir) {
+            Ok(report) => assert!(!report.ok()),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn nan_in_optimizer_state_is_detected() {
+        let root = tempfile::tempdir().unwrap();
+        let (dir, _) = make_ckpt(root.path(), None);
+        let paths = CheckpointPaths::open(&dir).unwrap();
+        let shard = paths.optim_shard(0);
+        // Overwrite four bytes inside the data section with a NaN pattern.
+        let mut bytes = std::fs::read(&shard).unwrap();
+        let n = bytes.len();
+        bytes[n - 8..n - 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        std::fs::write(&shard, bytes).unwrap();
+        let report = verify_checkpoint(&dir).unwrap();
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.problem.contains("non-finite")), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn tampered_zero_meta_is_detected() {
+        let root = tempfile::tempdir().unwrap();
+        let (dir, _) = make_ckpt(root.path(), None);
+        let paths = CheckpointPaths::open(&dir).unwrap();
+        let mut meta = crate::ZeroMeta::load(&paths.zero_meta()).unwrap();
+        meta.groups[0].shard_len += 1;
+        meta.save(&paths.zero_meta()).unwrap();
+        let report = verify_checkpoint(&dir).unwrap();
+        assert!(report.findings.iter().any(|f| f.problem.contains("shard_len")));
+    }
+}

@@ -1,0 +1,376 @@
+//! Checkpoint writer: full or partial (unit-selective) saves.
+//!
+//! A *partial* checkpoint stores only the selected units' weight tensors
+//! and optimizer groups. This requires the layer-wise group layout — with
+//! the stock 2-group optimizer the flat buffers are inseparable, which is
+//! precisely the limitation the paper's §4.1 reconstruction removes; asking
+//! for a partial save under the stock layout is therefore an error.
+
+use crate::error::{io_err, CkptError, Result};
+use crate::layout::CheckpointPaths;
+use crate::manifest::PartialManifest;
+use crate::safetensors;
+use crate::trainer_state::TrainerState;
+use crate::zero_meta::{shard_tensor_names, GroupMeta, ZeroMeta};
+use llmt_model::naming::unit_param_specs;
+use llmt_model::{LayerUnit, ModelConfig, ParamSet};
+use llmt_tensor::{DType, RawTensor, Shape};
+use llmt_zero::ZeroEngine;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Everything a save needs.
+pub struct SaveRequest<'a> {
+    /// Run root; the checkpoint lands in `<root>/checkpoint-<step>`.
+    pub root: &'a Path,
+    /// Global step of the save.
+    pub step: u64,
+    /// Model config (written to `config.json`).
+    pub config: &'a ModelConfig,
+    /// Model weights (the BF16 training copy).
+    pub params: &'a ParamSet,
+    /// Sharded optimizer engine.
+    pub engine: &'a ZeroEngine,
+    /// Trainer state (step, RNG, losses).
+    pub trainer_state: &'a TrainerState,
+    /// Units to store. Must all exist in the config; a full save lists
+    /// every unit.
+    pub units: &'a [LayerUnit],
+}
+
+/// What a save produced — sizes feed the Table 3/6 experiments.
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// Paths of the written checkpoint.
+    pub paths: CheckpointPaths,
+    /// Total bytes across all files.
+    pub total_bytes: u64,
+    /// Bytes of `model.safetensors`.
+    pub model_bytes: u64,
+    /// Bytes across all optimizer shard files.
+    pub optim_bytes: u64,
+    /// Number of files written.
+    pub files_written: usize,
+    /// Units stored.
+    pub units: Vec<LayerUnit>,
+}
+
+/// Save a (possibly partial) checkpoint. Returns a size report.
+pub fn save_checkpoint(req: &SaveRequest) -> Result<CheckpointReport> {
+    let config = req.config;
+    for u in req.units {
+        if !u.exists_in(config) {
+            return Err(CkptError::Incompatible(format!(
+                "unit {u} does not exist in model {}",
+                config.model_name
+            )));
+        }
+    }
+    let mut units: Vec<LayerUnit> = req.units.to_vec();
+    units.sort();
+    units.dedup();
+    let all_units = LayerUnit::all(config);
+    let full = units.len() == all_units.len();
+
+    // Which optimizer groups are covered by the selection?
+    let groups = req.engine.groups();
+    let layerwise = groups.iter().all(|g| g.unit.is_some());
+    if !layerwise && !full {
+        return Err(CkptError::Incompatible(
+            "partial checkpointing requires the layer-wise (2L+x) group layout; \
+             the stock 2-group optimizer file is inseparable (paper §4.1)"
+                .into(),
+        ));
+    }
+    let present: Vec<usize> = groups
+        .iter()
+        .filter(|g| match g.unit {
+            Some(u) => units.contains(&u),
+            None => true, // stock layout, full save
+        })
+        .map(|g| g.id)
+        .collect();
+
+    let paths = CheckpointPaths::under(req.root, req.step);
+    std::fs::create_dir_all(paths.global_step_dir()).map_err(io_err(paths.global_step_dir()))?;
+
+    let mut files_written = 0usize;
+    let mut meta_bytes = 0u64;
+
+    // 1. Consolidated model weights (BF16), selected units only.
+    let mut weight_tensors: Vec<(String, RawTensor)> = Vec::new();
+    let mut digests = BTreeMap::new();
+    for unit in &units {
+        for spec in unit_param_specs(config, *unit) {
+            let t = req
+                .params
+                .get(&spec.name)
+                .ok_or_else(|| CkptError::Missing(spec.name.clone()))?;
+            let raw = t.to_raw(DType::BF16);
+            digests.insert(spec.name.clone(), raw.digest());
+            weight_tensors.push((spec.name.clone(), raw));
+        }
+    }
+    let mut st_meta = BTreeMap::new();
+    st_meta.insert("format".to_string(), "pt".to_string());
+    let model_bytes = safetensors::write_file(&paths.model(), &weight_tensors, &st_meta)?;
+    files_written += 1;
+
+    // 2. Per-rank optimizer shard files, in parallel (the paper
+    //    parallelizes shard I/O with a process pool; rayon here).
+    let optim_bytes: u64 = (0..req.engine.world_size)
+        .into_par_iter()
+        .map(|rank| -> Result<u64> {
+            let mut tensors: Vec<(String, RawTensor)> = Vec::with_capacity(present.len() * 3);
+            for gid in &present {
+                let shard = &req.engine.ranks[rank].shards[*gid];
+                let names = shard_tensor_names(*gid);
+                let len = shard.master.len();
+                tensors.push((
+                    names[0].clone(),
+                    RawTensor::from_f32s(&shard.master, Shape::new(vec![len]), DType::F32),
+                ));
+                tensors.push((
+                    names[1].clone(),
+                    RawTensor::from_f32s(&shard.exp_avg, Shape::new(vec![len]), DType::F32),
+                ));
+                tensors.push((
+                    names[2].clone(),
+                    RawTensor::from_f32s(&shard.exp_avg_sq, Shape::new(vec![len]), DType::F32),
+                ));
+            }
+            safetensors::write_file(&paths.optim_shard(rank), &tensors, &BTreeMap::new())
+        })
+        .collect::<Result<Vec<u64>>>()?
+        .into_iter()
+        .sum();
+    files_written += req.engine.world_size;
+
+    // 3. ZeRO metadata.
+    let zero_meta = ZeroMeta {
+        world_size: req.engine.world_size,
+        num_layers: config.num_hidden_layers,
+        tied: config.tie_word_embeddings,
+        optimizer_step: req.engine.step_count,
+        groups_present: present,
+        groups: groups
+            .iter()
+            .map(|g| GroupMeta {
+                id: g.id,
+                numel: g.numel,
+                shard_len: req.engine.shard_len(g.id),
+                weight_decay: g.weight_decay,
+            })
+            .collect(),
+    };
+    zero_meta.save(&paths.zero_meta())?;
+    meta_bytes += file_len(&paths.zero_meta());
+    files_written += 1;
+
+    // 4. Config + trainer state + latest marker + manifest (paper §4.4).
+    let config_json = serde_json::to_string_pretty(config)?;
+    std::fs::write(paths.config(), &config_json).map_err(io_err(paths.config()))?;
+    req.trainer_state.save(&paths.trainer_state())?;
+    std::fs::write(paths.latest(), format!("global_step{}\n", req.step))
+        .map_err(io_err(paths.latest()))?;
+    let manifest = PartialManifest {
+        step: req.step,
+        units: units.clone(),
+        weight_digests: digests,
+        full,
+    };
+    manifest.save(&paths.manifest())?;
+    meta_bytes += file_len(&paths.config())
+        + file_len(&paths.trainer_state())
+        + file_len(&paths.latest())
+        + file_len(&paths.manifest());
+    files_written += 4;
+
+    Ok(CheckpointReport {
+        paths,
+        total_bytes: model_bytes + optim_bytes + meta_bytes,
+        model_bytes,
+        optim_bytes,
+        files_written,
+        units,
+    })
+}
+
+fn file_len(p: &Path) -> u64 {
+    std::fs::metadata(p).map(|m| m.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmt_model::{Model, ModelConfig};
+    use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
+    use llmt_tensor::rng::Prng;
+
+    fn make_state(cfg: &ModelConfig, world: usize, layout: GroupLayout) -> (Model, ZeroEngine, TrainerState) {
+        let mut model = Model::new(cfg.clone(), 13);
+        let mut engine = ZeroEngine::new(
+            &model.params,
+            build_groups(cfg, layout),
+            world,
+            AdamWHyper::default(),
+        );
+        // Take one real step so moments are non-trivial.
+        let mut rng = Prng::seed_from_u64(4);
+        let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+        let batch = llmt_model::Batch::new(tokens, 2, 8);
+        let mut grads = ParamSet::zeros(cfg);
+        model.loss_and_grad(&batch, &mut grads);
+        engine.step(&mut model.params, &grads, 1e-3, true);
+        let ts = TrainerState {
+            global_step: 1,
+            ckpt_event: 0,
+            lr_schedule: LrSchedule::Constant { lr: 1e-3 },
+            last_lr: 1e-3,
+            loss_history: vec![(1, 3.0)],
+            data_rng: Prng::seed_from_u64(1),
+            task: "test".into(),
+            model_name: cfg.model_name.clone(),
+            micro_batch: 2,
+            grad_accum: 1,
+            seq_len: 8,
+        };
+        (model, engine, ts)
+    }
+
+    #[test]
+    fn full_save_writes_expected_files() {
+        let cfg = ModelConfig::tiny_test();
+        let (model, engine, ts) = make_state(&cfg, 2, GroupLayout::LayerWise);
+        let dir = tempfile::tempdir().unwrap();
+        let report = save_checkpoint(&SaveRequest {
+            root: dir.path(),
+            step: 10,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &LayerUnit::all(&cfg),
+        })
+        .unwrap();
+        assert!(report.paths.model().exists());
+        assert!(report.paths.optim_shard(0).exists());
+        assert!(report.paths.optim_shard(1).exists());
+        assert!(report.paths.zero_meta().exists());
+        assert!(report.paths.config().exists());
+        assert!(report.paths.trainer_state().exists());
+        assert!(report.paths.manifest().exists());
+        // 1 model + 2 shards + zero_meta + config + trainer_state + latest + manifest
+        assert_eq!(report.files_written, 8);
+        assert_eq!(report.total_bytes, report.paths.total_bytes().unwrap());
+        let meta = ZeroMeta::load(&report.paths.zero_meta()).unwrap();
+        assert!(meta.is_full());
+        assert_eq!(meta.optimizer_step, 1);
+    }
+
+    #[test]
+    fn partial_save_is_smaller_and_lists_units() {
+        let cfg = ModelConfig::tiny_test();
+        let (model, engine, ts) = make_state(&cfg, 2, GroupLayout::LayerWise);
+        let dir = tempfile::tempdir().unwrap();
+        let full = save_checkpoint(&SaveRequest {
+            root: dir.path(),
+            step: 10,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &LayerUnit::all(&cfg),
+        })
+        .unwrap();
+        let partial_units = vec![LayerUnit::Transformer(0), LayerUnit::FinalNorm];
+        let partial = save_checkpoint(&SaveRequest {
+            root: dir.path(),
+            step: 20,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &partial_units,
+        })
+        .unwrap();
+        assert!(partial.total_bytes < full.total_bytes / 2);
+        let manifest = PartialManifest::load(&partial.paths.manifest()).unwrap();
+        assert!(!manifest.full);
+        assert_eq!(manifest.units, partial_units);
+        let meta = ZeroMeta::load(&partial.paths.zero_meta()).unwrap();
+        assert!(!meta.is_full());
+        // Transformer 0 owns two groups, final norm one.
+        assert_eq!(meta.groups_present.len(), 3);
+    }
+
+    #[test]
+    fn partial_save_under_stock_layout_is_rejected() {
+        let cfg = ModelConfig::tiny_test();
+        let (model, engine, ts) = make_state(&cfg, 2, GroupLayout::Stock);
+        let dir = tempfile::tempdir().unwrap();
+        let err = save_checkpoint(&SaveRequest {
+            root: dir.path(),
+            step: 10,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &[LayerUnit::FinalNorm],
+        })
+        .unwrap_err();
+        assert!(matches!(err, CkptError::Incompatible(_)));
+        // Full saves still work under the stock layout.
+        save_checkpoint(&SaveRequest {
+            root: dir.path(),
+            step: 10,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &LayerUnit::all(&cfg),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_unit_rejected() {
+        let cfg = ModelConfig::tiny_test_tied(); // no lm_head unit
+        let (model, engine, ts) = make_state(&cfg, 1, GroupLayout::LayerWise);
+        let dir = tempfile::tempdir().unwrap();
+        let err = save_checkpoint(&SaveRequest {
+            root: dir.path(),
+            step: 1,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &[LayerUnit::LmHead],
+        })
+        .unwrap_err();
+        assert!(matches!(err, CkptError::Incompatible(_)));
+    }
+
+    #[test]
+    fn checkpoint_is_at_least_seven_times_bf16_model() {
+        // Paper §2.2: bf16 weights (2 B/param) + fp32 master + m + v
+        // (12 B/param) -> >= 7x the bf16 model file. Needs a non-trivial
+        // model so the fixed JSON-header overhead is negligible.
+        let cfg = ModelConfig::llama32_1b_sim();
+        let (model, engine, ts) = make_state(&cfg, 2, GroupLayout::LayerWise);
+        let dir = tempfile::tempdir().unwrap();
+        let report = save_checkpoint(&SaveRequest {
+            root: dir.path(),
+            step: 10,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &LayerUnit::all(&cfg),
+        })
+        .unwrap();
+        let ratio = report.total_bytes as f64 / report.model_bytes as f64;
+        assert!(ratio >= 6.9, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared ZeRO checkpoint metadata (`zero_meta.json`).
+//!
+//! Records everything needed to interpret the per-rank shard files without
+//! loading them: world size, the layer-wise group layout parameters
+//! (`L`, tied — from which `GroupIndexMap` reconstructs every index), the
+//! AdamW step counter, and which groups this (possibly partial) checkpoint
+//! actually contains.
+
+use crate::error::{io_err, Result};
+use llmt_optim::GroupIndexMap;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Per-group bookkeeping stored in the meta file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupMeta {
+    /// Group id (position in the optimizer's group list).
+    pub id: usize,
+    /// Unpadded element count of the group's flat buffer.
+    pub numel: usize,
+    /// Elements per rank shard (`ceil(numel / world_size)`).
+    pub shard_len: usize,
+    /// Weight decay of the group.
+    pub weight_decay: f32,
+}
+
+/// `zero_meta.json` contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZeroMeta {
+    /// Number of data-parallel ranks the shards were written by.
+    pub world_size: usize,
+    /// Transformer layer count (drives the group-index arithmetic).
+    pub num_layers: usize,
+    /// Whether the model is weight-tied (no `lm_head` group).
+    pub tied: bool,
+    /// AdamW step counter at save time (1-based count of completed steps).
+    pub optimizer_step: u64,
+    /// Group ids present in this checkpoint's shard files, ascending.
+    pub groups_present: Vec<usize>,
+    /// Metadata for *all* groups of the layout (present or not), indexed
+    /// by group id.
+    pub groups: Vec<GroupMeta>,
+}
+
+impl ZeroMeta {
+    /// The arithmetic index map for this checkpoint's layout.
+    pub fn index_map(&self) -> GroupIndexMap {
+        GroupIndexMap {
+            num_layers: self.num_layers,
+            tied: self.tied,
+        }
+    }
+
+    /// Whether every group of the layout is present (a full checkpoint).
+    pub fn is_full(&self) -> bool {
+        self.groups_present.len() == self.groups.len()
+    }
+
+    /// Whether a particular group's shards are stored here.
+    pub fn has_group(&self, id: usize) -> bool {
+        self.groups_present.binary_search(&id).is_ok()
+    }
+
+    /// Write to `zero_meta.json`.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)?;
+        std::fs::write(path, json).map_err(io_err(path))
+    }
+
+    /// Read from `zero_meta.json`.
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(io_err(path))?;
+        Ok(serde_json::from_str(&text)?)
+    }
+}
+
+/// safetensors names for a group's three state tensors in a shard file.
+pub fn shard_tensor_names(group_id: usize) -> [String; 3] {
+    [
+        format!("group{group_id}.master"),
+        format!("group{group_id}.exp_avg"),
+        format!("group{group_id}.exp_avg_sq"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ZeroMeta {
+        ZeroMeta {
+            world_size: 4,
+            num_layers: 2,
+            tied: false,
+            optimizer_step: 10,
+            groups_present: vec![0, 1, 3],
+            groups: (0..7)
+                .map(|id| GroupMeta {
+                    id,
+                    numel: 100 + id,
+                    shard_len: 26,
+                    weight_decay: if id > 3 { 0.01 } else { 0.0 },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let p = dir.path().join("zero_meta.json");
+        let m = sample();
+        m.save(&p).unwrap();
+        assert_eq!(ZeroMeta::load(&p).unwrap(), m);
+    }
+
+    #[test]
+    fn presence_queries() {
+        let m = sample();
+        assert!(!m.is_full());
+        assert!(m.has_group(3));
+        assert!(!m.has_group(2));
+    }
+
+    #[test]
+    fn index_map_matches_fields() {
+        let m = sample();
+        assert_eq!(m.index_map().group_count(), 7); // 2*2 + 3
+    }
+
+    #[test]
+    fn shard_names_are_stable() {
+        assert_eq!(
+            shard_tensor_names(5),
+            [
+                "group5.master".to_string(),
+                "group5.exp_avg".to_string(),
+                "group5.exp_avg_sq".to_string()
+            ]
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Robustness of the safetensors parser and checkpoint readers against
+//! malformed inputs: every case must fail with a clean error, never panic
+//! or mis-read.
+
+use llmt_ckpt::safetensors;
+use llmt_ckpt::{CheckpointHandle, CkptError, LoadMode};
+use std::path::Path;
+
+fn write(path: &Path, bytes: &[u8]) {
+    std::fs::write(path, bytes).unwrap();
+}
+
+fn header_file(header: &str, data_len: usize) -> Vec<u8> {
+    let mut out = (header.len() as u64).to_le_bytes().to_vec();
+    out.extend_from_slice(header.as_bytes());
+    out.extend(std::iter::repeat_n(0u8, data_len));
+    out
+}
+
+#[test]
+fn empty_file_is_rejected() {
+    let dir = tempfile::tempdir().unwrap();
+    let p = dir.path().join("x.safetensors");
+    write(&p, b"");
+    assert!(matches!(safetensors::read_file(&p), Err(CkptError::Format(_))));
+    assert!(safetensors::open_index(&p).is_err());
+}
+
+#[test]
+fn header_length_exceeding_file_is_rejected() {
+    let dir = tempfile::tempdir().unwrap();
+    let p = dir.path().join("x.safetensors");
+    let mut bytes = (1_000_000u64).to_le_bytes().to_vec();
+    bytes.extend_from_slice(b"{}");
+    write(&p, &bytes);
+    assert!(safetensors::read_file(&p).is_err());
+    assert!(safetensors::open_index(&p).is_err());
+}
+
+#[test]
+fn non_json_header_is_rejected() {
+    let dir = tempfile::tempdir().unwrap();
+    let p = dir.path().join("x.safetensors");
+    write(&p, &header_file("this is not json", 0));
+    assert!(matches!(safetensors::read_file(&p), Err(CkptError::Format(_))));
+}
+
+#[test]
+fn header_array_instead_of_object_is_rejected() {
+    let dir = tempfile::tempdir().unwrap();
+    let p = dir.path().join("x.safetensors");
+    write(&p, &header_file("[1, 2, 3]", 0));
+    assert!(matches!(safetensors::read_file(&p), Err(CkptError::Format(_))));
+}
+
+#[test]
+fn unsupported_dtype_is_rejected() {
+    let dir = tempfile::tempdir().unwrap();
+    let p = dir.path().join("x.safetensors");
+    let h = r#"{"x":{"dtype":"I64","shape":[1],"data_offsets":[0,8]}}"#;
+    write(&p, &header_file(h, 8));
+    let err = safetensors::read_file(&p).unwrap_err();
+    assert!(err.to_string().contains("unsupported dtype"), "{err}");
+}
+
+#[test]
+fn reversed_offsets_are_rejected() {
+    let dir = tempfile::tempdir().unwrap();
+    let p = dir.path().join("x.safetensors");
+    let h = r#"{"x":{"dtype":"F32","shape":[1],"data_offsets":[8,4]}}"#;
+    write(&p, &header_file(h, 8));
+    assert!(safetensors::read_file(&p).is_err());
+}
+
+#[test]
+fn offsets_past_end_of_file_are_rejected() {
+    let dir = tempfile::tempdir().unwrap();
+    let p = dir.path().join("x.safetensors");
+    let h = r#"{"x":{"dtype":"F32","shape":[4],"data_offsets":[0,16]}}"#;
+    write(&p, &header_file(h, 4)); // only 4 data bytes present
+    let err = safetensors::read_file(&p).unwrap_err();
+    assert!(err.to_string().contains("past end"), "{err}");
+}
+
+#[test]
+fn shape_overflow_does_not_panic() {
+    let dir = tempfile::tempdir().unwrap();
+    let p = dir.path().join("x.safetensors");
+    // numel * size would overflow naive arithmetic; must error, not abort.
+    let h = r#"{"x":{"dtype":"F32","shape":[4294967295, 4294967295],"data_offsets":[0,8]}}"#;
+    write(&p, &header_file(h, 8));
+    assert!(safetensors::read_file(&p).is_err());
+}
+
+#[test]
+fn checkpoint_dir_with_missing_files_errors_cleanly() {
+    let dir = tempfile::tempdir().unwrap();
+    let ckpt = dir.path().join("checkpoint-5");
+    std::fs::create_dir_all(&ckpt).unwrap();
+    // No config/zero_meta/trainer_state at all.
+    let err = CheckpointHandle::open(&ckpt, LoadMode::EagerFull).unwrap_err();
+    assert!(matches!(err, CkptError::Io(..)));
+}
+
+#[test]
+fn checkpoint_with_corrupt_config_json_errors_cleanly() {
+    let dir = tempfile::tempdir().unwrap();
+    let ckpt = dir.path().join("checkpoint-5");
+    std::fs::create_dir_all(&ckpt).unwrap();
+    std::fs::write(ckpt.join("config.json"), "{not json").unwrap();
+    let err = CheckpointHandle::open(&ckpt, LoadMode::EagerFull).unwrap_err();
+    assert!(matches!(err, CkptError::Json(_)));
+}

@@ -1,0 +1,134 @@
+//! Automatic recipe generation from a partial-checkpointing save log
+//! (artifact task T2: "our tool will automatically generate a
+//! corresponding YAML file" from the JSON the checkpointing system logs).
+//!
+//! Given the failure step, each unit is sourced from the most recent
+//! checkpoint at or before the failure that contains it; the base (and
+//! config donor) is the newest such checkpoint overall.
+
+use crate::error::{Result, TailorError};
+use crate::recipe::{MergeRecipe, SliceSpec};
+use llmt_ckpt::manifest::SaveLog;
+use llmt_model::{LayerUnit, ModelConfig};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Build a merge recipe that reconstructs the newest complete state at
+/// `failure_step` from the partial checkpoints recorded in `log`.
+///
+/// `run_root` is the training run directory containing the
+/// `checkpoint-<step>` subdirectories; the output goes to
+/// `<run_root>/<output_name>`.
+pub fn recipe_from_log(
+    log: &SaveLog,
+    config: &ModelConfig,
+    run_root: &Path,
+    failure_step: u64,
+    output_name: &str,
+) -> Result<MergeRecipe> {
+    let all_units = LayerUnit::all(config);
+    // unit -> newest step <= failure.
+    let mut newest_overall = 0u64;
+    let mut by_step: BTreeMap<u64, Vec<LayerUnit>> = BTreeMap::new();
+    for unit in &all_units {
+        let step = log.latest_for(*unit, failure_step).ok_or_else(|| {
+            TailorError::Plan(format!(
+                "unit {unit} was never checkpointed at or before step {failure_step}; \
+                 cannot reconstruct a complete state"
+            ))
+        })?;
+        newest_overall = newest_overall.max(step);
+        by_step.entry(step).or_default().push(*unit);
+    }
+    let base = run_root.join(format!("checkpoint-{newest_overall}"));
+    let slices = by_step
+        .into_iter()
+        .map(|(step, units)| SliceSpec {
+            checkpoint: run_root.join(format!("checkpoint-{step}")),
+            units: units.iter().map(|u| u.as_string()).collect(),
+        })
+        .collect();
+    Ok(MergeRecipe {
+        merge_method: "passthrough".into(),
+        base_checkpoint: base,
+        output: run_root.join(output_name),
+        slices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{ParityStrategy, SelectionStrategy};
+
+    #[test]
+    fn parity_log_produces_two_slice_recipe() {
+        let cfg = ModelConfig::tiny_test(); // 2 layers, untied
+        let strat = ParityStrategy;
+        let mut log = SaveLog::default();
+        // Checkpoints at steps 100 (event 0) and 200 (event 1).
+        for (event, step) in [(0u64, 100u64), (1, 200)] {
+            for u in strat.select(event, &cfg) {
+                log.record(u, step);
+            }
+        }
+        let recipe =
+            recipe_from_log(&log, &cfg, Path::new("/runs/x"), 250, "merged-250").unwrap();
+        assert_eq!(recipe.base_checkpoint, Path::new("/runs/x/checkpoint-200"));
+        assert_eq!(recipe.output, Path::new("/runs/x/merged-250"));
+        assert_eq!(recipe.slices.len(), 2);
+        // Everything saved at 200 comes from 200; the rest from 100.
+        let from_200 = recipe
+            .slices
+            .iter()
+            .find(|s| s.checkpoint.ends_with("checkpoint-200"))
+            .unwrap();
+        assert!(from_200.units.contains(&"layers.1".to_string()));
+        assert!(from_200.units.contains(&"embed_tokens".to_string()));
+        let from_100 = recipe
+            .slices
+            .iter()
+            .find(|s| s.checkpoint.ends_with("checkpoint-100"))
+            .unwrap();
+        assert!(from_100.units.contains(&"layers.0".to_string()));
+        assert!(from_100.units.contains(&"lm_head".to_string()));
+        recipe.validate().unwrap();
+    }
+
+    #[test]
+    fn failure_before_first_save_is_an_error() {
+        let cfg = ModelConfig::tiny_test();
+        let mut log = SaveLog::default();
+        log.record(LayerUnit::FinalNorm, 100);
+        let err = recipe_from_log(&log, &cfg, Path::new("/r"), 50, "m").unwrap_err();
+        assert!(matches!(err, TailorError::Plan(_)));
+    }
+
+    #[test]
+    fn unit_never_saved_is_an_error_naming_the_unit() {
+        let cfg = ModelConfig::tiny_test();
+        let mut log = SaveLog::default();
+        for u in LayerUnit::all(&cfg) {
+            if u != LayerUnit::LmHead {
+                log.record(u, 100);
+            }
+        }
+        let err = recipe_from_log(&log, &cfg, Path::new("/r"), 150, "m").unwrap_err();
+        assert!(err.to_string().contains("lm_head"), "{err}");
+    }
+
+    #[test]
+    fn failure_step_bounds_the_sources() {
+        let cfg = ModelConfig::tiny_test_tied();
+        let mut log = SaveLog::default();
+        for u in LayerUnit::all(&cfg) {
+            log.record(u, 100);
+            log.record(u, 200);
+        }
+        // Failure at 150: everything must come from checkpoint-100 even
+        // though 200 exists in the log.
+        let recipe = recipe_from_log(&log, &cfg, Path::new("/r"), 150, "m").unwrap();
+        assert_eq!(recipe.base_checkpoint, Path::new("/r/checkpoint-100"));
+        assert_eq!(recipe.slices.len(), 1);
+    }
+}

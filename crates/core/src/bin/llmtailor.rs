@@ -1,0 +1,275 @@
+//! The `llmtailor` command-line tool — the reproduction of the artifact's
+//! `start_merge.py` workflow.
+//!
+//! ```text
+//! llmtailor merge --recipe recipe.yaml [--lazy] [--interleaved]
+//! llmtailor autorecipe --run-root DIR --failure-step N --output NAME
+//!                      [--emit recipe.yaml] [--execute]
+//! llmtailor inspect CHECKPOINT_DIR
+//! ```
+
+use llmt_ckpt::manifest::SaveLog;
+use llmt_ckpt::{CheckpointHandle, CheckpointPaths, LoadMode};
+use llmtailor::autorecipe::recipe_from_log;
+use llmtailor::{merge_with_recipe, LoadPattern, MergeRecipe};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("autorecipe") => cmd_autorecipe(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("prune") => cmd_prune(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+llmtailor - layer-wise tailoring of LLM training checkpoints
+
+USAGE:
+  llmtailor merge --recipe <FILE> [--lazy] [--interleaved]
+      Execute a YAML merge recipe, assembling a fully resumable checkpoint.
+      --lazy         use per-tensor range reads instead of whole-file loads
+      --interleaved  fetch units in model order, discarding caches per unit
+                     (reproduces the paper's parity load pattern)
+
+  llmtailor autorecipe --run-root <DIR> --failure-step <N> --output <NAME>
+                       [--emit <FILE>] [--execute]
+      Generate a recipe from the run's save_log.json that reconstructs the
+      newest complete state at the failure step. --emit writes the YAML;
+      --execute runs the merge immediately.
+
+  llmtailor inspect <CHECKPOINT_DIR>
+      Print a checkpoint's step, stored units, optimizer group inventory
+      and on-disk size.
+
+  llmtailor verify <CHECKPOINT_DIR>
+      Check integrity: manifest digests, tensor shapes, ZeRO metadata
+      consistency, shard lengths and finiteness. Exits non-zero on any
+      finding.
+
+  llmtailor prune --run-root <DIR> [--keep-last <N>] [--dry-run]
+      Delete checkpoints that are not load-bearing: every unit's most
+      recent copy is preserved, so recovery at the newest step always
+      remains possible (partial-checkpoint-aware garbage collection).
+
+  llmtailor diff <CHECKPOINT_A> <CHECKPOINT_B>
+      Per-unit RMS change between two checkpoints of the same run — the
+      layer-wise non-uniformity that motivates selective checkpointing.
+";
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{name} requires a value")),
+    }
+}
+
+fn require(args: &[String], name: &str) -> Result<String, String> {
+    opt(args, name)?.ok_or_else(|| format!("missing required option {name}"))
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    let recipe_path = require(args, "--recipe")?;
+    let recipe =
+        MergeRecipe::from_yaml_file(Path::new(&recipe_path)).map_err(|e| e.to_string())?;
+    let mode = if flag(args, "--lazy") {
+        LoadMode::LazyRange
+    } else {
+        LoadMode::EagerFull
+    };
+    let pattern = if flag(args, "--interleaved") {
+        LoadPattern::ParityInterleaved
+    } else {
+        LoadPattern::Sequential
+    };
+    let report = merge_with_recipe(&recipe, mode, pattern).map_err(|e| e.to_string())?;
+    println!(
+        "assembled {} (step {}) from {} sources in {:?}",
+        report.output.display(),
+        report.step,
+        report.sources,
+        report.duration
+    );
+    println!(
+        "  read {} bytes across {} file opens ({} whole-file loads); wrote {} bytes in {} files",
+        report.io.bytes_read,
+        report.io.files_opened,
+        report.io.full_loads,
+        report.bytes_written,
+        report.files_written
+    );
+    Ok(())
+}
+
+fn cmd_autorecipe(args: &[String]) -> Result<(), String> {
+    let run_root = PathBuf::from(require(args, "--run-root")?);
+    let failure_step: u64 = require(args, "--failure-step")?
+        .parse()
+        .map_err(|_| "--failure-step must be an integer".to_string())?;
+    let output = require(args, "--output")?;
+
+    let log = SaveLog::load(&run_root.join("save_log.json")).map_err(|e| e.to_string())?;
+    // The model config comes from any checkpoint in the run (they all
+    // share it); use the newest.
+    let ckpts = CheckpointPaths::list(&run_root);
+    let newest = ckpts
+        .last()
+        .ok_or_else(|| format!("no checkpoints under {}", run_root.display()))?;
+    let config_text = std::fs::read_to_string(newest.config())
+        .map_err(|e| format!("{}: {e}", newest.config().display()))?;
+    let config: llmt_model::ModelConfig =
+        serde_json::from_str(&config_text).map_err(|e| e.to_string())?;
+
+    let recipe = recipe_from_log(&log, &config, &run_root, failure_step, &output)
+        .map_err(|e| e.to_string())?;
+    let yaml = recipe.to_yaml();
+    match opt(args, "--emit")? {
+        Some(path) => {
+            std::fs::write(&path, &yaml).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote recipe to {path}");
+        }
+        None => print!("{yaml}"),
+    }
+    if flag(args, "--execute") {
+        let report = merge_with_recipe(&recipe, LoadMode::EagerFull, LoadPattern::Sequential)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "assembled {} from {} sources in {:?}",
+            report.output.display(),
+            report.sources,
+            report.duration
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let dir = args
+        .first()
+        .ok_or_else(|| "inspect requires a checkpoint directory".to_string())?;
+    let mut h =
+        CheckpointHandle::open(Path::new(dir), LoadMode::LazyRange).map_err(|e| e.to_string())?;
+    println!("checkpoint: {dir}");
+    println!("  model:      {}", h.config.model_name);
+    println!("  step:       {}", h.trainer_state.global_step);
+    println!("  task:       {}", h.trainer_state.task);
+    println!("  world size: {}", h.zero_meta.world_size);
+    println!(
+        "  groups:     {} total, {} present ({})",
+        h.zero_meta.groups.len(),
+        h.zero_meta.groups_present.len(),
+        if h.zero_meta.is_full() { "FULL — resumable" } else { "PARTIAL — merge before resuming" }
+    );
+    let units = h.units_present();
+    println!("  units ({}):", units.len());
+    for u in &units {
+        let names = h
+            .unit_weights(*u)
+            .map(|w| w.len())
+            .map_err(|e| e.to_string())?;
+        println!("    {u} ({names} weight tensors)");
+    }
+    if let Some(cp) = CheckpointPaths::open(Path::new(dir)) {
+        if let Ok(bytes) = cp.total_bytes() {
+            println!("  on disk:    {bytes} bytes");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let dir = args
+        .first()
+        .ok_or_else(|| "verify requires a checkpoint directory".to_string())?;
+    let report =
+        llmt_ckpt::verify_checkpoint(Path::new(dir)).map_err(|e| e.to_string())?;
+    println!(
+        "checked {} weight tensors and {} optimizer shards",
+        report.weights_checked, report.shards_checked
+    );
+    if report.ok() {
+        println!("OK: checkpoint verifies");
+        Ok(())
+    } else {
+        for f in &report.findings {
+            eprintln!("  FAIL {}: {}", f.subject, f.problem);
+        }
+        Err(format!("{} integrity problem(s) found", report.findings.len()))
+    }
+}
+
+fn cmd_prune(args: &[String]) -> Result<(), String> {
+    let run_root = PathBuf::from(require(args, "--run-root")?);
+    let keep_last: usize = opt(args, "--keep-last")?
+        .map(|v| v.parse().map_err(|_| "--keep-last must be an integer".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let ckpts = CheckpointPaths::list(&run_root);
+    let newest = ckpts
+        .last()
+        .ok_or_else(|| format!("no checkpoints under {}", run_root.display()))?;
+    let config_text = std::fs::read_to_string(newest.config())
+        .map_err(|e| format!("{}: {e}", newest.config().display()))?;
+    let config: llmt_model::ModelConfig =
+        serde_json::from_str(&config_text).map_err(|e| e.to_string())?;
+    if flag(args, "--dry-run") {
+        let log = SaveLog::load(&run_root.join("save_log.json")).map_err(|e| e.to_string())?;
+        let steps: Vec<u64> = ckpts.iter().map(|c| c.step).collect();
+        let prunable = llmtailor::prunable_steps(&log, &config, &steps, keep_last)
+            .map_err(|e| e.to_string())?;
+        println!("would prune {} checkpoint(s): {prunable:?}", prunable.len());
+    } else {
+        let pruned =
+            llmtailor::prune_run(&run_root, &config, keep_last).map_err(|e| e.to_string())?;
+        println!("pruned {} checkpoint(s): {pruned:?}", pruned.len());
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let (a, b) = match args {
+        [a, b, ..] => (a, b),
+        _ => return Err("diff requires two checkpoint directories".into()),
+    };
+    let mut diffs =
+        llmtailor::diff_checkpoints(Path::new(a), Path::new(b)).map_err(|e| e.to_string())?;
+    diffs.sort_by(|x, y| y.weight_rms.partial_cmp(&x.weight_rms).unwrap());
+    println!("{:<16} {:>14} {:>14} {:>10}", "unit", "weight RMS", "master RMS", "elements");
+    for d in &diffs {
+        println!(
+            "{:<16} {:>14.6e} {:>14} {:>10}",
+            d.unit.to_string(),
+            d.weight_rms,
+            d.master_rms
+                .map(|m| format!("{m:.6e}"))
+                .unwrap_or_else(|| "-".into()),
+            d.numel
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,194 @@
+//! Dynamic checkpoint selection — the paper's future-work direction
+//! realized (§5.3: "future systems employing more dynamic strategies in
+//! deciding which components to checkpoint and when are likely to achieve
+//! even better performance and greater robustness").
+//!
+//! [`MagnitudeStrategy`] spends a per-event parameter budget on the units
+//! whose weights changed the most since their last save (the trainer
+//! supplies per-unit change norms), while a staleness bound guarantees
+//! every unit is re-saved within a fixed window so recovery loss stays
+//! bounded. Because recovery is driven entirely by the
+//! [`llmt_ckpt::manifest::SaveLog`], the merge/resume pipeline works for
+//! this strategy unchanged — that is the point of LLMTailor's design.
+
+use llmt_model::naming::unit_param_specs;
+use llmt_model::{LayerUnit, ModelConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-unit change report the trainer hands to the strategy at each
+/// checkpoint event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitDelta {
+    /// The unit.
+    pub unit: LayerUnit,
+    /// L2 norm of (current weights - weights at last save), normalized by
+    /// sqrt(numel); `f64::INFINITY` for never-saved units.
+    pub change: f64,
+}
+
+/// Update-magnitude-driven selection with a staleness guarantee.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MagnitudeStrategy {
+    /// Fraction of total model parameters each event may save (0..=1).
+    pub budget_fraction: f64,
+    /// A unit is force-included once it has gone this many events without
+    /// being saved (bounds recovery staleness; also the cover window).
+    pub max_staleness: u64,
+    /// Last event at which each unit was saved.
+    last_saved: BTreeMap<LayerUnit, u64>,
+}
+
+impl MagnitudeStrategy {
+    /// New strategy. `budget_fraction` is clamped to (0, 1];
+    /// `max_staleness` must be at least 1.
+    pub fn new(budget_fraction: f64, max_staleness: u64) -> Self {
+        assert!(budget_fraction > 0.0 && budget_fraction <= 1.0);
+        assert!(max_staleness >= 1);
+        MagnitudeStrategy {
+            budget_fraction,
+            max_staleness,
+            last_saved: BTreeMap::new(),
+        }
+    }
+
+    /// Events since `unit` was last saved (`u64::MAX` if never).
+    pub fn staleness(&self, unit: LayerUnit, event: u64) -> u64 {
+        match self.last_saved.get(&unit) {
+            Some(e) => event.saturating_sub(*e),
+            None => u64::MAX,
+        }
+    }
+
+    /// Choose the units to save at `event`, given the trainer's change
+    /// report, and record the decision.
+    pub fn select(
+        &mut self,
+        event: u64,
+        config: &ModelConfig,
+        deltas: &[UnitDelta],
+    ) -> Vec<LayerUnit> {
+        let unit_size = |u: LayerUnit| -> u64 {
+            unit_param_specs(config, u)
+                .iter()
+                .map(|s| s.numel() as u64)
+                .sum()
+        };
+        let total: u64 = LayerUnit::all(config).iter().map(|u| unit_size(*u)).sum();
+        let budget = (total as f64 * self.budget_fraction).ceil() as u64;
+
+        // Forced: never-saved or over the staleness bound.
+        let mut selected: Vec<LayerUnit> = LayerUnit::all(config)
+            .into_iter()
+            .filter(|u| self.staleness(*u, event) >= self.max_staleness)
+            .collect();
+        let mut spent: u64 = selected.iter().map(|u| unit_size(*u)).sum();
+
+        // Spend the remaining budget on the biggest movers.
+        let mut ranked: Vec<&UnitDelta> = deltas
+            .iter()
+            .filter(|d| d.unit.exists_in(config) && !selected.contains(&d.unit))
+            .collect();
+        ranked.sort_by(|a, b| b.change.partial_cmp(&a.change).unwrap_or(std::cmp::Ordering::Equal));
+        for d in ranked {
+            let sz = unit_size(d.unit);
+            if spent + sz > budget {
+                continue;
+            }
+            spent += sz;
+            selected.push(d.unit);
+        }
+
+        selected.sort();
+        for u in &selected {
+            self.last_saved.insert(*u, event);
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deltas(cfg: &ModelConfig, f: impl Fn(LayerUnit) -> f64) -> Vec<UnitDelta> {
+        LayerUnit::all(cfg)
+            .into_iter()
+            .map(|unit| UnitDelta {
+                unit,
+                change: f(unit),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_event_saves_everything_like_a_cold_start() {
+        let cfg = ModelConfig::tiny_test();
+        let mut s = MagnitudeStrategy::new(0.3, 4);
+        // Never-saved units are forced regardless of budget.
+        let sel = s.select(0, &cfg, &deltas(&cfg, |_| 0.0));
+        assert_eq!(sel, LayerUnit::all(&cfg));
+    }
+
+    #[test]
+    fn prefers_high_change_units_within_budget() {
+        let cfg = ModelConfig::llama31_8b_sim();
+        let mut s = MagnitudeStrategy::new(0.25, 100);
+        s.select(0, &cfg, &deltas(&cfg, |_| 0.0)); // cold start
+        // Layer 5 moves a lot; layer 20 barely.
+        let sel = s.select(1, &cfg, &deltas(&cfg, |u| match u {
+            LayerUnit::Transformer(5) => 10.0,
+            LayerUnit::Transformer(20) => 0.001,
+            _ => 0.01,
+        }));
+        assert!(sel.contains(&LayerUnit::Transformer(5)));
+        assert!(!sel.contains(&LayerUnit::Transformer(20)));
+        // Budget respected (25% of params, and layer sizes are uniform
+        // enough that well under half the layers fit).
+        assert!(sel.len() < 12, "selected {} units", sel.len());
+    }
+
+    #[test]
+    fn staleness_bound_forces_cold_units_back_in() {
+        let cfg = ModelConfig::tiny_test();
+        let mut s = MagnitudeStrategy::new(0.2, 3);
+        s.select(0, &cfg, &deltas(&cfg, |_| 0.0));
+        // Unit layers.1 never wins on change...
+        let hot = |u: LayerUnit| match u {
+            LayerUnit::Transformer(1) => 0.0,
+            _ => 1.0,
+        };
+        let mut last_seen = 0;
+        for event in 1..=4 {
+            let sel = s.select(event, &cfg, &deltas(&cfg, hot));
+            if sel.contains(&LayerUnit::Transformer(1)) {
+                last_seen = event;
+            }
+        }
+        // ...but the staleness bound re-saves it within 3 events.
+        assert!(last_seen >= 3, "stale unit was force-saved at event {last_seen}");
+        assert!(s.staleness(LayerUnit::Transformer(1), 4) <= 3);
+    }
+
+    #[test]
+    fn every_unit_covered_within_the_window() {
+        let cfg = ModelConfig::qwen25_7b_sim();
+        let mut s = MagnitudeStrategy::new(0.15, 5);
+        let mut covered: std::collections::BTreeSet<LayerUnit> = Default::default();
+        for event in 0..6 {
+            for u in s.select(event, &cfg, &deltas(&cfg, |_| 0.5)) {
+                covered.insert(u);
+            }
+        }
+        assert_eq!(
+            covered.into_iter().collect::<Vec<_>>(),
+            LayerUnit::all(&cfg)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_budget_rejected() {
+        MagnitudeStrategy::new(0.0, 2);
+    }
+}

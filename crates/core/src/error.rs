@@ -1,0 +1,43 @@
+//! Error type for tailoring operations.
+
+use llmt_ckpt::CkptError;
+use std::fmt;
+
+/// Anything that can go wrong while resolving or executing a merge.
+#[derive(Debug)]
+pub enum TailorError {
+    /// Underlying checkpoint error.
+    Ckpt(CkptError),
+    /// Recipe could not be parsed.
+    Recipe(String),
+    /// The plan is invalid (overlaps, gaps, incompatible sources).
+    Plan(String),
+}
+
+impl fmt::Display for TailorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TailorError::Ckpt(e) => write!(f, "checkpoint error: {e}"),
+            TailorError::Recipe(m) => write!(f, "bad recipe: {m}"),
+            TailorError::Plan(m) => write!(f, "invalid merge plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TailorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TailorError::Ckpt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CkptError> for TailorError {
+    fn from(e: CkptError) -> Self {
+        TailorError::Ckpt(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, TailorError>;

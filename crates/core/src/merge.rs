@@ -1,0 +1,268 @@
+//! Merge execution: assemble the "Frankenstein" checkpoint.
+//!
+//! For every unit the plan assigns, the executor copies (a) the unit's
+//! weight tensors out of the source's consolidated model file and (b) the
+//! unit's optimizer parameter groups out of every rank's shard file,
+//! locating them with the arithmetic [`GroupIndexMap`] (paper §4.1/§4.2).
+//! Rank files are assembled in parallel (the paper uses a Python
+//! `ProcessPoolExecutor`; we use rayon), while within each rank the order
+//! of loads and writes is kept deterministic ("to ensure the correctness
+//! of the resumed checkpoint, we keep the order of loading and writing").
+//!
+//! Two [`LoadPattern`]s reproduce Table 7's access patterns:
+//! * [`LoadPattern::Sequential`] — units are fetched source-by-source; an
+//!   eager handle reads each file once.
+//! * [`LoadPattern::ParityInterleaved`] — units are fetched strictly in
+//!   model order and every cache is discarded after each unit, which under
+//!   eager loading re-reads whole checkpoints per layer — the paper's
+//!   "loading and discarding them N times".
+
+use crate::error::{Result, TailorError};
+use crate::plan::MergePlan;
+use crate::recipe::MergeRecipe;
+use llmt_ckpt::reader::IoStats;
+use llmt_ckpt::zero_meta::shard_tensor_names;
+use llmt_ckpt::{safetensors, CheckpointHandle, CheckpointPaths, LoadMode, PartialManifest, ZeroMeta};
+use llmt_model::naming::unit_param_specs;
+use llmt_optim::GroupIndexMap;
+use llmt_tensor::{DType, RawTensor, Shape};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Order in which unit state is fetched from the sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadPattern {
+    /// Group fetches by source checkpoint (efficient default).
+    Sequential,
+    /// Strict model order with cache discard after every unit (the
+    /// interleaved pattern of paper §5.4).
+    ParityInterleaved,
+}
+
+/// Outcome of a merge.
+#[derive(Debug, Clone)]
+pub struct MergeReport {
+    /// Where the assembled checkpoint lives.
+    pub output: PathBuf,
+    /// Step of the assembled checkpoint (= config donor's step).
+    pub step: u64,
+    /// Wall-clock duration of the merge.
+    pub duration: Duration,
+    /// Aggregated read statistics across all handles and ranks.
+    pub io: IoStats,
+    /// Bytes written to the output.
+    pub bytes_written: u64,
+    /// Files written.
+    pub files_written: usize,
+    /// Number of distinct source checkpoints.
+    pub sources: usize,
+}
+
+/// Resolve a recipe and execute it.
+pub fn merge_with_recipe(
+    recipe: &MergeRecipe,
+    mode: LoadMode,
+    pattern: LoadPattern,
+) -> Result<MergeReport> {
+    let plan = MergePlan::resolve(recipe)?;
+    execute_plan(&plan, mode, pattern)
+}
+
+/// Execute a resolved plan.
+pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> Result<MergeReport> {
+    let start = Instant::now();
+    let mut io = IoStats::default();
+
+    // --- 1. Donor metadata (paper §4.4) -------------------------------
+    let donor = CheckpointHandle::open(&plan.config_donor, LoadMode::LazyRange)?;
+    let step = donor.trainer_state.global_step;
+    let donor_meta = donor.zero_meta.clone();
+    let map = GroupIndexMap {
+        num_layers: donor_meta.num_layers,
+        tied: donor_meta.tied,
+    };
+    let group_count = map.group_count();
+
+    let out = CheckpointPaths {
+        dir: plan.output.clone(),
+        step,
+    };
+    std::fs::create_dir_all(out.global_step_dir())
+        .map_err(llmt_ckpt::error::io_err(out.global_step_dir()))?;
+
+    let mut files_written = 0usize;
+    let mut bytes_written = 0u64;
+
+    // --- 2. Model weights ----------------------------------------------
+    let mut weight_tensors: Vec<(String, RawTensor)> = Vec::new();
+    let mut digests = BTreeMap::new();
+    {
+        let mut handles: BTreeMap<&Path, CheckpointHandle> = BTreeMap::new();
+        for src in &plan.sources {
+            handles.insert(src.as_path(), CheckpointHandle::open(src, mode)?);
+        }
+        let fetch_order: Vec<(llmt_model::LayerUnit, &PathBuf)> = match pattern {
+            LoadPattern::ParityInterleaved => {
+                plan.assignments.iter().map(|(u, p)| (*u, p)).collect()
+            }
+            LoadPattern::Sequential => {
+                let mut v: Vec<_> = plan.assignments.iter().map(|(u, p)| (*u, p)).collect();
+                // Stable sort by source keeps canonical order within a source.
+                v.sort_by_key(|(_, p)| {
+                    plan.sources.iter().position(|s| s == *p).unwrap_or(usize::MAX)
+                });
+                v
+            }
+        };
+        let mut fetched: BTreeMap<String, RawTensor> = BTreeMap::new();
+        for (unit, src) in fetch_order {
+            let h = handles.get_mut(src.as_path()).expect("source handle");
+            for (name, t) in h.unit_weights(unit)? {
+                fetched.insert(name, t);
+            }
+            if pattern == LoadPattern::ParityInterleaved {
+                for h in handles.values_mut() {
+                    h.evict();
+                }
+            }
+        }
+        // Emit in canonical model order regardless of fetch order.
+        for unit in plan.assignments.iter().map(|(u, _)| *u) {
+            for spec in unit_param_specs(&plan.config, unit) {
+                let t = fetched
+                    .remove(&spec.name)
+                    .ok_or_else(|| TailorError::Plan(format!("missing fetched tensor {}", spec.name)))?;
+                digests.insert(spec.name.clone(), t.digest());
+                weight_tensors.push((spec.name, t));
+            }
+        }
+        for h in handles.values() {
+            io.absorb(&h.stats());
+        }
+    }
+    let mut st_meta = BTreeMap::new();
+    st_meta.insert("format".to_string(), "pt".to_string());
+    bytes_written += safetensors::write_file(&out.model(), &weight_tensors, &st_meta)?;
+    files_written += 1;
+    drop(weight_tensors);
+
+    // --- 3. Optimizer shard files, one task per rank ---------------------
+    let per_rank: Vec<(u64, IoStats)> = (0..plan.world_size)
+        .into_par_iter()
+        .map(|rank| -> Result<(u64, IoStats)> {
+            let mut handles: BTreeMap<&Path, CheckpointHandle> = BTreeMap::new();
+            for src in &plan.sources {
+                handles.insert(src.as_path(), CheckpointHandle::open(src, mode)?);
+            }
+            let mut per_group: Vec<Option<llmt_zero::ShardState>> = vec![None; group_count];
+            let fetch = |handles: &mut BTreeMap<&Path, CheckpointHandle>,
+                         src: &Path,
+                         unit: llmt_model::LayerUnit,
+                         per_group: &mut Vec<Option<llmt_zero::ShardState>>|
+             -> Result<()> {
+                let h = handles.get_mut(src).expect("source handle");
+                for g in map
+                    .groups_for_unit(unit)
+                    .ok_or_else(|| TailorError::Plan(format!("unit {unit} absent from layout")))?
+                {
+                    per_group[g] = Some(h.group_shard(rank, g)?);
+                }
+                Ok(())
+            };
+            match pattern {
+                LoadPattern::ParityInterleaved => {
+                    for (unit, src) in &plan.assignments {
+                        fetch(&mut handles, src, *unit, &mut per_group)?;
+                        for h in handles.values_mut() {
+                            h.evict();
+                        }
+                    }
+                }
+                LoadPattern::Sequential => {
+                    for src in &plan.sources {
+                        for unit in plan.units_from(src) {
+                            fetch(&mut handles, src, unit, &mut per_group)?;
+                        }
+                    }
+                }
+            }
+            // Emit tensors strictly in group order.
+            let mut tensors: Vec<(String, RawTensor)> = Vec::with_capacity(group_count * 3);
+            for (g, shard) in per_group.into_iter().enumerate() {
+                let shard = shard
+                    .ok_or_else(|| TailorError::Plan(format!("group {g} was never fetched")))?;
+                let names = shard_tensor_names(g);
+                let len = shard.master.len();
+                tensors.push((
+                    names[0].clone(),
+                    RawTensor::from_f32s(&shard.master, Shape::new(vec![len]), DType::F32),
+                ));
+                tensors.push((
+                    names[1].clone(),
+                    RawTensor::from_f32s(&shard.exp_avg, Shape::new(vec![len]), DType::F32),
+                ));
+                tensors.push((
+                    names[2].clone(),
+                    RawTensor::from_f32s(&shard.exp_avg_sq, Shape::new(vec![len]), DType::F32),
+                ));
+            }
+            let written =
+                safetensors::write_file(&out.optim_shard(rank), &tensors, &BTreeMap::new())?;
+            let mut stats = IoStats::default();
+            for h in handles.values() {
+                stats.absorb(&h.stats());
+            }
+            Ok((written, stats))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    for (written, stats) in &per_rank {
+        bytes_written += *written;
+        io.absorb(stats);
+    }
+    files_written += plan.world_size;
+
+    // --- 4. Metadata files (paper §4.4) ----------------------------------
+    let zero_meta = ZeroMeta {
+        world_size: plan.world_size,
+        num_layers: donor_meta.num_layers,
+        tied: donor_meta.tied,
+        optimizer_step: donor_meta.optimizer_step,
+        groups_present: (0..group_count).collect(),
+        groups: donor_meta.groups.clone(),
+    };
+    zero_meta.save(&out.zero_meta())?;
+    copy_file(&donor.paths.config(), &out.config())?;
+    copy_file(&donor.paths.trainer_state(), &out.trainer_state())?;
+    std::fs::write(out.latest(), format!("global_step{step}\n"))
+        .map_err(llmt_ckpt::error::io_err(out.latest()))?;
+    let manifest = PartialManifest {
+        step,
+        units: plan.assignments.iter().map(|(u, _)| *u).collect(),
+        weight_digests: digests,
+        full: true,
+    };
+    manifest.save(&out.manifest())?;
+    files_written += 5;
+    bytes_written += [out.zero_meta(), out.config(), out.trainer_state(), out.latest(), out.manifest()]
+        .iter()
+        .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum::<u64>();
+
+    Ok(MergeReport {
+        output: plan.output.clone(),
+        step,
+        duration: start.elapsed(),
+        io,
+        bytes_written,
+        files_written,
+        sources: plan.sources.len(),
+    })
+}
+
+fn copy_file(from: &Path, to: &Path) -> Result<()> {
+    std::fs::copy(from, to)
+        .map(|_| ())
+        .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(from)(e)))
+}

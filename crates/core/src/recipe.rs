@@ -1,0 +1,235 @@
+//! YAML merge recipes, in MergeKit's passthrough style (paper §3).
+//!
+//! ```yaml
+//! merge_method: passthrough
+//! base_checkpoint: runs/sft/checkpoint-400
+//! output: runs/sft/merged-400
+//! slices:
+//!   - checkpoint: runs/sft/checkpoint-350
+//!     units: ["layers.1-15:odd", "embed_tokens"]
+//!   - checkpoint: runs/sft/checkpoint-400
+//!     units: ["layers.0-14:even", "lm_head", "norm"]
+//! ```
+//!
+//! Unit strings accept single units (`layers.3`, `embed_tokens`, `norm`,
+//! `lm_head`), inclusive ranges (`layers.0-7`), and parity-filtered ranges
+//! (`layers.0-15:even`, `layers.0-15:odd`). Units not claimed by any slice
+//! fall back to `base_checkpoint`.
+
+use crate::error::{Result, TailorError};
+use llmt_model::LayerUnit;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// One slice: a source checkpoint and the units to take from it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceSpec {
+    /// Source checkpoint directory.
+    pub checkpoint: PathBuf,
+    /// Unit selectors (see module docs for syntax).
+    pub units: Vec<String>,
+}
+
+/// A parsed merge recipe.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeRecipe {
+    /// Merge method; only `passthrough` is meaningful for checkpoints.
+    pub merge_method: String,
+    /// Fallback source for units no slice claims, and tie-break config
+    /// donor.
+    pub base_checkpoint: PathBuf,
+    /// Output directory for the assembled checkpoint.
+    pub output: PathBuf,
+    /// The slices.
+    #[serde(default)]
+    pub slices: Vec<SliceSpec>,
+}
+
+impl MergeRecipe {
+    /// Parse from YAML text.
+    ///
+    /// ```
+    /// use llmtailor::MergeRecipe;
+    /// let recipe = MergeRecipe::from_yaml(r#"
+    /// merge_method: passthrough
+    /// base_checkpoint: runs/checkpoint-400
+    /// output: runs/merged
+    /// slices:
+    ///   - checkpoint: runs/checkpoint-350
+    ///     units: ["layers.1-15:odd", "embed_tokens"]
+    /// "#).unwrap();
+    /// assert_eq!(recipe.slices.len(), 1);
+    /// assert_eq!(recipe.expanded_slices().unwrap()[0].1.len(), 9);
+    /// ```
+    pub fn from_yaml(text: &str) -> Result<Self> {
+        let recipe: MergeRecipe =
+            serde_yaml::from_str(text).map_err(|e| TailorError::Recipe(e.to_string()))?;
+        recipe.validate()?;
+        Ok(recipe)
+    }
+
+    /// Load from a YAML file.
+    pub fn from_yaml_file(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| TailorError::Recipe(format!("{}: {e}", path.display())))?;
+        Self::from_yaml(&text)
+    }
+
+    /// Serialize back to YAML.
+    pub fn to_yaml(&self) -> String {
+        serde_yaml::to_string(self).expect("recipe serialization cannot fail")
+    }
+
+    /// Basic validation (method, selector syntax).
+    pub fn validate(&self) -> Result<()> {
+        if self.merge_method != "passthrough" {
+            return Err(TailorError::Recipe(format!(
+                "unsupported merge_method '{}' (checkpoint merging uses 'passthrough')",
+                self.merge_method
+            )));
+        }
+        for slice in &self.slices {
+            for sel in &slice.units {
+                parse_unit_selector(sel)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Expand every slice's selectors into concrete units.
+    pub fn expanded_slices(&self) -> Result<Vec<(PathBuf, Vec<LayerUnit>)>> {
+        self.slices
+            .iter()
+            .map(|s| {
+                let mut units = Vec::new();
+                for sel in &s.units {
+                    units.extend(parse_unit_selector(sel)?);
+                }
+                Ok((s.checkpoint.clone(), units))
+            })
+            .collect()
+    }
+}
+
+/// Parse one unit selector into a list of units.
+pub fn parse_unit_selector(sel: &str) -> Result<Vec<LayerUnit>> {
+    // Parity suffix?
+    let (body, parity) = match sel.rsplit_once(':') {
+        Some((b, "even")) => (b, Some(0)),
+        Some((b, "odd")) => (b, Some(1)),
+        Some((_, other)) => {
+            return Err(TailorError::Recipe(format!(
+                "unknown selector suffix ':{other}' in '{sel}'"
+            )))
+        }
+        None => (sel, None),
+    };
+    // Range?
+    if let Some(rest) = body.strip_prefix("layers.") {
+        if let Some((a, b)) = rest.split_once('-') {
+            let lo: usize = a
+                .parse()
+                .map_err(|_| TailorError::Recipe(format!("bad range start in '{sel}'")))?;
+            let hi: usize = b
+                .parse()
+                .map_err(|_| TailorError::Recipe(format!("bad range end in '{sel}'")))?;
+            if hi < lo {
+                return Err(TailorError::Recipe(format!("empty range in '{sel}'")));
+            }
+            return Ok((lo..=hi)
+                .filter(|i| parity.is_none_or(|p| i % 2 == p))
+                .map(LayerUnit::Transformer)
+                .collect());
+        }
+    }
+    if parity.is_some() {
+        return Err(TailorError::Recipe(format!(
+            "parity suffix only applies to layer ranges: '{sel}'"
+        )));
+    }
+    LayerUnit::parse(body)
+        .map(|u| vec![u])
+        .map_err(TailorError::Recipe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+merge_method: passthrough
+base_checkpoint: /runs/checkpoint-400
+output: /runs/merged
+slices:
+  - checkpoint: /runs/checkpoint-350
+    units: ["layers.1-15:odd", "embed_tokens"]
+  - checkpoint: /runs/checkpoint-400
+    units: ["layers.0-14:even", "lm_head", "norm"]
+"#;
+
+    #[test]
+    fn parses_mergekit_style_yaml() {
+        let r = MergeRecipe::from_yaml(SAMPLE).unwrap();
+        assert_eq!(r.merge_method, "passthrough");
+        assert_eq!(r.slices.len(), 2);
+        let expanded = r.expanded_slices().unwrap();
+        let odd: &Vec<LayerUnit> = &expanded[0].1;
+        assert_eq!(odd.len(), 8 + 1); // layers 1,3,..,15 plus embed
+        assert!(odd.contains(&LayerUnit::Transformer(15)));
+        assert!(odd.contains(&LayerUnit::EmbedTokens));
+        assert!(!odd.contains(&LayerUnit::Transformer(2)));
+        let even = &expanded[1].1;
+        assert!(even.contains(&LayerUnit::Transformer(0)));
+        assert!(even.contains(&LayerUnit::LmHead));
+        assert!(even.contains(&LayerUnit::FinalNorm));
+    }
+
+    #[test]
+    fn yaml_round_trip() {
+        let r = MergeRecipe::from_yaml(SAMPLE).unwrap();
+        let again = MergeRecipe::from_yaml(&r.to_yaml()).unwrap();
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn rejects_non_passthrough_methods() {
+        let bad = SAMPLE.replace("passthrough", "slerp");
+        let err = MergeRecipe::from_yaml(&bad).unwrap_err();
+        assert!(matches!(err, TailorError::Recipe(_)));
+    }
+
+    #[test]
+    fn selector_syntax() {
+        assert_eq!(parse_unit_selector("layers.3").unwrap(), vec![LayerUnit::Transformer(3)]);
+        assert_eq!(
+            parse_unit_selector("layers.0-2").unwrap(),
+            vec![
+                LayerUnit::Transformer(0),
+                LayerUnit::Transformer(1),
+                LayerUnit::Transformer(2)
+            ]
+        );
+        assert_eq!(
+            parse_unit_selector("layers.0-4:even").unwrap(),
+            vec![
+                LayerUnit::Transformer(0),
+                LayerUnit::Transformer(2),
+                LayerUnit::Transformer(4)
+            ]
+        );
+        assert_eq!(parse_unit_selector("norm").unwrap(), vec![LayerUnit::FinalNorm]);
+        assert!(parse_unit_selector("layers.5-2").is_err());
+        assert!(parse_unit_selector("layers.0-2:prime").is_err());
+        assert!(parse_unit_selector("norm:even").is_err());
+        assert!(parse_unit_selector("blah").is_err());
+    }
+
+    #[test]
+    fn slices_default_to_empty() {
+        let r = MergeRecipe::from_yaml(
+            "merge_method: passthrough\nbase_checkpoint: /a\noutput: /b\n",
+        )
+        .unwrap();
+        assert!(r.slices.is_empty());
+    }
+}

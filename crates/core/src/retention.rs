@@ -1,0 +1,146 @@
+//! Checkpoint retention under partial checkpointing.
+//!
+//! With full checkpoints, "keep the last N" is safe. With layer-wise
+//! partial checkpoints it is not: deleting an old checkpoint can destroy
+//! the *only* copy of a unit that newer checkpoints never re-saved, making
+//! recovery impossible. The safe rule, derived from the save log: a
+//! checkpoint is **load-bearing** iff it is the most recent save of at
+//! least one unit. This module computes the prunable set and applies it.
+
+use crate::error::{Result, TailorError};
+use llmt_ckpt::manifest::SaveLog;
+use llmt_model::{LayerUnit, ModelConfig};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Which checkpoint steps may be deleted without breaking recovery.
+///
+/// `existing_steps` are the checkpoints on disk (ascending or not);
+/// `keep_last` additionally protects that many newest checkpoints even if
+/// they are not load-bearing. Returns the prunable steps, ascending.
+pub fn prunable_steps(
+    log: &SaveLog,
+    config: &ModelConfig,
+    existing_steps: &[u64],
+    keep_last: usize,
+) -> Result<Vec<u64>> {
+    let mut steps: Vec<u64> = existing_steps.to_vec();
+    steps.sort_unstable();
+    steps.dedup();
+    let Some(&newest) = steps.last() else {
+        return Ok(Vec::new());
+    };
+
+    // Load-bearing steps: latest save of each unit at the horizon.
+    let mut needed = BTreeSet::new();
+    for unit in LayerUnit::all(config) {
+        let step = log.latest_for(unit, newest).ok_or_else(|| {
+            TailorError::Plan(format!(
+                "unit {unit} has no save at or before step {newest}; refusing to prune \
+                 an uncoverable run"
+            ))
+        })?;
+        needed.insert(step);
+    }
+    let protected: BTreeSet<u64> = steps.iter().rev().take(keep_last).copied().collect();
+    Ok(steps
+        .into_iter()
+        .filter(|s| !needed.contains(s) && !protected.contains(s))
+        .collect())
+}
+
+/// Delete prunable checkpoints under `run_root`. Returns the pruned steps.
+pub fn prune_run(
+    run_root: &Path,
+    config: &ModelConfig,
+    keep_last: usize,
+) -> Result<Vec<u64>> {
+    let log = SaveLog::load(&run_root.join("save_log.json"))?;
+    let existing: Vec<u64> = llmt_ckpt::CheckpointPaths::list(run_root)
+        .into_iter()
+        .map(|c| c.step)
+        .collect();
+    let prunable = prunable_steps(&log, config, &existing, keep_last)?;
+    for step in &prunable {
+        let dir = run_root.join(format!("checkpoint-{step}"));
+        std::fs::remove_dir_all(&dir)
+            .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(&dir)(e)))?;
+    }
+    Ok(prunable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+
+    fn log_for(strategy: StrategyKind, cfg: &ModelConfig, events: u64, interval: u64) -> (SaveLog, Vec<u64>) {
+        let s = strategy.build();
+        let mut log = SaveLog::default();
+        let mut steps = Vec::new();
+        for e in 0..events {
+            let step = (e + 1) * interval;
+            steps.push(step);
+            for u in s.select(e, cfg) {
+                log.record(u, step);
+            }
+        }
+        (log, steps)
+    }
+
+    #[test]
+    fn full_strategy_keeps_only_the_newest() {
+        let cfg = ModelConfig::tiny_test();
+        let (log, steps) = log_for(StrategyKind::Full, &cfg, 5, 10);
+        let prunable = prunable_steps(&log, &cfg, &steps, 0).unwrap();
+        assert_eq!(prunable, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn parity_strategy_keeps_the_last_two() {
+        let cfg = ModelConfig::tiny_test();
+        let (log, steps) = log_for(StrategyKind::Parity, &cfg, 6, 10);
+        let prunable = prunable_steps(&log, &cfg, &steps, 0).unwrap();
+        // Events 4 and 5 (steps 50, 60) jointly cover everything.
+        assert_eq!(prunable, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn filtered_strategy_protects_old_sparse_checkpoints() {
+        let cfg = ModelConfig::llama31_8b_sim();
+        let (log, steps) = log_for(StrategyKind::Filtered, &cfg, 12, 10);
+        let prunable = prunable_steps(&log, &cfg, &steps, 0).unwrap();
+        // Sparse events are 5 and 10 (steps 50, 100); each holds one half
+        // of the middle layers, so both must survive even though step 50
+        // is old.
+        assert!(!prunable.contains(&50), "{prunable:?}");
+        assert!(!prunable.contains(&100));
+        assert!(!prunable.contains(&120), "newest always load-bearing");
+        assert!(prunable.contains(&10) && prunable.contains(&60));
+    }
+
+    #[test]
+    fn keep_last_protects_beyond_coverage() {
+        let cfg = ModelConfig::tiny_test();
+        let (log, steps) = log_for(StrategyKind::Full, &cfg, 5, 10);
+        let prunable = prunable_steps(&log, &cfg, &steps, 3).unwrap();
+        assert_eq!(prunable, vec![10, 20]);
+    }
+
+    #[test]
+    fn uncoverable_run_refuses_to_prune() {
+        let cfg = ModelConfig::tiny_test();
+        let mut log = SaveLog::default();
+        log.record(LayerUnit::FinalNorm, 10); // nothing else ever saved
+        let err = prunable_steps(&log, &cfg, &[10], 0).unwrap_err();
+        assert!(err.to_string().contains("refusing to prune"));
+    }
+
+    #[test]
+    fn empty_run_prunes_nothing() {
+        let cfg = ModelConfig::tiny_test();
+        assert!(prunable_steps(&SaveLog::default(), &cfg, &[], 0)
+            .unwrap()
+            .is_empty());
+    }
+}

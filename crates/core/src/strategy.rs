@@ -1,0 +1,336 @@
+//! Selective checkpointing strategies (paper §5.2, §5.3).
+//!
+//! A strategy decides, for the k-th checkpoint event of a run, which units
+//! to save. The trainer records the decisions in a
+//! [`llmt_ckpt::manifest::SaveLog`]; after a failure, [`crate::autorecipe`]
+//! turns that log into a merge recipe that reassembles the newest copy of
+//! every unit.
+
+use llmt_model::{LayerUnit, ModelConfig};
+use serde::{Deserialize, Serialize};
+
+/// A unit-selection policy for periodic checkpointing.
+pub trait SelectionStrategy: Send + Sync {
+    /// Units to save at the `event`-th checkpoint (0-based) of the run.
+    fn select(&self, event: u64, config: &ModelConfig) -> Vec<LayerUnit>;
+
+    /// Short name for logs and tables.
+    fn name(&self) -> &'static str;
+
+    /// Smallest number of consecutive events guaranteed to cover every
+    /// unit (used by validity checks and recovery-window reasoning).
+    fn cover_window(&self) -> u64;
+}
+
+/// Save everything every time — the `transformers`-default baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullStrategy;
+
+impl SelectionStrategy for FullStrategy {
+    fn select(&self, _event: u64, config: &ModelConfig) -> Vec<LayerUnit> {
+        LayerUnit::all(config)
+    }
+
+    fn name(&self) -> &'static str {
+        "full"
+    }
+
+    fn cover_window(&self) -> u64 {
+        1
+    }
+}
+
+/// Use case 1 (§5.2): alternate halves by parity. Odd-indexed transformer
+/// layers travel with `embed_tokens` on odd events; even-indexed layers
+/// with `lm_head` (when untied) on even events. The final norm is a few
+/// KB and is included every time so either phase alone pins it.
+///
+/// ```
+/// use llmtailor::{ParityStrategy, SelectionStrategy};
+/// use llmt_model::{LayerUnit, ModelConfig};
+/// let cfg = ModelConfig::llama31_8b_sim();
+/// let even = ParityStrategy.select(0, &cfg);
+/// let odd = ParityStrategy.select(1, &cfg);
+/// assert!(even.contains(&LayerUnit::Transformer(0)));
+/// assert!(odd.contains(&LayerUnit::Transformer(1)));
+/// // Two consecutive events cover the whole model.
+/// assert_eq!(ParityStrategy.cover_window(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParityStrategy;
+
+impl SelectionStrategy for ParityStrategy {
+    fn select(&self, event: u64, config: &ModelConfig) -> Vec<LayerUnit> {
+        let phase = (event % 2) as usize;
+        let mut units: Vec<LayerUnit> = (0..config.num_hidden_layers)
+            .filter(|i| i % 2 == phase)
+            .map(LayerUnit::Transformer)
+            .collect();
+        if phase == 1 {
+            units.push(LayerUnit::EmbedTokens);
+        } else if config.has_lm_head() {
+            units.push(LayerUnit::LmHead);
+        } else {
+            // Tied models keep the embedding with the even phase too so the
+            // giant tensor is never more than one interval stale.
+            units.push(LayerUnit::EmbedTokens);
+        }
+        units.push(LayerUnit::FinalNorm);
+        units.sort();
+        units
+    }
+
+    fn name(&self) -> &'static str {
+        "parity"
+    }
+
+    fn cover_window(&self) -> u64 {
+        2
+    }
+}
+
+/// Use case 2 (§5.3): always save the first and last two transformer
+/// layers (the reasoning-critical ones, after Gromov et al.); every
+/// `sparse_every`-th event additionally saves one alternating half of the
+/// middle layers plus the vocabulary-sized auxiliaries.
+#[derive(Debug, Clone, Copy)]
+pub struct FilterStrategy {
+    /// How many boundary layers on each side are saved every time.
+    pub hot_edge: usize,
+    /// Period (in checkpoint events) of the sparse middle-layer saves.
+    pub sparse_every: u64,
+}
+
+impl Default for FilterStrategy {
+    fn default() -> Self {
+        // The paper's configuration: first/last 2 layers hot, middle saved
+        // (half at a time) every 5x the base interval.
+        FilterStrategy {
+            hot_edge: 2,
+            sparse_every: 5,
+        }
+    }
+}
+
+impl SelectionStrategy for FilterStrategy {
+    fn select(&self, event: u64, config: &ModelConfig) -> Vec<LayerUnit> {
+        let l = config.num_hidden_layers;
+        let mut units: Vec<LayerUnit> = Vec::new();
+        for i in 0..l {
+            if i < self.hot_edge || i >= l - self.hot_edge {
+                units.push(LayerUnit::Transformer(i));
+            }
+        }
+        units.push(LayerUnit::FinalNorm);
+        if event % self.sparse_every == self.sparse_every - 1 {
+            // Sparse event: one half of the middle layers, alternating.
+            let round = event / self.sparse_every;
+            let phase = (round % 2) as usize;
+            for i in self.hot_edge..l - self.hot_edge {
+                if (i - self.hot_edge) % 2 == phase {
+                    units.push(LayerUnit::Transformer(i));
+                }
+            }
+            units.push(LayerUnit::EmbedTokens);
+            if config.has_lm_head() {
+                units.push(LayerUnit::LmHead);
+            }
+        }
+        units.sort();
+        units
+    }
+
+    fn name(&self) -> &'static str {
+        "filtered"
+    }
+
+    fn cover_window(&self) -> u64 {
+        2 * self.sparse_every
+    }
+}
+
+/// Serializable strategy selector for configs and CLIs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum StrategyKind {
+    /// [`FullStrategy`].
+    Full,
+    /// [`ParityStrategy`].
+    Parity,
+    /// [`FilterStrategy`] with default parameters.
+    Filtered,
+    /// [`crate::dynamic::MagnitudeStrategy`] — update-magnitude-driven
+    /// selection with a staleness bound. Stateful: the trainer drives it
+    /// through [`crate::dynamic::MagnitudeStrategy::select`] with per-unit
+    /// change telemetry rather than through [`SelectionStrategy`].
+    Dynamic {
+        /// Parameter budget per checkpoint event (fraction of the model).
+        budget_fraction: f64,
+        /// Force-save bound in events.
+        max_staleness: u64,
+    },
+}
+
+impl StrategyKind {
+    /// The default dynamic configuration used in the ablation experiments.
+    pub fn dynamic_default() -> Self {
+        StrategyKind::Dynamic {
+            budget_fraction: 0.3,
+            max_staleness: 4,
+        }
+    }
+
+    /// Instantiate a stateless strategy. Panics for [`StrategyKind::Dynamic`],
+    /// which needs trainer telemetry — construct a
+    /// [`crate::dynamic::MagnitudeStrategy`] instead.
+    pub fn build(self) -> Box<dyn SelectionStrategy> {
+        match self {
+            StrategyKind::Full => Box::new(FullStrategy),
+            StrategyKind::Parity => Box::new(ParityStrategy),
+            StrategyKind::Filtered => Box::new(FilterStrategy::default()),
+            StrategyKind::Dynamic { .. } => panic!(
+                "dynamic selection is stateful; use llmtailor::MagnitudeStrategy"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmt_model::ModelConfig;
+    use std::collections::BTreeSet;
+
+    fn coverage(strategy: &dyn SelectionStrategy, cfg: &ModelConfig, events: u64) -> BTreeSet<LayerUnit> {
+        let mut seen = BTreeSet::new();
+        for e in 0..events {
+            for u in strategy.select(e, cfg) {
+                assert!(u.exists_in(cfg), "{} selected {u}", strategy.name());
+                seen.insert(u);
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn every_strategy_covers_all_units_within_its_window() {
+        for cfg in [
+            ModelConfig::llama31_8b_sim(),
+            ModelConfig::llama32_1b_sim(),
+            ModelConfig::qwen25_7b_sim(),
+        ] {
+            let all: BTreeSet<LayerUnit> = LayerUnit::all(&cfg).into_iter().collect();
+            for kind in [StrategyKind::Full, StrategyKind::Parity, StrategyKind::Filtered] {
+                let s = kind.build();
+                let seen = coverage(s.as_ref(), &cfg, s.cover_window());
+                assert_eq!(seen, all, "{} on {}", s.name(), cfg.model_name);
+            }
+        }
+    }
+
+    #[test]
+    fn parity_alternates_halves() {
+        let cfg = ModelConfig::llama31_8b_sim();
+        let s = ParityStrategy;
+        let even = s.select(0, &cfg);
+        let odd = s.select(1, &cfg);
+        assert!(even.contains(&LayerUnit::Transformer(0)));
+        assert!(!even.contains(&LayerUnit::Transformer(1)));
+        assert!(odd.contains(&LayerUnit::Transformer(1)));
+        assert!(!odd.contains(&LayerUnit::Transformer(0)));
+        assert!(even.contains(&LayerUnit::LmHead));
+        assert!(odd.contains(&LayerUnit::EmbedTokens));
+        assert!(even.contains(&LayerUnit::FinalNorm) && odd.contains(&LayerUnit::FinalNorm));
+        // Roughly half the layers each time.
+        assert_eq!(even.iter().filter(|u| matches!(u, LayerUnit::Transformer(_))).count(), 16);
+    }
+
+    #[test]
+    fn parity_halves_saved_parameter_volume() {
+        // Table 3: parity cuts checkpoint volume to ~50% of full.
+        let cfg = ModelConfig::llama31_8b_sim();
+        let full: usize = LayerUnit::all(&cfg)
+            .iter()
+            .flat_map(|u| llmt_model::naming::unit_param_specs(&cfg, *u))
+            .map(|s| s.numel())
+            .sum();
+        let s = ParityStrategy;
+        let saved: usize = (0..2)
+            .flat_map(|e| s.select(e, &cfg))
+            .flat_map(|u| llmt_model::naming::unit_param_specs(&cfg, u))
+            .map(|s| s.numel())
+            .sum();
+        let ratio = saved as f64 / (2.0 * full as f64);
+        assert!((ratio - 0.5).abs() < 0.02, "two parity events save {ratio} of 2 full");
+    }
+
+    #[test]
+    fn filtered_saves_edges_always_middle_sparsely() {
+        let cfg = ModelConfig::llama31_8b_sim(); // 32 layers
+        let s = FilterStrategy::default();
+        for e in 0..10u64 {
+            let units = s.select(e, &cfg);
+            for i in [0usize, 1, 30, 31] {
+                assert!(units.contains(&LayerUnit::Transformer(i)), "event {e} layer {i}");
+            }
+            let is_sparse = e % 5 == 4;
+            assert_eq!(units.contains(&LayerUnit::EmbedTokens), is_sparse, "event {e}");
+            assert_eq!(units.contains(&LayerUnit::Transformer(15)) || units.contains(&LayerUnit::Transformer(16)), is_sparse);
+        }
+        // Consecutive sparse events pick complementary halves.
+        let a: BTreeSet<_> = s.select(4, &cfg).into_iter().collect();
+        let b: BTreeSet<_> = s.select(9, &cfg).into_iter().collect();
+        let mid_a: BTreeSet<_> = a.iter().filter(|u| matches!(u, LayerUnit::Transformer(i) if (2..30).contains(i))).collect();
+        let mid_b: BTreeSet<_> = b.iter().filter(|u| matches!(u, LayerUnit::Transformer(i) if (2..30).contains(i))).collect();
+        assert!(mid_a.is_disjoint(&mid_b));
+        assert_eq!(mid_a.len() + mid_b.len(), 28);
+    }
+
+    #[test]
+    fn filtered_volume_reduction_matches_table6_scale() {
+        // Table 6: Llama3.1-8B filtered total is ~4.3x smaller than full.
+        let cfg = ModelConfig::paper_scale("llama3.1-8b").unwrap();
+        let s = FilterStrategy::default();
+        let full_per_event: usize = LayerUnit::all(&cfg)
+            .iter()
+            .flat_map(|u| llmt_model::naming::unit_param_specs(&cfg, *u))
+            .map(|sp| sp.numel())
+            .sum();
+        let events = 10u64; // two sparse periods
+        let saved: usize = (0..events)
+            .flat_map(|e| s.select(e, &cfg))
+            .flat_map(|u| llmt_model::naming::unit_param_specs(&cfg, u))
+            .map(|sp| sp.numel())
+            .sum();
+        let reduction = (events as f64 * full_per_event as f64) / saved as f64;
+        assert!(
+            reduction > 3.5 && reduction < 5.5,
+            "reduction {reduction} out of Table 6's ballpark"
+        );
+    }
+
+    #[test]
+    fn strategy_kind_serde_round_trip() {
+        for k in [StrategyKind::Full, StrategyKind::Parity, StrategyKind::Filtered] {
+            let json = serde_json::to_string(&k).unwrap();
+            let back: StrategyKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, k);
+        }
+        assert_eq!(serde_json::to_string(&StrategyKind::Parity).unwrap(), "\"parity\"");
+    }
+
+    #[test]
+    fn selections_are_sorted_and_deduplicated() {
+        let cfg = ModelConfig::qwen25_7b_sim();
+        for kind in [StrategyKind::Full, StrategyKind::Parity, StrategyKind::Filtered] {
+            let s = kind.build();
+            for e in 0..12 {
+                let units = s.select(e, &cfg);
+                let mut sorted = units.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(units, sorted, "{} event {e}", s.name());
+            }
+        }
+    }
+}

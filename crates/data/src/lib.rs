@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Synthetic training data standing in for the paper's medical datasets.
+//!
+//! The paper post-trains on PubMed-Summarization (continual pre-training)
+//! and MedQA (supervised fine-tuning). For checkpoint/merge/resume
+//! experiments, what matters is that the token streams are (a) learnable,
+//! so loss curves move and divergence after a bad merge is visible, and
+//! (b) perfectly reproducible, so an uninterrupted run and a resumed run
+//! can be compared bit-for-bit. [`corpus::CptCorpus`] is a deterministic
+//! bigram-ish "abstract" generator; [`qa::QaDataset`] is a templated
+//! question-answer task with prompt masking; both draw from the shared
+//! [`vocab::Vocab`].
+
+pub mod corpus;
+pub mod loader;
+pub mod qa;
+pub mod vocab;
+
+pub use corpus::CptCorpus;
+pub use loader::{BatchSource, DataTask};
+pub use qa::QaDataset;
+pub use vocab::Vocab;

@@ -1,0 +1,180 @@
+//! Templated question-answer dataset for supervised fine-tuning.
+//!
+//! Each example encodes one "fact": question entity `q` has answer entity
+//! `a(q)`, laid out as `BOS q1 q2 SEP a1 a2 EOS PAD...`. Questions use a
+//! two-token surface form so the model must actually attend; prompt tokens
+//! are loss-masked exactly as SFT does, so only the answer span trains.
+
+use crate::vocab::{Vocab, BOS, EOS, PAD, SEP};
+use llmt_tensor::rng::Prng;
+
+/// The synthetic SFT dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct QaDataset {
+    vocab: Vocab,
+    /// Number of distinct facts.
+    pub num_facts: u32,
+    seed: u64,
+}
+
+/// One encoded example: tokens plus the SFT label mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QaExample {
+    /// Token ids, padded to the requested length.
+    pub tokens: Vec<u32>,
+    /// Label mask: true on answer tokens and EOS.
+    pub mask: Vec<bool>,
+    /// The fact id this example encodes.
+    pub fact: u32,
+}
+
+impl QaDataset {
+    /// Dataset with `num_facts` facts (must fit in half the word space).
+    pub fn new(vocab: Vocab, num_facts: u32, seed: u64) -> Self {
+        assert!(
+            num_facts * 2 <= vocab.num_words() / 2,
+            "too many facts for the vocabulary"
+        );
+        QaDataset {
+            vocab,
+            num_facts,
+            seed,
+        }
+    }
+
+    /// Ground-truth answer id for a question id.
+    pub fn answer_of(&self, q: u32) -> u32 {
+        (q.wrapping_mul(17).wrapping_add(3)) % self.num_facts
+    }
+
+    fn q_token(&self, q: u32, pos: u32) -> u32 {
+        // Question surface form: two tokens from the first word quarter.
+        let n = self.vocab.num_words() / 2;
+        self.vocab.word((q * 2 + pos) % n)
+    }
+
+    fn a_token(&self, a: u32, pos: u32) -> u32 {
+        // Answers live in the second half of the word space.
+        let n = self.vocab.num_words() / 2;
+        self.vocab.word(n + (a * 2 + pos) % n)
+    }
+
+    /// Encode fact `q` into a fixed-length example.
+    pub fn encode(&self, q: u32, len: usize) -> QaExample {
+        assert!(q < self.num_facts);
+        assert!(len >= 8, "example length must fit the template");
+        let a = self.answer_of(q);
+        let mut tokens = vec![
+            BOS,
+            self.q_token(q, 0),
+            self.q_token(q, 1),
+            SEP,
+            self.a_token(a, 0),
+            self.a_token(a, 1),
+            EOS,
+        ];
+        let mut mask = vec![false, false, false, false, true, true, true];
+        while tokens.len() < len {
+            tokens.push(PAD);
+            mask.push(false);
+        }
+        QaExample {
+            tokens,
+            mask,
+            fact: q,
+        }
+    }
+
+    /// Candidate answer token pairs for multiple-choice evaluation: the
+    /// gold answer plus `k - 1` seeded distractors.
+    pub fn choices(&self, q: u32, k: usize) -> Vec<[u32; 2]> {
+        let gold = self.answer_of(q);
+        let mut rng = Prng::seed_from_u64(self.seed ^ (q as u64) << 17);
+        let mut out = vec![[self.a_token(gold, 0), self.a_token(gold, 1)]];
+        while out.len() < k {
+            let d = rng.below(self.num_facts as usize) as u32;
+            if d != gold {
+                out.push([self.a_token(d, 0), self.a_token(d, 1)]);
+            }
+        }
+        out
+    }
+
+    /// The prompt prefix of a question (up to and including SEP).
+    pub fn prompt(&self, q: u32) -> Vec<u32> {
+        vec![BOS, self.q_token(q, 0), self.q_token(q, 1), SEP]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> QaDataset {
+        QaDataset::new(Vocab::standard(), 64, 7)
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_padded() {
+        let d = ds();
+        let e1 = d.encode(5, 16);
+        let e2 = d.encode(5, 16);
+        assert_eq!(e1, e2);
+        assert_eq!(e1.tokens.len(), 16);
+        assert_eq!(e1.mask.len(), 16);
+        assert_eq!(e1.tokens[0], BOS);
+        assert_eq!(e1.tokens[3], SEP);
+        assert_eq!(e1.tokens[6], EOS);
+        assert!(e1.tokens[7..].iter().all(|t| *t == PAD));
+    }
+
+    #[test]
+    fn mask_covers_answer_span_only() {
+        let e = ds().encode(3, 12);
+        assert_eq!(
+            e.mask,
+            vec![false, false, false, false, true, true, true, false, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn answers_are_consistent_functions() {
+        let d = ds();
+        for q in 0..d.num_facts {
+            assert_eq!(d.answer_of(q), d.answer_of(q));
+            assert!(d.answer_of(q) < d.num_facts);
+        }
+    }
+
+    #[test]
+    fn questions_and_answers_use_disjoint_token_ranges() {
+        let d = ds();
+        let v = Vocab::standard();
+        let half = v.word(v.num_words() / 2);
+        for q in 0..d.num_facts {
+            let e = d.encode(q, 12);
+            assert!(e.tokens[1] < half && e.tokens[2] < half);
+            assert!(e.tokens[4] >= half && e.tokens[5] >= half);
+        }
+    }
+
+    #[test]
+    fn choices_include_gold_first_and_are_distinct_from_it() {
+        let d = ds();
+        for q in [0u32, 7, 63] {
+            let ch = d.choices(q, 4);
+            assert_eq!(ch.len(), 4);
+            let gold = d.answer_of(q);
+            assert_eq!(ch[0], [d.a_token(gold, 0), d.a_token(gold, 1)]);
+            for c in &ch[1..] {
+                assert_ne!(*c, ch[0]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many facts")]
+    fn fact_count_bounded_by_vocab() {
+        QaDataset::new(Vocab::standard(), 400, 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Token vocabulary with reserved special tokens.
+
+use serde::{Deserialize, Serialize};
+
+/// Beginning-of-sequence token.
+pub const BOS: u32 = 0;
+/// End-of-sequence token.
+pub const EOS: u32 = 1;
+/// Padding token.
+pub const PAD: u32 = 2;
+/// Question/answer separator.
+pub const SEP: u32 = 3;
+/// First non-special token id.
+pub const FIRST_WORD: u32 = 4;
+
+/// A synthetic vocabulary: `size` total ids, of which the first
+/// [`FIRST_WORD`] are special.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocab {
+    /// Total vocabulary size (model's `vocab_size`).
+    pub size: u32,
+}
+
+impl Vocab {
+    /// A vocabulary matching the model zoo configs (512 ids).
+    pub fn standard() -> Self {
+        Vocab { size: 512 }
+    }
+
+    /// Number of non-special "word" tokens.
+    pub fn num_words(&self) -> u32 {
+        self.size - FIRST_WORD
+    }
+
+    /// The id of word `w` (0-based among words).
+    pub fn word(&self, w: u32) -> u32 {
+        assert!(w < self.num_words(), "word {w} out of {}", self.num_words());
+        FIRST_WORD + w
+    }
+
+    /// Whether an id is a word (not special).
+    pub fn is_word(&self, id: u32) -> bool {
+        (FIRST_WORD..self.size).contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_vocab_matches_model_zoo() {
+        assert_eq!(Vocab::standard().size, 512);
+        assert_eq!(Vocab::standard().num_words(), 508);
+    }
+
+    #[test]
+    fn word_mapping() {
+        let v = Vocab::standard();
+        assert_eq!(v.word(0), FIRST_WORD);
+        assert!(v.is_word(v.word(507)));
+        assert!(!v.is_word(BOS));
+        assert!(!v.is_word(SEP));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn word_bounds_checked() {
+        Vocab::standard().word(508);
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Zero-shot multiple-choice evaluation harness.
+//!
+//! Stands in for the paper's lm-evaluation-harness runs over MMLU,
+//! MMLU-med, MedMCQA, MedQA and PubMedQA (Tables 2 and 5). Each synthetic
+//! suite is a set of multiple-choice items scored by total log-likelihood
+//! of the choice continuation given the prompt — the same scoring rule the
+//! real harness uses. The `medqa_sim` suite shares its fact distribution
+//! with the SFT training set (in-domain, so fine-tuning moves it); the
+//! other suites are domain-shifted to different degrees. Absolute scores
+//! on toy models are not meaningful; *deltas between the uninterrupted and
+//! the merged-checkpoint model* are what the experiments compare.
+
+pub mod perplexity;
+pub mod scorer;
+pub mod suite;
+pub mod suites;
+
+pub use perplexity::{held_out_perplexity, Perplexity};
+pub use scorer::{score_suite, SuiteScore};
+pub use suite::{EvalSuite, McItem};
+pub use suites::standard_suites;

@@ -1,0 +1,65 @@
+//! Held-out perplexity evaluation (complements the multiple-choice
+//! suites; this is what the eval-loss columns of Tables 1/4 report, in
+//! exponentiated form).
+
+use llmt_data::{BatchSource, DataTask};
+use llmt_model::Model;
+use serde::{Deserialize, Serialize};
+
+/// Perplexity measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Perplexity {
+    /// Mean negative log-likelihood per predicted token.
+    pub nll: f64,
+    /// `exp(nll)`.
+    pub ppl: f64,
+    /// Batches evaluated.
+    pub batches: usize,
+}
+
+/// Perplexity of `model` on `n` held-out batches of the given task.
+pub fn held_out_perplexity(
+    model: &Model,
+    task: DataTask,
+    data_seed: u64,
+    n: usize,
+    batch: usize,
+    seq: usize,
+) -> Perplexity {
+    assert!(n > 0);
+    let vocab = llmt_data::Vocab {
+        size: model.config.vocab_size as u32,
+    };
+    let source = BatchSource::with_vocab(task, data_seed, vocab);
+    let batches = source.eval_batches(n, batch, seq);
+    let nll: f64 = batches.iter().map(|b| model.loss_only(b)).sum::<f64>() / n as f64;
+    Perplexity {
+        nll,
+        ppl: nll.exp(),
+        batches: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmt_model::ModelConfig;
+
+    #[test]
+    fn untrained_model_sits_near_uniform_perplexity() {
+        let cfg = ModelConfig::tiny_test();
+        let m = Model::new(cfg.clone(), 1);
+        let p = held_out_perplexity(&m, DataTask::Cpt, 7, 4, 2, 16);
+        let uniform = cfg.vocab_size as f64;
+        assert!(p.ppl > uniform * 0.5 && p.ppl < uniform * 2.0, "ppl {}", p.ppl);
+        assert!((p.ppl - p.nll.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perplexity_is_deterministic() {
+        let m = Model::new(ModelConfig::tiny_test(), 2);
+        let a = held_out_perplexity(&m, DataTask::Sft, 3, 3, 2, 16);
+        let b = held_out_perplexity(&m, DataTask::Sft, 3, 3, 2, 16);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,116 @@
+//! Likelihood scoring of multiple-choice items.
+
+use crate::suite::EvalSuite;
+use llmt_model::loss::token_log_prob;
+use llmt_model::{Batch, Model};
+use serde::{Deserialize, Serialize};
+
+/// Result of scoring one suite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuiteScore {
+    /// Fraction of items answered correctly (0..1).
+    pub accuracy: f64,
+    /// Item count.
+    pub items: usize,
+}
+
+impl SuiteScore {
+    /// Accuracy as a percentage (the tables' unit).
+    pub fn percent(&self) -> f64 {
+        self.accuracy * 100.0
+    }
+}
+
+/// Total log-likelihood of `continuation` given `prompt` under the model.
+pub fn continuation_log_prob(model: &Model, prompt: &[u32], continuation: &[u32]) -> f64 {
+    assert!(!continuation.is_empty());
+    let mut tokens = Vec::with_capacity(prompt.len() + continuation.len());
+    tokens.extend_from_slice(prompt);
+    tokens.extend_from_slice(continuation);
+    let seq = tokens.len();
+    let logits = model.forward_logits(&Batch::new(tokens.clone(), 1, seq));
+    // Token at position p is predicted from logits row p-1.
+    let mut total = 0.0;
+    for (k, tok) in continuation.iter().enumerate() {
+        let row = logits.row(prompt.len() + k - 1);
+        total += token_log_prob(row, *tok);
+    }
+    total
+}
+
+/// Score a suite: argmax-by-likelihood accuracy.
+pub fn score_suite(model: &Model, suite: &EvalSuite) -> SuiteScore {
+    suite.validate().expect("invalid suite");
+    let mut correct = 0usize;
+    for item in &suite.items {
+        let mut best = (f64::NEG_INFINITY, 0usize);
+        for (ci, choice) in item.choices.iter().enumerate() {
+            let lp = continuation_log_prob(model, &item.prompt, choice);
+            if lp > best.0 {
+                best = (lp, ci);
+            }
+        }
+        if best.1 == item.gold {
+            correct += 1;
+        }
+    }
+    SuiteScore {
+        accuracy: correct as f64 / suite.items.len() as f64,
+        items: suite.items.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::McItem;
+    use llmt_model::ModelConfig;
+
+    #[test]
+    fn continuation_log_prob_is_negative_and_additive() {
+        let cfg = ModelConfig::tiny_test();
+        let model = Model::new(cfg, 1);
+        let lp1 = continuation_log_prob(&model, &[1, 2], &[3]);
+        let lp2 = continuation_log_prob(&model, &[1, 2], &[3, 4]);
+        assert!(lp1 < 0.0);
+        assert!(lp2 < lp1, "longer continuation has lower likelihood");
+    }
+
+    #[test]
+    fn score_suite_is_deterministic_and_bounded() {
+        let cfg = ModelConfig::tiny_test();
+        let model = Model::new(cfg, 2);
+        let suite = EvalSuite {
+            name: "t".into(),
+            items: (0..8)
+                .map(|i| McItem {
+                    prompt: vec![1, (i % 30) + 4],
+                    choices: vec![vec![5, 6], vec![7, 8], vec![9, 10]],
+                    gold: (i % 3) as usize,
+                })
+                .collect(),
+        };
+        let a = score_suite(&model, &suite);
+        let b = score_suite(&model, &suite);
+        assert_eq!(a, b);
+        assert!(a.accuracy >= 0.0 && a.accuracy <= 1.0);
+        assert_eq!(a.items, 8);
+        assert_eq!(a.percent(), a.accuracy * 100.0);
+    }
+
+    #[test]
+    fn identical_models_score_identically() {
+        let cfg = ModelConfig::tiny_test_tied();
+        let m1 = Model::new(cfg.clone(), 3);
+        let m2 = Model::new(cfg, 3);
+        let suite = EvalSuite {
+            name: "t".into(),
+            items: vec![McItem {
+                prompt: vec![1, 4, 5],
+                choices: vec![vec![6], vec![7]],
+                gold: 0,
+            }],
+        };
+        assert_eq!(score_suite(&m1, &suite), score_suite(&m2, &suite));
+    }
+}

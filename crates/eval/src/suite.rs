@@ -1,0 +1,94 @@
+//! Multiple-choice items and suites.
+
+use serde::{Deserialize, Serialize};
+
+/// One multiple-choice item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McItem {
+    /// Prompt token ids (question).
+    pub prompt: Vec<u32>,
+    /// Candidate continuations.
+    pub choices: Vec<Vec<u32>>,
+    /// Index of the correct choice.
+    pub gold: usize,
+}
+
+impl McItem {
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.choices.len() < 2 {
+            return Err("item needs at least 2 choices".into());
+        }
+        if self.gold >= self.choices.len() {
+            return Err(format!(
+                "gold index {} out of {} choices",
+                self.gold,
+                self.choices.len()
+            ));
+        }
+        if self.prompt.is_empty() || self.choices.iter().any(|c| c.is_empty()) {
+            return Err("empty prompt or choice".into());
+        }
+        Ok(())
+    }
+}
+
+/// A named set of items.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalSuite {
+    /// Suite name as printed in the result tables.
+    pub name: String,
+    /// The items.
+    pub items: Vec<McItem>,
+}
+
+impl EvalSuite {
+    /// Validate every item.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, item) in self.items.iter().enumerate() {
+            item.validate().map_err(|e| format!("{} item {i}: {e}", self.name))?;
+        }
+        if self.items.is_empty() {
+            return Err(format!("{}: empty suite", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_bad_items() {
+        let ok = McItem {
+            prompt: vec![1, 2],
+            choices: vec![vec![3], vec![4]],
+            gold: 1,
+        };
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.gold = 2;
+        assert!(bad.validate().is_err());
+        let mut one_choice = ok.clone();
+        one_choice.choices.pop();
+        assert!(one_choice.validate().is_err());
+        let mut empty = ok;
+        empty.choices[0].clear();
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn suite_validation_reports_position() {
+        let s = EvalSuite {
+            name: "x".into(),
+            items: vec![McItem {
+                prompt: vec![],
+                choices: vec![vec![1], vec![2]],
+                gold: 0,
+            }],
+        };
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("item 0"));
+    }
+}

@@ -1,0 +1,105 @@
+//! The five standard suites mirroring the paper's benchmark battery.
+//!
+//! | suite          | stands in for | relation to training data            |
+//! |----------------|---------------|---------------------------------------|
+//! | `mmlu_sim`     | MMLU          | fully shifted fact space               |
+//! | `mmlu_med_sim` | MMLU_med      | partially shifted                      |
+//! | `medmcqa_sim`  | MedMCQA       | same fact function, different surface  |
+//! | `medqa_sim`    | MedQA         | in-domain with the SFT training set    |
+//! | `pubmedqa_sim` | PubMedQA      | binary (yes/no-like) decisions         |
+
+use crate::suite::{EvalSuite, McItem};
+use llmt_data::{QaDataset, Vocab};
+use llmt_tensor::rng::Prng;
+
+/// Number of items per suite.
+pub const ITEMS_PER_SUITE: usize = 50;
+
+fn qa_suite(name: &str, ds: &QaDataset, items: usize, choices: usize, seed: u64) -> EvalSuite {
+    let mut rng = Prng::seed_from_u64(seed);
+    let items = (0..items)
+        .map(|_| {
+            let q = rng.below(ds.num_facts as usize) as u32;
+            let ch = ds.choices(q, choices);
+            // `QaDataset::choices` puts the gold answer first; shuffle a
+            // permutation so position carries no signal.
+            let mut order: Vec<usize> = (0..ch.len()).collect();
+            rng.shuffle(&mut order);
+            let gold = order.iter().position(|i| *i == 0).unwrap();
+            McItem {
+                prompt: ds.prompt(q),
+                choices: order.into_iter().map(|i| ch[i].to_vec()).collect(),
+                gold,
+            }
+        })
+        .collect();
+    EvalSuite {
+        name: name.into(),
+        items,
+    }
+}
+
+/// Build the five standard suites. `sft_seed` must match the training
+/// `BatchSource` seed so that `medqa_sim` is truly in-domain.
+pub fn standard_suites(sft_seed: u64) -> Vec<EvalSuite> {
+    let vocab = Vocab::standard();
+    let in_domain = QaDataset::new(vocab, 64, sft_seed);
+    let shifted_a = QaDataset::new(vocab, 96, sft_seed.wrapping_add(101));
+    let shifted_b = QaDataset::new(vocab, 80, sft_seed.wrapping_add(202));
+    let shifted_c = QaDataset::new(vocab, 64, sft_seed.wrapping_add(303));
+    vec![
+        qa_suite("mmlu_sim", &shifted_a, ITEMS_PER_SUITE, 4, 1),
+        qa_suite("mmlu_med_sim", &shifted_b, ITEMS_PER_SUITE, 4, 2),
+        qa_suite("medmcqa_sim", &shifted_c, ITEMS_PER_SUITE, 4, 3),
+        qa_suite("medqa_sim", &in_domain, ITEMS_PER_SUITE, 4, 4),
+        qa_suite("pubmedqa_sim", &in_domain, ITEMS_PER_SUITE, 2, 5),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_valid_suites() {
+        let suites = standard_suites(7);
+        assert_eq!(suites.len(), 5);
+        for s in &suites {
+            s.validate().unwrap();
+            assert_eq!(s.items.len(), ITEMS_PER_SUITE);
+        }
+        let names: Vec<&str> = suites.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["mmlu_sim", "mmlu_med_sim", "medmcqa_sim", "medqa_sim", "pubmedqa_sim"]
+        );
+    }
+
+    #[test]
+    fn suites_are_deterministic_in_seed() {
+        assert_eq!(standard_suites(7), standard_suites(7));
+        assert_ne!(standard_suites(7), standard_suites(8));
+    }
+
+    #[test]
+    fn pubmedqa_is_binary_others_four_way() {
+        let suites = standard_suites(7);
+        for s in &suites {
+            let want = if s.name == "pubmedqa_sim" { 2 } else { 4 };
+            assert!(s.items.iter().all(|i| i.choices.len() == want), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn gold_position_is_shuffled() {
+        // Position must carry no signal: the gold index varies per item.
+        for s in standard_suites(3) {
+            let positions: std::collections::BTreeSet<usize> =
+                s.items.iter().map(|i| i.gold).collect();
+            assert!(positions.len() > 1, "{}: gold always at one position", s.name);
+            for i in &s.items {
+                assert!(i.gold < i.choices.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The classic weight-space merge rules MergeKit ships (paper §3 lists
+//! linear blending, SLERP and passthrough). These operate on weights only
+//! and exist here to make the baseline faithful; LLMTailor's checkpoint
+//! merging is always passthrough (optimizer state cannot be meaningfully
+//! interpolated).
+
+use llmt_tensor::RawTensor;
+
+/// Element-wise linear interpolation: `(1 - t) * a + t * b`.
+///
+/// Panics on shape mismatch. The result is stored in `a`'s dtype.
+pub fn linear_merge(a: &RawTensor, b: &RawTensor, t: f32) -> RawTensor {
+    assert_eq!(a.shape(), b.shape(), "linear merge shape mismatch");
+    let av = a.to_f32s();
+    let bv = b.to_f32s();
+    let out: Vec<f32> = av
+        .iter()
+        .zip(bv.iter())
+        .map(|(x, y)| (1.0 - t) * x + t * y)
+        .collect();
+    RawTensor::from_f32s(&out, a.shape().clone(), a.dtype())
+}
+
+/// Spherical linear interpolation on the flattened weight vectors.
+///
+/// Falls back to linear interpolation when the vectors are (near-)
+/// parallel or either norm vanishes, matching MergeKit's behaviour.
+pub fn slerp_merge(a: &RawTensor, b: &RawTensor, t: f32) -> RawTensor {
+    assert_eq!(a.shape(), b.shape(), "slerp merge shape mismatch");
+    let av = a.to_f32s();
+    let bv = b.to_f32s();
+    let na: f64 = av.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt();
+    let nb: f64 = bv.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        return linear_merge(a, b, t);
+    }
+    let dot: f64 = av
+        .iter()
+        .zip(bv.iter())
+        .map(|(x, y)| *x as f64 * *y as f64)
+        .sum::<f64>()
+        / (na * nb);
+    let cos = dot.clamp(-1.0, 1.0);
+    let omega = cos.acos();
+    if omega.abs() < 1e-6 || (std::f64::consts::PI - omega).abs() < 1e-6 {
+        return linear_merge(a, b, t);
+    }
+    let sin_omega = omega.sin();
+    let wa = (((1.0 - t as f64) * omega).sin() / sin_omega) as f32;
+    let wb = ((t as f64 * omega).sin() / sin_omega) as f32;
+    let out: Vec<f32> = av
+        .iter()
+        .zip(bv.iter())
+        .map(|(x, y)| wa * x + wb * y)
+        .collect();
+    RawTensor::from_f32s(&out, a.shape().clone(), a.dtype())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[f32]) -> RawTensor {
+        RawTensor::from_f32s(vals, [vals.len()], llmt_tensor::DType::F32)
+    }
+
+    #[test]
+    fn linear_endpoints_and_midpoint() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[3.0, 6.0]);
+        assert_eq!(linear_merge(&a, &b, 0.0), a);
+        assert_eq!(linear_merge(&a, &b, 1.0), b);
+        assert_eq!(linear_merge(&a, &b, 0.5).to_f32s(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn slerp_endpoints_recover_inputs() {
+        let a = t(&[1.0, 0.0, 0.5]);
+        let b = t(&[0.0, 1.0, -0.5]);
+        for (s, expect) in [(0.0f32, &a), (1.0, &b)] {
+            let got = slerp_merge(&a, &b, s);
+            for (x, y) in got.to_f32s().iter().zip(expect.to_f32s().iter()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn slerp_midpoint_of_orthogonal_unit_vectors_preserves_norm() {
+        let a = t(&[1.0, 0.0]);
+        let b = t(&[0.0, 1.0]);
+        let mid = slerp_merge(&a, &b, 0.5).to_f32s();
+        let norm = (mid[0] * mid[0] + mid[1] * mid[1]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-5, "slerp stays on the sphere, norm {norm}");
+        assert!((mid[0] - mid[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slerp_parallel_vectors_fall_back_to_linear() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[2.0, 4.0]);
+        let got = slerp_merge(&a, &b, 0.25).to_f32s();
+        let lin = linear_merge(&a, &b, 0.25).to_f32s();
+        for (x, y) in got.iter().zip(lin.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_vector_falls_back_to_linear() {
+        let a = t(&[0.0, 0.0]);
+        let b = t(&[1.0, 1.0]);
+        assert_eq!(slerp_merge(&a, &b, 0.5).to_f32s(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        linear_merge(&t(&[1.0]), &t(&[1.0, 2.0]), 0.5);
+    }
+}

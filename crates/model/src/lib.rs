@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Llama-style decoder-only transformer substrate.
+//!
+//! The paper evaluates on Llama-3.2-1B, Llama-3.1-8B and Qwen-2.5-7B. What
+//! LLMTailor's mechanism actually depends on is the models' *layer
+//! inventory*: `embed_tokens`, `L` transformer blocks each holding two
+//! RMSNorm sublayers + attention (q/k/v/o) + SwiGLU MLP (gate/up/down), a
+//! final `norm`, and an `lm_head` that may be weight-tied to the embedding
+//! (paper §2.1, Figure 1). This crate reproduces that inventory exactly —
+//! HF-style parameter names included — at CPU-trainable sizes, with a
+//! hand-written backward pass so training, checkpointing and resuming are
+//! real computations rather than mocks.
+//!
+//! Layout of the crate:
+//! * [`config`] — model hyperparameters + the `*-sim` model zoo mirroring
+//!   the paper's three models.
+//! * [`mod@unit`] — [`unit::LayerUnit`], the granularity at which LLMTailor
+//!   tailors checkpoints.
+//! * [`naming`] — canonical parameter names, ordering, and the
+//!   decay/no-decay classification that drives optimizer grouping.
+//! * [`params`] — an ordered named-tensor container.
+//! * [`transformer`] — forward + manual backward.
+//! * [`loss`] — causal-LM cross entropy.
+
+pub mod config;
+pub mod generate;
+pub mod loss;
+pub mod naming;
+pub mod params;
+pub mod transformer;
+pub mod unit;
+
+pub use config::ModelConfig;
+pub use params::ParamSet;
+pub use generate::SampleConfig;
+pub use transformer::{Batch, Model};
+pub use unit::LayerUnit;

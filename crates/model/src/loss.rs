@@ -1,0 +1,197 @@
+//! Causal-LM cross-entropy loss with optional per-token masking.
+//!
+//! SFT runs mask the prompt tokens so only answer tokens contribute loss
+//! (mirroring the paper's MedQA fine-tuning); CPT runs use a full mask.
+
+use llmt_tensor::Tensor;
+use rayon::prelude::*;
+
+/// Loss and logit gradients of masked cross entropy.
+pub struct CrossEntropyOut {
+    /// Mean negative log-likelihood over unmasked positions.
+    pub loss: f64,
+    /// d(loss)/d(logits), shape `[n, vocab]`; zero rows where masked out.
+    pub dlogits: Tensor,
+    /// Number of positions that contributed.
+    pub count: usize,
+}
+
+/// Masked cross entropy over `[n, vocab]` logits.
+///
+/// `mask[i]` selects whether row `i` contributes; pass `None` to use every
+/// row. Rows are processed in parallel; accumulation is f64 for stability.
+pub fn cross_entropy(logits: &Tensor, targets: &[u32], mask: Option<&[bool]>) -> CrossEntropyOut {
+    let (n, v) = logits.shape().as_matrix();
+    assert_eq!(targets.len(), n, "target count mismatch");
+    if let Some(m) = mask {
+        assert_eq!(m.len(), n, "mask length mismatch");
+    }
+    let count = mask.map_or(n, |m| m.iter().filter(|b| **b).count());
+    let mut dlogits = Tensor::zeros([n, v]);
+    if count == 0 {
+        return CrossEntropyOut {
+            loss: 0.0,
+            dlogits,
+            count,
+        };
+    }
+    let inv = 1.0f32 / count as f32;
+    // Per-row losses are collected positionally and summed sequentially so
+    // the f64 total is independent of rayon's scheduling (bit-exact
+    // reproducibility across runs and resumes).
+    let mut row_losses = vec![0.0f64; n];
+    dlogits
+        .data_mut()
+        .par_chunks_mut(v)
+        .zip(row_losses.par_iter_mut())
+        .enumerate()
+        .for_each(|(i, (drow, out))| {
+            if let Some(m) = mask {
+                if !m[i] {
+                    return;
+                }
+            }
+            let row = logits.row(i);
+            let target = targets[i] as usize;
+            assert!(target < v, "target {target} out of vocab {v}");
+            let max = row.iter().fold(f32::NEG_INFINITY, |a, b| a.max(*b));
+            let mut sum = 0.0f64;
+            for x in row {
+                sum += ((x - max) as f64).exp();
+            }
+            let log_z = sum.ln() + max as f64;
+            for (j, d) in drow.iter_mut().enumerate() {
+                let p = (((row[j] - max) as f64).exp() / sum) as f32;
+                *d = p * inv;
+            }
+            drow[target] -= inv;
+            *out = log_z - row[target] as f64;
+        });
+    let loss: f64 = row_losses.iter().sum::<f64>() / count as f64;
+
+    CrossEntropyOut {
+        loss,
+        dlogits,
+        count,
+    }
+}
+
+/// Loss only (no gradient), same semantics as [`cross_entropy`].
+pub fn cross_entropy_loss_only(logits: &Tensor, targets: &[u32], mask: Option<&[bool]>) -> f64 {
+    let (n, v) = logits.shape().as_matrix();
+    assert_eq!(targets.len(), n);
+    let count = mask.map_or(n, |m| m.iter().filter(|b| **b).count());
+    if count == 0 {
+        return 0.0;
+    }
+    let row_losses: Vec<f64> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            if let Some(m) = mask {
+                if !m[i] {
+                    return 0.0;
+                }
+            }
+            let row = logits.row(i);
+            let target = targets[i] as usize;
+            assert!(target < v);
+            let max = row.iter().fold(f32::NEG_INFINITY, |a, b| a.max(*b));
+            let sum: f64 = row.iter().map(|x| ((x - max) as f64).exp()).sum();
+            sum.ln() + max as f64 - row[target] as f64
+        })
+        .collect();
+    row_losses.iter().sum::<f64>() / count as f64
+}
+
+/// Log-probability of a specific token under each row's softmax; used by
+/// the evaluation harness to score multiple-choice continuations.
+pub fn token_log_prob(logits_row: &[f32], token: u32) -> f64 {
+    let max = logits_row.iter().fold(f32::NEG_INFINITY, |a, b| a.max(*b));
+    let sum: f64 = logits_row.iter().map(|x| ((x - max) as f64).exp()).sum();
+    (logits_row[token as usize] - max) as f64 - sum.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_vocab() {
+        let logits = Tensor::zeros([4, 8]);
+        let out = cross_entropy(&logits, &[0, 1, 2, 3], None);
+        assert!((out.loss - (8f64).ln()).abs() < 1e-6);
+        assert_eq!(out.count, 4);
+    }
+
+    #[test]
+    fn perfect_prediction_gives_near_zero_loss() {
+        let mut logits = Tensor::zeros([2, 4]);
+        logits.data_mut()[1] = 100.0; // row 0 predicts token 1
+        logits.data_mut()[4 + 2] = 100.0; // row 1 predicts token 2
+        let out = cross_entropy(&logits, &[1, 2], None);
+        assert!(out.loss < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut logits = Tensor::from_vec([2, 3], vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.3]);
+        let targets = [2u32, 0];
+        let out = cross_entropy(&logits, &targets, None);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let orig = logits.data()[i];
+            logits.data_mut()[i] = orig + eps;
+            let up = cross_entropy_loss_only(&logits, &targets, None);
+            logits.data_mut()[i] = orig - eps;
+            let down = cross_entropy_loss_only(&logits, &targets, None);
+            logits.data_mut()[i] = orig;
+            let fd = (up - down) / (2.0 * eps as f64);
+            let an = out.dlogits.data()[i] as f64;
+            assert!((fd - an).abs() < 1e-4, "elem {i}: fd {fd} vs an {an}");
+        }
+    }
+
+    #[test]
+    fn mask_excludes_rows() {
+        let mut logits = Tensor::zeros([2, 4]);
+        logits.data_mut()[0] = 10.0; // row 0 heavily favors token 0
+        let full = cross_entropy(&logits, &[3, 1], None);
+        let masked = cross_entropy(&logits, &[3, 1], Some(&[false, true]));
+        assert_eq!(masked.count, 1);
+        assert!(masked.loss < full.loss, "bad row masked out lowers loss");
+        // Masked row has zero gradient.
+        assert!(masked.dlogits.row(0).iter().all(|v| *v == 0.0));
+        assert!(masked.dlogits.row(1).iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn empty_mask_is_safe() {
+        let logits = Tensor::zeros([2, 4]);
+        let out = cross_entropy(&logits, &[0, 0], Some(&[false, false]));
+        assert_eq!(out.loss, 0.0);
+        assert_eq!(out.count, 0);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec([1, 5], vec![0.3, -0.7, 1.1, 0.0, 2.0]);
+        let out = cross_entropy(&logits, &[4], None);
+        let s: f32 = out.dlogits.data().iter().sum();
+        assert!(s.abs() < 1e-6, "softmax grad rows sum to 0, got {s}");
+    }
+
+    #[test]
+    fn loss_only_agrees_with_grad_version() {
+        let logits = Tensor::from_vec([2, 3], vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.3]);
+        let a = cross_entropy(&logits, &[1, 2], None).loss;
+        let b = cross_entropy_loss_only(&logits, &[1, 2], None);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_log_prob_normalizes() {
+        let row = [0.1f32, 1.5, -0.3, 0.9];
+        let total: f64 = (0..4).map(|t| token_log_prob(&row, t).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,232 @@
+//! Canonical parameter names, model ordering, and decay classification.
+//!
+//! Names follow the Hugging Face Llama convention exactly
+//! (`model.layers.3.self_attn.q_proj.weight`, ...) so that checkpoint files
+//! look like the artifacts the paper manipulates. The decay/no-decay
+//! classification reproduces the AdamW convention the paper describes in
+//! §2.2: weight matrices decay; biases and normalization weights do not.
+
+use crate::config::ModelConfig;
+use crate::unit::LayerUnit;
+
+/// A parameter's metadata: name, owning unit, shape, and decay class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Full HF-style dotted name.
+    pub name: String,
+    /// The tailorable unit this parameter belongs to.
+    pub unit: LayerUnit,
+    /// Row-major shape.
+    pub shape: Vec<usize>,
+    /// Whether AdamW applies weight decay to this parameter.
+    pub decay: bool,
+}
+
+impl ParamSpec {
+    /// Element count.
+    pub fn numel(&self) -> usize {
+        self.shape.iter().product()
+    }
+}
+
+/// Names of the tensors inside one transformer block, in canonical order.
+/// `attention_bias` appends the q/k/v bias vectors (Qwen-2.5 style).
+pub fn transformer_param_specs(config: &ModelConfig, layer: usize) -> Vec<ParamSpec> {
+    let h = config.hidden_size;
+    let kv = config.kv_dim();
+    let i = config.intermediate_size;
+    let p = |suffix: &str, shape: Vec<usize>, decay: bool| ParamSpec {
+        name: format!("model.layers.{layer}.{suffix}"),
+        unit: LayerUnit::Transformer(layer),
+        shape,
+        decay,
+    };
+    let mut out = vec![
+        p("input_layernorm.weight", vec![h], false),
+        p("self_attn.q_proj.weight", vec![h, h], true),
+        p("self_attn.k_proj.weight", vec![kv, h], true),
+        p("self_attn.v_proj.weight", vec![kv, h], true),
+        p("self_attn.o_proj.weight", vec![h, h], true),
+        p("post_attention_layernorm.weight", vec![h], false),
+        p("mlp.gate_proj.weight", vec![i, h], true),
+        p("mlp.up_proj.weight", vec![i, h], true),
+        p("mlp.down_proj.weight", vec![h, i], true),
+    ];
+    if config.attention_bias {
+        out.insert(2, p("self_attn.q_proj.bias", vec![h], false));
+        out.insert(4, p("self_attn.k_proj.bias", vec![kv], false));
+        out.insert(6, p("self_attn.v_proj.bias", vec![kv], false));
+    }
+    out
+}
+
+/// Specs for the parameters of one unit, in canonical order.
+pub fn unit_param_specs(config: &ModelConfig, unit: LayerUnit) -> Vec<ParamSpec> {
+    match unit {
+        LayerUnit::EmbedTokens => vec![ParamSpec {
+            name: "model.embed_tokens.weight".into(),
+            unit,
+            shape: vec![config.vocab_size, config.hidden_size],
+            decay: true,
+        }],
+        LayerUnit::Transformer(i) => transformer_param_specs(config, i),
+        LayerUnit::FinalNorm => vec![ParamSpec {
+            name: "model.norm.weight".into(),
+            unit,
+            shape: vec![config.hidden_size],
+            decay: false,
+        }],
+        LayerUnit::LmHead => {
+            if config.has_lm_head() {
+                vec![ParamSpec {
+                    name: "lm_head.weight".into(),
+                    unit,
+                    shape: vec![config.vocab_size, config.hidden_size],
+                    decay: true,
+                }]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// All parameter specs of a model, in canonical model order (the order in
+/// which state-dict files list them).
+pub fn all_param_specs(config: &ModelConfig) -> Vec<ParamSpec> {
+    LayerUnit::all(config)
+        .into_iter()
+        .flat_map(|u| unit_param_specs(config, u))
+        .collect()
+}
+
+/// Which unit owns a parameter name; `None` for unknown names.
+pub fn unit_of(name: &str) -> Option<LayerUnit> {
+    if name == "model.embed_tokens.weight" {
+        return Some(LayerUnit::EmbedTokens);
+    }
+    if name == "model.norm.weight" {
+        return Some(LayerUnit::FinalNorm);
+    }
+    if name == "lm_head.weight" {
+        return Some(LayerUnit::LmHead);
+    }
+    let rest = name.strip_prefix("model.layers.")?;
+    let idx_str = rest.split('.').next()?;
+    let idx = idx_str.parse::<usize>().ok()?;
+    Some(LayerUnit::Transformer(idx))
+}
+
+/// Decay classification by name, per the convention in paper §2.2:
+/// biases and normalization weights are exempt from weight decay.
+pub fn is_decay_param(name: &str) -> bool {
+    !(name.ends_with(".bias") || name.contains("layernorm") || name.contains("norm.weight"))
+}
+
+/// Total parameter count of a model config (used for size projections).
+pub fn total_params(config: &ModelConfig) -> usize {
+    all_param_specs(config).iter().map(|s| s.numel()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama_layer_has_nine_tensors_qwen_twelve() {
+        let llama = ModelConfig::llama31_8b_sim();
+        assert_eq!(transformer_param_specs(&llama, 0).len(), 9);
+        let qwen = ModelConfig::qwen25_7b_sim();
+        assert_eq!(transformer_param_specs(&qwen, 0).len(), 12);
+    }
+
+    #[test]
+    fn qwen_biases_are_no_decay() {
+        let qwen = ModelConfig::qwen25_7b_sim();
+        let specs = transformer_param_specs(&qwen, 3);
+        let biases: Vec<_> = specs.iter().filter(|s| s.name.ends_with(".bias")).collect();
+        assert_eq!(biases.len(), 3);
+        assert!(biases.iter().all(|s| !s.decay));
+    }
+
+    #[test]
+    fn spec_decay_agrees_with_name_classifier() {
+        for cfg in [ModelConfig::llama31_8b_sim(), ModelConfig::qwen25_7b_sim()] {
+            for spec in all_param_specs(&cfg) {
+                assert_eq!(
+                    spec.decay,
+                    is_decay_param(&spec.name),
+                    "mismatch for {}",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unit_of_inverts_spec_names() {
+        for cfg in [
+            ModelConfig::llama32_1b_sim(),
+            ModelConfig::qwen25_7b_sim(),
+            ModelConfig::tiny_test(),
+        ] {
+            for spec in all_param_specs(&cfg) {
+                assert_eq!(unit_of(&spec.name), Some(spec.unit), "name {}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_of_rejects_unknown() {
+        assert_eq!(unit_of("model.layers.x.self_attn"), None);
+        assert_eq!(unit_of("transformer.h.0.attn"), None);
+        assert_eq!(unit_of(""), None);
+    }
+
+    #[test]
+    fn tied_model_lacks_lm_head_param() {
+        let c = ModelConfig::llama32_1b_sim();
+        let names: Vec<String> = all_param_specs(&c).into_iter().map(|s| s.name).collect();
+        assert!(!names.contains(&"lm_head.weight".to_string()));
+        assert!(names.contains(&"model.embed_tokens.weight".to_string()));
+    }
+
+    #[test]
+    fn norm_layers_are_no_decay() {
+        assert!(!is_decay_param("model.norm.weight"));
+        assert!(!is_decay_param("model.layers.0.input_layernorm.weight"));
+        assert!(!is_decay_param("model.layers.7.post_attention_layernorm.weight"));
+        assert!(is_decay_param("model.layers.7.self_attn.q_proj.weight"));
+        assert!(is_decay_param("model.embed_tokens.weight"));
+        assert!(is_decay_param("lm_head.weight"));
+        assert!(!is_decay_param("model.layers.7.self_attn.q_proj.bias"));
+    }
+
+    #[test]
+    fn canonical_order_is_stable_and_unique() {
+        let c = ModelConfig::qwen25_7b_sim();
+        let specs = all_param_specs(&c);
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        let before = names.clone();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before.len(), "duplicate parameter names");
+        // Embedding first, final norm / head last.
+        assert_eq!(before[0], "model.embed_tokens.weight");
+        assert_eq!(before[before.len() - 2], "model.norm.weight");
+        assert_eq!(before[before.len() - 1], "lm_head.weight");
+    }
+
+    #[test]
+    fn total_params_tiny_matches_hand_count() {
+        let c = ModelConfig::tiny_test(); // v=37 h=16 i=24 L=2 bias=true untied
+        let per_layer = 16 // input_layernorm
+            + 4 * 16 * 16 // qkvo
+            + 3 * 16      // qkv biases
+            + 16          // post_attention_layernorm
+            + 2 * 24 * 16 // gate, up
+            + 16 * 24; // down
+        let expect = 37 * 16 + 2 * per_layer + 16 + 37 * 16;
+        assert_eq!(total_params(&c), expect);
+    }
+}

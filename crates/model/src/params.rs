@@ -1,0 +1,270 @@
+//! Ordered named-tensor container.
+//!
+//! Keeps tensors in canonical model order (the order `naming::all_param_specs`
+//! yields) with O(1) name lookup. Both the live model and its gradient set
+//! use this container, so forward/backward code can address parameters and
+//! their grads with the same indices.
+
+use crate::config::ModelConfig;
+use crate::naming::{all_param_specs, ParamSpec};
+use crate::unit::LayerUnit;
+use llmt_tensor::rng::Prng;
+use llmt_tensor::Tensor;
+use std::collections::HashMap;
+
+/// An ordered collection of named tensors matching a model config.
+#[derive(Debug, Clone)]
+pub struct ParamSet {
+    specs: Vec<ParamSpec>,
+    tensors: Vec<Tensor>,
+    index: HashMap<String, usize>,
+}
+
+impl ParamSet {
+    /// Zero-initialized set with the canonical specs of `config` (used for
+    /// gradients and optimizer scratch).
+    pub fn zeros(config: &ModelConfig) -> Self {
+        let specs = all_param_specs(config);
+        let tensors = specs
+            .iter()
+            .map(|s| Tensor::zeros(s.shape.clone()))
+            .collect();
+        Self::from_parts(specs, tensors)
+    }
+
+    /// Randomly initialized parameters (scaled-normal, GPT-2-style: residual
+    /// projections get a depth-scaled std so deep models stay stable).
+    pub fn init(config: &ModelConfig, seed: u64) -> Self {
+        let specs = all_param_specs(config);
+        let mut rng = Prng::seed_from_u64(seed);
+        let base_std = 0.02f32;
+        let resid_std = base_std / ((2.0 * config.num_hidden_layers as f32).sqrt());
+        let tensors = specs
+            .iter()
+            .map(|s| {
+                if !s.decay {
+                    // Norm weights start at 1, biases at 0.
+                    if s.name.ends_with(".bias") {
+                        Tensor::zeros(s.shape.clone())
+                    } else {
+                        Tensor::full(s.shape.clone(), 1.0)
+                    }
+                } else if s.name.contains("o_proj") || s.name.contains("down_proj") {
+                    Tensor::randn(s.shape.clone(), resid_std, &mut rng)
+                } else {
+                    Tensor::randn(s.shape.clone(), base_std, &mut rng)
+                }
+            })
+            .collect();
+        Self::from_parts(specs, tensors)
+    }
+
+    fn from_parts(specs: Vec<ParamSpec>, tensors: Vec<Tensor>) -> Self {
+        let index = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
+        ParamSet {
+            specs,
+            tensors,
+            index,
+        }
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True when empty (never, for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.tensors.iter().map(|t| t.numel()).sum()
+    }
+
+    /// Position of a name in canonical order.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Tensor by name.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.position(name).map(|i| &self.tensors[i])
+    }
+
+    /// Mutable tensor by name.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Tensor> {
+        let i = self.position(name)?;
+        Some(&mut self.tensors[i])
+    }
+
+    /// Tensor by canonical position.
+    pub fn at(&self, i: usize) -> &Tensor {
+        &self.tensors[i]
+    }
+
+    /// Mutable tensor by canonical position.
+    pub fn at_mut(&mut self, i: usize) -> &mut Tensor {
+        &mut self.tensors[i]
+    }
+
+    /// Spec by canonical position.
+    pub fn spec(&self, i: usize) -> &ParamSpec {
+        &self.specs[i]
+    }
+
+    /// All specs in canonical order.
+    pub fn specs(&self) -> &[ParamSpec] {
+        &self.specs
+    }
+
+    /// Iterate `(spec, tensor)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ParamSpec, &Tensor)> {
+        self.specs.iter().zip(self.tensors.iter())
+    }
+
+    /// Iterate with mutable tensors.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&ParamSpec, &mut Tensor)> {
+        self.specs.iter().zip(self.tensors.iter_mut())
+    }
+
+    /// Positions of the parameters belonging to `unit`, in canonical order.
+    pub fn unit_positions(&self, unit: LayerUnit) -> Vec<usize> {
+        self.specs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.unit == unit)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Zero every tensor (for gradient reuse across steps).
+    pub fn zero_all(&mut self) {
+        for t in &mut self.tensors {
+            t.zero_();
+        }
+    }
+
+    /// Replace a tensor's contents by name; shape must match. Returns false
+    /// if the name is unknown.
+    pub fn set(&mut self, name: &str, tensor: Tensor) -> bool {
+        match self.position(name) {
+            Some(i) => {
+                assert_eq!(
+                    self.tensors[i].shape(),
+                    tensor.shape(),
+                    "set {name}: shape mismatch"
+                );
+                self.tensors[i] = tensor;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Global L2 norm across all tensors (for grad-norm logging/clipping).
+    pub fn global_l2_norm(&self) -> f64 {
+        self.tensors
+            .iter()
+            .map(|t| {
+                let n = t.l2_norm();
+                n * n
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_matches_spec_shapes() {
+        let c = ModelConfig::tiny_test();
+        let p = ParamSet::init(&c, 42);
+        for (spec, t) in p.iter() {
+            assert_eq!(t.shape().dims(), spec.shape.as_slice(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let c = ModelConfig::tiny_test();
+        let a = ParamSet::init(&c, 7);
+        let b = ParamSet::init(&c, 7);
+        let d = ParamSet::init(&c, 8);
+        for ((_, ta), (_, tb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ta, tb);
+        }
+        let qa = a.get("model.layers.0.self_attn.q_proj.weight").unwrap();
+        let qd = d.get("model.layers.0.self_attn.q_proj.weight").unwrap();
+        assert_ne!(qa, qd);
+    }
+
+    #[test]
+    fn norm_weights_start_at_one_biases_at_zero() {
+        let c = ModelConfig::qwen25_7b_sim();
+        let p = ParamSet::init(&c, 1);
+        let ln = p.get("model.layers.0.input_layernorm.weight").unwrap();
+        assert!(ln.data().iter().all(|v| *v == 1.0));
+        let b = p.get("model.layers.0.self_attn.q_proj.bias").unwrap();
+        assert!(b.data().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn name_lookup_and_position_agree() {
+        let c = ModelConfig::tiny_test();
+        let p = ParamSet::zeros(&c);
+        for (i, spec) in p.specs().iter().enumerate() {
+            assert_eq!(p.position(&spec.name), Some(i));
+        }
+        assert_eq!(p.position("nonexistent"), None);
+        assert!(p.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn unit_positions_partition_the_set() {
+        let c = ModelConfig::qwen25_7b_sim();
+        let p = ParamSet::zeros(&c);
+        let mut covered = vec![false; p.len()];
+        for u in LayerUnit::all(&c) {
+            for i in p.unit_positions(u) {
+                assert!(!covered[i], "position {i} claimed twice");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|c| *c), "every parameter owned by a unit");
+    }
+
+    #[test]
+    fn set_replaces_and_validates_shape() {
+        let c = ModelConfig::tiny_test();
+        let mut p = ParamSet::zeros(&c);
+        let t = Tensor::full([c.hidden_size], 3.0);
+        assert!(p.set("model.norm.weight", t));
+        assert_eq!(p.get("model.norm.weight").unwrap().data()[0], 3.0);
+        assert!(!p.set("bogus", Tensor::zeros([1])));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_panics_on_shape_mismatch() {
+        let c = ModelConfig::tiny_test();
+        let mut p = ParamSet::zeros(&c);
+        p.set("model.norm.weight", Tensor::zeros([3]));
+    }
+
+    #[test]
+    fn zero_all_clears() {
+        let c = ModelConfig::tiny_test();
+        let mut p = ParamSet::init(&c, 3);
+        p.zero_all();
+        assert_eq!(p.global_l2_norm(), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Tailorable layer units.
+//!
+//! A *unit* is the granularity at which LLMTailor selects, saves and merges
+//! state: one transformer block, or one of the auxiliary layers the paper
+//! calls out explicitly (§4.3): `embed_tokens`, the final `norm`, and the
+//! optional `lm_head`.
+
+use crate::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// One tailorable unit of a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(into = "String", try_from = "String")]
+pub enum LayerUnit {
+    /// Token embedding (`model.embed_tokens.weight`).
+    EmbedTokens,
+    /// Transformer block `i` (`model.layers.{i}.*`).
+    Transformer(usize),
+    /// Final RMSNorm (`model.norm.weight`).
+    FinalNorm,
+    /// Prediction head (`lm_head.weight`); absent when weight-tied.
+    LmHead,
+}
+
+impl LayerUnit {
+    /// Canonical textual form used in YAML recipes and manifests:
+    /// `embed_tokens`, `layers.3`, `norm`, `lm_head`.
+    pub fn as_string(&self) -> String {
+        match self {
+            LayerUnit::EmbedTokens => "embed_tokens".into(),
+            LayerUnit::Transformer(i) => format!("layers.{i}"),
+            LayerUnit::FinalNorm => "norm".into(),
+            LayerUnit::LmHead => "lm_head".into(),
+        }
+    }
+
+    /// Parse the canonical textual form.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "embed_tokens" => Ok(LayerUnit::EmbedTokens),
+            "norm" => Ok(LayerUnit::FinalNorm),
+            "lm_head" => Ok(LayerUnit::LmHead),
+            other => {
+                if let Some(rest) = other.strip_prefix("layers.") {
+                    rest.parse::<usize>()
+                        .map(LayerUnit::Transformer)
+                        .map_err(|_| format!("bad layer index in unit '{other}'"))
+                } else {
+                    Err(format!("unknown unit '{other}'"))
+                }
+            }
+        }
+    }
+
+    /// Whether this unit exists for the given config (the `lm_head` unit
+    /// disappears under weight tying).
+    pub fn exists_in(&self, config: &ModelConfig) -> bool {
+        match self {
+            LayerUnit::Transformer(i) => *i < config.num_hidden_layers,
+            LayerUnit::LmHead => config.has_lm_head(),
+            _ => true,
+        }
+    }
+
+    /// All units of a model in canonical model order: embedding, the `L`
+    /// transformer blocks, final norm, then `lm_head` when untied.
+    pub fn all(config: &ModelConfig) -> Vec<LayerUnit> {
+        let mut out = Vec::with_capacity(config.num_units());
+        out.push(LayerUnit::EmbedTokens);
+        for i in 0..config.num_hidden_layers {
+            out.push(LayerUnit::Transformer(i));
+        }
+        out.push(LayerUnit::FinalNorm);
+        if config.has_lm_head() {
+            out.push(LayerUnit::LmHead);
+        }
+        out
+    }
+
+    /// Auxiliary (non-transformer) units of a model.
+    pub fn aux(config: &ModelConfig) -> Vec<LayerUnit> {
+        let mut out = vec![LayerUnit::EmbedTokens, LayerUnit::FinalNorm];
+        if config.has_lm_head() {
+            out.push(LayerUnit::LmHead);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for LayerUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.as_string())
+    }
+}
+
+impl From<LayerUnit> for String {
+    fn from(u: LayerUnit) -> String {
+        u.as_string()
+    }
+}
+
+impl TryFrom<String> for LayerUnit {
+    type Error = String;
+    fn try_from(s: String) -> Result<Self, String> {
+        LayerUnit::parse(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for u in [
+            LayerUnit::EmbedTokens,
+            LayerUnit::Transformer(0),
+            LayerUnit::Transformer(31),
+            LayerUnit::FinalNorm,
+            LayerUnit::LmHead,
+        ] {
+            assert_eq!(LayerUnit::parse(&u.as_string()).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(LayerUnit::parse("layers.x").is_err());
+        assert!(LayerUnit::parse("head").is_err());
+        assert!(LayerUnit::parse("layers.").is_err());
+        assert!(LayerUnit::parse("").is_err());
+    }
+
+    #[test]
+    fn all_units_cover_model() {
+        let c = ModelConfig::llama31_8b_sim();
+        let units = LayerUnit::all(&c);
+        assert_eq!(units.len(), 35);
+        assert_eq!(units[0], LayerUnit::EmbedTokens);
+        assert_eq!(units[1], LayerUnit::Transformer(0));
+        assert_eq!(units[33], LayerUnit::FinalNorm);
+        assert_eq!(units[34], LayerUnit::LmHead);
+    }
+
+    #[test]
+    fn tied_model_has_no_lm_head_unit() {
+        let c = ModelConfig::llama32_1b_sim();
+        let units = LayerUnit::all(&c);
+        assert_eq!(units.len(), 18);
+        assert!(!units.contains(&LayerUnit::LmHead));
+        assert!(!LayerUnit::LmHead.exists_in(&c));
+    }
+
+    #[test]
+    fn serde_uses_canonical_strings() {
+        let u = LayerUnit::Transformer(5);
+        assert_eq!(serde_json::to_string(&u).unwrap(), "\"layers.5\"");
+        let back: LayerUnit = serde_json::from_str("\"layers.5\"").unwrap();
+        assert_eq!(back, u);
+    }
+
+    #[test]
+    fn exists_in_checks_layer_bounds() {
+        let c = ModelConfig::tiny_test(); // 2 layers
+        assert!(LayerUnit::Transformer(1).exists_in(&c));
+        assert!(!LayerUnit::Transformer(2).exists_in(&c));
+    }
+}

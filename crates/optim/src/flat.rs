@@ -1,0 +1,131 @@
+//! Flatten / unflatten parameter groups to and from flat f32 buffers.
+//!
+//! The optimizer state lives in flat per-group buffers (as DeepSpeed's
+//! does); member tensors are concatenated in canonical model order. The
+//! trainer's write-back optionally rounds through BF16 to simulate the
+//! mixed-precision master-weight -> model-weight cast.
+
+use crate::groups::GroupSpec;
+use llmt_model::ParamSet;
+use llmt_tensor::dtype::bf16_round;
+
+/// Concatenate a group's member tensors into one flat buffer.
+pub fn flatten_group(params: &ParamSet, group: &GroupSpec) -> Vec<f32> {
+    let mut out = Vec::with_capacity(group.numel);
+    for name in &group.names {
+        let t = params
+            .get(name)
+            .unwrap_or_else(|| panic!("flatten: missing {name}"));
+        out.extend_from_slice(t.data());
+    }
+    debug_assert_eq!(out.len(), group.numel);
+    out
+}
+
+/// Scatter a flat buffer back into the group's member tensors. When
+/// `quantize_bf16` is set, values are rounded through BF16 on the way in
+/// (the model copy), while the flat buffer (the master copy) is untouched.
+pub fn unflatten_group_into(
+    params: &mut ParamSet,
+    group: &GroupSpec,
+    flat: &[f32],
+    quantize_bf16: bool,
+) {
+    assert_eq!(flat.len(), group.numel, "flat buffer size mismatch");
+    let mut off = 0;
+    for name in &group.names {
+        let t = params
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unflatten: missing {name}"));
+        let n = t.numel();
+        let src = &flat[off..off + n];
+        let dst = t.data_mut();
+        if quantize_bf16 {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d = bf16_round(*s);
+            }
+        } else {
+            dst.copy_from_slice(src);
+        }
+        off += n;
+    }
+    assert_eq!(off, flat.len());
+}
+
+/// Byte offsets of each member tensor within the group's flat buffer.
+pub fn member_offsets(group: &GroupSpec, params: &ParamSet) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::with_capacity(group.names.len());
+    let mut off = 0;
+    for name in &group.names {
+        let n = params.get(name).map(|t| t.numel()).unwrap_or(0);
+        out.push((name.clone(), off, off + n));
+        off += n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::{build_groups, GroupLayout};
+    use llmt_model::ModelConfig;
+
+    #[test]
+    fn flatten_unflatten_round_trips() {
+        let c = ModelConfig::tiny_test();
+        let params = ParamSet::init(&c, 3);
+        for layout in [GroupLayout::Stock, GroupLayout::LayerWise] {
+            let groups = build_groups(&c, layout);
+            let mut rebuilt = ParamSet::zeros(&c);
+            for g in &groups {
+                let flat = flatten_group(&params, g);
+                assert_eq!(flat.len(), g.numel);
+                unflatten_group_into(&mut rebuilt, g, &flat, false);
+            }
+            for ((_, a), (_, b)) in params.iter().zip(rebuilt.iter()) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_unflatten_rounds() {
+        let c = ModelConfig::tiny_test();
+        let params = ParamSet::init(&c, 5);
+        let groups = build_groups(&c, GroupLayout::LayerWise);
+        let mut rebuilt = ParamSet::zeros(&c);
+        for g in &groups {
+            let flat = flatten_group(&params, g);
+            unflatten_group_into(&mut rebuilt, g, &flat, true);
+        }
+        for (_, t) in rebuilt.iter() {
+            for x in t.data() {
+                assert_eq!(bf16_round(*x), *x);
+            }
+        }
+    }
+
+    #[test]
+    fn member_offsets_tile_the_buffer() {
+        let c = ModelConfig::qwen25_7b_sim();
+        let params = ParamSet::zeros(&c);
+        for g in build_groups(&c, GroupLayout::LayerWise) {
+            let offs = member_offsets(&g, &params);
+            let mut expect = 0;
+            for (_, b, e) in &offs {
+                assert_eq!(*b, expect);
+                expect = *e;
+            }
+            assert_eq!(expect, g.numel);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn unflatten_rejects_wrong_length() {
+        let c = ModelConfig::tiny_test();
+        let mut params = ParamSet::zeros(&c);
+        let groups = build_groups(&c, GroupLayout::Stock);
+        unflatten_group_into(&mut params, &groups[0], &[0.0; 3], false);
+    }
+}

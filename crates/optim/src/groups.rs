@@ -1,0 +1,225 @@
+//! Parameter-group construction: stock 2-group vs layer-wise `2L + x`.
+//!
+//! The layer-wise ordering reproduces paper Figure 3 exactly: the final
+//! normalization layer first, then the no-weight-decay segment of each
+//! transformer layer in depth order, then the embedding layer and the
+//! optional `lm_head`, and finally the weight-decay segment of each
+//! transformer layer. Weight-decay settings are inherited from the stock
+//! layout, so the regrouping is semantically invisible to AdamW.
+
+use llmt_model::naming::all_param_specs;
+use llmt_model::{LayerUnit, ModelConfig};
+use serde::{Deserialize, Serialize};
+
+/// Default weight decay applied to the decay groups (mirrors common
+/// AdamW fine-tuning setups).
+pub const DEFAULT_WEIGHT_DECAY: f32 = 0.01;
+
+/// Which grouping scheme the optimizer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupLayout {
+    /// The conventional two groups: all decay params, all no-decay params.
+    Stock,
+    /// The paper's reconstructed `2L + x` layer-aligned layout.
+    LayerWise,
+}
+
+/// One optimizer parameter group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSpec {
+    /// Position of the group in the optimizer's group list.
+    pub id: usize,
+    /// Decoupled weight-decay coefficient for this group.
+    pub weight_decay: f32,
+    /// Member parameter names, in canonical model order.
+    pub names: Vec<String>,
+    /// Total element count of the group's flat buffer.
+    pub numel: usize,
+    /// The owning unit for layer-wise groups (`None` for stock groups,
+    /// which span the whole model).
+    pub unit: Option<LayerUnit>,
+}
+
+/// Build the optimizer groups for a config under the chosen layout.
+pub fn build_groups(config: &ModelConfig, layout: GroupLayout) -> Vec<GroupSpec> {
+    match layout {
+        GroupLayout::Stock => build_stock(config),
+        GroupLayout::LayerWise => build_layerwise(config),
+    }
+}
+
+fn build_stock(config: &ModelConfig) -> Vec<GroupSpec> {
+    let specs = all_param_specs(config);
+    let mut decay = GroupSpec {
+        id: 0,
+        weight_decay: DEFAULT_WEIGHT_DECAY,
+        names: Vec::new(),
+        numel: 0,
+        unit: None,
+    };
+    let mut no_decay = GroupSpec {
+        id: 1,
+        weight_decay: 0.0,
+        names: Vec::new(),
+        numel: 0,
+        unit: None,
+    };
+    for s in specs {
+        let g = if s.decay { &mut decay } else { &mut no_decay };
+        g.numel += s.numel();
+        g.names.push(s.name);
+    }
+    vec![decay, no_decay]
+}
+
+fn build_layerwise(config: &ModelConfig) -> Vec<GroupSpec> {
+    let l = config.num_hidden_layers;
+    let mut groups = Vec::with_capacity(2 * l + config.num_aux_units());
+    let push = |unit: LayerUnit, decay: bool, groups: &mut Vec<GroupSpec>| {
+        let members: Vec<_> = llmt_model::naming::unit_param_specs(config, unit)
+            .into_iter()
+            .filter(|s| s.decay == decay)
+            .collect();
+        debug_assert!(!members.is_empty(), "empty group for {unit} decay={decay}");
+        groups.push(GroupSpec {
+            id: groups.len(),
+            weight_decay: if decay { DEFAULT_WEIGHT_DECAY } else { 0.0 },
+            numel: members.iter().map(|s| s.numel()).sum(),
+            names: members.into_iter().map(|s| s.name).collect(),
+            unit: Some(unit),
+        });
+    };
+    // Figure 3 ordering: norm, per-layer no-decay, embed, lm_head, per-layer decay.
+    push(LayerUnit::FinalNorm, false, &mut groups);
+    for i in 0..l {
+        push(LayerUnit::Transformer(i), false, &mut groups);
+    }
+    push(LayerUnit::EmbedTokens, true, &mut groups);
+    if config.has_lm_head() {
+        push(LayerUnit::LmHead, true, &mut groups);
+    }
+    for i in 0..l {
+        push(LayerUnit::Transformer(i), true, &mut groups);
+    }
+    groups
+}
+
+/// Expected group count for the layer-wise layout: the paper's `2L + x`.
+pub fn layerwise_group_count(config: &ModelConfig) -> usize {
+    2 * config.num_hidden_layers + config.num_aux_units()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_layout_has_two_groups() {
+        let c = ModelConfig::qwen25_7b_sim();
+        let g = build_groups(&c, GroupLayout::Stock);
+        assert_eq!(g.len(), 2);
+        assert!(g[0].weight_decay > 0.0);
+        assert_eq!(g[1].weight_decay, 0.0);
+    }
+
+    #[test]
+    fn layerwise_count_matches_paper_formula() {
+        // Figure 3: a 16-layer untied model has 2*16 + 3 = 35 groups.
+        let mut c = ModelConfig::llama32_1b_sim();
+        c.tie_word_embeddings = false;
+        assert_eq!(build_groups(&c, GroupLayout::LayerWise).len(), 35);
+        assert_eq!(layerwise_group_count(&c), 35);
+        // Tied variant loses the lm_head group: 34.
+        let tied = ModelConfig::llama32_1b_sim();
+        assert_eq!(build_groups(&tied, GroupLayout::LayerWise).len(), 34);
+        // 8B sim: 2*32 + 3 = 67.
+        assert_eq!(
+            build_groups(&ModelConfig::llama31_8b_sim(), GroupLayout::LayerWise).len(),
+            67
+        );
+    }
+
+    #[test]
+    fn layerwise_ordering_follows_figure3() {
+        let c = ModelConfig::llama31_8b_sim();
+        let g = build_groups(&c, GroupLayout::LayerWise);
+        let l = c.num_hidden_layers;
+        assert_eq!(g[0].unit, Some(LayerUnit::FinalNorm));
+        for i in 0..l {
+            assert_eq!(g[1 + i].unit, Some(LayerUnit::Transformer(i)));
+            assert_eq!(g[1 + i].weight_decay, 0.0);
+        }
+        assert_eq!(g[l + 1].unit, Some(LayerUnit::EmbedTokens));
+        assert_eq!(g[l + 2].unit, Some(LayerUnit::LmHead));
+        for i in 0..l {
+            assert_eq!(g[l + 3 + i].unit, Some(LayerUnit::Transformer(i)));
+            assert!(g[l + 3 + i].weight_decay > 0.0);
+        }
+    }
+
+    #[test]
+    fn layouts_cover_the_same_parameter_multiset() {
+        for c in [
+            ModelConfig::llama32_1b_sim(),
+            ModelConfig::qwen25_7b_sim(),
+            ModelConfig::tiny_test(),
+        ] {
+            let mut stock: Vec<String> = build_groups(&c, GroupLayout::Stock)
+                .into_iter()
+                .flat_map(|g| g.names)
+                .collect();
+            let mut lw: Vec<String> = build_groups(&c, GroupLayout::LayerWise)
+                .into_iter()
+                .flat_map(|g| g.names)
+                .collect();
+            stock.sort();
+            lw.sort();
+            assert_eq!(stock, lw, "{}", c.model_name);
+        }
+    }
+
+    #[test]
+    fn per_parameter_decay_preserved_across_layouts() {
+        let c = ModelConfig::qwen25_7b_sim();
+        let mut stock_decay = std::collections::HashMap::new();
+        for g in build_groups(&c, GroupLayout::Stock) {
+            for n in &g.names {
+                stock_decay.insert(n.clone(), g.weight_decay);
+            }
+        }
+        for g in build_groups(&c, GroupLayout::LayerWise) {
+            for n in &g.names {
+                assert_eq!(stock_decay[n], g.weight_decay, "decay changed for {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_ids_are_positions() {
+        let c = ModelConfig::tiny_test();
+        for layout in [GroupLayout::Stock, GroupLayout::LayerWise] {
+            for (i, g) in build_groups(&c, layout).iter().enumerate() {
+                assert_eq!(g.id, i);
+            }
+        }
+    }
+
+    #[test]
+    fn numel_sums_to_model_total() {
+        let c = ModelConfig::qwen25_7b_sim();
+        let total = llmt_model::naming::total_params(&c);
+        for layout in [GroupLayout::Stock, GroupLayout::LayerWise] {
+            let sum: usize = build_groups(&c, layout).iter().map(|g| g.numel).sum();
+            assert_eq!(sum, total);
+        }
+    }
+
+    #[test]
+    fn qwen_layer_nodecay_group_holds_norms_and_biases() {
+        let c = ModelConfig::qwen25_7b_sim();
+        let g = build_groups(&c, GroupLayout::LayerWise);
+        let layer0_nodecay = &g[1];
+        assert_eq!(layer0_nodecay.names.len(), 5); // 2 norms + 3 biases
+        assert!(layer0_nodecay.names.iter().all(|n| n.contains("layers.0")));
+    }
+}

@@ -1,0 +1,179 @@
+//! Pure-arithmetic group indexing (paper §4.1).
+//!
+//! "Since the ordering of such parameter groups is consistent across
+//! different LLMs, knowing only the total number of transformer layers and
+//! whether weight tying is applied ... is sufficient to determine the
+//! parameter group index of each layer in the optimizer file." This module
+//! is that sentence as code: [`GroupIndexMap`] computes group indices from
+//! `(L, tied)` alone, and the tests pin it against the constructive
+//! [`crate::groups::build_groups`] layout.
+
+use llmt_model::{LayerUnit, ModelConfig};
+use serde::{Deserialize, Serialize};
+
+/// Locates the optimizer groups of any unit under the layer-wise layout,
+/// using only the transformer layer count and the weight-tying flag.
+///
+/// ```
+/// use llmt_optim::GroupIndexMap;
+/// use llmt_model::LayerUnit;
+/// // Figure 3's subject: 16 layers, untied head -> 2L + 3 = 35 groups.
+/// let map = GroupIndexMap { num_layers: 16, tied: false };
+/// assert_eq!(map.group_count(), 35);
+/// assert_eq!(map.groups_for_unit(LayerUnit::Transformer(0)), Some(vec![1, 19]));
+/// assert_eq!(map.groups_for_unit(LayerUnit::EmbedTokens), Some(vec![17]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupIndexMap {
+    /// Number of transformer layers (`L`).
+    pub num_layers: usize,
+    /// Whether `lm_head` is weight-tied to the embedding (no head group).
+    pub tied: bool,
+}
+
+impl GroupIndexMap {
+    /// Build from a model config.
+    pub fn from_config(config: &ModelConfig) -> Self {
+        GroupIndexMap {
+            num_layers: config.num_hidden_layers,
+            tied: config.tie_word_embeddings,
+        }
+    }
+
+    /// Total number of groups: the paper's `2L + x`.
+    pub fn group_count(&self) -> usize {
+        2 * self.num_layers + self.aux_count()
+    }
+
+    /// Number of auxiliary groups (`x`): norm + embed (+ lm_head).
+    pub fn aux_count(&self) -> usize {
+        2 + usize::from(!self.tied)
+    }
+
+    /// Group indices owned by a unit, in ascending order. Transformer
+    /// layers own two groups (no-decay, decay); auxiliary layers own one.
+    /// Returns `None` for units that do not exist under this map.
+    pub fn groups_for_unit(&self, unit: LayerUnit) -> Option<Vec<usize>> {
+        let l = self.num_layers;
+        match unit {
+            LayerUnit::FinalNorm => Some(vec![0]),
+            LayerUnit::Transformer(i) if i < l => {
+                let decay_base = l + 2 + usize::from(!self.tied);
+                Some(vec![1 + i, decay_base + i])
+            }
+            LayerUnit::Transformer(_) => None,
+            LayerUnit::EmbedTokens => Some(vec![l + 1]),
+            LayerUnit::LmHead if !self.tied => Some(vec![l + 2]),
+            LayerUnit::LmHead => None,
+        }
+    }
+
+    /// Inverse: which unit owns a group index (`None` if out of range).
+    pub fn unit_for_group(&self, group: usize) -> Option<LayerUnit> {
+        let l = self.num_layers;
+        let decay_base = l + 2 + usize::from(!self.tied);
+        match group {
+            0 => Some(LayerUnit::FinalNorm),
+            g if g >= 1 && g <= l => Some(LayerUnit::Transformer(g - 1)),
+            g if g == l + 1 => Some(LayerUnit::EmbedTokens),
+            g if g == l + 2 && !self.tied => Some(LayerUnit::LmHead),
+            g if g >= decay_base && g < decay_base + l => {
+                Some(LayerUnit::Transformer(g - decay_base))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::{build_groups, GroupLayout};
+
+    fn configs() -> Vec<ModelConfig> {
+        vec![
+            ModelConfig::llama32_1b_sim(),
+            ModelConfig::llama31_8b_sim(),
+            ModelConfig::qwen25_7b_sim(),
+            ModelConfig::tiny_test(),
+            ModelConfig::tiny_test_tied(),
+        ]
+    }
+
+    /// The arithmetic map must agree with the constructive layout for
+    /// every unit of every zoo model — this is the paper's "config file is
+    /// sufficient" claim.
+    #[test]
+    fn arithmetic_map_agrees_with_constructive_layout() {
+        for cfg in configs() {
+            let map = GroupIndexMap::from_config(&cfg);
+            let groups = build_groups(&cfg, GroupLayout::LayerWise);
+            assert_eq!(map.group_count(), groups.len(), "{}", cfg.model_name);
+            for unit in LayerUnit::all(&cfg) {
+                let expect: Vec<usize> = groups
+                    .iter()
+                    .filter(|g| g.unit == Some(unit))
+                    .map(|g| g.id)
+                    .collect();
+                assert_eq!(
+                    map.groups_for_unit(unit).unwrap(),
+                    expect,
+                    "{} unit {unit}",
+                    cfg.model_name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_map_round_trips() {
+        for cfg in configs() {
+            let map = GroupIndexMap::from_config(&cfg);
+            for g in 0..map.group_count() {
+                let unit = map.unit_for_group(g).unwrap_or_else(|| {
+                    panic!("{}: group {g} has no unit", cfg.model_name)
+                });
+                assert!(
+                    map.groups_for_unit(unit).unwrap().contains(&g),
+                    "{}: group {g} -> {unit} -> missing",
+                    cfg.model_name
+                );
+            }
+            assert_eq!(map.unit_for_group(map.group_count()), None);
+        }
+    }
+
+    #[test]
+    fn figure3_sixteen_layer_untied_yields_35_groups() {
+        let map = GroupIndexMap {
+            num_layers: 16,
+            tied: false,
+        };
+        assert_eq!(map.group_count(), 35);
+        assert_eq!(map.groups_for_unit(LayerUnit::FinalNorm), Some(vec![0]));
+        assert_eq!(map.groups_for_unit(LayerUnit::Transformer(0)), Some(vec![1, 19]));
+        assert_eq!(map.groups_for_unit(LayerUnit::EmbedTokens), Some(vec![17]));
+        assert_eq!(map.groups_for_unit(LayerUnit::LmHead), Some(vec![18]));
+        assert_eq!(map.groups_for_unit(LayerUnit::Transformer(15)), Some(vec![16, 34]));
+    }
+
+    #[test]
+    fn tied_map_has_no_lm_head() {
+        let map = GroupIndexMap {
+            num_layers: 16,
+            tied: true,
+        };
+        assert_eq!(map.group_count(), 34);
+        assert_eq!(map.groups_for_unit(LayerUnit::LmHead), None);
+        assert_eq!(map.groups_for_unit(LayerUnit::Transformer(0)), Some(vec![1, 18]));
+    }
+
+    #[test]
+    fn out_of_range_layer_rejected() {
+        let map = GroupIndexMap {
+            num_layers: 4,
+            tied: false,
+        };
+        assert_eq!(map.groups_for_unit(LayerUnit::Transformer(4)), None);
+    }
+}

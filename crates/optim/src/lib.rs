@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! AdamW with parameter groups, including the paper's layer-wise group
+//! reconstruction (§4.1, Figure 3).
+//!
+//! Stock training flattens all parameters into **two** groups — decay and
+//! no-decay — which makes the optimizer file inseparable per layer. The
+//! core trick of LLMTailor is to rebuild the groups *before training* into
+//! a `2L + x` layout that mirrors the model's layer structure while
+//! preserving every hyperparameter, so each layer's optimizer state can be
+//! located, copied and merged independently. [`groups`] implements both
+//! layouts; [`index`] provides the pure arithmetic that locates a layer's
+//! groups from nothing but the layer count and the weight-tying flag;
+//! [`adamw`] is the update rule itself (identical under either layout —
+//! see the equivalence tests).
+
+pub mod adamw;
+pub mod flat;
+pub mod groups;
+pub mod index;
+pub mod schedule;
+
+pub use adamw::{adamw_update, AdamWHyper, GroupedAdamW};
+pub use groups::{build_groups, GroupLayout, GroupSpec};
+pub use index::GroupIndexMap;
+pub use schedule::LrSchedule;

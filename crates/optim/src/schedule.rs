@@ -1,0 +1,155 @@
+//! Learning-rate schedules.
+//!
+//! Resume correctness depends on the schedule being a pure function of the
+//! global step (paper §4.4 copies the trainer state so the resumed run
+//! continues at the right learning rate); all schedules here are stateless.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule evaluated at a 0-based global step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup to `peak_lr` over `warmup_steps`, then linear decay to
+    /// `min_lr` at `total_steps`.
+    WarmupLinear {
+        /// Peak learning rate after warmup.
+        peak_lr: f32,
+        /// Floor learning rate at the end of training.
+        min_lr: f32,
+        /// Warmup duration in steps.
+        warmup_steps: u64,
+        /// Total training steps.
+        total_steps: u64,
+    },
+    /// Linear warmup then cosine decay to `min_lr`.
+    WarmupCosine {
+        /// Peak learning rate after warmup.
+        peak_lr: f32,
+        /// Floor learning rate.
+        min_lr: f32,
+        /// Warmup duration in steps.
+        warmup_steps: u64,
+        /// Total training steps.
+        total_steps: u64,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `step` (0-based: the rate used for the step that
+    /// moves the model from state `step` to `step + 1`).
+    pub fn lr_at(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::WarmupLinear {
+                peak_lr,
+                min_lr,
+                warmup_steps,
+                total_steps,
+            } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    peak_lr * (step + 1) as f32 / warmup_steps as f32
+                } else if step >= total_steps {
+                    min_lr
+                } else {
+                    let span = (total_steps - warmup_steps).max(1) as f32;
+                    let done = (step - warmup_steps) as f32 / span;
+                    min_lr + (peak_lr - min_lr) * (1.0 - done)
+                }
+            }
+            LrSchedule::WarmupCosine {
+                peak_lr,
+                min_lr,
+                warmup_steps,
+                total_steps,
+            } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    peak_lr * (step + 1) as f32 / warmup_steps as f32
+                } else if step >= total_steps {
+                    min_lr
+                } else {
+                    let span = (total_steps - warmup_steps).max(1) as f32;
+                    let done = (step - warmup_steps) as f32 / span;
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * done).cos());
+                    min_lr + (peak_lr - min_lr) * cos
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 3e-4 };
+        assert_eq!(s.lr_at(0), 3e-4);
+        assert_eq!(s.lr_at(1_000_000), 3e-4);
+    }
+
+    #[test]
+    fn warmup_ramps_then_decays() {
+        let s = LrSchedule::WarmupLinear {
+            peak_lr: 1.0,
+            min_lr: 0.1,
+            warmup_steps: 10,
+            total_steps: 110,
+        };
+        assert!(s.lr_at(0) < s.lr_at(5));
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(50) < 1.0 && s.lr_at(50) > 0.1);
+        assert_eq!(s.lr_at(110), 0.1);
+        assert_eq!(s.lr_at(10_000), 0.1);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing_after_warmup() {
+        let s = LrSchedule::WarmupCosine {
+            peak_lr: 1.0,
+            min_lr: 0.0,
+            warmup_steps: 0,
+            total_steps: 100,
+        };
+        let mut prev = f32::INFINITY;
+        for step in 0..100 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev + 1e-7, "step {step}");
+            prev = lr;
+        }
+        assert!(s.lr_at(99) < 0.01);
+    }
+
+    #[test]
+    fn schedule_is_pure_function_of_step() {
+        let s = LrSchedule::WarmupCosine {
+            peak_lr: 5e-4,
+            min_lr: 5e-5,
+            warmup_steps: 20,
+            total_steps: 500,
+        };
+        // Resuming at step k sees exactly the same rate as never stopping.
+        for k in [0u64, 19, 20, 250, 499, 500] {
+            assert_eq!(s.lr_at(k), s.lr_at(k));
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        let back: LrSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_peak() {
+        let s = LrSchedule::WarmupLinear {
+            peak_lr: 1.0,
+            min_lr: 0.0,
+            warmup_steps: 0,
+            total_steps: 10,
+        };
+        assert_eq!(s.lr_at(0), 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the group-layout laws of DESIGN.md.
+
+use llmt_model::naming::all_param_specs;
+use llmt_model::{LayerUnit, ModelConfig};
+use llmt_optim::{adamw_update, build_groups, AdamWHyper, GroupIndexMap, GroupLayout};
+use proptest::prelude::*;
+
+/// Random-but-valid model configs across the structural space that matters
+/// to grouping: layer count, tying, attention biases.
+fn arb_config() -> impl Strategy<Value = ModelConfig> {
+    (1usize..9, any::<bool>(), any::<bool>()).prop_map(|(layers, tied, bias)| ModelConfig {
+        model_name: format!("prop-{layers}-{tied}-{bias}"),
+        num_hidden_layers: layers,
+        tie_word_embeddings: tied,
+        attention_bias: bias,
+        ..ModelConfig::tiny_test()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both layouts cover exactly the same parameter multiset, and the
+    /// per-parameter weight decay never changes.
+    #[test]
+    fn layouts_partition_identically(cfg in arb_config()) {
+        let specs = all_param_specs(&cfg);
+        for layout in [GroupLayout::Stock, GroupLayout::LayerWise] {
+            let groups = build_groups(&cfg, layout);
+            let mut names: Vec<&String> = groups.iter().flat_map(|g| &g.names).collect();
+            names.sort();
+            names.dedup();
+            prop_assert_eq!(names.len(), specs.len(), "{:?}", layout);
+            for g in &groups {
+                for n in &g.names {
+                    let spec = specs.iter().find(|s| &s.name == n).unwrap();
+                    prop_assert_eq!(spec.decay, g.weight_decay > 0.0, "{}", n);
+                }
+            }
+        }
+    }
+
+    /// The arithmetic index map agrees with the constructive layout on
+    /// every unit of every config — the paper's "config file suffices".
+    #[test]
+    fn index_map_agrees_with_layout(cfg in arb_config()) {
+        let map = GroupIndexMap::from_config(&cfg);
+        let groups = build_groups(&cfg, GroupLayout::LayerWise);
+        prop_assert_eq!(map.group_count(), groups.len());
+        prop_assert_eq!(map.group_count(), 2 * cfg.num_hidden_layers + cfg.num_aux_units());
+        for unit in LayerUnit::all(&cfg) {
+            let expect: Vec<usize> = groups
+                .iter()
+                .filter(|g| g.unit == Some(unit))
+                .map(|g| g.id)
+                .collect();
+            prop_assert_eq!(map.groups_for_unit(unit).unwrap(), expect);
+        }
+        for g in 0..map.group_count() {
+            let unit = map.unit_for_group(g).unwrap();
+            prop_assert!(map.groups_for_unit(unit).unwrap().contains(&g));
+        }
+    }
+
+    /// AdamW is invariant to splitting a buffer: updating one buffer of
+    /// length n equals updating its two halves independently (the deep
+    /// reason layer-wise regrouping cannot change training).
+    #[test]
+    fn adamw_is_splittable(
+        vals in prop::collection::vec(-2.0f32..2.0, 2..32),
+        grads_seed in any::<u64>(),
+        lr in 1e-4f32..1e-1,
+        wd in 0.0f32..0.1,
+        steps in 1u64..5,
+        split_at_frac in 0.0f64..1.0,
+    ) {
+        let n = vals.len();
+        let split = ((n as f64 * split_at_frac) as usize).clamp(1, n - 1);
+        let mut rng = llmt_tensor::rng::Prng::seed_from_u64(grads_seed);
+        let hp = AdamWHyper { lr, weight_decay: wd, ..Default::default() };
+
+        let mut whole = vals.clone();
+        let mut mw = vec![0.0; n];
+        let mut vw = vec![0.0; n];
+        let mut left = vals[..split].to_vec();
+        let mut ml = vec![0.0; split];
+        let mut vl = vec![0.0; split];
+        let mut right = vals[split..].to_vec();
+        let mut mr = vec![0.0; n - split];
+        let mut vr = vec![0.0; n - split];
+
+        for step in 1..=steps {
+            let g: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+            adamw_update(&mut whole, &mut mw, &mut vw, &g, &hp, step);
+            adamw_update(&mut left, &mut ml, &mut vl, &g[..split], &hp, step);
+            adamw_update(&mut right, &mut mr, &mut vr, &g[split..], &hp, step);
+        }
+        prop_assert_eq!(&whole[..split], &left[..]);
+        prop_assert_eq!(&whole[split..], &right[..]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Byte/file accounting for checkpoint traffic.
+
+use crate::model::StorageModel;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated I/O volume of a training run's checkpoint activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoTally {
+    /// Bytes written.
+    pub bytes: u64,
+    /// Files written.
+    pub files: u64,
+    /// Checkpoint events.
+    pub events: u64,
+}
+
+impl IoTally {
+    /// Record one checkpoint of `bytes` across `files`.
+    pub fn record(&mut self, bytes: u64, files: u64) {
+        self.bytes += bytes;
+        self.files += files;
+        self.events += 1;
+    }
+
+    /// Merge another tally.
+    pub fn absorb(&mut self, other: &IoTally) {
+        self.bytes += other.bytes;
+        self.files += other.files;
+        self.events += other.events;
+    }
+
+    /// Modeled write time of the whole tally under a storage model.
+    pub fn modeled_write_time(&self, m: &StorageModel) -> f64 {
+        m.write_time(self.bytes, self.files)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut t = IoTally::default();
+        t.record(100, 2);
+        t.record(50, 1);
+        assert_eq!(t.bytes, 150);
+        assert_eq!(t.files, 3);
+        assert_eq!(t.events, 2);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = IoTally::default();
+        a.record(10, 1);
+        let mut b = IoTally::default();
+        b.record(20, 2);
+        a.absorb(&b);
+        assert_eq!(a.bytes, 30);
+        assert_eq!(a.files, 3);
+        assert_eq!(a.events, 2);
+    }
+
+    #[test]
+    fn modeled_time_uses_storage_model() {
+        let mut t = IoTally::default();
+        t.record(1_000_000_000, 10);
+        let m = StorageModel {
+            write_bw: 1e9,
+            read_bw: 1e9,
+            per_file_latency: 0.1,
+        };
+        assert!((t.modeled_write_time(&m) - 2.0).abs() < 1e-9);
+    }
+}

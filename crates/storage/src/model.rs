@@ -1,0 +1,126 @@
+//! Bandwidth/latency storage model and FLOPs/MFU step-time model.
+
+use serde::{Deserialize, Serialize};
+
+/// A parallel-filesystem write/read cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageModel {
+    /// Aggregate write bandwidth in bytes/second.
+    pub write_bw: f64,
+    /// Aggregate read bandwidth in bytes/second.
+    pub read_bw: f64,
+    /// Fixed per-file cost in seconds (open/close/metadata round trips).
+    pub per_file_latency: f64,
+}
+
+impl StorageModel {
+    /// Lustre-over-InfiniBand calibration used for paper-scale projections
+    /// (aggregate client bandwidth of a well-striped 8-node job).
+    pub fn lustre_paper() -> Self {
+        StorageModel {
+            write_bw: 3.2e9,
+            read_bw: 4.0e9,
+            per_file_latency: 5e-3,
+        }
+    }
+
+    /// A local NVMe-class device (for comparison sweeps).
+    pub fn local_nvme() -> Self {
+        StorageModel {
+            write_bw: 2.0e9,
+            read_bw: 3.5e9,
+            per_file_latency: 2e-4,
+        }
+    }
+
+    /// Seconds to write `bytes` across `files` files.
+    pub fn write_time(&self, bytes: u64, files: u64) -> f64 {
+        bytes as f64 / self.write_bw + files as f64 * self.per_file_latency
+    }
+
+    /// Seconds to read `bytes` across `files` files.
+    pub fn read_time(&self, bytes: u64, files: u64) -> f64 {
+        bytes as f64 / self.read_bw + files as f64 * self.per_file_latency
+    }
+}
+
+/// GPU training-step time model: `tokens * 6 * params / (world * peak * mfu)`
+/// — the standard "6N FLOPs per token" estimate for decoder-only training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuStepModel {
+    /// Peak per-GPU throughput in FLOP/s (A100 BF16: 312e12).
+    pub peak_flops: f64,
+    /// Model FLOPs utilization actually achieved (0..1).
+    pub mfu: f64,
+    /// Number of data-parallel GPUs.
+    pub world: usize,
+}
+
+impl GpuStepModel {
+    /// The paper's testbed: 8×A100-80GB at a typical ZeRO-3 MFU.
+    pub fn a100_paper() -> Self {
+        GpuStepModel {
+            peak_flops: 312e12,
+            mfu: 0.38,
+            world: 8,
+        }
+    }
+
+    /// Seconds per optimizer step for `params` parameters and
+    /// `tokens_per_step` tokens processed across the whole cluster.
+    pub fn step_time(&self, params: u64, tokens_per_step: u64) -> f64 {
+        (tokens_per_step as f64) * 6.0 * (params as f64)
+            / (self.world as f64 * self.peak_flops * self.mfu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_time_is_linear_in_bytes_and_files() {
+        let m = StorageModel {
+            write_bw: 1e9,
+            read_bw: 1e9,
+            per_file_latency: 0.01,
+        };
+        assert!((m.write_time(2_000_000_000, 0) - 2.0).abs() < 1e-9);
+        assert!((m.write_time(0, 10) - 0.1).abs() < 1e-9);
+        assert!((m.write_time(1_000_000_000, 5) - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halving_bytes_roughly_halves_time_when_bandwidth_bound() {
+        let m = StorageModel::lustre_paper();
+        let full = m.write_time(100_000_000_000, 10);
+        let half = m.write_time(50_000_000_000, 10);
+        let ratio = full / half;
+        assert!(ratio > 1.9 && ratio < 2.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn per_file_latency_dominates_many_tiny_files() {
+        let m = StorageModel::lustre_paper();
+        let few_big = m.write_time(1_000_000, 1);
+        let many_tiny = m.write_time(1_000_000, 1000);
+        assert!(many_tiny > 10.0 * few_big);
+    }
+
+    #[test]
+    fn a100_step_time_order_of_magnitude() {
+        // Llama-8B CPT setting: micro 4 x accum 2 x 8 GPUs x 2048 seq.
+        let g = GpuStepModel::a100_paper();
+        let t = g.step_time(8_030_000_000, 4 * 2 * 8 * 2048);
+        assert!(t > 2.0 && t < 20.0, "step time {t}s is implausible");
+    }
+
+    #[test]
+    fn step_time_scales_inversely_with_world() {
+        let mut g = GpuStepModel::a100_paper();
+        let t8 = g.step_time(1_000_000_000, 1 << 20);
+        g.world = 16;
+        let t16 = g.step_time(1_000_000_000, 1 << 20);
+        assert!((t8 / t16 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Tensor shapes and row-major stride arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// A tensor shape (row-major).
+///
+/// Scalars are represented by the empty shape, matching the safetensors
+/// convention of `shape: []` for zero-dimensional tensors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Construct from any dimension list.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (1 for scalars).
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimensions as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.0[i + 1];
+        }
+        s
+    }
+
+    /// Interpreted as a matrix: (rows, cols). Panics unless rank == 2.
+    #[inline]
+    pub fn as_matrix(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "expected rank-2 shape, got {:?}", self.0);
+        (self.0[0], self.0[1])
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).numel(), 24);
+        assert_eq!(Shape::new(vec![2, 3, 4]).rank(), 3);
+        assert_eq!(Shape::new(Vec::new()).numel(), 1); // scalar
+        assert_eq!(Shape::new(vec![0, 7]).numel(), 0);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
+        assert!(Shape::new(Vec::new()).strides().is_empty());
+    }
+
+    #[test]
+    fn matrix_view() {
+        assert_eq!(Shape::new(vec![3, 7]).as_matrix(), (3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-2")]
+    fn matrix_view_rejects_rank3() {
+        Shape::new(vec![1, 2, 3]).as_matrix();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2, 3]");
+    }
+}

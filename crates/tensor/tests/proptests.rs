@@ -1,0 +1,156 @@
+//! Property-based tests for the tensor substrate invariants listed in
+//! DESIGN.md.
+
+use llmt_tensor::dtype::{
+    bf16_bits_to_f32, bf16_round, f16_bits_to_f32, f16_round, f32_to_bf16_bits, f32_to_f16_bits,
+};
+use llmt_tensor::rng::Prng;
+use llmt_tensor::{DType, RawTensor, Shape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Narrow -> widen -> narrow is idempotent for BF16 (the quantization is
+    /// a projection).
+    #[test]
+    fn bf16_projection_idempotent(x in prop::num::f32::ANY) {
+        let once = bf16_round(x);
+        if once.is_nan() {
+            prop_assert!(x.is_nan());
+        } else {
+            prop_assert_eq!(bf16_round(once), once);
+        }
+    }
+
+    /// Every BF16 bit pattern survives decode -> encode exactly.
+    #[test]
+    fn bf16_bits_round_trip(bits in any::<u16>()) {
+        let v = bf16_bits_to_f32(bits);
+        if v.is_nan() {
+            prop_assert!(f16_or_nan(f32_to_bf16_bits(v)));
+        } else {
+            prop_assert_eq!(f32_to_bf16_bits(v), bits);
+        }
+    }
+
+    /// Every F16 bit pattern survives decode -> encode exactly.
+    #[test]
+    fn f16_bits_round_trip(bits in any::<u16>()) {
+        let v = f16_bits_to_f32(bits);
+        if v.is_nan() {
+            // NaNs re-encode to some quiet NaN; exact payload is not promised.
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(f32_to_f16_bits(v), bits);
+        }
+    }
+
+    /// BF16 rounding error is bounded by half a ULP (2^-8 relative).
+    #[test]
+    fn bf16_error_bounded(x in -1e30f32..1e30f32) {
+        let r = bf16_round(x);
+        let err = (r - x).abs();
+        prop_assert!(err <= x.abs() * 3.92e-3 + f32::MIN_POSITIVE,
+            "x={x} r={r} err={err}");
+    }
+
+    /// F16 rounding preserves ordering on the representable range.
+    #[test]
+    fn f16_monotone(a in -6e4f32..6e4f32, b in -6e4f32..6e4f32) {
+        if a <= b {
+            prop_assert!(f16_round(a) <= f16_round(b));
+        }
+    }
+
+    /// Raw round trip through any dtype is exact once values are already at
+    /// that precision.
+    #[test]
+    fn raw_round_trip_after_projection(vals in prop::collection::vec(-1e4f32..1e4f32, 1..64)) {
+        for dtype in [DType::F32, DType::BF16, DType::F16] {
+            let projected: Vec<f32> = match dtype {
+                DType::F32 => vals.clone(),
+                DType::BF16 => vals.iter().map(|v| bf16_round(*v)).collect(),
+                DType::F16 => vals.iter().map(|v| f16_round(*v)).collect(),
+            };
+            let n = projected.len();
+            let raw = RawTensor::from_f32s(&projected, [n], dtype);
+            prop_assert_eq!(raw.to_f32s(), projected);
+        }
+    }
+
+    /// Matmul distributes over addition: A(B + C) = AB + AC (within fp tolerance).
+    #[test]
+    fn matmul_distributes(seed in 0u64..1000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let a = Tensor::randn([4, 5], 1.0, &mut rng);
+        let b = Tensor::randn([5, 3], 1.0, &mut rng);
+        let c = Tensor::randn([5, 3], 1.0, &mut rng);
+        let mut bc = b.clone();
+        bc.add_(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// The fused transposed products agree with explicit transposition.
+    #[test]
+    fn fused_transpose_variants_agree(seed in 0u64..1000) {
+        let mut rng = Prng::seed_from_u64(seed.wrapping_add(77));
+        let a = Tensor::randn([6, 4], 1.0, &mut rng);
+        let w = Tensor::randn([5, 4], 1.0, &mut rng);
+        let fused = a.matmul_bt(&w);
+        let explicit = a.matmul(&w.transpose2());
+        for (x, y) in fused.data().iter().zip(explicit.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        let g = Tensor::randn([6, 5], 1.0, &mut rng);
+        let fused_at = g.matmul_at(&a);
+        let explicit_at = g.transpose2().matmul(&a);
+        for (x, y) in fused_at.data().iter().zip(explicit_at.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Strides are consistent with numel: walking the full index space via
+    /// strides touches each linear index exactly once.
+    #[test]
+    fn strides_enumerate_bijectively(dims in prop::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::new(dims.clone());
+        let strides = shape.strides();
+        let mut seen = vec![false; shape.numel()];
+        let mut idx = vec![0usize; dims.len()];
+        loop {
+            let lin: usize = idx.iter().zip(&strides).map(|(i, s)| i * s).sum();
+            prop_assert!(!seen[lin]);
+            seen[lin] = true;
+            // Odometer increment.
+            let mut d = dims.len();
+            loop {
+                if d == 0 { break; }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < dims[d] { break; }
+                idx[d] = 0;
+                if d == 0 { d = usize::MAX; break; }
+            }
+            if d == usize::MAX { break; }
+        }
+        prop_assert!(seen.iter().all(|s| *s));
+    }
+
+    /// PRNG `below` is always in range.
+    #[test]
+    fn prng_below_in_range(seed in any::<u64>(), n in 1usize..10_000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+}
+
+fn f16_or_nan(_bits: u16) -> bool {
+    true
+}

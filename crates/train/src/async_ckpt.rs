@@ -1,0 +1,249 @@
+//! Asynchronous (overlapped) checkpoint writing.
+//!
+//! The paper positions layer-wise selection as *orthogonal* to I/O-overlap
+//! optimizations like DataStates-LLM ("the approaches are not mutually
+//! exclusive", §5.1). This module demonstrates that composition: the
+//! trainer takes an in-memory snapshot of the model copy and the ZeRO rank
+//! states (the only blocking step) and a background thread performs the
+//! actual serialization and file writes, so training overlaps with
+//! checkpoint I/O. Snapshots carry whatever unit selection the active
+//! strategy produced — full, parity, filtered, or dynamic.
+//!
+//! Consistency note: a crash between snapshot submission and write
+//! completion loses that checkpoint (exactly as with any asynchronous
+//! checkpointing scheme); recovery then falls back to the previous
+//! covered state, which the save log only records after the write
+//! succeeds.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use llmt_ckpt::writer::{save_checkpoint, CheckpointReport, SaveRequest};
+use llmt_ckpt::{Result, TrainerState};
+use llmt_model::{LayerUnit, ModelConfig, ParamSet};
+use llmt_zero::ZeroEngine;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+/// A snapshot job: everything the writer needs, owned.
+pub struct SnapshotJob {
+    /// Run root directory.
+    pub root: PathBuf,
+    /// Global step of the snapshot.
+    pub step: u64,
+    /// Model config.
+    pub config: ModelConfig,
+    /// Cloned model weights (the BF16 copy).
+    pub params: ParamSet,
+    /// Cloned optimizer engine state.
+    pub engine: ZeroEngine,
+    /// Trainer state at the snapshot.
+    pub trainer_state: TrainerState,
+    /// Units to save.
+    pub units: Vec<LayerUnit>,
+}
+
+enum Msg {
+    Job(Box<SnapshotJob>),
+    Shutdown,
+}
+
+/// Background checkpoint writer with a bounded queue (depth 2: one being
+/// written, one waiting — deeper queues only add memory pressure).
+#[derive(Debug)]
+pub struct AsyncCheckpointer {
+    tx: Sender<Msg>,
+    done_rx: Receiver<(u64, Result<CheckpointReport>)>,
+    worker: Option<JoinHandle<()>>,
+    in_flight: usize,
+}
+
+impl AsyncCheckpointer {
+    /// Spawn the writer thread.
+    pub fn new() -> Self {
+        let (tx, rx) = bounded::<Msg>(2);
+        let (done_tx, done_rx) = bounded::<(u64, Result<CheckpointReport>)>(64);
+        let worker = std::thread::Builder::new()
+            .name("ckpt-writer".into())
+            .spawn(move || {
+                while let Ok(Msg::Job(job)) = rx.recv() {
+                    let result = save_checkpoint(&SaveRequest {
+                        root: &job.root,
+                        step: job.step,
+                        config: &job.config,
+                        params: &job.params,
+                        engine: &job.engine,
+                        trainer_state: &job.trainer_state,
+                        units: &job.units,
+                    });
+                    // If the receiver is gone the trainer was dropped; stop.
+                    if done_tx.send((job.step, result)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn checkpoint writer");
+        AsyncCheckpointer {
+            tx,
+            done_rx,
+            worker: Some(worker),
+            in_flight: 0,
+        }
+    }
+
+    /// Queue a snapshot for writing. Blocks only if two snapshots are
+    /// already queued (back-pressure against runaway memory use).
+    pub fn submit(&mut self, job: SnapshotJob) {
+        self.tx
+            .send(Msg::Job(Box::new(job)))
+            .expect("checkpoint writer thread died");
+        self.in_flight += 1;
+    }
+
+    /// Completed writes available right now (non-blocking).
+    pub fn poll(&mut self) -> Vec<(u64, Result<CheckpointReport>)> {
+        let mut out = Vec::new();
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.in_flight -= 1;
+            out.push(done);
+        }
+        out
+    }
+
+    /// Wait for every queued write to finish and return all results.
+    pub fn drain(&mut self) -> Vec<(u64, Result<CheckpointReport>)> {
+        let mut out = Vec::new();
+        while self.in_flight > 0 {
+            let done = self.done_rx.recv().expect("checkpoint writer thread died");
+            self.in_flight -= 1;
+            out.push(done);
+        }
+        out
+    }
+
+    /// Snapshots currently queued or being written.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+}
+
+impl Default for AsyncCheckpointer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for AsyncCheckpointer {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{Trainer, TrainerConfig};
+    use llmt_ckpt::{CheckpointHandle, LoadMode};
+
+    fn snapshot_of(t: &Trainer, units: Vec<LayerUnit>, root: PathBuf) -> SnapshotJob {
+        SnapshotJob {
+            root,
+            step: t.step,
+            config: t.config.model_config.clone(),
+            params: t.model.params.clone(),
+            engine: t.engine.clone(),
+            trainer_state: t.trainer_state(),
+            units,
+        }
+    }
+
+    #[test]
+    fn async_write_equals_sync_write() {
+        let dir_sync = tempfile::tempdir().unwrap();
+        let dir_async = tempfile::tempdir().unwrap();
+        let mut cfg = TrainerConfig::test_default(dir_sync.path().to_path_buf());
+        cfg.ckpt_interval = 3;
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(3, None).unwrap(); // writes checkpoint-3 synchronously
+
+        let mut ac = AsyncCheckpointer::new();
+        let units = LayerUnit::all(&cfg.model_config);
+        ac.submit(snapshot_of(&t, units.clone(), dir_async.path().to_path_buf()));
+        let results = ac.drain();
+        assert_eq!(results.len(), 1);
+        results[0].1.as_ref().unwrap();
+
+        // Bit-identical contents.
+        let mut a = CheckpointHandle::open(&dir_sync.path().join("checkpoint-3"), LoadMode::EagerFull).unwrap();
+        let mut b = CheckpointHandle::open(&dir_async.path().join("checkpoint-3"), LoadMode::EagerFull).unwrap();
+        for unit in units {
+            assert_eq!(a.unit_weights(unit).unwrap(), b.unit_weights(unit).unwrap());
+        }
+        for rank in 0..cfg.world_size {
+            assert_eq!(a.rank_state_full(rank).unwrap(), b.rank_state_full(rank).unwrap());
+        }
+    }
+
+    #[test]
+    fn snapshot_isolates_from_further_training() {
+        // The snapshot must capture the state at submit time even though
+        // training continues while the write happens.
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(2, None).unwrap();
+        let frozen = t.model.params.clone();
+
+        let mut ac = AsyncCheckpointer::new();
+        ac.submit(snapshot_of(&t, LayerUnit::all(&cfg.model_config), dir.path().to_path_buf()));
+        t.train_until(6, None).unwrap(); // keep training during the write
+        let results = ac.drain();
+        results[0].1.as_ref().unwrap();
+
+        let mut h = CheckpointHandle::open(&dir.path().join("checkpoint-2"), LoadMode::EagerFull).unwrap();
+        for unit in LayerUnit::all(&cfg.model_config) {
+            for (name, raw) in h.unit_weights(unit).unwrap() {
+                let live = frozen.get(&name).unwrap();
+                assert_eq!(&llmt_tensor::Tensor::from_raw(&raw), live, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_snapshots_complete_in_order() {
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        let mut t = Trainer::new(cfg.clone());
+        let mut ac = AsyncCheckpointer::new();
+        for target in [1u64, 2, 3] {
+            t.train_until(target, None).unwrap();
+            ac.submit(snapshot_of(
+                &t,
+                LayerUnit::all(&cfg.model_config),
+                dir.path().to_path_buf(),
+            ));
+        }
+        let results = ac.drain();
+        let steps: Vec<u64> = results.iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![1, 2, 3]);
+        assert_eq!(ac.in_flight(), 0);
+        for (_, r) in results {
+            r.unwrap();
+        }
+    }
+
+    #[test]
+    fn failed_write_is_reported_not_swallowed() {
+        let cfg = TrainerConfig::test_default(PathBuf::from("/nonexistent-root/xyz"));
+        let t = Trainer::new(cfg.clone());
+        let mut ac = AsyncCheckpointer::new();
+        ac.submit(snapshot_of(
+            &t,
+            LayerUnit::all(&cfg.model_config),
+            PathBuf::from("/proc/definitely-not-writable/run"),
+        ));
+        let results = ac.drain();
+        assert!(results[0].1.is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Run reports: what a training segment measured.
+
+use llmt_storage::IoTally;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one training segment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Global step at the end of the segment.
+    pub final_step: u64,
+    /// `(step, loss)` for every optimizer step taken in this segment.
+    pub losses: Vec<(u64, f64)>,
+    /// Seconds spent in forward/backward/step compute.
+    pub compute_secs: f64,
+    /// Seconds spent writing checkpoints.
+    pub ckpt_secs: f64,
+    /// Checkpoint I/O volume.
+    pub ckpt_io: IoTally,
+    /// Steps at which checkpoints were written.
+    pub ckpt_steps: Vec<u64>,
+}
+
+impl RunReport {
+    /// Mean loss over the last `n` steps of the segment.
+    pub fn tail_loss(&self, n: usize) -> f64 {
+        let take = self.losses.len().min(n.max(1));
+        if take == 0 {
+            return f64::NAN;
+        }
+        let s: f64 = self.losses[self.losses.len() - take..]
+            .iter()
+            .map(|(_, l)| *l)
+            .sum();
+        s / take as f64
+    }
+
+    /// Measured checkpoint-time proportion: ckpt / (ckpt + compute).
+    pub fn measured_proportion(&self) -> f64 {
+        llmt_storage::proportion(self.ckpt_secs, self.compute_secs)
+    }
+
+    /// Merge a later segment into this report.
+    pub fn extend(&mut self, later: &RunReport) {
+        self.final_step = later.final_step;
+        self.losses.extend(later.losses.iter().copied());
+        self.compute_secs += later.compute_secs;
+        self.ckpt_secs += later.ckpt_secs;
+        self.ckpt_io.absorb(&later.ckpt_io);
+        self.ckpt_steps.extend(later.ckpt_steps.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_loss_averages_last_n() {
+        let r = RunReport {
+            losses: vec![(1, 4.0), (2, 2.0), (3, 1.0)],
+            ..Default::default()
+        };
+        assert!((r.tail_loss(2) - 1.5).abs() < 1e-12);
+        assert!((r.tail_loss(10) - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = RunReport {
+            final_step: 2,
+            losses: vec![(1, 3.0), (2, 2.5)],
+            compute_secs: 1.0,
+            ckpt_secs: 0.5,
+            ckpt_steps: vec![2],
+            ..Default::default()
+        };
+        let b = RunReport {
+            final_step: 4,
+            losses: vec![(3, 2.0), (4, 1.8)],
+            compute_secs: 1.0,
+            ckpt_secs: 0.25,
+            ckpt_steps: vec![4],
+            ..Default::default()
+        };
+        a.extend(&b);
+        assert_eq!(a.final_step, 4);
+        assert_eq!(a.losses.len(), 4);
+        assert_eq!(a.ckpt_steps, vec![2, 4]);
+        assert!((a.compute_secs - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Resume a training run from any *full* checkpoint — a plain one or a
+//! Frankenstein assembled by LLMTailor.
+
+use crate::trainer::{Trainer, TrainerConfig};
+use llmt_ckpt::{CheckpointHandle, CkptError, LoadMode, Result};
+use llmt_data::BatchSource;
+use llmt_model::Model;
+use llmt_optim::{build_groups, AdamWHyper, GroupLayout};
+use llmt_zero::ZeroEngine;
+use std::path::Path;
+
+/// Rebuild a [`Trainer`] from a checkpoint directory.
+///
+/// `config` supplies the run-level knobs (paths, intervals, strategy); the
+/// model weights, optimizer shards, step counters, loss history and data
+/// RNG all come from the checkpoint. Fails on partial checkpoints (merge
+/// them first) and on config mismatches.
+pub fn resume_trainer(dir: &Path, config: TrainerConfig) -> Result<Trainer> {
+    let mut h = CheckpointHandle::open(dir, LoadMode::EagerFull)?;
+    if !h.config.structurally_equal(&config.model_config) {
+        return Err(CkptError::Incompatible(format!(
+            "checkpoint model {} does not match configured model {}",
+            h.config.model_name, config.model_config.model_name
+        )));
+    }
+    if h.zero_meta.world_size != config.world_size {
+        return Err(CkptError::Incompatible(format!(
+            "checkpoint world size {} != configured {}",
+            h.zero_meta.world_size, config.world_size
+        )));
+    }
+
+    // Model + engine skeletons, then overwrite all state from disk.
+    let mut model = Model::new(config.model_config.clone(), config.seed);
+    let mut engine = ZeroEngine::new(
+        &model.params,
+        build_groups(&config.model_config, GroupLayout::LayerWise),
+        config.world_size,
+        AdamWHyper {
+            weight_decay: 0.01,
+            ..Default::default()
+        },
+    );
+    for rank in 0..config.world_size {
+        let state = h.rank_state_full(rank)?;
+        engine.load_rank_state(rank, state);
+    }
+    engine.step_count = h.zero_meta.optimizer_step;
+    engine.materialize_params(&mut model.params, true);
+
+    let ts = h.trainer_state.clone();
+    // Selective-strategy phase and the save-decision log continue across
+    // the failure: the log lives at the run root and the event counter in
+    // the trainer state. Without these, a resumed parity run would restart
+    // at phase 0 and clobber the history recovery depends on.
+    let save_log = llmt_ckpt::manifest::SaveLog::load(&config.run_root.join("save_log.json"))
+        .unwrap_or_default();
+    let data = BatchSource::with_vocab(
+        config.task,
+        config.data_seed,
+        llmt_data::Vocab {
+            size: config.model_config.vocab_size as u32,
+        },
+    );
+    Ok(Trainer::from_restored_parts(
+        config,
+        model,
+        engine,
+        data,
+        ts.data_rng.clone(),
+        ts.global_step,
+        ts.ckpt_event,
+        save_log,
+        ts.loss_history,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmt_model::LayerUnit;
+    use llmtailor::StrategyKind;
+
+    #[test]
+    fn resume_from_full_checkpoint_is_bit_exact() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        cfg.ckpt_interval = 3;
+        // Reference: run 6 steps straight.
+        let mut reference = Trainer::new(cfg.clone());
+        reference.train_until(6, None).unwrap();
+        // Crash after step 4 (last checkpoint at step 3), resume, finish.
+        let mut crashed = Trainer::new(cfg.clone());
+        crashed.train_until(6, Some(4)).unwrap();
+        let mut resumed =
+            resume_trainer(&dir.path().join("checkpoint-3"), cfg.clone()).unwrap();
+        assert_eq!(resumed.step, 3);
+        resumed.train_until(6, None).unwrap();
+        for ((_, a), (_, b)) in resumed
+            .model
+            .params
+            .iter()
+            .zip(reference.model.params.iter())
+        {
+            assert_eq!(a.data(), b.data(), "resume diverged from reference");
+        }
+        assert_eq!(resumed.engine.step_count, reference.engine.step_count);
+        assert_eq!(resumed.loss_history, reference.loss_history);
+    }
+
+    #[test]
+    fn resume_rejects_partial_checkpoints() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        cfg.ckpt_interval = 2;
+        cfg.strategy = StrategyKind::Parity;
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(3, None).unwrap();
+        let err = resume_trainer(&dir.path().join("checkpoint-2"), cfg).unwrap_err();
+        assert!(matches!(err, CkptError::Incompatible(_)), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_wrong_model() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        cfg.ckpt_interval = 2;
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(3, None).unwrap();
+        let mut other = cfg.clone();
+        other.model_config = llmt_model::ModelConfig::tiny_test_tied();
+        let err = resume_trainer(&dir.path().join("checkpoint-2"), other).unwrap_err();
+        assert!(matches!(err, CkptError::Incompatible(_)));
+    }
+
+    #[test]
+    fn resumed_trainer_saves_valid_checkpoints() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        cfg.ckpt_interval = 2;
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(3, None).unwrap();
+        let mut resumed = resume_trainer(&dir.path().join("checkpoint-2"), cfg).unwrap();
+        resumed.train_until(5, None).unwrap();
+        let m = llmt_ckpt::PartialManifest::load(
+            &dir.path().join("checkpoint-4/partial_manifest.json"),
+        )
+        .unwrap();
+        assert!(m.full);
+        assert_eq!(m.units, LayerUnit::all(&resumed.config.model_config));
+    }
+}

@@ -1,0 +1,50 @@
+//! Run-level determinism guarantees.
+//!
+//! The Table 1 comparison ("resumed training matches the original
+//! trajectory") only means anything if the harness itself is bit-exactly
+//! reproducible; these tests pin that property, including the f64
+//! round-trip through `trainer_state.json` (which requires serde_json's
+//! `float_roundtrip` — the default float parser is off by 1 ULP and made
+//! resumed loss histories differ from live ones).
+
+use llmt_train::{resume_trainer, Trainer, TrainerConfig};
+
+#[test]
+fn two_fresh_runs_are_bit_identical() {
+    let d1 = tempfile::tempdir().unwrap();
+    let d2 = tempfile::tempdir().unwrap();
+    let mut c1 = TrainerConfig::test_default(d1.path().to_path_buf());
+    c1.ckpt_interval = 3;
+    let mut c2 = c1.clone();
+    c2.run_root = d2.path().to_path_buf();
+    let mut a = Trainer::new(c1);
+    let mut b = Trainer::new(c2);
+    let ra = a.train_until(4, None).unwrap();
+    let rb = b.train_until(4, None).unwrap();
+    for (x, y) in ra.losses.iter().zip(rb.losses.iter()) {
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "step {}: {} vs {}", x.0, x.1, y.1);
+    }
+    for ((_, ta), (_, tb)) in a.model.params.iter().zip(b.model.params.iter()) {
+        assert_eq!(ta.data(), tb.data());
+    }
+}
+
+#[test]
+fn loss_history_survives_checkpoint_json_bit_exactly() {
+    let dir = tempfile::tempdir().unwrap();
+    let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+    cfg.ckpt_interval = 3;
+    let mut live = Trainer::new(cfg.clone());
+    live.train_until(3, None).unwrap();
+    let resumed = resume_trainer(&dir.path().join("checkpoint-3"), cfg).unwrap();
+    for (x, y) in resumed.loss_history.iter().zip(live.loss_history.iter()) {
+        assert_eq!(
+            x.1.to_bits(),
+            y.1.to_bits(),
+            "step {}: {} vs {} (float_roundtrip regression)",
+            x.0,
+            x.1,
+            y.1
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Shard arithmetic: equal partitions with zero padding.
+//!
+//! For a flat buffer of `n` elements across `world` ranks, every rank owns
+//! exactly `ceil(n / world)` elements; the final rank's tail beyond `n` is
+//! zero padding. Equal shard sizes are what let every rank's checkpoint
+//! file have the same layout — the property LLMTailor's shard copying
+//! relies on.
+
+/// Elements per rank shard (`ceil(n / world)`).
+pub fn shard_size(n: usize, world: usize) -> usize {
+    assert!(world > 0, "world size must be positive");
+    n.div_ceil(world)
+}
+
+/// The half-open range of *real* (unpadded) elements rank `r` owns.
+/// May be empty for trailing ranks of tiny buffers.
+pub fn shard_range(n: usize, world: usize, rank: usize) -> std::ops::Range<usize> {
+    assert!(rank < world, "rank {rank} out of world {world}");
+    let s = shard_size(n, world);
+    let start = (rank * s).min(n);
+    let end = ((rank + 1) * s).min(n);
+    start..end
+}
+
+/// Split a flat buffer into `world` equal shards, padding the tail with
+/// zeros so every shard has `shard_size(n, world)` elements.
+pub fn partition_padded(flat: &[f32], world: usize) -> Vec<Vec<f32>> {
+    let s = shard_size(flat.len(), world);
+    (0..world)
+        .map(|r| {
+            let range = shard_range(flat.len(), world, r);
+            let mut shard = Vec::with_capacity(s);
+            shard.extend_from_slice(&flat[range]);
+            shard.resize(s, 0.0);
+            shard
+        })
+        .collect()
+}
+
+/// Reassemble shards into the original `n`-element buffer, dropping pad.
+pub fn gather(shards: &[Vec<f32>], n: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n);
+    for shard in shards {
+        if out.len() >= n {
+            break;
+        }
+        let take = (n - out.len()).min(shard.len());
+        out.extend_from_slice(&shard[..take]);
+    }
+    assert_eq!(out.len(), n, "shards too small to cover {n} elements");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_sizes_are_equal_and_cover() {
+        for n in [0usize, 1, 7, 8, 9, 100] {
+            for world in [1usize, 2, 3, 8] {
+                let s = shard_size(n, world);
+                assert!(s * world >= n);
+                assert!(s == 0 || s * world < n + world, "minimal padding");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_partition_exactly() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for world in [1usize, 2, 4, 8] {
+                let mut covered = 0;
+                for r in 0..world {
+                    let range = shard_range(n, world, r);
+                    assert_eq!(range.start, covered.min(n));
+                    covered = covered.max(range.end);
+                }
+                assert_eq!(covered.min(n), n);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_gather_round_trips() {
+        let flat: Vec<f32> = (0..37).map(|i| i as f32).collect();
+        for world in [1usize, 2, 3, 5, 8, 37, 64] {
+            let shards = partition_padded(&flat, world);
+            assert_eq!(shards.len(), world);
+            let s = shard_size(flat.len(), world);
+            assert!(shards.iter().all(|sh| sh.len() == s));
+            assert_eq!(gather(&shards, flat.len()), flat);
+        }
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let flat = [1.0f32, 2.0, 3.0];
+        let shards = partition_padded(&flat, 2);
+        assert_eq!(shards[0], vec![1.0, 2.0]);
+        assert_eq!(shards[1], vec![3.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of world")]
+    fn rank_bounds_checked() {
+        shard_range(10, 2, 2);
+    }
+
+    #[test]
+    fn world_larger_than_buffer() {
+        let flat = [5.0f32];
+        let shards = partition_padded(&flat, 4);
+        assert_eq!(shards[0], vec![5.0]);
+        for shard in &shards[1..] {
+            assert_eq!(shard, &vec![0.0]);
+        }
+        assert_eq!(gather(&shards, 1), vec![5.0]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Property tests for the sharding arithmetic.
+
+use llmt_zero::{gather, partition_padded, shard_range, shard_size};
+use proptest::prelude::*;
+
+proptest! {
+    /// Partition then gather is the identity for any (length, world).
+    #[test]
+    fn partition_gather_identity(
+        flat in prop::collection::vec(-1e6f32..1e6, 0..200),
+        world in 1usize..17,
+    ) {
+        let shards = partition_padded(&flat, world);
+        prop_assert_eq!(shards.len(), world);
+        let s = shard_size(flat.len(), world);
+        prop_assert!(shards.iter().all(|sh| sh.len() == s));
+        prop_assert_eq!(gather(&shards, flat.len()), flat);
+    }
+
+    /// Shard ranges tile [0, n) without gaps or overlaps, in rank order.
+    #[test]
+    fn ranges_tile(n in 0usize..10_000, world in 1usize..33) {
+        let mut cursor = 0usize;
+        for r in 0..world {
+            let range = shard_range(n, world, r);
+            prop_assert_eq!(range.start, cursor.min(n));
+            prop_assert!(range.end >= range.start);
+            cursor = range.end.max(cursor);
+        }
+        prop_assert_eq!(cursor.min(n), n);
+    }
+
+    /// Padding is minimal: total padded size is within one world of n.
+    #[test]
+    fn padding_is_minimal(n in 0usize..10_000, world in 1usize..33) {
+        let s = shard_size(n, world);
+        prop_assert!(s * world >= n);
+        prop_assert!(n == 0 || s * world < n + world);
+    }
+}

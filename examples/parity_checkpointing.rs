@@ -1,0 +1,59 @@
+//! Use case 1 (paper §5.2): merge checkpoints by parity.
+//!
+//! Trains the Qwen-2.5-7B simulation on the SFT task twice — once
+//! uninterrupted with full checkpoints (the baseline), once with parity
+//! half-checkpoints, a crash, an LLMTailor merge and a resume — then
+//! compares final train/eval losses (the Table 1 comparison) and
+//! checkpoint volumes (the Table 3 comparison).
+//!
+//! Run with: `cargo run --release --example parity_checkpointing`
+
+use llmt_bench::usecase::{run_use_case, UseCaseSpec};
+use llmtailor::StrategyKind;
+
+fn main() {
+    let spec = UseCaseSpec {
+        total_steps: 30,
+        interval: 5,
+        fail_at: 22,
+        ..UseCaseSpec::qwen_sft(StrategyKind::Parity)
+    };
+    let ref_dir = tempfile::tempdir().unwrap();
+    let par_dir = tempfile::tempdir().unwrap();
+    println!(
+        "training {} on SFT for {} steps (checkpoint every {}, crash at {})...",
+        spec.model.model_name, spec.total_steps, spec.interval, spec.fail_at
+    );
+    let out = run_use_case(&spec, ref_dir.path(), par_dir.path());
+
+    println!("\n-- model quality (Table 1 analogue) --");
+    println!(
+        "baseline (never failed):  final train loss {:.3}, eval loss {:.3}",
+        out.reference_report.tail_loss(3),
+        out.reference_eval_loss
+    );
+    println!(
+        "parity merge + resume:    final train loss {:.3}, eval loss {:.3}",
+        out.resumed_report.tail_loss(3),
+        out.resumed_eval_loss
+    );
+
+    println!("\n-- checkpoint volume (Table 3 analogue) --");
+    let full = out.reference_report.ckpt_io;
+    let mut parity = out.partial_report.ckpt_io;
+    parity.absorb(&out.resumed_report.ckpt_io);
+    println!(
+        "full checkpoints:   {:>12} bytes over {} events",
+        full.bytes, full.events
+    );
+    println!(
+        "parity checkpoints: {:>12} bytes over {} events ({:.2}x smaller per event)",
+        parity.bytes,
+        parity.events,
+        (full.bytes as f64 / full.events as f64) / (parity.bytes as f64 / parity.events as f64)
+    );
+    println!(
+        "\nmerge read {} bytes from {} sources in {:?}",
+        out.merge_report.io.bytes_read, out.merge_report.sources, out.merge_report.duration
+    );
+}

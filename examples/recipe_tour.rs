@@ -1,0 +1,74 @@
+//! Tour of the YAML recipe language and plan validation.
+//!
+//! Run with: `cargo run --release --example recipe_tour`
+
+use llmt_bench::fixtures::CkptFactory;
+use llmt_model::{LayerUnit, ModelConfig};
+use llmtailor::{merge_with_recipe, LoadPattern, MergePlan, MergeRecipe};
+use llmt_ckpt::LoadMode;
+
+fn main() {
+    let dir = tempfile::tempdir().unwrap();
+    let cfg = ModelConfig::llama32_1b_sim(); // 16 layers, tied
+    let mut factory = CkptFactory::new(cfg.clone(), 2, 7, 2);
+    let old = factory.save(&dir.path().join("old"), &LayerUnit::all(&cfg));
+    factory.advance(2);
+    let new = factory.save(&dir.path().join("new"), &LayerUnit::all(&cfg));
+
+    // Selector syntax: single units, ranges, parity-filtered ranges.
+    let yaml = format!(
+        r#"
+merge_method: passthrough
+base_checkpoint: {new}
+output: {out}
+slices:
+  - checkpoint: {old}
+    units: ["layers.1-15:odd", "embed_tokens"]
+  - checkpoint: {new}
+    units: ["layers.0-14:even", "norm"]
+"#,
+        old = old.display(),
+        new = new.display(),
+        out = dir.path().join("franken").display()
+    );
+    println!("recipe:\n{yaml}");
+    let recipe = MergeRecipe::from_yaml(&yaml).expect("parse");
+
+    // Plan resolution shows the final unit -> source assignment.
+    let plan = MergePlan::resolve(&recipe).expect("resolve");
+    println!("resolved assignments:");
+    for (unit, src) in &plan.assignments {
+        println!("  {unit:<12} <- {}", src.file_name().unwrap().to_string_lossy());
+    }
+    println!(
+        "config donor: {} (most recent trainer step)",
+        plan.config_donor.file_name().unwrap().to_string_lossy()
+    );
+
+    let report = merge_with_recipe(&recipe, LoadMode::LazyRange, LoadPattern::Sequential)
+        .expect("merge");
+    println!(
+        "\nmerged into {} ({} bytes written)",
+        report.output.display(),
+        report.bytes_written
+    );
+
+    // Validation: overlapping claims are rejected with a precise error.
+    let bad = format!(
+        r#"
+merge_method: passthrough
+base_checkpoint: {new}
+output: {out}
+slices:
+  - checkpoint: {old}
+    units: ["norm"]
+  - checkpoint: {new}
+    units: ["norm"]
+"#,
+        old = old.display(),
+        new = new.display(),
+        out = dir.path().join("bad").display()
+    );
+    let err = MergePlan::resolve(&MergeRecipe::from_yaml(&bad).unwrap()).unwrap_err();
+    println!("\noverlapping recipe correctly rejected:\n  {err}");
+}

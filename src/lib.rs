@@ -1,0 +1,7 @@
+//! Umbrella crate for the LLMTailor reproduction workspace.
+//!
+//! This package exists to host the workspace-spanning integration tests in
+//! `tests/` and the runnable examples in `examples/`. The actual library
+//! surface lives in the `crates/` members; start with `llmtailor` (the
+//! paper's contribution) and `llmt-train` (the training harness that drives
+//! it).
