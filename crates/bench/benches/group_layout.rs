@@ -17,10 +17,14 @@ fn bench(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("adamw_step_layout");
-    for (name, layout) in [("stock_2_groups", GroupLayout::Stock), ("layerwise_2Lx", GroupLayout::LayerWise)] {
+    for (name, layout) in [
+        ("stock_2_groups", GroupLayout::Stock),
+        ("layerwise_2Lx", GroupLayout::LayerWise),
+    ] {
         group.bench_function(name, |b| {
             let mut params = model.params.clone();
-            let mut opt = GroupedAdamW::new(&params, build_groups(&cfg, layout), AdamWHyper::default());
+            let mut opt =
+                GroupedAdamW::new(&params, build_groups(&cfg, layout), AdamWHyper::default());
             b.iter(|| opt.step(&mut params, &grads, 1e-3, true))
         });
     }

@@ -16,10 +16,26 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let mut i = 0u64;
     for (name, mode, pattern) in [
-        ("sequential_eager", LoadMode::EagerFull, LoadPattern::Sequential),
-        ("parity_eager", LoadMode::EagerFull, LoadPattern::ParityInterleaved),
-        ("sequential_lazy", LoadMode::LazyRange, LoadPattern::Sequential),
-        ("parity_lazy", LoadMode::LazyRange, LoadPattern::ParityInterleaved),
+        (
+            "sequential_eager",
+            LoadMode::EagerFull,
+            LoadPattern::Sequential,
+        ),
+        (
+            "parity_eager",
+            LoadMode::EagerFull,
+            LoadPattern::ParityInterleaved,
+        ),
+        (
+            "sequential_lazy",
+            LoadMode::LazyRange,
+            LoadPattern::Sequential,
+        ),
+        (
+            "parity_lazy",
+            LoadMode::LazyRange,
+            LoadPattern::ParityInterleaved,
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {

@@ -42,7 +42,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("read_lazy_one_tensor", |b| {
         b.iter_batched(
             || safetensors::open_index(&read_path).unwrap(),
-            |index| safetensors::read_tensor_at(&read_path, &index, "model.layers.7.weight").unwrap(),
+            |index| {
+                safetensors::read_tensor_at(&read_path, &index, "model.layers.7.weight").unwrap()
+            },
             BatchSize::SmallInput,
         )
     });

@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0f64;
             for shape in [RunShape::llama8b_cpt(), RunShape::qwen7b_sft()] {
-                for strat in [StrategyKind::Full, StrategyKind::Parity, StrategyKind::Filtered] {
+                for strat in [
+                    StrategyKind::Full,
+                    StrategyKind::Parity,
+                    StrategyKind::Filtered,
+                ] {
                     acc += project(black_box(&shape), strat, 8).proportion;
                 }
             }

@@ -32,6 +32,7 @@ fn run(strategy: StrategyKind, async_ckpt: bool) -> (f64, f64, u64) {
         run_root: dir.path().to_path_buf(),
         async_checkpointing: async_ckpt,
         max_grad_norm: None,
+        crash_during_save: None,
     });
     let report = t.train_until(18, None).unwrap();
     (
@@ -43,7 +44,10 @@ fn run(strategy: StrategyKind, async_ckpt: bool) -> (f64, f64, u64) {
 
 fn main() {
     let mut rows = Vec::new();
-    for (strat_name, strategy) in [("full", StrategyKind::Full), ("parity", StrategyKind::Parity)] {
+    for (strat_name, strategy) in [
+        ("full", StrategyKind::Full),
+        ("parity", StrategyKind::Parity),
+    ] {
         for (mode, async_ckpt) in [("blocking", false), ("async", true)] {
             eprintln!("running {strat_name}/{mode}...");
             let (stall, proportion, bytes) = run(strategy, async_ckpt);
@@ -58,7 +62,13 @@ fn main() {
     }
     print_table(
         "Checkpoint stall: blocking vs overlapped, Llama3.1-8B-sim CPT (6 events)",
-        &["strategy", "write mode", "stall (s)", "stall proportion (%)", "bytes"],
+        &[
+            "strategy",
+            "write mode",
+            "stall (s)",
+            "stall proportion (%)",
+            "bytes",
+        ],
         &rows,
     );
     println!(

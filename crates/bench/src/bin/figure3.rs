@@ -16,7 +16,10 @@ fn main() {
     cfg.model_name = "figure3-16L-untied".into();
 
     let stock = build_groups(&cfg, GroupLayout::Stock);
-    println!("BEFORE: the conventional optimizer has {} parameter groups", stock.len());
+    println!(
+        "BEFORE: the conventional optimizer has {} parameter groups",
+        stock.len()
+    );
     for g in &stock {
         println!(
             "  group {}: weight_decay {:.2}, {} tensors, {} elements (flattened, inseparable)",
@@ -39,7 +42,12 @@ fn main() {
             vec![
                 g.id.to_string(),
                 g.unit.map(|u| u.to_string()).unwrap_or_default(),
-                if g.weight_decay > 0.0 { "decay" } else { "no-decay" }.to_string(),
+                if g.weight_decay > 0.0 {
+                    "decay"
+                } else {
+                    "no-decay"
+                }
+                .to_string(),
                 g.names.len().to_string(),
                 g.numel.to_string(),
             ]
@@ -63,6 +71,9 @@ fn main() {
         llmt_model::LayerUnit::EmbedTokens,
         llmt_model::LayerUnit::LmHead,
     ] {
-        println!("  {unit:<12} -> groups {:?}", map.groups_for_unit(unit).unwrap());
+        println!(
+            "  {unit:<12} -> groups {:?}",
+            map.groups_for_unit(unit).unwrap()
+        );
     }
 }

@@ -35,6 +35,7 @@ fn main() {
         run_root: dir.path().to_path_buf(),
         async_checkpointing: false,
         max_grad_norm: None,
+        crash_during_save: None,
     };
     eprintln!("training 40 steps with full checkpoints every 10...");
     let mut t = Trainer::new(cfg.clone());

@@ -11,7 +11,7 @@
 
 use llmt_bench::tables::print_table;
 use llmt_ckpt::{safetensors, LoadMode};
-use llmt_model::{ModelConfig, LayerUnit};
+use llmt_model::{LayerUnit, ModelConfig};
 use llmt_optim::LrSchedule;
 use llmt_tensor::Tensor;
 use llmt_train::{resume_trainer, Trainer, TrainerConfig};
@@ -35,6 +35,7 @@ fn main() {
         run_root: dir.path().to_path_buf(),
         async_checkpointing: false,
         max_grad_norm: None,
+        crash_during_save: None,
     };
     eprintln!("training 120 steps with checkpoints at 60 and 120...");
     let mut t = Trainer::new(tconf.clone());
@@ -51,7 +52,7 @@ fn main() {
         base_model: c20.clone(),
         output: dir.path().join("mergekit-out"),
         slices: vec![],
-            t: 0.5,
+        t: 0.5,
     };
     let mk_report = llmt_mergekit::merge_weights_only(&mk).unwrap();
     println!(
@@ -81,8 +82,7 @@ fn main() {
     // MergeKit path: load merged weights, but the optimizer must restart
     // from zero moments (there is nothing else to load).
     let mut mk_trainer = Trainer::new(tconf.clone());
-    let (tensors, _) =
-        safetensors::read_file(&mk_report.output.join("model.safetensors")).unwrap();
+    let (tensors, _) = safetensors::read_file(&mk_report.output.join("model.safetensors")).unwrap();
     for (name, raw) in tensors {
         mk_trainer.model.params.set(&name, Tensor::from_raw(&raw));
     }
@@ -112,7 +112,11 @@ fn main() {
         .collect();
     print_table(
         &format!("Continuation losses (loss at failure step 120 was {loss_at_20:.4})"),
-        &["step", "LLMTailor resume", "MergeKit weights-only + fresh optimizer"],
+        &[
+            "step",
+            "LLMTailor resume",
+            "MergeKit weights-only + fresh optimizer",
+        ],
         &rows,
     );
     // Trajectory fidelity: distance of each continued model from the

@@ -35,7 +35,13 @@ fn main() {
     }
     print_table(
         "Checkpoint size breakdown (measured, simulation scale)",
-        &["model", "bf16 model bytes", "optimizer bytes", "total bytes", "total / model"],
+        &[
+            "model",
+            "bf16 model bytes",
+            "optimizer bytes",
+            "total bytes",
+            "total / model",
+        ],
         &rows,
     );
 

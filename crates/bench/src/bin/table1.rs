@@ -41,7 +41,12 @@ fn main() {
         ];
         print_table(
             label,
-            &["model", "final train loss", "final eval loss", "paper (train/eval)"],
+            &[
+                "model",
+                "final train loss",
+                "final eval loss",
+                "paper (train/eval)",
+            ],
             &rows,
         );
         let delta = (out.reference_report.tail_loss(3) - out.resumed_report.tail_loss(3)).abs();

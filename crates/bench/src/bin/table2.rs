@@ -12,8 +12,14 @@ use llmtailor::StrategyKind;
 
 fn main() {
     for (label, spec) in [
-        ("Table 2 (SFT): Qwen2.5-7B-sim", UseCaseSpec::qwen_sft(StrategyKind::Parity)),
-        ("Table 2 (CPT): Llama3.1-8B-sim", UseCaseSpec::llama_cpt(StrategyKind::Parity)),
+        (
+            "Table 2 (SFT): Qwen2.5-7B-sim",
+            UseCaseSpec::qwen_sft(StrategyKind::Parity),
+        ),
+        (
+            "Table 2 (CPT): Llama3.1-8B-sim",
+            UseCaseSpec::llama_cpt(StrategyKind::Parity),
+        ),
     ] {
         eprintln!("running {label}...");
         let ref_dir = tempfile::tempdir().unwrap();

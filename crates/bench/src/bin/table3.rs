@@ -29,6 +29,7 @@ fn measured(model: ModelConfig, task: DataTask, strategy: StrategyKind) -> (u64,
         run_root: dir.path().to_path_buf(),
         async_checkpointing: false,
         max_grad_norm: None,
+        crash_during_save: None,
     });
     let report = t.train_until(24, None).unwrap();
     (
@@ -42,8 +43,18 @@ fn main() {
     // Paper-scale projection (calibrated once; see llmt_bench::projection).
     let mut rows = Vec::new();
     for (model, shape, paper_gb, paper_pct) in [
-        ("Llama3.1-8B", RunShape::llama8b_cpt(), ("1799.52", "899.76"), ("4.99", "3.03")),
-        ("Qwen2.5-7B", RunShape::qwen7b_sft(), ("1811.52", "905.76"), ("20.63", "12.76")),
+        (
+            "Llama3.1-8B",
+            RunShape::llama8b_cpt(),
+            ("1799.52", "899.76"),
+            ("4.99", "3.03"),
+        ),
+        (
+            "Qwen2.5-7B",
+            RunShape::qwen7b_sft(),
+            ("1811.52", "905.76"),
+            ("20.63", "12.76"),
+        ),
     ] {
         for (ty, strategy, pg, pp) in [
             ("Total", StrategyKind::Full, paper_gb.0, paper_pct.0),
@@ -62,7 +73,14 @@ fn main() {
     }
     print_table(
         "Table 3 (paper-scale projection): parity checkpointing",
-        &["Model", "Type", "Total CKPT size (GB)", "paper GB", "ckpt time (%)", "paper %"],
+        &[
+            "Model",
+            "Type",
+            "Total CKPT size (GB)",
+            "paper GB",
+            "ckpt time (%)",
+            "paper %",
+        ],
         &rows,
     );
 
@@ -70,8 +88,16 @@ fn main() {
     eprintln!("\nmeasuring simulation-scale runs (a few minutes)...");
     let mut rows = Vec::new();
     for (name, model, task) in [
-        ("Llama3.1-8B-sim", ModelConfig::llama31_8b_sim(), DataTask::Cpt),
-        ("Qwen2.5-7B-sim", ModelConfig::qwen25_7b_sim(), DataTask::Sft),
+        (
+            "Llama3.1-8B-sim",
+            ModelConfig::llama31_8b_sim(),
+            DataTask::Cpt,
+        ),
+        (
+            "Qwen2.5-7B-sim",
+            ModelConfig::qwen25_7b_sim(),
+            DataTask::Sft,
+        ),
     ] {
         let (fb, fe, fp) = measured(model.clone(), task, StrategyKind::Full);
         let (pb, pe, pp) = measured(model, task, StrategyKind::Parity);
@@ -96,7 +122,13 @@ fn main() {
     }
     print_table(
         "Table 3 (measured, simulation scale)",
-        &["Model", "Type", "ckpt bytes", "events", "measured ckpt time (%)"],
+        &[
+            "Model",
+            "Type",
+            "ckpt bytes",
+            "events",
+            "measured ckpt time (%)",
+        ],
         &rows,
     );
 }

@@ -39,7 +39,12 @@ fn main() {
         let out = run_use_case(&spec, ref_dir.path(), fil_dir.path());
         print_table(
             label,
-            &["model", "final train loss", "final eval loss", "paper (train/eval)"],
+            &[
+                "model",
+                "final train loss",
+                "final eval loss",
+                "paper (train/eval)",
+            ],
             &[
                 vec![
                     "baseline (never failed)".to_string(),

@@ -10,8 +10,14 @@ use llmtailor::StrategyKind;
 
 fn main() {
     for (label, base) in [
-        ("Table 5 (SFT): Qwen2.5-7B-sim", UseCaseSpec::qwen_sft(StrategyKind::Filtered)),
-        ("Table 5 (CPT): Llama3.1-8B-sim", UseCaseSpec::llama_cpt(StrategyKind::Filtered)),
+        (
+            "Table 5 (SFT): Qwen2.5-7B-sim",
+            UseCaseSpec::qwen_sft(StrategyKind::Filtered),
+        ),
+        (
+            "Table 5 (CPT): Llama3.1-8B-sim",
+            UseCaseSpec::llama_cpt(StrategyKind::Filtered),
+        ),
     ] {
         let spec = UseCaseSpec {
             total_steps: 40,

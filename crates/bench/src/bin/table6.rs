@@ -17,8 +17,18 @@ fn main() {
     let mut rows = Vec::new();
     let mut headlines = Vec::new();
     for (model, shape, paper_gb, paper_pct) in [
-        ("Llama3.1-8B", RunShape::llama8b_cpt(), ("1799.52", "420"), ("4.99", "1.66")),
-        ("Qwen2.5-7B", RunShape::qwen7b_sft(), ("1811.52", "434.56"), ("20.63", "7.26")),
+        (
+            "Llama3.1-8B",
+            RunShape::llama8b_cpt(),
+            ("1799.52", "420"),
+            ("4.99", "1.66"),
+        ),
+        (
+            "Qwen2.5-7B",
+            RunShape::qwen7b_sft(),
+            ("1811.52", "434.56"),
+            ("20.63", "7.26"),
+        ),
     ] {
         let full = project(&shape, StrategyKind::Full, 8);
         let filt = project(&shape, StrategyKind::Filtered, 8);
@@ -45,7 +55,14 @@ fn main() {
     }
     print_table(
         "Table 6 (paper-scale projection): filtered checkpointing",
-        &["Model", "Type", "Total CKPT size (GB)", "paper GB", "ckpt time (%)", "paper %"],
+        &[
+            "Model",
+            "Type",
+            "Total CKPT size (GB)",
+            "paper GB",
+            "ckpt time (%)",
+            "paper %",
+        ],
         &rows,
     );
     for h in &headlines {
@@ -55,8 +72,16 @@ fn main() {
     eprintln!("\nmeasuring simulation-scale runs...");
     let mut rows = Vec::new();
     for (name, model, task) in [
-        ("Llama3.1-8B-sim", ModelConfig::llama31_8b_sim(), DataTask::Cpt),
-        ("Qwen2.5-7B-sim", ModelConfig::qwen25_7b_sim(), DataTask::Sft),
+        (
+            "Llama3.1-8B-sim",
+            ModelConfig::llama31_8b_sim(),
+            DataTask::Cpt,
+        ),
+        (
+            "Qwen2.5-7B-sim",
+            ModelConfig::qwen25_7b_sim(),
+            DataTask::Sft,
+        ),
     ] {
         let run = |strategy| {
             let dir = tempfile::tempdir().unwrap();
@@ -74,16 +99,30 @@ fn main() {
                 strategy,
                 run_root: dir.path().to_path_buf(),
                 async_checkpointing: false,
-        max_grad_norm: None,
+                max_grad_norm: None,
+                crash_during_save: None,
             });
             let report = t.train_until(30, None).unwrap();
             (report.ckpt_io.bytes, report.measured_proportion())
         };
         let (fb, fp) = run(StrategyKind::Full);
         let (gb, gp) = run(StrategyKind::Filtered);
-        rows.push(vec![name.to_string(), "Total".into(), fb.to_string(), pct(fp)]);
-        rows.push(vec![name.to_string(), "Filtered".into(), gb.to_string(), pct(gp)]);
-        println!("{name}: measured byte reduction {:.2}x", fb as f64 / gb as f64);
+        rows.push(vec![
+            name.to_string(),
+            "Total".into(),
+            fb.to_string(),
+            pct(fp),
+        ]);
+        rows.push(vec![
+            name.to_string(),
+            "Filtered".into(),
+            gb.to_string(),
+            pct(gp),
+        ]);
+        println!(
+            "{name}: measured byte reduction {:.2}x",
+            fb as f64 / gb as f64
+        );
     }
     print_table(
         "Table 6 (measured, simulation scale)",

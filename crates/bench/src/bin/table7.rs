@@ -38,12 +38,24 @@ fn main() {
         (
             "Llama3-1B-sim",
             ModelConfig::llama32_1b_sim(),
-            [("Baseline: 1", 0.80), ("2", 117.0), ("parity (2)", 233.6), ("8", 60.4), ("18 (per unit)", 62.5)],
+            [
+                ("Baseline: 1", 0.80),
+                ("2", 117.0),
+                ("parity (2)", 233.6),
+                ("8", 60.4),
+                ("18 (per unit)", 62.5),
+            ],
         ),
         (
             "Llama3-8B-sim",
             ModelConfig::llama31_8b_sim(),
-            [("Baseline: 1", 16.8), ("2", 332.4), ("parity (2)", 1027.5), ("8", 279.2), ("35 (per unit)", 264.3)],
+            [
+                ("Baseline: 1", 16.8),
+                ("2", 332.4),
+                ("parity (2)", 1027.5),
+                ("8", 279.2),
+                ("35 (per unit)", 264.3),
+            ],
         ),
     ] {
         eprintln!("building fixtures for {name}...");
@@ -53,7 +65,10 @@ fn main() {
 
         // Baseline: plain resume-load of one full checkpoint.
         let factory = CkptFactory::new(cfg.clone(), WORLD, 11, 1);
-        let full = factory.save(&dir.path().join("baseline"), &llmt_model::LayerUnit::all(&cfg));
+        let full = factory.save(
+            &dir.path().join("baseline"),
+            &llmt_model::LayerUnit::all(&cfg),
+        );
         let t0 = Instant::now();
         let mut h = CheckpointHandle::open(&full, LoadMode::EagerFull).unwrap();
         let mut loaded = 0u64;
@@ -68,37 +83,97 @@ fn main() {
             format!("{:.3}", base_t),
             h.stats().bytes_read.to_string(),
             h.stats().full_loads.to_string(),
-            format!("{:.3}", modeled(h.stats().bytes_read, h.stats().files_opened)),
+            format!(
+                "{:.3}",
+                modeled(h.stats().bytes_read, h.stats().files_opened)
+            ),
             format!("{:.1}", paper[0].1),
         ]);
 
         // 2 full sources, sequential blocks.
         let mut factory = CkptFactory::new(cfg.clone(), WORLD, 11, 1);
-        let r2 = block_recipe(&mut factory, &dir.path().join("two"), 2, false, &dir.path().join("out2"));
+        let r2 = block_recipe(
+            &mut factory,
+            &dir.path().join("two"),
+            2,
+            false,
+            &dir.path().join("out2"),
+        );
         let (t, b, l, m) = timed_merge(&r2, LoadPattern::Sequential);
-        rows.push(vec![paper[1].0.into(), format!("{t:.3}"), b.to_string(), l.to_string(), format!("{m:.3}"), format!("{:.1}", paper[1].1)]);
+        rows.push(vec![
+            paper[1].0.into(),
+            format!("{t:.3}"),
+            b.to_string(),
+            l.to_string(),
+            format!("{m:.3}"),
+            format!("{:.1}", paper[1].1),
+        ]);
 
         // parity (2): interleaved load order with cache discard.
         let mut factory = CkptFactory::new(cfg.clone(), WORLD, 11, 1);
-        let rp = parity_recipe(&mut factory, &dir.path().join("par"), &dir.path().join("outp"));
+        let rp = parity_recipe(
+            &mut factory,
+            &dir.path().join("par"),
+            &dir.path().join("outp"),
+        );
         let (t, b, l, m) = timed_merge(&rp, LoadPattern::ParityInterleaved);
-        rows.push(vec![paper[2].0.into(), format!("{t:.3}"), b.to_string(), l.to_string(), format!("{m:.3}"), format!("{:.1}", paper[2].1)]);
+        rows.push(vec![
+            paper[2].0.into(),
+            format!("{t:.3}"),
+            b.to_string(),
+            l.to_string(),
+            format!("{m:.3}"),
+            format!("{:.1}", paper[2].1),
+        ]);
 
         // 8 partial sources.
         let mut factory = CkptFactory::new(cfg.clone(), WORLD, 11, 1);
-        let r8 = block_recipe(&mut factory, &dir.path().join("eight"), 8, true, &dir.path().join("out8"));
+        let r8 = block_recipe(
+            &mut factory,
+            &dir.path().join("eight"),
+            8,
+            true,
+            &dir.path().join("out8"),
+        );
         let (t, b, l, m) = timed_merge(&r8, LoadPattern::Sequential);
-        rows.push(vec![paper[3].0.into(), format!("{t:.3}"), b.to_string(), l.to_string(), format!("{m:.3}"), format!("{:.1}", paper[3].1)]);
+        rows.push(vec![
+            paper[3].0.into(),
+            format!("{t:.3}"),
+            b.to_string(),
+            l.to_string(),
+            format!("{m:.3}"),
+            format!("{:.1}", paper[3].1),
+        ]);
 
         // One checkpoint per unit.
         let mut factory = CkptFactory::new(cfg.clone(), WORLD, 11, 1);
-        let rn = block_recipe(&mut factory, &dir.path().join("per_unit"), units, true, &dir.path().join("outn"));
+        let rn = block_recipe(
+            &mut factory,
+            &dir.path().join("per_unit"),
+            units,
+            true,
+            &dir.path().join("outn"),
+        );
         let (t, b, l, m) = timed_merge(&rn, LoadPattern::Sequential);
-        rows.push(vec![paper[4].0.into(), format!("{t:.3}"), b.to_string(), l.to_string(), format!("{m:.3}"), format!("{:.1}", paper[4].1)]);
+        rows.push(vec![
+            paper[4].0.into(),
+            format!("{t:.3}"),
+            b.to_string(),
+            l.to_string(),
+            format!("{m:.3}"),
+            format!("{:.1}", paper[4].1),
+        ]);
 
         print_table(
             &format!("Table 7: loading time, {name} ({units} units, world {WORLD})"),
-            &["CKPTs included", "time (s)", "bytes read", "full loads", "modeled Lustre (s)", "paper time (s)"],
+            &[
+                "CKPTs included",
+                "time (s)",
+                "bytes read",
+                "full loads",
+                "modeled Lustre (s)",
+                "paper time (s)",
+            ],
             &rows,
         );
         println!(

@@ -126,12 +126,20 @@ mod tests {
         let llama = project(&RunShape::llama8b_cpt(), StrategyKind::Full, 8);
         let gb = llama.total_ckpt_bytes as f64 / 1e9;
         assert!((gb - 1799.52).abs() / 1799.52 < 0.05, "llama total {gb} GB");
-        assert!((llama.proportion - 0.0499).abs() < 0.012, "llama prop {}", llama.proportion);
+        assert!(
+            (llama.proportion - 0.0499).abs() < 0.012,
+            "llama prop {}",
+            llama.proportion
+        );
 
         let qwen = project(&RunShape::qwen7b_sft(), StrategyKind::Full, 8);
         let gb = qwen.total_ckpt_bytes as f64 / 1e9;
         assert!((gb - 1811.52).abs() / 1811.52 < 0.05, "qwen total {gb} GB");
-        assert!((qwen.proportion - 0.2063).abs() < 0.03, "qwen prop {}", qwen.proportion);
+        assert!(
+            (qwen.proportion - 0.2063).abs() < 0.03,
+            "qwen prop {}",
+            qwen.proportion
+        );
     }
 
     #[test]

@@ -80,6 +80,7 @@ impl UseCaseSpec {
             run_root: root.to_path_buf(),
             async_checkpointing: false,
             max_grad_norm: None,
+            crash_during_save: None,
         }
     }
 }

@@ -15,6 +15,9 @@ pub enum CkptError {
     Missing(String),
     /// Structural incompatibility (config mismatch, wrong world size, ...).
     Incompatible(String),
+    /// The directory failed commit-marker checks: a torn or tampered save
+    /// that must not be trusted for resume.
+    Quarantined(std::path::PathBuf, String),
 }
 
 impl fmt::Display for CkptError {
@@ -25,6 +28,9 @@ impl fmt::Display for CkptError {
             CkptError::Json(m) => write!(f, "JSON error: {m}"),
             CkptError::Missing(m) => write!(f, "missing from checkpoint: {m}"),
             CkptError::Incompatible(m) => write!(f, "incompatible checkpoints: {m}"),
+            CkptError::Quarantined(p, why) => {
+                write!(f, "quarantined checkpoint {}: {why}", p.display())
+            }
         }
     }
 }

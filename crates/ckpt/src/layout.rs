@@ -7,12 +7,27 @@
 //!   trainer_state.json           step, RNG, loss history (paper §4.4)
 //!   latest                       text file naming the global_step dir
 //!   partial_manifest.json        units present (partial checkpoints only)
+//!   COMMIT                       commit marker: manifest digest + step
 //!   global_step<step>/
 //!     zero_meta.json             group layout + world size
 //!     bf16_zero_pp_rank_<r>_mp_rank_00_optim_states.safetensors
 //! ```
+//!
+//! Saves are two-phase: everything is staged into `checkpoint-<step>.tmp/`,
+//! each file synced, the `COMMIT` marker written last, and the directory
+//! atomically renamed into place. A directory without a valid marker —
+//! torn mid-save, renamed but digest-tampered, or leftover `.tmp` staging —
+//! is *quarantined*: [`scan_run_root`] reports it but recovery, resume and
+//! retention never count it as a checkpoint.
 
+use llmt_tensor::raw::Fnv1a;
 use std::path::{Path, PathBuf};
+
+/// File name of the commit marker inside a checkpoint directory.
+pub const COMMIT_FILE: &str = "COMMIT";
+
+/// Magic prefix of a v1 commit marker line.
+pub const COMMIT_MAGIC: &str = "llmt-commit-v1";
 
 /// Path builder for one checkpoint directory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,15 +47,41 @@ impl CheckpointPaths {
         }
     }
 
+    /// Paths for the *staging* directory `checkpoint-<step>.tmp` the writer
+    /// assembles a save in before the commit rename.
+    pub fn staging_under(root: &Path, step: u64) -> Self {
+        CheckpointPaths {
+            dir: root.join(format!("checkpoint-{step}.tmp")),
+            step,
+        }
+    }
+
+    /// Whether `dir` is named like a writer staging directory.
+    pub fn is_staging_dir(dir: &Path) -> bool {
+        matches!(
+            dir.file_name().and_then(|n| n.to_str()),
+            Some(name) if name.starts_with("checkpoint-") && name.ends_with(".tmp")
+        )
+    }
+
     /// Wrap an existing checkpoint directory, inferring the step from its
-    /// name (`checkpoint-123` -> 123) or from the `latest` file.
+    /// name (`checkpoint-123` -> 123) or from the `latest` file. Staging
+    /// directories (`checkpoint-123.tmp`) are never opened: an interrupted
+    /// save's `latest` file must not smuggle it in as a real checkpoint.
     pub fn open(dir: &Path) -> Option<Self> {
+        if CheckpointPaths::is_staging_dir(dir) {
+            return None;
+        }
         let name = dir.file_name()?.to_str()?;
         let step = if let Some(s) = name.strip_prefix("checkpoint-") {
             s.parse::<u64>().ok()?
         } else {
             let latest = std::fs::read_to_string(dir.join("latest")).ok()?;
-            latest.trim().strip_prefix("global_step")?.parse::<u64>().ok()?
+            latest
+                .trim()
+                .strip_prefix("global_step")?
+                .parse::<u64>()
+                .ok()?
         };
         Some(CheckpointPaths {
             dir: dir.to_path_buf(),
@@ -71,6 +112,21 @@ impl CheckpointPaths {
     /// Partial-checkpoint manifest.
     pub fn manifest(&self) -> PathBuf {
         self.dir.join("partial_manifest.json")
+    }
+
+    /// The `COMMIT` marker file (written last, after every payload sync).
+    pub fn commit_marker(&self) -> PathBuf {
+        self.dir.join(COMMIT_FILE)
+    }
+
+    /// Evaluate this checkpoint's commit status from the local filesystem.
+    pub fn commit_status(&self) -> CommitStatus {
+        if CheckpointPaths::is_staging_dir(&self.dir) {
+            return CommitStatus::Staging;
+        }
+        let marker = std::fs::read(self.commit_marker()).ok();
+        let manifest = std::fs::read(self.manifest()).ok();
+        CommitStatus::evaluate(marker.as_deref(), manifest.as_deref())
     }
 
     /// The DeepSpeed-style `global_step<N>` subdirectory.
@@ -127,6 +183,186 @@ impl CheckpointPaths {
     }
 }
 
+/// FNV-1a digest of the manifest bytes, as recorded in the commit marker.
+pub fn manifest_digest(manifest_bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(manifest_bytes);
+    h.finish()
+}
+
+/// Render the commit marker contents for a checkpoint of `step` whose
+/// `partial_manifest.json` serializes to `manifest_bytes`.
+pub fn commit_marker_contents(step: u64, manifest_bytes: &[u8]) -> String {
+    format!(
+        "{COMMIT_MAGIC} {:016x} step={step}\n",
+        manifest_digest(manifest_bytes)
+    )
+}
+
+/// Verdict on a checkpoint directory's commit marker. Anything but
+/// [`CommitStatus::Committed`] means the directory is quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitStatus {
+    /// Marker present, well-formed, digest matches the manifest.
+    Committed,
+    /// No `COMMIT` file: the save never finished its payload phase.
+    Missing,
+    /// Marker exists but is empty, non-UTF-8, or malformed (torn marker
+    /// write, garbage). The string says what was wrong.
+    Corrupt(String),
+    /// Marker parses but its digest disagrees with the manifest on disk:
+    /// one of the two was tampered with or torn after commit.
+    DigestMismatch {
+        /// Digest recorded in the marker.
+        marker: u64,
+        /// Digest of the manifest actually on disk.
+        manifest: u64,
+    },
+    /// Marker present but `partial_manifest.json` is unreadable, so the
+    /// digest cannot be checked.
+    NoManifest,
+    /// The directory is a `checkpoint-<step>.tmp` staging dir: by
+    /// definition never committed.
+    Staging,
+}
+
+impl CommitStatus {
+    /// Judge a marker (`None` = file absent/unreadable) against the
+    /// manifest bytes (`None` = absent/unreadable).
+    pub fn evaluate(marker: Option<&[u8]>, manifest: Option<&[u8]>) -> CommitStatus {
+        let Some(marker) = marker else {
+            return CommitStatus::Missing;
+        };
+        let Ok(text) = std::str::from_utf8(marker) else {
+            return CommitStatus::Corrupt("marker is not UTF-8".into());
+        };
+        let text = text.trim();
+        if text.is_empty() {
+            return CommitStatus::Corrupt("marker is empty".into());
+        }
+        let mut fields = text.split_whitespace();
+        if fields.next() != Some(COMMIT_MAGIC) {
+            return CommitStatus::Corrupt(format!("bad magic (want '{COMMIT_MAGIC}')"));
+        }
+        let digest = match fields.next().map(|h| u64::from_str_radix(h, 16)) {
+            Some(Ok(d)) => d,
+            _ => return CommitStatus::Corrupt("unparseable digest field".into()),
+        };
+        let Some(manifest) = manifest else {
+            return CommitStatus::NoManifest;
+        };
+        let actual = manifest_digest(manifest);
+        if digest == actual {
+            CommitStatus::Committed
+        } else {
+            CommitStatus::DigestMismatch {
+                marker: digest,
+                manifest: actual,
+            }
+        }
+    }
+
+    /// True for [`CommitStatus::Committed`].
+    pub fn is_committed(&self) -> bool {
+        *self == CommitStatus::Committed
+    }
+
+    /// Human-readable reason a non-committed directory was quarantined.
+    pub fn describe(&self) -> String {
+        match self {
+            CommitStatus::Committed => "committed".into(),
+            CommitStatus::Missing => "COMMIT marker missing (save never completed)".into(),
+            CommitStatus::Corrupt(why) => format!("COMMIT marker corrupt: {why}"),
+            CommitStatus::DigestMismatch { marker, manifest } => format!(
+                "COMMIT digest {marker:016x} disagrees with manifest digest {manifest:016x}"
+            ),
+            CommitStatus::NoManifest => "COMMIT marker present but manifest unreadable".into(),
+            CommitStatus::Staging => "leftover .tmp staging directory".into(),
+        }
+    }
+}
+
+/// One directory a scan refused to treat as a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedDir {
+    /// The offending directory.
+    pub dir: PathBuf,
+    /// Step parsed from the directory name, when available.
+    pub step: Option<u64>,
+    /// Why it was quarantined.
+    pub status: CommitStatus,
+}
+
+/// Result of scanning a run root: committed checkpoints (sorted by step)
+/// plus everything that looked like a checkpoint but failed commit checks.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// Fully committed checkpoints, ascending by step.
+    pub committed: Vec<CheckpointPaths>,
+    /// Torn, tampered, or staging directories. Recovery and retention must
+    /// neither trust nor delete these automatically.
+    pub quarantined: Vec<QuarantinedDir>,
+}
+
+impl ScanReport {
+    /// Steps of the committed checkpoints, ascending.
+    pub fn committed_steps(&self) -> Vec<u64> {
+        self.committed.iter().map(|c| c.step).collect()
+    }
+
+    /// The newest committed checkpoint, if any.
+    pub fn newest_committed(&self) -> Option<&CheckpointPaths> {
+        self.committed.last()
+    }
+}
+
+/// Scan a run root, classifying every `checkpoint-*` directory (including
+/// `.tmp` staging leftovers) as committed or quarantined.
+pub fn scan_run_root(root: &Path) -> ScanReport {
+    let mut report = ScanReport::default();
+    let Ok(rd) = std::fs::read_dir(root) else {
+        return report;
+    };
+    for entry in rd.flatten() {
+        let p = entry.path();
+        if !p.is_dir() {
+            continue;
+        }
+        let name = match p.file_name().and_then(|n| n.to_str()) {
+            Some(n) if n.starts_with("checkpoint-") => n.to_string(),
+            _ => continue,
+        };
+        if CheckpointPaths::is_staging_dir(&p) {
+            let step = name
+                .strip_prefix("checkpoint-")
+                .and_then(|s| s.strip_suffix(".tmp"))
+                .and_then(|s| s.parse().ok());
+            report.quarantined.push(QuarantinedDir {
+                dir: p,
+                step,
+                status: CommitStatus::Staging,
+            });
+            continue;
+        }
+        let Some(cp) = CheckpointPaths::open(&p) else {
+            continue;
+        };
+        let status = cp.commit_status();
+        if status.is_committed() {
+            report.committed.push(cp);
+        } else {
+            report.quarantined.push(QuarantinedDir {
+                dir: p,
+                step: Some(cp.step),
+                status,
+            });
+        }
+    }
+    report.committed.sort_by_key(|c| c.step);
+    report.quarantined.sort_by(|a, b| a.dir.cmp(&b.dir));
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +404,85 @@ mod tests {
         let found = CheckpointPaths::list(dir.path());
         let steps: Vec<u64> = found.iter().map(|c| c.step).collect();
         assert_eq!(steps, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn staging_dirs_are_never_opened_as_checkpoints() {
+        let dir = tempfile::tempdir().unwrap();
+        let staging = CheckpointPaths::staging_under(dir.path(), 9);
+        assert!(staging.dir.ends_with("checkpoint-9.tmp"));
+        assert!(CheckpointPaths::is_staging_dir(&staging.dir));
+        std::fs::create_dir_all(&staging.dir).unwrap();
+        // Even with a plausible `latest` file inside, open() refuses.
+        std::fs::write(staging.dir.join("latest"), "global_step9\n").unwrap();
+        assert!(CheckpointPaths::open(&staging.dir).is_none());
+        assert!(CheckpointPaths::list(dir.path()).is_empty());
+    }
+
+    #[test]
+    fn commit_status_judges_marker_against_manifest() {
+        let manifest = br#"{"step":5}"#;
+        let good = commit_marker_contents(5, manifest);
+        assert!(CommitStatus::evaluate(Some(good.as_bytes()), Some(manifest)).is_committed());
+        assert_eq!(
+            CommitStatus::evaluate(None, Some(manifest)),
+            CommitStatus::Missing
+        );
+        assert!(matches!(
+            CommitStatus::evaluate(Some(b""), Some(manifest)),
+            CommitStatus::Corrupt(_)
+        ));
+        assert!(matches!(
+            CommitStatus::evaluate(Some(b"\xff\xfe"), Some(manifest)),
+            CommitStatus::Corrupt(_)
+        ));
+        assert!(matches!(
+            CommitStatus::evaluate(Some(b"other-magic deadbeef step=5"), Some(manifest)),
+            CommitStatus::Corrupt(_)
+        ));
+        assert!(matches!(
+            CommitStatus::evaluate(Some(b"llmt-commit-v1 nothex step=5"), Some(manifest)),
+            CommitStatus::Corrupt(_)
+        ));
+        assert!(matches!(
+            CommitStatus::evaluate(Some(good.as_bytes()), Some(b"tampered")),
+            CommitStatus::DigestMismatch { .. }
+        ));
+        assert_eq!(
+            CommitStatus::evaluate(Some(good.as_bytes()), None),
+            CommitStatus::NoManifest
+        );
+    }
+
+    #[test]
+    fn scan_classifies_committed_quarantined_and_staging() {
+        let dir = tempfile::tempdir().unwrap();
+        // Committed checkpoint at step 10.
+        let good = CheckpointPaths::under(dir.path(), 10);
+        std::fs::create_dir_all(&good.dir).unwrap();
+        let manifest = br#"{"step":10,"units":[]}"#;
+        std::fs::write(good.manifest(), manifest).unwrap();
+        std::fs::write(good.commit_marker(), commit_marker_contents(10, manifest)).unwrap();
+        // Unmarked dir at step 20 (torn save).
+        let torn = CheckpointPaths::under(dir.path(), 20);
+        std::fs::create_dir_all(&torn.dir).unwrap();
+        // Staging leftover at step 30.
+        let staging = CheckpointPaths::staging_under(dir.path(), 30);
+        std::fs::create_dir_all(&staging.dir).unwrap();
+        // Unrelated dir: ignored entirely.
+        std::fs::create_dir_all(dir.path().join("logs")).unwrap();
+
+        let report = scan_run_root(dir.path());
+        assert_eq!(report.committed_steps(), vec![10]);
+        assert_eq!(report.newest_committed().unwrap().step, 10);
+        assert_eq!(report.quarantined.len(), 2);
+        let steps: Vec<Option<u64>> = report.quarantined.iter().map(|q| q.step).collect();
+        assert!(steps.contains(&Some(20)));
+        assert!(steps.contains(&Some(30)));
+        for q in &report.quarantined {
+            assert!(!q.status.is_committed());
+            assert!(!q.status.describe().is_empty());
+        }
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! can only be accessed after the checkpoint is fully loaded") or lazily
 //! by byte range (the improvement the paper's §5.4 closing remark
 //! anticipates).
+//!
+//! Saves are *crash-consistent*: staged into `checkpoint-<N>.tmp`, synced
+//! file by file, sealed with a `COMMIT` marker carrying the manifest
+//! digest, then atomically renamed. [`layout::scan_run_root`] classifies
+//! directories that fail these checks as quarantined; recovery and
+//! retention only ever count committed checkpoints. All I/O goes through
+//! `llmt_storage::vfs::Storage`, so the chaos suite can kill a save at any
+//! individual I/O operation.
 
 pub mod error;
 pub mod layout;
@@ -29,10 +37,12 @@ pub mod writer;
 pub mod zero_meta;
 
 pub use error::{CkptError, Result};
-pub use layout::CheckpointPaths;
-pub use manifest::PartialManifest;
+pub use layout::{scan_run_root, CheckpointPaths, CommitStatus, QuarantinedDir, ScanReport};
+pub use manifest::{effective_save_log, PartialManifest};
 pub use reader::{CheckpointHandle, LoadMode};
 pub use trainer_state::TrainerState;
 pub use verify::{verify_checkpoint, VerifyReport};
-pub use writer::{save_checkpoint, CheckpointReport, SaveRequest};
+pub use writer::{
+    commit_checkpoint, save_checkpoint, save_checkpoint_on, CheckpointReport, SaveRequest,
+};
 pub use zero_meta::ZeroMeta;

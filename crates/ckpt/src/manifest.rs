@@ -9,9 +9,11 @@
 //! for a given failure step.
 
 use crate::error::{io_err, CkptError, Result};
+use crate::layout::{scan_run_root, ScanReport};
 use llmt_model::LayerUnit;
+use llmt_storage::vfs::Storage;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 /// Manifest of one (possibly partial) checkpoint.
@@ -83,11 +85,73 @@ impl SaveLog {
         std::fs::write(path, json).map_err(io_err(path))
     }
 
+    /// [`SaveLog::save`] through a [`Storage`], synced for durability.
+    pub fn save_on(&self, storage: &dyn Storage, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)?;
+        storage.write(path, json.as_bytes()).map_err(io_err(path))?;
+        storage.sync(path).map_err(io_err(path))
+    }
+
     /// Read from a JSON file.
     pub fn load(path: &Path) -> Result<Self> {
         let text = std::fs::read_to_string(path).map_err(io_err(path))?;
         Ok(serde_json::from_str(&text)?)
     }
+}
+
+/// The run's save log as it should be *trusted*: reconciled against the
+/// commit markers actually on disk.
+///
+/// Two crash windows make the raw `save_log.json` unreliable:
+///
+/// * crash *during* a save — the log was never updated, but a torn
+///   (quarantined) directory exists. Filtering log entries to committed
+///   steps drops nothing here, but the scan flags the debris.
+/// * crash *between* the commit rename and the log write — a fully
+///   committed checkpoint exists that the log has never heard of.
+///   Absorbing each committed directory's manifest closes that gap (and
+///   covers a missing `save_log.json` entirely).
+///
+/// Returns the reconciled log plus the scan so callers can surface
+/// quarantined directories.
+pub fn effective_save_log(run_root: &Path) -> Result<(SaveLog, ScanReport)> {
+    let scan = scan_run_root(run_root);
+    let committed_steps: BTreeSet<u64> = scan.committed.iter().map(|c| c.step).collect();
+
+    // Sets, not Vecs, while merging: log order + manifest absorption could
+    // otherwise interleave steps out of order.
+    let mut merged: BTreeMap<String, BTreeSet<u64>> = BTreeMap::new();
+    let log_path = run_root.join("save_log.json");
+    if log_path.exists() {
+        let logged = SaveLog::load(&log_path)?;
+        for (unit, steps) in &logged.saved_at {
+            let kept: BTreeSet<u64> = steps
+                .iter()
+                .copied()
+                .filter(|s| committed_steps.contains(s))
+                .collect();
+            if !kept.is_empty() {
+                merged.entry(unit.clone()).or_default().extend(kept);
+            }
+        }
+    }
+    for cp in &scan.committed {
+        let manifest = PartialManifest::load(&cp.manifest())?;
+        for unit in &manifest.units {
+            merged
+                .entry(unit.as_string())
+                .or_default()
+                .insert(manifest.step);
+        }
+    }
+
+    let log = SaveLog {
+        saved_at: merged
+            .into_iter()
+            .map(|(unit, steps)| (unit, steps.into_iter().collect()))
+            .collect(),
+    };
+    Ok((log, scan))
 }
 
 #[cfg(test)]
@@ -136,6 +200,66 @@ mod tests {
     }
 
     #[test]
+    fn effective_log_drops_uncommitted_and_absorbs_unlogged_commits() {
+        use crate::layout::{commit_marker_contents, CheckpointPaths};
+
+        let dir = tempfile::tempdir().unwrap();
+
+        let write_ckpt = |step: u64, committed: bool| {
+            let cp = CheckpointPaths::under(dir.path(), step);
+            std::fs::create_dir_all(&cp.dir).unwrap();
+            let m = PartialManifest {
+                step,
+                units: vec![LayerUnit::FinalNorm],
+                weight_digests: BTreeMap::new(),
+                full: false,
+            };
+            m.save(&cp.manifest()).unwrap();
+            if committed {
+                let bytes = std::fs::read(cp.manifest()).unwrap();
+                std::fs::write(cp.commit_marker(), commit_marker_contents(step, &bytes)).unwrap();
+            }
+        };
+        write_ckpt(10, true);
+        write_ckpt(20, false); // torn: manifest written, marker never made it
+        write_ckpt(30, true); // committed but crash hit before the log write
+
+        // The log knows about 10 and the torn 20, but not the committed 30.
+        let mut log = SaveLog::default();
+        log.record(LayerUnit::FinalNorm, 10);
+        log.record(LayerUnit::FinalNorm, 20);
+        log.save(&dir.path().join("save_log.json")).unwrap();
+
+        let (eff, scan) = effective_save_log(dir.path()).unwrap();
+        assert_eq!(eff.saved_at["norm"], vec![10, 30]);
+        assert_eq!(scan.committed_steps(), vec![10, 30]);
+        assert_eq!(scan.quarantined.len(), 1);
+        assert_eq!(scan.quarantined[0].step, Some(20));
+    }
+
+    #[test]
+    fn effective_log_works_without_save_log_file() {
+        use crate::layout::{commit_marker_contents, CheckpointPaths};
+
+        let dir = tempfile::tempdir().unwrap();
+        let cp = CheckpointPaths::under(dir.path(), 5);
+        std::fs::create_dir_all(&cp.dir).unwrap();
+        let m = PartialManifest {
+            step: 5,
+            units: vec![LayerUnit::EmbedTokens],
+            weight_digests: BTreeMap::new(),
+            full: false,
+        };
+        m.save(&cp.manifest()).unwrap();
+        let bytes = std::fs::read(cp.manifest()).unwrap();
+        std::fs::write(cp.commit_marker(), commit_marker_contents(5, &bytes)).unwrap();
+
+        let (eff, scan) = effective_save_log(dir.path()).unwrap();
+        assert_eq!(eff.saved_at["embed_tokens"], vec![5]);
+        assert_eq!(scan.committed_steps(), vec![5]);
+    }
+
+    #[test]
     fn save_log_round_trip_and_units() {
         let dir = tempfile::tempdir().unwrap();
         let p = dir.path().join("save_log.json");
@@ -147,6 +271,9 @@ mod tests {
         assert_eq!(back, log);
         let mut units = back.units().unwrap();
         units.sort();
-        assert_eq!(units, vec![LayerUnit::EmbedTokens, LayerUnit::Transformer(3)]);
+        assert_eq!(
+            units,
+            vec![LayerUnit::EmbedTokens, LayerUnit::Transformer(3)]
+        );
     }
 }

@@ -11,17 +11,19 @@
 //! the "load and discard" behaviour of the interleaved parity pattern.
 
 use crate::error::{io_err, CkptError, Result};
-use crate::layout::CheckpointPaths;
+use crate::layout::{CheckpointPaths, CommitStatus};
 use crate::manifest::PartialManifest;
 use crate::safetensors::{self, SafetensorsIndex};
 use crate::trainer_state::TrainerState;
 use crate::zero_meta::{shard_tensor_names, ZeroMeta};
 use llmt_model::naming::unit_param_specs;
 use llmt_model::{LayerUnit, ModelConfig};
+use llmt_storage::vfs::{LocalFs, Storage};
 use llmt_tensor::RawTensor;
 use llmt_zero::{RankState, ShardState};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// How file contents are fetched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +71,8 @@ pub struct CheckpointHandle {
     /// Trainer state.
     pub trainer_state: TrainerState,
     mode: LoadMode,
+    commit: CommitStatus,
+    storage: Arc<dyn Storage>,
     stats: IoStats,
     model_cache: Option<HashMap<String, RawTensor>>,
     model_index: Option<SafetensorsIndex>,
@@ -77,20 +81,53 @@ pub struct CheckpointHandle {
 }
 
 impl CheckpointHandle {
-    /// Open a checkpoint directory.
+    /// Open a checkpoint directory on the local filesystem.
     pub fn open(dir: &Path, mode: LoadMode) -> Result<Self> {
-        let paths = CheckpointPaths::open(dir)
-            .ok_or_else(|| CkptError::Format(format!("{} is not a checkpoint dir", dir.display())))?;
-        let config_text =
-            std::fs::read_to_string(paths.config()).map_err(io_err(paths.config()))?;
-        let config: ModelConfig = serde_json::from_str(&config_text)?;
-        let zero_meta = ZeroMeta::load(&paths.zero_meta())?;
-        let trainer_state = TrainerState::load(&paths.trainer_state())?;
-        let manifest = if paths.manifest().exists() {
-            Some(PartialManifest::load(&paths.manifest())?)
+        Self::open_on(Arc::new(LocalFs), dir, mode)
+    }
+
+    /// Open a checkpoint directory through a [`Storage`].
+    ///
+    /// Opening succeeds even when the directory is *not* committed —
+    /// `verify_checkpoint` needs to inspect quarantined checkpoints to
+    /// report what is wrong with them — but [`CheckpointHandle::commit_status`]
+    /// exposes the verdict, and resume paths must check
+    /// [`CheckpointHandle::is_committed`] before trusting the contents.
+    pub fn open_on(storage: Arc<dyn Storage>, dir: &Path, mode: LoadMode) -> Result<Self> {
+        let paths = CheckpointPaths::open(dir).ok_or_else(|| {
+            CkptError::Format(format!("{} is not a checkpoint dir", dir.display()))
+        })?;
+        let config_bytes = storage
+            .read(&paths.config())
+            .map_err(io_err(paths.config()))?;
+        let config: ModelConfig = serde_json::from_slice(&config_bytes)?;
+        let zero_bytes = storage
+            .read(&paths.zero_meta())
+            .map_err(io_err(paths.zero_meta()))?;
+        let zero_meta: ZeroMeta = serde_json::from_slice(&zero_bytes)?;
+        let state_bytes = storage
+            .read(&paths.trainer_state())
+            .map_err(io_err(paths.trainer_state()))?;
+        let trainer_state: TrainerState = serde_json::from_slice(&state_bytes)?;
+        let manifest_bytes = if storage.exists(&paths.manifest()) {
+            Some(
+                storage
+                    .read(&paths.manifest())
+                    .map_err(io_err(paths.manifest()))?,
+            )
         } else {
             None
         };
+        let manifest = match &manifest_bytes {
+            Some(bytes) => Some(serde_json::from_slice::<PartialManifest>(bytes)?),
+            None => None,
+        };
+        let marker_bytes = if storage.exists(&paths.commit_marker()) {
+            storage.read(&paths.commit_marker()).ok()
+        } else {
+            None
+        };
+        let commit = CommitStatus::evaluate(marker_bytes.as_deref(), manifest_bytes.as_deref());
         Ok(CheckpointHandle {
             paths,
             config,
@@ -98,12 +135,24 @@ impl CheckpointHandle {
             manifest,
             trainer_state,
             mode,
+            commit,
+            storage,
             stats: IoStats::default(),
             model_cache: None,
             model_index: None,
             shard_cache: HashMap::new(),
             shard_index: HashMap::new(),
         })
+    }
+
+    /// Commit-marker verdict for this directory.
+    pub fn commit_status(&self) -> &CommitStatus {
+        &self.commit
+    }
+
+    /// Whether this checkpoint carries a valid `COMMIT` marker.
+    pub fn is_committed(&self) -> bool {
+        self.commit.is_committed()
     }
 
     /// Cumulative I/O statistics.
@@ -133,8 +182,8 @@ impl CheckpointHandle {
             LoadMode::EagerFull => {
                 if self.model_cache.is_none() {
                     let path = self.paths.model();
-                    let len = std::fs::metadata(&path).map_err(io_err(&path))?.len();
-                    let (tensors, _) = safetensors::read_file(&path)?;
+                    let len = self.storage.file_len(&path).map_err(io_err(&path))?;
+                    let (tensors, _) = safetensors::read_file_on(&*self.storage, &path)?;
                     self.stats.bytes_read += len;
                     self.stats.files_opened += 1;
                     self.stats.full_loads += 1;
@@ -144,7 +193,7 @@ impl CheckpointHandle {
             LoadMode::LazyRange => {
                 if self.model_index.is_none() {
                     let path = self.paths.model();
-                    let index = safetensors::open_index(&path)?;
+                    let index = safetensors::open_index_on(&*self.storage, &path)?;
                     self.stats.files_opened += 1;
                     self.stats.bytes_read += index.data_start; // header bytes
                     self.model_index = Some(index);
@@ -168,7 +217,12 @@ impl CheckpointHandle {
                 .ok_or_else(|| CkptError::Missing(format!("weight '{name}'"))),
             LoadMode::LazyRange => {
                 let index = self.model_index.as_ref().unwrap();
-                let t = safetensors::read_tensor_at(&self.paths.model(), index, name)?;
+                let t = safetensors::read_tensor_at_on(
+                    &*self.storage,
+                    &self.paths.model(),
+                    index,
+                    name,
+                )?;
                 self.stats.bytes_read += t.byte_len() as u64;
                 Ok(t)
             }
@@ -201,8 +255,8 @@ impl CheckpointHandle {
             LoadMode::EagerFull => {
                 if !self.shard_cache.contains_key(&rank) {
                     let path = self.paths.optim_shard(rank);
-                    let len = std::fs::metadata(&path).map_err(io_err(&path))?.len();
-                    let (tensors, _) = safetensors::read_file(&path)?;
+                    let len = self.storage.file_len(&path).map_err(io_err(&path))?;
+                    let (tensors, _) = safetensors::read_file_on(&*self.storage, &path)?;
                     self.stats.bytes_read += len;
                     self.stats.files_opened += 1;
                     self.stats.full_loads += 1;
@@ -212,7 +266,7 @@ impl CheckpointHandle {
             LoadMode::LazyRange => {
                 if !self.shard_index.contains_key(&rank) {
                     let path = self.paths.optim_shard(rank);
-                    let index = safetensors::open_index(&path)?;
+                    let index = safetensors::open_index_on(&*self.storage, &path)?;
                     self.stats.files_opened += 1;
                     self.stats.bytes_read += index.data_start;
                     self.shard_index.insert(rank, index);
@@ -244,7 +298,12 @@ impl CheckpointHandle {
                     .ok_or_else(|| CkptError::Missing(format!("shard tensor '{name}'"))),
                 LoadMode::LazyRange => {
                     let index = this.shard_index.get(&rank).unwrap();
-                    let t = safetensors::read_tensor_at(&this.paths.optim_shard(rank), index, name)?;
+                    let t = safetensors::read_tensor_at_on(
+                        &*this.storage,
+                        &this.paths.optim_shard(rank),
+                        index,
+                        name,
+                    )?;
                     this.stats.bytes_read += t.byte_len() as u64;
                     Ok(t.to_f32s())
                 }
@@ -307,7 +366,12 @@ mod tests {
     use llmt_tensor::rng::Prng;
     use llmt_zero::ZeroEngine;
 
-    fn write_ckpt(dir: &Path, cfg: &ModelConfig, step: u64, units: &[LayerUnit]) -> (Model, ZeroEngine) {
+    fn write_ckpt(
+        dir: &Path,
+        cfg: &ModelConfig,
+        step: u64,
+        units: &[LayerUnit],
+    ) -> (Model, ZeroEngine) {
         let mut model = Model::new(cfg.clone(), 21);
         let mut engine = ZeroEngine::new(
             &model.params,
@@ -388,7 +452,11 @@ mod tests {
         eager.group_shard(0, 0).unwrap();
         lazy.group_shard(0, 0).unwrap();
         let shard_len = std::fs::metadata(eager.paths.optim_shard(0)).unwrap().len();
-        assert_eq!(eager.stats().bytes_read, shard_len, "eager reads everything");
+        assert_eq!(
+            eager.stats().bytes_read,
+            shard_len,
+            "eager reads everything"
+        );
         assert!(
             lazy.stats().bytes_read < shard_len / 2,
             "lazy reads a small range ({} vs file {shard_len})",
@@ -417,7 +485,12 @@ mod tests {
     fn partial_checkpoint_reports_missing_groups_and_refuses_full_resume() {
         let cfg = ModelConfig::tiny_test();
         let dir = tempfile::tempdir().unwrap();
-        write_ckpt(dir.path(), &cfg, 10, &[LayerUnit::Transformer(0), LayerUnit::FinalNorm]);
+        write_ckpt(
+            dir.path(),
+            &cfg,
+            10,
+            &[LayerUnit::Transformer(0), LayerUnit::FinalNorm],
+        );
         let mut h =
             CheckpointHandle::open(&dir.path().join("checkpoint-10"), LoadMode::EagerFull).unwrap();
         assert_eq!(
@@ -425,7 +498,11 @@ mod tests {
             vec![LayerUnit::Transformer(0), LayerUnit::FinalNorm]
         );
         // The embedding's group is absent.
-        let embed_group = h.zero_meta.index_map().groups_for_unit(LayerUnit::EmbedTokens).unwrap()[0];
+        let embed_group = h
+            .zero_meta
+            .index_map()
+            .groups_for_unit(LayerUnit::EmbedTokens)
+            .unwrap()[0];
         assert!(matches!(
             h.group_shard(0, embed_group).unwrap_err(),
             CkptError::Missing(_)
@@ -435,7 +512,11 @@ mod tests {
             CkptError::Incompatible(_)
         ));
         // Present unit still loads.
-        let t0_groups = h.zero_meta.index_map().groups_for_unit(LayerUnit::Transformer(0)).unwrap();
+        let t0_groups = h
+            .zero_meta
+            .index_map()
+            .groups_for_unit(LayerUnit::Transformer(0))
+            .unwrap();
         for g in t0_groups {
             h.group_shard(1, g).unwrap();
         }
@@ -453,6 +534,29 @@ mod tests {
             assert_eq!(state, engine.ranks[rank]);
         }
         assert_eq!(h.zero_meta.optimizer_step, engine.step_count);
+    }
+
+    #[test]
+    fn open_reports_commit_status_without_refusing_quarantined_dirs() {
+        let cfg = ModelConfig::tiny_test();
+        let dir = tempfile::tempdir().unwrap();
+        write_ckpt(dir.path(), &cfg, 10, &LayerUnit::all(&cfg));
+        let ckpt_dir = dir.path().join("checkpoint-10");
+
+        let h = CheckpointHandle::open(&ckpt_dir, LoadMode::EagerFull).unwrap();
+        assert!(h.is_committed());
+
+        // Strip the marker: still openable (verify needs to look inside),
+        // but flagged.
+        std::fs::remove_file(ckpt_dir.join("COMMIT")).unwrap();
+        let h = CheckpointHandle::open(&ckpt_dir, LoadMode::EagerFull).unwrap();
+        assert!(!h.is_committed());
+        assert_eq!(h.commit_status(), &CommitStatus::Missing);
+
+        // Garbage marker.
+        std::fs::write(ckpt_dir.join("COMMIT"), b"not a marker").unwrap();
+        let h = CheckpointHandle::open(&ckpt_dir, LoadMode::EagerFull).unwrap();
+        assert!(matches!(h.commit_status(), CommitStatus::Corrupt(_)));
     }
 
     #[test]

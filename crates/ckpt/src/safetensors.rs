@@ -14,11 +14,10 @@
 //!   suggests for future layer-wise checkpoint systems.
 
 use crate::error::{io_err, CkptError, Result};
+use llmt_storage::vfs::{LocalFs, Storage};
 use llmt_tensor::{DType, RawTensor, Shape};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Header entry for one tensor.
@@ -57,19 +56,15 @@ impl SafetensorsIndex {
     }
 }
 
-/// Serialize tensors (with optional metadata) to a safetensors file.
-/// Tensors are written tightly packed in the given order.
-pub fn write_file(
-    path: &Path,
+/// Serialize tensors (with optional metadata) into an in-memory
+/// safetensors image: 8-byte header length, JSON header, packed data.
+pub fn encode(
     tensors: &[(String, RawTensor)],
     metadata: &BTreeMap<String, String>,
-) -> Result<u64> {
+) -> Result<Vec<u8>> {
     let mut header = serde_json::Map::new();
     if !metadata.is_empty() {
-        header.insert(
-            "__metadata__".to_string(),
-            serde_json::to_value(metadata)?,
-        );
+        header.insert("__metadata__".to_string(), serde_json::to_value(metadata)?);
     }
     let mut offset = 0u64;
     for (name, t) in tensors {
@@ -87,16 +82,38 @@ pub fn write_file(
     }
     let header_bytes = serde_json::to_vec(&serde_json::Value::Object(header))?;
 
-    let mut f = File::create(path).map_err(io_err(path))?;
-    let mut w = std::io::BufWriter::new(&mut f);
-    w.write_all(&(header_bytes.len() as u64).to_le_bytes())
-        .map_err(io_err(path))?;
-    w.write_all(&header_bytes).map_err(io_err(path))?;
+    let mut out = Vec::with_capacity(8 + header_bytes.len() + offset as usize);
+    out.extend_from_slice(&(header_bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&header_bytes);
     for (_, t) in tensors {
-        w.write_all(t.bytes()).map_err(io_err(path))?;
+        out.extend_from_slice(t.bytes());
     }
-    w.flush().map_err(io_err(path))?;
-    Ok(8 + header_bytes.len() as u64 + offset)
+    Ok(out)
+}
+
+/// Serialize tensors (with optional metadata) to a safetensors file.
+/// Tensors are written tightly packed in the given order.
+pub fn write_file(
+    path: &Path,
+    tensors: &[(String, RawTensor)],
+    metadata: &BTreeMap<String, String>,
+) -> Result<u64> {
+    write_file_on(&LocalFs, path, tensors, metadata)
+}
+
+/// [`write_file`] through a [`Storage`]: write the whole image, then sync
+/// it. The sync matters — the commit protocol writes the `COMMIT` marker
+/// only after every payload file is durable.
+pub fn write_file_on(
+    storage: &dyn Storage,
+    path: &Path,
+    tensors: &[(String, RawTensor)],
+    metadata: &BTreeMap<String, String>,
+) -> Result<u64> {
+    let bytes = encode(tensors, metadata)?;
+    storage.write(path, &bytes).map_err(io_err(path))?;
+    storage.sync(path).map_err(io_err(path))?;
+    Ok(bytes.len() as u64)
 }
 
 fn parse_header(path: &Path, header_bytes: &[u8], data_start: u64) -> Result<SafetensorsIndex> {
@@ -115,8 +132,9 @@ fn parse_header(path: &Path, header_bytes: &[u8], data_start: u64) -> Result<Saf
         }
         let e: HeaderEntry = serde_json::from_value(v.clone())
             .map_err(|err| CkptError::Format(format!("entry '{name}': {err}")))?;
-        let dtype = DType::from_str_opt(&e.dtype)
-            .ok_or_else(|| CkptError::Format(format!("entry '{name}': unsupported dtype {}", e.dtype)))?;
+        let dtype = DType::from_str_opt(&e.dtype).ok_or_else(|| {
+            CkptError::Format(format!("entry '{name}': unsupported dtype {}", e.dtype))
+        })?;
         // Untrusted boundary: dimension products must not overflow.
         let numel = e
             .shape
@@ -149,15 +167,24 @@ pub type TensorsAndMetadata = (Vec<(String, RawTensor)>, BTreeMap<String, String
 
 /// Eagerly read a whole safetensors file (single sequential pass).
 pub fn read_file(path: &Path) -> Result<TensorsAndMetadata> {
-    let mut f = File::open(path).map_err(io_err(path))?;
-    let mut all = Vec::new();
-    f.read_to_end(&mut all).map_err(io_err(path))?;
+    read_file_on(&LocalFs, path)
+}
+
+/// [`read_file`] through a [`Storage`].
+pub fn read_file_on(storage: &dyn Storage, path: &Path) -> Result<TensorsAndMetadata> {
+    let all = storage.read(path).map_err(io_err(path))?;
     if all.len() < 8 {
-        return Err(CkptError::Format(format!("{}: truncated (no header length)", path.display())));
+        return Err(CkptError::Format(format!(
+            "{}: truncated (no header length)",
+            path.display()
+        )));
     }
     let hlen = u64::from_le_bytes(all[..8].try_into().unwrap()) as usize;
     if all.len() < 8 + hlen {
-        return Err(CkptError::Format(format!("{}: truncated header", path.display())));
+        return Err(CkptError::Format(format!(
+            "{}: truncated header",
+            path.display()
+        )));
     }
     let index = parse_header(path, &all[8..8 + hlen], (8 + hlen) as u64)?;
     let data = &all[8 + hlen..];
@@ -180,25 +207,35 @@ pub fn read_file(path: &Path) -> Result<TensorsAndMetadata> {
 
 /// Parse only the header of a safetensors file (cheap).
 pub fn open_index(path: &Path) -> Result<SafetensorsIndex> {
-    let mut f = File::open(path).map_err(io_err(path))?;
-    let mut len_buf = [0u8; 8];
-    f.read_exact(&mut len_buf).map_err(io_err(path))?;
-    let hlen = u64::from_le_bytes(len_buf) as usize;
-    let mut header = vec![0u8; hlen];
-    f.read_exact(&mut header).map_err(io_err(path))?;
+    open_index_on(&LocalFs, path)
+}
+
+/// [`open_index`] through a [`Storage`].
+pub fn open_index_on(storage: &dyn Storage, path: &Path) -> Result<SafetensorsIndex> {
+    let len_buf = storage.read_range(path, 0, 8).map_err(io_err(path))?;
+    let hlen = u64::from_le_bytes(len_buf.try_into().unwrap()) as usize;
+    let header = storage.read_range(path, 8, hlen).map_err(io_err(path))?;
     parse_header(path, &header, 8 + hlen as u64)
 }
 
 /// Range-read a single tensor using a previously parsed index.
 pub fn read_tensor_at(path: &Path, index: &SafetensorsIndex, name: &str) -> Result<RawTensor> {
+    read_tensor_at_on(&LocalFs, path, index, name)
+}
+
+/// [`read_tensor_at`] through a [`Storage`].
+pub fn read_tensor_at_on(
+    storage: &dyn Storage,
+    path: &Path,
+    index: &SafetensorsIndex,
+    name: &str,
+) -> Result<RawTensor> {
     let (_, dtype, shape, b, e) = index
         .entry(name)
         .ok_or_else(|| CkptError::Missing(format!("tensor '{name}' in {}", path.display())))?;
-    let mut f = File::open(path).map_err(io_err(path))?;
-    f.seek(SeekFrom::Start(index.data_start + b))
+    let buf = storage
+        .read_range(path, index.data_start + b, (e - b) as usize)
         .map_err(io_err(path))?;
-    let mut buf = vec![0u8; (e - b) as usize];
-    f.read_exact(&mut buf).map_err(io_err(path))?;
     Ok(RawTensor::from_bytes(*dtype, shape.clone(), buf))
 }
 
@@ -286,7 +323,10 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("t.safetensors");
         std::fs::write(&path, [1, 2, 3]).unwrap();
-        assert!(matches!(read_file(&path).unwrap_err(), CkptError::Format(_)));
+        assert!(matches!(
+            read_file(&path).unwrap_err(),
+            CkptError::Format(_)
+        ));
     }
 
     #[test]
@@ -299,7 +339,10 @@ mod tests {
         bytes.extend_from_slice(header);
         bytes.extend_from_slice(&[0u8; 4]);
         std::fs::write(&path, bytes).unwrap();
-        assert!(matches!(read_file(&path).unwrap_err(), CkptError::Format(_)));
+        assert!(matches!(
+            read_file(&path).unwrap_err(),
+            CkptError::Format(_)
+        ));
     }
 
     #[test]

@@ -45,6 +45,13 @@ impl TrainerState {
         std::fs::write(path, json).map_err(io_err(path))
     }
 
+    /// [`TrainerState::save`] through a `Storage`, synced for durability.
+    pub fn save_on(&self, storage: &dyn llmt_storage::vfs::Storage, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)?;
+        storage.write(path, json.as_bytes()).map_err(io_err(path))?;
+        storage.sync(path).map_err(io_err(path))
+    }
+
     /// Read from `trainer_state.json`.
     pub fn load(path: &Path) -> Result<Self> {
         let text = std::fs::read_to_string(path).map_err(io_err(path))?;

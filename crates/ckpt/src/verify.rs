@@ -64,15 +64,26 @@ pub fn verify_checkpoint(dir: &Path) -> Result<VerifyReport> {
         return Ok(report); // everything else depends on the config
     }
 
+    // Commit marker: a torn/garbage/mismatched marker is an integrity
+    // finding, not an abort — the rest of the report says how much of the
+    // payload is intact.
+    if !h.is_committed() {
+        find("COMMIT", h.commit_status().describe(), &mut report);
+    }
+
     // Weights: shape + digest per manifest-listed unit.
     let manifest = h.manifest.clone();
     for unit in h.units_present() {
         for spec in unit_param_specs(&h.config, unit) {
             match h.weight(&spec.name) {
-                Err(CkptError::Missing(_)) => {
-                    find(&spec.name, "listed in manifest but absent".into(), &mut report)
-                }
-                Err(e) => return Err(e),
+                Err(CkptError::Missing(_)) => find(
+                    &spec.name,
+                    "listed in manifest but absent".into(),
+                    &mut report,
+                ),
+                // A torn payload (truncated data section, unreadable file)
+                // is itself an integrity finding; keep checking the rest.
+                Err(e) => find(&spec.name, format!("unreadable: {e}"), &mut report),
                 Ok(t) => {
                     report.weights_checked += 1;
                     if t.shape().dims() != spec.shape.as_slice() {
@@ -133,7 +144,10 @@ pub fn verify_checkpoint(dir: &Path) -> Result<VerifyReport> {
         if g.shard_len != want {
             find(
                 &format!("group {}", g.id),
-                format!("shard_len {} != ceil({} / {})", g.shard_len, g.numel, meta.world_size),
+                format!(
+                    "shard_len {} != ceil({} / {})",
+                    g.shard_len, g.numel, meta.world_size
+                ),
                 &mut report,
             );
         }
@@ -148,7 +162,11 @@ pub fn verify_checkpoint(dir: &Path) -> Result<VerifyReport> {
                     "advertised but absent from shard file".into(),
                     &mut report,
                 ),
-                Err(e) => return Err(e),
+                Err(e) => find(
+                    &format!("rank {rank} group {gid}"),
+                    format!("unreadable: {e}"),
+                    &mut report,
+                ),
                 Ok(shard) => {
                     report.shards_checked += 1;
                     let want = meta.groups[*gid].shard_len;
@@ -276,10 +294,14 @@ mod tests {
         std::fs::write(&model_file, bytes).unwrap();
         let report = verify_checkpoint(&dir).unwrap();
         assert!(!report.ok());
-        assert!(report
-            .findings
-            .iter()
-            .any(|f| f.problem.contains("digest mismatch")), "{:?}", report.findings);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.problem.contains("digest mismatch")),
+            "{:?}",
+            report.findings
+        );
     }
 
     #[test]
@@ -309,10 +331,14 @@ mod tests {
         bytes[n - 8..n - 4].copy_from_slice(&f32::NAN.to_le_bytes());
         std::fs::write(&shard, bytes).unwrap();
         let report = verify_checkpoint(&dir).unwrap();
-        assert!(report
-            .findings
-            .iter()
-            .any(|f| f.problem.contains("non-finite")), "{:?}", report.findings);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.problem.contains("non-finite")),
+            "{:?}",
+            report.findings
+        );
     }
 
     #[test]
@@ -324,6 +350,9 @@ mod tests {
         meta.groups[0].shard_len += 1;
         meta.save(&paths.zero_meta()).unwrap();
         let report = verify_checkpoint(&dir).unwrap();
-        assert!(report.findings.iter().any(|f| f.problem.contains("shard_len")));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.problem.contains("shard_len")));
     }
 }

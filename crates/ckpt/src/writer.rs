@@ -1,19 +1,35 @@
-//! Checkpoint writer: full or partial (unit-selective) saves.
+//! Checkpoint writer: full or partial (unit-selective) saves with a
+//! two-phase crash-consistent commit.
 //!
 //! A *partial* checkpoint stores only the selected units' weight tensors
 //! and optimizer groups. This requires the layer-wise group layout — with
 //! the stock 2-group optimizer the flat buffers are inseparable, which is
 //! precisely the limitation the paper's §4.1 reconstruction removes; asking
 //! for a partial save under the stock layout is therefore an error.
+//!
+//! Commit protocol (every durability step ordered, DataStates-style):
+//!
+//! 1. stage every file into `checkpoint-<N>.tmp/`, syncing each one;
+//! 2. write the `COMMIT` marker (manifest digest + step), sync it;
+//! 3. atomically rename the staging dir to `checkpoint-<N>/`;
+//! 4. sync the run root so the rename itself is durable.
+//!
+//! A crash before (3) leaves only a `.tmp` dir; a torn marker fails digest
+//! validation. Either way scans quarantine the directory and recovery
+//! falls back to the previous committed checkpoint. On any save *error*
+//! the staging directory is removed best-effort, so failed saves leave no
+//! `*.tmp` debris behind (unless the storage itself is dead, in which case
+//! nothing can be removed anyway).
 
 use crate::error::{io_err, CkptError, Result};
-use crate::layout::CheckpointPaths;
+use crate::layout::{commit_marker_contents, CheckpointPaths};
 use crate::manifest::PartialManifest;
 use crate::safetensors;
 use crate::trainer_state::TrainerState;
 use crate::zero_meta::{shard_tensor_names, GroupMeta, ZeroMeta};
 use llmt_model::naming::unit_param_specs;
 use llmt_model::{LayerUnit, ModelConfig, ParamSet};
+use llmt_storage::vfs::{LocalFs, Storage};
 use llmt_tensor::{DType, RawTensor, Shape};
 use llmt_zero::ZeroEngine;
 use rayon::prelude::*;
@@ -56,8 +72,16 @@ pub struct CheckpointReport {
     pub units: Vec<LayerUnit>,
 }
 
-/// Save a (possibly partial) checkpoint. Returns a size report.
+/// Save a (possibly partial) checkpoint on the local filesystem.
 pub fn save_checkpoint(req: &SaveRequest) -> Result<CheckpointReport> {
+    save_checkpoint_on(&LocalFs, req)
+}
+
+/// Save a (possibly partial) checkpoint through a [`Storage`], using the
+/// two-phase commit protocol. Returns a size report on success; on failure
+/// the staging directory is removed best-effort before the error is
+/// surfaced.
+pub fn save_checkpoint_on(storage: &dyn Storage, req: &SaveRequest) -> Result<CheckpointReport> {
     let config = req.config;
     for u in req.units {
         if !u.exists_in(config) {
@@ -92,8 +116,43 @@ pub fn save_checkpoint(req: &SaveRequest) -> Result<CheckpointReport> {
         .map(|g| g.id)
         .collect();
 
-    let paths = CheckpointPaths::under(req.root, req.step);
-    std::fs::create_dir_all(paths.global_step_dir()).map_err(io_err(paths.global_step_dir()))?;
+    let staging = CheckpointPaths::staging_under(req.root, req.step);
+    match write_staged_and_commit(storage, req, &staging, units, &present, full) {
+        Ok(report) => Ok(report),
+        Err(e) => {
+            // Best-effort debris removal: a failed save must not leave a
+            // `.tmp` dir behind. If the storage itself is dead (simulated
+            // crash) this fails too — exactly the torn state the scanner
+            // quarantines.
+            if storage.exists(&staging.dir) {
+                let _ = storage.remove_dir_all(&staging.dir);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Phase 1 + 2 + 3 of the commit protocol, against the staging directory.
+fn write_staged_and_commit(
+    storage: &dyn Storage,
+    req: &SaveRequest,
+    staging: &CheckpointPaths,
+    units: Vec<LayerUnit>,
+    present: &[usize],
+    full: bool,
+) -> Result<CheckpointReport> {
+    let config = req.config;
+
+    // A leftover staging dir from a previously crashed save must not leak
+    // stale files into this one.
+    if storage.exists(&staging.dir) {
+        storage
+            .remove_dir_all(&staging.dir)
+            .map_err(io_err(&staging.dir))?;
+    }
+    storage
+        .create_dir_all(&staging.global_step_dir())
+        .map_err(io_err(staging.global_step_dir()))?;
 
     let mut files_written = 0usize;
     let mut meta_bytes = 0u64;
@@ -114,7 +173,8 @@ pub fn save_checkpoint(req: &SaveRequest) -> Result<CheckpointReport> {
     }
     let mut st_meta = BTreeMap::new();
     st_meta.insert("format".to_string(), "pt".to_string());
-    let model_bytes = safetensors::write_file(&paths.model(), &weight_tensors, &st_meta)?;
+    let model_bytes =
+        safetensors::write_file_on(storage, &staging.model(), &weight_tensors, &st_meta)?;
     files_written += 1;
 
     // 2. Per-rank optimizer shard files, in parallel (the paper
@@ -123,7 +183,7 @@ pub fn save_checkpoint(req: &SaveRequest) -> Result<CheckpointReport> {
         .into_par_iter()
         .map(|rank| -> Result<u64> {
             let mut tensors: Vec<(String, RawTensor)> = Vec::with_capacity(present.len() * 3);
-            for gid in &present {
+            for gid in present {
                 let shard = &req.engine.ranks[rank].shards[*gid];
                 let names = shard_tensor_names(*gid);
                 let len = shard.master.len();
@@ -140,12 +200,25 @@ pub fn save_checkpoint(req: &SaveRequest) -> Result<CheckpointReport> {
                     RawTensor::from_f32s(&shard.exp_avg_sq, Shape::new(vec![len]), DType::F32),
                 ));
             }
-            safetensors::write_file(&paths.optim_shard(rank), &tensors, &BTreeMap::new())
+            safetensors::write_file_on(
+                storage,
+                &staging.optim_shard(rank),
+                &tensors,
+                &BTreeMap::new(),
+            )
         })
         .collect::<Result<Vec<u64>>>()?
         .into_iter()
         .sum();
     files_written += req.engine.world_size;
+
+    // Small JSON files are written inline (and synced) so their exact byte
+    // counts are known without re-reading.
+    let put = |path: &Path, bytes: &[u8]| -> Result<u64> {
+        storage.write(path, bytes).map_err(io_err(path))?;
+        storage.sync(path).map_err(io_err(path))?;
+        Ok(bytes.len() as u64)
+    };
 
     // 3. ZeRO metadata.
     let zero_meta = ZeroMeta {
@@ -153,8 +226,10 @@ pub fn save_checkpoint(req: &SaveRequest) -> Result<CheckpointReport> {
         num_layers: config.num_hidden_layers,
         tied: config.tie_word_embeddings,
         optimizer_step: req.engine.step_count,
-        groups_present: present,
-        groups: groups
+        groups_present: present.to_vec(),
+        groups: req
+            .engine
+            .groups()
             .iter()
             .map(|g| GroupMeta {
                 id: g.id,
@@ -164,28 +239,48 @@ pub fn save_checkpoint(req: &SaveRequest) -> Result<CheckpointReport> {
             })
             .collect(),
     };
-    zero_meta.save(&paths.zero_meta())?;
-    meta_bytes += file_len(&paths.zero_meta());
+    meta_bytes += put(
+        &staging.zero_meta(),
+        serde_json::to_string_pretty(&zero_meta)?.as_bytes(),
+    )?;
     files_written += 1;
 
     // 4. Config + trainer state + latest marker + manifest (paper §4.4).
     let config_json = serde_json::to_string_pretty(config)?;
-    std::fs::write(paths.config(), &config_json).map_err(io_err(paths.config()))?;
-    req.trainer_state.save(&paths.trainer_state())?;
-    std::fs::write(paths.latest(), format!("global_step{}\n", req.step))
-        .map_err(io_err(paths.latest()))?;
+    meta_bytes += put(&staging.config(), config_json.as_bytes())?;
+    let state_json = serde_json::to_string_pretty(req.trainer_state)?;
+    meta_bytes += put(&staging.trainer_state(), state_json.as_bytes())?;
+    meta_bytes += put(
+        &staging.latest(),
+        format!("global_step{}\n", req.step).as_bytes(),
+    )?;
     let manifest = PartialManifest {
         step: req.step,
         units: units.clone(),
         weight_digests: digests,
         full,
     };
-    manifest.save(&paths.manifest())?;
-    meta_bytes += file_len(&paths.config())
-        + file_len(&paths.trainer_state())
-        + file_len(&paths.latest())
-        + file_len(&paths.manifest());
+    let manifest_json = serde_json::to_string_pretty(&manifest)?;
+    meta_bytes += put(&staging.manifest(), manifest_json.as_bytes())?;
     files_written += 4;
+
+    // 5. Seal: the COMMIT marker goes in only after every payload byte is
+    //    durable, so its presence certifies the whole directory.
+    let marker = commit_marker_contents(req.step, manifest_json.as_bytes());
+    meta_bytes += put(&staging.commit_marker(), marker.as_bytes())?;
+    files_written += 1;
+
+    // 6. Swap into place atomically and persist the rename.
+    let paths = CheckpointPaths::under(req.root, req.step);
+    if storage.exists(&paths.dir) {
+        storage
+            .remove_dir_all(&paths.dir)
+            .map_err(io_err(&paths.dir))?;
+    }
+    storage
+        .rename(&staging.dir, &paths.dir)
+        .map_err(io_err(&staging.dir))?;
+    storage.sync(req.root).map_err(io_err(req.root))?;
 
     Ok(CheckpointReport {
         paths,
@@ -197,8 +292,26 @@ pub fn save_checkpoint(req: &SaveRequest) -> Result<CheckpointReport> {
     })
 }
 
-fn file_len(p: &Path) -> u64 {
-    std::fs::metadata(p).map(|m| m.len()).unwrap_or(0)
+/// Seal an already-written checkpoint directory (e.g. a merge output) with
+/// a `COMMIT` marker derived from its manifest on disk. Returns the marker
+/// length in bytes.
+pub fn commit_checkpoint(paths: &CheckpointPaths) -> Result<u64> {
+    commit_checkpoint_on(&LocalFs, paths)
+}
+
+/// [`commit_checkpoint`] through a [`Storage`].
+pub fn commit_checkpoint_on(storage: &dyn Storage, paths: &CheckpointPaths) -> Result<u64> {
+    let manifest = storage
+        .read(&paths.manifest())
+        .map_err(io_err(paths.manifest()))?;
+    let marker = commit_marker_contents(paths.step, &manifest);
+    storage
+        .write(&paths.commit_marker(), marker.as_bytes())
+        .map_err(io_err(paths.commit_marker()))?;
+    storage
+        .sync(&paths.commit_marker())
+        .map_err(io_err(paths.commit_marker()))?;
+    Ok(marker.len() as u64)
 }
 
 #[cfg(test)]
@@ -208,7 +321,11 @@ mod tests {
     use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
     use llmt_tensor::rng::Prng;
 
-    fn make_state(cfg: &ModelConfig, world: usize, layout: GroupLayout) -> (Model, ZeroEngine, TrainerState) {
+    fn make_state(
+        cfg: &ModelConfig,
+        world: usize,
+        layout: GroupLayout,
+    ) -> (Model, ZeroEngine, TrainerState) {
         let mut model = Model::new(cfg.clone(), 13);
         let mut engine = ZeroEngine::new(
             &model.params,
@@ -261,12 +378,17 @@ mod tests {
         assert!(report.paths.config().exists());
         assert!(report.paths.trainer_state().exists());
         assert!(report.paths.manifest().exists());
-        // 1 model + 2 shards + zero_meta + config + trainer_state + latest + manifest
-        assert_eq!(report.files_written, 8);
+        assert!(report.paths.commit_marker().exists());
+        // 1 model + 2 shards + zero_meta + config + trainer_state + latest
+        // + manifest + COMMIT
+        assert_eq!(report.files_written, 9);
         assert_eq!(report.total_bytes, report.paths.total_bytes().unwrap());
         let meta = ZeroMeta::load(&report.paths.zero_meta()).unwrap();
         assert!(meta.is_full());
         assert_eq!(meta.optimizer_step, 1);
+        // Committed: marker digest matches the manifest, staging is gone.
+        assert!(report.paths.commit_status().is_committed());
+        assert!(!CheckpointPaths::staging_under(dir.path(), 10).dir.exists());
     }
 
     #[test]
@@ -350,6 +472,98 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, CkptError::Incompatible(_)));
+    }
+
+    #[test]
+    fn failed_save_leaves_no_tmp_debris() {
+        use llmt_storage::vfs::{FaultKind, FaultSpec, FaultyFs, LocalFs};
+
+        let cfg = ModelConfig::tiny_test();
+        let (model, engine, ts) = make_state(&cfg, 2, GroupLayout::LayerWise);
+        let dir = tempfile::tempdir().unwrap();
+        // ENOSPC after a few files are staged: the save must fail AND
+        // clean up its partial staging directory (deletes still work).
+        let storage = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 5,
+                kind: FaultKind::Permanent,
+            },
+        );
+        let err = save_checkpoint_on(
+            &storage,
+            &SaveRequest {
+                root: dir.path(),
+                step: 10,
+                config: &cfg,
+                params: &model.params,
+                engine: &engine,
+                trainer_state: &ts,
+                units: &LayerUnit::all(&cfg),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CkptError::Io(..)), "{err}");
+        let leftovers: Vec<String> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            leftovers.iter().all(|n| !n.ends_with(".tmp")),
+            "tmp debris left behind: {leftovers:?}"
+        );
+        assert!(
+            !CheckpointPaths::under(dir.path(), 10).dir.exists(),
+            "no committed checkpoint may exist after a failed save"
+        );
+    }
+
+    #[test]
+    fn leftover_staging_from_prior_crash_is_replaced() {
+        let cfg = ModelConfig::tiny_test();
+        let (model, engine, ts) = make_state(&cfg, 2, GroupLayout::LayerWise);
+        let dir = tempfile::tempdir().unwrap();
+        // Simulate a previous crashed save: torn staging with a stale file.
+        let staging = CheckpointPaths::staging_under(dir.path(), 10);
+        std::fs::create_dir_all(&staging.dir).unwrap();
+        std::fs::write(staging.dir.join("stale-garbage"), b"torn").unwrap();
+        let report = save_checkpoint(&SaveRequest {
+            root: dir.path(),
+            step: 10,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &LayerUnit::all(&cfg),
+        })
+        .unwrap();
+        assert!(report.paths.commit_status().is_committed());
+        assert!(!staging.dir.exists());
+        assert!(!report.paths.dir.join("stale-garbage").exists());
+    }
+
+    #[test]
+    fn commit_checkpoint_seals_a_directory() {
+        let cfg = ModelConfig::tiny_test();
+        let (model, engine, ts) = make_state(&cfg, 1, GroupLayout::LayerWise);
+        let dir = tempfile::tempdir().unwrap();
+        let report = save_checkpoint(&SaveRequest {
+            root: dir.path(),
+            step: 3,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &LayerUnit::all(&cfg),
+        })
+        .unwrap();
+        // Strip the marker, then re-seal via commit_checkpoint.
+        std::fs::remove_file(report.paths.commit_marker()).unwrap();
+        assert!(!report.paths.commit_status().is_committed());
+        let n = commit_checkpoint(&report.paths).unwrap();
+        assert!(n > 0);
+        assert!(report.paths.commit_status().is_committed());
     }
 
     #[test]

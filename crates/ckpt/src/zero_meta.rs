@@ -67,6 +67,13 @@ impl ZeroMeta {
         std::fs::write(path, json).map_err(io_err(path))
     }
 
+    /// [`ZeroMeta::save`] through a `Storage`, synced for durability.
+    pub fn save_on(&self, storage: &dyn llmt_storage::vfs::Storage, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)?;
+        storage.write(path, json.as_bytes()).map_err(io_err(path))?;
+        storage.sync(path).map_err(io_err(path))
+    }
+
     /// Read from `zero_meta.json`.
     pub fn load(path: &Path) -> Result<Self> {
         let text = std::fs::read_to_string(path).map_err(io_err(path))?;

@@ -22,7 +22,10 @@ fn empty_file_is_rejected() {
     let dir = tempfile::tempdir().unwrap();
     let p = dir.path().join("x.safetensors");
     write(&p, b"");
-    assert!(matches!(safetensors::read_file(&p), Err(CkptError::Format(_))));
+    assert!(matches!(
+        safetensors::read_file(&p),
+        Err(CkptError::Format(_))
+    ));
     assert!(safetensors::open_index(&p).is_err());
 }
 
@@ -42,7 +45,10 @@ fn non_json_header_is_rejected() {
     let dir = tempfile::tempdir().unwrap();
     let p = dir.path().join("x.safetensors");
     write(&p, &header_file("this is not json", 0));
-    assert!(matches!(safetensors::read_file(&p), Err(CkptError::Format(_))));
+    assert!(matches!(
+        safetensors::read_file(&p),
+        Err(CkptError::Format(_))
+    ));
 }
 
 #[test]
@@ -50,7 +56,10 @@ fn header_array_instead_of_object_is_rejected() {
     let dir = tempfile::tempdir().unwrap();
     let p = dir.path().join("x.safetensors");
     write(&p, &header_file("[1, 2, 3]", 0));
-    assert!(matches!(safetensors::read_file(&p), Err(CkptError::Format(_))));
+    assert!(matches!(
+        safetensors::read_file(&p),
+        Err(CkptError::Format(_))
+    ));
 }
 
 #[test]
@@ -110,4 +119,123 @@ fn checkpoint_with_corrupt_config_json_errors_cleanly() {
     std::fs::write(ckpt.join("config.json"), "{not json").unwrap();
     let err = CheckpointHandle::open(&ckpt, LoadMode::EagerFull).unwrap_err();
     assert!(matches!(err, CkptError::Json(_)));
+}
+
+// ---------------------------------------------------------------------------
+// Corruption of real (initially committed) checkpoints: `verify_checkpoint`
+// must downgrade each of these to findings, never a panic or a hard error.
+// ---------------------------------------------------------------------------
+
+/// Write a full, committed checkpoint and return its directory.
+fn committed_ckpt(root: &Path) -> std::path::PathBuf {
+    use llmt_model::{Batch, LayerUnit, Model, ModelConfig, ParamSet};
+    use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
+    use llmt_zero::ZeroEngine;
+
+    let cfg = ModelConfig::tiny_test();
+    let mut model = Model::new(cfg.clone(), 11);
+    let mut engine = ZeroEngine::new(
+        &model.params,
+        build_groups(&cfg, GroupLayout::LayerWise),
+        2,
+        AdamWHyper::default(),
+    );
+    let mut rng = llmt_tensor::rng::Prng::seed_from_u64(5);
+    let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+    let mut grads = ParamSet::zeros(&cfg);
+    model.loss_and_grad(&Batch::new(tokens, 2, 8), &mut grads);
+    engine.step(&mut model.params, &grads, 1e-3, true);
+    let ts = llmt_ckpt::TrainerState {
+        global_step: 1,
+        ckpt_event: 0,
+        lr_schedule: LrSchedule::Constant { lr: 1e-3 },
+        last_lr: 1e-3,
+        loss_history: vec![],
+        data_rng: rng,
+        task: "malformed-test".into(),
+        model_name: cfg.model_name.clone(),
+        micro_batch: 2,
+        grad_accum: 1,
+        seq_len: 8,
+    };
+    llmt_ckpt::save_checkpoint(&llmt_ckpt::SaveRequest {
+        root,
+        step: 1,
+        config: &cfg,
+        params: &model.params,
+        engine: &engine,
+        trainer_state: &ts,
+        units: &LayerUnit::all(&cfg),
+    })
+    .unwrap()
+    .paths
+    .dir
+}
+
+#[test]
+fn truncated_safetensors_payload_is_a_finding() {
+    // Header intact, data section cut short: every tensor whose range runs
+    // past the new EOF must surface as an "unreadable" finding.
+    let root = tempfile::tempdir().unwrap();
+    let dir = committed_ckpt(root.path());
+    let model_file = dir.join("model.safetensors");
+    let bytes = std::fs::read(&model_file).unwrap();
+    std::fs::write(&model_file, &bytes[..bytes.len() - 64]).unwrap();
+    let report = llmt_ckpt::verify_checkpoint(&dir).unwrap();
+    assert!(!report.ok());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.problem.contains("unreadable")),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn zero_length_commit_marker_is_a_finding() {
+    let root = tempfile::tempdir().unwrap();
+    let dir = committed_ckpt(root.path());
+    std::fs::write(dir.join("COMMIT"), b"").unwrap();
+    let report = llmt_ckpt::verify_checkpoint(&dir).unwrap();
+    assert!(
+        report.findings.iter().any(|f| f.subject == "COMMIT"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn garbage_commit_marker_is_a_finding() {
+    let root = tempfile::tempdir().unwrap();
+    let dir = committed_ckpt(root.path());
+    std::fs::write(dir.join("COMMIT"), b"\xFF\xFEnot a marker\0\0").unwrap();
+    let report = llmt_ckpt::verify_checkpoint(&dir).unwrap();
+    assert!(
+        report.findings.iter().any(|f| f.subject == "COMMIT"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn manifest_digest_mismatch_is_a_finding() {
+    // The marker is intact and well-formed, but the manifest it sealed has
+    // been rewritten since: the digest no longer matches.
+    let root = tempfile::tempdir().unwrap();
+    let dir = committed_ckpt(root.path());
+    let manifest_file = dir.join("partial_manifest.json");
+    let mut text = std::fs::read_to_string(&manifest_file).unwrap();
+    text.push('\n'); // byte-level change only; still valid JSON
+    std::fs::write(&manifest_file, text).unwrap();
+    let report = llmt_ckpt::verify_checkpoint(&dir).unwrap();
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.subject == "COMMIT" && f.problem.contains("digest")),
+        "{:?}",
+        report.findings
+    );
 }

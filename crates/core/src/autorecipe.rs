@@ -72,8 +72,7 @@ mod tests {
                 log.record(u, step);
             }
         }
-        let recipe =
-            recipe_from_log(&log, &cfg, Path::new("/runs/x"), 250, "merged-250").unwrap();
+        let recipe = recipe_from_log(&log, &cfg, Path::new("/runs/x"), 250, "merged-250").unwrap();
         assert_eq!(recipe.base_checkpoint, Path::new("/runs/x/checkpoint-200"));
         assert_eq!(recipe.output, Path::new("/runs/x/merged-250"));
         assert_eq!(recipe.slices.len(), 2);

@@ -8,8 +8,7 @@
 //! llmtailor inspect CHECKPOINT_DIR
 //! ```
 
-use llmt_ckpt::manifest::SaveLog;
-use llmt_ckpt::{CheckpointHandle, CheckpointPaths, LoadMode};
+use llmt_ckpt::{effective_save_log, scan_run_root, CheckpointHandle, CheckpointPaths, LoadMode};
 use llmtailor::autorecipe::recipe_from_log;
 use llmtailor::{merge_with_recipe, LoadPattern, MergeRecipe};
 use std::path::{Path, PathBuf};
@@ -60,14 +59,16 @@ USAGE:
       and on-disk size.
 
   llmtailor verify <CHECKPOINT_DIR>
-      Check integrity: manifest digests, tensor shapes, ZeRO metadata
-      consistency, shard lengths and finiteness. Exits non-zero on any
-      finding.
+      Check integrity: commit marker, manifest digests, tensor shapes,
+      ZeRO metadata consistency, shard lengths and finiteness. Exits
+      non-zero on any finding, including quarantined (torn or tampered)
+      checkpoints.
 
   llmtailor prune --run-root <DIR> [--keep-last <N>] [--dry-run]
       Delete checkpoints that are not load-bearing: every unit's most
-      recent copy is preserved, so recovery at the newest step always
-      remains possible (partial-checkpoint-aware garbage collection).
+      recent *committed* copy is preserved, so recovery at the newest step
+      always remains possible (partial-checkpoint-aware garbage
+      collection). Quarantined directories are reported but never deleted.
 
   llmtailor diff <CHECKPOINT_A> <CHECKPOINT_B>
       Per-unit RMS change between two checkpoints of the same run — the
@@ -95,8 +96,7 @@ fn require(args: &[String], name: &str) -> Result<String, String> {
 
 fn cmd_merge(args: &[String]) -> Result<(), String> {
     let recipe_path = require(args, "--recipe")?;
-    let recipe =
-        MergeRecipe::from_yaml_file(Path::new(&recipe_path)).map_err(|e| e.to_string())?;
+    let recipe = MergeRecipe::from_yaml_file(Path::new(&recipe_path)).map_err(|e| e.to_string())?;
     let mode = if flag(args, "--lazy") {
         LoadMode::LazyRange
     } else {
@@ -133,13 +133,21 @@ fn cmd_autorecipe(args: &[String]) -> Result<(), String> {
         .map_err(|_| "--failure-step must be an integer".to_string())?;
     let output = require(args, "--output")?;
 
-    let log = SaveLog::load(&run_root.join("save_log.json")).map_err(|e| e.to_string())?;
-    // The model config comes from any checkpoint in the run (they all
-    // share it); use the newest.
-    let ckpts = CheckpointPaths::list(&run_root);
-    let newest = ckpts
-        .last()
-        .ok_or_else(|| format!("no checkpoints under {}", run_root.display()))?;
+    // The effective log reconciles save_log.json with the on-disk commit
+    // markers: quarantined checkpoints never become merge sources.
+    let (log, scan) = effective_save_log(&run_root).map_err(|e| e.to_string())?;
+    for q in &scan.quarantined {
+        eprintln!(
+            "warning: skipping quarantined {} ({})",
+            q.dir.display(),
+            q.status.describe()
+        );
+    }
+    // The model config comes from any committed checkpoint in the run
+    // (they all share it); use the newest.
+    let newest = scan
+        .newest_committed()
+        .ok_or_else(|| format!("no committed checkpoints under {}", run_root.display()))?;
     let config_text = std::fs::read_to_string(newest.config())
         .map_err(|e| format!("{}: {e}", newest.config().display()))?;
     let config: llmt_model::ModelConfig =
@@ -175,6 +183,7 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let mut h =
         CheckpointHandle::open(Path::new(dir), LoadMode::LazyRange).map_err(|e| e.to_string())?;
     println!("checkpoint: {dir}");
+    println!("  commit:     {}", h.commit_status().describe());
     println!("  model:      {}", h.config.model_name);
     println!("  step:       {}", h.trainer_state.global_step);
     println!("  task:       {}", h.trainer_state.task);
@@ -183,7 +192,11 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         "  groups:     {} total, {} present ({})",
         h.zero_meta.groups.len(),
         h.zero_meta.groups_present.len(),
-        if h.zero_meta.is_full() { "FULL — resumable" } else { "PARTIAL — merge before resuming" }
+        if h.zero_meta.is_full() {
+            "FULL — resumable"
+        } else {
+            "PARTIAL — merge before resuming"
+        }
     );
     let units = h.units_present();
     println!("  units ({}):", units.len());
@@ -206,8 +219,7 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     let dir = args
         .first()
         .ok_or_else(|| "verify requires a checkpoint directory".to_string())?;
-    let report =
-        llmt_ckpt::verify_checkpoint(Path::new(dir)).map_err(|e| e.to_string())?;
+    let report = llmt_ckpt::verify_checkpoint(Path::new(dir)).map_err(|e| e.to_string())?;
     println!(
         "checked {} weight tensors and {} optimizer shards",
         report.weights_checked, report.shards_checked
@@ -219,27 +231,40 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         for f in &report.findings {
             eprintln!("  FAIL {}: {}", f.subject, f.problem);
         }
-        Err(format!("{} integrity problem(s) found", report.findings.len()))
+        Err(format!(
+            "{} integrity problem(s) found",
+            report.findings.len()
+        ))
     }
 }
 
 fn cmd_prune(args: &[String]) -> Result<(), String> {
     let run_root = PathBuf::from(require(args, "--run-root")?);
     let keep_last: usize = opt(args, "--keep-last")?
-        .map(|v| v.parse().map_err(|_| "--keep-last must be an integer".to_string()))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--keep-last must be an integer".to_string())
+        })
         .transpose()?
         .unwrap_or(1);
-    let ckpts = CheckpointPaths::list(&run_root);
-    let newest = ckpts
-        .last()
-        .ok_or_else(|| format!("no checkpoints under {}", run_root.display()))?;
+    let scan = scan_run_root(&run_root);
+    for q in &scan.quarantined {
+        eprintln!(
+            "warning: quarantined {} ({}) — left untouched",
+            q.dir.display(),
+            q.status.describe()
+        );
+    }
+    let newest = scan
+        .newest_committed()
+        .ok_or_else(|| format!("no committed checkpoints under {}", run_root.display()))?;
     let config_text = std::fs::read_to_string(newest.config())
         .map_err(|e| format!("{}: {e}", newest.config().display()))?;
     let config: llmt_model::ModelConfig =
         serde_json::from_str(&config_text).map_err(|e| e.to_string())?;
     if flag(args, "--dry-run") {
-        let log = SaveLog::load(&run_root.join("save_log.json")).map_err(|e| e.to_string())?;
-        let steps: Vec<u64> = ckpts.iter().map(|c| c.step).collect();
+        let (log, _) = effective_save_log(&run_root).map_err(|e| e.to_string())?;
+        let steps = scan.committed_steps();
         let prunable = llmtailor::prunable_steps(&log, &config, &steps, keep_last)
             .map_err(|e| e.to_string())?;
         println!("would prune {} checkpoint(s): {prunable:?}", prunable.len());
@@ -259,7 +284,10 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
     let mut diffs =
         llmtailor::diff_checkpoints(Path::new(a), Path::new(b)).map_err(|e| e.to_string())?;
     diffs.sort_by(|x, y| y.weight_rms.partial_cmp(&x.weight_rms).unwrap());
-    println!("{:<16} {:>14} {:>14} {:>10}", "unit", "weight RMS", "master RMS", "elements");
+    println!(
+        "{:<16} {:>14} {:>14} {:>10}",
+        "unit", "weight RMS", "master RMS", "elements"
+    );
     for d in &diffs {
         println!(
             "{:<16} {:>14.6e} {:>14} {:>10}",

@@ -124,8 +124,7 @@ mod tests {
         let mut step = 0u64;
         for target in steps {
             while step < *target {
-                let tokens: Vec<u32> =
-                    (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+                let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
                 let mut grads = ParamSet::zeros(cfg);
                 model.loss_and_grad(&Batch::new(tokens, 2, 8), &mut grads);
                 engine.step(&mut model.params, &grads, 2e-3, true);

@@ -89,7 +89,11 @@ impl MagnitudeStrategy {
             .iter()
             .filter(|d| d.unit.exists_in(config) && !selected.contains(&d.unit))
             .collect();
-        ranked.sort_by(|a, b| b.change.partial_cmp(&a.change).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.sort_by(|a, b| {
+            b.change
+                .partial_cmp(&a.change)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         for d in ranked {
             let sz = unit_size(d.unit);
             if spent + sz > budget {
@@ -135,12 +139,16 @@ mod tests {
         let cfg = ModelConfig::llama31_8b_sim();
         let mut s = MagnitudeStrategy::new(0.25, 100);
         s.select(0, &cfg, &deltas(&cfg, |_| 0.0)); // cold start
-        // Layer 5 moves a lot; layer 20 barely.
-        let sel = s.select(1, &cfg, &deltas(&cfg, |u| match u {
-            LayerUnit::Transformer(5) => 10.0,
-            LayerUnit::Transformer(20) => 0.001,
-            _ => 0.01,
-        }));
+                                                   // Layer 5 moves a lot; layer 20 barely.
+        let sel = s.select(
+            1,
+            &cfg,
+            &deltas(&cfg, |u| match u {
+                LayerUnit::Transformer(5) => 10.0,
+                LayerUnit::Transformer(20) => 0.001,
+                _ => 0.01,
+            }),
+        );
         assert!(sel.contains(&LayerUnit::Transformer(5)));
         assert!(!sel.contains(&LayerUnit::Transformer(20)));
         // Budget respected (25% of params, and layer sizes are uniform
@@ -166,7 +174,10 @@ mod tests {
             }
         }
         // ...but the staleness bound re-saves it within 3 events.
-        assert!(last_seen >= 3, "stale unit was force-saved at event {last_seen}");
+        assert!(
+            last_seen >= 3,
+            "stale unit was force-saved at event {last_seen}"
+        );
         assert!(s.staleness(LayerUnit::Transformer(1), 4) <= 3);
     }
 

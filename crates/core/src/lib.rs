@@ -31,11 +31,11 @@ pub mod recipe;
 pub mod retention;
 pub mod strategy;
 
+pub use diff::{diff_checkpoints, UnitDiff};
+pub use dynamic::{MagnitudeStrategy, UnitDelta};
 pub use error::{Result, TailorError};
 pub use merge::{execute_plan, merge_with_recipe, LoadPattern, MergeReport};
 pub use plan::MergePlan;
-pub use retention::{prunable_steps, prune_run};
 pub use recipe::{MergeRecipe, SliceSpec};
-pub use diff::{diff_checkpoints, UnitDiff};
-pub use dynamic::{MagnitudeStrategy, UnitDelta};
+pub use retention::{prunable_steps, prune_run};
 pub use strategy::{FilterStrategy, FullStrategy, ParityStrategy, SelectionStrategy, StrategyKind};

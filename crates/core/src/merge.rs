@@ -22,7 +22,9 @@ use crate::plan::MergePlan;
 use crate::recipe::MergeRecipe;
 use llmt_ckpt::reader::IoStats;
 use llmt_ckpt::zero_meta::shard_tensor_names;
-use llmt_ckpt::{safetensors, CheckpointHandle, CheckpointPaths, LoadMode, PartialManifest, ZeroMeta};
+use llmt_ckpt::{
+    safetensors, CheckpointHandle, CheckpointPaths, LoadMode, PartialManifest, ZeroMeta,
+};
 use llmt_model::naming::unit_param_specs;
 use llmt_optim::GroupIndexMap;
 use llmt_tensor::{DType, RawTensor, Shape};
@@ -111,7 +113,10 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
                 let mut v: Vec<_> = plan.assignments.iter().map(|(u, p)| (*u, p)).collect();
                 // Stable sort by source keeps canonical order within a source.
                 v.sort_by_key(|(_, p)| {
-                    plan.sources.iter().position(|s| s == *p).unwrap_or(usize::MAX)
+                    plan.sources
+                        .iter()
+                        .position(|s| s == *p)
+                        .unwrap_or(usize::MAX)
                 });
                 v
             }
@@ -131,9 +136,9 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
         // Emit in canonical model order regardless of fetch order.
         for unit in plan.assignments.iter().map(|(u, _)| *u) {
             for spec in unit_param_specs(&plan.config, unit) {
-                let t = fetched
-                    .remove(&spec.name)
-                    .ok_or_else(|| TailorError::Plan(format!("missing fetched tensor {}", spec.name)))?;
+                let t = fetched.remove(&spec.name).ok_or_else(|| {
+                    TailorError::Plan(format!("missing fetched tensor {}", spec.name))
+                })?;
                 digests.insert(spec.name.clone(), t.digest());
                 weight_tensors.push((spec.name, t));
             }
@@ -244,11 +249,22 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
         full: true,
     };
     manifest.save(&out.manifest())?;
-    files_written += 5;
-    bytes_written += [out.zero_meta(), out.config(), out.trainer_state(), out.latest(), out.manifest()]
-        .iter()
-        .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
-        .sum::<u64>();
+    // Seal the assembled checkpoint with a commit marker: resume refuses
+    // unmarked directories, and a merge output is as resume-critical as a
+    // trainer-written save.
+    let marker_bytes = llmt_ckpt::commit_checkpoint(&out)?;
+    files_written += 6;
+    bytes_written += marker_bytes;
+    bytes_written += [
+        out.zero_meta(),
+        out.config(),
+        out.trainer_state(),
+        out.latest(),
+        out.manifest(),
+    ]
+    .iter()
+    .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+    .sum::<u64>();
 
     Ok(MergeReport {
         output: plan.output.clone(),

@@ -42,8 +42,8 @@ impl MergePlan {
         let mut sources: Vec<PathBuf> = Vec::new();
         let mut handles: BTreeMap<PathBuf, CheckpointHandle> = BTreeMap::new();
         let open = |path: &Path,
-                        sources: &mut Vec<PathBuf>,
-                        handles: &mut BTreeMap<PathBuf, CheckpointHandle>|
+                    sources: &mut Vec<PathBuf>,
+                    handles: &mut BTreeMap<PathBuf, CheckpointHandle>|
          -> Result<()> {
             if !handles.contains_key(path) {
                 let h = CheckpointHandle::open(path, LoadMode::LazyRange)?;

@@ -200,7 +200,10 @@ slices:
 
     #[test]
     fn selector_syntax() {
-        assert_eq!(parse_unit_selector("layers.3").unwrap(), vec![LayerUnit::Transformer(3)]);
+        assert_eq!(
+            parse_unit_selector("layers.3").unwrap(),
+            vec![LayerUnit::Transformer(3)]
+        );
         assert_eq!(
             parse_unit_selector("layers.0-2").unwrap(),
             vec![
@@ -217,7 +220,10 @@ slices:
                 LayerUnit::Transformer(4)
             ]
         );
-        assert_eq!(parse_unit_selector("norm").unwrap(), vec![LayerUnit::FinalNorm]);
+        assert_eq!(
+            parse_unit_selector("norm").unwrap(),
+            vec![LayerUnit::FinalNorm]
+        );
         assert!(parse_unit_selector("layers.5-2").is_err());
         assert!(parse_unit_selector("layers.0-2:prime").is_err());
         assert!(parse_unit_selector("norm:even").is_err());
@@ -226,10 +232,9 @@ slices:
 
     #[test]
     fn slices_default_to_empty() {
-        let r = MergeRecipe::from_yaml(
-            "merge_method: passthrough\nbase_checkpoint: /a\noutput: /b\n",
-        )
-        .unwrap();
+        let r =
+            MergeRecipe::from_yaml("merge_method: passthrough\nbase_checkpoint: /a\noutput: /b\n")
+                .unwrap();
         assert!(r.slices.is_empty());
     }
 }

@@ -50,16 +50,16 @@ pub fn prunable_steps(
 }
 
 /// Delete prunable checkpoints under `run_root`. Returns the pruned steps.
-pub fn prune_run(
-    run_root: &Path,
-    config: &ModelConfig,
-    keep_last: usize,
-) -> Result<Vec<u64>> {
-    let log = SaveLog::load(&run_root.join("save_log.json"))?;
-    let existing: Vec<u64> = llmt_ckpt::CheckpointPaths::list(run_root)
-        .into_iter()
-        .map(|c| c.step)
-        .collect();
+///
+/// Crash consistency: candidates come from the commit-marker scan, so only
+/// *committed* checkpoints are counted for coverage or deleted. Quarantined
+/// directories (torn saves, tampered markers, `.tmp` staging leftovers) are
+/// left untouched — they are forensic evidence, not reclaimable space — and
+/// they never satisfy a unit's coverage, so the last committed copy of a
+/// unit survives even when newer torn copies exist.
+pub fn prune_run(run_root: &Path, config: &ModelConfig, keep_last: usize) -> Result<Vec<u64>> {
+    let (log, scan) = llmt_ckpt::effective_save_log(run_root)?;
+    let existing = scan.committed_steps();
     let prunable = prunable_steps(&log, config, &existing, keep_last)?;
     for step in &prunable {
         let dir = run_root.join(format!("checkpoint-{step}"));
@@ -74,7 +74,12 @@ mod tests {
     use super::*;
     use crate::strategy::StrategyKind;
 
-    fn log_for(strategy: StrategyKind, cfg: &ModelConfig, events: u64, interval: u64) -> (SaveLog, Vec<u64>) {
+    fn log_for(
+        strategy: StrategyKind,
+        cfg: &ModelConfig,
+        events: u64,
+        interval: u64,
+    ) -> (SaveLog, Vec<u64>) {
         let s = strategy.build();
         let mut log = SaveLog::default();
         let mut steps = Vec::new();
@@ -142,5 +147,86 @@ mod tests {
         assert!(prunable_steps(&SaveLog::default(), &cfg, &[], 0)
             .unwrap()
             .is_empty());
+    }
+
+    /// Write a committed full checkpoint at `step` under `root`.
+    fn write_ckpt(root: &Path, cfg: &ModelConfig, step: u64) {
+        use llmt_optim::LrSchedule;
+        let mut model = llmt_model::Model::new(cfg.clone(), 3);
+        let mut engine = llmt_zero::ZeroEngine::new(
+            &model.params,
+            llmt_optim::build_groups(cfg, llmt_optim::GroupLayout::LayerWise),
+            2,
+            llmt_optim::AdamWHyper::default(),
+        );
+        let mut rng = llmt_tensor::rng::Prng::seed_from_u64(step);
+        let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+        let mut grads = llmt_model::ParamSet::zeros(cfg);
+        model.loss_and_grad(&llmt_model::Batch::new(tokens, 2, 8), &mut grads);
+        engine.step(&mut model.params, &grads, 1e-3, true);
+        let ts = llmt_ckpt::TrainerState {
+            global_step: step,
+            ckpt_event: 0,
+            lr_schedule: LrSchedule::Constant { lr: 1e-3 },
+            last_lr: 1e-3,
+            loss_history: vec![],
+            data_rng: rng,
+            task: "retention-test".into(),
+            model_name: cfg.model_name.clone(),
+            micro_batch: 2,
+            grad_accum: 1,
+            seq_len: 8,
+        };
+        llmt_ckpt::save_checkpoint(&llmt_ckpt::SaveRequest {
+            root,
+            step,
+            config: cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &LayerUnit::all(cfg),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn prune_run_never_touches_quarantined_dirs() {
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = ModelConfig::tiny_test();
+        for step in [1u64, 2, 3, 5] {
+            write_ckpt(dir.path(), &cfg, step);
+        }
+        // Tamper with checkpoint-5's marker (newest!) and plant a staging
+        // leftover: both are quarantined and must survive the prune.
+        std::fs::write(dir.path().join("checkpoint-5/COMMIT"), b"torn").unwrap();
+        let staging = dir.path().join("checkpoint-9.tmp");
+        std::fs::create_dir_all(&staging).unwrap();
+        std::fs::write(staging.join("junk"), b"half a save").unwrap();
+
+        let pruned = prune_run(dir.path(), &cfg, 0).unwrap();
+        // Coverage is judged over committed steps only: newest committed is
+        // 3, so 1 and 2 go, 3 stays.
+        assert_eq!(pruned, vec![1, 2]);
+        assert!(!dir.path().join("checkpoint-1").exists());
+        assert!(dir.path().join("checkpoint-3").exists());
+        assert!(
+            dir.path().join("checkpoint-5").exists(),
+            "quarantined dirs are never deleted"
+        );
+        assert!(staging.exists(), "staging leftovers are never deleted");
+    }
+
+    #[test]
+    fn prune_run_reads_coverage_from_committed_manifests_without_a_log() {
+        // No save_log.json at all: the effective log absorbs the committed
+        // manifests, so pruning still works and still keeps the newest.
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = ModelConfig::tiny_test();
+        for step in [2u64, 4] {
+            write_ckpt(dir.path(), &cfg, step);
+        }
+        let pruned = prune_run(dir.path(), &cfg, 0).unwrap();
+        assert_eq!(pruned, vec![2]);
+        assert!(dir.path().join("checkpoint-4").exists());
     }
 }

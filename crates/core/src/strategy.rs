@@ -188,9 +188,9 @@ impl StrategyKind {
             StrategyKind::Full => Box::new(FullStrategy),
             StrategyKind::Parity => Box::new(ParityStrategy),
             StrategyKind::Filtered => Box::new(FilterStrategy::default()),
-            StrategyKind::Dynamic { .. } => panic!(
-                "dynamic selection is stateful; use llmtailor::MagnitudeStrategy"
-            ),
+            StrategyKind::Dynamic { .. } => {
+                panic!("dynamic selection is stateful; use llmtailor::MagnitudeStrategy")
+            }
         }
     }
 }
@@ -201,7 +201,11 @@ mod tests {
     use llmt_model::ModelConfig;
     use std::collections::BTreeSet;
 
-    fn coverage(strategy: &dyn SelectionStrategy, cfg: &ModelConfig, events: u64) -> BTreeSet<LayerUnit> {
+    fn coverage(
+        strategy: &dyn SelectionStrategy,
+        cfg: &ModelConfig,
+        events: u64,
+    ) -> BTreeSet<LayerUnit> {
         let mut seen = BTreeSet::new();
         for e in 0..events {
             for u in strategy.select(e, cfg) {
@@ -220,7 +224,11 @@ mod tests {
             ModelConfig::qwen25_7b_sim(),
         ] {
             let all: BTreeSet<LayerUnit> = LayerUnit::all(&cfg).into_iter().collect();
-            for kind in [StrategyKind::Full, StrategyKind::Parity, StrategyKind::Filtered] {
+            for kind in [
+                StrategyKind::Full,
+                StrategyKind::Parity,
+                StrategyKind::Filtered,
+            ] {
                 let s = kind.build();
                 let seen = coverage(s.as_ref(), &cfg, s.cover_window());
                 assert_eq!(seen, all, "{} on {}", s.name(), cfg.model_name);
@@ -242,7 +250,12 @@ mod tests {
         assert!(odd.contains(&LayerUnit::EmbedTokens));
         assert!(even.contains(&LayerUnit::FinalNorm) && odd.contains(&LayerUnit::FinalNorm));
         // Roughly half the layers each time.
-        assert_eq!(even.iter().filter(|u| matches!(u, LayerUnit::Transformer(_))).count(), 16);
+        assert_eq!(
+            even.iter()
+                .filter(|u| matches!(u, LayerUnit::Transformer(_)))
+                .count(),
+            16
+        );
     }
 
     #[test]
@@ -261,7 +274,10 @@ mod tests {
             .map(|s| s.numel())
             .sum();
         let ratio = saved as f64 / (2.0 * full as f64);
-        assert!((ratio - 0.5).abs() < 0.02, "two parity events save {ratio} of 2 full");
+        assert!(
+            (ratio - 0.5).abs() < 0.02,
+            "two parity events save {ratio} of 2 full"
+        );
     }
 
     #[test]
@@ -271,17 +287,34 @@ mod tests {
         for e in 0..10u64 {
             let units = s.select(e, &cfg);
             for i in [0usize, 1, 30, 31] {
-                assert!(units.contains(&LayerUnit::Transformer(i)), "event {e} layer {i}");
+                assert!(
+                    units.contains(&LayerUnit::Transformer(i)),
+                    "event {e} layer {i}"
+                );
             }
             let is_sparse = e % 5 == 4;
-            assert_eq!(units.contains(&LayerUnit::EmbedTokens), is_sparse, "event {e}");
-            assert_eq!(units.contains(&LayerUnit::Transformer(15)) || units.contains(&LayerUnit::Transformer(16)), is_sparse);
+            assert_eq!(
+                units.contains(&LayerUnit::EmbedTokens),
+                is_sparse,
+                "event {e}"
+            );
+            assert_eq!(
+                units.contains(&LayerUnit::Transformer(15))
+                    || units.contains(&LayerUnit::Transformer(16)),
+                is_sparse
+            );
         }
         // Consecutive sparse events pick complementary halves.
         let a: BTreeSet<_> = s.select(4, &cfg).into_iter().collect();
         let b: BTreeSet<_> = s.select(9, &cfg).into_iter().collect();
-        let mid_a: BTreeSet<_> = a.iter().filter(|u| matches!(u, LayerUnit::Transformer(i) if (2..30).contains(i))).collect();
-        let mid_b: BTreeSet<_> = b.iter().filter(|u| matches!(u, LayerUnit::Transformer(i) if (2..30).contains(i))).collect();
+        let mid_a: BTreeSet<_> = a
+            .iter()
+            .filter(|u| matches!(u, LayerUnit::Transformer(i) if (2..30).contains(i)))
+            .collect();
+        let mid_b: BTreeSet<_> = b
+            .iter()
+            .filter(|u| matches!(u, LayerUnit::Transformer(i) if (2..30).contains(i)))
+            .collect();
         assert!(mid_a.is_disjoint(&mid_b));
         assert_eq!(mid_a.len() + mid_b.len(), 28);
     }
@@ -311,18 +344,29 @@ mod tests {
 
     #[test]
     fn strategy_kind_serde_round_trip() {
-        for k in [StrategyKind::Full, StrategyKind::Parity, StrategyKind::Filtered] {
+        for k in [
+            StrategyKind::Full,
+            StrategyKind::Parity,
+            StrategyKind::Filtered,
+        ] {
             let json = serde_json::to_string(&k).unwrap();
             let back: StrategyKind = serde_json::from_str(&json).unwrap();
             assert_eq!(back, k);
         }
-        assert_eq!(serde_json::to_string(&StrategyKind::Parity).unwrap(), "\"parity\"");
+        assert_eq!(
+            serde_json::to_string(&StrategyKind::Parity).unwrap(),
+            "\"parity\""
+        );
     }
 
     #[test]
     fn selections_are_sorted_and_deduplicated() {
         let cfg = ModelConfig::qwen25_7b_sim();
-        for kind in [StrategyKind::Full, StrategyKind::Parity, StrategyKind::Filtered] {
+        for kind in [
+            StrategyKind::Full,
+            StrategyKind::Parity,
+            StrategyKind::Filtered,
+        ] {
             let s = kind.build();
             for e in 0..12 {
                 let units = s.select(e, &cfg);

@@ -91,7 +91,11 @@ fn autorecipe_emit_and_execute_then_inspect() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("assembled"), "{stdout}");
     let yaml = std::fs::read_to_string(&recipe_path).unwrap();
@@ -100,7 +104,10 @@ fn autorecipe_emit_and_execute_then_inspect() {
 
     // inspect the merged output
     let merged = dir.path().join("merged-25");
-    let out = cli().args(["inspect", merged.to_str().unwrap()]).output().unwrap();
+    let out = cli()
+        .args(["inspect", merged.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("FULL"), "{stdout}");
@@ -108,7 +115,10 @@ fn autorecipe_emit_and_execute_then_inspect() {
 
     // inspect a partial source
     let out = cli()
-        .args(["inspect", dir.path().join("checkpoint-10").to_str().unwrap()])
+        .args([
+            "inspect",
+            dir.path().join("checkpoint-10").to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(String::from_utf8_lossy(&out.stdout).contains("PARTIAL"));
@@ -121,10 +131,7 @@ fn merge_subcommand_runs_a_recipe_file() {
     build_run(dir.path(), &cfg);
     // Hand-written recipe covering all units from the two halves.
     let all = LayerUnit::all(&cfg);
-    let (a, b): (Vec<_>, Vec<_>) = all
-        .iter()
-        .enumerate()
-        .partition(|(i, _)| i % 2 == 0);
+    let (a, b): (Vec<_>, Vec<_>) = all.iter().enumerate().partition(|(i, _)| i % 2 == 0);
     let list = |v: Vec<(usize, &LayerUnit)>| {
         v.into_iter()
             .map(|(_, u)| format!("\"{u}\""))
@@ -145,7 +152,11 @@ fn merge_subcommand_runs_a_recipe_file() {
         c.args(["merge", "--recipe", recipe_path.to_str().unwrap()]);
         c.args(extra);
         let out = c.output().unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
 }
 
@@ -159,7 +170,10 @@ fn bad_invocations_fail_with_messages() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
 
-    let out = cli().args(["inspect", "/nonexistent/dir"]).output().unwrap();
+    let out = cli()
+        .args(["inspect", "/nonexistent/dir"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 
     let out = cli().arg("--help").output().unwrap();
@@ -173,8 +187,15 @@ fn verify_subcommand_passes_clean_and_fails_corrupt() {
     let cfg = ModelConfig::tiny_test();
     build_run(dir.path(), &cfg);
     let ckpt = dir.path().join("checkpoint-10");
-    let out = cli().args(["verify", ckpt.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args(["verify", ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
 
     // Corrupt the model file; verify must now fail.
@@ -183,7 +204,10 @@ fn verify_subcommand_passes_clean_and_fails_corrupt() {
     let n = bytes.len();
     bytes[n - 4] ^= 0x55;
     std::fs::write(&model_file, bytes).unwrap();
-    let out = cli().args(["verify", ckpt.to_str().unwrap()]).output().unwrap();
+    let out = cli()
+        .args(["verify", ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("digest mismatch"));
 }
@@ -193,12 +217,23 @@ fn prune_subcommand_dry_run_and_real() {
     let dir = tempfile::tempdir().unwrap();
     let cfg = ModelConfig::tiny_test();
     build_run(dir.path(), &cfg); // two complementary halves at 10 and 20
-    // Nothing prunable: both halves are load-bearing.
+                                 // Nothing prunable: both halves are load-bearing.
     let out = cli()
-        .args(["prune", "--run-root", dir.path().to_str().unwrap(), "--keep-last", "0", "--dry-run"])
+        .args([
+            "prune",
+            "--run-root",
+            dir.path().to_str().unwrap(),
+            "--keep-last",
+            "0",
+            "--dry-run",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("would prune 0"));
     assert!(dir.path().join("checkpoint-10").exists());
 }
@@ -208,18 +243,25 @@ fn diff_subcommand_ranks_units_by_drift() {
     let dir = tempfile::tempdir().unwrap();
     let cfg = ModelConfig::tiny_test();
     build_run(dir.path(), &cfg); // halves at steps 10 and 20
-    // Diff needs common units; the two parity halves share none, so diff
-    // a checkpoint against itself (zero drift) for the plumbing check.
+                                 // Diff needs common units; the two parity halves share none, so diff
+                                 // a checkpoint against itself (zero drift) for the plumbing check.
     let c10 = dir.path().join("checkpoint-10");
     let out = cli()
         .args(["diff", c10.to_str().unwrap(), c10.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("weight RMS"));
     assert!(stdout.contains("0.000000e0"), "{stdout}");
 
-    let out = cli().args(["diff", c10.to_str().unwrap()]).output().unwrap();
+    let out = cli()
+        .args(["diff", c10.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success(), "one-arg diff must fail");
 }

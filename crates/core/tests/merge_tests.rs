@@ -123,17 +123,17 @@ fn split_then_merge_is_identity() {
 
     let all = LayerUnit::all(&cfg);
     let full_dir = fx.save(&dir.path().join("full"), &all);
-    let (half_a, half_b): (Vec<_>, Vec<_>) = all.iter().enumerate().fold(
-        (Vec::new(), Vec::new()),
-        |(mut a, mut b), (i, u)| {
-            if i % 2 == 0 {
-                a.push(*u)
-            } else {
-                b.push(*u)
-            }
-            (a, b)
-        },
-    );
+    let (half_a, half_b): (Vec<_>, Vec<_>) =
+        all.iter()
+            .enumerate()
+            .fold((Vec::new(), Vec::new()), |(mut a, mut b), (i, u)| {
+                if i % 2 == 0 {
+                    a.push(*u)
+                } else {
+                    b.push(*u)
+                }
+                (a, b)
+            });
     std::fs::create_dir_all(dir.path().join("parts")).unwrap();
     // Save the two halves at the same step under different roots so the
     // directories do not collide.
@@ -250,7 +250,9 @@ fn merged_checkpoint_resumes_bit_exactly() {
 
     // Save two complementary halves at step 2, "fail", merge, resume.
     let all = LayerUnit::all(&cfg);
-    let (ha, hb): (Vec<_>, Vec<_>) = all.iter().partition(|u| matches!(u, LayerUnit::Transformer(i) if i % 2 == 0));
+    let (ha, hb): (Vec<_>, Vec<_>) = all
+        .iter()
+        .partition(|u| matches!(u, LayerUnit::Transformer(i) if i % 2 == 0));
     let ha: Vec<LayerUnit> = ha.into_iter().collect();
     let hb: Vec<LayerUnit> = hb.into_iter().collect();
     let a_dir = fx.save(&dir.path().join("a"), &ha);
@@ -274,12 +276,19 @@ fn merged_checkpoint_resumes_bit_exactly() {
         resumed.engine.load_rank_state(rank, state);
     }
     resumed.engine.step_count = h.zero_meta.optimizer_step;
-    resumed.engine.materialize_params(&mut resumed.model.params, true);
+    resumed
+        .engine
+        .materialize_params(&mut resumed.model.params, true);
     resumed.rng = h.trainer_state.data_rng.clone();
     resumed.step = h.trainer_state.global_step;
     resumed.train(2);
 
-    for ((_, a), (_, b)) in resumed.model.params.iter().zip(reference.model.params.iter()) {
+    for ((_, a), (_, b)) in resumed
+        .model
+        .params
+        .iter()
+        .zip(reference.model.params.iter())
+    {
         assert_eq!(a.data(), b.data(), "resumed run diverged from reference");
     }
     assert_eq!(resumed.step, reference.step);
@@ -383,7 +392,12 @@ fn parity_pattern_multiplies_eager_io() {
     let plan_seq = MergePlan::resolve(&recipe("seq")).unwrap();
     let seq = execute_plan(&plan_seq, LoadMode::EagerFull, LoadPattern::Sequential).unwrap();
     let plan_par = MergePlan::resolve(&recipe("par")).unwrap();
-    let par = execute_plan(&plan_par, LoadMode::EagerFull, LoadPattern::ParityInterleaved).unwrap();
+    let par = execute_plan(
+        &plan_par,
+        LoadMode::EagerFull,
+        LoadPattern::ParityInterleaved,
+    )
+    .unwrap();
     assert!(
         par.io.full_loads > 2 * seq.io.full_loads,
         "parity {} vs sequential {} full loads",
@@ -397,7 +411,12 @@ fn parity_pattern_multiplies_eager_io() {
     // Lazy loading makes the pattern nearly irrelevant (the future-work
     // observation of §5.4).
     let plan_lazy = MergePlan::resolve(&recipe("lazy_par")).unwrap();
-    let lazy_par = execute_plan(&plan_lazy, LoadMode::LazyRange, LoadPattern::ParityInterleaved).unwrap();
+    let lazy_par = execute_plan(
+        &plan_lazy,
+        LoadMode::LazyRange,
+        LoadPattern::ParityInterleaved,
+    )
+    .unwrap();
     assert!(lazy_par.io.bytes_read < par.io.bytes_read / 2);
     checkpoints_bit_identical(&seq.output, &lazy_par.output, &cfg, WORLD);
 }

@@ -42,13 +42,16 @@ impl CptCorpus {
         let mut rng = Prng::seed_from_u64(self.seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut out = Vec::with_capacity(len);
         out.push(BOS);
-        let mut cur = self.vocab.word(rng.below(self.vocab.num_words() as usize) as u32);
+        let mut cur = self
+            .vocab
+            .word(rng.below(self.vocab.num_words() as usize) as u32);
         out.push(cur);
         while out.len() < len {
             cur = if (rng.next_u64() & 0xFF) < self.follow_p as u64 {
                 self.successor(cur)
             } else {
-                self.vocab.word(rng.below(self.vocab.num_words() as usize) as u32)
+                self.vocab
+                    .word(rng.below(self.vocab.num_words() as usize) as u32)
             };
             out.push(cur);
         }

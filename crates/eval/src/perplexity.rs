@@ -51,7 +51,11 @@ mod tests {
         let m = Model::new(cfg.clone(), 1);
         let p = held_out_perplexity(&m, DataTask::Cpt, 7, 4, 2, 16);
         let uniform = cfg.vocab_size as f64;
-        assert!(p.ppl > uniform * 0.5 && p.ppl < uniform * 2.0, "ppl {}", p.ppl);
+        assert!(
+            p.ppl > uniform * 0.5 && p.ppl < uniform * 2.0,
+            "ppl {}",
+            p.ppl
+        );
         assert!((p.ppl - p.nll.exp()).abs() < 1e-9);
     }
 

@@ -46,7 +46,8 @@ impl EvalSuite {
     /// Validate every item.
     pub fn validate(&self) -> Result<(), String> {
         for (i, item) in self.items.iter().enumerate() {
-            item.validate().map_err(|e| format!("{} item {i}: {e}", self.name))?;
+            item.validate()
+                .map_err(|e| format!("{} item {i}: {e}", self.name))?;
         }
         if self.items.is_empty() {
             return Err(format!("{}: empty suite", self.name));

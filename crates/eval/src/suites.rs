@@ -71,7 +71,13 @@ mod tests {
         let names: Vec<&str> = suites.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
-            ["mmlu_sim", "mmlu_med_sim", "medmcqa_sim", "medqa_sim", "pubmedqa_sim"]
+            [
+                "mmlu_sim",
+                "mmlu_med_sim",
+                "medmcqa_sim",
+                "medqa_sim",
+                "pubmedqa_sim"
+            ]
         );
     }
 
@@ -86,7 +92,11 @@ mod tests {
         let suites = standard_suites(7);
         for s in &suites {
             let want = if s.name == "pubmedqa_sim" { 2 } else { 4 };
-            assert!(s.items.iter().all(|i| i.choices.len() == want), "{}", s.name);
+            assert!(
+                s.items.iter().all(|i| i.choices.len() == want),
+                "{}",
+                s.name
+            );
         }
     }
 
@@ -96,7 +106,11 @@ mod tests {
         for s in standard_suites(3) {
             let positions: std::collections::BTreeSet<usize> =
                 s.items.iter().map(|i| i.gold).collect();
-            assert!(positions.len() > 1, "{}: gold always at one position", s.name);
+            assert!(
+                positions.len() > 1,
+                "{}: gold always at one position",
+                s.name
+            );
             for i in &s.items {
                 assert!(i.gold < i.choices.len());
             }

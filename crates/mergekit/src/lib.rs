@@ -116,7 +116,10 @@ pub fn merge_weights_only(recipe: &WeightsOnlyRecipe) -> Result<WeightsOnlyRepor
         }
     }
 
-    if !matches!(recipe.merge_method.as_str(), "passthrough" | "linear" | "slerp") {
+    if !matches!(
+        recipe.merge_method.as_str(),
+        "passthrough" | "linear" | "slerp"
+    ) {
         return Err(CkptError::Format(format!(
             "unknown merge_method '{}'",
             recipe.merge_method
@@ -191,7 +194,6 @@ pub fn is_resumable(dir: &Path) -> bool {
     gs.join("zero_meta.json").exists() && dir.join("trainer_state.json").exists()
 }
 
-
 #[cfg(test)]
 pub(crate) mod test_helpers {
     use llmt_ckpt::writer::{save_checkpoint, SaveRequest};
@@ -256,7 +258,6 @@ mod tests {
     use llmt_tensor::rng::Prng;
     use llmt_zero::ZeroEngine;
 
-
     #[test]
     fn merges_layer_weights_but_keeps_base_aux() {
         let cfg = ModelConfig::tiny_test();
@@ -274,7 +275,8 @@ mod tests {
             t: 0.5,
         };
         let report = merge_weights_only(&recipe).unwrap();
-        let (tensors, _) = safetensors::read_file(&report.output.join("model.safetensors")).unwrap();
+        let (tensors, _) =
+            safetensors::read_file(&report.output.join("model.safetensors")).unwrap();
         let find = |name: &str| -> RawTensor {
             tensors.iter().find(|(n, _)| n == name).unwrap().1.clone()
         };
@@ -289,7 +291,10 @@ mod tests {
             find("model.layers.0.self_attn.q_proj.weight"),
             ha.weight("model.layers.0.self_attn.q_proj.weight").unwrap()
         );
-        assert_eq!(find("model.embed_tokens.weight"), ha.weight("model.embed_tokens.weight").unwrap());
+        assert_eq!(
+            find("model.embed_tokens.weight"),
+            ha.weight("model.embed_tokens.weight").unwrap()
+        );
         assert_eq!(find("lm_head.weight"), ha.weight("lm_head.weight").unwrap());
     }
 
@@ -307,7 +312,10 @@ mod tests {
             t: 0.5,
         };
         let report = merge_weights_only(&recipe).unwrap();
-        assert!(!is_resumable(&report.output), "weights-only output must not resume");
+        assert!(
+            !is_resumable(&report.output),
+            "weights-only output must not resume"
+        );
         assert!(report.output.join("model.safetensors").exists());
         assert!(report.output.join("config.json").exists());
         // Paper limitation (1): no optimizer files whatsoever.
@@ -427,7 +435,10 @@ mod blend_tests {
             t: 0.3,
         };
         let report = merge_weights_only(&recipe).unwrap();
-        assert!(!is_resumable(&report.output), "blended outputs can never resume");
+        assert!(
+            !is_resumable(&report.output),
+            "blended outputs can never resume"
+        );
         let (tensors, _) =
             llmt_ckpt::safetensors::read_file(&report.output.join("model.safetensors")).unwrap();
         for (_, t) in &tensors {

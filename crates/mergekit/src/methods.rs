@@ -91,7 +91,10 @@ mod tests {
         let b = t(&[0.0, 1.0]);
         let mid = slerp_merge(&a, &b, 0.5).to_f32s();
         let norm = (mid[0] * mid[0] + mid[1] * mid[1]).sqrt();
-        assert!((norm - 1.0).abs() < 1e-5, "slerp stays on the sphere, norm {norm}");
+        assert!(
+            (norm - 1.0).abs() < 1e-5,
+            "slerp stays on the sphere, norm {norm}"
+        );
         assert!((mid[0] - mid[1]).abs() < 1e-6);
     }
 

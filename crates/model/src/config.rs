@@ -90,10 +90,15 @@ impl ModelConfig {
             ));
         }
         if !self.head_dim().is_multiple_of(2) {
-            return Err(format!("head_dim {} must be even for RoPE", self.head_dim()));
+            return Err(format!(
+                "head_dim {} must be even for RoPE",
+                self.head_dim()
+            ));
         }
         if self.num_key_value_heads == 0
-            || !self.num_attention_heads.is_multiple_of(self.num_key_value_heads)
+            || !self
+                .num_attention_heads
+                .is_multiple_of(self.num_key_value_heads)
         {
             return Err(format!(
                 "num_key_value_heads {} must divide num_attention_heads {}",
@@ -230,7 +235,7 @@ impl ModelConfig {
                 intermediate_size: 8192,
                 num_hidden_layers: 16,
                 num_attention_heads: 32,
-            num_key_value_heads: 8,
+                num_key_value_heads: 8,
                 tie_word_embeddings: true,
                 attention_bias: false,
                 max_position_embeddings: 131_072,
@@ -244,7 +249,7 @@ impl ModelConfig {
                 intermediate_size: 14_336,
                 num_hidden_layers: 32,
                 num_attention_heads: 32,
-            num_key_value_heads: 8,
+                num_key_value_heads: 8,
                 tie_word_embeddings: false,
                 attention_bias: false,
                 max_position_embeddings: 131_072,
@@ -258,7 +263,7 @@ impl ModelConfig {
                 intermediate_size: 18_944,
                 num_hidden_layers: 28,
                 num_attention_heads: 28,
-            num_key_value_heads: 4,
+                num_key_value_heads: 4,
                 tie_word_embeddings: false,
                 attention_bias: true,
                 max_position_embeddings: 131_072,
@@ -284,7 +289,8 @@ mod tests {
             ModelConfig::tiny_test_tied(),
             ModelConfig::tiny_test_gqa(),
         ] {
-            c.validate().unwrap_or_else(|e| panic!("{}: {e}", c.model_name));
+            c.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", c.model_name));
         }
     }
 
@@ -342,10 +348,12 @@ mod tests {
             + 2 * c.hidden_size * c.kv_dim()
             + 3 * c.hidden_size * c.intermediate_size
             + 2 * c.hidden_size;
-        let total = c.vocab_size * c.hidden_size * 2
-            + c.num_hidden_layers * per_layer
-            + c.hidden_size;
+        let total =
+            c.vocab_size * c.hidden_size * 2 + c.num_hidden_layers * per_layer + c.hidden_size;
         let err = (total as f64 - 8.03e9).abs() / 8.03e9;
-        assert!(err < 0.01, "total {total} is {err:.3} off the released 8.03B");
+        assert!(
+            err < 0.01,
+            "total {total} is {err:.3} off the released 8.03B"
+        );
     }
 }

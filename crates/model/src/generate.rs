@@ -66,7 +66,10 @@ pub fn sample_token(logits: &[f32], cfg: SampleConfig, rng: &mut Prng) -> u32 {
         idx.sort_by(|a, b| logits[*b].partial_cmp(&logits[*a]).unwrap());
         idx.truncate(cfg.top_k);
     }
-    let max = idx.iter().map(|i| logits[*i]).fold(f32::NEG_INFINITY, f32::max);
+    let max = idx
+        .iter()
+        .map(|i| logits[*i])
+        .fold(f32::NEG_INFINITY, f32::max);
     let weights: Vec<f64> = idx
         .iter()
         .map(|i| (((logits[*i] - max) / cfg.temperature) as f64).exp())
@@ -136,8 +139,7 @@ mod tests {
         // Determine the top-3 set.
         let mut idx: Vec<usize> = (0..row.len()).collect();
         idx.sort_by(|a, b| row[*b].partial_cmp(&row[*a]).unwrap());
-        let top3: std::collections::BTreeSet<u32> =
-            idx[..3].iter().map(|i| *i as u32).collect();
+        let top3: std::collections::BTreeSet<u32> = idx[..3].iter().map(|i| *i as u32).collect();
         for _ in 0..200 {
             let t = sample_token(&row, sample_cfg, &mut rng);
             assert!((t as usize) < cfg.vocab_size);

@@ -31,7 +31,7 @@ pub mod transformer;
 pub mod unit;
 
 pub use config::ModelConfig;
-pub use params::ParamSet;
 pub use generate::SampleConfig;
+pub use params::ParamSet;
 pub use transformer::{Batch, Model};
 pub use unit::LayerUnit;

@@ -195,7 +195,9 @@ mod tests {
     fn norm_layers_are_no_decay() {
         assert!(!is_decay_param("model.norm.weight"));
         assert!(!is_decay_param("model.layers.0.input_layernorm.weight"));
-        assert!(!is_decay_param("model.layers.7.post_attention_layernorm.weight"));
+        assert!(!is_decay_param(
+            "model.layers.7.post_attention_layernorm.weight"
+        ));
         assert!(is_decay_param("model.layers.7.self_attn.q_proj.weight"));
         assert!(is_decay_param("model.embed_tokens.weight"));
         assert!(is_decay_param("lm_head.weight"));

@@ -239,7 +239,10 @@ mod tests {
                 covered[i] = true;
             }
         }
-        assert!(covered.iter().all(|c| *c), "every parameter owned by a unit");
+        assert!(
+            covered.iter().all(|c| *c),
+            "every parameter owned by a unit"
+        );
     }
 
     #[test]

@@ -144,8 +144,7 @@ impl Model {
         let mut sin = vec![0.0f32; seq * half];
         for t in 0..seq {
             for j in 0..half {
-                let freq = (self.config.rope_theta as f64)
-                    .powf(-2.0 * j as f64 / hd as f64);
+                let freq = (self.config.rope_theta as f64).powf(-2.0 * j as f64 / hd as f64);
                 let ang = t as f64 * freq;
                 cos[t * half + j] = ang.cos() as f32;
                 sin[t * half + j] = ang.sin() as f32;
@@ -159,26 +158,41 @@ impl Model {
     /// true. `heads` is the buffer's head count (`num_attention_heads` for
     /// q, `num_key_value_heads` for k).
     #[allow(clippy::too_many_arguments)]
-    fn rope_apply(&self, x: &mut Tensor, batch: usize, seq: usize, cos: &[f32], sin: &[f32], heads: usize, inverse: bool) {
+    fn rope_apply(
+        &self,
+        x: &mut Tensor,
+        batch: usize,
+        seq: usize,
+        cos: &[f32],
+        sin: &[f32],
+        heads: usize,
+        inverse: bool,
+    ) {
         let hd = self.config.head_dim();
         let width = heads * hd;
         let half = hd / 2;
         let data = x.data_mut();
-        data.par_chunks_mut(width).enumerate().for_each(|(row, chunk)| {
-            let t = row % seq;
-            debug_assert!(row / seq < batch);
-            for head in 0..heads {
-                let base = head * hd;
-                for j in 0..half {
-                    let c = cos[t * half + j];
-                    let s = if inverse { -sin[t * half + j] } else { sin[t * half + j] };
-                    let x1 = chunk[base + j];
-                    let x2 = chunk[base + half + j];
-                    chunk[base + j] = x1 * c - x2 * s;
-                    chunk[base + half + j] = x1 * s + x2 * c;
+        data.par_chunks_mut(width)
+            .enumerate()
+            .for_each(|(row, chunk)| {
+                let t = row % seq;
+                debug_assert!(row / seq < batch);
+                for head in 0..heads {
+                    let base = head * hd;
+                    for j in 0..half {
+                        let c = cos[t * half + j];
+                        let s = if inverse {
+                            -sin[t * half + j]
+                        } else {
+                            sin[t * half + j]
+                        };
+                        let x1 = chunk[base + j];
+                        let x2 = chunk[base + half + j];
+                        chunk[base + j] = x1 * c - x2 * s;
+                        chunk[base + half + j] = x1 * s + x2 * c;
+                    }
                 }
-            }
-        });
+            });
     }
 
     /// Full forward pass returning logits and the activation cache.
@@ -213,14 +227,19 @@ impl Model {
             x.row_mut(i).copy_from_slice(embed.row(tok));
         }
 
-        let mut layer_caches = Vec::with_capacity(if keep_cache { cfg.num_hidden_layers } else { 0 });
+        let mut layer_caches =
+            Vec::with_capacity(if keep_cache { cfg.num_hidden_layers } else { 0 });
 
         for l in 0..cfg.num_hidden_layers {
             let pre = format!("model.layers.{l}.");
             let x_in = x;
 
             // --- attention sublayer ---
-            let (a, ln1_inv) = rmsnorm_fwd(&x_in, self.p(&format!("{pre}input_layernorm.weight")), cfg.rms_norm_eps);
+            let (a, ln1_inv) = rmsnorm_fwd(
+                &x_in,
+                self.p(&format!("{pre}input_layernorm.weight")),
+                cfg.rms_norm_eps,
+            );
             let mut q = a.matmul_bt(self.p(&format!("{pre}self_attn.q_proj.weight")));
             let mut k = a.matmul_bt(self.p(&format!("{pre}self_attn.k_proj.weight")));
             let v = {
@@ -261,7 +280,8 @@ impl Model {
                             // Scores over keys 0..=t, stable softmax inline.
                             let mut maxv = f32::NEG_INFINITY;
                             for t2 in 0..=t {
-                                let krow = &kd[(b * seq + t2) * kvw + kvcol..(b * seq + t2) * kvw + kvcol + hd];
+                                let krow = &kd[(b * seq + t2) * kvw + kvcol
+                                    ..(b * seq + t2) * kvw + kvcol + hd];
                                 let s = dot(qrow, krow) * scale;
                                 p_chunk[t * seq + t2] = s;
                                 maxv = maxv.max(s);
@@ -277,7 +297,8 @@ impl Model {
                             for t2 in 0..=t {
                                 let w = p_chunk[t * seq + t2] * inv;
                                 p_chunk[t * seq + t2] = w;
-                                let vrow = &vd[(b * seq + t2) * kvw + kvcol..(b * seq + t2) * kvw + kvcol + hd];
+                                let vrow = &vd[(b * seq + t2) * kvw + kvcol
+                                    ..(b * seq + t2) * kvw + kvcol + hd];
                                 for (c, vv) in crow.iter_mut().zip(vrow.iter()) {
                                     *c += w * vv;
                                 }
@@ -291,7 +312,11 @@ impl Model {
             x_mid.add_(&o);
 
             // --- MLP sublayer ---
-            let (a2, ln2_inv) = rmsnorm_fwd(&x_mid, self.p(&format!("{pre}post_attention_layernorm.weight")), cfg.rms_norm_eps);
+            let (a2, ln2_inv) = rmsnorm_fwd(
+                &x_mid,
+                self.p(&format!("{pre}post_attention_layernorm.weight")),
+                cfg.rms_norm_eps,
+            );
             let g = a2.matmul_bt(self.p(&format!("{pre}mlp.gate_proj.weight")));
             let u = a2.matmul_bt(self.p(&format!("{pre}mlp.up_proj.weight")));
             let mut s = g.clone();
@@ -339,7 +364,13 @@ impl Model {
 
     /// Backward pass: accumulate parameter gradients into `grads` given
     /// `dlogits` and the forward cache.
-    pub fn backward(&self, batch: &Batch, cache: &ForwardCache, dlogits: &Tensor, grads: &mut ParamSet) {
+    pub fn backward(
+        &self,
+        batch: &Batch,
+        cache: &ForwardCache,
+        dlogits: &Tensor,
+        grads: &mut ParamSet,
+    ) {
         let cfg = &self.config;
         let h = cfg.hidden_size;
         let nh = cfg.num_attention_heads;
@@ -374,7 +405,10 @@ impl Model {
             let dd = &dx; // gradient w.r.t. d (residual passes dx through)
             {
                 let dw = dd.matmul_at(&lc.s);
-                grads.get_mut(&format!("{pre}mlp.down_proj.weight")).unwrap().add_(&dw);
+                grads
+                    .get_mut(&format!("{pre}mlp.down_proj.weight"))
+                    .unwrap()
+                    .add_(&dw);
             }
             let ds = dd.matmul(self.p(&format!("{pre}mlp.down_proj.weight")));
             // SwiGLU backward.
@@ -399,9 +433,15 @@ impl Model {
             }
             {
                 let dwg = dg.matmul_at(&lc.a2);
-                grads.get_mut(&format!("{pre}mlp.gate_proj.weight")).unwrap().add_(&dwg);
+                grads
+                    .get_mut(&format!("{pre}mlp.gate_proj.weight"))
+                    .unwrap()
+                    .add_(&dwg);
                 let dwu = du.matmul_at(&lc.a2);
-                grads.get_mut(&format!("{pre}mlp.up_proj.weight")).unwrap().add_(&dwu);
+                grads
+                    .get_mut(&format!("{pre}mlp.up_proj.weight"))
+                    .unwrap()
+                    .add_(&dwu);
             }
             let mut da2 = dg.matmul(self.p(&format!("{pre}mlp.gate_proj.weight")));
             da2.add_(&du.matmul(self.p(&format!("{pre}mlp.up_proj.weight"))));
@@ -421,7 +461,10 @@ impl Model {
             let do_ = &dx_mid;
             {
                 let dw = do_.matmul_at(&lc.ctx);
-                grads.get_mut(&format!("{pre}self_attn.o_proj.weight")).unwrap().add_(&dw);
+                grads
+                    .get_mut(&format!("{pre}self_attn.o_proj.weight"))
+                    .unwrap()
+                    .add_(&dw);
             }
             let dctx = do_.matmul(self.p(&format!("{pre}self_attn.o_proj.weight")));
             let dctx_heads = rows_to_heads(dctx.data(), bsz, seq, nh, hd);
@@ -454,7 +497,8 @@ impl Model {
                             let mut dot_pp = 0.0f32;
                             for t2 in 0..=t {
                                 let p = p_chunk[t * seq + t2];
-                                let vrow = &vd[(b * seq + t2) * kvw + kvcol..(b * seq + t2) * kvw + kvcol + hd];
+                                let vrow = &vd[(b * seq + t2) * kvw + kvcol
+                                    ..(b * seq + t2) * kvw + kvcol + hd];
                                 let dp = dot(dcrow, vrow);
                                 dp_row[t2] = dp;
                                 dot_pp += dp * p;
@@ -472,7 +516,8 @@ impl Model {
                                 if dscore == 0.0 {
                                     continue;
                                 }
-                                let krow = &kd[(b * seq + t2) * kvw + kvcol..(b * seq + t2) * kvw + kvcol + hd];
+                                let krow = &kd[(b * seq + t2) * kvw + kvcol
+                                    ..(b * seq + t2) * kvw + kvcol + hd];
                                 {
                                     let dqrow = &mut dqc[dqrow_range.clone()];
                                     for (dqv, kv) in dqrow.iter_mut().zip(krow.iter()) {
@@ -500,19 +545,26 @@ impl Model {
 
             if cfg.attention_bias {
                 for (nm, d) in [("q_proj", &dq), ("k_proj", &dk), ("v_proj", &dv)] {
-                    let gb = grads
-                        .get_mut(&format!("{pre}self_attn.{nm}.bias"))
-                        .unwrap();
+                    let gb = grads.get_mut(&format!("{pre}self_attn.{nm}.bias")).unwrap();
                     column_sum_into(d, gb);
                 }
             }
             {
                 let dwq = dq.matmul_at(&lc.a);
-                grads.get_mut(&format!("{pre}self_attn.q_proj.weight")).unwrap().add_(&dwq);
+                grads
+                    .get_mut(&format!("{pre}self_attn.q_proj.weight"))
+                    .unwrap()
+                    .add_(&dwq);
                 let dwk = dk.matmul_at(&lc.a);
-                grads.get_mut(&format!("{pre}self_attn.k_proj.weight")).unwrap().add_(&dwk);
+                grads
+                    .get_mut(&format!("{pre}self_attn.k_proj.weight"))
+                    .unwrap()
+                    .add_(&dwk);
                 let dwv = dv.matmul_at(&lc.a);
-                grads.get_mut(&format!("{pre}self_attn.v_proj.weight")).unwrap().add_(&dwv);
+                grads
+                    .get_mut(&format!("{pre}self_attn.v_proj.weight"))
+                    .unwrap()
+                    .add_(&dwv);
             }
             let mut da = dq.matmul(self.p(&format!("{pre}self_attn.q_proj.weight")));
             da.add_(&dk.matmul(self.p(&format!("{pre}self_attn.k_proj.weight"))));
@@ -640,14 +692,16 @@ fn heads_to_rows(heads: &[f32], bsz: usize, seq: usize, nh: usize, hd: usize) ->
 fn rows_to_heads(rows: &[f32], bsz: usize, seq: usize, nh: usize, hd: usize) -> Vec<f32> {
     let h = nh * hd;
     let mut out = vec![0.0f32; bsz * nh * seq * hd];
-    out.par_chunks_mut(seq * hd).enumerate().for_each(|(bh, chunk)| {
-        let b = bh / nh;
-        let head = bh % nh;
-        for t in 0..seq {
-            let src = (b * seq + t) * h + head * hd;
-            chunk[t * hd..(t + 1) * hd].copy_from_slice(&rows[src..src + hd]);
-        }
-    });
+    out.par_chunks_mut(seq * hd)
+        .enumerate()
+        .for_each(|(bh, chunk)| {
+            let b = bh / nh;
+            let head = bh % nh;
+            for t in 0..seq {
+                let src = (b * seq + t) * h + head * hd;
+                chunk[t * hd..(t + 1) * hd].copy_from_slice(&rows[src..src + hd]);
+            }
+        });
     out
 }
 
@@ -667,16 +721,18 @@ fn reduce_head_groups(
         return heads.to_vec();
     }
     let mut out = vec![0.0f32; bsz * nkv * seq * hd];
-    out.par_chunks_mut(seq * hd).enumerate().for_each(|(bkv, chunk)| {
-        let b = bkv / nkv;
-        let kv = bkv % nkv;
-        for g in 0..group {
-            let src = ((b * nh + kv * group + g) * seq) * hd;
-            for (o, v) in chunk.iter_mut().zip(&heads[src..src + seq * hd]) {
-                *o += *v;
+    out.par_chunks_mut(seq * hd)
+        .enumerate()
+        .for_each(|(bkv, chunk)| {
+            let b = bkv / nkv;
+            let kv = bkv % nkv;
+            for g in 0..group {
+                let src = ((b * nh + kv * group + g) * seq) * hd;
+                for (o, v) in chunk.iter_mut().zip(&heads[src..src + seq * hd]) {
+                    *o += *v;
+                }
             }
-        }
-    });
+        });
     out
 }
 

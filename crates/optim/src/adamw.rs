@@ -5,8 +5,8 @@
 //! moment estimates, which is why biases/norms can be exempted per group
 //! without touching the update math.
 
-use crate::groups::GroupSpec;
 use crate::flat::{flatten_group, unflatten_group_into};
+use crate::groups::GroupSpec;
 use llmt_model::ParamSet;
 use serde::{Deserialize, Serialize};
 
@@ -215,11 +215,8 @@ mod tests {
             weight_decay: 0.01,
             ..Default::default()
         };
-        let mut opt_a = GroupedAdamW::new(
-            &model_a.params,
-            build_groups(&cfg, GroupLayout::Stock),
-            hp,
-        );
+        let mut opt_a =
+            GroupedAdamW::new(&model_a.params, build_groups(&cfg, GroupLayout::Stock), hp);
         let mut opt_b = GroupedAdamW::new(
             &model_b.params,
             build_groups(&cfg, GroupLayout::LayerWise),
@@ -253,7 +250,11 @@ mod tests {
         opt.step(&mut model.params, &grads, 1e-2, true);
         for (_, t) in model.params.iter() {
             for x in t.data() {
-                assert_eq!(llmt_tensor::dtype::bf16_round(*x), *x, "param not bf16-rounded");
+                assert_eq!(
+                    llmt_tensor::dtype::bf16_round(*x),
+                    *x,
+                    "param not bf16-rounded"
+                );
             }
         }
         // Masters stay full precision (some value should not be bf16-exact).

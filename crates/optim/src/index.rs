@@ -130,9 +130,9 @@ mod tests {
         for cfg in configs() {
             let map = GroupIndexMap::from_config(&cfg);
             for g in 0..map.group_count() {
-                let unit = map.unit_for_group(g).unwrap_or_else(|| {
-                    panic!("{}: group {g} has no unit", cfg.model_name)
-                });
+                let unit = map
+                    .unit_for_group(g)
+                    .unwrap_or_else(|| panic!("{}: group {g} has no unit", cfg.model_name));
                 assert!(
                     map.groups_for_unit(unit).unwrap().contains(&g),
                     "{}: group {g} -> {unit} -> missing",
@@ -151,10 +151,16 @@ mod tests {
         };
         assert_eq!(map.group_count(), 35);
         assert_eq!(map.groups_for_unit(LayerUnit::FinalNorm), Some(vec![0]));
-        assert_eq!(map.groups_for_unit(LayerUnit::Transformer(0)), Some(vec![1, 19]));
+        assert_eq!(
+            map.groups_for_unit(LayerUnit::Transformer(0)),
+            Some(vec![1, 19])
+        );
         assert_eq!(map.groups_for_unit(LayerUnit::EmbedTokens), Some(vec![17]));
         assert_eq!(map.groups_for_unit(LayerUnit::LmHead), Some(vec![18]));
-        assert_eq!(map.groups_for_unit(LayerUnit::Transformer(15)), Some(vec![16, 34]));
+        assert_eq!(
+            map.groups_for_unit(LayerUnit::Transformer(15)),
+            Some(vec![16, 34])
+        );
     }
 
     #[test]
@@ -165,7 +171,10 @@ mod tests {
         };
         assert_eq!(map.group_count(), 34);
         assert_eq!(map.groups_for_unit(LayerUnit::LmHead), None);
-        assert_eq!(map.groups_for_unit(LayerUnit::Transformer(0)), Some(vec![1, 18]));
+        assert_eq!(
+            map.groups_for_unit(LayerUnit::Transformer(0)),
+            Some(vec![1, 18])
+        );
     }
 
     #[test]

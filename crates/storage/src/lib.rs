@@ -9,11 +9,22 @@
 //! model, and training step time under a FLOPs/MFU GPU model. DESIGN.md
 //! documents this substitution; EXPERIMENTS.md reports both the projected
 //! paper-scale numbers and the actually-measured simulation numbers.
+//!
+//! The [`vfs`] module adds the I/O *fault* model: a [`Storage`] trait that
+//! the checkpoint writer targets, with a passthrough [`LocalFs`], a
+//! deterministic fault-injecting [`FaultyFs`] (torn writes, transient EIO,
+//! permanent ENOSPC), and a [`RetryingStorage`] backoff decorator with an
+//! injectable [`Clock`].
 
 pub mod meter;
 pub mod model;
 pub mod projection;
+pub mod vfs;
 
 pub use meter::IoTally;
 pub use model::{GpuStepModel, StorageModel};
 pub use projection::{checkpoint_bytes, proportion, CheckpointBytes};
+pub use vfs::{
+    is_transient, Clock, FaultKind, FaultSpec, FaultyFs, LocalFs, ManualClock, RetryPolicy,
+    RetryingStorage, Storage, SystemClock,
+};

@@ -1,0 +1,745 @@
+//! Virtual filesystem layer: a [`Storage`] trait with a passthrough
+//! [`LocalFs`], a deterministic fault-injecting [`FaultyFs`], and a
+//! [`RetryingStorage`] decorator implementing bounded exponential backoff
+//! with an injectable [`Clock`].
+//!
+//! Everything the checkpoint writer does to disk goes through a
+//! `dyn Storage`, which is what makes the crash-consistency story testable:
+//! the chaos suite wraps [`LocalFs`] in a [`FaultyFs`] that kills the
+//! process-model at the N-th I/O operation, and asserts that recovery only
+//! ever trusts *committed* checkpoint directories, no matter which N.
+//!
+//! Design notes:
+//!
+//! * The trait is deliberately coarse (whole-file writes, whole-file and
+//!   ranged reads) because checkpoint files are written exactly once and
+//!   never appended to. Coarse ops give the fault injector a meaningful
+//!   op counter: "op 17" is a specific file's write on every run.
+//! * [`Storage::exists`] is a metadata peek and does **not** count as an
+//!   injectable op — failure atoms are the durability-relevant operations.
+//! * Faults are seeded and counted, never random at call time, so a chaos
+//!   sweep over `0..total_ops` visits every kill-point exactly once and a
+//!   failing seed reproduces byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::io::{self, Read as _, Seek as _, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Abstraction over the small set of filesystem operations the checkpoint
+/// layer needs. Implementations must be usable from multiple threads (the
+/// writer shards optimizer state across a rayon pool).
+pub trait Storage: Send + Sync + fmt::Debug {
+    /// Create a directory and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Write `bytes` to `path`, replacing any existing file.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Flush a file (or directory) to durable storage — `fsync`.
+    fn sync(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically rename `from` to `to` (same filesystem). Used for the
+    /// staging-directory commit rename.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Read the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Read `len` bytes starting at byte `offset`. Fails with
+    /// [`io::ErrorKind::UnexpectedEof`] if the file is shorter.
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>>;
+
+    /// List the entries of a directory (non-recursive, unsorted).
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Recursively delete a directory tree.
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether a path exists. A metadata peek: not counted (and never
+    /// failed) by fault injectors.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Length of the file at `path` in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+}
+
+/// Direct passthrough to the local filesystem via `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalFs;
+
+impl Storage for LocalFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        // `File::open` works for directories on Linux, which lets callers
+        // fsync the run root after the commit rename.
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let mut f = fs::File::open(path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(path)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::remove_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+}
+
+/// What kind of failure [`FaultyFs`] injects once its op counter reaches
+/// [`FaultSpec::at_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// EIO-like: the next `failures` ops fail with
+    /// [`io::ErrorKind::Interrupted`], then everything succeeds again.
+    /// Models a flaky NFS mount; a retry loop should absorb it.
+    Transient {
+        /// How many consecutive ops fail before the storage heals.
+        failures: u32,
+    },
+    /// ENOSPC-like: from `at_op` onward every *mutating* op (write, sync,
+    /// rename, create) fails with [`io::ErrorKind::StorageFull`]. Reads and
+    /// deletes still work, so error-path cleanup can reclaim space.
+    Permanent,
+    /// The write at exactly `at_op` persists only a prefix of its bytes,
+    /// then the process-model dies: every subsequent op fails. `keep_bytes`
+    /// picks the prefix length; `None` derives one from the seed so sweeps
+    /// exercise varied tear offsets.
+    TornWrite {
+        /// Bytes of the torn write that reach disk (`None` = seed-derived).
+        keep_bytes: Option<u64>,
+    },
+    /// Hard crash: op `at_op` and everything after it fails without any
+    /// partial effect.
+    Crash,
+}
+
+/// When and how [`FaultyFs`] fails. Serializable so a trainer config can
+/// carry a crash schedule (`TrainerConfig::crash_during_save`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Zero-based index of the storage op at which the fault fires.
+    pub at_op: u64,
+    /// The failure mode.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// A spec whose fault never fires — useful for counting ops.
+    pub fn never() -> Self {
+        FaultSpec {
+            at_op: u64::MAX,
+            kind: FaultKind::Crash,
+        }
+    }
+}
+
+/// Deterministic fault-injecting wrapper around another [`Storage`].
+///
+/// Counts durability-relevant ops (everything except [`Storage::exists`])
+/// and injects the configured [`FaultSpec`] when the counter reaches
+/// `at_op`. After a [`FaultKind::TornWrite`] or [`FaultKind::Crash`] fires
+/// the wrapper is *dead*: all further ops fail with
+/// [`io::ErrorKind::BrokenPipe`], modeling a killed process whose
+/// filesystem state is frozen mid-save.
+#[derive(Debug)]
+pub struct FaultyFs<S: Storage> {
+    inner: S,
+    spec: FaultSpec,
+    seed: u64,
+    ops: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl<S: Storage> FaultyFs<S> {
+    /// Wrap `inner`, injecting `spec` (seed 0).
+    pub fn new(inner: S, spec: FaultSpec) -> Self {
+        Self::with_seed(inner, spec, 0)
+    }
+
+    /// Wrap `inner` with an explicit seed; the seed only matters for
+    /// [`FaultKind::TornWrite`] with `keep_bytes: None`, where it picks the
+    /// tear offset deterministically.
+    pub fn with_seed(inner: S, spec: FaultSpec, seed: u64) -> Self {
+        FaultyFs {
+            inner,
+            spec,
+            seed,
+            ops: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of ops attempted so far (including the faulted ones).
+    pub fn ops_attempted(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether a torn-write/crash fault has fired and frozen the storage.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    fn dead_err() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "simulated crash: storage is dead",
+        )
+    }
+
+    /// Account one op; returns its index, or an error if already dead.
+    fn tick(&self) -> io::Result<u64> {
+        if self.is_dead() {
+            return Err(Self::dead_err());
+        }
+        Ok(self.ops.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Fault decision for a non-write, mutating-or-not op at index `idx`.
+    fn gate(&self, idx: u64, mutating: bool) -> io::Result<()> {
+        if idx < self.spec.at_op {
+            return Ok(());
+        }
+        match self.spec.kind {
+            FaultKind::Transient { failures } => {
+                if idx < self.spec.at_op + u64::from(failures) {
+                    Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        format!("injected transient I/O error at op {idx}"),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            FaultKind::Permanent => {
+                if mutating {
+                    Err(io::Error::new(
+                        io::ErrorKind::StorageFull,
+                        format!("injected permanent storage-full error at op {idx}"),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            FaultKind::TornWrite { .. } | FaultKind::Crash => {
+                if idx == self.spec.at_op {
+                    self.dead.store(true, Ordering::SeqCst);
+                }
+                Err(Self::dead_err())
+            }
+        }
+    }
+
+    /// Deterministic tear length in `0..len` derived from seed and op index
+    /// (splitmix64 finalizer).
+    fn torn_len(&self, idx: u64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let mut z = self.seed ^ idx.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z % len as u64) as usize
+    }
+}
+
+impl<S: Storage> Storage for FaultyFs<S> {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let idx = self.tick()?;
+        self.gate(idx, true)?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let idx = self.tick()?;
+        if idx == self.spec.at_op {
+            if let FaultKind::TornWrite { keep_bytes } = self.spec.kind {
+                // Persist a prefix, then die. This is the signature failure
+                // of a non-atomic checkpoint writer.
+                let keep = match keep_bytes {
+                    Some(k) => (k as usize).min(bytes.len()),
+                    None => self.torn_len(idx, bytes.len()),
+                };
+                self.inner.write(path, &bytes[..keep])?;
+                self.dead.store(true, Ordering::SeqCst);
+                return Err(Self::dead_err());
+            }
+        }
+        self.gate(idx, true)?;
+        self.inner.write(path, bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let idx = self.tick()?;
+        self.gate(idx, true)?;
+        self.inner.sync(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let idx = self.tick()?;
+        self.gate(idx, true)?;
+        self.inner.rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let idx = self.tick()?;
+        self.gate(idx, false)?;
+        self.inner.read(path)
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let idx = self.tick()?;
+        self.gate(idx, false)?;
+        self.inner.read_range(path, offset, len)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let idx = self.tick()?;
+        self.gate(idx, false)?;
+        self.inner.list_dir(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        let idx = self.tick()?;
+        self.gate(idx, false)?;
+        self.inner.remove_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        // Metadata peek: never counted, never failed.
+        self.inner.exists(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        let idx = self.tick()?;
+        self.gate(idx, false)?;
+        self.inner.file_len(path)
+    }
+}
+
+/// Time source for retry backoff. Tests inject [`ManualClock`] so backoff
+/// is observable without wall-sleeping.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Sleep for (or record) `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// Real wall-clock sleeps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// Records requested sleeps instead of performing them. Deterministic and
+/// instantaneous: retry logic can be asserted on (`slept_nanos`) without
+/// slowing the test suite down.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    slept_nanos: AtomicU64,
+    sleeps: AtomicU64,
+}
+
+impl ManualClock {
+    /// Total nanoseconds of sleep requested so far.
+    pub fn slept_nanos(&self) -> u64 {
+        self.slept_nanos.load(Ordering::SeqCst)
+    }
+
+    /// Number of individual sleeps requested so far.
+    pub fn sleeps(&self) -> u64 {
+        self.sleeps.load(Ordering::SeqCst)
+    }
+}
+
+impl Clock for ManualClock {
+    fn sleep(&self, d: Duration) {
+        self.slept_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+        self.sleeps.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Bounded exponential backoff parameters: attempt `n` (zero-based) sleeps
+/// `min(base_delay_ms << n, max_delay_ms)` before retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (so `max_retries + 1` attempts total).
+    pub max_retries: u32,
+    /// Delay before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single delay, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay_ms: 10,
+            max_delay_ms: 250,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay before retry attempt `attempt` (zero-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        // `checked_shl` only guards the shift amount, not value overflow,
+        // so guard on leading zeros to saturate at `max_delay_ms`.
+        let exp = if attempt > self.base_delay_ms.leading_zeros() {
+            self.max_delay_ms
+        } else {
+            self.base_delay_ms << attempt
+        };
+        Duration::from_millis(exp.min(self.max_delay_ms))
+    }
+}
+
+/// Whether an I/O error is worth retrying. Only the EIO-like
+/// [`io::ErrorKind::Interrupted`] class is transient; torn
+/// writes/crashes (`BrokenPipe`) and ENOSPC (`StorageFull`) are terminal.
+pub fn is_transient(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::Interrupted
+}
+
+/// Decorator adding bounded, deterministic exponential backoff around
+/// transient errors of an inner [`Storage`]. Non-transient errors pass
+/// through immediately.
+#[derive(Debug)]
+pub struct RetryingStorage<S: Storage> {
+    inner: S,
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
+}
+
+impl<S: Storage> RetryingStorage<S> {
+    /// Wrap `inner` with `policy`, sleeping on `clock`.
+    pub fn new(inner: S, policy: RetryPolicy, clock: Arc<dyn Clock>) -> Self {
+        RetryingStorage {
+            inner,
+            policy,
+            clock,
+        }
+    }
+
+    /// Wrap `inner` with the default policy and the real [`SystemClock`].
+    pub fn with_defaults(inner: S) -> Self {
+        Self::new(inner, RetryPolicy::default(), Arc::new(SystemClock))
+    }
+
+    /// Access the wrapped storage.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn retry<T>(&self, mut op: impl FnMut(&S) -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op(&self.inner) {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) && attempt < self.policy.max_retries => {
+                    self.clock.sleep(self.policy.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<S: Storage> Storage for RetryingStorage<S> {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.retry(|s| s.create_dir_all(path))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.retry(|s| s.write(path, bytes))
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        self.retry(|s| s.sync(path))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.retry(|s| s.rename(from, to))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.retry(|s| s.read(path))
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        self.retry(|s| s.read_range(path, offset, len))
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.retry(|s| s.list_dir(path))
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.retry(|s| s.remove_dir_all(path))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.retry(|s| s.file_len(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "llmt-vfs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn local_fs_roundtrip_and_range() {
+        let dir = tmpdir("local");
+        let fs = LocalFs;
+        let p = dir.join("f.bin");
+        fs.write(&p, b"hello world").unwrap();
+        fs.sync(&p).unwrap();
+        assert_eq!(fs.read(&p).unwrap(), b"hello world");
+        assert_eq!(fs.read_range(&p, 6, 5).unwrap(), b"world");
+        assert_eq!(fs.file_len(&p).unwrap(), 11);
+        assert!(fs.read_range(&p, 8, 5).is_err());
+        let q = dir.join("g.bin");
+        fs.rename(&p, &q).unwrap();
+        assert!(!fs.exists(&p));
+        assert!(fs.exists(&q));
+        assert_eq!(fs.list_dir(&dir).unwrap(), vec![q]);
+        fs.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_fault_heals_after_n_failures() {
+        let dir = tmpdir("transient");
+        let f = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 1,
+                kind: FaultKind::Transient { failures: 2 },
+            },
+        );
+        let p = dir.join("a");
+        f.write(&p, b"x").unwrap(); // op 0: ok
+        let e = f.write(&p, b"x").unwrap_err(); // op 1: transient
+        assert!(is_transient(&e));
+        let e = f.write(&p, b"x").unwrap_err(); // op 2: transient
+        assert!(is_transient(&e));
+        f.write(&p, b"y").unwrap(); // op 3: healed
+        assert_eq!(f.read(&p).unwrap(), b"y");
+        assert_eq!(f.ops_attempted(), 5);
+    }
+
+    #[test]
+    fn permanent_fault_blocks_writes_but_allows_cleanup() {
+        let dir = tmpdir("permanent");
+        let f = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 0,
+                kind: FaultKind::Permanent,
+            },
+        );
+        let sub = dir.join("stage.tmp");
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(sub.join("partial"), b"junk").unwrap();
+        let e = f.write(&sub.join("more"), b"x").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::StorageFull);
+        // Reads and deletes still work: error-path cleanup can proceed.
+        f.remove_dir_all(&sub).unwrap();
+        assert!(!f.exists(&sub));
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_then_storage_dies() {
+        let dir = tmpdir("torn");
+        let f = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 0,
+                kind: FaultKind::TornWrite {
+                    keep_bytes: Some(4),
+                },
+            },
+        );
+        let p = dir.join("t");
+        let e = f.write(&p, b"0123456789").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::BrokenPipe);
+        assert!(f.is_dead());
+        // The prefix reached the inner fs; nothing else can happen now.
+        assert_eq!(std::fs::read(&p).unwrap(), b"0123");
+        assert_eq!(f.read(&p).unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(
+            f.remove_dir_all(&dir).unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+    }
+
+    #[test]
+    fn seed_derived_tear_is_deterministic_and_in_range() {
+        let a = FaultyFs::with_seed(LocalFs, FaultSpec::never(), 7);
+        let b = FaultyFs::with_seed(LocalFs, FaultSpec::never(), 7);
+        let c = FaultyFs::with_seed(LocalFs, FaultSpec::never(), 8);
+        for idx in 0..64 {
+            let la = a.torn_len(idx, 1000);
+            assert_eq!(la, b.torn_len(idx, 1000));
+            assert!(la < 1000);
+            let _ = c.torn_len(idx, 1000);
+        }
+        assert_eq!(a.torn_len(3, 0), 0);
+    }
+
+    #[test]
+    fn retrying_storage_absorbs_transients_without_wall_sleep() {
+        let dir = tmpdir("retry");
+        let clock = Arc::new(ManualClock::default());
+        let faulty = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 1,
+                kind: FaultKind::Transient { failures: 3 },
+            },
+        );
+        let s = RetryingStorage::new(
+            faulty,
+            RetryPolicy {
+                max_retries: 4,
+                base_delay_ms: 10,
+                max_delay_ms: 250,
+            },
+            clock.clone(),
+        );
+        let p = dir.join("r");
+        s.write(&p, b"first").unwrap(); // op 0
+        s.write(&p, b"second").unwrap(); // ops 1,2,3 fail; op 4 succeeds
+        assert_eq!(s.read(&p).unwrap(), b"second");
+        assert_eq!(clock.sleeps(), 3);
+        // 10ms + 20ms + 40ms of *recorded* backoff, zero wall time.
+        assert_eq!(clock.slept_nanos(), 70_000_000);
+    }
+
+    #[test]
+    fn retrying_storage_gives_up_after_max_retries() {
+        let dir = tmpdir("retry-exhaust");
+        let clock = Arc::new(ManualClock::default());
+        let faulty = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 0,
+                kind: FaultKind::Transient { failures: 10 },
+            },
+        );
+        let s = RetryingStorage::new(
+            faulty,
+            RetryPolicy {
+                max_retries: 2,
+                base_delay_ms: 1,
+                max_delay_ms: 4,
+            },
+            clock.clone(),
+        );
+        let e = s.write(&dir.join("x"), b"x").unwrap_err();
+        assert!(is_transient(&e));
+        assert_eq!(clock.sleeps(), 2);
+    }
+
+    #[test]
+    fn retrying_storage_passes_terminal_errors_through() {
+        let dir = tmpdir("retry-terminal");
+        let clock = Arc::new(ManualClock::default());
+        let faulty = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 0,
+                kind: FaultKind::Permanent,
+            },
+        );
+        let s = RetryingStorage::new(faulty, RetryPolicy::default(), clock.clone());
+        let e = s.write(&dir.join("x"), b"x").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(clock.sleeps(), 0, "terminal errors must not be retried");
+    }
+
+    #[test]
+    fn retry_policy_delay_is_bounded() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+        };
+        assert_eq!(p.delay(0), Duration::from_millis(10));
+        assert_eq!(p.delay(1), Duration::from_millis(20));
+        assert_eq!(p.delay(3), Duration::from_millis(80));
+        assert_eq!(p.delay(4), Duration::from_millis(100));
+        assert_eq!(p.delay(63), Duration::from_millis(100));
+        assert_eq!(p.delay(64), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn fault_spec_serde_roundtrip() {
+        let spec = FaultSpec {
+            at_op: 42,
+            kind: FaultKind::TornWrite { keep_bytes: None },
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -160,7 +160,11 @@ impl Tensor {
 
     /// L2 norm of all elements.
     pub fn l2_norm(&self) -> f64 {
-        self.data.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|v| (*v as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Maximum absolute element (0 for empty tensors).

@@ -16,11 +16,14 @@
 //! succeeds.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use llmt_ckpt::writer::{save_checkpoint, CheckpointReport, SaveRequest};
-use llmt_ckpt::{Result, TrainerState};
+use llmt_ckpt::writer::{save_checkpoint_on, CheckpointReport, SaveRequest};
+use llmt_ckpt::{CkptError, Result, TrainerState};
 use llmt_model::{LayerUnit, ModelConfig, ParamSet};
+use llmt_storage::vfs::{LocalFs, Storage};
 use llmt_zero::ZeroEngine;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A snapshot job: everything the writer needs, owned.
@@ -57,22 +60,47 @@ pub struct AsyncCheckpointer {
 }
 
 impl AsyncCheckpointer {
-    /// Spawn the writer thread.
+    /// Spawn the writer thread against the local filesystem.
     pub fn new() -> Self {
+        Self::with_storage(Arc::new(LocalFs))
+    }
+
+    /// Spawn the writer thread against an arbitrary [`Storage`] — the hook
+    /// the fault-injection harness uses to tear writes mid-checkpoint.
+    ///
+    /// Failures (including panics inside the writer) never take the
+    /// training process down: they come back as `Err` results from
+    /// [`AsyncCheckpointer::poll`] / [`AsyncCheckpointer::drain`].
+    pub fn with_storage(storage: Arc<dyn Storage>) -> Self {
         let (tx, rx) = bounded::<Msg>(2);
         let (done_tx, done_rx) = bounded::<(u64, Result<CheckpointReport>)>(64);
         let worker = std::thread::Builder::new()
             .name("ckpt-writer".into())
             .spawn(move || {
                 while let Ok(Msg::Job(job)) = rx.recv() {
-                    let result = save_checkpoint(&SaveRequest {
-                        root: &job.root,
-                        step: job.step,
-                        config: &job.config,
-                        params: &job.params,
-                        engine: &job.engine,
-                        trainer_state: &job.trainer_state,
-                        units: &job.units,
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        save_checkpoint_on(
+                            &*storage,
+                            &SaveRequest {
+                                root: &job.root,
+                                step: job.step,
+                                config: &job.config,
+                                params: &job.params,
+                                engine: &job.engine,
+                                trainer_state: &job.trainer_state,
+                                units: &job.units,
+                            },
+                        )
+                    }))
+                    .unwrap_or_else(|panic| {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        Err(CkptError::Format(format!(
+                            "checkpoint writer panicked: {msg}"
+                        )))
                     });
                     // If the receiver is gone the trainer was dropped; stop.
                     if done_tx.send((job.step, result)).is_err() {
@@ -90,12 +118,17 @@ impl AsyncCheckpointer {
     }
 
     /// Queue a snapshot for writing. Blocks only if two snapshots are
-    /// already queued (back-pressure against runaway memory use).
-    pub fn submit(&mut self, job: SnapshotJob) {
-        self.tx
-            .send(Msg::Job(Box::new(job)))
-            .expect("checkpoint writer thread died");
+    /// already queued (back-pressure against runaway memory use). Errors
+    /// if the writer thread is gone instead of panicking.
+    pub fn submit(&mut self, job: SnapshotJob) -> Result<()> {
+        let step = job.step;
+        self.tx.send(Msg::Job(Box::new(job))).map_err(|_| {
+            CkptError::Format(format!(
+                "checkpoint writer thread died before accepting the step-{step} snapshot"
+            ))
+        })?;
         self.in_flight += 1;
+        Ok(())
     }
 
     /// Completed writes available right now (non-blocking).
@@ -108,13 +141,27 @@ impl AsyncCheckpointer {
         out
     }
 
-    /// Wait for every queued write to finish and return all results.
+    /// Wait for every queued write to finish and return all results. A
+    /// dead writer thread surfaces as one terminal `Err` entry rather
+    /// than a panic, so callers can report and keep training.
     pub fn drain(&mut self) -> Vec<(u64, Result<CheckpointReport>)> {
         let mut out = Vec::new();
         while self.in_flight > 0 {
-            let done = self.done_rx.recv().expect("checkpoint writer thread died");
-            self.in_flight -= 1;
-            out.push(done);
+            match self.done_rx.recv() {
+                Ok(done) => {
+                    self.in_flight -= 1;
+                    out.push(done);
+                }
+                Err(_) => {
+                    out.push((
+                        0,
+                        Err(CkptError::Format(
+                            "checkpoint writer thread died with snapshots still queued".into(),
+                        )),
+                    ));
+                    self.in_flight = 0;
+                }
+            }
         }
         out
     }
@@ -169,19 +216,31 @@ mod tests {
 
         let mut ac = AsyncCheckpointer::new();
         let units = LayerUnit::all(&cfg.model_config);
-        ac.submit(snapshot_of(&t, units.clone(), dir_async.path().to_path_buf()));
+        ac.submit(snapshot_of(
+            &t,
+            units.clone(),
+            dir_async.path().to_path_buf(),
+        ))
+        .unwrap();
         let results = ac.drain();
         assert_eq!(results.len(), 1);
         results[0].1.as_ref().unwrap();
 
         // Bit-identical contents.
-        let mut a = CheckpointHandle::open(&dir_sync.path().join("checkpoint-3"), LoadMode::EagerFull).unwrap();
-        let mut b = CheckpointHandle::open(&dir_async.path().join("checkpoint-3"), LoadMode::EagerFull).unwrap();
+        let mut a =
+            CheckpointHandle::open(&dir_sync.path().join("checkpoint-3"), LoadMode::EagerFull)
+                .unwrap();
+        let mut b =
+            CheckpointHandle::open(&dir_async.path().join("checkpoint-3"), LoadMode::EagerFull)
+                .unwrap();
         for unit in units {
             assert_eq!(a.unit_weights(unit).unwrap(), b.unit_weights(unit).unwrap());
         }
         for rank in 0..cfg.world_size {
-            assert_eq!(a.rank_state_full(rank).unwrap(), b.rank_state_full(rank).unwrap());
+            assert_eq!(
+                a.rank_state_full(rank).unwrap(),
+                b.rank_state_full(rank).unwrap()
+            );
         }
     }
 
@@ -196,12 +255,18 @@ mod tests {
         let frozen = t.model.params.clone();
 
         let mut ac = AsyncCheckpointer::new();
-        ac.submit(snapshot_of(&t, LayerUnit::all(&cfg.model_config), dir.path().to_path_buf()));
+        ac.submit(snapshot_of(
+            &t,
+            LayerUnit::all(&cfg.model_config),
+            dir.path().to_path_buf(),
+        ))
+        .unwrap();
         t.train_until(6, None).unwrap(); // keep training during the write
         let results = ac.drain();
         results[0].1.as_ref().unwrap();
 
-        let mut h = CheckpointHandle::open(&dir.path().join("checkpoint-2"), LoadMode::EagerFull).unwrap();
+        let mut h =
+            CheckpointHandle::open(&dir.path().join("checkpoint-2"), LoadMode::EagerFull).unwrap();
         for unit in LayerUnit::all(&cfg.model_config) {
             for (name, raw) in h.unit_weights(unit).unwrap() {
                 let live = frozen.get(&name).unwrap();
@@ -222,7 +287,8 @@ mod tests {
                 &t,
                 LayerUnit::all(&cfg.model_config),
                 dir.path().to_path_buf(),
-            ));
+            ))
+            .unwrap();
         }
         let results = ac.drain();
         let steps: Vec<u64> = results.iter().map(|(s, _)| *s).collect();
@@ -242,8 +308,43 @@ mod tests {
             &t,
             LayerUnit::all(&cfg.model_config),
             PathBuf::from("/proc/definitely-not-writable/run"),
-        ));
+        ))
+        .unwrap();
         let results = ac.drain();
         assert!(results[0].1.is_err());
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_error_and_leaves_nothing_committed() {
+        use llmt_storage::vfs::{FaultKind, FaultSpec, FaultyFs};
+
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(2, None).unwrap();
+
+        // The storage dies mid-save: the write must come back as Err (no
+        // panic, no hang) and the run root must hold no committed dir.
+        let faulty: Arc<dyn Storage> = Arc::new(FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 4,
+                kind: FaultKind::TornWrite {
+                    keep_bytes: Some(10),
+                },
+            },
+        ));
+        let mut ac = AsyncCheckpointer::with_storage(faulty);
+        ac.submit(snapshot_of(
+            &t,
+            LayerUnit::all(&cfg.model_config),
+            dir.path().to_path_buf(),
+        ))
+        .unwrap();
+        let results = ac.drain();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.is_err(), "torn write must surface as Err");
+        let scan = llmt_ckpt::scan_run_root(dir.path());
+        assert!(scan.committed.is_empty(), "{scan:?}");
     }
 }

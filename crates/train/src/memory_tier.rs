@@ -154,7 +154,12 @@ mod tests {
         restore(&mut crashing, &s);
         assert_eq!(crashing.step, 4);
         crashing.train_until(6, None).unwrap();
-        for ((_, a), (_, b)) in crashing.model.params.iter().zip(reference.model.params.iter()) {
+        for ((_, a), (_, b)) in crashing
+            .model
+            .params
+            .iter()
+            .zip(reference.model.params.iter())
+        {
             assert_eq!(a.data(), b.data(), "memory-tier recovery diverged");
         }
     }

@@ -5,7 +5,7 @@
 //! execute LLMTailor, and hand back the path of the assembled full
 //! checkpoint, ready for [`crate::resume_trainer`].
 
-use llmt_ckpt::manifest::SaveLog;
+use llmt_ckpt::effective_save_log;
 use llmt_ckpt::LoadMode;
 use llmt_model::ModelConfig;
 use llmtailor::autorecipe::recipe_from_log;
@@ -15,13 +15,19 @@ use std::path::{Path, PathBuf};
 /// Assemble a resumable checkpoint for `failure_step` from the partial
 /// checkpoints under `run_root`. Returns the merge report; the output
 /// directory is `<run_root>/<output_name>`.
+///
+/// Crash consistency: the recipe is driven by the *effective* save log —
+/// the recorded `save_log.json` reconciled against the on-disk commit
+/// markers — so torn or tampered (quarantined) checkpoint directories are
+/// never merge sources, and checkpoints that committed but crashed before
+/// their log entry was persisted still count.
 pub fn recover_checkpoint(
     run_root: &Path,
     config: &ModelConfig,
     failure_step: u64,
     output_name: &str,
 ) -> Result<(PathBuf, MergeReport)> {
-    let log = SaveLog::load(&run_root.join("save_log.json"))?;
+    let (log, _scan) = effective_save_log(run_root)?;
     let recipe = recipe_from_log(&log, config, run_root, failure_step, output_name)?;
     let report = merge_with_recipe(&recipe, LoadMode::EagerFull, LoadPattern::Sequential)?;
     Ok((report.output.clone(), report))
@@ -72,6 +78,43 @@ mod tests {
             (lr - lm).abs() < 0.15,
             "final losses diverged: reference {lr:.3} vs merged-resume {lm:.3}"
         );
+    }
+
+    #[test]
+    fn recovery_skips_quarantined_checkpoints() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        cfg.ckpt_interval = 2;
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(5, None).unwrap(); // full checkpoints at 2 and 4
+        drop(t);
+        // Tamper with checkpoint-4's marker after the fact: it is now
+        // quarantined and recovery must fall back to checkpoint-2.
+        std::fs::write(dir.path().join("checkpoint-4/COMMIT"), b"garbage").unwrap();
+        let (merged, _) = recover_checkpoint(dir.path(), &cfg.model_config, 5, "merged-q").unwrap();
+        let resumed = resume_trainer(&merged, cfg).unwrap();
+        assert_eq!(
+            resumed.step, 2,
+            "quarantined checkpoint-4 must not be a source"
+        );
+    }
+
+    #[test]
+    fn recovery_works_without_a_save_log_file() {
+        // Crash-after-rename-before-log-write: the checkpoint committed but
+        // save_log.json never made it. The effective log reconstructs the
+        // entries from the committed manifests.
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        cfg.ckpt_interval = 2;
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(5, None).unwrap();
+        drop(t);
+        std::fs::remove_file(dir.path().join("save_log.json")).unwrap();
+        let (merged, _) =
+            recover_checkpoint(dir.path(), &cfg.model_config, 5, "merged-nl").unwrap();
+        let resumed = resume_trainer(&merged, cfg).unwrap();
+        assert_eq!(resumed.step, 4);
     }
 
     #[test]

@@ -17,6 +17,15 @@ use std::path::Path;
 /// them first) and on config mismatches.
 pub fn resume_trainer(dir: &Path, config: TrainerConfig) -> Result<Trainer> {
     let mut h = CheckpointHandle::open(dir, LoadMode::EagerFull)?;
+    // A torn or tampered save must never be trained on: refuse anything
+    // that fails the commit-marker check (see DESIGN.md, "Crash
+    // consistency & failure model").
+    if !h.is_committed() {
+        return Err(CkptError::Quarantined(
+            dir.to_path_buf(),
+            h.commit_status().describe(),
+        ));
+    }
     if !h.config.structurally_equal(&config.model_config) {
         return Err(CkptError::Incompatible(format!(
             "checkpoint model {} does not match configured model {}",
@@ -52,8 +61,11 @@ pub fn resume_trainer(dir: &Path, config: TrainerConfig) -> Result<Trainer> {
     // Selective-strategy phase and the save-decision log continue across
     // the failure: the log lives at the run root and the event counter in
     // the trainer state. Without these, a resumed parity run would restart
-    // at phase 0 and clobber the history recovery depends on.
-    let save_log = llmt_ckpt::manifest::SaveLog::load(&config.run_root.join("save_log.json"))
+    // at phase 0 and clobber the history recovery depends on. The
+    // *effective* log (recorded entries reconciled against on-disk commit
+    // markers) keeps quarantined saves out of the restored history.
+    let save_log = llmt_ckpt::effective_save_log(&config.run_root)
+        .map(|(log, _scan)| log)
         .unwrap_or_default();
     let data = BatchSource::with_vocab(
         config.task,
@@ -92,8 +104,7 @@ mod tests {
         // Crash after step 4 (last checkpoint at step 3), resume, finish.
         let mut crashed = Trainer::new(cfg.clone());
         crashed.train_until(6, Some(4)).unwrap();
-        let mut resumed =
-            resume_trainer(&dir.path().join("checkpoint-3"), cfg.clone()).unwrap();
+        let mut resumed = resume_trainer(&dir.path().join("checkpoint-3"), cfg.clone()).unwrap();
         assert_eq!(resumed.step, 3);
         resumed.train_until(6, None).unwrap();
         for ((_, a), (_, b)) in resumed
@@ -118,6 +129,20 @@ mod tests {
         t.train_until(3, None).unwrap();
         let err = resume_trainer(&dir.path().join("checkpoint-2"), cfg).unwrap_err();
         assert!(matches!(err, CkptError::Incompatible(_)), "{err}");
+    }
+
+    #[test]
+    fn resume_refuses_quarantined_checkpoints() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        cfg.ckpt_interval = 2;
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(3, None).unwrap();
+        // Simulate a crash that tore the marker off an otherwise-complete
+        // checkpoint: resume must refuse it outright.
+        std::fs::remove_file(dir.path().join("checkpoint-2/COMMIT")).unwrap();
+        let err = resume_trainer(&dir.path().join("checkpoint-2"), cfg).unwrap_err();
+        assert!(matches!(err, CkptError::Quarantined(..)), "{err}");
     }
 
     #[test]

@@ -2,17 +2,21 @@
 
 use crate::report::RunReport;
 use llmt_ckpt::manifest::SaveLog;
-use llmt_ckpt::writer::{save_checkpoint, CheckpointReport, SaveRequest};
+use llmt_ckpt::writer::{save_checkpoint_on, CheckpointReport, SaveRequest};
 use llmt_ckpt::{Result, TrainerState};
 use llmt_data::{BatchSource, DataTask};
 use llmt_model::{Model, ModelConfig, ParamSet};
 use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
+use llmt_storage::vfs::{
+    FaultSpec, FaultyFs, LocalFs, ManualClock, RetryPolicy, RetryingStorage, Storage, SystemClock,
+};
 use llmt_storage::IoTally;
 use llmt_tensor::rng::Prng;
 use llmt_zero::ZeroEngine;
 use llmtailor::StrategyKind;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything that defines a training run.
@@ -54,6 +58,17 @@ pub struct TrainerConfig {
     /// averaging, matching the HF Trainer.
     #[serde(default)]
     pub max_grad_norm: Option<f32>,
+    /// Fault-injection hook for crash-consistency testing: when set, every
+    /// checkpoint write goes through a seeded
+    /// [`FaultyFs`](llmt_storage::vfs::FaultyFs) that fires this fault at
+    /// its `at_op`-th storage operation (counted across the whole run).
+    /// `None` (the default, and the only sensible production value) uses
+    /// the plain local filesystem. Retries with deterministic backoff wrap
+    /// both modes; with a fault configured the backoff clock is a
+    /// [`ManualClock`](llmt_storage::vfs::ManualClock) so chaos tests
+    /// never wall-sleep.
+    #[serde(default)]
+    pub crash_during_save: Option<FaultSpec>,
 }
 
 impl TrainerConfig {
@@ -74,6 +89,25 @@ impl TrainerConfig {
             run_root,
             async_checkpointing: false,
             max_grad_norm: Some(1.0),
+            crash_during_save: None,
+        }
+    }
+
+    /// The storage stack this configuration implies: retrying-with-backoff
+    /// over either the local filesystem or (when [`Self::crash_during_save`]
+    /// is set) a fault-injecting wrapper seeded from the run seed.
+    pub fn build_storage(&self) -> Arc<dyn Storage> {
+        match self.crash_during_save {
+            Some(spec) => Arc::new(RetryingStorage::new(
+                FaultyFs::with_seed(LocalFs, spec, self.seed),
+                RetryPolicy::default(),
+                Arc::new(ManualClock::default()),
+            )),
+            None => Arc::new(RetryingStorage::new(
+                LocalFs,
+                RetryPolicy::default(),
+                Arc::new(SystemClock),
+            )),
         }
     }
 }
@@ -104,6 +138,9 @@ pub struct Trainer {
     dynamic: Option<DynamicState>,
     /// Background writer (Some iff `config.async_checkpointing`).
     async_writer: Option<crate::async_ckpt::AsyncCheckpointer>,
+    /// Storage stack every checkpoint write goes through (retry wrapper,
+    /// optionally fault-injecting — see `TrainerConfig::crash_during_save`).
+    storage: Arc<dyn Storage>,
 }
 
 /// Trainer-side state for update-magnitude-driven selection: the strategy
@@ -156,8 +193,15 @@ impl DynamicState {
 }
 
 impl Trainer {
-    /// Fresh run from scratch.
+    /// Fresh run from scratch, on the storage the config implies.
     pub fn new(config: TrainerConfig) -> Self {
+        let storage = config.build_storage();
+        Self::with_storage(config, storage)
+    }
+
+    /// Fresh run from scratch on an explicit storage stack (the chaos
+    /// harness injects a [`FaultyFs`] here to kill saves mid-write).
+    pub fn with_storage(config: TrainerConfig, storage: Arc<dyn Storage>) -> Self {
         let model = Model::new(config.model_config.clone(), config.seed);
         let engine = ZeroEngine::new(
             &model.params,
@@ -188,7 +232,7 @@ impl Trainer {
         };
         let async_writer = config
             .async_checkpointing
-            .then(crate::async_ckpt::AsyncCheckpointer::new);
+            .then(|| crate::async_ckpt::AsyncCheckpointer::with_storage(storage.clone()));
         Trainer {
             config,
             model,
@@ -201,7 +245,13 @@ impl Trainer {
             loss_history: Vec::new(),
             dynamic,
             async_writer,
+            storage,
         }
+    }
+
+    /// The storage stack checkpoint writes go through.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
     }
 
     /// Reassemble a trainer from restored state (the resume path). The
@@ -229,9 +279,10 @@ impl Trainer {
             }),
             _ => None,
         };
+        let storage = config.build_storage();
         let async_writer = config
             .async_checkpointing
-            .then(crate::async_ckpt::AsyncCheckpointer::new);
+            .then(|| crate::async_ckpt::AsyncCheckpointer::with_storage(storage.clone()));
         Trainer {
             config,
             model,
@@ -244,6 +295,7 @@ impl Trainer {
             loss_history,
             dynamic,
             async_writer,
+            storage,
         }
     }
 
@@ -289,10 +341,7 @@ impl Trainer {
             global_step: self.step,
             ckpt_event: self.ckpt_event,
             lr_schedule: self.config.lr_schedule,
-            last_lr: self
-                .config
-                .lr_schedule
-                .lr_at(self.step.saturating_sub(1)),
+            last_lr: self.config.lr_schedule.lr_at(self.step.saturating_sub(1)),
             loss_history: self.loss_history.clone(),
             data_rng: self.data_rng.clone(),
             task: match self.config.task {
@@ -311,22 +360,25 @@ impl Trainer {
     pub fn checkpoint(&mut self) -> Result<CheckpointReport> {
         let units = self.select_units();
         let ts = self.trainer_state();
-        let report = save_checkpoint(&SaveRequest {
-            root: &self.config.run_root,
-            step: self.step,
-            config: &self.config.model_config,
-            params: &self.model.params,
-            engine: &self.engine,
-            trainer_state: &ts,
-            units: &units,
-        })?;
+        let report = save_checkpoint_on(
+            &*self.storage,
+            &SaveRequest {
+                root: &self.config.run_root,
+                step: self.step,
+                config: &self.config.model_config,
+                params: &self.model.params,
+                engine: &self.engine,
+                trainer_state: &ts,
+                units: &units,
+            },
+        )?;
         for u in &report.units {
             self.save_log.record(*u, self.step);
         }
         self.ckpt_event += 1;
         // Persist the save log next to the checkpoints (the artifact JSON).
         self.save_log
-            .save(&self.config.run_root.join("save_log.json"))?;
+            .save_on(&*self.storage, &self.config.run_root.join("save_log.json"))?;
         Ok(report)
     }
 
@@ -369,11 +421,16 @@ impl Trainer {
         self.async_writer
             .as_mut()
             .expect("checkpoint_async requires config.async_checkpointing")
-            .submit(job);
+            .submit(job)?;
         Ok(())
     }
 
-    fn collect_async(&mut self, report: &mut RunReport, tally: &mut IoTally, block: bool) -> Result<()> {
+    fn collect_async(
+        &mut self,
+        report: &mut RunReport,
+        tally: &mut IoTally,
+        block: bool,
+    ) -> Result<()> {
         let Some(writer) = self.async_writer.as_mut() else {
             return Ok(());
         };
@@ -384,7 +441,7 @@ impl Trainer {
                 self.save_log.record(*u, step);
             }
             self.save_log
-                .save(&self.config.run_root.join("save_log.json"))?;
+                .save_on(&*self.storage, &self.config.run_root.join("save_log.json"))?;
             tally.record(ck.total_bytes, ck.files_written as u64);
             report.ckpt_steps.push(step);
         }
@@ -407,7 +464,8 @@ impl Trainer {
             let loss = self.step_once();
             report.compute_secs += t0.elapsed().as_secs_f64();
             report.losses.push((self.step, loss));
-            let due = self.config.ckpt_interval > 0 && self.step.is_multiple_of(self.config.ckpt_interval);
+            let due = self.config.ckpt_interval > 0
+                && self.step.is_multiple_of(self.config.ckpt_interval);
             let failing_now = fail_at.is_some_and(|f| self.step >= f);
             if due && !failing_now {
                 let t1 = Instant::now();
@@ -515,6 +573,50 @@ mod tests {
         let report = t.train_until(3, None).unwrap();
         assert_eq!(report.final_step, 3);
         assert_eq!(t.engine.step_count, 3);
+    }
+
+    #[test]
+    fn crash_during_save_tears_the_checkpoint_and_surfaces_err() {
+        use llmt_storage::vfs::FaultKind;
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = quick_config(dir.path());
+        // Dies partway through the very first save (a full save takes ~20
+        // storage ops), so nothing can ever commit.
+        cfg.crash_during_save = Some(FaultSpec {
+            at_op: 6,
+            kind: FaultKind::TornWrite { keep_bytes: None },
+        });
+        let mut t = Trainer::new(cfg);
+        assert!(
+            t.train_until(10, None).is_err(),
+            "dead storage must abort the run"
+        );
+        let scan = llmt_ckpt::scan_run_root(dir.path());
+        assert!(scan.committed.is_empty(), "{:?}", scan.committed);
+        assert!(
+            !scan.quarantined.is_empty(),
+            "the torn save leaves quarantined evidence"
+        );
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_retries_without_wall_sleep() {
+        use llmt_storage::vfs::FaultKind;
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = quick_config(dir.path());
+        // Two consecutive EIO-like failures mid-save: the retry wrapper
+        // (on a ManualClock, so this test takes no wall time in backoff)
+        // must ride them out and commit normally.
+        cfg.crash_during_save = Some(FaultSpec {
+            at_op: 6,
+            kind: FaultKind::Transient { failures: 2 },
+        });
+        let mut t = Trainer::new(cfg);
+        let report = t.train_until(7, None).unwrap();
+        assert_eq!(report.ckpt_steps, vec![2, 4, 6]);
+        let scan = llmt_ckpt::scan_run_root(dir.path());
+        assert_eq!(scan.committed_steps(), vec![2, 4, 6]);
+        assert!(scan.quarantined.is_empty(), "{:?}", scan.quarantined);
     }
 
     #[test]
@@ -653,10 +755,16 @@ mod clip_tests {
         cfg.max_grad_norm = Some(0.5);
         let mut reference = Trainer::new(cfg.clone());
         reference.train_until(4, None).unwrap();
-        let resumed_base = crate::resume::resume_trainer(&dir.path().join("checkpoint-2"), cfg).unwrap();
+        let resumed_base =
+            crate::resume::resume_trainer(&dir.path().join("checkpoint-2"), cfg).unwrap();
         let mut resumed = resumed_base;
         resumed.train_until(4, None).unwrap();
-        for ((_, a), (_, b)) in resumed.model.params.iter().zip(reference.model.params.iter()) {
+        for ((_, a), (_, b)) in resumed
+            .model
+            .params
+            .iter()
+            .zip(reference.model.params.iter())
+        {
             assert_eq!(a.data(), b.data());
         }
     }

@@ -22,7 +22,14 @@ fn two_fresh_runs_are_bit_identical() {
     let ra = a.train_until(4, None).unwrap();
     let rb = b.train_until(4, None).unwrap();
     for (x, y) in ra.losses.iter().zip(rb.losses.iter()) {
-        assert_eq!(x.1.to_bits(), y.1.to_bits(), "step {}: {} vs {}", x.0, x.1, y.1);
+        assert_eq!(
+            x.1.to_bits(),
+            y.1.to_bits(),
+            "step {}: {} vs {}",
+            x.0,
+            x.1,
+            y.1
+        );
     }
     for ((_, ta), (_, tb)) in a.model.params.iter().zip(b.model.params.iter()) {
         assert_eq!(ta.data(), tb.data());

@@ -7,9 +7,9 @@
 //! copy. Checkpointing reads [`RankState`]s; resuming writes them back.
 
 use crate::partition::{gather, partition_padded, shard_size};
+use llmt_model::ParamSet;
 use llmt_optim::flat::{flatten_group, unflatten_group_into};
 use llmt_optim::{adamw_update, AdamWHyper, GroupSpec};
-use llmt_model::ParamSet;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -67,7 +67,9 @@ impl ZeroEngine {
     ) -> Self {
         assert!(world_size > 0);
         let mut ranks: Vec<RankState> = (0..world_size)
-            .map(|_| RankState { shards: Vec::with_capacity(groups.len()) })
+            .map(|_| RankState {
+                shards: Vec::with_capacity(groups.len()),
+            })
             .collect();
         for group in &groups {
             let flat = flatten_group(params, group);
@@ -113,7 +115,14 @@ impl ZeroEngine {
                 .zip(grad_shards.par_iter())
                 .for_each(|(rank, gshard)| {
                     let sh = &mut rank.shards[gi];
-                    adamw_update(&mut sh.master, &mut sh.exp_avg, &mut sh.exp_avg_sq, gshard, &hp, step);
+                    adamw_update(
+                        &mut sh.master,
+                        &mut sh.exp_avg,
+                        &mut sh.exp_avg_sq,
+                        gshard,
+                        &hp,
+                        step,
+                    );
                 });
             // All-gather masters -> model copy.
             let master_shards: Vec<Vec<f32>> = self
@@ -154,7 +163,11 @@ impl ZeroEngine {
             let want = self.shard_len(gi);
             assert_eq!(sh.master.len(), want, "group {gi} master shard length");
             assert_eq!(sh.exp_avg.len(), want, "group {gi} exp_avg shard length");
-            assert_eq!(sh.exp_avg_sq.len(), want, "group {gi} exp_avg_sq shard length");
+            assert_eq!(
+                sh.exp_avg_sq.len(),
+                want,
+                "group {gi} exp_avg_sq shard length"
+            );
         }
         self.ranks[rank] = state;
     }

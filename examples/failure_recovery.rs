@@ -1,53 +1,91 @@
-//! Failure recovery walkthrough (artifact tasks T1-T3): inspect the save
-//! log, the auto-generated recipe, and verify the resumed trajectory.
+//! Failure recovery walkthrough (artifact tasks T1-T3), now with a *real*
+//! mid-write crash: instead of stopping cleanly between steps, the trainer
+//! is configured (via `TrainerConfig::crash_during_save`) to tear a
+//! checkpoint write partway through, exactly like a node dying mid-save.
+//! Recovery then has to distinguish committed checkpoints from the torn
+//! (quarantined) one before merging.
 //!
 //! Run with: `cargo run --release --example failure_recovery`
 
-use llmt_ckpt::manifest::SaveLog;
-use llmt_ckpt::{CheckpointHandle, LoadMode};
-use llmt_train::{resume_trainer, Trainer, TrainerConfig};
-use llmtailor::autorecipe::recipe_from_log;
-use llmtailor::{merge_with_recipe, LoadPattern, StrategyKind};
+use llmt_ckpt::{scan_run_root, CheckpointHandle, LoadMode};
+use llmt_storage::vfs::{FaultKind, FaultSpec, FaultyFs, LocalFs};
+use llmt_train::{recover_checkpoint, resume_trainer, Trainer, TrainerConfig};
+use llmtailor::StrategyKind;
+use std::sync::Arc;
 
-fn main() {
-    let dir = tempfile::tempdir().unwrap();
-    let mut config = TrainerConfig::test_default(dir.path().to_path_buf());
+fn base_config(root: &std::path::Path) -> TrainerConfig {
+    let mut config = TrainerConfig::test_default(root.to_path_buf());
     config.model_config = llmt_model::ModelConfig::qwen25_7b_sim();
     config.ckpt_interval = 3;
     config.strategy = StrategyKind::Parity;
+    config
+}
 
-    // T1: run a training job that produces partial checkpoints + JSON log.
+fn main() {
+    // Census: count the storage ops of two clean checkpoint cycles, so the
+    // injected crash can be aimed at the *middle of the third save*.
+    let census_dir = tempfile::tempdir().unwrap();
+    let census_fs = Arc::new(FaultyFs::new(LocalFs, FaultSpec::never()));
+    let mut census = Trainer::with_storage(base_config(census_dir.path()), census_fs.clone());
+    census.train_until(6, None).expect("census run");
+    let kill_at = census_fs.ops_attempted() + 5;
+    drop(census);
+
+    // T1: run a training job whose third save tears mid-write.
+    let dir = tempfile::tempdir().unwrap();
+    let mut config = base_config(dir.path());
+    config.crash_during_save = Some(FaultSpec {
+        at_op: kill_at,
+        kind: FaultKind::TornWrite { keep_bytes: None },
+    });
     let mut trainer = Trainer::new(config.clone());
-    trainer.train_until(40, Some(10)).expect("train");
-    println!("-- save_log.json (which unit was saved when) --");
-    let log = SaveLog::load(&dir.path().join("save_log.json")).unwrap();
-    for (unit, steps) in log.saved_at.iter().take(6) {
-        println!("  {unit}: saved at steps {steps:?}");
-    }
-    println!("  ... ({} units total)", log.saved_at.len());
+    let err = trainer
+        .train_until(40, None)
+        .expect_err("the torn write must abort the run");
+    println!("-- training crashed mid-save --");
+    println!("  {err}");
 
-    // T2: auto-generate the YAML recipe for the failure step.
-    let recipe = recipe_from_log(&log, &config.model_config, dir.path(), 10, "merged-10")
-        .expect("recipe generation");
-    println!("\n-- auto-generated recipe --\n{}", recipe.to_yaml());
-    let report = merge_with_recipe(&recipe, LoadMode::EagerFull, LoadPattern::Sequential)
-        .expect("merge");
+    // The run root now holds committed checkpoints *and* torn debris; the
+    // commit-marker scan separates them.
+    let scan = scan_run_root(dir.path());
+    println!("\n-- run-root scan --");
+    println!("  committed:   steps {:?}", scan.committed_steps());
+    for q in &scan.quarantined {
+        println!(
+            "  quarantined: {} ({})",
+            q.dir.file_name().unwrap().to_string_lossy(),
+            q.status.describe()
+        );
+    }
+
+    // T2: recover. The effective save log only trusts committed
+    // checkpoints, so the torn directory is never a merge source.
+    let (merged, report) =
+        recover_checkpoint(dir.path(), &config.model_config, 40, "merged-recovered")
+            .expect("recovery");
     println!(
-        "merge: {} sources, {} full file loads, {} bytes read, took {:?}",
-        report.sources, report.io.full_loads, report.io.bytes_read, report.duration
+        "\nmerge: {} sources, {} bytes read, took {:?}",
+        report.sources, report.io.bytes_read, report.duration
     );
 
-    // T3: resume and confirm the state is complete and training continues.
-    let h = CheckpointHandle::open(&report.output, LoadMode::LazyRange).unwrap();
+    // T3: resume from the sealed merge output and keep training. The
+    // fault spec must be cleared first — the crash already happened; the
+    // resumed run writes to healthy storage.
+    let h = CheckpointHandle::open(&merged, LoadMode::LazyRange).unwrap();
+    assert!(h.is_committed(), "merge outputs are committed");
     assert!(h.zero_meta.is_full(), "merged checkpoint must be complete");
     println!(
-        "\nmerged checkpoint: step {}, {} optimizer groups, world size {}",
+        "merged checkpoint: step {}, commit status: {}",
         h.trainer_state.global_step,
-        h.zero_meta.groups.len(),
-        h.zero_meta.world_size
+        h.commit_status().describe()
     );
-    let mut resumed = resume_trainer(&report.output, config).expect("resume");
-    let before = resumed.loss_history.last().map(|(_, l)| *l).unwrap_or(f64::NAN);
+    config.crash_during_save = None;
+    let mut resumed = resume_trainer(&merged, config).expect("resume");
+    let before = resumed
+        .loss_history
+        .last()
+        .map(|(_, l)| *l)
+        .unwrap_or(f64::NAN);
     resumed.train_until(20, None).expect("continue");
     let after = resumed.loss_history.last().map(|(_, l)| *l).unwrap();
     println!("loss at resume {before:.4} -> loss after continuing {after:.4}");

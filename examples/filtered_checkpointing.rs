@@ -55,8 +55,14 @@ fn main() {
     let mut filt = out.partial_report.ckpt_io;
     filt.absorb(&out.resumed_report.ckpt_io);
     println!("\n-- storage (Table 6 analogue) --");
-    println!("full:     {:>12} bytes / {} events", full.bytes, full.events);
-    println!("filtered: {:>12} bytes / {} events", filt.bytes, filt.events);
+    println!(
+        "full:     {:>12} bytes / {} events",
+        full.bytes, full.events
+    );
+    println!(
+        "filtered: {:>12} bytes / {} events",
+        filt.bytes, filt.events
+    );
     println!(
         "per-event reduction: {:.2}x (paper reports 4.3x at scale)",
         (full.bytes as f64 / full.events as f64) / (filt.bytes as f64 / filt.events as f64)

@@ -45,7 +45,9 @@ fn main() {
     // 4. Resume and finish the run.
     let mut resumed = resume_trainer(&merged, config).expect("resume failed");
     println!("resumed at step {}", resumed.step);
-    let rest = resumed.train_until(20, None).expect("resumed training failed");
+    let rest = resumed
+        .train_until(20, None)
+        .expect("resumed training failed");
     println!(
         "finished at step {}; final train loss {:.4}, eval loss {:.4}",
         rest.final_step,

@@ -3,9 +3,9 @@
 //! Run with: `cargo run --release --example recipe_tour`
 
 use llmt_bench::fixtures::CkptFactory;
+use llmt_ckpt::LoadMode;
 use llmt_model::{LayerUnit, ModelConfig};
 use llmtailor::{merge_with_recipe, LoadPattern, MergePlan, MergeRecipe};
-use llmt_ckpt::LoadMode;
 
 fn main() {
     let dir = tempfile::tempdir().unwrap();
@@ -38,15 +38,18 @@ slices:
     let plan = MergePlan::resolve(&recipe).expect("resolve");
     println!("resolved assignments:");
     for (unit, src) in &plan.assignments {
-        println!("  {unit:<12} <- {}", src.file_name().unwrap().to_string_lossy());
+        println!(
+            "  {unit:<12} <- {}",
+            src.file_name().unwrap().to_string_lossy()
+        );
     }
     println!(
         "config donor: {} (most recent trainer step)",
         plan.config_donor.file_name().unwrap().to_string_lossy()
     );
 
-    let report = merge_with_recipe(&recipe, LoadMode::LazyRange, LoadPattern::Sequential)
-        .expect("merge");
+    let report =
+        merge_with_recipe(&recipe, LoadMode::LazyRange, LoadPattern::Sequential).expect("merge");
     println!(
         "\nmerged into {} ({} bytes written)",
         report.output.display(),

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# CI gate for the workspace: build, test, lint, format.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+cargo fmt --check

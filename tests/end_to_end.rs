@@ -125,7 +125,7 @@ fn mergekit_output_cannot_resume_llmtailor_can() {
         base_model: c3.clone(),
         output: dir.path().join("mk"),
         slices: vec![],
-            t: 0.5,
+        t: 0.5,
     };
     llmt_mergekit::merge_weights_only(&mk).unwrap();
     assert!(!llmt_mergekit::is_resumable(&dir.path().join("mk")));
@@ -147,7 +147,11 @@ fn mergekit_output_cannot_resume_llmtailor_can() {
 /// yields a plan covering every unit exactly once.
 #[test]
 fn every_strategy_yields_coverable_logs() {
-    for strategy in [StrategyKind::Full, StrategyKind::Parity, StrategyKind::Filtered] {
+    for strategy in [
+        StrategyKind::Full,
+        StrategyKind::Parity,
+        StrategyKind::Filtered,
+    ] {
         let model = ModelConfig::tiny_test();
         let built = strategy.build();
         let window = built.cover_window();
@@ -193,7 +197,10 @@ fn pruning_preserves_recoverability() {
     let digests_before = PartialManifestDigests::read(&before);
 
     let pruned = llmtailor::prune_run(dir.path(), &cfg.model_config, 0).unwrap();
-    assert!(!pruned.is_empty(), "old parity checkpoints should be prunable");
+    assert!(
+        !pruned.is_empty(),
+        "old parity checkpoints should be prunable"
+    );
     // The two newest parity checkpoints survive.
     assert!(dir.path().join("checkpoint-10").exists());
     assert!(dir.path().join("checkpoint-8").exists());
@@ -240,7 +247,10 @@ fn merged_checkpoint_serves_inference() {
     // more step, so compare against a reload of checkpoint-4 instead).
     let mut h4 =
         CheckpointHandle::open(&dir.path().join("checkpoint-4"), LoadMode::LazyRange).unwrap();
-    assert!(h4.load_model().is_err(), "partial checkpoints don't serve inference");
+    assert!(
+        h4.load_model().is_err(),
+        "partial checkpoints don't serve inference"
+    );
 
     let batch = llmt_model::Batch::new(vec![1, 2, 3, 4], 1, 4);
     let logits = model.forward_logits(&batch);
@@ -258,7 +268,9 @@ fn merged_checkpoint_serves_inference() {
         &mut rng,
     );
     assert_eq!(out.len(), 8);
-    assert!(out.iter().all(|t| (*t as usize) < cfg.model_config.vocab_size));
+    assert!(out
+        .iter()
+        .all(|t| (*t as usize) < cfg.model_config.vocab_size));
     let _ = live_model;
 }
 
@@ -296,8 +308,7 @@ fn dynamic_async_pipeline_end_to_end() {
     let mut t = Trainer::new(cfg.clone());
     t.train_until(14, Some(11)).unwrap();
     drop(t);
-    let (merged, report) =
-        recover_checkpoint(dir.path(), &cfg.model_config, 11, "merged").unwrap();
+    let (merged, report) = recover_checkpoint(dir.path(), &cfg.model_config, 11, "merged").unwrap();
     assert!(report.sources >= 1);
     let mut resumed = resume_trainer(&merged, cfg).unwrap();
     resumed.train_until(14, None).unwrap();
@@ -316,8 +327,8 @@ fn eval_scores_survive_the_checkpoint_boundary() {
     t.train_until(3, None).unwrap();
     let live = t.model.clone();
     drop(t);
-    let mut h = CheckpointHandle::open(&dir.path().join("checkpoint-3"), LoadMode::EagerFull)
-        .unwrap();
+    let mut h =
+        CheckpointHandle::open(&dir.path().join("checkpoint-3"), LoadMode::EagerFull).unwrap();
     let loaded = h.load_model().unwrap();
     // Build a small suite over the tiny vocab.
     let suite = llmt_eval::EvalSuite {
