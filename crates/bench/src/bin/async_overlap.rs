@@ -33,6 +33,8 @@ fn run(strategy: StrategyKind, async_ckpt: bool) -> (f64, f64, u64) {
         async_checkpointing: async_ckpt,
         max_grad_norm: None,
         crash_during_save: None,
+        dedup_checkpoints: false,
+        frozen_units: Vec::new(),
     });
     let report = t.train_until(18, None).unwrap();
     (

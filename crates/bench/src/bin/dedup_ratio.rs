@@ -1,0 +1,128 @@
+//! Dedup ratio of the content-addressed layer store across a
+//! multi-checkpoint run with frozen layers, plus a table-3-style
+//! dedup-aware merge, reported as JSON.
+//!
+//! Run: `cargo run --release -p llmt-bench --bin dedup_ratio [-- --smoke]`
+//!
+//! `--smoke` runs a seconds-scale CI check instead: train 3 steps with
+//! frozen layers under dedup checkpointing, assert the physical footprint
+//! is below the logical one, garbage-collect, and re-verify every
+//! checkpoint. Exits non-zero on any violation.
+
+use llmt_model::{LayerUnit, ModelConfig};
+use llmt_train::{recover_checkpoint, Trainer, TrainerConfig};
+use serde_json::json;
+use std::path::Path;
+
+/// Embeddings plus the first half of the transformer stack: the common
+/// partial-freeze fine-tuning setup, and the dedup store's best case.
+fn frozen_half(cfg: &ModelConfig) -> Vec<LayerUnit> {
+    let mut units = vec![LayerUnit::EmbedTokens];
+    units.extend((0..cfg.num_hidden_layers / 2).map(LayerUnit::Transformer));
+    units
+}
+
+fn check(ok: bool, what: &str) {
+    if !ok {
+        eprintln!("dedup smoke FAILED: {what}");
+        std::process::exit(1);
+    }
+}
+
+fn verify_all(root: &Path) {
+    for cp in llmt_ckpt::scan_run_root(root).committed {
+        let v = llmt_ckpt::verify_checkpoint(&cp.dir).unwrap();
+        check(
+            v.ok(),
+            &format!("{} failed verification: {:?}", cp.dir.display(), v.findings),
+        );
+    }
+}
+
+fn smoke() {
+    let dir = tempfile::tempdir().unwrap();
+    let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+    cfg.ckpt_interval = 1;
+    cfg.dedup_checkpoints = true;
+    cfg.frozen_units = frozen_half(&cfg.model_config);
+    let mut t = Trainer::new(cfg);
+    t.train_until(3, None).unwrap();
+    drop(t);
+
+    let du = llmtailor::du_run(dir.path()).unwrap();
+    check(du.checkpoints == 3, "expected 3 committed checkpoints");
+    check(
+        du.physical_bytes < du.logical_bytes,
+        &format!(
+            "no dedup savings: physical {} !< logical {}",
+            du.physical_bytes, du.logical_bytes
+        ),
+    );
+    // Everything is referenced: GC must be a no-op, and every checkpoint
+    // must still verify byte-for-byte afterwards.
+    let gc = llmtailor::collect_garbage(dir.path()).unwrap();
+    check(
+        gc.sweep.deleted_objects == 0,
+        &format!("GC deleted {} live objects", gc.sweep.deleted_objects),
+    );
+    verify_all(dir.path());
+    println!(
+        "dedup smoke OK: logical {} physical {} ratio {:.2} ({} objects)",
+        du.logical_bytes, du.physical_bytes, du.dedup_ratio, du.object_count
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    // Simulation-scale measurement: 3 checkpoints of a half-frozen model.
+    eprintln!("training 12 steps with dedup checkpoints every 4...");
+    let dir = tempfile::tempdir().unwrap();
+    let model = ModelConfig::llama31_8b_sim();
+    let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+    cfg.model_config = model.clone();
+    cfg.seq_len = 32;
+    cfg.ckpt_interval = 4;
+    cfg.dedup_checkpoints = true;
+    cfg.frozen_units = frozen_half(&model);
+    let mut t = Trainer::new(cfg);
+    let report = t.train_until(12, None).unwrap();
+    drop(t);
+
+    let du = llmtailor::du_run(dir.path()).unwrap();
+    verify_all(dir.path());
+
+    // Table-3-style assembly from the dedup run: the merge links frozen
+    // layers straight out of the object store instead of copying bytes.
+    eprintln!("merging a recovery checkpoint from the dedup run...");
+    let (merged, merge) = recover_checkpoint(dir.path(), &model, 1_000, "merged-dedup").unwrap();
+    let v = llmt_ckpt::verify_checkpoint(&merged).unwrap();
+    check(
+        v.ok(),
+        &format!("merged checkpoint failed verification: {:?}", v.findings),
+    );
+
+    let out = json!({
+        "run": {
+            "model": model.model_name,
+            "steps": 12,
+            "ckpt_steps": report.ckpt_steps,
+            "frozen_units": frozen_half(&model).len(),
+            "ckpt_bytes_physical": report.ckpt_io.bytes,
+            "ckpt_bytes_saved_by_dedup": report.ckpt_io.dedup_saved,
+        },
+        "du": du,
+        "merge": {
+            "output": merge.output,
+            "files_written": merge.files_written,
+            "bytes_written": merge.bytes_written,
+            "objects_linked": merge.objects_linked,
+            "physical_bytes": merge.physical_bytes,
+            "duration_ms": merge.duration.as_millis() as u64,
+        },
+    });
+    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+}

@@ -36,6 +36,8 @@ fn main() {
         async_checkpointing: false,
         max_grad_norm: None,
         crash_during_save: None,
+        dedup_checkpoints: false,
+        frozen_units: Vec::new(),
     };
     eprintln!("training 120 steps with checkpoints at 60 and 120...");
     let mut t = Trainer::new(tconf.clone());

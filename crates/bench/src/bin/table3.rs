@@ -30,6 +30,8 @@ fn measured(model: ModelConfig, task: DataTask, strategy: StrategyKind) -> (u64,
         async_checkpointing: false,
         max_grad_norm: None,
         crash_during_save: None,
+        dedup_checkpoints: false,
+        frozen_units: Vec::new(),
     });
     let report = t.train_until(24, None).unwrap();
     (

@@ -101,6 +101,8 @@ fn main() {
                 async_checkpointing: false,
                 max_grad_norm: None,
                 crash_during_save: None,
+                dedup_checkpoints: false,
+                frozen_units: Vec::new(),
             });
             let report = t.train_until(30, None).unwrap();
             (report.ckpt_io.bytes, report.measured_proportion())

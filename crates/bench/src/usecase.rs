@@ -81,6 +81,8 @@ impl UseCaseSpec {
             async_checkpointing: false,
             max_grad_norm: None,
             crash_during_save: None,
+            dedup_checkpoints: false,
+            frozen_units: Vec::new(),
         }
     }
 }

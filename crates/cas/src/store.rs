@@ -1,0 +1,350 @@
+//! The content-addressed object store.
+//!
+//! Layout, rooted next to a run's checkpoints:
+//!
+//! ```text
+//! <run_root>/objects/<hh>/<64-hex-digest>.obj     # hh = first hex byte
+//! <run_root>/objects/<hh>/<64-hex>.<nonce>.part   # staging debris only
+//! ```
+//!
+//! Every object is immutable: its name *is* the SHA-256 of its bytes, so
+//! a `put` of existing content is a metadata peek (zero counted storage
+//! ops), and two checkpoints sharing a layer share one inode. Writes are
+//! crash-safe by construction — payloads land in a `.part` file that is
+//! fsynced and atomically renamed into place, so a kill leaves either
+//! debris (swept by GC) or a complete, correctly-named object.
+
+use crate::digest::Digest;
+use llmt_storage::vfs::Storage;
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Directory name of the store under a run root.
+pub const OBJECTS_DIR: &str = "objects";
+
+/// Distinguishes concurrent writers staging the same digest (their
+/// payloads are identical, but their `.part` files must not collide).
+static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Result of [`ObjectStore::put`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// Content digest — the object's identity.
+    pub digest: Digest,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// False when the store already held the object (dedup hit).
+    pub written: bool,
+}
+
+/// Result of [`ObjectStore::sweep`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Objects retained because the live set references them.
+    pub live_objects: usize,
+    /// Objects deleted (unreferenced by any committed checkpoint).
+    pub deleted_objects: usize,
+    /// Bytes reclaimed by deleting dead objects.
+    pub reclaimed_bytes: u64,
+    /// `.part` staging debris files removed.
+    pub debris_removed: usize,
+}
+
+/// Handle on the `objects/` tree of one run root.
+#[derive(Debug, Clone)]
+pub struct ObjectStore {
+    root: PathBuf,
+}
+
+impl ObjectStore {
+    /// The store owned by `run_root` (i.e. `<run_root>/objects`).
+    pub fn for_run_root(run_root: &Path) -> ObjectStore {
+        ObjectStore {
+            root: run_root.join(OBJECTS_DIR),
+        }
+    }
+
+    /// The `objects/` directory itself.
+    pub fn root_dir(&self) -> &Path {
+        &self.root
+    }
+
+    /// Whether the store exists on disk at all (a run that never wrote a
+    /// deduplicated checkpoint has no `objects/` directory).
+    pub fn is_present(&self, storage: &dyn Storage) -> bool {
+        storage.exists(&self.root)
+    }
+
+    /// Final path of the object named by `digest`.
+    pub fn object_path(&self, digest: Digest) -> PathBuf {
+        let hex = digest.to_hex();
+        self.root.join(&hex[..2]).join(format!("{hex}.obj"))
+    }
+
+    /// Whether `digest` is stored. Uncounted metadata peek.
+    pub fn contains(&self, storage: &dyn Storage, digest: Digest) -> bool {
+        storage.exists(&self.object_path(digest))
+    }
+
+    /// Store `bytes`, deduplicating on content. Idempotent and crash-safe:
+    /// the payload is staged to a `.part` file, fsynced, then renamed to
+    /// its digest name. A dedup hit performs no counted storage ops.
+    pub fn put(&self, storage: &dyn Storage, bytes: &[u8]) -> io::Result<PutOutcome> {
+        let digest = Digest::of(bytes);
+        let path = self.object_path(digest);
+        if storage.exists(&path) {
+            return Ok(PutOutcome {
+                digest,
+                len: bytes.len() as u64,
+                written: false,
+            });
+        }
+        let fanout = path.parent().expect("object path has a fanout dir");
+        storage.create_dir_all(fanout)?;
+        let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+        let tmp = fanout.join(format!("{}.{nonce}.part", digest.to_hex()));
+        storage.write(&tmp, bytes)?;
+        storage.sync(&tmp)?;
+        storage.rename(&tmp, &path)?;
+        // Make the new directory entry durable before any manifest can
+        // reference it (the commit marker seals references, not bytes).
+        storage.sync(fanout)?;
+        Ok(PutOutcome {
+            digest,
+            len: bytes.len() as u64,
+            written: true,
+        })
+    }
+
+    /// Read an object's full payload.
+    pub fn get(&self, storage: &dyn Storage, digest: Digest) -> io::Result<Vec<u8>> {
+        storage.read(&self.object_path(digest))
+    }
+
+    /// Stored length of an object.
+    pub fn object_len(&self, storage: &dyn Storage, digest: Digest) -> io::Result<u64> {
+        storage.file_len(&self.object_path(digest))
+    }
+
+    /// Enumerate all stored objects as `(digest, len)`. An absent store
+    /// lists as empty. Unparseable names are ignored (they are not
+    /// addressable, so they are GC debris, not objects).
+    pub fn list(&self, storage: &dyn Storage) -> io::Result<Vec<(Digest, u64)>> {
+        let mut out = Vec::new();
+        self.walk(storage, |path| {
+            if let Some(d) = object_name(path) {
+                out.push((d, storage.file_len(path)?));
+            }
+            Ok(())
+        })?;
+        out.sort();
+        Ok(out)
+    }
+
+    /// Garbage-collect: delete every object whose digest is not in
+    /// `live`, plus any `.part` staging debris.
+    ///
+    /// Crash safety: the sweep only ever deletes paths that are *dead at
+    /// the time of the call* — it never touches a live object, so a kill
+    /// at any storage op leaves all live objects intact and merely
+    /// postpones the remaining deletions to the next sweep. Callers must
+    /// compute `live` from committed, non-quarantined manifests *before*
+    /// sweeping (checkpoint deletion first, GC second).
+    pub fn sweep(&self, storage: &dyn Storage, live: &BTreeSet<Digest>) -> io::Result<SweepReport> {
+        let mut report = SweepReport::default();
+        self.walk(storage, |path| {
+            match object_name(path) {
+                Some(d) if live.contains(&d) => report.live_objects += 1,
+                Some(_) => {
+                    let len = storage.file_len(path)?;
+                    storage.remove_file(path)?;
+                    report.deleted_objects += 1;
+                    report.reclaimed_bytes += len;
+                }
+                None => {
+                    if path.extension().is_some_and(|e| e == "part") {
+                        storage.remove_file(path)?;
+                        report.debris_removed += 1;
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        Ok(report)
+    }
+
+    /// Visit every file in the fanout tree.
+    fn walk(
+        &self,
+        storage: &dyn Storage,
+        mut f: impl FnMut(&Path) -> io::Result<()>,
+    ) -> io::Result<()> {
+        if !storage.exists(&self.root) {
+            return Ok(());
+        }
+        let mut fanouts = storage.list_dir(&self.root)?;
+        fanouts.sort();
+        for fanout in fanouts {
+            if !fanout.is_dir() {
+                continue;
+            }
+            let mut entries = storage.list_dir(&fanout)?;
+            entries.sort();
+            for entry in entries {
+                f(&entry)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse `<64-hex>.obj` file names back into digests.
+fn object_name(path: &Path) -> Option<Digest> {
+    if path.extension()? != "obj" {
+        return None;
+    }
+    Digest::parse_hex(path.file_stem()?.to_str()?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmt_storage::vfs::{FaultKind, FaultSpec, FaultyFs, LocalFs};
+
+    fn store(dir: &Path) -> ObjectStore {
+        ObjectStore::for_run_root(dir)
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_dedup() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let fs = LocalFs;
+        let first = s.put(&fs, b"layer bytes").unwrap();
+        assert!(first.written);
+        assert_eq!(first.len, 11);
+        let again = s.put(&fs, b"layer bytes").unwrap();
+        assert!(!again.written, "identical content must dedup");
+        assert_eq!(again.digest, first.digest);
+        assert_eq!(s.get(&fs, first.digest).unwrap(), b"layer bytes");
+        assert_eq!(s.object_len(&fs, first.digest).unwrap(), 11);
+        assert_eq!(s.list(&fs).unwrap(), vec![(first.digest, 11)]);
+    }
+
+    #[test]
+    fn dedup_hit_costs_zero_counted_ops() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let fs = FaultyFs::new(LocalFs, FaultSpec::never());
+        s.put(&fs, b"once").unwrap();
+        let before = fs.ops_attempted();
+        let hit = s.put(&fs, b"once").unwrap();
+        assert!(!hit.written);
+        assert_eq!(
+            fs.ops_attempted(),
+            before,
+            "a dedup hit must be a pure metadata peek"
+        );
+    }
+
+    #[test]
+    fn interrupted_put_leaves_only_debris_and_is_retryable() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        // Kill at every op of a single put; the object must either be
+        // fully present under its digest name or absent entirely.
+        let clean = FaultyFs::new(LocalFs, FaultSpec::never());
+        s.put(&clean, b"probe").unwrap();
+        let ops_per_put = clean.ops_attempted();
+        for k in 0..ops_per_put {
+            let kdir = tempfile::tempdir().unwrap();
+            let ks = store(kdir.path());
+            let fs = FaultyFs::with_seed(
+                LocalFs,
+                FaultSpec {
+                    at_op: k,
+                    kind: FaultKind::TornWrite { keep_bytes: None },
+                },
+                k,
+            );
+            let err = ks.put(&fs, b"payload-under-test").unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe, "kill {k}");
+            let d = Digest::of(b"payload-under-test");
+            if ks.contains(&LocalFs, d) {
+                assert_eq!(ks.get(&LocalFs, d).unwrap(), b"payload-under-test");
+            }
+            // Whatever remains, a retry on healthy storage converges.
+            let out = ks.put(&LocalFs, b"payload-under-test").unwrap();
+            assert_eq!(ks.get(&LocalFs, out.digest).unwrap(), b"payload-under-test");
+            // And GC clears any .part debris the kill left behind.
+            let live: BTreeSet<Digest> = [out.digest].into();
+            let swept = ks.sweep(&LocalFs, &live).unwrap();
+            assert_eq!(swept.deleted_objects, 0);
+            assert!(ks.contains(&LocalFs, out.digest));
+        }
+    }
+
+    #[test]
+    fn sweep_deletes_only_dead_objects() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let fs = LocalFs;
+        let live_obj = s.put(&fs, b"still referenced").unwrap();
+        let dead_obj = s.put(&fs, b"orphaned").unwrap();
+        let live: BTreeSet<Digest> = [live_obj.digest].into();
+        let report = s.sweep(&fs, &live).unwrap();
+        assert_eq!(report.live_objects, 1);
+        assert_eq!(report.deleted_objects, 1);
+        assert_eq!(report.reclaimed_bytes, 8);
+        assert!(s.contains(&fs, live_obj.digest));
+        assert!(!s.contains(&fs, dead_obj.digest));
+    }
+
+    #[test]
+    fn killed_sweep_never_deletes_a_live_object() {
+        // Census the op count of a clean sweep, then kill at every op.
+        let census_dir = tempfile::tempdir().unwrap();
+        let cs = store(census_dir.path());
+        let mut live = BTreeSet::new();
+        live.insert(cs.put(&LocalFs, b"live-a").unwrap().digest);
+        live.insert(cs.put(&LocalFs, b"live-b").unwrap().digest);
+        cs.put(&LocalFs, b"dead-a").unwrap();
+        cs.put(&LocalFs, b"dead-b").unwrap();
+        let census_fs = FaultyFs::new(LocalFs, FaultSpec::never());
+        cs.sweep(&census_fs, &live).unwrap();
+        let total_ops = census_fs.ops_attempted();
+        assert!(total_ops > 4);
+
+        for k in 0..total_ops {
+            let dir = tempfile::tempdir().unwrap();
+            let s = store(dir.path());
+            let mut live = BTreeSet::new();
+            live.insert(s.put(&LocalFs, b"live-a").unwrap().digest);
+            live.insert(s.put(&LocalFs, b"live-b").unwrap().digest);
+            s.put(&LocalFs, b"dead-a").unwrap();
+            s.put(&LocalFs, b"dead-b").unwrap();
+            let fs = FaultyFs::with_seed(
+                LocalFs,
+                FaultSpec {
+                    at_op: k,
+                    kind: FaultKind::TornWrite { keep_bytes: None },
+                },
+                k,
+            );
+            s.sweep(&fs, &live).unwrap_err();
+            for d in &live {
+                assert!(
+                    s.contains(&LocalFs, *d),
+                    "kill at op {k} deleted live object {d}"
+                );
+                assert!(s.get(&LocalFs, *d).is_ok());
+            }
+            // A post-crash sweep finishes the job.
+            let report = s.sweep(&LocalFs, &live).unwrap();
+            assert_eq!(report.live_objects, 2, "kill at op {k}");
+            assert_eq!(s.list(&LocalFs).unwrap().len(), 2, "kill at op {k}");
+        }
+    }
+}

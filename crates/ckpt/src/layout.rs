@@ -146,6 +146,25 @@ impl CheckpointPaths {
         ))
     }
 
+    /// Directory of per-unit weight files in a deduplicated checkpoint
+    /// (each file a hard link into the run's object store).
+    pub fn units_dir(&self) -> PathBuf {
+        self.dir.join("units")
+    }
+
+    /// The weight file of one unit in a deduplicated checkpoint.
+    /// `unit_key` is the canonical `LayerUnit` string (`layers.3`, …).
+    pub fn unit_weights(&self, unit_key: &str) -> PathBuf {
+        self.units_dir().join(format!("{unit_key}.safetensors"))
+    }
+
+    /// The per-(rank, group) optimizer-state file of a deduplicated
+    /// checkpoint — the dedup granule of the 2L+x layout.
+    pub fn optim_group(&self, rank: usize, gid: usize) -> PathBuf {
+        self.global_step_dir()
+            .join(format!("rank{rank}_group{gid}_optim_states.safetensors"))
+    }
+
     /// Total on-disk size of the checkpoint (recursive), in bytes.
     pub fn total_bytes(&self) -> std::io::Result<u64> {
         fn walk(dir: &Path) -> std::io::Result<u64> {

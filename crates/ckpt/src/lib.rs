@@ -38,11 +38,12 @@ pub mod zero_meta;
 
 pub use error::{CkptError, Result};
 pub use layout::{scan_run_root, CheckpointPaths, CommitStatus, QuarantinedDir, ScanReport};
-pub use manifest::{effective_save_log, PartialManifest};
+pub use manifest::{effective_save_log, CasRefs, ObjectRef, PartialManifest};
 pub use reader::{CheckpointHandle, LoadMode};
 pub use trainer_state::TrainerState;
 pub use verify::{verify_checkpoint, VerifyReport};
 pub use writer::{
-    commit_checkpoint, save_checkpoint, save_checkpoint_on, CheckpointReport, SaveRequest,
+    commit_checkpoint, save_checkpoint, save_checkpoint_dedup, save_checkpoint_dedup_on,
+    save_checkpoint_on, CheckpointReport, SaveRequest,
 };
 pub use zero_meta::ZeroMeta;

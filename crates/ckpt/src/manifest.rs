@@ -16,6 +16,49 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
+/// Reference to one content-addressed object backing part of a
+/// deduplicated checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectRef {
+    /// 64-hex-char 256-bit content digest; the object lives at
+    /// `<run_root>/objects/<hex[..2]>/<hex>.obj`.
+    pub digest: String,
+    /// Payload length in bytes.
+    pub bytes: u64,
+}
+
+/// Object references of a deduplicated (CAS-backed) checkpoint.
+///
+/// These live *inside* the manifest on purpose: the COMMIT marker carries
+/// a digest of the manifest bytes, so sealing a checkpoint atomically
+/// seals its object references too — no second protocol needed, and a
+/// reference is trusted iff its checkpoint is committed. GC liveness
+/// derives from exactly this rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CasRefs {
+    /// Unit key (canonical [`LayerUnit`] string) -> weights object.
+    pub weights: BTreeMap<String, ObjectRef>,
+    /// `rank<r>/group<g>` -> optimizer-state object.
+    pub optim: BTreeMap<String, ObjectRef>,
+}
+
+impl CasRefs {
+    /// Map key of the optimizer object for `(rank, gid)`.
+    pub fn optim_key(rank: usize, gid: usize) -> String {
+        format!("rank{rank}/group{gid}")
+    }
+
+    /// Every referenced object, weights then optimizer state.
+    pub fn iter_all(&self) -> impl Iterator<Item = (&String, &ObjectRef)> {
+        self.weights.iter().chain(self.optim.iter())
+    }
+
+    /// Total logical payload bytes across all references.
+    pub fn total_bytes(&self) -> u64 {
+        self.iter_all().map(|(_, r)| r.bytes).sum()
+    }
+}
+
 /// Manifest of one (possibly partial) checkpoint.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartialManifest {
@@ -27,6 +70,12 @@ pub struct PartialManifest {
     pub weight_digests: BTreeMap<String, u64>,
     /// Whether the checkpoint claims to be complete.
     pub full: bool,
+    /// Content-addressed object references, for deduplicated checkpoints
+    /// whose payload files are hard links into `<run_root>/objects/`.
+    /// `None` for conventional checkpoints (and for every pre-CAS
+    /// manifest on disk, via the serde default).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub objects: Option<CasRefs>,
 }
 
 impl PartialManifest {
@@ -169,6 +218,7 @@ mod tests {
             units: vec![LayerUnit::EmbedTokens, LayerUnit::Transformer(1)],
             weight_digests: digests,
             full: false,
+            objects: None,
         };
         m.save(&p).unwrap();
         let back = PartialManifest::load(&p).unwrap();
@@ -213,6 +263,7 @@ mod tests {
                 units: vec![LayerUnit::FinalNorm],
                 weight_digests: BTreeMap::new(),
                 full: false,
+                objects: None,
             };
             m.save(&cp.manifest()).unwrap();
             if committed {
@@ -249,6 +300,7 @@ mod tests {
             units: vec![LayerUnit::EmbedTokens],
             weight_digests: BTreeMap::new(),
             full: false,
+            objects: None,
         };
         m.save(&cp.manifest()).unwrap();
         let bytes = std::fs::read(cp.manifest()).unwrap();

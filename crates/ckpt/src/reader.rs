@@ -22,7 +22,7 @@ use llmt_storage::vfs::{LocalFs, Storage};
 use llmt_tensor::RawTensor;
 use llmt_zero::{RankState, ShardState};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// How file contents are fetched.
@@ -74,10 +74,14 @@ pub struct CheckpointHandle {
     commit: CommitStatus,
     storage: Arc<dyn Storage>,
     stats: IoStats,
-    model_cache: Option<HashMap<String, RawTensor>>,
-    model_index: Option<SafetensorsIndex>,
-    shard_cache: HashMap<usize, HashMap<String, RawTensor>>,
-    shard_index: HashMap<usize, SafetensorsIndex>,
+    /// Tensor name -> unit key, for deduplicated (CAS) checkpoints whose
+    /// weights live in per-unit files instead of one `model.safetensors`.
+    /// `None` for conventional checkpoints.
+    cas_weight_unit: Option<HashMap<String, String>>,
+    /// Whole-file tensor caches (eager mode), keyed by file path.
+    file_cache: HashMap<PathBuf, HashMap<String, RawTensor>>,
+    /// Parsed headers (lazy mode), keyed by file path.
+    file_index: HashMap<PathBuf, SafetensorsIndex>,
 }
 
 impl CheckpointHandle {
@@ -128,6 +132,18 @@ impl CheckpointHandle {
             None
         };
         let commit = CommitStatus::evaluate(marker_bytes.as_deref(), manifest_bytes.as_deref());
+        // A manifest with object refs marks a deduplicated checkpoint:
+        // weights resolve through per-unit files, optimizer state through
+        // per-(rank, group) files.
+        let cas_weight_unit = manifest.as_ref().filter(|m| m.objects.is_some()).map(|m| {
+            let mut map = HashMap::new();
+            for unit in &m.units {
+                for spec in unit_param_specs(&config, *unit) {
+                    map.insert(spec.name, unit.as_string());
+                }
+            }
+            map
+        });
         Ok(CheckpointHandle {
             paths,
             config,
@@ -138,10 +154,9 @@ impl CheckpointHandle {
             commit,
             storage,
             stats: IoStats::default(),
-            model_cache: None,
-            model_index: None,
-            shard_cache: HashMap::new(),
-            shard_index: HashMap::new(),
+            cas_weight_unit,
+            file_cache: HashMap::new(),
+            file_index: HashMap::new(),
         })
     }
 
@@ -171,62 +186,89 @@ impl CheckpointHandle {
     /// Drop all cached file contents ("discard" in the paper's parity-load
     /// description); the next access re-reads from disk.
     pub fn evict(&mut self) {
-        self.model_cache = None;
-        self.model_index = None;
-        self.shard_cache.clear();
-        self.shard_index.clear();
+        self.file_cache.clear();
+        self.file_index.clear();
     }
 
-    fn ensure_model_loaded(&mut self) -> Result<()> {
+    /// The file holding weight tensor `name`: the per-unit object link
+    /// for deduplicated checkpoints, `model.safetensors` otherwise.
+    fn weight_file(&self, name: &str) -> Result<PathBuf> {
+        match &self.cas_weight_unit {
+            None => Ok(self.paths.model()),
+            Some(map) => map
+                .get(name)
+                .map(|key| self.paths.unit_weights(key))
+                .ok_or_else(|| CkptError::Missing(format!("weight '{name}'"))),
+        }
+    }
+
+    /// The file holding rank `rank`'s shard of group `gid`.
+    fn shard_file(&self, rank: usize, gid: usize) -> PathBuf {
+        if self.cas_weight_unit.is_some() {
+            self.paths.optim_group(rank, gid)
+        } else {
+            self.paths.optim_shard(rank)
+        }
+    }
+
+    /// Load a file's contents (eager) or header (lazy) into the cache.
+    fn ensure_file_loaded(&mut self, path: &Path) -> Result<()> {
         match self.mode {
             LoadMode::EagerFull => {
-                if self.model_cache.is_none() {
-                    let path = self.paths.model();
-                    let len = self.storage.file_len(&path).map_err(io_err(&path))?;
-                    let (tensors, _) = safetensors::read_file_on(&*self.storage, &path)?;
+                if !self.file_cache.contains_key(path) {
+                    let len = self.storage.file_len(path).map_err(io_err(path))?;
+                    let (tensors, _) = safetensors::read_file_on(&*self.storage, path)?;
                     self.stats.bytes_read += len;
                     self.stats.files_opened += 1;
                     self.stats.full_loads += 1;
-                    self.model_cache = Some(tensors.into_iter().collect());
+                    self.file_cache
+                        .insert(path.to_path_buf(), tensors.into_iter().collect());
                 }
             }
             LoadMode::LazyRange => {
-                if self.model_index.is_none() {
-                    let path = self.paths.model();
-                    let index = safetensors::open_index_on(&*self.storage, &path)?;
+                if !self.file_index.contains_key(path) {
+                    let index = safetensors::open_index_on(&*self.storage, path)?;
                     self.stats.files_opened += 1;
                     self.stats.bytes_read += index.data_start; // header bytes
-                    self.model_index = Some(index);
+                    self.file_index.insert(path.to_path_buf(), index);
                 }
             }
         }
         Ok(())
     }
 
-    /// Read one named weight tensor.
-    pub fn weight(&mut self, name: &str) -> Result<RawTensor> {
-        self.ensure_model_loaded()?;
+    /// Read one named tensor out of `path` under the handle's load mode.
+    fn fetch_tensor(&mut self, path: &Path, name: &str) -> Result<RawTensor> {
+        self.ensure_file_loaded(path)?;
         self.stats.tensor_reads += 1;
         match self.mode {
             LoadMode::EagerFull => self
-                .model_cache
-                .as_ref()
+                .file_cache
+                .get(path)
                 .unwrap()
                 .get(name)
                 .cloned()
-                .ok_or_else(|| CkptError::Missing(format!("weight '{name}'"))),
+                .ok_or_else(|| CkptError::Missing(format!("tensor '{name}'"))),
             LoadMode::LazyRange => {
-                let index = self.model_index.as_ref().unwrap();
-                let t = safetensors::read_tensor_at_on(
-                    &*self.storage,
-                    &self.paths.model(),
-                    index,
-                    name,
-                )?;
+                let index = self.file_index.get(path).unwrap();
+                let t = safetensors::read_tensor_at_on(&*self.storage, path, index, name)?;
                 self.stats.bytes_read += t.byte_len() as u64;
                 Ok(t)
             }
         }
+    }
+
+    /// Read one named weight tensor.
+    pub fn weight(&mut self, name: &str) -> Result<RawTensor> {
+        let path = self.weight_file(name)?;
+        self.fetch_tensor(&path, name).map_err(|e| match e {
+            // Keep the conventional "weight 'x'" wording for missing
+            // names regardless of which file backed the lookup.
+            CkptError::Missing(m) if m.starts_with("tensor ") => {
+                CkptError::Missing(format!("weight '{name}'"))
+            }
+            other => other,
+        })
     }
 
     /// Read every weight tensor of one unit (canonical order).
@@ -244,38 +286,6 @@ impl CheckpointHandle {
             .collect()
     }
 
-    fn ensure_shard_loaded(&mut self, rank: usize) -> Result<()> {
-        if rank >= self.zero_meta.world_size {
-            return Err(CkptError::Incompatible(format!(
-                "rank {rank} out of world size {}",
-                self.zero_meta.world_size
-            )));
-        }
-        match self.mode {
-            LoadMode::EagerFull => {
-                if !self.shard_cache.contains_key(&rank) {
-                    let path = self.paths.optim_shard(rank);
-                    let len = self.storage.file_len(&path).map_err(io_err(&path))?;
-                    let (tensors, _) = safetensors::read_file_on(&*self.storage, &path)?;
-                    self.stats.bytes_read += len;
-                    self.stats.files_opened += 1;
-                    self.stats.full_loads += 1;
-                    self.shard_cache.insert(rank, tensors.into_iter().collect());
-                }
-            }
-            LoadMode::LazyRange => {
-                if !self.shard_index.contains_key(&rank) {
-                    let path = self.paths.optim_shard(rank);
-                    let index = safetensors::open_index_on(&*self.storage, &path)?;
-                    self.stats.files_opened += 1;
-                    self.stats.bytes_read += index.data_start;
-                    self.shard_index.insert(rank, index);
-                }
-            }
-        }
-        Ok(())
-    }
-
     /// Read one rank's shard of one optimizer group.
     pub fn group_shard(&mut self, rank: usize, group_id: usize) -> Result<ShardState> {
         if !self.zero_meta.has_group(group_id) {
@@ -284,35 +294,28 @@ impl CheckpointHandle {
                 self.paths.step
             )));
         }
-        self.ensure_shard_loaded(rank)?;
+        if rank >= self.zero_meta.world_size {
+            return Err(CkptError::Incompatible(format!(
+                "rank {rank} out of world size {}",
+                self.zero_meta.world_size
+            )));
+        }
+        let path = self.shard_file(rank, group_id);
         let names = shard_tensor_names(group_id);
-        let fetch = |this: &mut Self, name: &str| -> Result<Vec<f32>> {
-            this.stats.tensor_reads += 1;
-            match this.mode {
-                LoadMode::EagerFull => this
-                    .shard_cache
-                    .get(&rank)
-                    .unwrap()
-                    .get(name)
-                    .map(|t| t.to_f32s())
-                    .ok_or_else(|| CkptError::Missing(format!("shard tensor '{name}'"))),
-                LoadMode::LazyRange => {
-                    let index = this.shard_index.get(&rank).unwrap();
-                    let t = safetensors::read_tensor_at_on(
-                        &*this.storage,
-                        &this.paths.optim_shard(rank),
-                        index,
-                        name,
-                    )?;
-                    this.stats.bytes_read += t.byte_len() as u64;
-                    Ok(t.to_f32s())
-                }
-            }
+        let mut fetch = |name: &str| -> Result<Vec<f32>> {
+            self.fetch_tensor(&path, name)
+                .map(|t| t.to_f32s())
+                .map_err(|e| match e {
+                    CkptError::Missing(m) if m.starts_with("tensor ") => {
+                        CkptError::Missing(format!("shard tensor '{name}'"))
+                    }
+                    other => other,
+                })
         };
         Ok(ShardState {
-            master: fetch(self, &names[0])?,
-            exp_avg: fetch(self, &names[1])?,
-            exp_avg_sq: fetch(self, &names[2])?,
+            master: fetch(&names[0])?,
+            exp_avg: fetch(&names[1])?,
+            exp_avg_sq: fetch(&names[2])?,
         })
     }
 
@@ -557,6 +560,64 @@ mod tests {
         std::fs::write(ckpt_dir.join("COMMIT"), b"not a marker").unwrap();
         let h = CheckpointHandle::open(&ckpt_dir, LoadMode::EagerFull).unwrap();
         assert!(matches!(h.commit_status(), CommitStatus::Corrupt(_)));
+    }
+
+    #[test]
+    fn dedup_checkpoint_reads_identical_to_plain_checkpoint() {
+        use crate::writer::save_checkpoint_dedup;
+        let cfg = ModelConfig::tiny_test();
+        let dir = tempfile::tempdir().unwrap();
+        let (model, engine) = write_ckpt(dir.path(), &cfg, 10, &LayerUnit::all(&cfg));
+        // Save the same state again, deduplicated, at a different step.
+        let ts = TrainerState {
+            global_step: 20,
+            ckpt_event: 1,
+            lr_schedule: LrSchedule::Constant { lr: 1e-3 },
+            last_lr: 1e-3,
+            loss_history: vec![(20, 2.0)],
+            data_rng: Prng::seed_from_u64(2),
+            task: "test".into(),
+            model_name: cfg.model_name.clone(),
+            micro_batch: 2,
+            grad_accum: 1,
+            seq_len: 8,
+        };
+        save_checkpoint_dedup(&SaveRequest {
+            root: dir.path(),
+            step: 20,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &LayerUnit::all(&cfg),
+        })
+        .unwrap();
+        let plain_dir = dir.path().join("checkpoint-10");
+        let cas_dir = dir.path().join("checkpoint-20");
+        for mode in [LoadMode::EagerFull, LoadMode::LazyRange] {
+            let mut plain = CheckpointHandle::open(&plain_dir, mode).unwrap();
+            let mut cas = CheckpointHandle::open(&cas_dir, mode).unwrap();
+            assert!(cas.is_committed());
+            for unit in LayerUnit::all(&cfg) {
+                assert_eq!(
+                    plain.unit_weights(unit).unwrap(),
+                    cas.unit_weights(unit).unwrap(),
+                    "{unit} weights differ between layouts"
+                );
+            }
+            for rank in 0..2 {
+                assert_eq!(
+                    plain.rank_state_full(rank).unwrap(),
+                    cas.rank_state_full(rank).unwrap()
+                );
+            }
+        }
+        // Unknown weight names still surface the conventional error.
+        let mut cas = CheckpointHandle::open(&cas_dir, LoadMode::EagerFull).unwrap();
+        assert!(matches!(
+            cas.weight("no.such.tensor").unwrap_err(),
+            CkptError::Missing(m) if m.contains("weight")
+        ));
     }
 
     #[test]

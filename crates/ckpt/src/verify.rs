@@ -71,8 +71,85 @@ pub fn verify_checkpoint(dir: &Path) -> Result<VerifyReport> {
         find("COMMIT", h.commit_status().describe(), &mut report);
     }
 
-    // Weights: shape + digest per manifest-listed unit.
+    // Content-addressed references (deduplicated checkpoints): every
+    // referenced object must back an existing link whose bytes hash to the
+    // recorded digest, and — when the run root still has an object store —
+    // must be present in it. A bit flip in a shared object corrupts every
+    // checkpoint referencing it, so this is checked byte-for-byte.
     let manifest = h.manifest.clone();
+    if let Some(refs) = manifest.as_ref().and_then(|m| m.objects.as_ref()) {
+        let store = h
+            .paths
+            .dir
+            .parent()
+            .map(llmt_cas::ObjectStore::for_run_root);
+        for (key, object) in refs.iter_all() {
+            let link = match key.strip_prefix("rank") {
+                // "rank<r>/group<g>" -> per-(rank, group) optimizer file.
+                Some(rest) => match rest.split_once("/group") {
+                    Some((r, g)) => match (r.parse::<usize>(), g.parse::<usize>()) {
+                        (Ok(rank), Ok(gid)) => h.paths.optim_group(rank, gid),
+                        _ => {
+                            find(key, "unparseable object reference key".into(), &mut report);
+                            continue;
+                        }
+                    },
+                    None => {
+                        find(key, "unparseable object reference key".into(), &mut report);
+                        continue;
+                    }
+                },
+                None => h.paths.unit_weights(key),
+            };
+            let digest = match llmt_cas::Digest::parse_hex(&object.digest) {
+                Ok(d) => d,
+                Err(e) => {
+                    find(
+                        key,
+                        format!("malformed object digest '{}': {e}", object.digest),
+                        &mut report,
+                    );
+                    continue;
+                }
+            };
+            match std::fs::read(&link) {
+                Err(_) => find(
+                    key,
+                    format!("object-backed file missing (digest {digest})"),
+                    &mut report,
+                ),
+                Ok(bytes) => {
+                    if bytes.len() as u64 != object.bytes {
+                        find(
+                            key,
+                            format!("object length {} != manifest {}", bytes.len(), object.bytes),
+                            &mut report,
+                        );
+                    }
+                    let actual = llmt_cas::Digest::of(&bytes);
+                    if actual != digest {
+                        find(
+                            key,
+                            format!("object digest mismatch: manifest {digest}, file {actual}"),
+                            &mut report,
+                        );
+                    }
+                }
+            }
+            if let Some(store) = &store {
+                let fs = llmt_storage::vfs::LocalFs;
+                if store.is_present(&fs) && !store.contains(&fs, digest) {
+                    find(
+                        key,
+                        format!("referenced object {digest} absent from store"),
+                        &mut report,
+                    );
+                }
+            }
+        }
+    }
+
+    // Weights: shape + digest per manifest-listed unit.
     for unit in h.units_present() {
         for spec in unit_param_specs(&h.config, unit) {
             match h.weight(&spec.name) {

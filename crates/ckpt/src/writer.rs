@@ -23,10 +23,11 @@
 
 use crate::error::{io_err, CkptError, Result};
 use crate::layout::{commit_marker_contents, CheckpointPaths};
-use crate::manifest::PartialManifest;
+use crate::manifest::{CasRefs, ObjectRef, PartialManifest};
 use crate::safetensors;
 use crate::trainer_state::TrainerState;
 use crate::zero_meta::{shard_tensor_names, GroupMeta, ZeroMeta};
+use llmt_cas::ObjectStore;
 use llmt_model::naming::unit_param_specs;
 use llmt_model::{LayerUnit, ModelConfig, ParamSet};
 use llmt_storage::vfs::{LocalFs, Storage};
@@ -60,9 +61,10 @@ pub struct SaveRequest<'a> {
 pub struct CheckpointReport {
     /// Paths of the written checkpoint.
     pub paths: CheckpointPaths,
-    /// Total bytes across all files.
+    /// Total *logical* bytes across all files (what a conventional save
+    /// would have written).
     pub total_bytes: u64,
-    /// Bytes of `model.safetensors`.
+    /// Bytes of the model weight payload.
     pub model_bytes: u64,
     /// Bytes across all optimizer shard files.
     pub optim_bytes: u64,
@@ -70,6 +72,12 @@ pub struct CheckpointReport {
     pub files_written: usize,
     /// Units stored.
     pub units: Vec<LayerUnit>,
+    /// Bytes physically written: new object payloads plus metadata.
+    /// Equals `total_bytes` for conventional saves; smaller whenever a
+    /// deduplicated save hit existing objects.
+    pub physical_bytes: u64,
+    /// Payload bytes satisfied by objects already in the store.
+    pub dedup_bytes: u64,
 }
 
 /// Save a (possibly partial) checkpoint on the local filesystem.
@@ -77,11 +85,33 @@ pub fn save_checkpoint(req: &SaveRequest) -> Result<CheckpointReport> {
     save_checkpoint_on(&LocalFs, req)
 }
 
+/// [`save_checkpoint_dedup_on`] on the local filesystem.
+pub fn save_checkpoint_dedup(req: &SaveRequest) -> Result<CheckpointReport> {
+    save_checkpoint_dedup_on(&LocalFs, req)
+}
+
 /// Save a (possibly partial) checkpoint through a [`Storage`], using the
 /// two-phase commit protocol. Returns a size report on success; on failure
 /// the staging directory is removed best-effort before the error is
 /// surfaced.
 pub fn save_checkpoint_on(storage: &dyn Storage, req: &SaveRequest) -> Result<CheckpointReport> {
+    save_impl(storage, req, false)
+}
+
+/// Deduplicated save: layer payloads go through the content-addressed
+/// store at `<root>/objects/` and the checkpoint directory holds hard
+/// links plus metadata. A unit whose bytes are already stored (frozen
+/// layer, repeated selective save) costs no payload write at all. The
+/// commit protocol is unchanged — objects are made durable *before* the
+/// COMMIT marker seals the manifest that references them.
+pub fn save_checkpoint_dedup_on(
+    storage: &dyn Storage,
+    req: &SaveRequest,
+) -> Result<CheckpointReport> {
+    save_impl(storage, req, true)
+}
+
+fn save_impl(storage: &dyn Storage, req: &SaveRequest, dedup: bool) -> Result<CheckpointReport> {
     let config = req.config;
     for u in req.units {
         if !u.exists_in(config) {
@@ -117,7 +147,7 @@ pub fn save_checkpoint_on(storage: &dyn Storage, req: &SaveRequest) -> Result<Ch
         .collect();
 
     let staging = CheckpointPaths::staging_under(req.root, req.step);
-    match write_staged_and_commit(storage, req, &staging, units, &present, full) {
+    match write_staged_and_commit(storage, req, &staging, units, &present, full, dedup) {
         Ok(report) => Ok(report),
         Err(e) => {
             // Best-effort debris removal: a failed save must not leave a
@@ -132,6 +162,43 @@ pub fn save_checkpoint_on(storage: &dyn Storage, req: &SaveRequest) -> Result<Ch
     }
 }
 
+/// The three Adam state vectors of one `(rank, group)` shard, named for
+/// safetensors storage.
+fn shard_tensors(engine: &ZeroEngine, rank: usize, gid: usize) -> Vec<(String, RawTensor)> {
+    let shard = &engine.ranks[rank].shards[gid];
+    let names = shard_tensor_names(gid);
+    let len = shard.master.len();
+    vec![
+        (
+            names[0].clone(),
+            RawTensor::from_f32s(&shard.master, Shape::new(vec![len]), DType::F32),
+        ),
+        (
+            names[1].clone(),
+            RawTensor::from_f32s(&shard.exp_avg, Shape::new(vec![len]), DType::F32),
+        ),
+        (
+            names[2].clone(),
+            RawTensor::from_f32s(&shard.exp_avg_sq, Shape::new(vec![len]), DType::F32),
+        ),
+    ]
+}
+
+/// Put `img` into the store (dedup on content) and hard-link the object
+/// into the staging directory at `dest`.
+fn put_object(
+    storage: &dyn Storage,
+    store: &ObjectStore,
+    img: &[u8],
+    dest: &Path,
+) -> Result<llmt_cas::PutOutcome> {
+    let out = store.put(storage, img).map_err(io_err(store.root_dir()))?;
+    storage
+        .hard_link(&store.object_path(out.digest), dest)
+        .map_err(io_err(dest))?;
+    Ok(out)
+}
+
 /// Phase 1 + 2 + 3 of the commit protocol, against the staging directory.
 fn write_staged_and_commit(
     storage: &dyn Storage,
@@ -140,6 +207,7 @@ fn write_staged_and_commit(
     units: Vec<LayerUnit>,
     present: &[usize],
     full: bool,
+    dedup: bool,
 ) -> Result<CheckpointReport> {
     let config = req.config;
 
@@ -153,64 +221,129 @@ fn write_staged_and_commit(
     storage
         .create_dir_all(&staging.global_step_dir())
         .map_err(io_err(staging.global_step_dir()))?;
+    if dedup {
+        storage
+            .create_dir_all(&staging.units_dir())
+            .map_err(io_err(staging.units_dir()))?;
+    }
 
     let mut files_written = 0usize;
     let mut meta_bytes = 0u64;
+    // Dedup accounting: payload bytes actually written vs. satisfied by
+    // objects the store already held.
+    let mut physical_payload = 0u64;
+    let mut dedup_bytes = 0u64;
+    let mut refs = dedup.then(CasRefs::default);
+    let store = ObjectStore::for_run_root(req.root);
 
-    // 1. Consolidated model weights (BF16), selected units only.
-    let mut weight_tensors: Vec<(String, RawTensor)> = Vec::new();
-    let mut digests = BTreeMap::new();
-    for unit in &units {
-        for spec in unit_param_specs(config, *unit) {
-            let t = req
-                .params
-                .get(&spec.name)
-                .ok_or_else(|| CkptError::Missing(spec.name.clone()))?;
-            let raw = t.to_raw(DType::BF16);
-            digests.insert(spec.name.clone(), raw.digest());
-            weight_tensors.push((spec.name.clone(), raw));
-        }
-    }
     let mut st_meta = BTreeMap::new();
     st_meta.insert("format".to_string(), "pt".to_string());
-    let model_bytes =
-        safetensors::write_file_on(storage, &staging.model(), &weight_tensors, &st_meta)?;
-    files_written += 1;
 
-    // 2. Per-rank optimizer shard files, in parallel (the paper
-    //    parallelizes shard I/O with a process pool; rayon here).
-    let optim_bytes: u64 = (0..req.engine.world_size)
-        .into_par_iter()
-        .map(|rank| -> Result<u64> {
-            let mut tensors: Vec<(String, RawTensor)> = Vec::with_capacity(present.len() * 3);
-            for gid in present {
-                let shard = &req.engine.ranks[rank].shards[*gid];
-                let names = shard_tensor_names(*gid);
-                let len = shard.master.len();
-                tensors.push((
-                    names[0].clone(),
-                    RawTensor::from_f32s(&shard.master, Shape::new(vec![len]), DType::F32),
-                ));
-                tensors.push((
-                    names[1].clone(),
-                    RawTensor::from_f32s(&shard.exp_avg, Shape::new(vec![len]), DType::F32),
-                ));
-                tensors.push((
-                    names[2].clone(),
-                    RawTensor::from_f32s(&shard.exp_avg_sq, Shape::new(vec![len]), DType::F32),
-                ));
+    // 1. Model weights (BF16), selected units only. Conventional saves
+    //    consolidate into one `model.safetensors`; dedup saves emit one
+    //    object per unit — the layer-wise dedup granule — hard-linked
+    //    under `units/`.
+    let mut digests = BTreeMap::new();
+    let model_bytes: u64 = if let Some(refs) = refs.as_mut() {
+        let mut total = 0u64;
+        for unit in &units {
+            let mut tensors: Vec<(String, RawTensor)> = Vec::new();
+            for spec in unit_param_specs(config, *unit) {
+                let t = req
+                    .params
+                    .get(&spec.name)
+                    .ok_or_else(|| CkptError::Missing(spec.name.clone()))?;
+                let raw = t.to_raw(DType::BF16);
+                digests.insert(spec.name.clone(), raw.digest());
+                tensors.push((spec.name.clone(), raw));
             }
-            safetensors::write_file_on(
-                storage,
-                &staging.optim_shard(rank),
-                &tensors,
-                &BTreeMap::new(),
-            )
-        })
-        .collect::<Result<Vec<u64>>>()?
-        .into_iter()
-        .sum();
-    files_written += req.engine.world_size;
+            let key = unit.as_string();
+            let img = safetensors::encode(&tensors, &st_meta)?;
+            let out = put_object(storage, &store, &img, &staging.unit_weights(&key))?;
+            if out.written {
+                physical_payload += out.len;
+            } else {
+                dedup_bytes += out.len;
+            }
+            refs.weights.insert(
+                key,
+                ObjectRef {
+                    digest: out.digest.to_hex(),
+                    bytes: out.len,
+                },
+            );
+            total += out.len;
+            files_written += 1;
+        }
+        total
+    } else {
+        let mut weight_tensors: Vec<(String, RawTensor)> = Vec::new();
+        for unit in &units {
+            for spec in unit_param_specs(config, *unit) {
+                let t = req
+                    .params
+                    .get(&spec.name)
+                    .ok_or_else(|| CkptError::Missing(spec.name.clone()))?;
+                let raw = t.to_raw(DType::BF16);
+                digests.insert(spec.name.clone(), raw.digest());
+                weight_tensors.push((spec.name.clone(), raw));
+            }
+        }
+        let n = safetensors::write_file_on(storage, &staging.model(), &weight_tensors, &st_meta)?;
+        files_written += 1;
+        n
+    };
+
+    // 2. Optimizer state. Conventional: per-rank shard files in parallel
+    //    (the paper parallelizes shard I/O with a process pool; rayon
+    //    here). Dedup: one object per (rank, group) — sequential, so the
+    //    fault injector's op schedule stays deterministic and identical
+    //    shards across ranks dedup instead of racing.
+    let optim_bytes: u64 = if let Some(refs) = refs.as_mut() {
+        let mut total = 0u64;
+        for rank in 0..req.engine.world_size {
+            for gid in present {
+                let tensors = shard_tensors(req.engine, rank, *gid);
+                let img = safetensors::encode(&tensors, &BTreeMap::new())?;
+                let out = put_object(storage, &store, &img, &staging.optim_group(rank, *gid))?;
+                if out.written {
+                    physical_payload += out.len;
+                } else {
+                    dedup_bytes += out.len;
+                }
+                refs.optim.insert(
+                    CasRefs::optim_key(rank, *gid),
+                    ObjectRef {
+                        digest: out.digest.to_hex(),
+                        bytes: out.len,
+                    },
+                );
+                total += out.len;
+                files_written += 1;
+            }
+        }
+        total
+    } else {
+        let total = (0..req.engine.world_size)
+            .into_par_iter()
+            .map(|rank| -> Result<u64> {
+                let mut tensors: Vec<(String, RawTensor)> = Vec::with_capacity(present.len() * 3);
+                for gid in present {
+                    tensors.extend(shard_tensors(req.engine, rank, *gid));
+                }
+                safetensors::write_file_on(
+                    storage,
+                    &staging.optim_shard(rank),
+                    &tensors,
+                    &BTreeMap::new(),
+                )
+            })
+            .collect::<Result<Vec<u64>>>()?
+            .into_iter()
+            .sum();
+        files_written += req.engine.world_size;
+        total
+    };
 
     // Small JSON files are written inline (and synced) so their exact byte
     // counts are known without re-reading.
@@ -259,6 +392,7 @@ fn write_staged_and_commit(
         units: units.clone(),
         weight_digests: digests,
         full,
+        objects: refs,
     };
     let manifest_json = serde_json::to_string_pretty(&manifest)?;
     meta_bytes += put(&staging.manifest(), manifest_json.as_bytes())?;
@@ -282,13 +416,20 @@ fn write_staged_and_commit(
         .map_err(io_err(&staging.dir))?;
     storage.sync(req.root).map_err(io_err(req.root))?;
 
+    let total_bytes = model_bytes + optim_bytes + meta_bytes;
     Ok(CheckpointReport {
         paths,
-        total_bytes: model_bytes + optim_bytes + meta_bytes,
+        total_bytes,
         model_bytes,
         optim_bytes,
         files_written,
         units,
+        physical_bytes: if dedup {
+            physical_payload + meta_bytes
+        } else {
+            total_bytes
+        },
+        dedup_bytes,
     })
 }
 
@@ -564,6 +705,65 @@ mod tests {
         let n = commit_checkpoint(&report.paths).unwrap();
         assert!(n > 0);
         assert!(report.paths.commit_status().is_committed());
+    }
+
+    #[test]
+    fn dedup_save_links_objects_and_dedups_repeat_saves() {
+        let cfg = ModelConfig::tiny_test();
+        let (model, engine, ts) = make_state(&cfg, 2, GroupLayout::LayerWise);
+        let dir = tempfile::tempdir().unwrap();
+        let req_at = |step: u64| SaveRequest {
+            root: dir.path(),
+            step,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &LayerUnit::all(&cfg),
+        };
+
+        let r1 = save_checkpoint_dedup(&req_at(10)).unwrap();
+        assert!(r1.paths.commit_status().is_committed());
+        assert!(r1.paths.units_dir().exists());
+        assert!(
+            !r1.paths.model().exists(),
+            "dedup saves have no model.safetensors"
+        );
+        let m1 = PartialManifest::load(&r1.paths.manifest()).unwrap();
+        let refs1 = m1.objects.as_ref().expect("dedup manifest has object refs");
+        assert_eq!(refs1.weights.len(), LayerUnit::all(&cfg).len());
+        let store = ObjectStore::for_run_root(dir.path());
+        for (key, oref) in refs1.iter_all() {
+            let d = llmt_cas::Digest::parse_hex(&oref.digest).unwrap();
+            assert!(store.contains(&LocalFs, d), "missing object for {key}");
+            assert_eq!(store.object_len(&LocalFs, d).unwrap(), oref.bytes);
+        }
+        // Linked payloads are byte-identical with their objects.
+        for (key, oref) in &refs1.weights {
+            let d = llmt_cas::Digest::parse_hex(&oref.digest).unwrap();
+            assert_eq!(
+                std::fs::read(r1.paths.unit_weights(key)).unwrap(),
+                store.get(&LocalFs, d).unwrap()
+            );
+        }
+        assert_eq!(r1.total_bytes, r1.paths.total_bytes().unwrap());
+        assert_eq!(r1.dedup_bytes, 0);
+
+        // Same state at a later step: every payload byte dedups, only
+        // metadata is written, and the store still holds each object once.
+        let objects_before = store.list(&LocalFs).unwrap();
+        let r2 = save_checkpoint_dedup(&req_at(20)).unwrap();
+        assert!(r2.paths.commit_status().is_committed());
+        assert_eq!(r2.dedup_bytes, r2.model_bytes + r2.optim_bytes);
+        assert!(
+            r2.physical_bytes < r2.total_bytes / 4,
+            "physical {} vs logical {}",
+            r2.physical_bytes,
+            r2.total_bytes
+        );
+        assert_eq!(store.list(&LocalFs).unwrap(), objects_before);
+        let m2 = PartialManifest::load(&r2.paths.manifest()).unwrap();
+        assert_eq!(m2.objects, m1.objects, "identical state, identical refs");
     }
 
     #[test]

@@ -128,6 +128,16 @@ fn checkpoint_with_corrupt_config_json_errors_cleanly() {
 
 /// Write a full, committed checkpoint and return its directory.
 fn committed_ckpt(root: &Path) -> std::path::PathBuf {
+    committed_ckpt_impl(root, false)
+}
+
+/// Write a full, committed, *deduplicated* (content-addressed) checkpoint
+/// and return its directory.
+fn committed_dedup_ckpt(root: &Path) -> std::path::PathBuf {
+    committed_ckpt_impl(root, true)
+}
+
+fn committed_ckpt_impl(root: &Path, dedup: bool) -> std::path::PathBuf {
     use llmt_model::{Batch, LayerUnit, Model, ModelConfig, ParamSet};
     use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
     use llmt_zero::ZeroEngine;
@@ -158,7 +168,7 @@ fn committed_ckpt(root: &Path) -> std::path::PathBuf {
         grad_accum: 1,
         seq_len: 8,
     };
-    llmt_ckpt::save_checkpoint(&llmt_ckpt::SaveRequest {
+    let req = llmt_ckpt::SaveRequest {
         root,
         step: 1,
         config: &cfg,
@@ -166,10 +176,13 @@ fn committed_ckpt(root: &Path) -> std::path::PathBuf {
         engine: &engine,
         trainer_state: &ts,
         units: &LayerUnit::all(&cfg),
-    })
-    .unwrap()
-    .paths
-    .dir
+    };
+    let report = if dedup {
+        llmt_ckpt::save_checkpoint_dedup(&req)
+    } else {
+        llmt_ckpt::save_checkpoint(&req)
+    };
+    report.unwrap().paths.dir
 }
 
 #[test]
@@ -217,6 +230,90 @@ fn garbage_commit_marker_is_a_finding() {
         "{:?}",
         report.findings
     );
+}
+
+#[test]
+fn bit_flipped_cas_object_is_a_finding() {
+    // A single flipped byte inside a shared content-addressed object must
+    // surface as an object digest mismatch — the linked checkpoint file is
+    // the same inode, so the corruption is visible through every reference.
+    let root = tempfile::tempdir().unwrap();
+    let dir = committed_dedup_ckpt(root.path());
+    let manifest = llmt_ckpt::PartialManifest::load(&dir.join("partial_manifest.json")).unwrap();
+    let refs = manifest.objects.expect("dedup checkpoint has object refs");
+    let (_, object) = refs.iter_all().next().unwrap();
+    let hex = &object.digest;
+    let object_file = root
+        .path()
+        .join("objects")
+        .join(&hex[..2])
+        .join(format!("{hex}.obj"));
+    let mut bytes = std::fs::read(&object_file).unwrap();
+    let n = bytes.len();
+    bytes[n - 3] ^= 0x40; // flip a bit inside the data section
+    std::fs::write(&object_file, bytes).unwrap();
+    let report = llmt_ckpt::verify_checkpoint(&dir).unwrap();
+    assert!(!report.ok());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.problem.contains("object digest mismatch")),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn missing_cas_object_and_dangling_reference_are_findings() {
+    // Delete one referenced object from the store AND its link inside the
+    // checkpoint: verify must flag the dangling reference rather than
+    // silently skipping the tensor payload it was supposed to cover.
+    let root = tempfile::tempdir().unwrap();
+    let dir = committed_dedup_ckpt(root.path());
+    let manifest = llmt_ckpt::PartialManifest::load(&dir.join("partial_manifest.json")).unwrap();
+    let refs = manifest.objects.expect("dedup checkpoint has object refs");
+    let (key, object) = refs
+        .weights
+        .iter()
+        .next()
+        .map(|(k, o)| (k.clone(), o.clone()))
+        .unwrap();
+    let hex = &object.digest;
+    std::fs::remove_file(
+        root.path()
+            .join("objects")
+            .join(&hex[..2])
+            .join(format!("{hex}.obj")),
+    )
+    .unwrap();
+    std::fs::remove_file(dir.join("units").join(format!("{key}.safetensors"))).unwrap();
+    let report = llmt_ckpt::verify_checkpoint(&dir).unwrap();
+    assert!(!report.ok());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.problem.contains("object-backed file missing")),
+        "{:?}",
+        report.findings
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.problem.contains("absent from store")),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn pristine_dedup_checkpoint_verifies_clean() {
+    let root = tempfile::tempdir().unwrap();
+    let dir = committed_dedup_ckpt(root.path());
+    let report = llmt_ckpt::verify_checkpoint(&dir).unwrap();
+    assert!(report.ok(), "{:?}", report.findings);
 }
 
 #[test]

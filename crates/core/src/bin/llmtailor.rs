@@ -22,6 +22,7 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("prune") => cmd_prune(&args[1..]),
+        Some("du") => cmd_du(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -69,6 +70,12 @@ USAGE:
       recent *committed* copy is preserved, so recovery at the newest step
       always remains possible (partial-checkpoint-aware garbage
       collection). Quarantined directories are reported but never deleted.
+
+  llmtailor du --run-root <DIR> [--json]
+      Disk usage of a run: logical bytes (what the checkpoints would
+      occupy without deduplication), physical bytes (object store counted
+      once plus per-checkpoint metadata), the dedup ratio, and the number
+      of distinct stored objects per layer unit.
 
   llmtailor diff <CHECKPOINT_A> <CHECKPOINT_B>
       Per-unit RMS change between two checkpoints of the same run — the
@@ -272,6 +279,34 @@ fn cmd_prune(args: &[String]) -> Result<(), String> {
         let pruned =
             llmtailor::prune_run(&run_root, &config, keep_last).map_err(|e| e.to_string())?;
         println!("pruned {} checkpoint(s): {pruned:?}", pruned.len());
+    }
+    Ok(())
+}
+
+fn cmd_du(args: &[String]) -> Result<(), String> {
+    let run_root = PathBuf::from(require(args, "--run-root")?);
+    let du = llmtailor::du_run(&run_root).map_err(|e| e.to_string())?;
+    if flag(args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&du).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("run root: {}", run_root.display());
+    println!("  committed checkpoints: {}", du.checkpoints);
+    println!("  logical bytes:         {}", du.logical_bytes);
+    println!("  physical bytes:        {}", du.physical_bytes);
+    println!("  dedup ratio:           {:.3}", du.dedup_ratio);
+    println!(
+        "  objects:               {} ({} bytes)",
+        du.object_count, du.object_bytes
+    );
+    if !du.per_unit_objects.is_empty() {
+        println!("  distinct objects per unit:");
+        for (unit, n) in &du.per_unit_objects {
+            println!("    {unit:<16} {n}");
+        }
     }
     Ok(())
 }

@@ -1,0 +1,292 @@
+//! Refcounted garbage collection and disk-usage accounting for the
+//! content-addressed object store.
+//!
+//! Liveness rule: an object is **live** iff at least one *committed,
+//! non-quarantined* checkpoint's manifest references its digest. The
+//! COMMIT marker seals the manifest (and therefore the reference set), so
+//! the liveness census never trusts torn or tampered directories — their
+//! references count for nothing, exactly as their payloads count for
+//! nothing during recovery.
+//!
+//! Crash safety: the census runs first and the sweep only deletes objects
+//! that were dead *at census time*, so a GC killed at any storage op has
+//! deleted only garbage. The next sweep finishes the job. The one ordering
+//! rule callers must respect is *delete checkpoints first, GC second* —
+//! the reverse could census a reference from a checkpoint that is about to
+//! disappear, which is harmless (the object is swept next time), never
+//! dangerous.
+
+use crate::error::{Result, TailorError};
+use llmt_cas::{Digest, ObjectStore, SweepReport};
+use llmt_ckpt::{scan_run_root, PartialManifest};
+use llmt_storage::vfs::{LocalFs, Storage};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Result of one garbage collection pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Committed checkpoints whose references were counted.
+    pub checkpoints_censused: usize,
+    /// Distinct digests referenced by at least one committed checkpoint.
+    pub live_digests: usize,
+    /// Objects retained / deleted / reclaimed by the sweep.
+    pub sweep: SweepReport,
+}
+
+/// Disk-usage accounting of one run root ("`llmtailor du`").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DuReport {
+    /// Committed checkpoints counted.
+    pub checkpoints: usize,
+    /// Bytes the run would occupy without deduplication: the sum of every
+    /// committed checkpoint's apparent size (hard links counted at full
+    /// length).
+    pub logical_bytes: u64,
+    /// Bytes actually occupied: object store (each object once) plus every
+    /// checkpoint's non-object files.
+    pub physical_bytes: u64,
+    /// Objects currently in the store.
+    pub object_count: usize,
+    /// Total object payload bytes.
+    pub object_bytes: u64,
+    /// `logical_bytes / physical_bytes` (1.0 when nothing is shared).
+    pub dedup_ratio: f64,
+    /// Distinct object count per layer unit key (weights objects).
+    pub per_unit_objects: BTreeMap<String, usize>,
+}
+
+/// Digests referenced by committed, non-quarantined checkpoints under
+/// `run_root`, i.e. the live set for [`collect_garbage_on`].
+///
+/// Errors out — rather than guessing — if a committed checkpoint's
+/// manifest is unreadable or carries a malformed digest: deleting objects
+/// while liveness is unknown would be data loss.
+pub fn live_digests(run_root: &Path) -> Result<BTreeSet<Digest>> {
+    Ok(referenced_digests(run_root)?.into_keys().collect())
+}
+
+/// Reference counts per digest across all committed checkpoints.
+pub fn object_refcounts(run_root: &Path) -> Result<BTreeMap<Digest, usize>> {
+    referenced_digests(run_root)
+}
+
+fn referenced_digests(run_root: &Path) -> Result<BTreeMap<Digest, usize>> {
+    let scan = scan_run_root(run_root);
+    let mut counts = BTreeMap::new();
+    for cp in &scan.committed {
+        let manifest_path = cp.manifest();
+        if !manifest_path.exists() {
+            continue; // pre-manifest checkpoint: nothing content-addressed
+        }
+        let manifest = PartialManifest::load(&manifest_path)?;
+        let Some(refs) = manifest.objects else {
+            continue;
+        };
+        for (key, object) in refs.iter_all() {
+            let digest = Digest::parse_hex(&object.digest).map_err(|e| {
+                TailorError::Plan(format!(
+                    "committed {} references malformed digest for '{key}': {e}; \
+                     refusing to GC with unknown liveness",
+                    cp.dir.display()
+                ))
+            })?;
+            *counts.entry(digest).or_insert(0) += 1;
+        }
+    }
+    Ok(counts)
+}
+
+/// Garbage-collect the object store of `run_root` through `storage`:
+/// census live digests from committed manifests, then sweep everything
+/// else (dead objects and `.part` staging debris).
+pub fn collect_garbage_on(storage: &dyn Storage, run_root: &Path) -> Result<GcReport> {
+    let scan = scan_run_root(run_root);
+    let live = live_digests(run_root)?;
+    let store = ObjectStore::for_run_root(run_root);
+    let sweep = store
+        .sweep(storage, &live)
+        .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(store.root_dir())(e)))?;
+    Ok(GcReport {
+        checkpoints_censused: scan.committed.len(),
+        live_digests: live.len(),
+        sweep,
+    })
+}
+
+/// [`collect_garbage_on`] on the local filesystem.
+pub fn collect_garbage(run_root: &Path) -> Result<GcReport> {
+    collect_garbage_on(&LocalFs, run_root)
+}
+
+/// Measure a run's logical vs physical footprint (see [`DuReport`]).
+pub fn du_run(run_root: &Path) -> Result<DuReport> {
+    let scan = scan_run_root(run_root);
+    let store = ObjectStore::for_run_root(run_root);
+    let objects = store
+        .list(&LocalFs)
+        .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(store.root_dir())(e)))?;
+    let object_bytes: u64 = objects.iter().map(|(_, len)| len).sum();
+
+    let mut report = DuReport {
+        checkpoints: scan.committed.len(),
+        object_count: objects.len(),
+        object_bytes,
+        physical_bytes: object_bytes,
+        ..DuReport::default()
+    };
+    let mut unit_objects: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for cp in &scan.committed {
+        let apparent = cp
+            .total_bytes()
+            .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(&cp.dir)(e)))?;
+        report.logical_bytes += apparent;
+        let manifest_path = cp.manifest();
+        let refs = if manifest_path.exists() {
+            PartialManifest::load(&manifest_path)?.objects
+        } else {
+            None
+        };
+        match refs {
+            // Deduplicated checkpoint: its payload files are hard links
+            // into the store, already counted once in `object_bytes`.
+            Some(refs) => {
+                report.physical_bytes += apparent.saturating_sub(refs.total_bytes());
+                for (key, object) in &refs.weights {
+                    unit_objects
+                        .entry(key.clone())
+                        .or_default()
+                        .insert(object.digest.clone());
+                }
+            }
+            // Conventional checkpoint: every byte is uniquely owned.
+            None => report.physical_bytes += apparent,
+        }
+    }
+    report.per_unit_objects = unit_objects
+        .into_iter()
+        .map(|(k, v)| (k, v.len()))
+        .collect();
+    report.dedup_ratio = if report.physical_bytes > 0 {
+        report.logical_bytes as f64 / report.physical_bytes as f64
+    } else {
+        1.0
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmt_ckpt::{save_checkpoint_dedup, SaveRequest, TrainerState};
+    use llmt_model::{Batch, LayerUnit, Model, ModelConfig, ParamSet};
+    use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
+    use llmt_zero::ZeroEngine;
+
+    fn write_dedup_ckpt(root: &Path, cfg: &ModelConfig, step: u64, seed: u64) {
+        let mut model = Model::new(cfg.clone(), seed);
+        let mut engine = ZeroEngine::new(
+            &model.params,
+            build_groups(cfg, GroupLayout::LayerWise),
+            2,
+            AdamWHyper::default(),
+        );
+        let mut rng = llmt_tensor::rng::Prng::seed_from_u64(seed);
+        let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+        let mut grads = ParamSet::zeros(cfg);
+        model.loss_and_grad(&Batch::new(tokens, 2, 8), &mut grads);
+        engine.step(&mut model.params, &grads, 1e-3, true);
+        let ts = TrainerState {
+            global_step: step,
+            ckpt_event: 0,
+            lr_schedule: LrSchedule::Constant { lr: 1e-3 },
+            last_lr: 1e-3,
+            loss_history: vec![],
+            data_rng: rng,
+            task: "gc-test".into(),
+            model_name: cfg.model_name.clone(),
+            micro_batch: 2,
+            grad_accum: 1,
+            seq_len: 8,
+        };
+        save_checkpoint_dedup(&SaveRequest {
+            root,
+            step,
+            config: cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &LayerUnit::all(cfg),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn gc_reclaims_only_unreferenced_objects() {
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = ModelConfig::tiny_test();
+        // Two checkpoints of *different* states: disjoint object sets.
+        write_dedup_ckpt(dir.path(), &cfg, 1, 3);
+        write_dedup_ckpt(dir.path(), &cfg, 2, 4);
+        let store = ObjectStore::for_run_root(dir.path());
+        let before = store.list(&LocalFs).unwrap().len();
+        assert!(before > 0);
+
+        // Nothing dead yet: GC must delete nothing.
+        let report = collect_garbage(dir.path()).unwrap();
+        assert_eq!(report.sweep.deleted_objects, 0);
+        assert_eq!(report.checkpoints_censused, 2);
+        assert_eq!(store.list(&LocalFs).unwrap().len(), before);
+
+        // Drop checkpoint-1: its exclusive objects become garbage.
+        std::fs::remove_dir_all(dir.path().join("checkpoint-1")).unwrap();
+        let report = collect_garbage(dir.path()).unwrap();
+        assert!(report.sweep.deleted_objects > 0);
+        assert!(report.sweep.reclaimed_bytes > 0);
+        // Survivor still verifies byte-for-byte.
+        let verify = llmt_ckpt::verify_checkpoint(&dir.path().join("checkpoint-2")).unwrap();
+        assert!(verify.ok(), "{:?}", verify.findings);
+    }
+
+    #[test]
+    fn quarantined_checkpoints_hold_no_references() {
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = ModelConfig::tiny_test();
+        write_dedup_ckpt(dir.path(), &cfg, 1, 3);
+        // Tamper with the marker: the checkpoint is quarantined and its
+        // references no longer pin objects.
+        std::fs::write(dir.path().join("checkpoint-1/COMMIT"), b"torn").unwrap();
+        assert!(live_digests(dir.path()).unwrap().is_empty());
+        let report = collect_garbage(dir.path()).unwrap();
+        assert_eq!(report.live_digests, 0);
+        assert!(report.sweep.deleted_objects > 0);
+    }
+
+    #[test]
+    fn du_reports_dedup_ratio_above_one_for_shared_layers() {
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = ModelConfig::tiny_test();
+        // Same seed twice: both checkpoints share every object.
+        write_dedup_ckpt(dir.path(), &cfg, 1, 3);
+        write_dedup_ckpt(dir.path(), &cfg, 2, 3);
+        let du = du_run(dir.path()).unwrap();
+        assert_eq!(du.checkpoints, 2);
+        assert!(du.object_count > 0);
+        assert!(
+            du.physical_bytes < du.logical_bytes,
+            "physical {} !< logical {}",
+            du.physical_bytes,
+            du.logical_bytes
+        );
+        assert!(du.dedup_ratio > 1.5, "ratio {}", du.dedup_ratio);
+        // Every unit resolves to exactly one distinct object.
+        for (unit, n) in &du.per_unit_objects {
+            assert_eq!(*n, 1, "unit {unit} has {n} objects");
+        }
+        // Refcounts: every object referenced twice.
+        for (d, n) in object_refcounts(dir.path()).unwrap() {
+            assert_eq!(n, 2, "object {d}");
+        }
+    }
+}

@@ -25,6 +25,7 @@ pub mod autorecipe;
 pub mod diff;
 pub mod dynamic;
 pub mod error;
+pub mod gc;
 pub mod merge;
 pub mod plan;
 pub mod recipe;
@@ -34,6 +35,7 @@ pub mod strategy;
 pub use diff::{diff_checkpoints, UnitDiff};
 pub use dynamic::{MagnitudeStrategy, UnitDelta};
 pub use error::{Result, TailorError};
+pub use gc::{collect_garbage, collect_garbage_on, du_run, live_digests, DuReport, GcReport};
 pub use merge::{execute_plan, merge_with_recipe, LoadPattern, MergeReport};
 pub use plan::MergePlan;
 pub use recipe::{MergeRecipe, SliceSpec};

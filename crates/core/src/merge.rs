@@ -20,13 +20,16 @@
 use crate::error::{Result, TailorError};
 use crate::plan::MergePlan;
 use crate::recipe::MergeRecipe;
+use llmt_cas::{Digest, ObjectStore};
 use llmt_ckpt::reader::IoStats;
 use llmt_ckpt::zero_meta::shard_tensor_names;
 use llmt_ckpt::{
-    safetensors, CheckpointHandle, CheckpointPaths, LoadMode, PartialManifest, ZeroMeta,
+    safetensors, CasRefs, CheckpointHandle, CheckpointPaths, LoadMode, ObjectRef, PartialManifest,
+    ZeroMeta,
 };
 use llmt_model::naming::unit_param_specs;
 use llmt_optim::GroupIndexMap;
+use llmt_storage::vfs::{LocalFs, Storage};
 use llmt_tensor::{DType, RawTensor, Shape};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
@@ -60,6 +63,14 @@ pub struct MergeReport {
     pub files_written: usize,
     /// Number of distinct source checkpoints.
     pub sources: usize,
+    /// Payload objects satisfied by hard links into the content-addressed
+    /// store without reading or copying tensor bytes (dedup-aware merges
+    /// only; 0 for conventional outputs).
+    pub objects_linked: usize,
+    /// Bytes physically written for payload (new objects only). Equals
+    /// `bytes_written` minus metadata for conventional merges; near zero
+    /// when every source layer was already stored.
+    pub physical_bytes: u64,
 }
 
 /// Resolve a recipe and execute it.
@@ -94,13 +105,113 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
     std::fs::create_dir_all(out.global_step_dir())
         .map_err(llmt_ckpt::error::io_err(out.global_step_dir()))?;
 
+    // --- Dedup detection: an `objects/` store next to the output means
+    // the assembled checkpoint references layer payloads by digest — a
+    // source layer whose bytes are already stored is *linked*, never read
+    // or copied.
+    let fs = LocalFs;
+    let store = plan
+        .output
+        .parent()
+        .map(ObjectStore::for_run_root)
+        .filter(|s| s.is_present(&fs));
+    let mut source_manifests: BTreeMap<PathBuf, PartialManifest> = BTreeMap::new();
+    if store.is_some() {
+        for src in &plan.sources {
+            let mpath = src.join("partial_manifest.json");
+            if mpath.exists() {
+                source_manifests.insert(src.clone(), PartialManifest::load(&mpath)?);
+            }
+        }
+    }
+    let io_as_tailor = |p: &Path| {
+        let p = p.to_path_buf();
+        move |e: std::io::Error| TailorError::Ckpt(llmt_ckpt::error::io_err(&p)(e))
+    };
+
     let mut files_written = 0usize;
     let mut bytes_written = 0u64;
+    let mut physical_bytes = 0u64;
+    let mut objects_linked = 0usize;
+    let mut refs = store.as_ref().map(|_| CasRefs::default());
+
+    let mut st_meta = BTreeMap::new();
+    st_meta.insert("format".to_string(), "pt".to_string());
 
     // --- 2. Model weights ----------------------------------------------
-    let mut weight_tensors: Vec<(String, RawTensor)> = Vec::new();
     let mut digests = BTreeMap::new();
-    {
+    if let (Some(store), Some(refs)) = (store.as_ref(), refs.as_mut()) {
+        // Dedup-aware output: one object per unit, hard-linked under
+        // `units/`. Encoding matches the trainer's dedup saves exactly, so
+        // a merged layer and the save it came from share one object.
+        std::fs::create_dir_all(out.units_dir())
+            .map_err(llmt_ckpt::error::io_err(out.units_dir()))?;
+        let mut handles: BTreeMap<&Path, CheckpointHandle> = BTreeMap::new();
+        for (unit, src) in &plan.assignments {
+            let key = unit.as_string();
+            let dest = out.unit_weights(&key);
+            let specs = unit_param_specs(&plan.config, *unit);
+            // Fast path: the source manifest already references this
+            // unit's bytes as a stored object, and it carries the per-
+            // tensor digests the output manifest needs — pure metadata.
+            let reusable = source_manifests.get(src).and_then(|m| {
+                let r = m.objects.as_ref()?.weights.get(&key)?;
+                let d = Digest::parse_hex(&r.digest).ok()?;
+                if !store.contains(&fs, d) {
+                    return None;
+                }
+                let copied: Option<Vec<_>> = specs
+                    .iter()
+                    .map(|s| m.weight_digests.get(&s.name).map(|v| (s.name.clone(), *v)))
+                    .collect();
+                Some((r.clone(), d, copied?))
+            });
+            match reusable {
+                Some((r, d, copied)) => {
+                    fs.hard_link(&store.object_path(d), &dest)
+                        .map_err(io_as_tailor(&dest))?;
+                    digests.extend(copied);
+                    refs.weights.insert(key, r);
+                    objects_linked += 1;
+                }
+                None => {
+                    if !handles.contains_key(src.as_path()) {
+                        handles.insert(src.as_path(), CheckpointHandle::open(src, mode)?);
+                    }
+                    let h = handles.get_mut(src.as_path()).expect("just inserted");
+                    let tensors = h.unit_weights(*unit)?;
+                    for (name, t) in &tensors {
+                        digests.insert(name.clone(), t.digest());
+                    }
+                    let img = safetensors::encode(&tensors, &st_meta)?;
+                    let outc = store.put(&fs, &img).map_err(io_as_tailor(&dest))?;
+                    fs.hard_link(&store.object_path(outc.digest), &dest)
+                        .map_err(io_as_tailor(&dest))?;
+                    if outc.written {
+                        physical_bytes += outc.len;
+                    }
+                    bytes_written += outc.len;
+                    refs.weights.insert(
+                        key,
+                        ObjectRef {
+                            digest: outc.digest.to_hex(),
+                            bytes: outc.len,
+                        },
+                    );
+                }
+            }
+            files_written += 1;
+            if pattern == LoadPattern::ParityInterleaved {
+                for h in handles.values_mut() {
+                    h.evict();
+                }
+            }
+        }
+        for h in handles.values() {
+            io.absorb(&h.stats());
+        }
+    } else {
+        let mut weight_tensors: Vec<(String, RawTensor)> = Vec::new();
         let mut handles: BTreeMap<&Path, CheckpointHandle> = BTreeMap::new();
         for src in &plan.sources {
             handles.insert(src.as_path(), CheckpointHandle::open(src, mode)?);
@@ -146,87 +257,197 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
         for h in handles.values() {
             io.absorb(&h.stats());
         }
+        let n = safetensors::write_file(&out.model(), &weight_tensors, &st_meta)?;
+        bytes_written += n;
+        physical_bytes += n;
+        files_written += 1;
     }
-    let mut st_meta = BTreeMap::new();
-    st_meta.insert("format".to_string(), "pt".to_string());
-    bytes_written += safetensors::write_file(&out.model(), &weight_tensors, &st_meta)?;
-    files_written += 1;
-    drop(weight_tensors);
 
-    // --- 3. Optimizer shard files, one task per rank ---------------------
-    let per_rank: Vec<(u64, IoStats)> = (0..plan.world_size)
-        .into_par_iter()
-        .map(|rank| -> Result<(u64, IoStats)> {
-            let mut handles: BTreeMap<&Path, CheckpointHandle> = BTreeMap::new();
-            for src in &plan.sources {
-                handles.insert(src.as_path(), CheckpointHandle::open(src, mode)?);
+    // --- 3. Optimizer shard files --------------------------------------
+    if let Some(store) = store.as_ref() {
+        // Dedup-aware: one object per (rank, group). Ranks run in
+        // parallel; same-content puts are safe (staged under distinct
+        // nonces, identical bytes).
+        let mut owner: Vec<Option<(llmt_model::LayerUnit, &PathBuf)>> = vec![None; group_count];
+        for (unit, src) in &plan.assignments {
+            for g in map
+                .groups_for_unit(*unit)
+                .ok_or_else(|| TailorError::Plan(format!("unit {unit} absent from layout")))?
+            {
+                owner[g] = Some((*unit, src));
             }
-            let mut per_group: Vec<Option<llmt_zero::ShardState>> = vec![None; group_count];
-            let fetch = |handles: &mut BTreeMap<&Path, CheckpointHandle>,
-                         src: &Path,
-                         unit: llmt_model::LayerUnit,
-                         per_group: &mut Vec<Option<llmt_zero::ShardState>>|
-             -> Result<()> {
-                let h = handles.get_mut(src).expect("source handle");
-                for g in map
-                    .groups_for_unit(unit)
-                    .ok_or_else(|| TailorError::Plan(format!("unit {unit} absent from layout")))?
-                {
-                    per_group[g] = Some(h.group_shard(rank, g)?);
-                }
-                Ok(())
-            };
-            match pattern {
-                LoadPattern::ParityInterleaved => {
-                    for (unit, src) in &plan.assignments {
-                        fetch(&mut handles, src, *unit, &mut per_group)?;
-                        for h in handles.values_mut() {
-                            h.evict();
+        }
+        type RankOut = (Vec<(String, ObjectRef)>, usize, u64, u64, IoStats);
+        let per_rank: Vec<RankOut> = (0..plan.world_size)
+            .into_par_iter()
+            .map(|rank| -> Result<RankOut> {
+                let mut handles: BTreeMap<&Path, CheckpointHandle> = BTreeMap::new();
+                let mut rank_refs = Vec::new();
+                let mut linked = 0usize;
+                let mut written = 0u64;
+                let mut physical = 0u64;
+                for (g, o) in owner.iter().enumerate() {
+                    let (_, src) = (*o)
+                        .ok_or_else(|| TailorError::Plan(format!("group {g} was never fetched")))?;
+                    let refkey = CasRefs::optim_key(rank, g);
+                    let dest = out.optim_group(rank, g);
+                    let reusable = source_manifests.get(src).and_then(|m| {
+                        let r = m.objects.as_ref()?.optim.get(&refkey)?;
+                        let d = Digest::parse_hex(&r.digest).ok()?;
+                        store.contains(&fs, d).then(|| (r.clone(), d))
+                    });
+                    match reusable {
+                        Some((r, d)) => {
+                            fs.hard_link(&store.object_path(d), &dest)
+                                .map_err(io_as_tailor(&dest))?;
+                            rank_refs.push((refkey, r));
+                            linked += 1;
+                        }
+                        None => {
+                            if !handles.contains_key(src.as_path()) {
+                                handles.insert(src.as_path(), CheckpointHandle::open(src, mode)?);
+                            }
+                            let h = handles.get_mut(src.as_path()).expect("just inserted");
+                            let shard = h.group_shard(rank, g)?;
+                            let names = shard_tensor_names(g);
+                            let len = shard.master.len();
+                            let tensors = vec![
+                                (
+                                    names[0].clone(),
+                                    RawTensor::from_f32s(
+                                        &shard.master,
+                                        Shape::new(vec![len]),
+                                        DType::F32,
+                                    ),
+                                ),
+                                (
+                                    names[1].clone(),
+                                    RawTensor::from_f32s(
+                                        &shard.exp_avg,
+                                        Shape::new(vec![len]),
+                                        DType::F32,
+                                    ),
+                                ),
+                                (
+                                    names[2].clone(),
+                                    RawTensor::from_f32s(
+                                        &shard.exp_avg_sq,
+                                        Shape::new(vec![len]),
+                                        DType::F32,
+                                    ),
+                                ),
+                            ];
+                            let img = safetensors::encode(&tensors, &BTreeMap::new())?;
+                            let outc = store.put(&fs, &img).map_err(io_as_tailor(&dest))?;
+                            fs.hard_link(&store.object_path(outc.digest), &dest)
+                                .map_err(io_as_tailor(&dest))?;
+                            if outc.written {
+                                physical += outc.len;
+                            }
+                            written += outc.len;
+                            rank_refs.push((
+                                refkey,
+                                ObjectRef {
+                                    digest: outc.digest.to_hex(),
+                                    bytes: outc.len,
+                                },
+                            ));
                         }
                     }
                 }
-                LoadPattern::Sequential => {
-                    for src in &plan.sources {
-                        for unit in plan.units_from(src) {
-                            fetch(&mut handles, src, unit, &mut per_group)?;
+                let mut stats = IoStats::default();
+                for h in handles.values() {
+                    stats.absorb(&h.stats());
+                }
+                Ok((rank_refs, linked, written, physical, stats))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let refs = refs.as_mut().expect("dedup refs");
+        for (rank_refs, linked, written, physical, stats) in per_rank {
+            for (k, r) in rank_refs {
+                refs.optim.insert(k, r);
+            }
+            objects_linked += linked;
+            bytes_written += written;
+            physical_bytes += physical;
+            io.absorb(&stats);
+            files_written += group_count;
+        }
+    } else {
+        let per_rank: Vec<(u64, IoStats)> = (0..plan.world_size)
+            .into_par_iter()
+            .map(|rank| -> Result<(u64, IoStats)> {
+                let mut handles: BTreeMap<&Path, CheckpointHandle> = BTreeMap::new();
+                for src in &plan.sources {
+                    handles.insert(src.as_path(), CheckpointHandle::open(src, mode)?);
+                }
+                let mut per_group: Vec<Option<llmt_zero::ShardState>> = vec![None; group_count];
+                let fetch = |handles: &mut BTreeMap<&Path, CheckpointHandle>,
+                             src: &Path,
+                             unit: llmt_model::LayerUnit,
+                             per_group: &mut Vec<Option<llmt_zero::ShardState>>|
+                 -> Result<()> {
+                    let h = handles.get_mut(src).expect("source handle");
+                    for g in map.groups_for_unit(unit).ok_or_else(|| {
+                        TailorError::Plan(format!("unit {unit} absent from layout"))
+                    })? {
+                        per_group[g] = Some(h.group_shard(rank, g)?);
+                    }
+                    Ok(())
+                };
+                match pattern {
+                    LoadPattern::ParityInterleaved => {
+                        for (unit, src) in &plan.assignments {
+                            fetch(&mut handles, src, *unit, &mut per_group)?;
+                            for h in handles.values_mut() {
+                                h.evict();
+                            }
+                        }
+                    }
+                    LoadPattern::Sequential => {
+                        for src in &plan.sources {
+                            for unit in plan.units_from(src) {
+                                fetch(&mut handles, src, unit, &mut per_group)?;
+                            }
                         }
                     }
                 }
-            }
-            // Emit tensors strictly in group order.
-            let mut tensors: Vec<(String, RawTensor)> = Vec::with_capacity(group_count * 3);
-            for (g, shard) in per_group.into_iter().enumerate() {
-                let shard = shard
-                    .ok_or_else(|| TailorError::Plan(format!("group {g} was never fetched")))?;
-                let names = shard_tensor_names(g);
-                let len = shard.master.len();
-                tensors.push((
-                    names[0].clone(),
-                    RawTensor::from_f32s(&shard.master, Shape::new(vec![len]), DType::F32),
-                ));
-                tensors.push((
-                    names[1].clone(),
-                    RawTensor::from_f32s(&shard.exp_avg, Shape::new(vec![len]), DType::F32),
-                ));
-                tensors.push((
-                    names[2].clone(),
-                    RawTensor::from_f32s(&shard.exp_avg_sq, Shape::new(vec![len]), DType::F32),
-                ));
-            }
-            let written =
-                safetensors::write_file(&out.optim_shard(rank), &tensors, &BTreeMap::new())?;
-            let mut stats = IoStats::default();
-            for h in handles.values() {
-                stats.absorb(&h.stats());
-            }
-            Ok((written, stats))
-        })
-        .collect::<Result<Vec<_>>>()?;
-    for (written, stats) in &per_rank {
-        bytes_written += *written;
-        io.absorb(stats);
+                // Emit tensors strictly in group order.
+                let mut tensors: Vec<(String, RawTensor)> = Vec::with_capacity(group_count * 3);
+                for (g, shard) in per_group.into_iter().enumerate() {
+                    let shard = shard
+                        .ok_or_else(|| TailorError::Plan(format!("group {g} was never fetched")))?;
+                    let names = shard_tensor_names(g);
+                    let len = shard.master.len();
+                    tensors.push((
+                        names[0].clone(),
+                        RawTensor::from_f32s(&shard.master, Shape::new(vec![len]), DType::F32),
+                    ));
+                    tensors.push((
+                        names[1].clone(),
+                        RawTensor::from_f32s(&shard.exp_avg, Shape::new(vec![len]), DType::F32),
+                    ));
+                    tensors.push((
+                        names[2].clone(),
+                        RawTensor::from_f32s(&shard.exp_avg_sq, Shape::new(vec![len]), DType::F32),
+                    ));
+                }
+                let written =
+                    safetensors::write_file(&out.optim_shard(rank), &tensors, &BTreeMap::new())?;
+                let mut stats = IoStats::default();
+                for h in handles.values() {
+                    stats.absorb(&h.stats());
+                }
+                Ok((written, stats))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        for (written, stats) in &per_rank {
+            bytes_written += *written;
+            physical_bytes += *written;
+            io.absorb(stats);
+        }
+        files_written += plan.world_size;
     }
-    files_written += plan.world_size;
 
     // --- 4. Metadata files (paper §4.4) ----------------------------------
     let zero_meta = ZeroMeta {
@@ -247,6 +468,7 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
         units: plan.assignments.iter().map(|(u, _)| *u).collect(),
         weight_digests: digests,
         full: true,
+        objects: refs,
     };
     manifest.save(&out.manifest())?;
     // Seal the assembled checkpoint with a commit marker: resume refuses
@@ -274,6 +496,8 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
         bytes_written,
         files_written,
         sources: plan.sources.len(),
+        objects_linked,
+        physical_bytes,
     })
 }
 

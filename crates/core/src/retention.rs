@@ -66,6 +66,14 @@ pub fn prune_run(run_root: &Path, config: &ModelConfig, keep_last: usize) -> Res
         std::fs::remove_dir_all(&dir)
             .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(&dir)(e)))?;
     }
+    // Deduplicated runs: deleting checkpoints dropped references, so
+    // objects no one points at anymore are garbage now. Order matters
+    // (checkpoints first, GC second) — the census must not see references
+    // from directories about to disappear.
+    let store = llmt_cas::ObjectStore::for_run_root(run_root);
+    if store.is_present(&llmt_storage::vfs::LocalFs) {
+        crate::gc::collect_garbage(run_root)?;
+    }
     Ok(prunable)
 }
 
@@ -151,8 +159,12 @@ mod tests {
 
     /// Write a committed full checkpoint at `step` under `root`.
     fn write_ckpt(root: &Path, cfg: &ModelConfig, step: u64) {
+        write_ckpt_impl(root, cfg, step, false)
+    }
+
+    fn write_ckpt_impl(root: &Path, cfg: &ModelConfig, step: u64, dedup: bool) {
         use llmt_optim::LrSchedule;
-        let mut model = llmt_model::Model::new(cfg.clone(), 3);
+        let mut model = llmt_model::Model::new(cfg.clone(), 3 + if dedup { step } else { 0 });
         let mut engine = llmt_zero::ZeroEngine::new(
             &model.params,
             llmt_optim::build_groups(cfg, llmt_optim::GroupLayout::LayerWise),
@@ -177,7 +189,7 @@ mod tests {
             grad_accum: 1,
             seq_len: 8,
         };
-        llmt_ckpt::save_checkpoint(&llmt_ckpt::SaveRequest {
+        let req = llmt_ckpt::SaveRequest {
             root,
             step,
             config: cfg,
@@ -185,8 +197,12 @@ mod tests {
             engine: &engine,
             trainer_state: &ts,
             units: &LayerUnit::all(cfg),
-        })
-        .unwrap();
+        };
+        if dedup {
+            llmt_ckpt::save_checkpoint_dedup(&req).unwrap();
+        } else {
+            llmt_ckpt::save_checkpoint(&req).unwrap();
+        }
     }
 
     #[test]
@@ -214,6 +230,30 @@ mod tests {
             "quarantined dirs are never deleted"
         );
         assert!(staging.exists(), "staging leftovers are never deleted");
+    }
+
+    #[test]
+    fn prune_run_collects_object_garbage_in_dedup_runs() {
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = ModelConfig::tiny_test();
+        // Distinct states per step: pruning step 1 orphans its objects.
+        for step in [1u64, 2] {
+            write_ckpt_impl(dir.path(), &cfg, step, true);
+        }
+        let store = llmt_cas::ObjectStore::for_run_root(dir.path());
+        let fs = llmt_storage::vfs::LocalFs;
+        let before = store.list(&fs).unwrap().len();
+
+        let pruned = prune_run(dir.path(), &cfg, 0).unwrap();
+        assert_eq!(pruned, vec![1]);
+        let after = store.list(&fs).unwrap().len();
+        assert!(
+            after < before,
+            "GC after prune must reclaim orphaned objects ({before} -> {after})"
+        );
+        // The survivor's references all still resolve.
+        let verify = llmt_ckpt::verify_checkpoint(&dir.path().join("checkpoint-2")).unwrap();
+        assert!(verify.ok(), "{:?}", verify.findings);
     }
 
     #[test]

@@ -12,6 +12,11 @@ pub struct IoTally {
     pub files: u64,
     /// Checkpoint events.
     pub events: u64,
+    /// Bytes that were *not* written because the content-addressed store
+    /// already held an identical object (dedup hits). `bytes` counts
+    /// physical traffic; `bytes + dedup_saved` is the logical volume.
+    #[serde(default)]
+    pub dedup_saved: u64,
 }
 
 impl IoTally {
@@ -22,11 +27,17 @@ impl IoTally {
         self.events += 1;
     }
 
+    /// Record bytes a checkpoint avoided writing via deduplication.
+    pub fn record_saved(&mut self, bytes: u64) {
+        self.dedup_saved += bytes;
+    }
+
     /// Merge another tally.
     pub fn absorb(&mut self, other: &IoTally) {
         self.bytes += other.bytes;
         self.files += other.files;
         self.events += other.events;
+        self.dedup_saved += other.dedup_saved;
     }
 
     /// Modeled write time of the whole tally under a storage model.

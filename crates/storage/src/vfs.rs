@@ -66,6 +66,16 @@ pub trait Storage: Send + Sync + fmt::Debug {
 
     /// Length of the file at `path` in bytes.
     fn file_len(&self, path: &Path) -> io::Result<u64>;
+
+    /// Hard-link `from` at `to` (link-or-copy: backends without hard
+    /// links fall back to a byte copy). Used by the content-addressed
+    /// store to materialize an object inside a checkpoint directory
+    /// without duplicating its bytes. Fails if `to` already exists.
+    fn hard_link(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Delete a single file. Used by object-store GC and staging
+    /// cleanup; directories go through [`Storage::remove_dir_all`].
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
 }
 
 /// Direct passthrough to the local filesystem via `std::fs`.
@@ -121,6 +131,20 @@ impl Storage for LocalFs {
 
     fn file_len(&self, path: &Path) -> io::Result<u64> {
         Ok(fs::metadata(path)?.len())
+    }
+
+    fn hard_link(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match fs::hard_link(from, to) {
+            Ok(()) => Ok(()),
+            // Filesystems without hard links (or cross-device layouts)
+            // still get correct content, just without the sharing.
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => fs::copy(from, to).map(|_| ()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
     }
 }
 
@@ -354,6 +378,21 @@ impl<S: Storage> Storage for FaultyFs<S> {
         self.gate(idx, false)?;
         self.inner.file_len(path)
     }
+
+    fn hard_link(&self, from: &Path, to: &Path) -> io::Result<()> {
+        // Linking creates a new directory entry: mutating, like rename.
+        let idx = self.tick()?;
+        self.gate(idx, true)?;
+        self.inner.hard_link(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        // Deletes are allowed under storage-full (like remove_dir_all) so
+        // cleanup and GC can still make progress on a full disk.
+        let idx = self.tick()?;
+        self.gate(idx, false)?;
+        self.inner.remove_file(path)
+    }
 }
 
 /// Time source for retry backoff. Tests inject [`ManualClock`] so backoff
@@ -530,6 +569,14 @@ impl<S: Storage> Storage for RetryingStorage<S> {
     fn file_len(&self, path: &Path) -> io::Result<u64> {
         self.retry(|s| s.file_len(path))
     }
+
+    fn hard_link(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.retry(|s| s.hard_link(from, to))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.retry(|s| s.remove_file(path))
+    }
 }
 
 #[cfg(test)]
@@ -605,6 +652,47 @@ mod tests {
         // Reads and deletes still work: error-path cleanup can proceed.
         f.remove_dir_all(&sub).unwrap();
         assert!(!f.exists(&sub));
+    }
+
+    #[test]
+    fn hard_link_shares_bytes_and_remove_file_deletes() {
+        let dir = tmpdir("link");
+        let fs = LocalFs;
+        let a = dir.join("obj");
+        let b = dir.join("linked");
+        fs.write(&a, b"payload").unwrap();
+        fs.hard_link(&a, &b).unwrap();
+        assert_eq!(fs.read(&b).unwrap(), b"payload");
+        // Linking onto an existing entry must fail, not clobber.
+        assert!(fs.hard_link(&a, &b).is_err());
+        // The link survives deletion of the original name.
+        fs.remove_file(&a).unwrap();
+        assert!(!fs.exists(&a));
+        assert_eq!(fs.read(&b).unwrap(), b"payload");
+        fs.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_fs_counts_and_gates_link_and_remove_ops() {
+        let dir = tmpdir("link-fault");
+        let f = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 2,
+                kind: FaultKind::Permanent,
+            },
+        );
+        let a = dir.join("obj");
+        f.write(&a, b"x").unwrap(); // op 0
+        f.hard_link(&a, &dir.join("l0")).unwrap(); // op 1
+                                                   // Op 2 onward: storage full. Linking is mutating and must fail...
+        let e = f.hard_link(&a, &dir.join("l1")).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::StorageFull);
+        assert!(!f.exists(&dir.join("l1")));
+        // ...while file deletion (GC / cleanup) still proceeds.
+        f.remove_file(&dir.join("l0")).unwrap();
+        assert!(!f.exists(&dir.join("l0")));
+        assert_eq!(f.ops_attempted(), 4);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! succeeds.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use llmt_ckpt::writer::{save_checkpoint_on, CheckpointReport, SaveRequest};
+use llmt_ckpt::writer::{
+    save_checkpoint_dedup_on, save_checkpoint_on, CheckpointReport, SaveRequest,
+};
 use llmt_ckpt::{CkptError, Result, TrainerState};
 use llmt_model::{LayerUnit, ModelConfig, ParamSet};
 use llmt_storage::vfs::{LocalFs, Storage};
@@ -42,6 +44,8 @@ pub struct SnapshotJob {
     pub trainer_state: TrainerState,
     /// Units to save.
     pub units: Vec<LayerUnit>,
+    /// Route the write through the content-addressed object store.
+    pub dedup: bool,
 }
 
 enum Msg {
@@ -79,18 +83,20 @@ impl AsyncCheckpointer {
             .spawn(move || {
                 while let Ok(Msg::Job(job)) = rx.recv() {
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        save_checkpoint_on(
-                            &*storage,
-                            &SaveRequest {
-                                root: &job.root,
-                                step: job.step,
-                                config: &job.config,
-                                params: &job.params,
-                                engine: &job.engine,
-                                trainer_state: &job.trainer_state,
-                                units: &job.units,
-                            },
-                        )
+                        let req = SaveRequest {
+                            root: &job.root,
+                            step: job.step,
+                            config: &job.config,
+                            params: &job.params,
+                            engine: &job.engine,
+                            trainer_state: &job.trainer_state,
+                            units: &job.units,
+                        };
+                        if job.dedup {
+                            save_checkpoint_dedup_on(&*storage, &req)
+                        } else {
+                            save_checkpoint_on(&*storage, &req)
+                        }
                     }))
                     .unwrap_or_else(|panic| {
                         let msg = panic
@@ -202,6 +208,7 @@ mod tests {
             engine: t.engine.clone(),
             trainer_state: t.trainer_state(),
             units,
+            dedup: false,
         }
     }
 

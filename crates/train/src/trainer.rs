@@ -2,7 +2,9 @@
 
 use crate::report::RunReport;
 use llmt_ckpt::manifest::SaveLog;
-use llmt_ckpt::writer::{save_checkpoint_on, CheckpointReport, SaveRequest};
+use llmt_ckpt::writer::{
+    save_checkpoint_dedup_on, save_checkpoint_on, CheckpointReport, SaveRequest,
+};
 use llmt_ckpt::{Result, TrainerState};
 use llmt_data::{BatchSource, DataTask};
 use llmt_model::{Model, ModelConfig, ParamSet};
@@ -69,6 +71,18 @@ pub struct TrainerConfig {
     /// never wall-sleep.
     #[serde(default)]
     pub crash_during_save: Option<FaultSpec>,
+    /// Route checkpoint payloads through the content-addressed object
+    /// store at `<run_root>/objects/`: each layer's bytes are stored once
+    /// under their digest and checkpoints hold hard links, so an unchanged
+    /// (e.g. frozen) layer costs pure metadata on repeat saves.
+    #[serde(default)]
+    pub dedup_checkpoints: bool,
+    /// Units excluded from training: their parameters and optimizer state
+    /// are held fixed across steps (the common PEFT/frozen-embedding
+    /// setup), which makes their checkpoint payloads byte-identical from
+    /// save to save — the dedup store's best case.
+    #[serde(default)]
+    pub frozen_units: Vec<llmt_model::LayerUnit>,
 }
 
 impl TrainerConfig {
@@ -90,6 +104,8 @@ impl TrainerConfig {
             async_checkpointing: false,
             max_grad_norm: Some(1.0),
             crash_during_save: None,
+            dedup_checkpoints: false,
+            frozen_units: Vec::new(),
         }
     }
 
@@ -141,6 +157,14 @@ pub struct Trainer {
     /// Storage stack every checkpoint write goes through (retry wrapper,
     /// optionally fault-injecting — see `TrainerConfig::crash_during_save`).
     storage: Arc<dyn Storage>,
+}
+
+/// Pre-step capture of frozen-unit state (see `Trainer::freeze_snapshot`).
+#[derive(Debug, Default)]
+struct FrozenSnapshot {
+    params: Vec<(String, llmt_tensor::Tensor)>,
+    /// `(rank, group id, shard state)` for every group a frozen unit owns.
+    shards: Vec<(usize, usize, llmt_zero::ShardState)>,
 }
 
 /// Trainer-side state for update-magnitude-driven selection: the strategy
@@ -329,10 +353,57 @@ impl Trainer {
             }
         }
         let lr = self.config.lr_schedule.lr_at(self.step);
+        let frozen = self.freeze_snapshot();
         self.engine.step(&mut self.model.params, &grads, lr, true);
+        self.restore_frozen(frozen);
         self.step += 1;
         self.loss_history.push((self.step, loss));
         loss
+    }
+
+    /// Pre-step capture of every frozen unit's parameters and of the
+    /// optimizer shards of the groups those units own. `None` when nothing
+    /// is frozen (the overwhelmingly common case — zero cost).
+    fn freeze_snapshot(&self) -> Option<FrozenSnapshot> {
+        if self.config.frozen_units.is_empty() {
+            return None;
+        }
+        let mut snap = FrozenSnapshot::default();
+        for unit in &self.config.frozen_units {
+            for spec in llmt_model::naming::unit_param_specs(&self.config.model_config, *unit) {
+                let t = self
+                    .model
+                    .params
+                    .get(&spec.name)
+                    .expect("frozen unit parameter exists")
+                    .clone();
+                snap.params.push((spec.name, t));
+            }
+        }
+        for g in self.engine.groups() {
+            if g.unit
+                .is_some_and(|u| self.config.frozen_units.contains(&u))
+            {
+                for rank in 0..self.engine.world_size {
+                    snap.shards
+                        .push((rank, g.id, self.engine.ranks[rank].shards[g.id].clone()));
+                }
+            }
+        }
+        Some(snap)
+    }
+
+    /// Undo the optimizer's effect on frozen units: parameters and shard
+    /// state return to their pre-step bytes, so repeat checkpoints of a
+    /// frozen layer are byte-identical.
+    fn restore_frozen(&mut self, snap: Option<FrozenSnapshot>) {
+        let Some(snap) = snap else { return };
+        for (name, t) in snap.params {
+            self.model.params.set(&name, t);
+        }
+        for (rank, gid, state) in snap.shards {
+            self.engine.ranks[rank].shards[gid] = state;
+        }
     }
 
     /// Trainer state for checkpointing.
@@ -360,18 +431,20 @@ impl Trainer {
     pub fn checkpoint(&mut self) -> Result<CheckpointReport> {
         let units = self.select_units();
         let ts = self.trainer_state();
-        let report = save_checkpoint_on(
-            &*self.storage,
-            &SaveRequest {
-                root: &self.config.run_root,
-                step: self.step,
-                config: &self.config.model_config,
-                params: &self.model.params,
-                engine: &self.engine,
-                trainer_state: &ts,
-                units: &units,
-            },
-        )?;
+        let req = SaveRequest {
+            root: &self.config.run_root,
+            step: self.step,
+            config: &self.config.model_config,
+            params: &self.model.params,
+            engine: &self.engine,
+            trainer_state: &ts,
+            units: &units,
+        };
+        let report = if self.config.dedup_checkpoints {
+            save_checkpoint_dedup_on(&*self.storage, &req)?
+        } else {
+            save_checkpoint_on(&*self.storage, &req)?
+        };
         for u in &report.units {
             self.save_log.record(*u, self.step);
         }
@@ -416,6 +489,7 @@ impl Trainer {
             engine: self.engine.clone(),
             trainer_state: ts,
             units,
+            dedup: self.config.dedup_checkpoints,
         };
         self.ckpt_event += 1;
         self.async_writer
@@ -442,7 +516,8 @@ impl Trainer {
             }
             self.save_log
                 .save_on(&*self.storage, &self.config.run_root.join("save_log.json"))?;
-            tally.record(ck.total_bytes, ck.files_written as u64);
+            tally.record(ck.physical_bytes, ck.files_written as u64);
+            tally.record_saved(ck.dedup_bytes);
             report.ckpt_steps.push(step);
         }
         Ok(())
@@ -473,7 +548,8 @@ impl Trainer {
                     self.checkpoint_async()?;
                 } else {
                     let ck = self.checkpoint()?;
-                    tally.record(ck.total_bytes, ck.files_written as u64);
+                    tally.record(ck.physical_bytes, ck.files_written as u64);
+                    tally.record_saved(ck.dedup_bytes);
                     report.ckpt_steps.push(self.step);
                 }
                 report.ckpt_secs += t1.elapsed().as_secs_f64();

@@ -27,17 +27,18 @@ use std::sync::Arc;
 
 const END: u64 = 8; // parity checkpoints at steps 2, 4, 6, 8
 
-fn chaos_config(root: &Path) -> TrainerConfig {
+fn chaos_config(root: &Path, dedup: bool) -> TrainerConfig {
     let mut cfg = TrainerConfig::test_default(root.to_path_buf());
     cfg.ckpt_interval = 2;
     cfg.strategy = StrategyKind::Parity;
+    cfg.dedup_checkpoints = dedup;
     cfg
 }
 
 /// Resume from `merged` and train to `END` without further checkpointing
 /// (so control recoveries at different horizons cannot clobber each other).
-fn resume_and_finish(merged: &Path, root: &Path) -> Trainer {
-    let mut cfg = chaos_config(root);
+fn resume_and_finish(merged: &Path, root: &Path, dedup: bool) -> Trainer {
+    let mut cfg = chaos_config(root, dedup);
     cfg.ckpt_interval = 0;
     let mut t = resume_trainer(merged, cfg).unwrap();
     t.train_until(END, None).unwrap();
@@ -56,13 +57,13 @@ fn assert_bit_exact(a: &Trainer, b: &Trainer, ctx: &str) {
     );
 }
 
-#[test]
-fn every_kill_point_resumes_bit_exact_from_newest_committed() {
+fn kill_point_sweep(dedup: bool) {
     // --- Census: count the ops of a clean run through a never-firing
     // FaultyFs, so the sweep covers exactly the real kill-points.
     let census_root = tempfile::tempdir().unwrap();
     let census_fs = Arc::new(FaultyFs::new(LocalFs, FaultSpec::never()));
-    let mut census = Trainer::with_storage(chaos_config(census_root.path()), census_fs.clone());
+    let mut census =
+        Trainer::with_storage(chaos_config(census_root.path(), dedup), census_fs.clone());
     census.train_until(END, None).unwrap();
     let total_ops = census_fs.ops_attempted();
     assert!(
@@ -78,7 +79,7 @@ fn every_kill_point_resumes_bit_exact_from_newest_committed() {
     // checkpoints a prefix-committed chaos run has, because training and
     // saving are deterministic.
     let control_root = tempfile::tempdir().unwrap();
-    let mut control = Trainer::new(chaos_config(control_root.path()));
+    let mut control = Trainer::new(chaos_config(control_root.path(), dedup));
     control.train_until(END, None).unwrap();
     drop(control);
     let mut control_cache: BTreeMap<u64, Trainer> = BTreeMap::new();
@@ -94,7 +95,7 @@ fn every_kill_point_resumes_bit_exact_from_newest_committed() {
         // Seed the tear offset with k so the sweep varies where each
         // torn file is cut.
         let fs = Arc::new(FaultyFs::with_seed(LocalFs, spec, k));
-        let mut t = Trainer::with_storage(chaos_config(root.path()), fs.clone());
+        let mut t = Trainer::with_storage(chaos_config(root.path(), dedup), fs.clone());
         let run = t.train_until(END, None);
         assert!(run.is_err(), "kill at op {k} must abort the run");
         assert!(fs.is_dead(), "kill at op {k} did not fire");
@@ -108,7 +109,7 @@ fn every_kill_point_resumes_bit_exact_from_newest_committed() {
             "kill at op {k}: committed {committed:?} is not a prefix of {clean_steps:?}"
         );
 
-        let cfg = chaos_config(root.path());
+        let cfg = chaos_config(root.path(), dedup);
         match recover_checkpoint(
             root.path(),
             &cfg.model_config,
@@ -122,7 +123,7 @@ fn every_kill_point_resumes_bit_exact_from_newest_committed() {
                 let s = *committed
                     .last()
                     .expect("recovery implies committed checkpoints");
-                let resumed = resume_and_finish(&merged, root.path());
+                let resumed = resume_and_finish(&merged, root.path(), dedup);
                 assert_eq!(resumed.step, END);
                 let control_root_path = control_root.path().to_path_buf();
                 let control_resumed = control_cache.entry(s).or_insert_with(|| {
@@ -133,7 +134,7 @@ fn every_kill_point_resumes_bit_exact_from_newest_committed() {
                         &format!("ctrl-{s}"),
                     )
                     .unwrap();
-                    resume_and_finish(&cm, &control_root_path)
+                    resume_and_finish(&cm, &control_root_path, dedup)
                 });
                 assert_bit_exact(
                     &resumed,
@@ -157,7 +158,7 @@ fn every_kill_point_resumes_bit_exact_from_newest_committed() {
                     &format!("rec2-{k}"),
                 )
                 .expect("recovery must survive pruning");
-                let resumed2 = resume_and_finish(&merged2, root.path());
+                let resumed2 = resume_and_finish(&merged2, root.path(), dedup);
                 assert_bit_exact(&resumed2, &resumed, &format!("kill at op {k} post-prune"));
             }
             Err(e) => {
@@ -178,4 +179,17 @@ fn every_kill_point_resumes_bit_exact_from_newest_committed() {
     // The sweep must have exercised both regimes.
     assert!(full_cover_kills > 0, "no kill-point ever had full coverage");
     assert!(thin_cover_kills > 0, "no kill-point ever had thin coverage");
+}
+
+#[test]
+fn every_kill_point_resumes_bit_exact_from_newest_committed() {
+    kill_point_sweep(false);
+}
+
+/// Same contract with the content-addressed store in the write path: the
+/// sweep additionally tears object staging, hard-link materialization and
+/// the post-prune garbage collection.
+#[test]
+fn every_kill_point_resumes_bit_exact_with_dedup_checkpoints() {
+    kill_point_sweep(true);
 }

@@ -1,0 +1,195 @@
+//! End-to-end contract of content-addressed (deduplicated) checkpointing:
+//!
+//! 1. With frozen layers, consecutive checkpoints store each frozen
+//!    layer's bytes exactly **once** — the manifests of both checkpoints
+//!    reference the same digest, the store holds one object per frozen
+//!    unit, and the refcount census sees both references.
+//! 2. Resuming from a deduplicated checkpoint is **bit-exact** with
+//!    resuming from a conventional checkpoint of the same run.
+//! 3. Garbage collection killed at *any* storage op never deletes a live
+//!    object: every surviving committed checkpoint still verifies, and a
+//!    clean retry finishes the sweep.
+
+use llmt_ckpt::PartialManifest;
+use llmt_model::LayerUnit;
+use llmt_storage::vfs::{FaultKind, FaultSpec, FaultyFs, LocalFs};
+use llmt_train::{resume_trainer, Trainer, TrainerConfig};
+use std::path::Path;
+
+fn dedup_config(root: &Path) -> TrainerConfig {
+    let mut cfg = TrainerConfig::test_default(root.to_path_buf());
+    cfg.ckpt_interval = 2;
+    cfg.dedup_checkpoints = true;
+    cfg
+}
+
+#[test]
+fn frozen_layer_bytes_are_stored_exactly_once_across_checkpoints() {
+    let dir = tempfile::tempdir().unwrap();
+    let mut cfg = dedup_config(dir.path());
+    cfg.frozen_units = vec![LayerUnit::EmbedTokens, LayerUnit::Transformer(0)];
+    let mut t = Trainer::new(cfg);
+    t.train_until(4, None).unwrap(); // checkpoints at 2 and 4
+    drop(t);
+
+    let load = |s: u64| {
+        PartialManifest::load(
+            &dir.path()
+                .join(format!("checkpoint-{s}/partial_manifest.json")),
+        )
+        .unwrap()
+        .objects
+        .expect("dedup manifests carry object references")
+    };
+    let (r2, r4) = (load(2), load(4));
+    // Frozen units share one object; the trained layer does not.
+    for unit in ["embed_tokens", "layers.0"] {
+        assert_eq!(
+            r2.weights[unit].digest, r4.weights[unit].digest,
+            "frozen unit {unit} must keep its digest"
+        );
+    }
+    assert_ne!(
+        r2.weights["layers.1"].digest, r4.weights["layers.1"].digest,
+        "unfrozen layer must actually change between checkpoints"
+    );
+
+    // The store holds each frozen layer once, each trained layer twice.
+    let du = llmtailor::du_run(dir.path()).unwrap();
+    assert_eq!(du.checkpoints, 2);
+    assert_eq!(du.per_unit_objects["embed_tokens"], 1);
+    assert_eq!(du.per_unit_objects["layers.0"], 1);
+    assert_eq!(du.per_unit_objects["layers.1"], 2);
+    assert!(
+        du.physical_bytes < du.logical_bytes,
+        "physical {} !< logical {}",
+        du.physical_bytes,
+        du.logical_bytes
+    );
+    assert!(du.dedup_ratio > 1.0, "ratio {}", du.dedup_ratio);
+
+    // Both checkpoints reference the shared objects (refcount 2).
+    let counts = llmtailor::gc::object_refcounts(dir.path()).unwrap();
+    for unit in ["embed_tokens", "layers.0"] {
+        let d = llmt_cas::Digest::parse_hex(&r2.weights[unit].digest).unwrap();
+        assert_eq!(counts[&d], 2, "frozen unit {unit}");
+    }
+
+    for s in [2u64, 4] {
+        let v = llmt_ckpt::verify_checkpoint(&dir.path().join(format!("checkpoint-{s}"))).unwrap();
+        assert!(v.ok(), "checkpoint-{s}: {:?}", v.findings);
+    }
+}
+
+#[test]
+fn dedup_resume_is_bit_exact_with_plain_resume() {
+    let dir_plain = tempfile::tempdir().unwrap();
+    let dir_dedup = tempfile::tempdir().unwrap();
+
+    let mut plain_cfg = dedup_config(dir_plain.path());
+    plain_cfg.dedup_checkpoints = false;
+    let mut plain = Trainer::new(plain_cfg.clone());
+    plain.train_until(4, None).unwrap();
+    drop(plain);
+
+    let dedup_cfg = dedup_config(dir_dedup.path());
+    let mut dedup = Trainer::new(dedup_cfg.clone());
+    dedup.train_until(4, None).unwrap();
+    drop(dedup);
+
+    // Resume both from their checkpoint-4 and train to 8 without further
+    // checkpointing; the trajectories must be indistinguishable.
+    let finish = |mut cfg: TrainerConfig, root: &Path| {
+        cfg.ckpt_interval = 0;
+        let mut t = resume_trainer(&root.join("checkpoint-4"), cfg).unwrap();
+        t.train_until(8, None).unwrap();
+        t
+    };
+    let a = finish(plain_cfg, dir_plain.path());
+    let b = finish(dedup_cfg, dir_dedup.path());
+
+    assert_eq!(a.step, b.step);
+    assert_eq!(a.loss_history, b.loss_history, "loss history diverged");
+    for ((spec, x), (_, y)) in a.model.params.iter().zip(b.model.params.iter()) {
+        assert_eq!(x.data(), y.data(), "tensor {} diverged", spec.name);
+    }
+    assert_eq!(a.engine.step_count, b.engine.step_count);
+    for rank in 0..a.engine.world_size {
+        for (gx, gy) in a.engine.ranks[rank]
+            .shards
+            .iter()
+            .zip(b.engine.ranks[rank].shards.iter())
+        {
+            assert_eq!(gx, gy, "rank {rank} optimizer shard diverged");
+        }
+    }
+}
+
+/// Two dedup checkpoints, then checkpoint-2 is deleted out from under the
+/// run: its exclusive objects are garbage, checkpoint-4's are live.
+fn build_garbage_run(root: &Path) {
+    let mut t = Trainer::new(dedup_config(root));
+    t.train_until(4, None).unwrap();
+    drop(t);
+    std::fs::remove_dir_all(root.join("checkpoint-2")).unwrap();
+}
+
+#[test]
+fn gc_killed_at_any_op_never_deletes_a_live_object() {
+    // Census: a clean sweep through a never-firing FaultyFs counts the
+    // kill-points and proves the setup really produces garbage.
+    let census_root = tempfile::tempdir().unwrap();
+    build_garbage_run(census_root.path());
+    let census_fs = FaultyFs::new(LocalFs, FaultSpec::never());
+    let report = llmtailor::collect_garbage_on(&census_fs, census_root.path()).unwrap();
+    assert!(
+        report.sweep.deleted_objects > 0,
+        "setup produced no garbage: {report:?}"
+    );
+    let total_ops = census_fs.ops_attempted();
+    assert!(total_ops > 0, "sweep used no storage ops");
+
+    for k in 0..total_ops {
+        let root = tempfile::tempdir().unwrap();
+        build_garbage_run(root.path());
+        let live = llmtailor::live_digests(root.path()).unwrap();
+        assert!(!live.is_empty());
+
+        let fs = FaultyFs::with_seed(
+            LocalFs,
+            FaultSpec {
+                at_op: k,
+                kind: FaultKind::TornWrite { keep_bytes: None },
+            },
+            k,
+        );
+        assert!(
+            llmtailor::collect_garbage_on(&fs, root.path()).is_err(),
+            "kill at op {k} must abort the sweep"
+        );
+        assert!(fs.is_dead(), "kill at op {k} did not fire");
+
+        // No live object gone, and the surviving checkpoint verifies in
+        // full (link integrity, digests, store presence).
+        let store = llmt_cas::ObjectStore::for_run_root(root.path());
+        for d in &live {
+            assert!(
+                store.contains(&LocalFs, *d),
+                "kill at op {k}: live object {d} deleted"
+            );
+        }
+        let v = llmt_ckpt::verify_checkpoint(&root.path().join("checkpoint-4")).unwrap();
+        assert!(v.ok(), "kill at op {k}: {:?}", v.findings);
+
+        // A clean retry finishes the interrupted sweep exactly.
+        llmtailor::collect_garbage(root.path()).unwrap();
+        let left = store.list(&LocalFs).unwrap();
+        assert_eq!(
+            left.len(),
+            live.len(),
+            "kill at op {k}: store not clean after retry"
+        );
+        let v = llmt_ckpt::verify_checkpoint(&root.path().join("checkpoint-4")).unwrap();
+        assert!(v.ok(), "kill at op {k} post-retry: {:?}", v.findings);
+    }
+}

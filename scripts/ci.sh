@@ -8,3 +8,7 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
+
+# Dedup smoke: a frozen-layer run through the content-addressed store must
+# cost less on disk than it claims logically, survive GC, and re-verify.
+cargo run --release -p llmt-bench --bin dedup_ratio -- --smoke
