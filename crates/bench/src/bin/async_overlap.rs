@@ -35,6 +35,8 @@ fn run(strategy: StrategyKind, async_ckpt: bool) -> (f64, f64, u64) {
         crash_during_save: None,
         dedup_checkpoints: false,
         frozen_units: Vec::new(),
+        ckpt_chunk_bytes: None,
+        sequential_ckpt_io: false,
     });
     let report = t.train_until(18, None).unwrap();
     (

@@ -1,0 +1,202 @@
+//! Save throughput and staging memory of the unified checkpoint engine,
+//! comparing its three entry modes — sync, async (copy-on-write snapshot)
+//! and dedup (content-addressed) — as JSON.
+//!
+//! Run: `cargo run --release -p llmt-bench --bin ckpt_throughput [-- --smoke]`
+//!
+//! Per mode: physical bytes, per-stage wall-clock split
+//! (snapshot/encode/place/commit), save MB/s over the staged time, and the
+//! peak bytes resident in the copy-on-write snapshot cache. The snapshot
+//! cache is the async path's memory bill — sync and dedup saves borrow
+//! live trainer state and must report a zero peak.
+//!
+//! `--smoke` runs a seconds-scale CI check on the tiny test model: every
+//! mode checkpoints and verifies, sync/async files are byte-identical in
+//! volume, async stages a bounded nonzero peak while sync stages nothing,
+//! and the engine's stage timings are populated. Exits non-zero on any
+//! violation.
+
+use llmt_storage::{IoTally, StageTimings};
+use llmt_train::{Trainer, TrainerConfig};
+use serde_json::json;
+use std::path::Path;
+
+struct ModeResult {
+    tally: IoTally,
+    peak_staged_bytes: u64,
+    snapshot_clones: u64,
+    wall_secs: f64,
+}
+
+fn check(ok: bool, what: &str) {
+    if !ok {
+        eprintln!("ckpt_throughput smoke FAILED: {what}");
+        std::process::exit(1);
+    }
+}
+
+fn verify_all(root: &Path) {
+    for cp in llmt_ckpt::scan_run_root(root).committed {
+        let v = llmt_ckpt::verify_checkpoint(&cp.dir).unwrap();
+        check(
+            v.ok(),
+            &format!("{} failed verification: {:?}", cp.dir.display(), v.findings),
+        );
+    }
+}
+
+/// Train to `steps` with a checkpoint every `interval`, in one of the
+/// three engine modes, and collect the tally plus snapshot-cache stats.
+fn run_mode(root: &Path, mut cfg: TrainerConfig, async_ckpt: bool, dedup: bool) -> ModeResult {
+    cfg.run_root = root.to_path_buf();
+    cfg.async_checkpointing = async_ckpt;
+    cfg.dedup_checkpoints = dedup;
+    let steps = cfg.ckpt_interval * 2;
+    let mut t = Trainer::new(cfg);
+    let t0 = std::time::Instant::now();
+    let report = t.train_until(steps, None).unwrap();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let gauge = t.snapshot_gauge();
+    ModeResult {
+        tally: report.ckpt_io,
+        peak_staged_bytes: gauge.peak_bytes(),
+        snapshot_clones: gauge.clones(),
+        wall_secs,
+    }
+}
+
+fn mb_per_s(bytes: u64, stages: &StageTimings) -> f64 {
+    let secs = stages.total_secs();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / 1e6 / secs
+}
+
+fn mode_json(name: &str, r: &ModeResult) -> serde_json::Value {
+    json!({
+        "mode": name,
+        "physical_bytes": r.tally.bytes,
+        "files": r.tally.files,
+        "ckpt_events": r.tally.events,
+        "dedup_saved_bytes": r.tally.dedup_saved,
+        "stages_ns": {
+            "snapshot": r.tally.stages.snapshot_ns,
+            "encode": r.tally.stages.encode_ns,
+            "place": r.tally.stages.place_ns,
+            "commit": r.tally.stages.commit_ns,
+        },
+        "save_mb_per_s": mb_per_s(r.tally.bytes, &r.tally.stages),
+        "peak_staged_bytes": r.peak_staged_bytes,
+        "snapshot_clones": r.snapshot_clones,
+        "wall_secs": r.wall_secs,
+    })
+}
+
+fn run_all(cfg: &TrainerConfig) -> [(String, ModeResult, tempfile::TempDir); 3] {
+    [
+        ("sync", false, false),
+        ("async", true, false),
+        ("dedup", false, true),
+    ]
+    .map(|(name, a, d)| {
+        let dir = tempfile::tempdir().unwrap();
+        let r = run_mode(dir.path(), cfg.clone(), a, d);
+        (name.to_string(), r, dir)
+    })
+}
+
+fn smoke() {
+    let mut cfg = TrainerConfig::test_default(std::path::PathBuf::new());
+    cfg.ckpt_interval = 2;
+    let [(_, sync, sync_dir), (_, asyn, async_dir), (_, dedup, dedup_dir)] = run_all(&cfg);
+
+    for (name, dir) in [
+        ("sync", sync_dir.path()),
+        ("async", async_dir.path()),
+        ("dedup", dedup_dir.path()),
+    ] {
+        let committed = llmt_ckpt::scan_run_root(dir).committed_steps();
+        check(
+            committed == vec![2, 4],
+            &format!("{name}: committed {committed:?}"),
+        );
+        verify_all(dir);
+    }
+
+    // Sync and async write the same conventional files.
+    check(
+        sync.tally.bytes == asyn.tally.bytes && sync.tally.files == asyn.tally.files,
+        &format!(
+            "sync ({} B / {} files) and async ({} B / {} files) volumes differ",
+            sync.tally.bytes, sync.tally.files, asyn.tally.bytes, asyn.tally.files
+        ),
+    );
+    // Only the async path stages copy-on-write snapshot memory.
+    check(
+        sync.peak_staged_bytes == 0,
+        "sync save staged snapshot bytes",
+    );
+    check(
+        dedup.peak_staged_bytes == 0,
+        "dedup sync save staged snapshot bytes",
+    );
+    check(
+        asyn.peak_staged_bytes > 0,
+        "async save staged no snapshot bytes",
+    );
+    check(asyn.snapshot_clones > 0, "async save cloned no unit blocks");
+    check(
+        asyn.peak_staged_bytes < sync.tally.bytes,
+        "async staging peak exceeded the run's total written bytes",
+    );
+    // Stage timings flow from the engine into the run tally.
+    for (name, r) in [("sync", &sync), ("async", &asyn), ("dedup", &dedup)] {
+        let s = &r.tally.stages;
+        check(
+            s.encode_ns > 0 && s.place_ns > 0 && s.commit_ns > 0,
+            &format!("{name}: empty stage timings {s:?}"),
+        );
+    }
+    check(
+        asyn.tally.stages.snapshot_ns > 0,
+        "async snapshot time missing",
+    );
+    check(
+        sync.tally.stages.snapshot_ns == 0,
+        "sync save reported snapshot time",
+    );
+    println!(
+        "ckpt_throughput smoke OK: sync {} B, async peak staged {} B ({} clones)",
+        sync.tally.bytes, asyn.peak_staged_bytes, asyn.snapshot_clones
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    // Simulation-scale measurement on the 8B-shaped model.
+    let model = llmt_model::ModelConfig::llama31_8b_sim();
+    let mut cfg = TrainerConfig::test_default(std::path::PathBuf::new());
+    cfg.model_config = model.clone();
+    cfg.seq_len = 32;
+    cfg.ckpt_interval = 2;
+    eprintln!(
+        "measuring sync/async/dedup saves on {}...",
+        model.model_name
+    );
+    let results = run_all(&cfg);
+
+    let out = json!({
+        "model": model.model_name,
+        "ckpt_interval": cfg.ckpt_interval,
+        "modes": results
+            .iter()
+            .map(|(name, r, _)| mode_json(name, r))
+            .collect::<Vec<_>>(),
+    });
+    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+}

@@ -38,6 +38,8 @@ fn main() {
         crash_during_save: None,
         dedup_checkpoints: false,
         frozen_units: Vec::new(),
+        ckpt_chunk_bytes: None,
+        sequential_ckpt_io: false,
     };
     eprintln!("training 40 steps with full checkpoints every 10...");
     let mut t = Trainer::new(cfg.clone());

@@ -32,6 +32,8 @@ fn measured(model: ModelConfig, task: DataTask, strategy: StrategyKind) -> (u64,
         crash_during_save: None,
         dedup_checkpoints: false,
         frozen_units: Vec::new(),
+        ckpt_chunk_bytes: None,
+        sequential_ckpt_io: false,
     });
     let report = t.train_until(24, None).unwrap();
     (

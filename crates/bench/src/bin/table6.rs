@@ -103,6 +103,8 @@ fn main() {
                 crash_during_save: None,
                 dedup_checkpoints: false,
                 frozen_units: Vec::new(),
+                ckpt_chunk_bytes: None,
+                sequential_ckpt_io: false,
             });
             let report = t.train_until(30, None).unwrap();
             (report.ckpt_io.bytes, report.measured_proportion())

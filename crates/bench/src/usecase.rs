@@ -83,6 +83,8 @@ impl UseCaseSpec {
             crash_during_save: None,
             dedup_checkpoints: false,
             frozen_units: Vec::new(),
+            ckpt_chunk_bytes: None,
+            sequential_ckpt_io: false,
         }
     }
 }

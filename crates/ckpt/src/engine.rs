@@ -1,0 +1,865 @@
+//! The unified checkpoint save engine.
+//!
+//! Every save in the repo — sync or async, conventional or deduplicated,
+//! from the trainer, the merge driver, or a bench — goes through one
+//! pipeline: **enumerate units → snapshot → encode → place → commit**.
+//!
+//! * *Enumerate*: validate and canonicalize the unit selection, map it to
+//!   the optimizer groups it covers (paper §4.1 layer-wise layout).
+//! * *Snapshot*: where state comes from is abstracted behind
+//!   [`StateSource`] — sync saves borrow live trainer state
+//!   ([`LiveState`]); async saves hand the engine a copy-on-write
+//!   snapshot captured by the trainer. The engine itself never clones
+//!   model or optimizer state.
+//! * *Encode*: tensor payloads are traversed exactly once, in bounded
+//!   chunks, feeding both the file write and an incremental SHA-256
+//!   ([`llmt_cas::Hasher`]) — there is no whole-checkpoint `Vec<u8>`
+//!   anywhere on this path, and the streamed bytes are guaranteed
+//!   identical to what the whole-buffer [`crate::safetensors::encode`]
+//!   would produce (they share header construction).
+//! * *Place*: conventional saves stream into staging files; dedup saves
+//!   hash first (zero storage ops) and only stream payloads the
+//!   content-addressed store does not already hold, hard-linking objects
+//!   into the checkpoint directory.
+//! * *Commit*: metadata, the `COMMIT` marker sealing the manifest, the
+//!   atomic rename, and the run-root fsync — unchanged from the
+//!   two-phase protocol documented in [`crate::writer`].
+//!
+//! The engine also owns the **single failure path**: any error *or panic*
+//! inside the staged phase removes the `checkpoint-<N>.tmp` staging
+//! directory best-effort before surfacing, so no caller — in particular
+//! not the async writer thread — can leak `.tmp` debris on a live
+//! filesystem. (If the storage handle itself is dead, removal fails too;
+//! that torn state is exactly what recovery quarantines.)
+//!
+//! Per-stage wall-clock timings (snapshot/encode/place/commit) are
+//! reported in [`CheckpointReport::timings`] and accumulated into
+//! [`llmt_storage::IoTally`] by the trainer.
+
+use crate::error::{io_err, CkptError, Result};
+use crate::layout::{commit_marker_contents, CheckpointPaths};
+use crate::manifest::{CasRefs, ObjectRef, PartialManifest};
+use crate::safetensors;
+use crate::trainer_state::TrainerState;
+use crate::writer::{CheckpointReport, SaveRequest};
+use crate::zero_meta::{shard_tensor_names, GroupMeta, ZeroMeta};
+use llmt_cas::{ObjectStore, PutOutcome};
+use llmt_model::naming::unit_param_specs;
+use llmt_model::{LayerUnit, ModelConfig, ParamSet};
+use llmt_optim::GroupSpec;
+use llmt_storage::vfs::Storage;
+use llmt_storage::StageTimings;
+use llmt_tensor::{DType, RawTensor, Shape};
+use llmt_zero::{ShardState, ZeroEngine};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::time::Instant;
+
+/// Default streaming chunk size for tensor payloads. Large enough that
+/// chunking cost is noise, small enough to bound buffer residency; the
+/// chaos suite shrinks it to force multi-chunk files and mid-file tears.
+pub const DEFAULT_CHUNK_BYTES: usize = 256 * 1024;
+
+/// How a save's per-rank optimizer shard files are written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Shard files in parallel on the rayon pool (the paper parallelizes
+    /// shard I/O with a process pool).
+    #[default]
+    Rayon,
+    /// Strictly sequential writes. Gives the fault injector a fully
+    /// deterministic op schedule; dedup saves are always sequential for
+    /// the same reason (and so identical shards dedup instead of racing).
+    Sequential,
+}
+
+/// Knobs shared by every save path. `SaveRequest` says *what* to save;
+/// `SaveOptions` says *how*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveOptions {
+    /// Route payloads through the content-addressed store at
+    /// `<root>/objects/` instead of writing them in place.
+    pub dedup: bool,
+    /// Streaming chunk size in bytes (clamped to at least 1).
+    pub chunk_bytes: usize,
+    /// Shard-file write strategy for conventional saves.
+    pub parallelism: Parallelism,
+}
+
+impl Default for SaveOptions {
+    fn default() -> Self {
+        SaveOptions {
+            dedup: false,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            parallelism: Parallelism::Rayon,
+        }
+    }
+}
+
+impl SaveOptions {
+    /// Default options with dedup toggled.
+    pub fn dedup(dedup: bool) -> Self {
+        SaveOptions {
+            dedup,
+            ..SaveOptions::default()
+        }
+    }
+}
+
+/// Where checkpoint state comes from. Sync saves borrow the live model
+/// and optimizer ([`LiveState`]); async saves present a copy-on-write
+/// snapshot. The engine is written against this trait, which is what
+/// collapses the sync/async split into one code path.
+pub trait StateSource: Sync {
+    /// Model configuration.
+    fn model_config(&self) -> &ModelConfig;
+    /// Optimizer group specs, indexed by group id.
+    fn group_specs(&self) -> &[GroupSpec];
+    /// Simulated data-parallel world size.
+    fn world_size(&self) -> usize;
+    /// Elements per rank shard of group `gid`.
+    fn shard_len(&self, gid: usize) -> usize;
+    /// 1-based count of completed optimizer steps.
+    fn optimizer_step(&self) -> u64;
+    /// One unit's BF16 weight tensors in canonical spec order.
+    fn unit_weight_tensors(&self, unit: LayerUnit) -> Result<Vec<(String, RawTensor)>>;
+    /// The three Adam state vectors of the `(rank, gid)` shard.
+    fn shard_tensors(&self, rank: usize, gid: usize) -> Vec<(String, RawTensor)>;
+}
+
+/// [`StateSource`] over borrowed live trainer state (sync saves).
+pub struct LiveState<'a> {
+    /// Model config.
+    pub config: &'a ModelConfig,
+    /// Model weights (the BF16 training copy).
+    pub params: &'a ParamSet,
+    /// Sharded optimizer engine.
+    pub engine: &'a ZeroEngine,
+}
+
+impl StateSource for LiveState<'_> {
+    fn model_config(&self) -> &ModelConfig {
+        self.config
+    }
+
+    fn group_specs(&self) -> &[GroupSpec] {
+        self.engine.groups()
+    }
+
+    fn world_size(&self) -> usize {
+        self.engine.world_size
+    }
+
+    fn shard_len(&self, gid: usize) -> usize {
+        self.engine.shard_len(gid)
+    }
+
+    fn optimizer_step(&self) -> u64 {
+        self.engine.step_count
+    }
+
+    fn unit_weight_tensors(&self, unit: LayerUnit) -> Result<Vec<(String, RawTensor)>> {
+        unit_weight_tensors(self.config, self.params, unit)
+    }
+
+    fn shard_tensors(&self, rank: usize, gid: usize) -> Vec<(String, RawTensor)> {
+        shard_state_tensors(&self.engine.ranks[rank].shards[gid], gid)
+    }
+}
+
+/// One unit's BF16 weight tensors pulled out of a [`ParamSet`], in
+/// canonical spec order. Shared by [`LiveState`] and the trainer's
+/// copy-on-write snapshot capture.
+pub fn unit_weight_tensors(
+    config: &ModelConfig,
+    params: &ParamSet,
+    unit: LayerUnit,
+) -> Result<Vec<(String, RawTensor)>> {
+    let specs = unit_param_specs(config, unit);
+    let mut tensors = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let t = params
+            .get(&spec.name)
+            .ok_or_else(|| CkptError::Missing(spec.name.clone()))?;
+        tensors.push((spec.name.clone(), t.to_raw(DType::BF16)));
+    }
+    Ok(tensors)
+}
+
+/// The three Adam state vectors of one `(rank, group)` shard, named for
+/// safetensors storage. Shared by the engine, snapshots, and the merge
+/// driver.
+pub fn shard_state_tensors(shard: &ShardState, gid: usize) -> Vec<(String, RawTensor)> {
+    let names = shard_tensor_names(gid);
+    let len = shard.master.len();
+    let [master, exp_avg, exp_avg_sq] = names;
+    vec![
+        (
+            master,
+            RawTensor::from_f32s(&shard.master, Shape::new(vec![len]), DType::F32),
+        ),
+        (
+            exp_avg,
+            RawTensor::from_f32s(&shard.exp_avg, Shape::new(vec![len]), DType::F32),
+        ),
+        (
+            exp_avg_sq,
+            RawTensor::from_f32s(&shard.exp_avg_sq, Shape::new(vec![len]), DType::F32),
+        ),
+    ]
+}
+
+/// Place a tensor payload in the content-addressed store and hard-link
+/// the object at `dest`. Hash-first: the image is digested in one
+/// bounded-memory pass (zero storage ops), and only a store miss streams
+/// the payload — so a dedup hit costs exactly one counted op (the link).
+pub fn place_tensors_object(
+    storage: &dyn Storage,
+    store: &ObjectStore,
+    tensors: &[(String, RawTensor)],
+    metadata: &BTreeMap<String, String>,
+    chunk_bytes: usize,
+    dest: &Path,
+) -> Result<PutOutcome> {
+    let (prefix, len, digest) = safetensors::image_digest(tensors, metadata)?;
+    let chunk_bytes = chunk_bytes.max(1);
+    let chunks = std::iter::once(prefix.as_slice()).chain(
+        tensors
+            .iter()
+            .flat_map(move |(_, t)| t.bytes().chunks(chunk_bytes)),
+    );
+    let out = store
+        .put_stream(storage, digest, len, chunks)
+        .map_err(io_err(store.root_dir()))?;
+    storage
+        .hard_link(&store.object_path(out.digest), dest)
+        .map_err(io_err(dest))?;
+    Ok(out)
+}
+
+/// Save a checkpoint from a live-state [`SaveRequest`]. This is what the
+/// `save_checkpoint*` wrappers and the trainer's sync path call.
+pub fn save(
+    storage: &dyn Storage,
+    req: &SaveRequest,
+    opts: &SaveOptions,
+) -> Result<CheckpointReport> {
+    let source = LiveState {
+        config: req.config,
+        params: req.params,
+        engine: req.engine,
+    };
+    save_source(
+        storage,
+        req.root,
+        req.step,
+        &source,
+        req.trainer_state,
+        req.units,
+        opts,
+    )
+}
+
+/// Save a checkpoint from any [`StateSource`] (the async writer passes a
+/// copy-on-write snapshot here). Validates and canonicalizes the unit
+/// selection, then runs the staged pipeline under the single failure
+/// path: on error *or panic* the staging directory is removed
+/// best-effort before the failure surfaces.
+pub fn save_source(
+    storage: &dyn Storage,
+    root: &Path,
+    step: u64,
+    source: &dyn StateSource,
+    trainer_state: &TrainerState,
+    units: &[LayerUnit],
+    opts: &SaveOptions,
+) -> Result<CheckpointReport> {
+    let config = source.model_config();
+    for u in units {
+        if !u.exists_in(config) {
+            return Err(CkptError::Incompatible(format!(
+                "unit {u} does not exist in model {}",
+                config.model_name
+            )));
+        }
+    }
+    let mut units: Vec<LayerUnit> = units.to_vec();
+    units.sort();
+    units.dedup();
+    let all_units = LayerUnit::all(config);
+    let full = units.len() == all_units.len();
+
+    // Which optimizer groups are covered by the selection?
+    let groups = source.group_specs();
+    let layerwise = groups.iter().all(|g| g.unit.is_some());
+    if !layerwise && !full {
+        return Err(CkptError::Incompatible(
+            "partial checkpointing requires the layer-wise (2L+x) group layout; \
+             the stock 2-group optimizer file is inseparable (paper §4.1)"
+                .into(),
+        ));
+    }
+    let present: Vec<usize> = groups
+        .iter()
+        .filter(|g| match g.unit {
+            Some(u) => units.contains(&u),
+            None => true, // stock layout, full save
+        })
+        .map(|g| g.id)
+        .collect();
+
+    let staging = CheckpointPaths::staging_under(root, step);
+    let plan = StagePlan {
+        root,
+        step,
+        source,
+        trainer_state,
+        staging: &staging,
+        units: &units,
+        present: &present,
+        full,
+        opts,
+    };
+    // Single failure path: errors and panics inside the staged phase both
+    // funnel through the same best-effort staging cleanup. The async
+    // writer thread relies on this — its old catch_unwind sat *outside*
+    // the writer's error-path cleanup, which could leak `.tmp` dirs.
+    match catch_unwind(AssertUnwindSafe(|| write_staged_and_commit(storage, &plan))) {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(e)) => {
+            cleanup_staging(storage, &staging);
+            Err(e)
+        }
+        Err(panic) => {
+            cleanup_staging(storage, &staging);
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(CkptError::Format(format!(
+                "checkpoint writer panicked: {msg}"
+            )))
+        }
+    }
+}
+
+/// Best-effort staging removal. If the storage is dead (simulated crash)
+/// this fails silently — exactly the torn state the scanner quarantines.
+fn cleanup_staging(storage: &dyn Storage, staging: &CheckpointPaths) {
+    if storage.exists(&staging.dir) {
+        let _ = storage.remove_dir_all(&staging.dir);
+    }
+}
+
+/// Everything the staged phase needs, bundled to keep one signature.
+struct StagePlan<'a> {
+    root: &'a Path,
+    step: u64,
+    source: &'a dyn StateSource,
+    trainer_state: &'a TrainerState,
+    staging: &'a CheckpointPaths,
+    units: &'a [LayerUnit],
+    present: &'a [usize],
+    full: bool,
+    opts: &'a SaveOptions,
+}
+
+/// Phase 1 + 2 + 3 of the commit protocol, against the staging directory.
+fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<CheckpointReport> {
+    let config = plan.source.model_config();
+    let staging = plan.staging;
+    let dedup = plan.opts.dedup;
+    let chunk = plan.opts.chunk_bytes.max(1);
+    let world = plan.source.world_size();
+    let mut timings = StageTimings::default();
+
+    // A leftover staging dir from a previously crashed save must not leak
+    // stale files into this one.
+    if storage.exists(&staging.dir) {
+        storage
+            .remove_dir_all(&staging.dir)
+            .map_err(io_err(&staging.dir))?;
+    }
+    storage
+        .create_dir_all(&staging.global_step_dir())
+        .map_err(io_err(staging.global_step_dir()))?;
+    if dedup {
+        storage
+            .create_dir_all(&staging.units_dir())
+            .map_err(io_err(staging.units_dir()))?;
+    }
+
+    let mut files_written = 0usize;
+    let mut meta_bytes = 0u64;
+    // Dedup accounting: payload bytes actually written vs. satisfied by
+    // objects the store already held.
+    let mut physical_payload = 0u64;
+    let mut dedup_bytes = 0u64;
+    let mut refs = dedup.then(CasRefs::default);
+    let store = ObjectStore::for_run_root(plan.root);
+
+    let mut st_meta = BTreeMap::new();
+    st_meta.insert("format".to_string(), "pt".to_string());
+
+    // 1. Model weights (BF16), selected units only. Conventional saves
+    //    stream one consolidated `model.safetensors`; dedup saves emit one
+    //    object per unit — the layer-wise dedup granule — hard-linked
+    //    under `units/`.
+    let mut digests = BTreeMap::new();
+    let model_bytes: u64 = if let Some(refs) = refs.as_mut() {
+        let mut total = 0u64;
+        for unit in plan.units {
+            let t0 = Instant::now();
+            let tensors = plan.source.unit_weight_tensors(*unit)?;
+            for (name, t) in &tensors {
+                digests.insert(name.clone(), t.digest());
+            }
+            timings.encode_ns += t0.elapsed().as_nanos() as u64;
+
+            let t1 = Instant::now();
+            let key = unit.as_string();
+            let out = place_tensors_object(
+                storage,
+                &store,
+                &tensors,
+                &st_meta,
+                chunk,
+                &staging.unit_weights(&key),
+            )?;
+            timings.place_ns += t1.elapsed().as_nanos() as u64;
+            if out.written {
+                physical_payload += out.len;
+            } else {
+                dedup_bytes += out.len;
+            }
+            refs.weights.insert(
+                key,
+                ObjectRef {
+                    digest: out.digest.to_hex(),
+                    bytes: out.len,
+                },
+            );
+            total += out.len;
+            files_written += 1;
+        }
+        total
+    } else {
+        let t0 = Instant::now();
+        let mut weight_tensors: Vec<(String, RawTensor)> = Vec::new();
+        for unit in plan.units {
+            let tensors = plan.source.unit_weight_tensors(*unit)?;
+            for (name, t) in &tensors {
+                digests.insert(name.clone(), t.digest());
+            }
+            weight_tensors.extend(tensors);
+        }
+        timings.encode_ns += t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let (n, _digest) = safetensors::stream_file_on(
+            storage,
+            &staging.model(),
+            &weight_tensors,
+            &st_meta,
+            chunk,
+        )?;
+        timings.place_ns += t1.elapsed().as_nanos() as u64;
+        files_written += 1;
+        n
+    };
+
+    // 2. Optimizer state. Conventional: per-rank shard files, streamed,
+    //    optionally in parallel. Dedup: one object per (rank, group) —
+    //    always sequential, so the fault injector's op schedule stays
+    //    deterministic and identical shards across ranks dedup instead of
+    //    racing.
+    let optim_bytes: u64 = if let Some(refs) = refs.as_mut() {
+        let mut total = 0u64;
+        for rank in 0..world {
+            for gid in plan.present {
+                let t0 = Instant::now();
+                let tensors = plan.source.shard_tensors(rank, *gid);
+                timings.encode_ns += t0.elapsed().as_nanos() as u64;
+
+                let t1 = Instant::now();
+                let out = place_tensors_object(
+                    storage,
+                    &store,
+                    &tensors,
+                    &BTreeMap::new(),
+                    chunk,
+                    &staging.optim_group(rank, *gid),
+                )?;
+                timings.place_ns += t1.elapsed().as_nanos() as u64;
+                if out.written {
+                    physical_payload += out.len;
+                } else {
+                    dedup_bytes += out.len;
+                }
+                refs.optim.insert(
+                    CasRefs::optim_key(rank, *gid),
+                    ObjectRef {
+                        digest: out.digest.to_hex(),
+                        bytes: out.len,
+                    },
+                );
+                total += out.len;
+                files_written += 1;
+            }
+        }
+        total
+    } else {
+        let t1 = Instant::now();
+        let write_rank = |rank: usize| -> Result<u64> {
+            let mut tensors: Vec<(String, RawTensor)> = Vec::with_capacity(plan.present.len() * 3);
+            for gid in plan.present {
+                tensors.extend(plan.source.shard_tensors(rank, *gid));
+            }
+            let (n, _digest) = safetensors::stream_file_on(
+                storage,
+                &staging.optim_shard(rank),
+                &tensors,
+                &BTreeMap::new(),
+                chunk,
+            )?;
+            Ok(n)
+        };
+        let totals: Vec<u64> = match plan.opts.parallelism {
+            Parallelism::Rayon => (0..world)
+                .into_par_iter()
+                .map(write_rank)
+                .collect::<Result<Vec<u64>>>()?,
+            Parallelism::Sequential => (0..world).map(write_rank).collect::<Result<Vec<u64>>>()?,
+        };
+        timings.place_ns += t1.elapsed().as_nanos() as u64;
+        files_written += world;
+        totals.into_iter().sum()
+    };
+
+    let t_commit = Instant::now();
+
+    // Small JSON files are written inline (and synced) so their exact byte
+    // counts are known without re-reading.
+    let put = |path: &Path, bytes: &[u8]| -> Result<u64> {
+        storage.write(path, bytes).map_err(io_err(path))?;
+        storage.sync(path).map_err(io_err(path))?;
+        Ok(bytes.len() as u64)
+    };
+
+    // 3. ZeRO metadata.
+    let zero_meta = ZeroMeta {
+        world_size: world,
+        num_layers: config.num_hidden_layers,
+        tied: config.tie_word_embeddings,
+        optimizer_step: plan.source.optimizer_step(),
+        groups_present: plan.present.to_vec(),
+        groups: plan
+            .source
+            .group_specs()
+            .iter()
+            .map(|g| GroupMeta {
+                id: g.id,
+                numel: g.numel,
+                shard_len: plan.source.shard_len(g.id),
+                weight_decay: g.weight_decay,
+            })
+            .collect(),
+    };
+    meta_bytes += put(
+        &staging.zero_meta(),
+        serde_json::to_string_pretty(&zero_meta)?.as_bytes(),
+    )?;
+    files_written += 1;
+
+    // 4. Config + trainer state + latest marker + manifest (paper §4.4).
+    let config_json = serde_json::to_string_pretty(config)?;
+    meta_bytes += put(&staging.config(), config_json.as_bytes())?;
+    let state_json = serde_json::to_string_pretty(plan.trainer_state)?;
+    meta_bytes += put(&staging.trainer_state(), state_json.as_bytes())?;
+    meta_bytes += put(
+        &staging.latest(),
+        format!("global_step{}\n", plan.step).as_bytes(),
+    )?;
+    let manifest = PartialManifest {
+        step: plan.step,
+        units: plan.units.to_vec(),
+        weight_digests: digests,
+        full: plan.full,
+        objects: refs,
+    };
+    let manifest_json = serde_json::to_string_pretty(&manifest)?;
+    meta_bytes += put(&staging.manifest(), manifest_json.as_bytes())?;
+    files_written += 4;
+
+    // 5. Seal: the COMMIT marker goes in only after every payload byte is
+    //    durable, so its presence certifies the whole directory.
+    let marker = commit_marker_contents(plan.step, manifest_json.as_bytes());
+    meta_bytes += put(&staging.commit_marker(), marker.as_bytes())?;
+    files_written += 1;
+
+    // 6. Swap into place atomically and persist the rename.
+    let paths = CheckpointPaths::under(plan.root, plan.step);
+    if storage.exists(&paths.dir) {
+        storage
+            .remove_dir_all(&paths.dir)
+            .map_err(io_err(&paths.dir))?;
+    }
+    storage
+        .rename(&staging.dir, &paths.dir)
+        .map_err(io_err(&staging.dir))?;
+    storage.sync(plan.root).map_err(io_err(plan.root))?;
+    timings.commit_ns += t_commit.elapsed().as_nanos() as u64;
+
+    let total_bytes = model_bytes + optim_bytes + meta_bytes;
+    Ok(CheckpointReport {
+        paths,
+        total_bytes,
+        model_bytes,
+        optim_bytes,
+        files_written,
+        units: plan.units.to_vec(),
+        physical_bytes: if dedup {
+            physical_payload + meta_bytes
+        } else {
+            total_bytes
+        },
+        dedup_bytes,
+        timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::save_checkpoint_on;
+    use llmt_model::Model;
+    use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
+    use llmt_storage::vfs::LocalFs;
+    use llmt_tensor::rng::Prng;
+
+    fn make_state(cfg: &ModelConfig, world: usize) -> (Model, ZeroEngine, TrainerState) {
+        let mut model = Model::new(cfg.clone(), 13);
+        let mut engine = ZeroEngine::new(
+            &model.params,
+            build_groups(cfg, GroupLayout::LayerWise),
+            world,
+            AdamWHyper::default(),
+        );
+        let mut rng = Prng::seed_from_u64(4);
+        let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+        let batch = llmt_model::Batch::new(tokens, 2, 8);
+        let mut grads = ParamSet::zeros(cfg);
+        model.loss_and_grad(&batch, &mut grads);
+        engine.step(&mut model.params, &grads, 1e-3, true);
+        let ts = TrainerState {
+            global_step: 1,
+            ckpt_event: 0,
+            lr_schedule: LrSchedule::Constant { lr: 1e-3 },
+            last_lr: 1e-3,
+            loss_history: vec![(1, 3.0)],
+            data_rng: Prng::seed_from_u64(1),
+            task: "test".into(),
+            model_name: cfg.model_name.clone(),
+            micro_batch: 2,
+            grad_accum: 1,
+            seq_len: 8,
+        };
+        (model, engine, ts)
+    }
+
+    /// A [`StateSource`] that panics while producing shard tensors —
+    /// drives the writer-panic arm of the single failure path.
+    struct PanickingSource<'a>(LiveState<'a>);
+
+    impl StateSource for PanickingSource<'_> {
+        fn model_config(&self) -> &ModelConfig {
+            self.0.model_config()
+        }
+        fn group_specs(&self) -> &[GroupSpec] {
+            self.0.group_specs()
+        }
+        fn world_size(&self) -> usize {
+            self.0.world_size()
+        }
+        fn shard_len(&self, gid: usize) -> usize {
+            self.0.shard_len(gid)
+        }
+        fn optimizer_step(&self) -> u64 {
+            self.0.optimizer_step()
+        }
+        fn unit_weight_tensors(&self, unit: LayerUnit) -> Result<Vec<(String, RawTensor)>> {
+            self.0.unit_weight_tensors(unit)
+        }
+        fn shard_tensors(&self, _rank: usize, _gid: usize) -> Vec<(String, RawTensor)> {
+            panic!("injected writer panic");
+        }
+    }
+
+    #[test]
+    fn panicking_writer_is_reported_as_error_and_cleans_staging() {
+        let cfg = ModelConfig::tiny_test();
+        let (model, engine, ts) = make_state(&cfg, 2);
+        let dir = tempfile::tempdir().unwrap();
+        let source = PanickingSource(LiveState {
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+        });
+        let err = save_source(
+            &LocalFs,
+            dir.path(),
+            5,
+            &source,
+            &ts,
+            &LayerUnit::all(&cfg),
+            &SaveOptions::default(),
+        )
+        .unwrap_err();
+        match err {
+            CkptError::Format(msg) => assert!(msg.contains("injected writer panic"), "{msg}"),
+            other => panic!("expected Format error, got {other}"),
+        }
+        // The single failure path removed the staging dir despite the
+        // panic — previously only the async worker's catch_unwind fired,
+        // *after* skipping the writer's own cleanup.
+        let leftovers: Vec<String> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            leftovers.iter().all(|n| !n.ends_with(".tmp")),
+            "tmp debris left behind: {leftovers:?}"
+        );
+    }
+
+    #[test]
+    fn sequential_and_rayon_saves_are_byte_identical() {
+        let cfg = ModelConfig::tiny_test();
+        let (model, engine, ts) = make_state(&cfg, 2);
+        let mk_req = |parallelism: Parallelism| -> tempfile::TempDir {
+            let dir = tempfile::tempdir().unwrap();
+            save(
+                &LocalFs,
+                &SaveRequest {
+                    root: dir.path(),
+                    step: 7,
+                    config: &cfg,
+                    params: &model.params,
+                    engine: &engine,
+                    trainer_state: &ts,
+                    units: &LayerUnit::all(&cfg),
+                },
+                &SaveOptions {
+                    parallelism,
+                    chunk_bytes: 512,
+                    ..SaveOptions::default()
+                },
+            )
+            .unwrap();
+            dir
+        };
+        let da = mk_req(Parallelism::Sequential);
+        let db = mk_req(Parallelism::Rayon);
+        let pa = CheckpointPaths::under(da.path(), 7);
+        let pb = CheckpointPaths::under(db.path(), 7);
+        for f in [
+            (pa.model(), pb.model()),
+            (pa.optim_shard(0), pb.optim_shard(0)),
+            (pa.optim_shard(1), pb.optim_shard(1)),
+        ] {
+            assert_eq!(std::fs::read(f.0).unwrap(), std::fs::read(f.1).unwrap());
+        }
+    }
+
+    #[test]
+    fn streamed_save_matches_seed_writer_bytes_and_report() {
+        // The engine with a tiny chunk size must produce the exact same
+        // payload files and accounting as the default configuration.
+        let cfg = ModelConfig::tiny_test();
+        let (model, engine, ts) = make_state(&cfg, 2);
+        let mk = |opts: &SaveOptions| {
+            let dir = tempfile::tempdir().unwrap();
+            let report = save(
+                &LocalFs,
+                &SaveRequest {
+                    root: dir.path(),
+                    step: 3,
+                    config: &cfg,
+                    params: &model.params,
+                    engine: &engine,
+                    trainer_state: &ts,
+                    units: &LayerUnit::all(&cfg),
+                },
+                opts,
+            )
+            .unwrap();
+            (dir, report)
+        };
+        let (da, ra) = mk(&SaveOptions::default());
+        let (db, rb) = mk(&SaveOptions {
+            chunk_bytes: 64,
+            ..SaveOptions::default()
+        });
+        assert_eq!(ra.total_bytes, rb.total_bytes);
+        assert_eq!(ra.model_bytes, rb.model_bytes);
+        assert_eq!(ra.optim_bytes, rb.optim_bytes);
+        assert_eq!(ra.files_written, rb.files_written);
+        let pa = CheckpointPaths::under(da.path(), 3);
+        let pb = CheckpointPaths::under(db.path(), 3);
+        assert_eq!(
+            std::fs::read(pa.model()).unwrap(),
+            std::fs::read(pb.model()).unwrap()
+        );
+        // Wrapper equivalence: the legacy entry point is the same save.
+        let dc = tempfile::tempdir().unwrap();
+        let rc = save_checkpoint_on(
+            &LocalFs,
+            &SaveRequest {
+                root: dc.path(),
+                step: 3,
+                config: &cfg,
+                params: &model.params,
+                engine: &engine,
+                trainer_state: &ts,
+                units: &LayerUnit::all(&cfg),
+            },
+        )
+        .unwrap();
+        assert_eq!(rc.total_bytes, ra.total_bytes);
+        assert_eq!(
+            std::fs::read(CheckpointPaths::under(dc.path(), 3).model()).unwrap(),
+            std::fs::read(pa.model()).unwrap()
+        );
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let cfg = ModelConfig::tiny_test();
+        let (model, engine, ts) = make_state(&cfg, 1);
+        let dir = tempfile::tempdir().unwrap();
+        let report = save(
+            &LocalFs,
+            &SaveRequest {
+                root: dir.path(),
+                step: 1,
+                config: &cfg,
+                params: &model.params,
+                engine: &engine,
+                trainer_state: &ts,
+                units: &LayerUnit::all(&cfg),
+            },
+            &SaveOptions::default(),
+        )
+        .unwrap();
+        // Sync saves never snapshot; the other stages all did real work.
+        assert_eq!(report.timings.snapshot_ns, 0);
+        assert!(report.timings.encode_ns > 0);
+        assert!(report.timings.place_ns > 0);
+        assert!(report.timings.commit_ns > 0);
+        assert!(report.timings.total_secs() > 0.0);
+    }
+}

@@ -12,7 +12,9 @@
 //!   actually contains — the artifact the paper's selective strategies
 //!   produce and LLMTailor consumes.
 //!
-//! [`writer`] saves full or partial checkpoints; [`reader`] loads them
+//! [`engine`] is the single save pipeline (enumerate → snapshot → encode →
+//! place → commit) behind every sync/async/dedup save; [`writer`] keeps the
+//! legacy entry points as thin wrappers over it. [`reader`] loads them
 //! either eagerly (whole-file, the paper's semantics: "the optimizer state
 //! can only be accessed after the checkpoint is fully loaded") or lazily
 //! by byte range (the improvement the paper's §5.4 closing remark
@@ -26,6 +28,7 @@
 //! `llmt_storage::vfs::Storage`, so the chaos suite can kill a save at any
 //! individual I/O operation.
 
+pub mod engine;
 pub mod error;
 pub mod layout;
 pub mod manifest;
@@ -36,6 +39,7 @@ pub mod verify;
 pub mod writer;
 pub mod zero_meta;
 
+pub use engine::{LiveState, Parallelism, SaveOptions, StateSource, DEFAULT_CHUNK_BYTES};
 pub use error::{CkptError, Result};
 pub use layout::{scan_run_root, CheckpointPaths, CommitStatus, QuarantinedDir, ScanReport};
 pub use manifest::{effective_save_log, CasRefs, ObjectRef, PartialManifest};

@@ -56,12 +56,14 @@ impl SafetensorsIndex {
     }
 }
 
-/// Serialize tensors (with optional metadata) into an in-memory
-/// safetensors image: 8-byte header length, JSON header, packed data.
-pub fn encode(
+/// Build the image prefix — 8-byte little-endian header length plus the
+/// JSON header — and return it with the data-section length. Both the
+/// whole-buffer [`encode`] and the streaming writers go through this one
+/// function, which is what makes their outputs byte-identical.
+fn image_prefix(
     tensors: &[(String, RawTensor)],
     metadata: &BTreeMap<String, String>,
-) -> Result<Vec<u8>> {
+) -> Result<(Vec<u8>, u64)> {
     let mut header = serde_json::Map::new();
     if !metadata.is_empty() {
         header.insert("__metadata__".to_string(), serde_json::to_value(metadata)?);
@@ -81,14 +83,82 @@ pub fn encode(
         offset += len;
     }
     let header_bytes = serde_json::to_vec(&serde_json::Value::Object(header))?;
+    let mut prefix = Vec::with_capacity(8 + header_bytes.len());
+    prefix.extend_from_slice(&(header_bytes.len() as u64).to_le_bytes());
+    prefix.extend_from_slice(&header_bytes);
+    Ok((prefix, offset))
+}
 
-    let mut out = Vec::with_capacity(8 + header_bytes.len() + offset as usize);
-    out.extend_from_slice(&(header_bytes.len() as u64).to_le_bytes());
-    out.extend_from_slice(&header_bytes);
+/// Serialize tensors (with optional metadata) into an in-memory
+/// safetensors image: 8-byte header length, JSON header, packed data.
+pub fn encode(
+    tensors: &[(String, RawTensor)],
+    metadata: &BTreeMap<String, String>,
+) -> Result<Vec<u8>> {
+    let (prefix, data_len) = image_prefix(tensors, metadata)?;
+    let mut out = Vec::with_capacity(prefix.len() + data_len as usize);
+    out.extend_from_slice(&prefix);
     for (_, t) in tensors {
         out.extend_from_slice(t.bytes());
     }
     Ok(out)
+}
+
+/// Hash-first pass for content addressing: one traversal of the exact
+/// image [`encode`] would produce, but through an incremental SHA-256
+/// instead of a buffer. Returns the image prefix (header bytes), the
+/// total image length, and its digest. Costs zero storage ops — the
+/// dedup path calls this to decide whether any write is needed at all.
+pub fn image_digest(
+    tensors: &[(String, RawTensor)],
+    metadata: &BTreeMap<String, String>,
+) -> Result<(Vec<u8>, u64, llmt_cas::Digest)> {
+    let (prefix, data_len) = image_prefix(tensors, metadata)?;
+    let mut h = llmt_cas::Hasher::new();
+    h.update(&prefix);
+    for (_, t) in tensors {
+        h.update(t.bytes());
+    }
+    Ok((prefix, prefix.len() as u64 + data_len, h.finalize()))
+}
+
+/// Streaming variant of [`write_file_on`]: tensor bytes go through a
+/// [`Storage`] write stream in `chunk_bytes` chunks, and every byte is
+/// also fed to an incremental SHA-256 — one bounded-memory traversal
+/// shared by the file write and the content digest. The digest equals
+/// `Digest::of(&encode(..))` of the same tensors, and the file is
+/// byte-identical to what [`write_file_on`] produces.
+pub fn stream_file_on(
+    storage: &dyn Storage,
+    path: &Path,
+    tensors: &[(String, RawTensor)],
+    metadata: &BTreeMap<String, String>,
+    chunk_bytes: usize,
+) -> Result<(u64, llmt_cas::Digest)> {
+    let (prefix, data_len) = image_prefix(tensors, metadata)?;
+    let chunk_bytes = chunk_bytes.max(1);
+    let mut h = llmt_cas::Hasher::new();
+    let mut stream = storage.create_stream(path).map_err(io_err(path))?;
+    h.update(&prefix);
+    stream.write_chunk(&prefix).map_err(io_err(path))?;
+    for (_, t) in tensors {
+        for chunk in t.bytes().chunks(chunk_bytes) {
+            h.update(chunk);
+            stream.write_chunk(chunk).map_err(io_err(path))?;
+        }
+    }
+    stream.finish().map_err(io_err(path))?;
+    Ok((prefix.len() as u64 + data_len, h.finalize()))
+}
+
+/// [`stream_file_on`] against the local filesystem.
+pub fn stream_file(
+    path: &Path,
+    tensors: &[(String, RawTensor)],
+    metadata: &BTreeMap<String, String>,
+    chunk_bytes: usize,
+) -> Result<(u64, llmt_cas::Digest)> {
+    stream_file_on(&LocalFs, path, tensors, metadata, chunk_bytes)
 }
 
 /// Serialize tensors (with optional metadata) to a safetensors file.
@@ -352,6 +422,27 @@ mod tests {
         write_file(&path, &sample_tensors(), &BTreeMap::new()).unwrap();
         let (_, meta) = read_file(&path).unwrap();
         assert!(meta.is_empty());
+    }
+
+    #[test]
+    fn streamed_file_is_byte_identical_to_encoded_buffer() {
+        let dir = tempfile::tempdir().unwrap();
+        let tensors = sample_tensors();
+        let mut meta = BTreeMap::new();
+        meta.insert("format".to_string(), "pt".to_string());
+        let whole = encode(&tensors, &meta).unwrap();
+        // Chunk sizes straddling none/one/many chunk boundaries.
+        for chunk in [1usize, 7, 64, 1 << 20] {
+            let path = dir.path().join(format!("s{chunk}.safetensors"));
+            let (len, digest) = stream_file(&path, &tensors, &meta, chunk).unwrap();
+            assert_eq!(len, whole.len() as u64);
+            assert_eq!(std::fs::read(&path).unwrap(), whole, "chunk={chunk}");
+            assert_eq!(digest, llmt_cas::Digest::of(&whole), "chunk={chunk}");
+        }
+        let (prefix, total, digest) = image_digest(&tensors, &meta).unwrap();
+        assert_eq!(total, whole.len() as u64);
+        assert_eq!(digest, llmt_cas::Digest::of(&whole));
+        assert_eq!(&whole[..prefix.len()], &prefix[..]);
     }
 
     #[test]

@@ -21,20 +21,14 @@
 //! `*.tmp` debris behind (unless the storage itself is dead, in which case
 //! nothing can be removed anyway).
 
-use crate::error::{io_err, CkptError, Result};
+use crate::engine::{self, SaveOptions};
+use crate::error::{io_err, Result};
 use crate::layout::{commit_marker_contents, CheckpointPaths};
-use crate::manifest::{CasRefs, ObjectRef, PartialManifest};
-use crate::safetensors;
 use crate::trainer_state::TrainerState;
-use crate::zero_meta::{shard_tensor_names, GroupMeta, ZeroMeta};
-use llmt_cas::ObjectStore;
-use llmt_model::naming::unit_param_specs;
 use llmt_model::{LayerUnit, ModelConfig, ParamSet};
 use llmt_storage::vfs::{LocalFs, Storage};
-use llmt_tensor::{DType, RawTensor, Shape};
+use llmt_storage::StageTimings;
 use llmt_zero::ZeroEngine;
-use rayon::prelude::*;
-use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Everything a save needs.
@@ -78,16 +72,21 @@ pub struct CheckpointReport {
     pub physical_bytes: u64,
     /// Payload bytes satisfied by objects already in the store.
     pub dedup_bytes: u64,
+    /// Wall-clock time spent in each engine stage of this save
+    /// (snapshot/encode/place/commit). `snapshot_ns` is zero for sync
+    /// saves, which borrow live state; async saves fill it in from the
+    /// trainer-side capture.
+    pub timings: StageTimings,
 }
 
 /// Save a (possibly partial) checkpoint on the local filesystem.
 pub fn save_checkpoint(req: &SaveRequest) -> Result<CheckpointReport> {
-    save_checkpoint_on(&LocalFs, req)
+    engine::save(&LocalFs, req, &SaveOptions::default())
 }
 
 /// [`save_checkpoint_dedup_on`] on the local filesystem.
 pub fn save_checkpoint_dedup(req: &SaveRequest) -> Result<CheckpointReport> {
-    save_checkpoint_dedup_on(&LocalFs, req)
+    engine::save(&LocalFs, req, &SaveOptions::dedup(true))
 }
 
 /// Save a (possibly partial) checkpoint through a [`Storage`], using the
@@ -95,7 +94,7 @@ pub fn save_checkpoint_dedup(req: &SaveRequest) -> Result<CheckpointReport> {
 /// the staging directory is removed best-effort before the error is
 /// surfaced.
 pub fn save_checkpoint_on(storage: &dyn Storage, req: &SaveRequest) -> Result<CheckpointReport> {
-    save_impl(storage, req, false)
+    engine::save(storage, req, &SaveOptions::default())
 }
 
 /// Deduplicated save: layer payloads go through the content-addressed
@@ -108,329 +107,7 @@ pub fn save_checkpoint_dedup_on(
     storage: &dyn Storage,
     req: &SaveRequest,
 ) -> Result<CheckpointReport> {
-    save_impl(storage, req, true)
-}
-
-fn save_impl(storage: &dyn Storage, req: &SaveRequest, dedup: bool) -> Result<CheckpointReport> {
-    let config = req.config;
-    for u in req.units {
-        if !u.exists_in(config) {
-            return Err(CkptError::Incompatible(format!(
-                "unit {u} does not exist in model {}",
-                config.model_name
-            )));
-        }
-    }
-    let mut units: Vec<LayerUnit> = req.units.to_vec();
-    units.sort();
-    units.dedup();
-    let all_units = LayerUnit::all(config);
-    let full = units.len() == all_units.len();
-
-    // Which optimizer groups are covered by the selection?
-    let groups = req.engine.groups();
-    let layerwise = groups.iter().all(|g| g.unit.is_some());
-    if !layerwise && !full {
-        return Err(CkptError::Incompatible(
-            "partial checkpointing requires the layer-wise (2L+x) group layout; \
-             the stock 2-group optimizer file is inseparable (paper §4.1)"
-                .into(),
-        ));
-    }
-    let present: Vec<usize> = groups
-        .iter()
-        .filter(|g| match g.unit {
-            Some(u) => units.contains(&u),
-            None => true, // stock layout, full save
-        })
-        .map(|g| g.id)
-        .collect();
-
-    let staging = CheckpointPaths::staging_under(req.root, req.step);
-    match write_staged_and_commit(storage, req, &staging, units, &present, full, dedup) {
-        Ok(report) => Ok(report),
-        Err(e) => {
-            // Best-effort debris removal: a failed save must not leave a
-            // `.tmp` dir behind. If the storage itself is dead (simulated
-            // crash) this fails too — exactly the torn state the scanner
-            // quarantines.
-            if storage.exists(&staging.dir) {
-                let _ = storage.remove_dir_all(&staging.dir);
-            }
-            Err(e)
-        }
-    }
-}
-
-/// The three Adam state vectors of one `(rank, group)` shard, named for
-/// safetensors storage.
-fn shard_tensors(engine: &ZeroEngine, rank: usize, gid: usize) -> Vec<(String, RawTensor)> {
-    let shard = &engine.ranks[rank].shards[gid];
-    let names = shard_tensor_names(gid);
-    let len = shard.master.len();
-    vec![
-        (
-            names[0].clone(),
-            RawTensor::from_f32s(&shard.master, Shape::new(vec![len]), DType::F32),
-        ),
-        (
-            names[1].clone(),
-            RawTensor::from_f32s(&shard.exp_avg, Shape::new(vec![len]), DType::F32),
-        ),
-        (
-            names[2].clone(),
-            RawTensor::from_f32s(&shard.exp_avg_sq, Shape::new(vec![len]), DType::F32),
-        ),
-    ]
-}
-
-/// Put `img` into the store (dedup on content) and hard-link the object
-/// into the staging directory at `dest`.
-fn put_object(
-    storage: &dyn Storage,
-    store: &ObjectStore,
-    img: &[u8],
-    dest: &Path,
-) -> Result<llmt_cas::PutOutcome> {
-    let out = store.put(storage, img).map_err(io_err(store.root_dir()))?;
-    storage
-        .hard_link(&store.object_path(out.digest), dest)
-        .map_err(io_err(dest))?;
-    Ok(out)
-}
-
-/// Phase 1 + 2 + 3 of the commit protocol, against the staging directory.
-fn write_staged_and_commit(
-    storage: &dyn Storage,
-    req: &SaveRequest,
-    staging: &CheckpointPaths,
-    units: Vec<LayerUnit>,
-    present: &[usize],
-    full: bool,
-    dedup: bool,
-) -> Result<CheckpointReport> {
-    let config = req.config;
-
-    // A leftover staging dir from a previously crashed save must not leak
-    // stale files into this one.
-    if storage.exists(&staging.dir) {
-        storage
-            .remove_dir_all(&staging.dir)
-            .map_err(io_err(&staging.dir))?;
-    }
-    storage
-        .create_dir_all(&staging.global_step_dir())
-        .map_err(io_err(staging.global_step_dir()))?;
-    if dedup {
-        storage
-            .create_dir_all(&staging.units_dir())
-            .map_err(io_err(staging.units_dir()))?;
-    }
-
-    let mut files_written = 0usize;
-    let mut meta_bytes = 0u64;
-    // Dedup accounting: payload bytes actually written vs. satisfied by
-    // objects the store already held.
-    let mut physical_payload = 0u64;
-    let mut dedup_bytes = 0u64;
-    let mut refs = dedup.then(CasRefs::default);
-    let store = ObjectStore::for_run_root(req.root);
-
-    let mut st_meta = BTreeMap::new();
-    st_meta.insert("format".to_string(), "pt".to_string());
-
-    // 1. Model weights (BF16), selected units only. Conventional saves
-    //    consolidate into one `model.safetensors`; dedup saves emit one
-    //    object per unit — the layer-wise dedup granule — hard-linked
-    //    under `units/`.
-    let mut digests = BTreeMap::new();
-    let model_bytes: u64 = if let Some(refs) = refs.as_mut() {
-        let mut total = 0u64;
-        for unit in &units {
-            let mut tensors: Vec<(String, RawTensor)> = Vec::new();
-            for spec in unit_param_specs(config, *unit) {
-                let t = req
-                    .params
-                    .get(&spec.name)
-                    .ok_or_else(|| CkptError::Missing(spec.name.clone()))?;
-                let raw = t.to_raw(DType::BF16);
-                digests.insert(spec.name.clone(), raw.digest());
-                tensors.push((spec.name.clone(), raw));
-            }
-            let key = unit.as_string();
-            let img = safetensors::encode(&tensors, &st_meta)?;
-            let out = put_object(storage, &store, &img, &staging.unit_weights(&key))?;
-            if out.written {
-                physical_payload += out.len;
-            } else {
-                dedup_bytes += out.len;
-            }
-            refs.weights.insert(
-                key,
-                ObjectRef {
-                    digest: out.digest.to_hex(),
-                    bytes: out.len,
-                },
-            );
-            total += out.len;
-            files_written += 1;
-        }
-        total
-    } else {
-        let mut weight_tensors: Vec<(String, RawTensor)> = Vec::new();
-        for unit in &units {
-            for spec in unit_param_specs(config, *unit) {
-                let t = req
-                    .params
-                    .get(&spec.name)
-                    .ok_or_else(|| CkptError::Missing(spec.name.clone()))?;
-                let raw = t.to_raw(DType::BF16);
-                digests.insert(spec.name.clone(), raw.digest());
-                weight_tensors.push((spec.name.clone(), raw));
-            }
-        }
-        let n = safetensors::write_file_on(storage, &staging.model(), &weight_tensors, &st_meta)?;
-        files_written += 1;
-        n
-    };
-
-    // 2. Optimizer state. Conventional: per-rank shard files in parallel
-    //    (the paper parallelizes shard I/O with a process pool; rayon
-    //    here). Dedup: one object per (rank, group) — sequential, so the
-    //    fault injector's op schedule stays deterministic and identical
-    //    shards across ranks dedup instead of racing.
-    let optim_bytes: u64 = if let Some(refs) = refs.as_mut() {
-        let mut total = 0u64;
-        for rank in 0..req.engine.world_size {
-            for gid in present {
-                let tensors = shard_tensors(req.engine, rank, *gid);
-                let img = safetensors::encode(&tensors, &BTreeMap::new())?;
-                let out = put_object(storage, &store, &img, &staging.optim_group(rank, *gid))?;
-                if out.written {
-                    physical_payload += out.len;
-                } else {
-                    dedup_bytes += out.len;
-                }
-                refs.optim.insert(
-                    CasRefs::optim_key(rank, *gid),
-                    ObjectRef {
-                        digest: out.digest.to_hex(),
-                        bytes: out.len,
-                    },
-                );
-                total += out.len;
-                files_written += 1;
-            }
-        }
-        total
-    } else {
-        let total = (0..req.engine.world_size)
-            .into_par_iter()
-            .map(|rank| -> Result<u64> {
-                let mut tensors: Vec<(String, RawTensor)> = Vec::with_capacity(present.len() * 3);
-                for gid in present {
-                    tensors.extend(shard_tensors(req.engine, rank, *gid));
-                }
-                safetensors::write_file_on(
-                    storage,
-                    &staging.optim_shard(rank),
-                    &tensors,
-                    &BTreeMap::new(),
-                )
-            })
-            .collect::<Result<Vec<u64>>>()?
-            .into_iter()
-            .sum();
-        files_written += req.engine.world_size;
-        total
-    };
-
-    // Small JSON files are written inline (and synced) so their exact byte
-    // counts are known without re-reading.
-    let put = |path: &Path, bytes: &[u8]| -> Result<u64> {
-        storage.write(path, bytes).map_err(io_err(path))?;
-        storage.sync(path).map_err(io_err(path))?;
-        Ok(bytes.len() as u64)
-    };
-
-    // 3. ZeRO metadata.
-    let zero_meta = ZeroMeta {
-        world_size: req.engine.world_size,
-        num_layers: config.num_hidden_layers,
-        tied: config.tie_word_embeddings,
-        optimizer_step: req.engine.step_count,
-        groups_present: present.to_vec(),
-        groups: req
-            .engine
-            .groups()
-            .iter()
-            .map(|g| GroupMeta {
-                id: g.id,
-                numel: g.numel,
-                shard_len: req.engine.shard_len(g.id),
-                weight_decay: g.weight_decay,
-            })
-            .collect(),
-    };
-    meta_bytes += put(
-        &staging.zero_meta(),
-        serde_json::to_string_pretty(&zero_meta)?.as_bytes(),
-    )?;
-    files_written += 1;
-
-    // 4. Config + trainer state + latest marker + manifest (paper §4.4).
-    let config_json = serde_json::to_string_pretty(config)?;
-    meta_bytes += put(&staging.config(), config_json.as_bytes())?;
-    let state_json = serde_json::to_string_pretty(req.trainer_state)?;
-    meta_bytes += put(&staging.trainer_state(), state_json.as_bytes())?;
-    meta_bytes += put(
-        &staging.latest(),
-        format!("global_step{}\n", req.step).as_bytes(),
-    )?;
-    let manifest = PartialManifest {
-        step: req.step,
-        units: units.clone(),
-        weight_digests: digests,
-        full,
-        objects: refs,
-    };
-    let manifest_json = serde_json::to_string_pretty(&manifest)?;
-    meta_bytes += put(&staging.manifest(), manifest_json.as_bytes())?;
-    files_written += 4;
-
-    // 5. Seal: the COMMIT marker goes in only after every payload byte is
-    //    durable, so its presence certifies the whole directory.
-    let marker = commit_marker_contents(req.step, manifest_json.as_bytes());
-    meta_bytes += put(&staging.commit_marker(), marker.as_bytes())?;
-    files_written += 1;
-
-    // 6. Swap into place atomically and persist the rename.
-    let paths = CheckpointPaths::under(req.root, req.step);
-    if storage.exists(&paths.dir) {
-        storage
-            .remove_dir_all(&paths.dir)
-            .map_err(io_err(&paths.dir))?;
-    }
-    storage
-        .rename(&staging.dir, &paths.dir)
-        .map_err(io_err(&staging.dir))?;
-    storage.sync(req.root).map_err(io_err(req.root))?;
-
-    let total_bytes = model_bytes + optim_bytes + meta_bytes;
-    Ok(CheckpointReport {
-        paths,
-        total_bytes,
-        model_bytes,
-        optim_bytes,
-        files_written,
-        units,
-        physical_bytes: if dedup {
-            physical_payload + meta_bytes
-        } else {
-            total_bytes
-        },
-        dedup_bytes,
-    })
+    engine::save(storage, req, &SaveOptions::dedup(true))
 }
 
 /// Seal an already-written checkpoint directory (e.g. a merge output) with
@@ -458,6 +135,10 @@ pub fn commit_checkpoint_on(storage: &dyn Storage, paths: &CheckpointPaths) -> R
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::CkptError;
+    use crate::manifest::PartialManifest;
+    use crate::zero_meta::ZeroMeta;
+    use llmt_cas::ObjectStore;
     use llmt_model::{Model, ModelConfig};
     use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
     use llmt_tensor::rng::Prng;

@@ -44,6 +44,32 @@ proptest! {
         }
     }
 
+    /// The streaming writer is a drop-in for the whole-buffer encoder:
+    /// for arbitrary dtypes, shapes and chunk sizes the file bytes are
+    /// identical to `encode`'s image and the incremental digest equals
+    /// the digest of that image.
+    #[test]
+    fn streaming_writer_matches_whole_buffer_encoder(
+        tensors in prop::collection::btree_map("[a-z]{1,8}", arb_tensor(), 1..6),
+        meta in prop::collection::btree_map("[a-z]{1,6}", "[a-z]{0,10}", 0..3),
+        chunk in 1usize..512,
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.safetensors");
+        let list: Vec<(String, RawTensor)> =
+            tensors.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let whole = safetensors::encode(&list, &meta).unwrap();
+        let (len, digest) = safetensors::stream_file(&path, &list, &meta, chunk).unwrap();
+        prop_assert_eq!(len, whole.len() as u64);
+        prop_assert_eq!(std::fs::read(&path).unwrap(), whole.clone());
+        prop_assert_eq!(digest, llmt_cas::Digest::of(&whole));
+        // And the zero-op hash pass agrees with both.
+        let (prefix, total, d2) = safetensors::image_digest(&list, &meta).unwrap();
+        prop_assert_eq!(total, whole.len() as u64);
+        prop_assert_eq!(d2, digest);
+        prop_assert_eq!(&whole[..prefix.len()], &prefix[..]);
+    }
+
     /// Raw bytes of the data section are tightly packed: total file size
     /// is 8 + header + sum of tensor bytes.
     #[test]

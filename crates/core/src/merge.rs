@@ -21,16 +21,16 @@ use crate::error::{Result, TailorError};
 use crate::plan::MergePlan;
 use crate::recipe::MergeRecipe;
 use llmt_cas::{Digest, ObjectStore};
+use llmt_ckpt::engine;
 use llmt_ckpt::reader::IoStats;
-use llmt_ckpt::zero_meta::shard_tensor_names;
 use llmt_ckpt::{
     safetensors, CasRefs, CheckpointHandle, CheckpointPaths, LoadMode, ObjectRef, PartialManifest,
-    ZeroMeta,
+    ZeroMeta, DEFAULT_CHUNK_BYTES,
 };
 use llmt_model::naming::unit_param_specs;
 use llmt_optim::GroupIndexMap;
 use llmt_storage::vfs::{LocalFs, Storage};
-use llmt_tensor::{DType, RawTensor, Shape};
+use llmt_tensor::RawTensor;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -183,10 +183,17 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
                     for (name, t) in &tensors {
                         digests.insert(name.clone(), t.digest());
                     }
-                    let img = safetensors::encode(&tensors, &st_meta)?;
-                    let outc = store.put(&fs, &img).map_err(io_as_tailor(&dest))?;
-                    fs.hard_link(&store.object_path(outc.digest), &dest)
-                        .map_err(io_as_tailor(&dest))?;
+                    // Same placement the trainer's dedup saves use, so a
+                    // merged layer and the save it came from share one
+                    // object.
+                    let outc = engine::place_tensors_object(
+                        &fs,
+                        store,
+                        &tensors,
+                        &st_meta,
+                        DEFAULT_CHUNK_BYTES,
+                        &dest,
+                    )?;
                     if outc.written {
                         physical_bytes += outc.len;
                     }
@@ -257,7 +264,8 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
         for h in handles.values() {
             io.absorb(&h.stats());
         }
-        let n = safetensors::write_file(&out.model(), &weight_tensors, &st_meta)?;
+        let (n, _digest) =
+            safetensors::stream_file(&out.model(), &weight_tensors, &st_meta, DEFAULT_CHUNK_BYTES)?;
         bytes_written += n;
         physical_bytes += n;
         files_written += 1;
@@ -309,38 +317,15 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
                             }
                             let h = handles.get_mut(src.as_path()).expect("just inserted");
                             let shard = h.group_shard(rank, g)?;
-                            let names = shard_tensor_names(g);
-                            let len = shard.master.len();
-                            let tensors = vec![
-                                (
-                                    names[0].clone(),
-                                    RawTensor::from_f32s(
-                                        &shard.master,
-                                        Shape::new(vec![len]),
-                                        DType::F32,
-                                    ),
-                                ),
-                                (
-                                    names[1].clone(),
-                                    RawTensor::from_f32s(
-                                        &shard.exp_avg,
-                                        Shape::new(vec![len]),
-                                        DType::F32,
-                                    ),
-                                ),
-                                (
-                                    names[2].clone(),
-                                    RawTensor::from_f32s(
-                                        &shard.exp_avg_sq,
-                                        Shape::new(vec![len]),
-                                        DType::F32,
-                                    ),
-                                ),
-                            ];
-                            let img = safetensors::encode(&tensors, &BTreeMap::new())?;
-                            let outc = store.put(&fs, &img).map_err(io_as_tailor(&dest))?;
-                            fs.hard_link(&store.object_path(outc.digest), &dest)
-                                .map_err(io_as_tailor(&dest))?;
+                            let tensors = engine::shard_state_tensors(&shard, g);
+                            let outc = engine::place_tensors_object(
+                                &fs,
+                                store,
+                                &tensors,
+                                &BTreeMap::new(),
+                                DEFAULT_CHUNK_BYTES,
+                                &dest,
+                            )?;
                             if outc.written {
                                 physical += outc.len;
                             }
@@ -417,23 +402,14 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
                 for (g, shard) in per_group.into_iter().enumerate() {
                     let shard = shard
                         .ok_or_else(|| TailorError::Plan(format!("group {g} was never fetched")))?;
-                    let names = shard_tensor_names(g);
-                    let len = shard.master.len();
-                    tensors.push((
-                        names[0].clone(),
-                        RawTensor::from_f32s(&shard.master, Shape::new(vec![len]), DType::F32),
-                    ));
-                    tensors.push((
-                        names[1].clone(),
-                        RawTensor::from_f32s(&shard.exp_avg, Shape::new(vec![len]), DType::F32),
-                    ));
-                    tensors.push((
-                        names[2].clone(),
-                        RawTensor::from_f32s(&shard.exp_avg_sq, Shape::new(vec![len]), DType::F32),
-                    ));
+                    tensors.extend(engine::shard_state_tensors(&shard, g));
                 }
-                let written =
-                    safetensors::write_file(&out.optim_shard(rank), &tensors, &BTreeMap::new())?;
+                let (written, _digest) = safetensors::stream_file(
+                    &out.optim_shard(rank),
+                    &tensors,
+                    &BTreeMap::new(),
+                    DEFAULT_CHUNK_BYTES,
+                )?;
                 let mut stats = IoStats::default();
                 for h in handles.values() {
                     stats.absorb(&h.stats());

@@ -21,10 +21,10 @@ pub mod model;
 pub mod projection;
 pub mod vfs;
 
-pub use meter::IoTally;
+pub use meter::{IoTally, StageTimings};
 pub use model::{GpuStepModel, StorageModel};
 pub use projection::{checkpoint_bytes, proportion, CheckpointBytes};
 pub use vfs::{
     is_transient, Clock, FaultKind, FaultSpec, FaultyFs, LocalFs, ManualClock, RetryPolicy,
-    RetryingStorage, Storage, SystemClock,
+    RetryingStorage, Storage, SystemClock, WriteStream,
 };

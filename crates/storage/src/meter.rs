@@ -3,6 +3,39 @@
 use crate::model::StorageModel;
 use serde::{Deserialize, Serialize};
 
+/// Wall-clock nanoseconds spent in each stage of the checkpoint engine's
+/// save pipeline (snapshot → encode → place → commit). Integer nanos keep
+/// the type `Copy`/`Eq` so it can ride inside [`IoTally`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Capturing trainer state (copy-on-write block materialization for
+    /// async saves; zero for sync saves, which borrow live state).
+    pub snapshot_ns: u64,
+    /// In-memory encode: tensor extraction, safetensors header building,
+    /// content digests.
+    pub encode_ns: u64,
+    /// Payload placement: streaming file writes, object-store puts,
+    /// hard links.
+    pub place_ns: u64,
+    /// Metadata files, COMMIT marker, atomic rename, and fsyncs.
+    pub commit_ns: u64,
+}
+
+impl StageTimings {
+    /// Merge another timing sample.
+    pub fn absorb(&mut self, other: &StageTimings) {
+        self.snapshot_ns += other.snapshot_ns;
+        self.encode_ns += other.encode_ns;
+        self.place_ns += other.place_ns;
+        self.commit_ns += other.commit_ns;
+    }
+
+    /// Total seconds across all stages.
+    pub fn total_secs(&self) -> f64 {
+        (self.snapshot_ns + self.encode_ns + self.place_ns + self.commit_ns) as f64 * 1e-9
+    }
+}
+
 /// Accumulated I/O volume of a training run's checkpoint activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IoTally {
@@ -17,6 +50,9 @@ pub struct IoTally {
     /// physical traffic; `bytes + dedup_saved` is the logical volume.
     #[serde(default)]
     pub dedup_saved: u64,
+    /// Per-stage wall-clock time across all recorded saves.
+    #[serde(default)]
+    pub stages: StageTimings,
 }
 
 impl IoTally {
@@ -32,12 +68,18 @@ impl IoTally {
         self.dedup_saved += bytes;
     }
 
+    /// Record one save's per-stage timings.
+    pub fn record_stages(&mut self, t: &StageTimings) {
+        self.stages.absorb(t);
+    }
+
     /// Merge another tally.
     pub fn absorb(&mut self, other: &IoTally) {
         self.bytes += other.bytes;
         self.files += other.files;
         self.events += other.events;
         self.dedup_saved += other.dedup_saved;
+        self.stages.absorb(&other.stages);
     }
 
     /// Modeled write time of the whole tally under a storage model.
@@ -70,6 +112,40 @@ mod tests {
         assert_eq!(a.bytes, 30);
         assert_eq!(a.files, 3);
         assert_eq!(a.events, 2);
+    }
+
+    #[test]
+    fn stage_timings_accumulate_through_tally() {
+        let mut t = IoTally::default();
+        t.record_stages(&StageTimings {
+            snapshot_ns: 1,
+            encode_ns: 2,
+            place_ns: 3,
+            commit_ns: 4,
+        });
+        t.record_stages(&StageTimings {
+            snapshot_ns: 10,
+            encode_ns: 20,
+            place_ns: 30,
+            commit_ns: 40,
+        });
+        assert_eq!(
+            t.stages,
+            StageTimings {
+                snapshot_ns: 11,
+                encode_ns: 22,
+                place_ns: 33,
+                commit_ns: 44,
+            }
+        );
+        let mut other = IoTally::default();
+        other.record_stages(&t.stages);
+        other.absorb(&t);
+        assert_eq!(other.stages.snapshot_ns, 22);
+        assert!((t.stages.total_secs() - 110e-9).abs() < 1e-15);
+        // Old serialized tallies (no `stages` field) still deserialize.
+        let legacy: IoTally = serde_json::from_str(r#"{"bytes":1,"files":1,"events":1}"#).unwrap();
+        assert_eq!(legacy.stages, StageTimings::default());
     }
 
     #[test]

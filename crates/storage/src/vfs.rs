@@ -76,6 +76,30 @@ pub trait Storage: Send + Sync + fmt::Debug {
     /// Delete a single file. Used by object-store GC and staging
     /// cleanup; directories go through [`Storage::remove_dir_all`].
     fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Open a streaming write handle at `path`, replacing any existing
+    /// file. The checkpoint engine pushes tensor payloads through this in
+    /// bounded chunks instead of materializing whole-file buffers; fault
+    /// injectors count (and can fail or tear) every individual chunk, so
+    /// the chaos sweep exercises *mid-file* torn writes, not just
+    /// whole-file ones.
+    fn create_stream<'a>(&'a self, path: &Path) -> io::Result<Box<dyn WriteStream + 'a>>;
+}
+
+/// Incremental file-write handle returned by [`Storage::create_stream`].
+///
+/// Usage contract: any number of [`WriteStream::write_chunk`] calls in
+/// order, then exactly one [`WriteStream::finish`] (the fsync). Dropping
+/// a handle without `finish` leaves whatever chunks already reached the
+/// backend — deliberately, since that is precisely the torn state crash
+/// recovery must cope with.
+pub trait WriteStream {
+    /// Append one chunk to the file.
+    fn write_chunk(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Flush the file to durable storage (`fsync`). Call once, after the
+    /// last chunk.
+    fn finish(&mut self) -> io::Result<()>;
 }
 
 /// Direct passthrough to the local filesystem via `std::fs`.
@@ -145,6 +169,31 @@ impl Storage for LocalFs {
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
         fs::remove_file(path)
+    }
+
+    fn create_stream<'a>(&'a self, path: &Path) -> io::Result<Box<dyn WriteStream + 'a>> {
+        Ok(Box::new(LocalFsStream {
+            file: fs::File::create(path)?,
+        }))
+    }
+}
+
+/// [`WriteStream`] over a local file. `File` is unbuffered, so every
+/// chunk is issued to the OS immediately — a torn stream leaves exactly
+/// the chunks written so far on disk.
+#[derive(Debug)]
+struct LocalFsStream {
+    file: fs::File,
+}
+
+impl WriteStream for LocalFsStream {
+    fn write_chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        self.file.write_all(bytes)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.file.sync_all()
     }
 }
 
@@ -393,6 +442,51 @@ impl<S: Storage> Storage for FaultyFs<S> {
         self.gate(idx, false)?;
         self.inner.remove_file(path)
     }
+
+    fn create_stream<'a>(&'a self, path: &Path) -> io::Result<Box<dyn WriteStream + 'a>> {
+        // Opening the handle creates the file: one mutating op.
+        let idx = self.tick()?;
+        self.gate(idx, true)?;
+        let inner = self.inner.create_stream(path)?;
+        Ok(Box::new(FaultyStream { fs: self, inner }))
+    }
+}
+
+/// Streaming handle of [`FaultyFs`]: every chunk is a counted op, and a
+/// [`FaultKind::TornWrite`] landing on a chunk persists a prefix of that
+/// chunk *after* all earlier chunks — a mid-file tear.
+struct FaultyStream<'a, S: Storage> {
+    fs: &'a FaultyFs<S>,
+    inner: Box<dyn WriteStream + 'a>,
+}
+
+impl<S: Storage> WriteStream for FaultyStream<'_, S> {
+    fn write_chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let idx = self.fs.tick()?;
+        if idx == self.fs.spec.at_op {
+            if let FaultKind::TornWrite { keep_bytes } = self.fs.spec.kind {
+                let keep = match keep_bytes {
+                    Some(k) => (k as usize).min(bytes.len()),
+                    None => self.fs.torn_len(idx, bytes.len()),
+                };
+                // Earlier chunks already reached the backend, so the file
+                // tears mid-body, not at a whole-file boundary.
+                self.inner.write_chunk(&bytes[..keep])?;
+                self.fs.dead.store(true, Ordering::SeqCst);
+                return Err(FaultyFs::<S>::dead_err());
+            }
+        }
+        self.fs.gate(idx, true)?;
+        self.inner.write_chunk(bytes)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        // The fsync: one mutating op. Transient gates fire before the
+        // inner sync, so a retried finish is safe.
+        let idx = self.fs.tick()?;
+        self.fs.gate(idx, true)?;
+        self.inner.finish()
+    }
 }
 
 /// Time source for retry backoff. Tests inject [`ManualClock`] so backoff
@@ -576,6 +670,65 @@ impl<S: Storage> Storage for RetryingStorage<S> {
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
         self.retry(|s| s.remove_file(path))
+    }
+
+    fn create_stream<'a>(&'a self, path: &Path) -> io::Result<Box<dyn WriteStream + 'a>> {
+        // `retry` fixes the closure's return type before the borrow it
+        // hands out, so a borrowed stream needs its own loop here.
+        let mut attempt = 0u32;
+        let inner = loop {
+            match self.inner.create_stream(path) {
+                Ok(s) => break s,
+                Err(e) if is_transient(&e) && attempt < self.policy.max_retries => {
+                    self.clock.sleep(self.policy.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        Ok(Box::new(RetryingStream {
+            inner,
+            policy: self.policy,
+            clock: Arc::clone(&self.clock),
+        }))
+    }
+}
+
+/// Streaming handle of [`RetryingStorage`]: each chunk (and the final
+/// fsync) is retried independently on transient errors. Safe because the
+/// fault model injects transients *before* any partial effect.
+struct RetryingStream<'a> {
+    inner: Box<dyn WriteStream + 'a>,
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
+}
+
+impl RetryingStream<'_> {
+    fn retry_op(
+        &mut self,
+        mut op: impl FnMut(&mut dyn WriteStream) -> io::Result<()>,
+    ) -> io::Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match op(self.inner.as_mut()) {
+                Ok(()) => return Ok(()),
+                Err(e) if is_transient(&e) && attempt < self.policy.max_retries => {
+                    self.clock.sleep(self.policy.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl WriteStream for RetryingStream<'_> {
+    fn write_chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.retry_op(|s| s.write_chunk(bytes))
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.retry_op(|s| s.finish())
     }
 }
 
@@ -818,6 +971,122 @@ mod tests {
         assert_eq!(p.delay(4), Duration::from_millis(100));
         assert_eq!(p.delay(63), Duration::from_millis(100));
         assert_eq!(p.delay(64), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn stream_write_equals_whole_file_write() {
+        let dir = tmpdir("stream-eq");
+        let fs = LocalFs;
+        let p = dir.join("streamed");
+        let payload: Vec<u8> = (0..1000u32).flat_map(|v| v.to_le_bytes()).collect();
+        let mut s = fs.create_stream(&p).unwrap();
+        for chunk in payload.chunks(17) {
+            s.write_chunk(chunk).unwrap();
+        }
+        s.finish().unwrap();
+        drop(s);
+        assert_eq!(fs.read(&p).unwrap(), payload);
+        // Re-opening a stream truncates, like `Storage::write`.
+        let mut s = fs.create_stream(&p).unwrap();
+        s.write_chunk(b"short").unwrap();
+        s.finish().unwrap();
+        drop(s);
+        assert_eq!(fs.read(&p).unwrap(), b"short");
+        fs.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_stream_counts_every_chunk_and_tears_mid_file() {
+        let dir = tmpdir("stream-torn");
+        // Op 0 = create, ops 1..=3 = chunks, fault on the middle chunk.
+        let f = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 2,
+                kind: FaultKind::TornWrite {
+                    keep_bytes: Some(3),
+                },
+            },
+        );
+        let p = dir.join("t");
+        let mut s = f.create_stream(&p).unwrap(); // op 0
+        s.write_chunk(b"AAAAAAAA").unwrap(); // op 1
+        let e = s.write_chunk(b"BBBBBBBB").unwrap_err(); // op 2: torn
+        assert_eq!(e.kind(), io::ErrorKind::BrokenPipe);
+        assert!(f.is_dead());
+        let e = s.write_chunk(b"CCCCCCCC").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::BrokenPipe);
+        drop(s);
+        // The first chunk plus a prefix of the torn chunk reached disk:
+        // a mid-file tear, unreachable with whole-file writes.
+        assert_eq!(std::fs::read(&p).unwrap(), b"AAAAAAAABBB");
+        assert_eq!(f.ops_attempted(), 3);
+    }
+
+    #[test]
+    fn faulty_stream_seed_derived_tear_offsets_vary() {
+        let dir = tmpdir("stream-torn-seed");
+        let mut lens = std::collections::BTreeSet::new();
+        for seed in 0..8u64 {
+            let f = FaultyFs::with_seed(
+                LocalFs,
+                FaultSpec {
+                    at_op: 1,
+                    kind: FaultKind::TornWrite { keep_bytes: None },
+                },
+                seed,
+            );
+            let p = dir.join(format!("t{seed}"));
+            let mut s = f.create_stream(&p).unwrap();
+            assert!(s.write_chunk(&[7u8; 256]).is_err());
+            drop(s);
+            lens.insert(std::fs::read(&p).unwrap().len());
+        }
+        assert!(lens.len() > 1, "seeds should produce varied tear offsets");
+        assert!(lens.iter().all(|l| *l < 256));
+    }
+
+    #[test]
+    fn retrying_stream_absorbs_per_chunk_transients() {
+        let dir = tmpdir("stream-retry");
+        let clock = Arc::new(ManualClock::default());
+        let faulty = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 1,
+                kind: FaultKind::Transient { failures: 2 },
+            },
+        );
+        let s = RetryingStorage::new(faulty, RetryPolicy::default(), clock.clone());
+        let p = dir.join("r");
+        let mut h = s.create_stream(&p).unwrap(); // op 0
+        h.write_chunk(b"one").unwrap(); // ops 1,2 transient; op 3 ok
+        h.write_chunk(b"two").unwrap(); // op 4
+        h.finish().unwrap(); // op 5
+        drop(h);
+        assert_eq!(clock.sleeps(), 2, "both transients retried in-stream");
+        assert_eq!(s.read(&p).unwrap(), b"onetwo");
+    }
+
+    #[test]
+    fn permanent_fault_stops_stream_chunks() {
+        let dir = tmpdir("stream-permanent");
+        let f = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 2,
+                kind: FaultKind::Permanent,
+            },
+        );
+        let p = dir.join("p");
+        let mut s = f.create_stream(&p).unwrap(); // op 0
+        s.write_chunk(b"ok").unwrap(); // op 1
+        let e = s.write_chunk(b"nope").unwrap_err(); // op 2: ENOSPC
+        assert_eq!(e.kind(), io::ErrorKind::StorageFull);
+        drop(s);
+        // Storage is full, not dead: cleanup can still delete the file.
+        f.remove_file(&p).unwrap();
+        assert!(!f.exists(&p));
     }
 
     #[test]

@@ -3,11 +3,19 @@
 //! The paper positions layer-wise selection as *orthogonal* to I/O-overlap
 //! optimizations like DataStates-LLM ("the approaches are not mutually
 //! exclusive", §5.1). This module demonstrates that composition: the
-//! trainer takes an in-memory snapshot of the model copy and the ZeRO rank
-//! states (the only blocking step) and a background thread performs the
-//! actual serialization and file writes, so training overlaps with
-//! checkpoint I/O. Snapshots carry whatever unit selection the active
-//! strategy produced — full, parity, filtered, or dynamic.
+//! trainer captures a copy-on-write [`CowSnapshot`] (cloning only the
+//! units mutated since the previous snapshot — the only blocking step)
+//! and a background thread feeds it through the unified checkpoint
+//! engine, so training overlaps with checkpoint I/O. Snapshots carry
+//! whatever unit selection the active strategy produced — full, parity,
+//! filtered, or dynamic — and whatever [`SaveOptions`] (dedup, chunking)
+//! the trainer config implies.
+//!
+//! Failure handling lives in the engine's single failure path: an error
+//! *or panic* during the staged write removes the `.tmp` staging
+//! directory and surfaces as an `Err` from [`AsyncCheckpointer::poll`] /
+//! [`AsyncCheckpointer::drain`] — the writer thread never takes training
+//! down and never leaks staging debris.
 //!
 //! Consistency note: a crash between snapshot submission and write
 //! completion loses that checkpoint (exactly as with any asynchronous
@@ -15,37 +23,35 @@
 //! covered state, which the save log only records after the write
 //! succeeds.
 
+use crate::snapshot::CowSnapshot;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use llmt_ckpt::writer::{
-    save_checkpoint_dedup_on, save_checkpoint_on, CheckpointReport, SaveRequest,
-};
+use llmt_ckpt::engine::{self, SaveOptions};
+use llmt_ckpt::writer::CheckpointReport;
 use llmt_ckpt::{CkptError, Result, TrainerState};
-use llmt_model::{LayerUnit, ModelConfig, ParamSet};
+use llmt_model::LayerUnit;
 use llmt_storage::vfs::{LocalFs, Storage};
-use llmt_zero::ZeroEngine;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// A snapshot job: everything the writer needs, owned.
+/// A snapshot job: everything the writer needs, owned. Built by
+/// [`crate::trainer::Trainer::snapshot_job`].
 pub struct SnapshotJob {
     /// Run root directory.
     pub root: PathBuf,
     /// Global step of the snapshot.
     pub step: u64,
-    /// Model config.
-    pub config: ModelConfig,
-    /// Cloned model weights (the BF16 copy).
-    pub params: ParamSet,
-    /// Cloned optimizer engine state.
-    pub engine: ZeroEngine,
+    /// Copy-on-write capture of the units being saved.
+    pub snapshot: CowSnapshot,
     /// Trainer state at the snapshot.
     pub trainer_state: TrainerState,
     /// Units to save.
     pub units: Vec<LayerUnit>,
-    /// Route the write through the content-addressed object store.
-    pub dedup: bool,
+    /// Engine options (dedup, chunk size, parallelism).
+    pub options: SaveOptions,
+    /// Wall-clock nanoseconds the trainer spent capturing the snapshot;
+    /// folded into the report's stage timings on completion.
+    pub snapshot_ns: u64,
 }
 
 enum Msg {
@@ -73,8 +79,9 @@ impl AsyncCheckpointer {
     /// the fault-injection harness uses to tear writes mid-checkpoint.
     ///
     /// Failures (including panics inside the writer) never take the
-    /// training process down: they come back as `Err` results from
-    /// [`AsyncCheckpointer::poll`] / [`AsyncCheckpointer::drain`].
+    /// training process down: the engine converts them to `Err` results
+    /// (cleaning up its staging directory either way), which come back
+    /// from [`AsyncCheckpointer::poll`] / [`AsyncCheckpointer::drain`].
     pub fn with_storage(storage: Arc<dyn Storage>) -> Self {
         let (tx, rx) = bounded::<Msg>(2);
         let (done_tx, done_rx) = bounded::<(u64, Result<CheckpointReport>)>(64);
@@ -82,31 +89,18 @@ impl AsyncCheckpointer {
             .name("ckpt-writer".into())
             .spawn(move || {
                 while let Ok(Msg::Job(job)) = rx.recv() {
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        let req = SaveRequest {
-                            root: &job.root,
-                            step: job.step,
-                            config: &job.config,
-                            params: &job.params,
-                            engine: &job.engine,
-                            trainer_state: &job.trainer_state,
-                            units: &job.units,
-                        };
-                        if job.dedup {
-                            save_checkpoint_dedup_on(&*storage, &req)
-                        } else {
-                            save_checkpoint_on(&*storage, &req)
-                        }
-                    }))
-                    .unwrap_or_else(|panic| {
-                        let msg = panic
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| panic.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".into());
-                        Err(CkptError::Format(format!(
-                            "checkpoint writer panicked: {msg}"
-                        )))
+                    let result = engine::save_source(
+                        &*storage,
+                        &job.root,
+                        job.step,
+                        &job.snapshot,
+                        &job.trainer_state,
+                        &job.units,
+                        &job.options,
+                    )
+                    .map(|mut report| {
+                        report.timings.snapshot_ns = job.snapshot_ns;
+                        report
                     });
                     // If the receiver is gone the trainer was dropped; stop.
                     if done_tx.send((job.step, result)).is_err() {
@@ -199,17 +193,10 @@ mod tests {
     use crate::trainer::{Trainer, TrainerConfig};
     use llmt_ckpt::{CheckpointHandle, LoadMode};
 
-    fn snapshot_of(t: &Trainer, units: Vec<LayerUnit>, root: PathBuf) -> SnapshotJob {
-        SnapshotJob {
-            root,
-            step: t.step,
-            config: t.config.model_config.clone(),
-            params: t.model.params.clone(),
-            engine: t.engine.clone(),
-            trainer_state: t.trainer_state(),
-            units,
-            dedup: false,
-        }
+    fn snapshot_of(t: &mut Trainer, units: Vec<LayerUnit>, root: PathBuf) -> SnapshotJob {
+        let mut job = t.snapshot_job(units).unwrap();
+        job.root = root;
+        job
     }
 
     #[test]
@@ -224,14 +211,18 @@ mod tests {
         let mut ac = AsyncCheckpointer::new();
         let units = LayerUnit::all(&cfg.model_config);
         ac.submit(snapshot_of(
-            &t,
+            &mut t,
             units.clone(),
             dir_async.path().to_path_buf(),
         ))
         .unwrap();
         let results = ac.drain();
         assert_eq!(results.len(), 1);
-        results[0].1.as_ref().unwrap();
+        let report = results[0].1.as_ref().unwrap();
+        assert!(
+            report.timings.snapshot_ns > 0,
+            "snapshot capture time must be recorded"
+        );
 
         // Bit-identical contents.
         let mut a =
@@ -262,12 +253,9 @@ mod tests {
         let frozen = t.model.params.clone();
 
         let mut ac = AsyncCheckpointer::new();
-        ac.submit(snapshot_of(
-            &t,
-            LayerUnit::all(&cfg.model_config),
-            dir.path().to_path_buf(),
-        ))
-        .unwrap();
+        let units = LayerUnit::all(&cfg.model_config);
+        ac.submit(snapshot_of(&mut t, units, dir.path().to_path_buf()))
+            .unwrap();
         t.train_until(6, None).unwrap(); // keep training during the write
         let results = ac.drain();
         results[0].1.as_ref().unwrap();
@@ -291,7 +279,7 @@ mod tests {
         for target in [1u64, 2, 3] {
             t.train_until(target, None).unwrap();
             ac.submit(snapshot_of(
-                &t,
+                &mut t,
                 LayerUnit::all(&cfg.model_config),
                 dir.path().to_path_buf(),
             ))
@@ -309,10 +297,10 @@ mod tests {
     #[test]
     fn failed_write_is_reported_not_swallowed() {
         let cfg = TrainerConfig::test_default(PathBuf::from("/nonexistent-root/xyz"));
-        let t = Trainer::new(cfg.clone());
+        let mut t = Trainer::new(cfg.clone());
         let mut ac = AsyncCheckpointer::new();
         ac.submit(snapshot_of(
-            &t,
+            &mut t,
             LayerUnit::all(&cfg.model_config),
             PathBuf::from("/proc/definitely-not-writable/run"),
         ))
@@ -343,7 +331,7 @@ mod tests {
         ));
         let mut ac = AsyncCheckpointer::with_storage(faulty);
         ac.submit(snapshot_of(
-            &t,
+            &mut t,
             LayerUnit::all(&cfg.model_config),
             dir.path().to_path_buf(),
         ))
@@ -353,5 +341,44 @@ mod tests {
         assert!(results[0].1.is_err(), "torn write must surface as Err");
         let scan = llmt_ckpt::scan_run_root(dir.path());
         assert!(scan.committed.is_empty(), "{scan:?}");
+    }
+
+    #[test]
+    fn failed_async_save_cleans_up_staging() {
+        use llmt_storage::vfs::{FaultKind, FaultSpec, FaultyFs};
+
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(2, None).unwrap();
+
+        // ENOSPC partway through staging: the storage stays alive (deletes
+        // still work), so the engine's failure path must remove the `.tmp`
+        // staging directory before reporting the error.
+        let faulty: Arc<dyn Storage> = Arc::new(FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 5,
+                kind: FaultKind::Permanent,
+            },
+        ));
+        let mut ac = AsyncCheckpointer::with_storage(faulty);
+        ac.submit(snapshot_of(
+            &mut t,
+            LayerUnit::all(&cfg.model_config),
+            dir.path().to_path_buf(),
+        ))
+        .unwrap();
+        let results = ac.drain();
+        assert!(results[0].1.is_err(), "full disk must surface as Err");
+        let leftovers: Vec<String> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            leftovers.iter().all(|n| !n.ends_with(".tmp")),
+            "async save left tmp debris: {leftovers:?}"
+        );
     }
 }

@@ -18,6 +18,7 @@ pub mod memory_tier;
 pub mod recover;
 pub mod report;
 pub mod resume;
+pub mod snapshot;
 pub mod trainer;
 
 pub use async_ckpt::{AsyncCheckpointer, SnapshotJob};
@@ -25,4 +26,5 @@ pub use memory_tier::{MemorySnapshot, MemoryTier};
 pub use recover::recover_checkpoint;
 pub use report::RunReport;
 pub use resume::resume_trainer;
+pub use snapshot::{CowSnapshot, SnapshotTracker, StagedGauge, UnitBlock};
 pub use trainer::{Trainer, TrainerConfig};

@@ -1,10 +1,10 @@
 //! The training loop with strategy-driven checkpointing.
 
 use crate::report::RunReport;
+use crate::snapshot::{SnapshotTracker, StagedGauge};
+use llmt_ckpt::engine::{self, Parallelism, SaveOptions};
 use llmt_ckpt::manifest::SaveLog;
-use llmt_ckpt::writer::{
-    save_checkpoint_dedup_on, save_checkpoint_on, CheckpointReport, SaveRequest,
-};
+use llmt_ckpt::writer::{CheckpointReport, SaveRequest};
 use llmt_ckpt::{Result, TrainerState};
 use llmt_data::{BatchSource, DataTask};
 use llmt_model::{Model, ModelConfig, ParamSet};
@@ -83,6 +83,17 @@ pub struct TrainerConfig {
     /// save to save — the dedup store's best case.
     #[serde(default)]
     pub frozen_units: Vec<llmt_model::LayerUnit>,
+    /// Streaming chunk size for checkpoint payload writes. `None` uses
+    /// [`llmt_ckpt::DEFAULT_CHUNK_BYTES`]; the chaos suite shrinks it so
+    /// every payload file spans multiple chunks and mid-file tears are
+    /// reachable kill points.
+    #[serde(default)]
+    pub ckpt_chunk_bytes: Option<usize>,
+    /// Write optimizer shard files sequentially instead of on the rayon
+    /// pool. Needed whenever the storage op schedule must be
+    /// deterministic (fault injection); pure overhead otherwise.
+    #[serde(default)]
+    pub sequential_ckpt_io: bool,
 }
 
 impl TrainerConfig {
@@ -106,6 +117,8 @@ impl TrainerConfig {
             crash_during_save: None,
             dedup_checkpoints: false,
             frozen_units: Vec::new(),
+            ckpt_chunk_bytes: None,
+            sequential_ckpt_io: false,
         }
     }
 
@@ -154,6 +167,9 @@ pub struct Trainer {
     dynamic: Option<DynamicState>,
     /// Background writer (Some iff `config.async_checkpointing`).
     async_writer: Option<crate::async_ckpt::AsyncCheckpointer>,
+    /// Copy-on-write snapshot bookkeeping for async saves: tracks which
+    /// units the optimizer has mutated so a snapshot clones only those.
+    snapshots: SnapshotTracker,
     /// Storage stack every checkpoint write goes through (retry wrapper,
     /// optionally fault-injecting — see `TrainerConfig::crash_during_save`).
     storage: Arc<dyn Storage>,
@@ -269,6 +285,7 @@ impl Trainer {
             loss_history: Vec::new(),
             dynamic,
             async_writer,
+            snapshots: SnapshotTracker::new(),
             storage,
         }
     }
@@ -319,6 +336,7 @@ impl Trainer {
             loss_history,
             dynamic,
             async_writer,
+            snapshots: SnapshotTracker::new(),
             storage,
         }
     }
@@ -356,6 +374,13 @@ impl Trainer {
         let frozen = self.freeze_snapshot();
         self.engine.step(&mut self.model.params, &grads, lr, true);
         self.restore_frozen(frozen);
+        // Frozen units are restored to their pre-step bytes above, so only
+        // the trained units invalidate their copy-on-write snapshot blocks.
+        for unit in llmt_model::LayerUnit::all(&self.config.model_config) {
+            if !self.config.frozen_units.contains(&unit) {
+                self.snapshots.mark_dirty(unit);
+            }
+        }
         self.step += 1;
         self.loss_history.push((self.step, loss));
         loss
@@ -440,11 +465,7 @@ impl Trainer {
             trainer_state: &ts,
             units: &units,
         };
-        let report = if self.config.dedup_checkpoints {
-            save_checkpoint_dedup_on(&*self.storage, &req)?
-        } else {
-            save_checkpoint_on(&*self.storage, &req)?
-        };
+        let report = engine::save(&*self.storage, &req, &self.save_options())?;
         for u in &report.units {
             self.save_log.record(*u, self.step);
         }
@@ -475,22 +496,62 @@ impl Trainer {
         }
     }
 
-    /// Snapshot state and queue an overlapped checkpoint write. Only the
-    /// snapshot (clone) blocks; the save log is updated when the write
-    /// completes (see `collect_async`).
-    pub fn checkpoint_async(&mut self) -> Result<()> {
-        let units = self.select_units();
-        let ts = self.trainer_state();
-        let job = crate::async_ckpt::SnapshotJob {
+    /// The engine options every save of this run uses, derived from the
+    /// trainer config.
+    fn save_options(&self) -> SaveOptions {
+        SaveOptions {
+            dedup: self.config.dedup_checkpoints,
+            chunk_bytes: self
+                .config
+                .ckpt_chunk_bytes
+                .unwrap_or(llmt_ckpt::DEFAULT_CHUNK_BYTES),
+            parallelism: if self.config.sequential_ckpt_io {
+                Parallelism::Sequential
+            } else {
+                Parallelism::Rayon
+            },
+        }
+    }
+
+    /// Capture a copy-on-write snapshot of `units` plus everything else an
+    /// overlapped save needs. Only units mutated since the previous
+    /// capture are cloned; clean units are pointer copies of cached
+    /// blocks (see [`crate::snapshot`]).
+    pub fn snapshot_job(
+        &mut self,
+        units: Vec<llmt_model::LayerUnit>,
+    ) -> Result<crate::async_ckpt::SnapshotJob> {
+        let t0 = Instant::now();
+        let snapshot = self.snapshots.capture(
+            &self.config.model_config,
+            &self.model.params,
+            &self.engine,
+            &units,
+        )?;
+        let snapshot_ns = t0.elapsed().as_nanos() as u64;
+        Ok(crate::async_ckpt::SnapshotJob {
             root: self.config.run_root.clone(),
             step: self.step,
-            config: self.config.model_config.clone(),
-            params: self.model.params.clone(),
-            engine: self.engine.clone(),
-            trainer_state: ts,
+            snapshot,
+            trainer_state: self.trainer_state(),
             units,
-            dedup: self.config.dedup_checkpoints,
-        };
+            options: self.save_options(),
+            snapshot_ns,
+        })
+    }
+
+    /// The memory-accounting gauge of the copy-on-write snapshot cache
+    /// (resident bytes, peak, clone count).
+    pub fn snapshot_gauge(&self) -> Arc<StagedGauge> {
+        self.snapshots.gauge()
+    }
+
+    /// Snapshot state and queue an overlapped checkpoint write. Only the
+    /// snapshot (copy-on-write capture of dirty units) blocks; the save
+    /// log is updated when the write completes (see `collect_async`).
+    pub fn checkpoint_async(&mut self) -> Result<()> {
+        let units = self.select_units();
+        let job = self.snapshot_job(units)?;
         self.ckpt_event += 1;
         self.async_writer
             .as_mut()
@@ -518,6 +579,7 @@ impl Trainer {
                 .save_on(&*self.storage, &self.config.run_root.join("save_log.json"))?;
             tally.record(ck.physical_bytes, ck.files_written as u64);
             tally.record_saved(ck.dedup_bytes);
+            tally.record_stages(&ck.timings);
             report.ckpt_steps.push(step);
         }
         Ok(())
@@ -550,6 +612,7 @@ impl Trainer {
                     let ck = self.checkpoint()?;
                     tally.record(ck.physical_bytes, ck.files_written as u64);
                     tally.record_saved(ck.dedup_bytes);
+                    tally.record_stages(&ck.timings);
                     report.ckpt_steps.push(self.step);
                 }
                 report.ckpt_secs += t1.elapsed().as_secs_f64();
@@ -693,6 +756,53 @@ mod tests {
         let scan = llmt_ckpt::scan_run_root(dir.path());
         assert_eq!(scan.committed_steps(), vec![2, 4, 6]);
         assert!(scan.quarantined.is_empty(), "{:?}", scan.quarantined);
+    }
+
+    #[test]
+    fn async_snapshots_clone_only_mutated_units() {
+        use llmt_model::LayerUnit;
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        // Freeze the embedding: its parameters and optimizer shards are
+        // byte-identical across steps, so its snapshot block must be
+        // reused, not recloned.
+        cfg.frozen_units = vec![LayerUnit::EmbedTokens];
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(2, None).unwrap();
+        let units = LayerUnit::all(&cfg.model_config);
+
+        // Cold capture: every unit is materialized once.
+        let j1 = t.snapshot_job(units.clone()).unwrap();
+        let gauge = t.snapshot_gauge();
+        assert_eq!(gauge.clones(), units.len() as u64);
+        assert!(j1.snapshot.byte_len() > 0);
+        assert!(gauge.peak_bytes() >= j1.snapshot.byte_len());
+
+        // Recapture without training: zero new clones, all blocks shared.
+        let j1b = t.snapshot_job(units.clone()).unwrap();
+        assert_eq!(gauge.clones(), units.len() as u64);
+        for u in &units {
+            assert_eq!(j1.snapshot.block_ptr(*u), j1b.snapshot.block_ptr(*u));
+        }
+
+        // Train further: only the non-frozen units are dirty, so the next
+        // capture clones exactly `units.len() - 1` blocks — peak memory is
+        // O(dirty units), not O(model).
+        t.train_until(4, None).unwrap();
+        let j2 = t.snapshot_job(units.clone()).unwrap();
+        assert_eq!(gauge.clones(), (2 * units.len() - 1) as u64);
+        assert_eq!(
+            j1.snapshot.block_ptr(LayerUnit::EmbedTokens),
+            j2.snapshot.block_ptr(LayerUnit::EmbedTokens),
+            "frozen unit must share its block across snapshots"
+        );
+        for u in units.iter().filter(|u| **u != LayerUnit::EmbedTokens) {
+            assert_ne!(
+                j1.snapshot.block_ptr(*u),
+                j2.snapshot.block_ptr(*u),
+                "{u} was trained, so its block must be fresh"
+            );
+        }
     }
 
     #[test]

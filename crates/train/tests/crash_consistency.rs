@@ -32,6 +32,12 @@ fn chaos_config(root: &Path, dedup: bool) -> TrainerConfig {
     cfg.ckpt_interval = 2;
     cfg.strategy = StrategyKind::Parity;
     cfg.dedup_checkpoints = dedup;
+    // Small chunks force every payload file through multiple streaming
+    // writes, making mid-file tears reachable kill points; sequential
+    // shard I/O keeps the op schedule deterministic so op `k` means the
+    // same thing in the census and in the sweep.
+    cfg.ckpt_chunk_bytes = Some(8192);
+    cfg.sequential_ckpt_io = true;
     cfg
 }
 
@@ -107,6 +113,20 @@ fn kill_point_sweep(dedup: bool) {
         assert!(
             clean_steps.starts_with(&committed),
             "kill at op {k}: committed {committed:?} is not a prefix of {clean_steps:?}"
+        );
+
+        // Failed saves clean their staging through the engine's single
+        // failure path, so the only possible `.tmp` leftover is the one
+        // save the kill itself tore mid-write (cleanup needs a live
+        // storage, and the kill leaves it dead).
+        let tmp_dirs = std::fs::read_dir(root.path())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert!(
+            tmp_dirs <= 1,
+            "kill at op {k}: {tmp_dirs} staging dirs survived (only the torn save's may)"
         );
 
         let cfg = chaos_config(root.path(), dedup);

@@ -1,0 +1,93 @@
+//! The unified save engine is one pipeline with three entry modes — sync,
+//! async (copy-on-write snapshot) and dedup (content-addressed) — and the
+//! modes must be observationally equivalent:
+//!
+//! 1. The same trainer step saved through each mode yields bit-identical
+//!    unit weights and optimizer shards.
+//! 2. Every digest a dedup manifest records (computed incrementally while
+//!    streaming) equals the whole-buffer digest of the object's bytes, and
+//!    the whole-buffer encoder reproduces the streamed file exactly.
+
+use llmt_cas::{Digest, ObjectStore};
+use llmt_ckpt::{safetensors, CheckpointHandle, LoadMode, PartialManifest};
+use llmt_model::LayerUnit;
+use llmt_train::{Trainer, TrainerConfig};
+use std::path::Path;
+
+const STEP: u64 = 3;
+
+/// Train a fresh run to `STEP` with exactly one checkpoint at `STEP`.
+fn run(root: &Path, async_ckpt: bool, dedup: bool) {
+    let mut cfg = TrainerConfig::test_default(root.to_path_buf());
+    cfg.ckpt_interval = STEP;
+    cfg.async_checkpointing = async_ckpt;
+    cfg.dedup_checkpoints = dedup;
+    let mut t = Trainer::new(cfg);
+    let report = t.train_until(STEP, None).unwrap();
+    assert_eq!(report.ckpt_steps, vec![STEP]);
+}
+
+#[test]
+fn sync_async_and_dedup_saves_agree_bit_for_bit_at_the_same_step() {
+    let sync_dir = tempfile::tempdir().unwrap();
+    let async_dir = tempfile::tempdir().unwrap();
+    let dedup_dir = tempfile::tempdir().unwrap();
+    run(sync_dir.path(), false, false);
+    run(async_dir.path(), true, false);
+    run(dedup_dir.path(), false, true);
+
+    let cfg = TrainerConfig::test_default(sync_dir.path().to_path_buf());
+    let open = |root: &Path| {
+        CheckpointHandle::open(
+            &root.join(format!("checkpoint-{STEP}")),
+            LoadMode::EagerFull,
+        )
+        .unwrap()
+    };
+    let mut sync = open(sync_dir.path());
+    let mut asyn = open(async_dir.path());
+    let mut dedup = open(dedup_dir.path());
+
+    for unit in LayerUnit::all(&cfg.model_config) {
+        let want = sync.unit_weights(unit).unwrap();
+        assert_eq!(asyn.unit_weights(unit).unwrap(), want, "async: {unit}");
+        assert_eq!(dedup.unit_weights(unit).unwrap(), want, "dedup: {unit}");
+    }
+    for rank in 0..cfg.world_size {
+        let want = sync.rank_state_full(rank).unwrap();
+        assert_eq!(asyn.rank_state_full(rank).unwrap(), want, "async r{rank}");
+        assert_eq!(dedup.rank_state_full(rank).unwrap(), want, "dedup r{rank}");
+    }
+}
+
+#[test]
+fn dedup_manifest_digests_match_whole_buffer_encoding() {
+    let dir = tempfile::tempdir().unwrap();
+    run(dir.path(), false, true);
+
+    let refs = PartialManifest::load(
+        &dir.path()
+            .join(format!("checkpoint-{STEP}/partial_manifest.json")),
+    )
+    .unwrap()
+    .objects
+    .expect("dedup manifests carry object references");
+    assert!(!refs.weights.is_empty());
+    assert!(!refs.optim.is_empty());
+
+    let store = ObjectStore::for_run_root(dir.path());
+    for (key, obj) in refs.weights.iter().chain(refs.optim.iter()) {
+        let digest = Digest::parse_hex(&obj.digest).unwrap();
+        let bytes = std::fs::read(store.object_path(digest)).unwrap();
+        // The incrementally-streamed digest is the whole-buffer digest.
+        assert_eq!(Digest::of(&bytes), digest, "object {key}");
+        // And the whole-buffer encoder reproduces the streamed file.
+        let path = store.object_path(digest);
+        let (tensors, meta) = safetensors::read_file(&path).unwrap();
+        assert_eq!(
+            safetensors::encode(&tensors, &meta).unwrap(),
+            bytes,
+            "object {key} is not a canonical safetensors image"
+        );
+    }
+}

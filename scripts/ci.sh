@@ -12,3 +12,7 @@ cargo fmt --check
 # Dedup smoke: a frozen-layer run through the content-addressed store must
 # cost less on disk than it claims logically, survive GC, and re-verify.
 cargo run --release -p llmt-bench --bin dedup_ratio -- --smoke
+
+# Engine smoke: sync/async/dedup saves through the unified engine must
+# verify, match in volume, and stage snapshot memory only on the async path.
+cargo run --release -p llmt-bench --bin ckpt_throughput -- --smoke
