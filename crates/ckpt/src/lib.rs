@@ -14,7 +14,11 @@
 //!
 //! [`engine`] is the single save pipeline (enumerate → snapshot → encode →
 //! place → commit) behind every sync/async/dedup save; [`writer`] keeps the
-//! legacy entry points as thin wrappers over it. [`reader`] loads them
+//! legacy entry points as thin wrappers over it. [`restore`] is its mirror
+//! image on the read side (enumerate → fetch → decode → validate → bind):
+//! parallel chunked fetches with verify-on-read digests and optimizer
+//! resharding-on-load, behind resume, recovery, merge sources and deep
+//! verification. [`reader`] loads them
 //! either eagerly (whole-file, the paper's semantics: "the optimizer state
 //! can only be accessed after the checkpoint is fully loaded") or lazily
 //! by byte range (the improvement the paper's §5.4 closing remark
@@ -33,6 +37,7 @@ pub mod error;
 pub mod layout;
 pub mod manifest;
 pub mod reader;
+pub mod restore;
 pub mod safetensors;
 pub mod trainer_state;
 pub mod verify;
@@ -44,8 +49,12 @@ pub use error::{CkptError, Result};
 pub use layout::{scan_run_root, CheckpointPaths, CommitStatus, QuarantinedDir, ScanReport};
 pub use manifest::{effective_save_log, CasRefs, ObjectRef, PartialManifest};
 pub use reader::{CheckpointHandle, LoadMode};
+pub use restore::{
+    restore_checkpoint, restore_checkpoint_on, RestoreReport, RestoreRequest, RestoreScope,
+    RestoredState,
+};
 pub use trainer_state::TrainerState;
-pub use verify::{verify_checkpoint, VerifyReport};
+pub use verify::{verify_checkpoint, verify_checkpoint_on, VerifyReport};
 pub use writer::{
     commit_checkpoint, save_checkpoint, save_checkpoint_dedup, save_checkpoint_dedup_on,
     save_checkpoint_on, CheckpointReport, SaveRequest,

@@ -216,9 +216,17 @@ impl CheckpointHandle {
         match self.mode {
             LoadMode::EagerFull => {
                 if !self.file_cache.contains_key(path) {
-                    let len = self.storage.file_len(path).map_err(io_err(path))?;
-                    let (tensors, _) = safetensors::read_file_on(&*self.storage, path)?;
-                    self.stats.bytes_read += len;
+                    // Eager whole-file loads are the restore engine's
+                    // fetch + decode stages: chunked streaming reads
+                    // through the `Storage` trait (every chunk an
+                    // injectable fault point), then an in-memory decode.
+                    let (bytes, _digest) = crate::restore::fetch_file_on(
+                        &*self.storage,
+                        path,
+                        crate::DEFAULT_CHUNK_BYTES,
+                    )?;
+                    let (tensors, _) = safetensors::decode_image(path, &bytes)?;
+                    self.stats.bytes_read += bytes.len() as u64;
                     self.stats.files_opened += 1;
                     self.stats.full_loads += 1;
                     self.file_cache

@@ -243,6 +243,14 @@ pub fn read_file(path: &Path) -> Result<TensorsAndMetadata> {
 /// [`read_file`] through a [`Storage`].
 pub fn read_file_on(storage: &dyn Storage, path: &Path) -> Result<TensorsAndMetadata> {
     let all = storage.read(path).map_err(io_err(path))?;
+    decode_image(path, &all)
+}
+
+/// Decode a complete in-memory safetensors image into tensors plus
+/// metadata. `path` is only used for error messages. This is the decode
+/// stage of the restore engine, split from fetching so the engine can
+/// stream bytes (and their digest) through [`Storage::read_range`] first.
+pub fn decode_image(path: &Path, all: &[u8]) -> Result<TensorsAndMetadata> {
     if all.len() < 8 {
         return Err(CkptError::Format(format!(
             "{}: truncated (no header length)",

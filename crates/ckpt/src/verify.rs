@@ -15,10 +15,13 @@
 
 use crate::error::{CkptError, Result};
 use crate::reader::{CheckpointHandle, LoadMode};
+use crate::restore::{self, RestoreRequest};
 use llmt_model::naming::unit_param_specs;
 use llmt_optim::GroupIndexMap;
+use llmt_storage::vfs::{LocalFs, Storage};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::Arc;
 
 /// One verification finding.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,6 +39,12 @@ pub struct VerifyReport {
     pub weights_checked: usize,
     /// (rank, group) shards checked.
     pub shards_checked: usize,
+    /// Bytes streamed and digest-checked by the deep pass (0 in shallow mode).
+    #[serde(default)]
+    pub bytes_verified: u64,
+    /// Manifest SHA-256 digests re-verified byte-for-byte by the deep pass.
+    #[serde(default)]
+    pub deep_digests_verified: usize,
     /// Problems found (empty = checkpoint verifies).
     pub findings: Vec<Finding>,
 }
@@ -47,10 +56,35 @@ impl VerifyReport {
     }
 }
 
-/// Verify a checkpoint directory. I/O errors abort with `Err`; integrity
-/// problems are collected into the report.
+/// Verify a checkpoint directory on the local filesystem (shallow mode).
+///
+/// Convenience wrapper over [`verify_checkpoint_on`] with [`LocalFs`] and
+/// `deep = false`.
 pub fn verify_checkpoint(dir: &Path) -> Result<VerifyReport> {
-    let mut h = CheckpointHandle::open(dir, LoadMode::LazyRange)?;
+    verify_checkpoint_on(Arc::new(LocalFs), dir, false)
+}
+
+/// Verify a checkpoint directory through an arbitrary [`Storage`] backend.
+///
+/// Every byte verification touches — metadata, manifest-listed weights,
+/// optimizer shards, and content-addressed object links — flows through
+/// `storage`, so fault injection and I/O metering cover verification the
+/// same way they cover saves and restores. I/O errors on metadata abort
+/// with `Err`; integrity problems (including unreadable payload files) are
+/// collected into the report.
+///
+/// With `deep = true` the restore engine additionally streams every payload
+/// file back through [`restore::restore_checkpoint_on`] with verify-on-read
+/// enabled, recomputing each manifest SHA-256 digest incrementally and
+/// binding the result — proving the checkpoint is not just internally
+/// consistent but actually loadable. A failed deep pass becomes a finding,
+/// not an abort.
+pub fn verify_checkpoint_on(
+    storage: Arc<dyn Storage>,
+    dir: &Path,
+    deep: bool,
+) -> Result<VerifyReport> {
+    let mut h = CheckpointHandle::open_on(storage.clone(), dir, LoadMode::LazyRange)?;
     let mut report = VerifyReport::default();
     let find = |subject: &str, problem: String, report: &mut VerifyReport| {
         report.findings.push(Finding {
@@ -112,13 +146,13 @@ pub fn verify_checkpoint(dir: &Path) -> Result<VerifyReport> {
                     continue;
                 }
             };
-            match std::fs::read(&link) {
+            match restore::fetch_file_on(&*storage, &link, crate::DEFAULT_CHUNK_BYTES) {
                 Err(_) => find(
                     key,
                     format!("object-backed file missing (digest {digest})"),
                     &mut report,
                 ),
-                Ok(bytes) => {
+                Ok((bytes, actual)) => {
                     if bytes.len() as u64 != object.bytes {
                         find(
                             key,
@@ -126,7 +160,6 @@ pub fn verify_checkpoint(dir: &Path) -> Result<VerifyReport> {
                             &mut report,
                         );
                     }
-                    let actual = llmt_cas::Digest::of(&bytes);
                     if actual != digest {
                         find(
                             key,
@@ -137,8 +170,7 @@ pub fn verify_checkpoint(dir: &Path) -> Result<VerifyReport> {
                 }
             }
             if let Some(store) = &store {
-                let fs = llmt_storage::vfs::LocalFs;
-                if store.is_present(&fs) && !store.contains(&fs, digest) {
+                if store.is_present(&*storage) && !store.contains(&*storage, digest) {
                     find(
                         key,
                         format!("referenced object {digest} absent from store"),
@@ -276,6 +308,24 @@ pub fn verify_checkpoint(dir: &Path) -> Result<VerifyReport> {
                     }
                 }
             }
+        }
+    }
+
+    // Deep pass: stream every payload file back through the restore engine
+    // with verify-on-read, so each manifest SHA-256 digest is recomputed
+    // incrementally over the actual bytes and the checkpoint is proven
+    // loadable end to end (decode + shape validation + bind included).
+    if deep {
+        let req = RestoreRequest {
+            require_committed: false,
+            ..RestoreRequest::default()
+        };
+        match restore::restore_checkpoint_on(storage, dir, &req) {
+            Ok(state) => {
+                report.bytes_verified = state.report.bytes_fetched;
+                report.deep_digests_verified = state.report.digests_verified;
+            }
+            Err(e) => find("restore", format!("deep restore failed: {e}"), &mut report),
         }
     }
     Ok(report)
@@ -431,5 +481,161 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.problem.contains("shard_len")));
+    }
+
+    #[test]
+    fn deep_verify_streams_payload_and_stays_clean() {
+        let root = tempfile::tempdir().unwrap();
+        let (dir, _) = make_ckpt(root.path(), None);
+        let report = verify_checkpoint_on(Arc::new(LocalFs), &dir, true).unwrap();
+        assert!(report.ok(), "{:?}", report.findings);
+        assert!(report.bytes_verified > 0);
+        assert!(report.deep_digests_verified > 0);
+        // Shallow mode performs no deep streaming.
+        let shallow = verify_checkpoint(&dir).unwrap();
+        assert_eq!(shallow.bytes_verified, 0);
+        assert_eq!(shallow.deep_digests_verified, 0);
+    }
+
+    #[test]
+    fn deep_verify_reports_unloadable_checkpoints() {
+        let root = tempfile::tempdir().unwrap();
+        let (dir, _) = make_ckpt(root.path(), None);
+        let model_file = dir.join("model.safetensors");
+        let bytes = std::fs::read(&model_file).unwrap();
+        // Truncate into the data section: lazy per-tensor reads may still
+        // see some tensors, but a full streamed restore cannot.
+        std::fs::write(&model_file, &bytes[..bytes.len() - 8]).unwrap();
+        let report = verify_checkpoint_on(Arc::new(LocalFs), &dir, true).unwrap();
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.subject == "restore" && f.problem.contains("deep restore failed")),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    /// A [`Storage`] decorator that records every path read through it, so
+    /// the tests can prove no verification byte sneaks around the vfs.
+    #[derive(Debug, Default)]
+    struct RecordingFs {
+        inner: LocalFs,
+        reads: std::sync::Mutex<Vec<PathBuf>>,
+    }
+
+    impl llmt_storage::vfs::Storage for RecordingFs {
+        fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+            self.inner.create_dir_all(path)
+        }
+        fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+            self.inner.write(path, bytes)
+        }
+        fn sync(&self, path: &Path) -> std::io::Result<()> {
+            self.inner.sync(path)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            self.inner.rename(from, to)
+        }
+        fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+            self.reads.lock().unwrap().push(path.to_path_buf());
+            self.inner.read(path)
+        }
+        fn read_range(&self, path: &Path, offset: u64, len: usize) -> std::io::Result<Vec<u8>> {
+            self.reads.lock().unwrap().push(path.to_path_buf());
+            self.inner.read_range(path, offset, len)
+        }
+        fn list_dir(&self, path: &Path) -> std::io::Result<Vec<PathBuf>> {
+            self.inner.list_dir(path)
+        }
+        fn remove_dir_all(&self, path: &Path) -> std::io::Result<()> {
+            self.inner.remove_dir_all(path)
+        }
+        fn exists(&self, path: &Path) -> bool {
+            self.inner.exists(path)
+        }
+        fn file_len(&self, path: &Path) -> std::io::Result<u64> {
+            self.inner.file_len(path)
+        }
+        fn hard_link(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            self.inner.hard_link(from, to)
+        }
+        fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+            self.inner.remove_file(path)
+        }
+        fn create_stream<'a>(
+            &'a self,
+            path: &Path,
+        ) -> std::io::Result<Box<dyn llmt_storage::vfs::WriteStream + 'a>> {
+            self.inner.create_stream(path)
+        }
+    }
+
+    #[test]
+    fn verification_reads_flow_through_storage() {
+        // Deduplicated checkpoints are the regression case: object-link
+        // bytes used to be read with raw `std::fs`, invisible to fault
+        // injection. Every payload file must now show up in the storage's
+        // read log.
+        let root = tempfile::tempdir().unwrap();
+        let cfg = ModelConfig::tiny_test();
+        let mut model = Model::new(cfg.clone(), 3);
+        let mut engine = ZeroEngine::new(
+            &model.params,
+            build_groups(&cfg, GroupLayout::LayerWise),
+            2,
+            AdamWHyper::default(),
+        );
+        let mut rng = Prng::seed_from_u64(7);
+        let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+        let mut grads = ParamSet::zeros(&cfg);
+        model.loss_and_grad(&Batch::new(tokens, 2, 8), &mut grads);
+        engine.step(&mut model.params, &grads, 1e-3, true);
+        let ts = TrainerState {
+            global_step: 1,
+            ckpt_event: 0,
+            lr_schedule: LrSchedule::Constant { lr: 1e-3 },
+            last_lr: 1e-3,
+            loss_history: vec![],
+            data_rng: rng,
+            task: "verify-test".into(),
+            model_name: cfg.model_name.clone(),
+            micro_batch: 2,
+            grad_accum: 1,
+            seq_len: 8,
+        };
+        let units = LayerUnit::all(&cfg);
+        let dir = crate::writer::save_checkpoint_dedup(&SaveRequest {
+            root: root.path(),
+            step: 1,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &units,
+        })
+        .unwrap()
+        .paths
+        .dir;
+
+        let fs = Arc::new(RecordingFs::default());
+        let report = verify_checkpoint_on(fs.clone(), &dir, false).unwrap();
+        assert!(report.ok(), "{:?}", report.findings);
+        let reads = fs.reads.lock().unwrap();
+        for unit in &units {
+            let link = dir.join(format!("units/{}.safetensors", unit.as_string()));
+            assert!(
+                reads.iter().any(|p| p == &link),
+                "object link {} never read through the storage",
+                link.display()
+            );
+        }
+        assert!(
+            reads.iter().any(|p| {
+                p.to_string_lossy().contains("group") && p.to_string_lossy().contains("rank")
+            }),
+            "optimizer object links never read through the storage"
+        );
     }
 }

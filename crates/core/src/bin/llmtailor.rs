@@ -59,11 +59,14 @@ USAGE:
       Print a checkpoint's step, stored units, optimizer group inventory
       and on-disk size.
 
-  llmtailor verify <CHECKPOINT_DIR>
+  llmtailor verify <CHECKPOINT_DIR> [--deep]
       Check integrity: commit marker, manifest digests, tensor shapes,
       ZeRO metadata consistency, shard lengths and finiteness. Exits
       non-zero on any finding, including quarantined (torn or tampered)
       checkpoints.
+      --deep  additionally stream every payload byte through the restore
+              engine, recomputing manifest SHA-256 digests on read and
+              proving the checkpoint actually loads end to end
 
   llmtailor prune --run-root <DIR> [--keep-last <N>] [--dry-run]
       Delete checkpoints that are not load-bearing: every unit's most
@@ -224,13 +227,26 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
 
 fn cmd_verify(args: &[String]) -> Result<(), String> {
     let dir = args
-        .first()
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .ok_or_else(|| "verify requires a checkpoint directory".to_string())?;
-    let report = llmt_ckpt::verify_checkpoint(Path::new(dir)).map_err(|e| e.to_string())?;
+    let deep = flag(args, "--deep");
+    let report = llmt_ckpt::verify_checkpoint_on(
+        std::sync::Arc::new(llmt_storage::vfs::LocalFs),
+        Path::new(dir),
+        deep,
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "checked {} weight tensors and {} optimizer shards",
         report.weights_checked, report.shards_checked
     );
+    if deep {
+        println!(
+            "deep: streamed {} bytes, re-verified {} digests on read",
+            report.bytes_verified, report.deep_digests_verified
+        );
+    }
     if report.ok() {
         println!("OK: checkpoint verifies");
         Ok(())

@@ -102,14 +102,17 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
         dir: plan.output.clone(),
         step,
     };
-    std::fs::create_dir_all(out.global_step_dir())
+    // All merge I/O — metadata writes here, tensor reads inside the
+    // checkpoint handles — goes through the `Storage` trait, so fault
+    // injection covers merges end to end.
+    let fs = LocalFs;
+    fs.create_dir_all(&out.global_step_dir())
         .map_err(llmt_ckpt::error::io_err(out.global_step_dir()))?;
 
     // --- Dedup detection: an `objects/` store next to the output means
     // the assembled checkpoint references layer payloads by digest — a
     // source layer whose bytes are already stored is *linked*, never read
     // or copied.
-    let fs = LocalFs;
     let store = plan
         .output
         .parent()
@@ -119,7 +122,7 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
     if store.is_some() {
         for src in &plan.sources {
             let mpath = src.join("partial_manifest.json");
-            if mpath.exists() {
+            if fs.exists(&mpath) {
                 source_manifests.insert(src.clone(), PartialManifest::load(&mpath)?);
             }
         }
@@ -144,7 +147,7 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
         // Dedup-aware output: one object per unit, hard-linked under
         // `units/`. Encoding matches the trainer's dedup saves exactly, so
         // a merged layer and the save it came from share one object.
-        std::fs::create_dir_all(out.units_dir())
+        fs.create_dir_all(&out.units_dir())
             .map_err(llmt_ckpt::error::io_err(out.units_dir()))?;
         let mut handles: BTreeMap<&Path, CheckpointHandle> = BTreeMap::new();
         for (unit, src) in &plan.assignments {
@@ -435,9 +438,9 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
         groups: donor_meta.groups.clone(),
     };
     zero_meta.save(&out.zero_meta())?;
-    copy_file(&donor.paths.config(), &out.config())?;
-    copy_file(&donor.paths.trainer_state(), &out.trainer_state())?;
-    std::fs::write(out.latest(), format!("global_step{step}\n"))
+    copy_file(&fs, &donor.paths.config(), &out.config())?;
+    copy_file(&fs, &donor.paths.trainer_state(), &out.trainer_state())?;
+    fs.write(&out.latest(), format!("global_step{step}\n").as_bytes())
         .map_err(llmt_ckpt::error::io_err(out.latest()))?;
     let manifest = PartialManifest {
         step,
@@ -461,7 +464,7 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
         out.manifest(),
     ]
     .iter()
-    .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+    .map(|p| fs.file_len(p).unwrap_or(0))
     .sum::<u64>();
 
     Ok(MergeReport {
@@ -477,8 +480,11 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
     })
 }
 
-fn copy_file(from: &Path, to: &Path) -> Result<()> {
-    std::fs::copy(from, to)
-        .map(|_| ())
-        .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(from)(e)))
+fn copy_file(fs: &dyn Storage, from: &Path, to: &Path) -> Result<()> {
+    let wrap = |p: &Path| {
+        let p = p.to_path_buf();
+        move |e: std::io::Error| TailorError::Ckpt(llmt_ckpt::error::io_err(&p)(e))
+    };
+    let bytes = fs.read(from).map_err(wrap(from))?;
+    fs.write(to, &bytes).map_err(wrap(to))
 }

@@ -21,7 +21,7 @@ pub mod model;
 pub mod projection;
 pub mod vfs;
 
-pub use meter::{IoTally, StageTimings};
+pub use meter::{IoTally, RestoreTimings, StageTimings};
 pub use model::{GpuStepModel, StorageModel};
 pub use projection::{checkpoint_bytes, proportion, CheckpointBytes};
 pub use vfs::{

@@ -36,6 +36,49 @@ impl StageTimings {
     }
 }
 
+/// Wall-clock nanoseconds spent in each stage of the restore engine's
+/// load pipeline (enumerate → fetch → decode → validate → bind) — the
+/// mirror image of [`StageTimings`]. The middle three stages run fused
+/// per file on the rayon pool, so their nanos are summed across workers
+/// (CPU time): under parallel restore `fetch_ns + decode_ns` can exceed
+/// the pipeline's wall clock, which is exactly the speedup the
+/// `restore_throughput` bench measures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestoreTimings {
+    /// Metadata reads: config, zero metadata, trainer state, manifest,
+    /// commit marker, and building the file fetch plan.
+    pub enumerate_ns: u64,
+    /// Chunked streaming reads through the `Storage` trait, including the
+    /// incremental SHA-256 fed by every fetched byte.
+    pub fetch_ns: u64,
+    /// safetensors header parsing and tensor materialization.
+    pub decode_ns: u64,
+    /// Verify-on-read checks: file digests against manifest object refs,
+    /// tensor digests/shapes against the manifest, shard-length checks.
+    pub validate_ns: u64,
+    /// Assembling canonical-order weights and (re)sharded optimizer
+    /// rank states.
+    pub bind_ns: u64,
+}
+
+impl RestoreTimings {
+    /// Merge another timing sample.
+    pub fn absorb(&mut self, other: &RestoreTimings) {
+        self.enumerate_ns += other.enumerate_ns;
+        self.fetch_ns += other.fetch_ns;
+        self.decode_ns += other.decode_ns;
+        self.validate_ns += other.validate_ns;
+        self.bind_ns += other.bind_ns;
+    }
+
+    /// Total seconds across all stages.
+    pub fn total_secs(&self) -> f64 {
+        (self.enumerate_ns + self.fetch_ns + self.decode_ns + self.validate_ns + self.bind_ns)
+            as f64
+            * 1e-9
+    }
+}
+
 /// Accumulated I/O volume of a training run's checkpoint activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IoTally {

@@ -25,6 +25,6 @@ pub use async_ckpt::{AsyncCheckpointer, SnapshotJob};
 pub use memory_tier::{MemorySnapshot, MemoryTier};
 pub use recover::recover_checkpoint;
 pub use report::RunReport;
-pub use resume::resume_trainer;
+pub use resume::{resume_trainer, resume_trainer_on};
 pub use snapshot::{CowSnapshot, SnapshotTracker, StagedGauge, UnitBlock};
 pub use trainer::{Trainer, TrainerConfig};

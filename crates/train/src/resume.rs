@@ -1,45 +1,65 @@
 //! Resume a training run from any *full* checkpoint — a plain one or a
 //! Frankenstein assembled by LLMTailor.
+//!
+//! All checkpoint bytes come through `llmt_ckpt::restore` — the unified
+//! parallel pipeline with verify-on-read — so resume gets streamed
+//! digest checks and fault-injection coverage for free. Because the
+//! restore engine reshards optimizer state on load, the configured
+//! `world_size` no longer has to match the saved layout: a run saved at
+//! `world_size=2` resumes bit-exactly at `world_size=4` and vice versa.
 
 use crate::trainer::{Trainer, TrainerConfig};
-use llmt_ckpt::{CheckpointHandle, CkptError, LoadMode, Result};
+use llmt_ckpt::{CkptError, RestoreRequest, RestoreScope, Result};
 use llmt_data::BatchSource;
 use llmt_model::Model;
 use llmt_optim::{build_groups, AdamWHyper, GroupLayout};
+use llmt_storage::vfs::{LocalFs, Storage};
 use llmt_zero::ZeroEngine;
 use std::path::Path;
+use std::sync::Arc;
 
-/// Rebuild a [`Trainer`] from a checkpoint directory.
+/// Rebuild a [`Trainer`] from a checkpoint directory on the local
+/// filesystem. Convenience wrapper over [`resume_trainer_on`].
+pub fn resume_trainer(dir: &Path, config: TrainerConfig) -> Result<Trainer> {
+    resume_trainer_on(Arc::new(LocalFs), dir, config)
+}
+
+/// Rebuild a [`Trainer`] from a checkpoint directory through a
+/// [`Storage`] backend.
 ///
 /// `config` supplies the run-level knobs (paths, intervals, strategy); the
-/// model weights, optimizer shards, step counters, loss history and data
-/// RNG all come from the checkpoint. Fails on partial checkpoints (merge
-/// them first) and on config mismatches.
-pub fn resume_trainer(dir: &Path, config: TrainerConfig) -> Result<Trainer> {
-    let mut h = CheckpointHandle::open(dir, LoadMode::EagerFull)?;
-    // A torn or tampered save must never be trained on: refuse anything
-    // that fails the commit-marker check (see DESIGN.md, "Crash
-    // consistency & failure model").
-    if !h.is_committed() {
-        return Err(CkptError::Quarantined(
-            dir.to_path_buf(),
-            h.commit_status().describe(),
-        ));
-    }
-    if !h.config.structurally_equal(&config.model_config) {
+/// optimizer shards, step counters, loss history and data RNG all come
+/// from the checkpoint, and the weights rematerialize from the restored
+/// FP32 masters exactly as the trainer's own optimizer step would emit
+/// them. Fails on partial checkpoints (merge them first), on quarantined
+/// directories (torn or tampered saves must never be trained on — see
+/// DESIGN.md, "Crash consistency & failure model") and on model-config
+/// mismatches. A `config.world_size` differing from the saved layout is
+/// fine: the restore engine regathers and re-partitions every group.
+pub fn resume_trainer_on(
+    storage: Arc<dyn Storage>,
+    dir: &Path,
+    config: TrainerConfig,
+) -> Result<Trainer> {
+    // Resume never reads `model.safetensors`: the weights are derived
+    // state, rebuilt from the FP32 masters below.
+    let restored = llmt_ckpt::restore_checkpoint_on(
+        storage,
+        dir,
+        &RestoreRequest {
+            world_size: Some(config.world_size),
+            scope: RestoreScope::OptimizerOnly,
+            ..RestoreRequest::default()
+        },
+    )?;
+    if !restored.config.structurally_equal(&config.model_config) {
         return Err(CkptError::Incompatible(format!(
             "checkpoint model {} does not match configured model {}",
-            h.config.model_name, config.model_config.model_name
-        )));
-    }
-    if h.zero_meta.world_size != config.world_size {
-        return Err(CkptError::Incompatible(format!(
-            "checkpoint world size {} != configured {}",
-            h.zero_meta.world_size, config.world_size
+            restored.config.model_name, config.model_config.model_name
         )));
     }
 
-    // Model + engine skeletons, then overwrite all state from disk.
+    // Model + engine skeletons, then overwrite all state from the restore.
     let mut model = Model::new(config.model_config.clone(), config.seed);
     let mut engine = ZeroEngine::new(
         &model.params,
@@ -50,14 +70,13 @@ pub fn resume_trainer(dir: &Path, config: TrainerConfig) -> Result<Trainer> {
             ..Default::default()
         },
     );
-    for rank in 0..config.world_size {
-        let state = h.rank_state_full(rank)?;
+    for (rank, state) in restored.ranks.into_iter().enumerate() {
         engine.load_rank_state(rank, state);
     }
-    engine.step_count = h.zero_meta.optimizer_step;
+    engine.step_count = restored.zero_meta.optimizer_step;
     engine.materialize_params(&mut model.params, true);
 
-    let ts = h.trainer_state.clone();
+    let ts = restored.trainer_state;
     // Selective-strategy phase and the save-decision log continue across
     // the failure: the log lives at the run root and the event counter in
     // the trainer state. Without these, a resumed parity run would restart
@@ -117,6 +136,25 @@ mod tests {
         }
         assert_eq!(resumed.engine.step_count, reference.engine.step_count);
         assert_eq!(resumed.loss_history, reference.loss_history);
+    }
+
+    #[test]
+    fn resume_reshards_to_the_configured_world_size() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        cfg.ckpt_interval = 2;
+        assert_eq!(cfg.world_size, 2);
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(3, None).unwrap();
+        let mut wide = cfg.clone();
+        wide.world_size = 4;
+        let mut resumed = resume_trainer(&dir.path().join("checkpoint-2"), wide).unwrap();
+        assert_eq!(resumed.engine.ranks.len(), 4);
+        assert_eq!(resumed.step, 2);
+        // The resharded trainer keeps training (bit-exactness vs an
+        // uninterrupted run at the target world size is covered by the
+        // reshard_resume e2e suite).
+        resumed.train_until(4, None).unwrap();
     }
 
     #[test]

@@ -37,4 +37,51 @@ proptest! {
         prop_assert!(s * world >= n);
         prop_assert!(n == 0 || s * world < n + world);
     }
+
+    /// Resharding-on-load round trip: partition at one world size, gather
+    /// (pad dropped), re-partition at another — bit-exact for arbitrary
+    /// bit patterns (NaN payloads included) and any group length, with the
+    /// zero-padding tail recreated as exactly +0.0.
+    #[test]
+    fn reshard_round_trip_is_bit_exact(
+        bits in prop::collection::vec(any::<u32>(), 0..200),
+        saved_idx in 0usize..5,
+        target_idx in 0usize..5,
+    ) {
+        const WORLDS: [usize; 5] = [1, 2, 3, 4, 8];
+        let saved = WORLDS[saved_idx];
+        let target = WORLDS[target_idx];
+        let flat: Vec<f32> = bits.iter().map(|b| f32::from_bits(*b)).collect();
+
+        let saved_shards = partition_padded(&flat, saved);
+        let regathered = gather(&saved_shards, flat.len());
+        prop_assert_eq!(regathered.len(), flat.len());
+        prop_assert!(
+            regathered.iter().zip(&flat).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "gather after partition must reproduce the flat buffer bitwise"
+        );
+
+        let target_shards = partition_padded(&regathered, target);
+        prop_assert_eq!(target_shards.len(), target);
+        let s = shard_size(flat.len(), target);
+        for (r, sh) in target_shards.iter().enumerate() {
+            prop_assert_eq!(sh.len(), s);
+            for (i, v) in sh.iter().enumerate() {
+                let global = r * s + i;
+                if global >= flat.len() {
+                    // The pad tail is recreated as exactly +0.0, not just
+                    // any value that compares equal to zero.
+                    prop_assert_eq!(v.to_bits(), 0f32.to_bits(), "pad at rank {} slot {}", r, i);
+                } else {
+                    prop_assert_eq!(v.to_bits(), flat[global].to_bits());
+                }
+            }
+        }
+
+        let back = gather(&target_shards, flat.len());
+        prop_assert!(
+            back.iter().zip(&flat).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "partition -> gather -> re-partition -> gather must be bit-exact"
+        );
+    }
 }

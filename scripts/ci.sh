@@ -16,3 +16,8 @@ cargo run --release -p llmt-bench --bin dedup_ratio -- --smoke
 # Engine smoke: sync/async/dedup saves through the unified engine must
 # verify, match in volume, and stage snapshot memory only on the async path.
 cargo run --release -p llmt-bench --bin ckpt_throughput -- --smoke
+
+# Restore smoke: parallel and sequential restores through the unified
+# restore engine must bind identical state with verify-on-read digests
+# checked, and the parallel path must show real speedup on multi-core hosts.
+cargo run --release -p llmt-bench --bin restore_throughput -- --smoke
