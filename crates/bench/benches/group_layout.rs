@@ -24,8 +24,9 @@ fn bench(c: &mut Criterion) {
         group.bench_function(name, |b| {
             let mut params = model.params.clone();
             let mut opt =
-                GroupedAdamW::new(&params, build_groups(&cfg, layout), AdamWHyper::default());
-            b.iter(|| opt.step(&mut params, &grads, 1e-3, true))
+                GroupedAdamW::new(&params, build_groups(&cfg, layout), AdamWHyper::default())
+                    .unwrap();
+            b.iter(|| opt.step(&mut params, &grads, 1e-3, true).unwrap())
         });
     }
     group.finish();

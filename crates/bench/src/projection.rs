@@ -95,7 +95,9 @@ pub struct Projection {
 pub fn project(shape: &RunShape, strategy: StrategyKind, world: u64) -> Projection {
     let storage = StorageModel::lustre_paper();
     let gpu = GpuStepModel::a100_paper();
-    let strat = strategy.build();
+    let strat = strategy
+        .build()
+        .expect("projections cover stateless strategies only");
     let mut total_bytes = 0u64;
     let mut ckpt_secs = 0.0;
     for event in 0..shape.events() {

@@ -15,11 +15,13 @@
 //! debris (swept by GC) or a complete, correctly-named object.
 
 use crate::digest::Digest;
+use llmt_obs::{Counter, MetricsRegistry};
 use llmt_storage::vfs::Storage;
 use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Directory name of the store under a run root.
 pub const OBJECTS_DIR: &str = "objects";
@@ -56,6 +58,11 @@ pub struct SweepReport {
 #[derive(Debug, Clone)]
 pub struct ObjectStore {
     root: PathBuf,
+    /// Dedup accounting, bumped purely in memory (a hit must stay a
+    /// zero-storage-op metadata peek). Absent unless wired to a registry.
+    hits: Option<Arc<Counter>>,
+    misses: Option<Arc<Counter>>,
+    saved_bytes: Option<Arc<Counter>>,
 }
 
 impl ObjectStore {
@@ -63,7 +70,20 @@ impl ObjectStore {
     pub fn for_run_root(run_root: &Path) -> ObjectStore {
         ObjectStore {
             root: run_root.join(OBJECTS_DIR),
+            hits: None,
+            misses: None,
+            saved_bytes: None,
         }
+    }
+
+    /// Wire dedup counters (`cas.dedup.hits` / `cas.dedup.misses` /
+    /// `cas.dedup.saved_bytes`) into `metrics`. Counting is in-memory
+    /// only; the store's storage-op profile is unchanged.
+    pub fn with_metrics(mut self, metrics: &MetricsRegistry) -> ObjectStore {
+        self.hits = Some(metrics.counter("cas.dedup.hits"));
+        self.misses = Some(metrics.counter("cas.dedup.misses"));
+        self.saved_bytes = Some(metrics.counter("cas.dedup.saved_bytes"));
+        self
     }
 
     /// The `objects/` directory itself.
@@ -116,6 +136,12 @@ impl ObjectStore {
     ) -> io::Result<PutOutcome> {
         let path = self.object_path(digest);
         if storage.exists(&path) {
+            if let Some(hits) = &self.hits {
+                hits.incr();
+            }
+            if let Some(saved) = &self.saved_bytes {
+                saved.add(len);
+            }
             return Ok(PutOutcome {
                 digest,
                 len,
@@ -147,6 +173,9 @@ impl ObjectStore {
         // Make the new directory entry durable before any manifest can
         // reference it (the commit marker seals references, not bytes).
         storage.sync(fanout)?;
+        if let Some(misses) = &self.misses {
+            misses.incr();
+        }
         Ok(PutOutcome {
             digest,
             len,
@@ -323,6 +352,26 @@ mod tests {
             .unwrap();
         assert!(!hit.written);
         assert_eq!(fs.ops_attempted(), before);
+    }
+
+    #[test]
+    fn dedup_counters_track_hits_and_misses_in_memory() {
+        let dir = tempfile::tempdir().unwrap();
+        let metrics = MetricsRegistry::new();
+        let s = store(dir.path()).with_metrics(&metrics);
+        let fs = FaultyFs::new(LocalFs, FaultSpec::never());
+        s.put(&fs, b"counted").unwrap();
+        assert_eq!(metrics.counter_value("cas.dedup.misses"), 1);
+        assert_eq!(metrics.counter_value("cas.dedup.hits"), 0);
+        let before = fs.ops_attempted();
+        s.put(&fs, b"counted").unwrap();
+        assert_eq!(metrics.counter_value("cas.dedup.hits"), 1);
+        assert_eq!(metrics.counter_value("cas.dedup.saved_bytes"), 7);
+        assert_eq!(
+            fs.ops_attempted(),
+            before,
+            "counting must not add storage ops"
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ use crate::zero_meta::{shard_tensor_names, GroupMeta, ZeroMeta};
 use llmt_cas::{ObjectStore, PutOutcome};
 use llmt_model::naming::unit_param_specs;
 use llmt_model::{LayerUnit, ModelConfig, ParamSet};
+use llmt_obs::MetricsRegistry;
 use llmt_optim::GroupSpec;
 use llmt_storage::vfs::Storage;
 use llmt_storage::StageTimings;
@@ -55,7 +56,6 @@ use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::time::Instant;
 
 /// Default streaming chunk size for tensor payloads. Large enough that
 /// chunking cost is noise, small enough to bound buffer residency; the
@@ -246,12 +246,24 @@ pub fn save(
     req: &SaveRequest,
     opts: &SaveOptions,
 ) -> Result<CheckpointReport> {
+    save_with(storage, req, opts, &MetricsRegistry::new())
+}
+
+/// [`save`] with an explicit metrics registry: per-stage durations are
+/// additionally recorded into the `ckpt.save.*` histograms, so a run-wide
+/// registry accumulates timing distributions across every save.
+pub fn save_with(
+    storage: &dyn Storage,
+    req: &SaveRequest,
+    opts: &SaveOptions,
+    metrics: &MetricsRegistry,
+) -> Result<CheckpointReport> {
     let source = LiveState {
         config: req.config,
         params: req.params,
         engine: req.engine,
     };
-    save_source(
+    save_source_with(
         storage,
         req.root,
         req.step,
@@ -259,6 +271,7 @@ pub fn save(
         req.trainer_state,
         req.units,
         opts,
+        metrics,
     )
 }
 
@@ -275,6 +288,33 @@ pub fn save_source(
     trainer_state: &TrainerState,
     units: &[LayerUnit],
     opts: &SaveOptions,
+) -> Result<CheckpointReport> {
+    save_source_with(
+        storage,
+        root,
+        step,
+        source,
+        trainer_state,
+        units,
+        opts,
+        &MetricsRegistry::new(),
+    )
+}
+
+/// [`save_source`] with an explicit metrics registry. Stage spans
+/// (`ckpt.save.encode` / `ckpt.save.place` / `ckpt.save.commit`) are
+/// recorded into it in addition to populating the report's
+/// [`StageTimings`].
+#[allow(clippy::too_many_arguments)]
+pub fn save_source_with(
+    storage: &dyn Storage,
+    root: &Path,
+    step: u64,
+    source: &dyn StateSource,
+    trainer_state: &TrainerState,
+    units: &[LayerUnit],
+    opts: &SaveOptions,
+    metrics: &MetricsRegistry,
 ) -> Result<CheckpointReport> {
     let config = source.model_config();
     for u in units {
@@ -321,6 +361,7 @@ pub fn save_source(
         present: &present,
         full,
         opts,
+        metrics,
     };
     // Single failure path: errors and panics inside the staged phase both
     // funnel through the same best-effort staging cleanup. The async
@@ -365,6 +406,7 @@ struct StagePlan<'a> {
     present: &'a [usize],
     full: bool,
     opts: &'a SaveOptions,
+    metrics: &'a MetricsRegistry,
 }
 
 /// Phase 1 + 2 + 3 of the commit protocol, against the staging directory.
@@ -399,7 +441,7 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
     let mut physical_payload = 0u64;
     let mut dedup_bytes = 0u64;
     let mut refs = dedup.then(CasRefs::default);
-    let store = ObjectStore::for_run_root(plan.root);
+    let store = ObjectStore::for_run_root(plan.root).with_metrics(plan.metrics);
 
     let mut st_meta = BTreeMap::new();
     st_meta.insert("format".to_string(), "pt".to_string());
@@ -412,14 +454,14 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
     let model_bytes: u64 = if let Some(refs) = refs.as_mut() {
         let mut total = 0u64;
         for unit in plan.units {
-            let t0 = Instant::now();
+            let sp = plan.metrics.span("ckpt.save.encode");
             let tensors = plan.source.unit_weight_tensors(*unit)?;
             for (name, t) in &tensors {
                 digests.insert(name.clone(), t.digest());
             }
-            timings.encode_ns += t0.elapsed().as_nanos() as u64;
+            timings.encode_ns += sp.finish();
 
-            let t1 = Instant::now();
+            let sp = plan.metrics.span("ckpt.save.place");
             let key = unit.as_string();
             let out = place_tensors_object(
                 storage,
@@ -429,7 +471,7 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
                 chunk,
                 &staging.unit_weights(&key),
             )?;
-            timings.place_ns += t1.elapsed().as_nanos() as u64;
+            timings.place_ns += sp.finish();
             if out.written {
                 physical_payload += out.len;
             } else {
@@ -447,7 +489,7 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
         }
         total
     } else {
-        let t0 = Instant::now();
+        let sp = plan.metrics.span("ckpt.save.encode");
         let mut weight_tensors: Vec<(String, RawTensor)> = Vec::new();
         for unit in plan.units {
             let tensors = plan.source.unit_weight_tensors(*unit)?;
@@ -456,9 +498,9 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
             }
             weight_tensors.extend(tensors);
         }
-        timings.encode_ns += t0.elapsed().as_nanos() as u64;
+        timings.encode_ns += sp.finish();
 
-        let t1 = Instant::now();
+        let sp = plan.metrics.span("ckpt.save.place");
         let (n, _digest) = safetensors::stream_file_on(
             storage,
             &staging.model(),
@@ -466,7 +508,7 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
             &st_meta,
             chunk,
         )?;
-        timings.place_ns += t1.elapsed().as_nanos() as u64;
+        timings.place_ns += sp.finish();
         files_written += 1;
         n
     };
@@ -480,11 +522,11 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
         let mut total = 0u64;
         for rank in 0..world {
             for gid in plan.present {
-                let t0 = Instant::now();
+                let sp = plan.metrics.span("ckpt.save.encode");
                 let tensors = plan.source.shard_tensors(rank, *gid);
-                timings.encode_ns += t0.elapsed().as_nanos() as u64;
+                timings.encode_ns += sp.finish();
 
-                let t1 = Instant::now();
+                let sp = plan.metrics.span("ckpt.save.place");
                 let out = place_tensors_object(
                     storage,
                     &store,
@@ -493,7 +535,7 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
                     chunk,
                     &staging.optim_group(rank, *gid),
                 )?;
-                timings.place_ns += t1.elapsed().as_nanos() as u64;
+                timings.place_ns += sp.finish();
                 if out.written {
                     physical_payload += out.len;
                 } else {
@@ -512,7 +554,7 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
         }
         total
     } else {
-        let t1 = Instant::now();
+        let sp = plan.metrics.span("ckpt.save.place");
         let write_rank = |rank: usize| -> Result<u64> {
             let mut tensors: Vec<(String, RawTensor)> = Vec::with_capacity(plan.present.len() * 3);
             for gid in plan.present {
@@ -534,12 +576,12 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
                 .collect::<Result<Vec<u64>>>()?,
             Parallelism::Sequential => (0..world).map(write_rank).collect::<Result<Vec<u64>>>()?,
         };
-        timings.place_ns += t1.elapsed().as_nanos() as u64;
+        timings.place_ns += sp.finish();
         files_written += world;
         totals.into_iter().sum()
     };
 
-    let t_commit = Instant::now();
+    let sp_commit = plan.metrics.span("ckpt.save.commit");
 
     // Small JSON files are written inline (and synced) so their exact byte
     // counts are known without re-reading.
@@ -611,7 +653,7 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
         .rename(&staging.dir, &paths.dir)
         .map_err(io_err(&staging.dir))?;
     storage.sync(plan.root).map_err(io_err(plan.root))?;
-    timings.commit_ns += t_commit.elapsed().as_nanos() as u64;
+    timings.commit_ns += sp_commit.finish();
 
     let total_bytes = model_bytes + optim_bytes + meta_bytes;
     Ok(CheckpointReport {

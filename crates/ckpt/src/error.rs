@@ -51,3 +51,18 @@ impl From<serde_json::Error> for CkptError {
         CkptError::Json(e.to_string())
     }
 }
+
+impl From<llmt_model::ConfigError> for CkptError {
+    fn from(e: llmt_model::ConfigError) -> Self {
+        CkptError::Format(format!("config.json: {e}"))
+    }
+}
+
+impl From<llmt_optim::FlatError> for CkptError {
+    fn from(e: llmt_optim::FlatError) -> Self {
+        match e {
+            llmt_optim::FlatError::MissingTensor { .. } => CkptError::Missing(e.to_string()),
+            llmt_optim::FlatError::SizeMismatch { .. } => CkptError::Format(e.to_string()),
+        }
+    }
+}

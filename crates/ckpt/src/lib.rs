@@ -50,8 +50,8 @@ pub use layout::{scan_run_root, CheckpointPaths, CommitStatus, QuarantinedDir, S
 pub use manifest::{effective_save_log, CasRefs, ObjectRef, PartialManifest};
 pub use reader::{CheckpointHandle, LoadMode};
 pub use restore::{
-    restore_checkpoint, restore_checkpoint_on, RestoreReport, RestoreRequest, RestoreScope,
-    RestoredState,
+    restore_checkpoint, restore_checkpoint_on, restore_checkpoint_with, RestoreReport,
+    RestoreRequest, RestoreScope, RestoredState,
 };
 pub use trainer_state::TrainerState;
 pub use verify::{verify_checkpoint, verify_checkpoint_on, VerifyReport};

@@ -333,6 +333,10 @@ impl CheckpointHandle {
     /// model weights are stored as a single consolidated file so it can be
     /// used for reasoning at any time" path (paper §2.3).
     pub fn load_model(&mut self) -> Result<llmt_model::Model> {
+        // A checkpoint's config.json can be valid JSON yet describe an
+        // impossible model; surface that as a typed error before any
+        // Model construction (which would panic on an invalid config).
+        self.config.validate()?;
         let all = LayerUnit::all(&self.config);
         let present = self.units_present();
         for u in &all {

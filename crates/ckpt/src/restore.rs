@@ -42,6 +42,7 @@ use crate::DEFAULT_CHUNK_BYTES;
 use llmt_cas::{Digest, Hasher};
 use llmt_model::naming::unit_param_specs;
 use llmt_model::{LayerUnit, ModelConfig};
+use llmt_obs::MetricsRegistry;
 use llmt_storage::vfs::{LocalFs, Storage};
 use llmt_storage::RestoreTimings;
 use llmt_tensor::RawTensor;
@@ -51,7 +52,6 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Which payload the restore materializes. Metadata (config, zero meta,
 /// trainer state, manifest) is always read.
@@ -219,8 +219,21 @@ pub fn restore_checkpoint_on(
     dir: &Path,
     req: &RestoreRequest,
 ) -> Result<RestoredState> {
+    restore_checkpoint_with(storage, dir, req, &MetricsRegistry::new())
+}
+
+/// [`restore_checkpoint_on`] with an explicit metrics registry: stage
+/// spans (`ckpt.restore.enumerate` / `fetch` / `decode` / `validate` /
+/// `bind`) are recorded into it in addition to populating the report's
+/// [`RestoreTimings`].
+pub fn restore_checkpoint_with(
+    storage: Arc<dyn Storage>,
+    dir: &Path,
+    req: &RestoreRequest,
+    metrics: &MetricsRegistry,
+) -> Result<RestoredState> {
     // --- enumerate -----------------------------------------------------
-    let t0 = Instant::now();
+    let sp_enumerate = metrics.span("ckpt.restore.enumerate");
     let h = CheckpointHandle::open_on(storage.clone(), dir, LoadMode::EagerFull)?;
     if req.require_committed && !h.is_committed() {
         return Err(CkptError::Quarantined(
@@ -229,6 +242,10 @@ pub fn restore_checkpoint_on(
         ));
     }
     let config = h.config.clone();
+    // Reject structurally impossible configs up front: everything after
+    // this point sizes buffers and builds layouts from the config, and a
+    // corrupt config.json must surface as an error, never a panic.
+    config.validate()?;
     let meta = h.zero_meta.clone();
     let manifest = h.manifest.clone();
     let units = h.units_present();
@@ -298,24 +315,24 @@ pub fn restore_checkpoint_on(
             }
         }
     }
-    let enumerate_ns = t0.elapsed().as_nanos() as u64;
+    let enumerate_ns = sp_enumerate.finish();
 
     // --- fetch → decode → validate (fused per file) --------------------
     let fetch_ns = AtomicU64::new(0);
     let decode_ns = AtomicU64::new(0);
     let validate_ns = AtomicU64::new(0);
     let run_one = |(plan_idx, plan): (usize, &FilePlan)| -> Result<FileOut> {
-        let t = Instant::now();
+        let sp = metrics.span("ckpt.restore.fetch");
         let (bytes, digest) = fetch_file_on(&*storage, &plan.path, req.chunk_bytes)
             .map_err(|e| annotate(e, &plan.subject))?;
-        fetch_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        fetch_ns.fetch_add(sp.finish(), Ordering::Relaxed);
 
-        let t = Instant::now();
+        let sp = metrics.span("ckpt.restore.decode");
         let (tensors, _meta) = safetensors::decode_image(&plan.path, &bytes)
             .map_err(|e| annotate(e, &plan.subject))?;
-        decode_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        decode_ns.fetch_add(sp.finish(), Ordering::Relaxed);
 
-        let t = Instant::now();
+        let sp = metrics.span("ckpt.restore.validate");
         let mut digests_verified = 0usize;
         if req.verify {
             digests_verified = validate_file(
@@ -328,7 +345,7 @@ pub fn restore_checkpoint_on(
                 &meta,
             )?;
         }
-        validate_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        validate_ns.fetch_add(sp.finish(), Ordering::Relaxed);
         Ok(FileOut {
             plan_idx,
             tensors,
@@ -369,7 +386,7 @@ pub fn restore_checkpoint_on(
     };
 
     // --- bind ----------------------------------------------------------
-    let t0 = Instant::now();
+    let sp_bind = metrics.span("ckpt.restore.bind");
     let mut weight_map: HashMap<String, RawTensor> = HashMap::new();
     let mut shard_map: HashMap<(usize, usize), ShardState> = HashMap::new();
     for out in outs {
@@ -432,7 +449,7 @@ pub fn restore_checkpoint_on(
         // Partial + no target: shards were fetched and validated, but
         // there is no complete rank state to bind.
     }
-    report.timings.bind_ns = t0.elapsed().as_nanos() as u64;
+    report.timings.bind_ns = sp_bind.finish();
 
     Ok(RestoredState {
         paths,

@@ -94,7 +94,7 @@ pub fn verify_checkpoint_on(
     };
 
     if let Err(e) = h.config.validate() {
-        find("config.json", format!("invalid config: {e}"), &mut report);
+        find("config.json", e.to_string(), &mut report);
         return Ok(report); // everything else depends on the config
     }
 
@@ -407,6 +407,40 @@ mod tests {
         );
         let report = verify_checkpoint(&dir).unwrap();
         assert!(report.ok(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn inconsistent_config_is_a_finding_never_a_panic() {
+        let root = tempfile::tempdir().unwrap();
+        let (dir, mut cfg) = make_ckpt(root.path(), None);
+        // Valid JSON, impossible model: heads don't divide hidden_size.
+        cfg.num_attention_heads = 3;
+        std::fs::write(
+            dir.join("config.json"),
+            serde_json::to_string_pretty(&cfg).unwrap(),
+        )
+        .unwrap();
+        let report = verify_checkpoint(&dir).unwrap();
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.subject == "config.json" && f.problem.contains("invalid model config")),
+            "{:?}",
+            report.findings
+        );
+        // The full load paths surface typed errors instead of panicking.
+        let err = crate::restore::restore_checkpoint(
+            &dir,
+            &crate::restore::RestoreRequest {
+                require_committed: false,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CkptError::Format(_)), "{err}");
+        let mut h = CheckpointHandle::open(&dir, LoadMode::EagerFull).unwrap();
+        assert!(matches!(h.load_model().unwrap_err(), CkptError::Format(_)));
     }
 
     #[test]

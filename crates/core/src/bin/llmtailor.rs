@@ -23,6 +23,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("prune") => cmd_prune(&args[1..]),
         Some("du") => cmd_du(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -79,6 +80,12 @@ USAGE:
       occupy without deduplication), physical bytes (object store counted
       once plus per-checkpoint metadata), the dedup ratio, and the number
       of distinct stored objects per layer unit.
+
+  llmtailor report <RUN_ROOT> [--json]
+      Summarize the run's events.jsonl journal: per-stage time breakdowns
+      for saves and restores, save cadence, dedup ratio, retry and fault
+      counts. A torn final journal line (writer died mid-append) is
+      skipped, never an error.
 
   llmtailor diff <CHECKPOINT_A> <CHECKPOINT_B>
       Per-unit RMS change between two checkpoints of the same run — the
@@ -322,6 +329,67 @@ fn cmd_du(args: &[String]) -> Result<(), String> {
         println!("  distinct objects per unit:");
         for (unit, n) in &du.per_unit_objects {
             println!("    {unit:<16} {n}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let run_root = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| "report requires a run root directory".to_string())?;
+    let summary = llmtailor::summarize_run(Path::new(run_root)).map_err(|e| e.to_string())?;
+    if flag(args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("run root: {run_root}");
+    println!("  events:   {}", summary.events);
+    if summary.torn_tail {
+        println!("  note:     torn final journal line skipped");
+    }
+    if summary.skipped_lines > 0 {
+        println!(
+            "  warning:  {} corrupt journal line(s) skipped",
+            summary.skipped_lines
+        );
+    }
+    println!(
+        "  saves:    {} at steps {:?}{}",
+        summary.save_steps.len(),
+        summary.save_steps,
+        match summary.mean_save_interval {
+            Some(iv) => format!(" (every {iv:.1} steps)"),
+            None => String::new(),
+        }
+    );
+    println!("  dedup:    ratio {:.3}", summary.dedup_ratio);
+    println!("  retries:  {}", summary.retries);
+    for (kind, k) in &summary.per_kind {
+        println!(
+            "  {kind}: {} event(s), {} bytes logical, {} physical, {} files, \
+             {} dedup hits ({} bytes saved), {} retries, {} error(s)",
+            k.events,
+            k.bytes,
+            k.physical_bytes,
+            k.files,
+            k.dedup_hits,
+            k.dedup_saved_bytes,
+            k.retries,
+            k.errors
+        );
+        let total: u64 = k.stage_ns.values().sum();
+        for (stage, ns) in &k.stage_ns {
+            let pct = if total > 0 {
+                *ns as f64 * 100.0 / total as f64
+            } else {
+                0.0
+            };
+            println!("    {stage:<10} {:>12.3} ms  {pct:>5.1}%", *ns as f64 / 1e6);
         }
     }
     Ok(())

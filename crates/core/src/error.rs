@@ -39,5 +39,37 @@ impl From<CkptError> for TailorError {
     }
 }
 
+/// A planning-time configuration error: the requested strategy or plan
+/// cannot be instantiated as asked. Returned instead of panicking so CLIs
+/// and trainers can exit cleanly with a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The strategy kind carries state the caller did not provide.
+    StatefulStrategy {
+        /// The strategy's serialized name (e.g. `"dynamic"`).
+        kind: &'static str,
+        /// What to construct instead.
+        hint: &'static str,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::StatefulStrategy { kind, hint } => {
+                write!(f, "strategy '{kind}' is stateful; {hint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<PlanError> for TailorError {
+    fn from(e: PlanError) -> Self {
+        TailorError::Plan(e.to_string())
+    }
+}
+
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, TailorError>;

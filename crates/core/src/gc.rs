@@ -19,6 +19,7 @@
 use crate::error::{Result, TailorError};
 use llmt_cas::{Digest, ObjectStore, SweepReport};
 use llmt_ckpt::{scan_run_root, PartialManifest};
+use llmt_obs::RunEvent;
 use llmt_storage::vfs::{LocalFs, Storage};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -108,6 +109,15 @@ pub fn collect_garbage_on(storage: &dyn Storage, run_root: &Path) -> Result<GcRe
     let sweep = store
         .sweep(storage, &live)
         .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(store.root_dir())(e)))?;
+    // Journal the pass on the same storage the sweep ran on, and
+    // propagate failures: a storage that dies mid-append is the same
+    // dead storage a torn sweep op would have surfaced.
+    let mut ev = RunEvent::new("gc", 0);
+    ev.bytes = sweep.reclaimed_bytes;
+    ev.files = sweep.deleted_objects as u64;
+    let events_path = run_root.join(llmt_obs::EVENTS_FILE);
+    llmt_obs::append_event(storage, &events_path, &ev)
+        .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(&events_path)(e)))?;
     Ok(GcReport {
         checkpoints_censused: scan.committed.len(),
         live_digests: live.len(),

@@ -29,15 +29,17 @@ pub mod gc;
 pub mod merge;
 pub mod plan;
 pub mod recipe;
+pub mod report;
 pub mod retention;
 pub mod strategy;
 
 pub use diff::{diff_checkpoints, UnitDiff};
 pub use dynamic::{MagnitudeStrategy, UnitDelta};
-pub use error::{Result, TailorError};
+pub use error::{PlanError, Result, TailorError};
 pub use gc::{collect_garbage, collect_garbage_on, du_run, live_digests, DuReport, GcReport};
 pub use merge::{execute_plan, merge_with_recipe, LoadPattern, MergeReport};
 pub use plan::MergePlan;
 pub use recipe::{MergeRecipe, SliceSpec};
+pub use report::{summarize_events, summarize_run, KindSummary, RunSummary};
 pub use retention::{prunable_steps, prune_run};
 pub use strategy::{FilterStrategy, FullStrategy, ParityStrategy, SelectionStrategy, StrategyKind};

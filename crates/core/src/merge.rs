@@ -467,10 +467,25 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
     .map(|p| fs.file_len(p).unwrap_or(0))
     .sum::<u64>();
 
+    let duration = start.elapsed();
+    // Journal the merge into the output's run root, best-effort: the
+    // assembled checkpoint is already committed and sealed, so a journal
+    // hiccup must not fail the merge.
+    if let Some(run_root) = plan.output.parent() {
+        let mut ev = llmt_obs::RunEvent::new("merge", step);
+        ev.bytes = bytes_written;
+        ev.physical_bytes = physical_bytes;
+        ev.files = files_written as u64;
+        ev.dedup_hits = objects_linked as u64;
+        ev.stages
+            .insert("merge".to_string(), duration.as_nanos() as u64);
+        let _ = llmt_obs::append_event(&fs, &run_root.join(llmt_obs::EVENTS_FILE), &ev);
+    }
+
     Ok(MergeReport {
         output: plan.output.clone(),
         step,
-        duration: start.elapsed(),
+        duration,
         io,
         bytes_written,
         files_written,

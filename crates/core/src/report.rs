@@ -1,0 +1,211 @@
+//! Run-wide telemetry summaries ("`llmtailor report`"): aggregate the
+//! `events.jsonl` journal into per-stage time breakdowns, save cadence,
+//! dedup ratio and retry/fault counts.
+//!
+//! The journal is read with the torn-tail rule of
+//! [`llmt_obs::journal`]: a writer that died mid-append never makes the
+//! report fail, it just costs the torn line.
+
+use crate::error::{Result, TailorError};
+use llmt_obs::{read_journal, RunEvent, EVENTS_FILE};
+use llmt_storage::vfs::LocalFs;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Aggregate of every journal event of one kind.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct KindSummary {
+    /// Events of this kind.
+    pub events: u64,
+    /// Logical payload bytes across all events.
+    pub bytes: u64,
+    /// Physically written bytes across all events.
+    pub physical_bytes: u64,
+    /// Files written or fetched.
+    pub files: u64,
+    /// Content-addressed store hits.
+    pub dedup_hits: u64,
+    /// Bytes the dedup store avoided rewriting.
+    pub dedup_saved_bytes: u64,
+    /// Storage retries absorbed.
+    pub retries: u64,
+    /// Events that recorded an error.
+    pub errors: u64,
+    /// Summed per-stage nanoseconds.
+    pub stage_ns: BTreeMap<String, u64>,
+}
+
+impl KindSummary {
+    fn absorb(&mut self, ev: &RunEvent) {
+        self.events += 1;
+        self.bytes += ev.bytes;
+        self.physical_bytes += ev.physical_bytes;
+        self.files += ev.files;
+        self.dedup_hits += ev.dedup_hits;
+        self.dedup_saved_bytes += ev.dedup_saved_bytes;
+        self.retries += ev.retries;
+        self.errors += u64::from(ev.error.is_some());
+        for (stage, ns) in &ev.stages {
+            *self.stage_ns.entry(stage.clone()).or_insert(0) += ns;
+        }
+    }
+}
+
+/// Everything `llmtailor report` prints, aggregated from one run's
+/// journal.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct RunSummary {
+    /// Total parsed events.
+    pub events: u64,
+    /// Unparseable mid-file lines (external corruption).
+    pub skipped_lines: usize,
+    /// Whether a torn tail line was dropped on read.
+    pub torn_tail: bool,
+    /// Steps of the recorded saves, in journal order.
+    pub save_steps: Vec<u64>,
+    /// Mean step distance between consecutive saves (`None` with fewer
+    /// than two saves).
+    pub mean_save_interval: Option<f64>,
+    /// Logical over physical save bytes (1.0 when nothing was shared or
+    /// nothing was saved).
+    pub dedup_ratio: f64,
+    /// Storage retries absorbed across all events.
+    pub retries: u64,
+    /// Per-kind aggregates (`save`, `restore`, `merge`, `gc`).
+    pub per_kind: BTreeMap<String, KindSummary>,
+}
+
+/// Aggregate the parsed `events` of one run.
+pub fn summarize_events(events: &[RunEvent]) -> RunSummary {
+    let mut summary = RunSummary {
+        events: events.len() as u64,
+        dedup_ratio: 1.0,
+        ..RunSummary::default()
+    };
+    for ev in events {
+        summary.retries += ev.retries;
+        summary
+            .per_kind
+            .entry(ev.kind.clone())
+            .or_default()
+            .absorb(ev);
+        if ev.kind == "save" {
+            summary.save_steps.push(ev.step);
+        }
+    }
+    if summary.save_steps.len() >= 2 {
+        let first = summary.save_steps[0];
+        let last = summary.save_steps[summary.save_steps.len() - 1];
+        summary.mean_save_interval =
+            Some(last.saturating_sub(first) as f64 / (summary.save_steps.len() - 1) as f64);
+    }
+    if let Some(saves) = summary.per_kind.get("save") {
+        if saves.physical_bytes > 0 {
+            summary.dedup_ratio = saves.bytes as f64 / saves.physical_bytes as f64;
+        }
+    }
+    summary
+}
+
+/// Read `<run_root>/events.jsonl` and aggregate it. A missing journal is
+/// an error — the run recorded nothing to report on — but a *torn* one is
+/// not: the readable prefix is summarized and [`RunSummary::torn_tail`]
+/// says a line was dropped.
+pub fn summarize_run(run_root: &Path) -> Result<RunSummary> {
+    let path = run_root.join(EVENTS_FILE);
+    let read = read_journal(&LocalFs, &path)
+        .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(&path)(e)))?;
+    if read.events.is_empty() && !read.torn_tail && read.skipped == 0 {
+        return Err(TailorError::Plan(format!(
+            "no run events recorded under {} (missing or empty {})",
+            run_root.display(),
+            EVENTS_FILE
+        )));
+    }
+    let mut summary = summarize_events(&read.events);
+    summary.skipped_lines = read.skipped;
+    summary.torn_tail = read.torn_tail;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn save(step: u64, bytes: u64, physical: u64) -> RunEvent {
+        let mut ev = RunEvent::new("save", step);
+        ev.bytes = bytes;
+        ev.physical_bytes = physical;
+        ev.files = 3;
+        ev.retries = 1;
+        ev.stages.insert("encode".into(), 10);
+        ev.stages.insert("place".into(), 20);
+        ev.stages.insert("commit".into(), 5);
+        ev
+    }
+
+    #[test]
+    fn summary_aggregates_stages_cadence_and_dedup_ratio() {
+        let events = vec![
+            save(2, 1000, 1000),
+            save(4, 1000, 500),
+            save(6, 1000, 500),
+            RunEvent::new("gc", 0),
+        ];
+        let s = summarize_events(&events);
+        assert_eq!(s.events, 4);
+        assert_eq!(s.save_steps, vec![2, 4, 6]);
+        assert_eq!(s.mean_save_interval, Some(2.0));
+        assert_eq!(s.retries, 3);
+        let saves = &s.per_kind["save"];
+        assert_eq!(saves.events, 3);
+        assert_eq!(saves.stage_ns["encode"], 30);
+        assert_eq!(saves.stage_ns["place"], 60);
+        assert_eq!(saves.stage_ns["commit"], 15);
+        assert!((s.dedup_ratio - 1.5).abs() < 1e-12, "{}", s.dedup_ratio);
+        assert_eq!(s.per_kind["gc"].events, 1);
+    }
+
+    #[test]
+    fn summary_of_no_saves_has_neutral_ratio() {
+        let s = summarize_events(&[RunEvent::new("restore", 3)]);
+        assert_eq!(s.dedup_ratio, 1.0);
+        assert_eq!(s.mean_save_interval, None);
+        assert!(s.save_steps.is_empty());
+    }
+
+    #[test]
+    fn summarize_run_round_trips_through_a_journal_file() {
+        use llmt_obs::Journal;
+        use std::sync::Arc;
+        let dir = tempfile::tempdir().unwrap();
+        let j = Journal::at_run_root(Arc::new(LocalFs), dir.path());
+        j.append(&save(2, 10, 10)).unwrap();
+        j.append(&save(4, 10, 10)).unwrap();
+        let s = summarize_run(dir.path()).unwrap();
+        assert_eq!(s.save_steps, vec![2, 4]);
+        assert!(!s.torn_tail);
+        assert_eq!(s.skipped_lines, 0);
+    }
+
+    #[test]
+    fn summarize_run_errors_on_missing_journal() {
+        let dir = tempfile::tempdir().unwrap();
+        assert!(summarize_run(dir.path()).is_err());
+    }
+
+    #[test]
+    fn summarize_run_tolerates_a_torn_tail() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut bytes = serde_json::to_string(&save(2, 10, 10))
+            .unwrap()
+            .into_bytes();
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"{\"kind\":\"save\",\"st"); // torn mid-append
+        std::fs::write(dir.path().join(EVENTS_FILE), &bytes).unwrap();
+        let s = summarize_run(dir.path()).unwrap();
+        assert_eq!(s.events, 1);
+        assert!(s.torn_tail);
+    }
+}

@@ -88,7 +88,7 @@ mod tests {
         events: u64,
         interval: u64,
     ) -> (SaveLog, Vec<u64>) {
-        let s = strategy.build();
+        let s = strategy.build().unwrap();
         let mut log = SaveLog::default();
         let mut steps = Vec::new();
         for e in 0..events {

@@ -6,6 +6,7 @@
 //! turns that log into a merge recipe that reassembles the newest copy of
 //! every unit.
 
+use crate::error::PlanError;
 use llmt_model::{LayerUnit, ModelConfig};
 use serde::{Deserialize, Serialize};
 
@@ -180,17 +181,18 @@ impl StrategyKind {
         }
     }
 
-    /// Instantiate a stateless strategy. Panics for [`StrategyKind::Dynamic`],
+    /// Instantiate a stateless strategy. Fails for [`StrategyKind::Dynamic`],
     /// which needs trainer telemetry — construct a
     /// [`crate::dynamic::MagnitudeStrategy`] instead.
-    pub fn build(self) -> Box<dyn SelectionStrategy> {
+    pub fn build(self) -> Result<Box<dyn SelectionStrategy>, PlanError> {
         match self {
-            StrategyKind::Full => Box::new(FullStrategy),
-            StrategyKind::Parity => Box::new(ParityStrategy),
-            StrategyKind::Filtered => Box::new(FilterStrategy::default()),
-            StrategyKind::Dynamic { .. } => {
-                panic!("dynamic selection is stateful; use llmtailor::MagnitudeStrategy")
-            }
+            StrategyKind::Full => Ok(Box::new(FullStrategy)),
+            StrategyKind::Parity => Ok(Box::new(ParityStrategy)),
+            StrategyKind::Filtered => Ok(Box::new(FilterStrategy::default())),
+            StrategyKind::Dynamic { .. } => Err(PlanError::StatefulStrategy {
+                kind: "dynamic",
+                hint: "drive llmtailor::MagnitudeStrategy with trainer telemetry instead",
+            }),
         }
     }
 }
@@ -229,7 +231,7 @@ mod tests {
                 StrategyKind::Parity,
                 StrategyKind::Filtered,
             ] {
-                let s = kind.build();
+                let s = kind.build().unwrap();
                 let seen = coverage(s.as_ref(), &cfg, s.cover_window());
                 assert_eq!(seen, all, "{} on {}", s.name(), cfg.model_name);
             }
@@ -343,6 +345,22 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_build_is_a_typed_error_not_a_panic() {
+        let err = StrategyKind::dynamic_default().build().unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::StatefulStrategy {
+                kind: "dynamic",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("MagnitudeStrategy"), "{err}");
+        // And it converts into the crate-wide error for `?` callers.
+        let tailor: crate::TailorError = err.into();
+        assert!(matches!(tailor, crate::TailorError::Plan(_)));
+    }
+
+    #[test]
     fn strategy_kind_serde_round_trip() {
         for k in [
             StrategyKind::Full,
@@ -367,7 +385,7 @@ mod tests {
             StrategyKind::Parity,
             StrategyKind::Filtered,
         ] {
-            let s = kind.build();
+            let s = kind.build().unwrap();
             for e in 0..12 {
                 let units = s.select(e, &cfg);
                 let mut sorted = units.clone();

@@ -7,6 +7,35 @@
 //! on CPUs (see DESIGN.md's substitution table).
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structural inconsistency in a [`ModelConfig`].
+///
+/// Configs read back from a checkpoint's `config.json` can be valid JSON
+/// yet describe an impossible model (heads that don't divide the hidden
+/// size, a zero vocabulary, ...). Load paths surface this as a typed error
+/// instead of panicking inside model construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The first violated constraint, human-readable.
+    pub reason: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid model config: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    fn new(reason: impl Into<String>) -> Self {
+        ConfigError {
+            reason: reason.into(),
+        }
+    }
+}
 
 /// Decoder-only transformer hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -79,34 +108,36 @@ impl ModelConfig {
 
     /// Validate internal consistency; returns a description of the first
     /// violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.hidden_size == 0 || self.vocab_size == 0 || self.num_hidden_layers == 0 {
-            return Err("zero-sized dimension".into());
+            return Err(ConfigError::new("zero-sized dimension"));
         }
-        if !self.hidden_size.is_multiple_of(self.num_attention_heads) {
-            return Err(format!(
+        if self.num_attention_heads == 0
+            || !self.hidden_size.is_multiple_of(self.num_attention_heads)
+        {
+            return Err(ConfigError::new(format!(
                 "hidden_size {} not divisible by num_attention_heads {}",
                 self.hidden_size, self.num_attention_heads
-            ));
+            )));
         }
         if !self.head_dim().is_multiple_of(2) {
-            return Err(format!(
+            return Err(ConfigError::new(format!(
                 "head_dim {} must be even for RoPE",
                 self.head_dim()
-            ));
+            )));
         }
         if self.num_key_value_heads == 0
             || !self
                 .num_attention_heads
                 .is_multiple_of(self.num_key_value_heads)
         {
-            return Err(format!(
+            return Err(ConfigError::new(format!(
                 "num_key_value_heads {} must divide num_attention_heads {}",
                 self.num_key_value_heads, self.num_attention_heads
-            ));
+            )));
         }
         if self.max_position_embeddings == 0 {
-            return Err("max_position_embeddings must be positive".into());
+            return Err(ConfigError::new("max_position_embeddings must be positive"));
         }
         Ok(())
     }

@@ -30,7 +30,7 @@ pub mod params;
 pub mod transformer;
 pub mod unit;
 
-pub use config::ModelConfig;
+pub use config::{ConfigError, ModelConfig};
 pub use generate::SampleConfig;
 pub use params::ParamSet;
 pub use transformer::{Batch, Model};

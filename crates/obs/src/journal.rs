@@ -1,0 +1,263 @@
+//! Crash-safe JSONL run-event journal.
+//!
+//! One line per completed (or failed) save/restore/merge/GC at
+//! `<run_root>/events.jsonl`. Appends go through the
+//! [`Storage`] trait, so the fault-injection VFS can fail or *tear* them
+//! exactly like checkpoint payload writes. The durability rule mirrors
+//! the checkpoint commit protocol's stance on torn writes:
+//!
+//! * a line is only meaningful once its trailing `\n` is on disk;
+//! * on read, an unparseable **final** line (torn tail — the writer died
+//!   mid-append) is silently skipped, never an error;
+//! * an unparseable line *before* the tail means external corruption; it
+//!   is skipped too but counted in [`JournalRead::skipped`] so reports
+//!   can surface it.
+
+use llmt_storage::vfs::Storage;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Journal file name under the run root.
+pub const EVENTS_FILE: &str = "events.jsonl";
+
+/// One run event: a completed or failed save, restore, merge, or GC.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunEvent {
+    /// Event kind: `"save"`, `"restore"`, `"merge"`, or `"gc"`.
+    pub kind: String,
+    /// Training step the event belongs to.
+    pub step: u64,
+    /// Logical payload bytes moved by the event.
+    #[serde(default)]
+    pub bytes: u64,
+    /// Bytes physically written (dedup saves write fewer than `bytes`).
+    #[serde(default)]
+    pub physical_bytes: u64,
+    /// Files written or fetched.
+    #[serde(default)]
+    pub files: u64,
+    /// Content-addressed store hits (objects satisfied without writing).
+    #[serde(default)]
+    pub dedup_hits: u64,
+    /// Bytes the dedup store avoided rewriting.
+    #[serde(default)]
+    pub dedup_saved_bytes: u64,
+    /// Storage retries absorbed while producing this event.
+    #[serde(default)]
+    pub retries: u64,
+    /// Per-stage nanoseconds (e.g. `encode`, `place`, `commit`).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub stages: BTreeMap<String, u64>,
+    /// Error message when the operation failed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+}
+
+impl RunEvent {
+    /// A new event of `kind` at `step`, all tallies zero.
+    pub fn new(kind: &str, step: u64) -> Self {
+        RunEvent {
+            kind: kind.to_string(),
+            step,
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything a journal read produces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalRead {
+    /// Events that parsed, in file order.
+    pub events: Vec<RunEvent>,
+    /// Unparseable lines *before* the tail (external corruption).
+    pub skipped: usize,
+    /// Whether a torn (unparseable, newline-less or final) tail line was
+    /// dropped.
+    pub torn_tail: bool,
+}
+
+/// Append handle for `<run_root>/events.jsonl`.
+pub struct Journal {
+    storage: Arc<dyn Storage>,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").field("path", &self.path).finish()
+    }
+}
+
+impl Journal {
+    /// A journal at `<run_root>/events.jsonl` on `storage`.
+    pub fn at_run_root(storage: Arc<dyn Storage>, run_root: &Path) -> Self {
+        Journal {
+            storage,
+            path: run_root.join(EVENTS_FILE),
+        }
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one event as a single JSON line.
+    pub fn append(&self, event: &RunEvent) -> io::Result<()> {
+        append_event(&*self.storage, &self.path, event)
+    }
+
+    /// Read this journal back (see [`read_journal`]).
+    pub fn read(&self) -> io::Result<JournalRead> {
+        read_journal(&*self.storage, &self.path)
+    }
+}
+
+/// Append one event as a single JSON line to `path` on `storage` — the
+/// borrowing form of [`Journal::append`] for callers that hold a
+/// `&dyn Storage` rather than an `Arc`.
+pub fn append_event(storage: &dyn Storage, path: &Path, event: &RunEvent) -> io::Result<()> {
+    let mut line =
+        serde_json::to_string(event).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    line.push('\n');
+    storage.append(path, line.as_bytes())
+}
+
+/// Read a journal file. A missing file is an empty journal; a torn tail
+/// line is skipped, never an error (the writer died mid-append — the
+/// same failure the checkpoint commit marker guards against).
+pub fn read_journal(storage: &dyn Storage, path: &Path) -> io::Result<JournalRead> {
+    if !storage.exists(path) {
+        return Ok(JournalRead::default());
+    }
+    let bytes = storage.read(path)?;
+    Ok(parse_journal(&bytes))
+}
+
+/// Parse journal bytes per the torn-tail rule.
+pub fn parse_journal(bytes: &[u8]) -> JournalRead {
+    let text = String::from_utf8_lossy(bytes);
+    let mut out = JournalRead::default();
+    if text.is_empty() {
+        return out;
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    let n = lines.len();
+    for (i, line) in lines.into_iter().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<RunEvent>(line) {
+            Ok(ev) => out.events.push(ev),
+            // The final line is the torn tail exactly when it is
+            // unparseable: either its newline never landed, or the torn
+            // prefix that did land is not valid JSON.
+            Err(_) if i + 1 == n => out.torn_tail = true,
+            Err(_) => out.skipped += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmt_storage::vfs::LocalFs;
+
+    fn ev(kind: &str, step: u64) -> RunEvent {
+        let mut e = RunEvent::new(kind, step);
+        e.bytes = 100 * (step + 1);
+        e.stages.insert("encode".into(), 42);
+        e
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let dir = tempfile::tempdir().unwrap();
+        let j = Journal::at_run_root(Arc::new(LocalFs), dir.path());
+        for step in 0..3 {
+            j.append(&ev("save", step)).unwrap();
+        }
+        let r = j.read().unwrap();
+        assert_eq!(r.events.len(), 3);
+        assert_eq!(r.skipped, 0);
+        assert!(!r.torn_tail);
+        assert_eq!(r.events[2], ev("save", 2));
+    }
+
+    #[test]
+    fn missing_journal_reads_empty() {
+        let dir = tempfile::tempdir().unwrap();
+        let r = read_journal(&LocalFs, &dir.path().join(EVENTS_FILE)).unwrap();
+        assert_eq!(r, JournalRead::default());
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_silently() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(serde_json::to_string(&ev("save", 0)).unwrap().as_bytes());
+        bytes.push(b'\n');
+        let second = serde_json::to_string(&ev("save", 1)).unwrap();
+        bytes.extend_from_slice(&second.as_bytes()[..second.len() / 2]);
+        let r = parse_journal(&bytes);
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.skipped, 0);
+        assert!(r.torn_tail);
+    }
+
+    #[test]
+    fn newline_less_but_complete_tail_still_parses() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(serde_json::to_string(&ev("save", 0)).unwrap().as_bytes());
+        let r = parse_journal(&bytes);
+        assert_eq!(r.events.len(), 1);
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_counted_not_fatal() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(serde_json::to_string(&ev("save", 0)).unwrap().as_bytes());
+        bytes.extend_from_slice(b"\n{not json}\n");
+        bytes.extend_from_slice(serde_json::to_string(&ev("gc", 1)).unwrap().as_bytes());
+        bytes.push(b'\n');
+        let r = parse_journal(&bytes);
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.skipped, 1);
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn empty_journal_parses_empty() {
+        assert_eq!(parse_journal(b""), JournalRead::default());
+    }
+
+    #[test]
+    fn torn_append_through_faulty_vfs_reads_without_error() {
+        use llmt_storage::vfs::{FaultKind, FaultSpec, FaultyFs};
+        let dir = tempfile::tempdir().unwrap();
+        let faulty = Arc::new(FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 2,
+                kind: FaultKind::TornWrite {
+                    keep_bytes: Some(5),
+                },
+            },
+        ));
+        let j = Journal::at_run_root(faulty, dir.path());
+        j.append(&ev("save", 0)).unwrap(); // op 0
+        j.append(&ev("save", 1)).unwrap(); // op 1
+        j.append(&ev("save", 2)).unwrap_err(); // op 2: torn mid-line, dead
+                                               // The process-model died mid-append; a fresh reader must see the
+                                               // two complete events and silently drop the torn tail.
+        let r = read_journal(&LocalFs, j.path()).unwrap();
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.events[1].step, 1);
+        assert_eq!(r.skipped, 0);
+        assert!(r.torn_tail);
+    }
+}

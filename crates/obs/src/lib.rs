@@ -1,0 +1,493 @@
+#![warn(missing_docs)]
+//! Run-wide telemetry for the checkpoint pipeline.
+//!
+//! The paper's evaluation is entirely about *measured* save/restore/merge
+//! cost, so every engine needs a common place to put its numbers. This
+//! crate provides two halves:
+//!
+//! * an in-process [`MetricsRegistry`] — named counters, gauges, and
+//!   nanosecond histograms with fixed log2 buckets, plus a [`Span`] guard
+//!   API (`reg.span("ckpt.save.encode")`) that records elapsed time on
+//!   drop. Time is injected through [`TimeSource`] exactly like the retry
+//!   backoff's `Clock`, so tests drive it manually and production uses a
+//!   monotonic [`Instant`] origin — no wall-clock (`Date::now`-style)
+//!   reads anywhere.
+//! * a crash-safe JSONL run-event [`Journal`] (`<run_root>/events.jsonl`),
+//!   appended through the [`llmt_storage::vfs::Storage`] trait so the
+//!   fault-injection VFS can tear it; the reader skips a torn tail line
+//!   instead of erroring (see [`journal`]).
+//!
+//! The existing `StageTimings`/`RestoreTimings` report structs are now
+//! *views* over a registry: the engines time their stages with spans and
+//! materialize the structs from histogram sums, so no report field
+//! changed shape.
+
+pub mod journal;
+
+pub use journal::{append_event, read_journal, Journal, JournalRead, RunEvent, EVENTS_FILE};
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i`
+/// (1..=64) holds values whose bit length is `i`, i.e. the half-open
+/// range `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Log2 bucket index for a value (0 for 0, else its bit length).
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Injectable monotonic time, mirroring the retry backoff's `Clock`:
+/// production uses [`MonotonicTime`], tests advance a [`ManualTime`] by
+/// hand so span durations are deterministic.
+pub trait TimeSource: Send + Sync {
+    /// Nanoseconds since an arbitrary fixed origin. Must be monotonic.
+    fn now_ns(&self) -> u64;
+}
+
+/// Real monotonic time measured from construction.
+#[derive(Debug, Clone)]
+pub struct MonotonicTime {
+    origin: Instant,
+}
+
+impl MonotonicTime {
+    /// A time source anchored at "now".
+    pub fn new() -> Self {
+        MonotonicTime {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicTime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeSource for MonotonicTime {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Hand-advanced time source for deterministic tests.
+#[derive(Debug, Default)]
+pub struct ManualTime {
+    now: AtomicU64,
+}
+
+impl ManualTime {
+    /// Advance the clock by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl TimeSource for ManualTime {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A level that moves both ways, with a high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// Raise the level by `n`, updating the peak; returns the new level.
+    pub fn add(&self, n: u64) -> u64 {
+        let now = self.current.fetch_add(n, Ordering::SeqCst) + n;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+        now
+    }
+
+    /// Lower the level by `n`.
+    pub fn sub(&self, n: u64) {
+        self.current.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    /// Current level.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::SeqCst)
+    }
+
+    /// Highest level ever observed.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::SeqCst)
+    }
+}
+
+/// Fixed log2-bucket histogram of `u64` samples (nanoseconds, by
+/// convention). Lock-free; buckets are defined by [`bucket_index`].
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-zero buckets as `(bucket_index, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i, n))
+            })
+            .collect()
+    }
+}
+
+struct RegistryInner {
+    time: Arc<dyn TimeSource>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Named counters, gauges, and histograms behind an `Arc`: cloning the
+/// registry shares the underlying metrics, so one registry can be handed
+/// to the save engine, the CAS store, and the async worker at once.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry on real monotonic time.
+    pub fn new() -> Self {
+        Self::with_time(Arc::new(MonotonicTime::new()))
+    }
+
+    /// A registry on an injected time source (tests).
+    pub fn with_time(time: Arc<dyn TimeSource>) -> Self {
+        MetricsRegistry {
+            inner: Arc::new(RegistryInner {
+                time,
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Get or create the named counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.inner.counters.lock().expect("obs counters lock");
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.inner.gauges.lock().expect("obs gauges lock");
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.inner.histograms.lock().expect("obs histograms lock");
+        m.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Record one sample into the named histogram.
+    pub fn record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Current value of the named counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counter(name).get()
+    }
+
+    /// Sum of the named histogram's samples (0 if never touched). The
+    /// engines' `StageTimings`/`RestoreTimings` views are built from
+    /// these sums.
+    pub fn histogram_sum(&self, name: &str) -> u64 {
+        self.histogram(name).sum()
+    }
+
+    /// Sample count of the named histogram.
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.histogram(name).count()
+    }
+
+    /// Start a span: the guard records elapsed nanoseconds into the
+    /// named histogram when dropped (or explicitly [`Span::finish`]ed).
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            hist: self.histogram(name),
+            time: self.inner.time.clone(),
+            start: self.inner.time.now_ns(),
+            done: false,
+        }
+    }
+
+    /// Point-in-time copy of every metric, for reports and debugging.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("obs counters lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("obs gauges lock")
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    GaugeSnapshot {
+                        current: v.current(),
+                        peak: v.peak(),
+                    },
+                )
+            })
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("obs histograms lock")
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: v.count(),
+                        sum: v.sum(),
+                        buckets: v.nonzero_buckets(),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// RAII timing guard returned by [`MetricsRegistry::span`].
+pub struct Span {
+    hist: Arc<Histogram>,
+    time: Arc<dyn TimeSource>,
+    start: u64,
+    done: bool,
+}
+
+impl Span {
+    /// Close the span now and return the recorded nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> u64 {
+        if self.done {
+            return 0;
+        }
+        self.done = true;
+        let elapsed = self.time.now_ns().saturating_sub(self.start);
+        self.hist.record(elapsed);
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Serialized gauge state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Current level.
+    pub current: u64,
+    /// High-water mark.
+    pub peak: u64,
+}
+
+/// Serialized histogram state; `buckets` lists only non-zero log2
+/// buckets as `(bucket_index, count)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Sample count.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Non-zero buckets.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// Point-in-time copy of a whole [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge states by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_counts_sums_and_buckets() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 3, 1000, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 2028);
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (2, 1), (10, 1), (11, 1)]
+        );
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let g = Gauge::default();
+        g.add(10);
+        g.add(5);
+        g.sub(12);
+        g.add(1);
+        assert_eq!(g.current(), 4);
+        assert_eq!(g.peak(), 15);
+    }
+
+    #[test]
+    fn spans_record_elapsed_time_from_injected_clock() {
+        let time = Arc::new(ManualTime::default());
+        let reg = MetricsRegistry::with_time(time.clone());
+        {
+            let _s = reg.span("ckpt.save.encode");
+            time.advance(1500);
+        }
+        let s = reg.span("ckpt.save.encode");
+        time.advance(500);
+        assert_eq!(s.finish(), 500);
+        assert_eq!(reg.histogram_count("ckpt.save.encode"), 2);
+        assert_eq!(reg.histogram_sum("ckpt.save.encode"), 2000);
+    }
+
+    #[test]
+    fn registry_clones_share_metrics() {
+        let reg = MetricsRegistry::new();
+        let other = reg.clone();
+        reg.counter("cas.put.hit").add(3);
+        other.counter("cas.put.hit").incr();
+        assert_eq!(reg.counter_value("cas.put.hit"), 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("cas.put.hit"), Some(&4));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(7);
+        reg.gauge("g").add(9);
+        reg.record("h", 300);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

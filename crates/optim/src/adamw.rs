@@ -5,7 +5,7 @@
 //! moment estimates, which is why biases/norms can be exempted per group
 //! without touching the update math.
 
-use crate::flat::{flatten_group, unflatten_group_into};
+use crate::flat::{flatten_group, unflatten_group_into, FlatError};
 use crate::groups::GroupSpec;
 use llmt_model::ParamSet;
 use serde::{Deserialize, Serialize};
@@ -87,18 +87,26 @@ pub struct GroupedAdamW {
 
 impl GroupedAdamW {
     /// Initialize master weights from the model's current parameters.
-    pub fn new(params: &ParamSet, groups: Vec<GroupSpec>, hyper: AdamWHyper) -> Self {
-        let master: Vec<Vec<f32>> = groups.iter().map(|g| flatten_group(params, g)).collect();
+    /// Fails if a group references a tensor `params` does not hold.
+    pub fn new(
+        params: &ParamSet,
+        groups: Vec<GroupSpec>,
+        hyper: AdamWHyper,
+    ) -> Result<Self, FlatError> {
+        let master: Vec<Vec<f32>> = groups
+            .iter()
+            .map(|g| flatten_group(params, g))
+            .collect::<Result<_, _>>()?;
         let exp_avg = master.iter().map(|b| vec![0.0; b.len()]).collect();
         let exp_avg_sq = master.iter().map(|b| vec![0.0; b.len()]).collect();
-        GroupedAdamW {
+        Ok(GroupedAdamW {
             groups,
             master,
             exp_avg,
             exp_avg_sq,
             step_count: 0,
             hyper,
-        }
+        })
     }
 
     /// Group specs.
@@ -108,11 +116,18 @@ impl GroupedAdamW {
 
     /// One optimizer step: consumes gradients from `grads` (flattened per
     /// group on the fly), updates masters, and writes the (optionally
-    /// BF16-quantized) result back into `params`.
-    pub fn step(&mut self, params: &mut ParamSet, grads: &ParamSet, lr: f32, quantize_bf16: bool) {
+    /// BF16-quantized) result back into `params`. Fails without touching
+    /// the step counter's consistency if a group member is missing.
+    pub fn step(
+        &mut self,
+        params: &mut ParamSet,
+        grads: &ParamSet,
+        lr: f32,
+        quantize_bf16: bool,
+    ) -> Result<(), FlatError> {
         self.step_count += 1;
         for (gi, group) in self.groups.iter().enumerate() {
-            let flat_grad = flatten_group(grads, group);
+            let flat_grad = flatten_group(grads, group)?;
             let hp = AdamWHyper {
                 lr,
                 weight_decay: group.weight_decay,
@@ -126,8 +141,9 @@ impl GroupedAdamW {
                 &hp,
                 self.step_count,
             );
-            unflatten_group_into(params, group, &self.master[gi], quantize_bf16);
+            unflatten_group_into(params, group, &self.master[gi], quantize_bf16)?;
         }
+        Ok(())
     }
 }
 
@@ -188,14 +204,14 @@ mod tests {
         let cfg = ModelConfig::tiny_test();
         let mut model = llmt_model::Model::new(cfg.clone(), 1);
         let groups = build_groups(&cfg, GroupLayout::LayerWise);
-        let mut opt = GroupedAdamW::new(&model.params, groups, AdamWHyper::default());
+        let mut opt = GroupedAdamW::new(&model.params, groups, AdamWHyper::default()).unwrap();
         let mut rng = Prng::seed_from_u64(2);
         let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
         let batch = llmt_model::Batch::new(tokens, 2, 8);
         let mut grads = llmt_model::ParamSet::zeros(&cfg);
         let l0 = model.loss_and_grad(&batch, &mut grads);
         for _ in 0..20 {
-            opt.step(&mut model.params, &grads, 3e-3, false);
+            opt.step(&mut model.params, &grads, 3e-3, false).unwrap();
             grads.zero_all();
             model.loss_and_grad(&batch, &mut grads);
         }
@@ -216,20 +232,25 @@ mod tests {
             ..Default::default()
         };
         let mut opt_a =
-            GroupedAdamW::new(&model_a.params, build_groups(&cfg, GroupLayout::Stock), hp);
+            GroupedAdamW::new(&model_a.params, build_groups(&cfg, GroupLayout::Stock), hp).unwrap();
         let mut opt_b = GroupedAdamW::new(
             &model_b.params,
             build_groups(&cfg, GroupLayout::LayerWise),
             hp,
-        );
+        )
+        .unwrap();
         let mut rng = Prng::seed_from_u64(3);
         for _ in 0..3 {
             let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
             let batch = llmt_model::Batch::new(tokens, 2, 8);
             let mut grads = llmt_model::ParamSet::zeros(&cfg);
             model_a.loss_and_grad(&batch, &mut grads);
-            opt_a.step(&mut model_a.params, &grads, 1e-3, false);
-            opt_b.step(&mut model_b.params, &grads, 1e-3, false);
+            opt_a
+                .step(&mut model_a.params, &grads, 1e-3, false)
+                .unwrap();
+            opt_b
+                .step(&mut model_b.params, &grads, 1e-3, false)
+                .unwrap();
             for ((_, ta), (_, tb)) in model_a.params.iter().zip(model_b.params.iter()) {
                 assert_eq!(ta.data(), tb.data(), "layouts diverged");
             }
@@ -243,11 +264,11 @@ mod tests {
         let cfg = ModelConfig::tiny_test();
         let mut model = llmt_model::Model::new(cfg.clone(), 1);
         let groups = build_groups(&cfg, GroupLayout::LayerWise);
-        let mut opt = GroupedAdamW::new(&model.params, groups, AdamWHyper::default());
+        let mut opt = GroupedAdamW::new(&model.params, groups, AdamWHyper::default()).unwrap();
         let mut grads = llmt_model::ParamSet::zeros(&cfg);
         let batch = llmt_model::Batch::new((0..16).map(|i| i % 7).collect(), 2, 8);
         model.loss_and_grad(&batch, &mut grads);
-        opt.step(&mut model.params, &grads, 1e-2, true);
+        opt.step(&mut model.params, &grads, 1e-2, true).unwrap();
         for (_, t) in model.params.iter() {
             for x in t.data() {
                 assert_eq!(

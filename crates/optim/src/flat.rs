@@ -4,22 +4,73 @@
 //! does); member tensors are concatenated in canonical model order. The
 //! trainer's write-back optionally rounds through BF16 to simulate the
 //! mixed-precision master-weight -> model-weight cast.
+//!
+//! Both directions are fallible: a group spec can reference a tensor the
+//! parameter set does not hold, and a restored flat buffer can have the
+//! wrong length (a malformed optimizer shard). These surface as
+//! [`FlatError`] — convertible into the checkpoint crate's `CkptError` —
+//! so a corrupt checkpoint yields a clean restore error instead of a
+//! library panic.
 
 use crate::groups::GroupSpec;
 use llmt_model::ParamSet;
 use llmt_tensor::dtype::bf16_round;
+use std::fmt;
+
+/// Why a flatten/unflatten failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatError {
+    /// A group member tensor is absent from the parameter set.
+    MissingTensor {
+        /// `"flatten"` or `"unflatten"`.
+        op: &'static str,
+        /// The missing tensor's name.
+        name: String,
+    },
+    /// A flat buffer's length disagrees with the group layout.
+    SizeMismatch {
+        /// Elements the group layout requires.
+        expected: usize,
+        /// Elements actually present.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FlatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlatError::MissingTensor { op, name } => {
+                write!(f, "{op}: missing tensor '{name}'")
+            }
+            FlatError::SizeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "flat buffer size mismatch: got {got} elements, group layout requires {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlatError {}
 
 /// Concatenate a group's member tensors into one flat buffer.
-pub fn flatten_group(params: &ParamSet, group: &GroupSpec) -> Vec<f32> {
+pub fn flatten_group(params: &ParamSet, group: &GroupSpec) -> Result<Vec<f32>, FlatError> {
     let mut out = Vec::with_capacity(group.numel);
     for name in &group.names {
-        let t = params
-            .get(name)
-            .unwrap_or_else(|| panic!("flatten: missing {name}"));
+        let t = params.get(name).ok_or_else(|| FlatError::MissingTensor {
+            op: "flatten",
+            name: name.clone(),
+        })?;
         out.extend_from_slice(t.data());
     }
-    debug_assert_eq!(out.len(), group.numel);
-    out
+    if out.len() != group.numel {
+        return Err(FlatError::SizeMismatch {
+            expected: group.numel,
+            got: out.len(),
+        });
+    }
+    Ok(out)
 }
 
 /// Scatter a flat buffer back into the group's member tensors. When
@@ -30,14 +81,28 @@ pub fn unflatten_group_into(
     group: &GroupSpec,
     flat: &[f32],
     quantize_bf16: bool,
-) {
-    assert_eq!(flat.len(), group.numel, "flat buffer size mismatch");
+) -> Result<(), FlatError> {
+    if flat.len() != group.numel {
+        return Err(FlatError::SizeMismatch {
+            expected: group.numel,
+            got: flat.len(),
+        });
+    }
     let mut off = 0;
     for name in &group.names {
         let t = params
             .get_mut(name)
-            .unwrap_or_else(|| panic!("unflatten: missing {name}"));
+            .ok_or_else(|| FlatError::MissingTensor {
+                op: "unflatten",
+                name: name.clone(),
+            })?;
         let n = t.numel();
+        if off + n > flat.len() {
+            return Err(FlatError::SizeMismatch {
+                expected: off + n,
+                got: flat.len(),
+            });
+        }
         let src = &flat[off..off + n];
         let dst = t.data_mut();
         if quantize_bf16 {
@@ -49,7 +114,13 @@ pub fn unflatten_group_into(
         }
         off += n;
     }
-    assert_eq!(off, flat.len());
+    if off != flat.len() {
+        return Err(FlatError::SizeMismatch {
+            expected: off,
+            got: flat.len(),
+        });
+    }
+    Ok(())
 }
 
 /// Byte offsets of each member tensor within the group's flat buffer.
@@ -78,9 +149,9 @@ mod tests {
             let groups = build_groups(&c, layout);
             let mut rebuilt = ParamSet::zeros(&c);
             for g in &groups {
-                let flat = flatten_group(&params, g);
+                let flat = flatten_group(&params, g).unwrap();
                 assert_eq!(flat.len(), g.numel);
-                unflatten_group_into(&mut rebuilt, g, &flat, false);
+                unflatten_group_into(&mut rebuilt, g, &flat, false).unwrap();
             }
             for ((_, a), (_, b)) in params.iter().zip(rebuilt.iter()) {
                 assert_eq!(a, b);
@@ -95,8 +166,8 @@ mod tests {
         let groups = build_groups(&c, GroupLayout::LayerWise);
         let mut rebuilt = ParamSet::zeros(&c);
         for g in &groups {
-            let flat = flatten_group(&params, g);
-            unflatten_group_into(&mut rebuilt, g, &flat, true);
+            let flat = flatten_group(&params, g).unwrap();
+            unflatten_group_into(&mut rebuilt, g, &flat, true).unwrap();
         }
         for (_, t) in rebuilt.iter() {
             for x in t.data() {
@@ -121,11 +192,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "size mismatch")]
     fn unflatten_rejects_wrong_length() {
         let c = ModelConfig::tiny_test();
         let mut params = ParamSet::zeros(&c);
         let groups = build_groups(&c, GroupLayout::Stock);
-        unflatten_group_into(&mut params, &groups[0], &[0.0; 3], false);
+        let err = unflatten_group_into(&mut params, &groups[0], &[0.0; 3], false).unwrap_err();
+        assert!(err.to_string().contains("size mismatch"), "{err}");
+        assert!(matches!(err, FlatError::SizeMismatch { got: 3, .. }));
+    }
+
+    #[test]
+    fn missing_member_is_an_error_not_a_panic() {
+        let c = ModelConfig::tiny_test();
+        let params = ParamSet::zeros(&c);
+        let mut groups = build_groups(&c, GroupLayout::Stock);
+        groups[0].names[0] = "no.such.tensor".to_string();
+        let err = flatten_group(&params, &groups[0]).unwrap_err();
+        assert!(
+            matches!(&err, FlatError::MissingTensor { name, .. } if name == "no.such.tensor"),
+            "{err}"
+        );
+        let mut rebuilt = ParamSet::zeros(&c);
+        let flat = vec![0.0; groups[0].numel];
+        let err = unflatten_group_into(&mut rebuilt, &groups[0], &flat, false).unwrap_err();
+        assert!(matches!(err, FlatError::MissingTensor { .. }), "{err}");
     }
 }

@@ -20,6 +20,7 @@ pub mod index;
 pub mod schedule;
 
 pub use adamw::{adamw_update, AdamWHyper, GroupedAdamW};
+pub use flat::FlatError;
 pub use groups::{build_groups, GroupLayout, GroupSpec};
 pub use index::GroupIndexMap;
 pub use schedule::LrSchedule;

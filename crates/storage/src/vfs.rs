@@ -84,6 +84,25 @@ pub trait Storage: Send + Sync + fmt::Debug {
     /// the chaos sweep exercises *mid-file* torn writes, not just
     /// whole-file ones.
     fn create_stream<'a>(&'a self, path: &Path) -> io::Result<Box<dyn WriteStream + 'a>>;
+
+    /// Append `bytes` to `path`, creating the file if absent. The one
+    /// consumer is the run-event journal (`events.jsonl`): checkpoint
+    /// payload files are still written exactly once, but journal lines
+    /// accumulate, and routing them through the trait means the fault
+    /// injector can fail or *tear* an append mid-line — which is exactly
+    /// the torn-tail case the journal reader must tolerate.
+    ///
+    /// The default is a read-modify-write for simple test doubles; real
+    /// backends override it with a true append.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut cur = if self.exists(path) {
+            self.read(path)?
+        } else {
+            Vec::new()
+        };
+        cur.extend_from_slice(bytes);
+        self.write(path, &cur)
+    }
 }
 
 /// Incremental file-write handle returned by [`Storage::create_stream`].
@@ -175,6 +194,15 @@ impl Storage for LocalFs {
         Ok(Box::new(LocalFsStream {
             file: fs::File::create(path)?,
         }))
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)
     }
 }
 
@@ -379,6 +407,25 @@ impl<S: Storage> Storage for FaultyFs<S> {
         }
         self.gate(idx, true)?;
         self.inner.write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let idx = self.tick()?;
+        if idx == self.spec.at_op {
+            if let FaultKind::TornWrite { keep_bytes } = self.spec.kind {
+                // A torn append persists a prefix of the *new* bytes after
+                // everything already in the file — a torn journal tail.
+                let keep = match keep_bytes {
+                    Some(k) => (k as usize).min(bytes.len()),
+                    None => self.torn_len(idx, bytes.len()),
+                };
+                self.inner.append(path, &bytes[..keep])?;
+                self.dead.store(true, Ordering::SeqCst);
+                return Err(Self::dead_err());
+            }
+        }
+        self.gate(idx, true)?;
+        self.inner.append(path, bytes)
     }
 
     fn sync(&self, path: &Path) -> io::Result<()> {
@@ -586,6 +633,7 @@ pub struct RetryingStorage<S: Storage> {
     inner: S,
     policy: RetryPolicy,
     clock: Arc<dyn Clock>,
+    retries: Arc<AtomicU64>,
 }
 
 impl<S: Storage> RetryingStorage<S> {
@@ -595,6 +643,7 @@ impl<S: Storage> RetryingStorage<S> {
             inner,
             policy,
             clock,
+            retries: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -608,6 +657,19 @@ impl<S: Storage> RetryingStorage<S> {
         &self.inner
     }
 
+    /// Total transient-error retries performed so far (across all ops and
+    /// streams of this decorator).
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::SeqCst)
+    }
+
+    /// Shared handle to the retry counter. Callers that erase the
+    /// decorator to `Arc<dyn Storage>` clone this first so telemetry can
+    /// still attribute retries to run events.
+    pub fn retry_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.retries)
+    }
+
     fn retry<T>(&self, mut op: impl FnMut(&S) -> io::Result<T>) -> io::Result<T> {
         let mut attempt = 0u32;
         loop {
@@ -615,6 +677,7 @@ impl<S: Storage> RetryingStorage<S> {
                 Ok(v) => return Ok(v),
                 Err(e) if is_transient(&e) && attempt < self.policy.max_retries => {
                     self.clock.sleep(self.policy.delay(attempt));
+                    self.retries.fetch_add(1, Ordering::SeqCst);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -672,6 +735,10 @@ impl<S: Storage> Storage for RetryingStorage<S> {
         self.retry(|s| s.remove_file(path))
     }
 
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.retry(|s| s.append(path, bytes))
+    }
+
     fn create_stream<'a>(&'a self, path: &Path) -> io::Result<Box<dyn WriteStream + 'a>> {
         // `retry` fixes the closure's return type before the borrow it
         // hands out, so a borrowed stream needs its own loop here.
@@ -681,6 +748,7 @@ impl<S: Storage> Storage for RetryingStorage<S> {
                 Ok(s) => break s,
                 Err(e) if is_transient(&e) && attempt < self.policy.max_retries => {
                     self.clock.sleep(self.policy.delay(attempt));
+                    self.retries.fetch_add(1, Ordering::SeqCst);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -690,6 +758,7 @@ impl<S: Storage> Storage for RetryingStorage<S> {
             inner,
             policy: self.policy,
             clock: Arc::clone(&self.clock),
+            retries: Arc::clone(&self.retries),
         }))
     }
 }
@@ -701,6 +770,7 @@ struct RetryingStream<'a> {
     inner: Box<dyn WriteStream + 'a>,
     policy: RetryPolicy,
     clock: Arc<dyn Clock>,
+    retries: Arc<AtomicU64>,
 }
 
 impl RetryingStream<'_> {
@@ -714,6 +784,7 @@ impl RetryingStream<'_> {
                 Ok(()) => return Ok(()),
                 Err(e) if is_transient(&e) && attempt < self.policy.max_retries => {
                     self.clock.sleep(self.policy.delay(attempt));
+                    self.retries.fetch_add(1, Ordering::SeqCst);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -1087,6 +1158,58 @@ mod tests {
         // Storage is full, not dead: cleanup can still delete the file.
         f.remove_file(&p).unwrap();
         assert!(!f.exists(&p));
+    }
+
+    #[test]
+    fn append_accumulates_lines() {
+        let dir = tmpdir("append");
+        let fs = LocalFs;
+        let p = dir.join("events.jsonl");
+        fs.append(&p, b"one\n").unwrap();
+        fs.append(&p, b"two\n").unwrap();
+        assert_eq!(fs.read(&p).unwrap(), b"one\ntwo\n");
+        fs.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_append_tears_only_the_new_bytes() {
+        let dir = tmpdir("append-torn");
+        let f = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 1,
+                kind: FaultKind::TornWrite {
+                    keep_bytes: Some(3),
+                },
+            },
+        );
+        let p = dir.join("events.jsonl");
+        f.append(&p, b"line one\n").unwrap(); // op 0
+        let e = f.append(&p, b"line two\n").unwrap_err(); // op 1: torn
+        assert_eq!(e.kind(), io::ErrorKind::BrokenPipe);
+        assert!(f.is_dead());
+        // The earlier line is intact; only a prefix of the new one landed.
+        assert_eq!(std::fs::read(&p).unwrap(), b"line one\nlin");
+    }
+
+    #[test]
+    fn retrying_append_counts_its_retries() {
+        let dir = tmpdir("append-retry");
+        let clock = Arc::new(ManualClock::default());
+        let faulty = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 1,
+                kind: FaultKind::Transient { failures: 2 },
+            },
+        );
+        let s = RetryingStorage::new(faulty, RetryPolicy::default(), clock.clone());
+        let p = dir.join("events.jsonl");
+        s.append(&p, b"a\n").unwrap(); // op 0
+        s.append(&p, b"b\n").unwrap(); // ops 1,2 transient; op 3 ok
+        assert_eq!(s.read(&p).unwrap(), b"a\nb\n");
+        assert_eq!(s.retry_count(), 2);
+        assert_eq!(clock.sleeps(), 2);
     }
 
     #[test]

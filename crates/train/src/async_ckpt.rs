@@ -22,6 +22,14 @@
 //! checkpointing scheme); recovery then falls back to the previous
 //! covered state, which the save log only records after the write
 //! succeeds.
+//!
+//! Because results arrive out of band, failures cannot be allowed to
+//! evaporate when a caller never polls: every `Err` that passes through
+//! [`AsyncCheckpointer::poll`] / [`AsyncCheckpointer::drain`] — and any
+//! result still queued when the writer is dropped — is noted in a
+//! last-error slot (surfaced by [`AsyncCheckpointer::take_last_error`]
+//! and the next [`AsyncCheckpointer::submit`]) and counted on the
+//! `ckpt.async.errors` metric.
 
 use crate::snapshot::CowSnapshot;
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -29,6 +37,7 @@ use llmt_ckpt::engine::{self, SaveOptions};
 use llmt_ckpt::writer::CheckpointReport;
 use llmt_ckpt::{CkptError, Result, TrainerState};
 use llmt_model::LayerUnit;
+use llmt_obs::{Counter, MetricsRegistry};
 use llmt_storage::vfs::{LocalFs, Storage};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -67,6 +76,11 @@ pub struct AsyncCheckpointer {
     done_rx: Receiver<(u64, Result<CheckpointReport>)>,
     worker: Option<JoinHandle<()>>,
     in_flight: usize,
+    /// Message of the most recent failed write that passed through
+    /// poll/drain (or was discovered at drop) and has not been taken yet.
+    last_error: Option<String>,
+    /// Run-wide count of async write failures (`ckpt.async.errors`).
+    errors: Arc<Counter>,
 }
 
 impl AsyncCheckpointer {
@@ -83,13 +97,21 @@ impl AsyncCheckpointer {
     /// (cleaning up its staging directory either way), which come back
     /// from [`AsyncCheckpointer::poll`] / [`AsyncCheckpointer::drain`].
     pub fn with_storage(storage: Arc<dyn Storage>) -> Self {
+        Self::with_storage_and_metrics(storage, &MetricsRegistry::new())
+    }
+
+    /// [`AsyncCheckpointer::with_storage`] sharing a run-wide metrics
+    /// registry: the writer records `ckpt.save.*` stage spans into it and
+    /// failures bump its `ckpt.async.errors` counter.
+    pub fn with_storage_and_metrics(storage: Arc<dyn Storage>, metrics: &MetricsRegistry) -> Self {
         let (tx, rx) = bounded::<Msg>(2);
         let (done_tx, done_rx) = bounded::<(u64, Result<CheckpointReport>)>(64);
+        let worker_metrics = metrics.clone();
         let worker = std::thread::Builder::new()
             .name("ckpt-writer".into())
             .spawn(move || {
                 while let Ok(Msg::Job(job)) = rx.recv() {
-                    let result = engine::save_source(
+                    let result = engine::save_source_with(
                         &*storage,
                         &job.root,
                         job.step,
@@ -97,6 +119,7 @@ impl AsyncCheckpointer {
                         &job.trainer_state,
                         &job.units,
                         &job.options,
+                        &worker_metrics,
                     )
                     .map(|mut report| {
                         report.timings.snapshot_ns = job.snapshot_ns;
@@ -114,13 +137,36 @@ impl AsyncCheckpointer {
             done_rx,
             worker: Some(worker),
             in_flight: 0,
+            last_error: None,
+            errors: metrics.counter("ckpt.async.errors"),
         }
+    }
+
+    /// Count a failed result and park its message in the last-error slot
+    /// (newest failure wins — the older one was already counted).
+    fn note_result(&mut self, result: &(u64, Result<CheckpointReport>)) {
+        if let (step, Err(e)) = result {
+            self.errors.incr();
+            self.last_error = Some(format!("async save of step {step} failed: {e}"));
+        }
+    }
+
+    /// The most recent failed write, if any, clearing the slot. Errors
+    /// returned here were already yielded by poll/drain once (or found at
+    /// drop); this is the backstop for callers that discarded them.
+    pub fn take_last_error(&mut self) -> Option<CkptError> {
+        self.last_error.take().map(CkptError::Format)
     }
 
     /// Queue a snapshot for writing. Blocks only if two snapshots are
     /// already queued (back-pressure against runaway memory use). Errors
-    /// if the writer thread is gone instead of panicking.
+    /// if the writer thread is gone instead of panicking — and surfaces
+    /// any unconsumed previous failure first, so a caller that ignored a
+    /// polled `Err` cannot keep submitting as if nothing happened.
     pub fn submit(&mut self, job: SnapshotJob) -> Result<()> {
+        if let Some(e) = self.take_last_error() {
+            return Err(e);
+        }
         let step = job.step;
         self.tx.send(Msg::Job(Box::new(job))).map_err(|_| {
             CkptError::Format(format!(
@@ -136,6 +182,7 @@ impl AsyncCheckpointer {
         let mut out = Vec::new();
         while let Ok(done) = self.done_rx.try_recv() {
             self.in_flight -= 1;
+            self.note_result(&done);
             out.push(done);
         }
         out
@@ -150,20 +197,47 @@ impl AsyncCheckpointer {
             match self.done_rx.recv() {
                 Ok(done) => {
                     self.in_flight -= 1;
+                    self.note_result(&done);
                     out.push(done);
                 }
                 Err(_) => {
-                    out.push((
+                    let done = (
                         0,
                         Err(CkptError::Format(
                             "checkpoint writer thread died with snapshots still queued".into(),
                         )),
-                    ));
+                    );
+                    self.note_result(&done);
+                    out.push(done);
                     self.in_flight = 0;
                 }
             }
         }
         out
+    }
+
+    /// Drain, then fail if any queued write failed (the terminal barrier
+    /// for callers that need every snapshot durable — end of training, or
+    /// a clean shutdown). Successful reports are returned in completion
+    /// order; any failure, including one left over from an earlier
+    /// unpolled batch, surfaces as the `Err`.
+    pub fn wait_idle(&mut self) -> Result<Vec<(u64, CheckpointReport)>> {
+        let mut done = Vec::new();
+        for (step, result) in self.drain() {
+            match result {
+                Ok(report) => done.push((step, report)),
+                Err(e) => {
+                    // This very failure is being surfaced; clearing the
+                    // slot keeps later submits from reporting it twice.
+                    self.last_error = None;
+                    return Err(e);
+                }
+            }
+        }
+        if let Some(e) = self.take_last_error() {
+            return Err(e);
+        }
+        Ok(done)
     }
 
     /// Snapshots currently queued or being written.
@@ -182,7 +256,14 @@ impl Drop for AsyncCheckpointer {
     fn drop(&mut self) {
         let _ = self.tx.send(Msg::Shutdown);
         if let Some(w) = self.worker.take() {
-            let _ = w.join();
+            if w.join().is_err() {
+                self.errors.incr();
+            }
+        }
+        // Results nobody polled must still be counted: a failure that
+        // reaches Drop unseen would otherwise vanish from the metrics.
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.note_result(&done);
         }
     }
 }
@@ -341,6 +422,86 @@ mod tests {
         assert!(results[0].1.is_err(), "torn write must surface as Err");
         let scan = llmt_ckpt::scan_run_root(dir.path());
         assert!(scan.committed.is_empty(), "{scan:?}");
+    }
+
+    #[test]
+    fn unconsumed_failures_block_submit_and_are_counted() {
+        use llmt_storage::vfs::{FaultKind, FaultSpec, FaultyFs};
+
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        let mut t = Trainer::new(cfg.clone());
+        t.train_until(2, None).unwrap();
+
+        let metrics = MetricsRegistry::new();
+        let faulty: Arc<dyn Storage> = Arc::new(FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 4,
+                kind: FaultKind::TornWrite {
+                    keep_bytes: Some(10),
+                },
+            },
+        ));
+        let mut ac = AsyncCheckpointer::with_storage_and_metrics(faulty, &metrics);
+        ac.submit(snapshot_of(
+            &mut t,
+            LayerUnit::all(&cfg.model_config),
+            dir.path().to_path_buf(),
+        ))
+        .unwrap();
+        // The caller polls, gets the Err back — and discards it. The
+        // failure must not evaporate: it is counted and parked.
+        let results = ac.drain();
+        assert!(results[0].1.is_err());
+        assert_eq!(metrics.counter_value("ckpt.async.errors"), 1);
+
+        // The next submit surfaces the discarded failure.
+        let err = ac
+            .submit(snapshot_of(
+                &mut t,
+                LayerUnit::all(&cfg.model_config),
+                dir.path().to_path_buf(),
+            ))
+            .unwrap_err();
+        assert!(err.to_string().contains("step 2"), "{err}");
+
+        // Slot cleared: submitting works again. The torn storage is dead,
+        // so this save fails too — wait_idle is the terminal barrier that
+        // refuses to report a clean shutdown.
+        ac.submit(snapshot_of(
+            &mut t,
+            LayerUnit::all(&cfg.model_config),
+            dir.path().to_path_buf(),
+        ))
+        .unwrap();
+        ac.wait_idle().unwrap_err();
+        assert_eq!(metrics.counter_value("ckpt.async.errors"), 2);
+        assert!(
+            ac.take_last_error().is_none(),
+            "wait_idle must consume the failure it surfaced"
+        );
+    }
+
+    #[test]
+    fn wait_idle_returns_successes_in_completion_order() {
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = TrainerConfig::test_default(dir.path().to_path_buf());
+        let mut t = Trainer::new(cfg.clone());
+        let mut ac = AsyncCheckpointer::new();
+        for target in [1u64, 2] {
+            t.train_until(target, None).unwrap();
+            ac.submit(snapshot_of(
+                &mut t,
+                LayerUnit::all(&cfg.model_config),
+                dir.path().to_path_buf(),
+            ))
+            .unwrap();
+        }
+        let done = ac.wait_idle().unwrap();
+        let steps: Vec<u64> = done.iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![1, 2]);
+        assert_eq!(ac.in_flight(), 0);
     }
 
     #[test]

@@ -93,7 +93,7 @@ pub fn resume_trainer_on(
             size: config.model_config.vocab_size as u32,
         },
     );
-    Ok(Trainer::from_restored_parts(
+    let mut trainer = Trainer::from_restored_parts(
         config,
         model,
         engine,
@@ -103,7 +103,9 @@ pub fn resume_trainer_on(
         ts.ckpt_event,
         save_log,
         ts.loss_history,
-    ))
+    );
+    trainer.note_restore(&restored.report);
+    Ok(trainer)
 }
 
 #[cfg(test)]

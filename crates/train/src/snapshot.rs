@@ -20,49 +20,58 @@
 use llmt_ckpt::engine::{self, StateSource};
 use llmt_ckpt::{CkptError, Result};
 use llmt_model::{LayerUnit, ModelConfig, ParamSet};
+use llmt_obs::{Counter, Gauge, MetricsRegistry};
 use llmt_optim::GroupSpec;
 use llmt_tensor::RawTensor;
 use llmt_zero::{ShardState, ZeroEngine};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shared counters for snapshot memory accounting: bytes currently staged
 /// in live [`UnitBlock`]s, the high-water mark, and how many blocks were
-/// ever materialized (cloned out of live state).
+/// ever materialized (cloned out of live state). A view over
+/// [`llmt_obs`] primitives, so a run-wide [`MetricsRegistry`] sees the
+/// same numbers as callers of the typed accessors.
 #[derive(Debug, Default)]
 pub struct StagedGauge {
-    current: AtomicU64,
-    peak: AtomicU64,
-    clones: AtomicU64,
+    resident: Arc<Gauge>,
+    clones: Arc<Counter>,
 }
 
 impl StagedGauge {
+    /// A gauge whose underlying metrics live in `metrics` (as
+    /// `ckpt.snapshot.resident_bytes` / `ckpt.snapshot.clones`).
+    fn from_registry(metrics: &MetricsRegistry) -> Self {
+        StagedGauge {
+            resident: metrics.gauge("ckpt.snapshot.resident_bytes"),
+            clones: metrics.counter("ckpt.snapshot.clones"),
+        }
+    }
+
     fn add(&self, bytes: u64) {
-        self.clones.fetch_add(1, Ordering::Relaxed);
-        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
-        self.peak.fetch_max(now, Ordering::Relaxed);
+        self.clones.incr();
+        self.resident.add(bytes);
     }
 
     fn sub(&self, bytes: u64) {
-        self.current.fetch_sub(bytes, Ordering::Relaxed);
+        self.resident.sub(bytes);
     }
 
     /// Bytes currently resident in live snapshot blocks.
     pub fn current_bytes(&self) -> u64 {
-        self.current.load(Ordering::Relaxed)
+        self.resident.current()
     }
 
     /// High-water mark of [`Self::current_bytes`] over the gauge's life.
     pub fn peak_bytes(&self) -> u64 {
-        self.peak.load(Ordering::Relaxed)
+        self.resident.peak()
     }
 
     /// How many unit blocks were materialized (copied out of live state).
     /// A capture of an unchanged unit reuses the cached block and does
     /// *not* count.
     pub fn clones(&self) -> u64 {
-        self.clones.load(Ordering::Relaxed)
+        self.clones.get()
     }
 }
 
@@ -134,6 +143,15 @@ impl SnapshotTracker {
     /// Fresh tracker with its own gauge.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Tracker whose gauge metrics live in `metrics`, so the run-wide
+    /// registry observes snapshot residency and clone counts.
+    pub fn with_metrics(metrics: &MetricsRegistry) -> Self {
+        SnapshotTracker {
+            gauge: Arc::new(StagedGauge::from_registry(metrics)),
+            ..Self::default()
+        }
     }
 
     /// The shared memory-accounting gauge.

@@ -3,21 +3,25 @@
 use crate::report::RunReport;
 use crate::snapshot::{SnapshotTracker, StagedGauge};
 use llmt_ckpt::engine::{self, Parallelism, SaveOptions};
+use llmt_ckpt::error::io_err;
 use llmt_ckpt::manifest::SaveLog;
 use llmt_ckpt::writer::{CheckpointReport, SaveRequest};
 use llmt_ckpt::{Result, TrainerState};
 use llmt_data::{BatchSource, DataTask};
 use llmt_model::{Model, ModelConfig, ParamSet};
+use llmt_obs::{Journal, MetricsRegistry, RunEvent};
 use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
 use llmt_storage::vfs::{
     FaultSpec, FaultyFs, LocalFs, ManualClock, RetryPolicy, RetryingStorage, Storage, SystemClock,
 };
-use llmt_storage::IoTally;
+use llmt_storage::{IoTally, RestoreTimings, StageTimings};
 use llmt_tensor::rng::Prng;
 use llmt_zero::ZeroEngine;
 use llmtailor::StrategyKind;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -126,17 +130,29 @@ impl TrainerConfig {
     /// over either the local filesystem or (when [`Self::crash_during_save`]
     /// is set) a fault-injecting wrapper seeded from the run seed.
     pub fn build_storage(&self) -> Arc<dyn Storage> {
+        self.build_storage_parts().0
+    }
+
+    /// Like [`Self::build_storage`], but also hands back the retry
+    /// counter of the wrapping [`RetryingStorage`] so run events can
+    /// attribute absorbed transient faults.
+    pub fn build_storage_parts(&self) -> (Arc<dyn Storage>, Arc<AtomicU64>) {
         match self.crash_during_save {
-            Some(spec) => Arc::new(RetryingStorage::new(
-                FaultyFs::with_seed(LocalFs, spec, self.seed),
-                RetryPolicy::default(),
-                Arc::new(ManualClock::default()),
-            )),
-            None => Arc::new(RetryingStorage::new(
-                LocalFs,
-                RetryPolicy::default(),
-                Arc::new(SystemClock),
-            )),
+            Some(spec) => {
+                let s = RetryingStorage::new(
+                    FaultyFs::with_seed(LocalFs, spec, self.seed),
+                    RetryPolicy::default(),
+                    Arc::new(ManualClock::default()),
+                );
+                let retries = s.retry_counter();
+                (Arc::new(s), retries)
+            }
+            None => {
+                let s =
+                    RetryingStorage::new(LocalFs, RetryPolicy::default(), Arc::new(SystemClock));
+                let retries = s.retry_counter();
+                (Arc::new(s), retries)
+            }
         }
     }
 }
@@ -173,6 +189,20 @@ pub struct Trainer {
     /// Storage stack every checkpoint write goes through (retry wrapper,
     /// optionally fault-injecting — see `TrainerConfig::crash_during_save`).
     storage: Arc<dyn Storage>,
+    /// Run-wide metrics registry every pipeline stage emits into (save
+    /// spans, restore spans, snapshot gauge, dedup counters).
+    metrics: MetricsRegistry,
+    /// Append handle for `<run_root>/events.jsonl`, on the same storage
+    /// stack as the checkpoints so fault injection covers it.
+    journal: Journal,
+    /// Retry counter of the underlying [`RetryingStorage`]. `None` when
+    /// the storage stack was injected (chaos harness) and exposes none.
+    retry_counter: Option<Arc<AtomicU64>>,
+    /// Retries already attributed to earlier journal events, so each
+    /// event carries a delta and per-event numbers stay additive.
+    retries_logged: u64,
+    /// Dedup hits already attributed to earlier journal events.
+    dedup_hits_logged: u64,
 }
 
 /// Pre-step capture of frozen-unit state (see `Trainer::freeze_snapshot`).
@@ -232,11 +262,34 @@ impl DynamicState {
     }
 }
 
+/// Save-pipeline stage timings as the journal's stage map.
+fn save_stage_map(t: &StageTimings) -> BTreeMap<String, u64> {
+    BTreeMap::from([
+        ("snapshot".to_string(), t.snapshot_ns),
+        ("encode".to_string(), t.encode_ns),
+        ("place".to_string(), t.place_ns),
+        ("commit".to_string(), t.commit_ns),
+    ])
+}
+
+/// Restore-pipeline stage timings as the journal's stage map.
+fn restore_stage_map(t: &RestoreTimings) -> BTreeMap<String, u64> {
+    BTreeMap::from([
+        ("enumerate".to_string(), t.enumerate_ns),
+        ("fetch".to_string(), t.fetch_ns),
+        ("decode".to_string(), t.decode_ns),
+        ("validate".to_string(), t.validate_ns),
+        ("bind".to_string(), t.bind_ns),
+    ])
+}
+
 impl Trainer {
     /// Fresh run from scratch, on the storage the config implies.
     pub fn new(config: TrainerConfig) -> Self {
-        let storage = config.build_storage();
-        Self::with_storage(config, storage)
+        let (storage, retries) = config.build_storage_parts();
+        let mut t = Self::with_storage(config, storage);
+        t.retry_counter = Some(retries);
+        t
     }
 
     /// Fresh run from scratch on an explicit storage stack (the chaos
@@ -270,9 +323,14 @@ impl Trainer {
             }),
             _ => None,
         };
-        let async_writer = config
-            .async_checkpointing
-            .then(|| crate::async_ckpt::AsyncCheckpointer::with_storage(storage.clone()));
+        let metrics = MetricsRegistry::new();
+        let async_writer = config.async_checkpointing.then(|| {
+            crate::async_ckpt::AsyncCheckpointer::with_storage_and_metrics(
+                storage.clone(),
+                &metrics,
+            )
+        });
+        let journal = Journal::at_run_root(storage.clone(), &config.run_root);
         Trainer {
             config,
             model,
@@ -285,8 +343,13 @@ impl Trainer {
             loss_history: Vec::new(),
             dynamic,
             async_writer,
-            snapshots: SnapshotTracker::new(),
+            snapshots: SnapshotTracker::with_metrics(&metrics),
             storage,
+            metrics,
+            journal,
+            retry_counter: None,
+            retries_logged: 0,
+            dedup_hits_logged: 0,
         }
     }
 
@@ -320,10 +383,15 @@ impl Trainer {
             }),
             _ => None,
         };
-        let storage = config.build_storage();
-        let async_writer = config
-            .async_checkpointing
-            .then(|| crate::async_ckpt::AsyncCheckpointer::with_storage(storage.clone()));
+        let (storage, retries) = config.build_storage_parts();
+        let metrics = MetricsRegistry::new();
+        let async_writer = config.async_checkpointing.then(|| {
+            crate::async_ckpt::AsyncCheckpointer::with_storage_and_metrics(
+                storage.clone(),
+                &metrics,
+            )
+        });
+        let journal = Journal::at_run_root(storage.clone(), &config.run_root);
         Trainer {
             config,
             model,
@@ -336,9 +404,26 @@ impl Trainer {
             loss_history,
             dynamic,
             async_writer,
-            snapshots: SnapshotTracker::new(),
+            snapshots: SnapshotTracker::with_metrics(&metrics),
             storage,
+            metrics,
+            journal,
+            retry_counter: Some(retries),
+            retries_logged: 0,
+            dedup_hits_logged: 0,
         }
+    }
+
+    /// Record a completed restore in the run journal. Best-effort by
+    /// design: the restore already succeeded, and this trainer's own
+    /// storage stack (not the one the restore read through) may be a
+    /// chaos stack whose faults must not fail an otherwise-good resume.
+    pub fn note_restore(&mut self, report: &llmt_ckpt::RestoreReport) {
+        let mut ev = RunEvent::new("restore", report.step);
+        ev.bytes = report.bytes_fetched;
+        ev.files = report.files_fetched as u64;
+        ev.stages = restore_stage_map(&report.timings);
+        let _ = self.journal.append(&ev);
     }
 
     /// One optimizer step (micro-batches x grad-accum). Returns the mean
@@ -465,7 +550,7 @@ impl Trainer {
             trainer_state: &ts,
             units: &units,
         };
-        let report = engine::save(&*self.storage, &req, &self.save_options())?;
+        let report = engine::save_with(&*self.storage, &req, &self.save_options(), &self.metrics)?;
         for u in &report.units {
             self.save_log.record(*u, self.step);
         }
@@ -473,7 +558,37 @@ impl Trainer {
         // Persist the save log next to the checkpoints (the artifact JSON).
         self.save_log
             .save_on(&*self.storage, &self.config.run_root.join("save_log.json"))?;
+        self.journal_save(self.step, &report)?;
         Ok(report)
+    }
+
+    /// The run-wide metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Append a "save" event to the run journal. Errors propagate: the
+    /// journal rides the same storage stack as the checkpoints, and a
+    /// storage that just died mid-append must abort the run exactly like
+    /// a torn payload write would.
+    fn journal_save(&mut self, step: u64, ck: &CheckpointReport) -> Result<()> {
+        let mut ev = RunEvent::new("save", step);
+        ev.bytes = ck.total_bytes;
+        ev.physical_bytes = ck.physical_bytes;
+        ev.files = ck.files_written as u64;
+        ev.dedup_saved_bytes = ck.dedup_bytes;
+        let hits = self.metrics.counter_value("cas.dedup.hits");
+        ev.dedup_hits = hits - self.dedup_hits_logged;
+        self.dedup_hits_logged = hits;
+        if let Some(c) = &self.retry_counter {
+            let retries = c.load(Ordering::SeqCst);
+            ev.retries = retries - self.retries_logged;
+            self.retries_logged = retries;
+        }
+        ev.stages = save_stage_map(&ck.timings);
+        self.journal
+            .append(&ev)
+            .map_err(io_err(self.journal.path()))
     }
 
     /// Pick the units the current strategy wants for this checkpoint
@@ -488,10 +603,14 @@ impl Trainer {
                 dy.snapshot(&self.model, &units);
                 units
             }
+            // `dynamic` is `Some` exactly when the configured strategy is
+            // `StrategyKind::Dynamic` (see the constructors), so this arm
+            // only ever sees the stateless kinds, which always build.
             None => self
                 .config
                 .strategy
                 .build()
+                .expect("non-dynamic strategies are stateless")
                 .select(self.ckpt_event, &self.config.model_config),
         }
     }
@@ -521,14 +640,14 @@ impl Trainer {
         &mut self,
         units: Vec<llmt_model::LayerUnit>,
     ) -> Result<crate::async_ckpt::SnapshotJob> {
-        let t0 = Instant::now();
+        let sp = self.metrics.span("ckpt.save.snapshot");
         let snapshot = self.snapshots.capture(
             &self.config.model_config,
             &self.model.params,
             &self.engine,
             &units,
         )?;
-        let snapshot_ns = t0.elapsed().as_nanos() as u64;
+        let snapshot_ns = sp.finish();
         Ok(crate::async_ckpt::SnapshotJob {
             root: self.config.run_root.clone(),
             step: self.step,
@@ -577,6 +696,7 @@ impl Trainer {
             }
             self.save_log
                 .save_on(&*self.storage, &self.config.run_root.join("save_log.json"))?;
+            self.journal_save(step, &ck)?;
             tally.record(ck.physical_bytes, ck.files_written as u64);
             tally.record_saved(ck.dedup_bytes);
             tally.record_stages(&ck.timings);

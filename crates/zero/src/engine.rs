@@ -72,7 +72,11 @@ impl ZeroEngine {
             })
             .collect();
         for group in &groups {
-            let flat = flatten_group(params, group);
+            // Invariant: `groups` was built from the same config as
+            // `params`, so every member exists. Malformed *checkpoint*
+            // data never reaches this path — the restore engine validates
+            // shards and `load_rank_state` guards shapes.
+            let flat = flatten_group(params, group).expect("group layout matches live ParamSet");
             let shards = partition_padded(&flat, world_size);
             for (r, shard) in shards.into_iter().enumerate() {
                 ranks[r].shards.push(ShardState::zeros_like(shard));
@@ -102,7 +106,8 @@ impl ZeroEngine {
         let world = self.world_size;
         let hyper = self.hyper;
         for (gi, group) in self.groups.iter().enumerate() {
-            let flat_grad = flatten_group(grads, group);
+            let flat_grad =
+                flatten_group(grads, group).expect("group layout matches live gradient ParamSet");
             let grad_shards = partition_padded(&flat_grad, world);
             let hp = AdamWHyper {
                 lr,
@@ -131,7 +136,8 @@ impl ZeroEngine {
                 .map(|r| r.shards[gi].master.clone())
                 .collect();
             let full = gather(&master_shards, group.numel);
-            unflatten_group_into(params, group, &full, quantize_bf16);
+            unflatten_group_into(params, group, &full, quantize_bf16)
+                .expect("gathered master matches live ParamSet layout");
         }
     }
 
@@ -177,7 +183,8 @@ impl ZeroEngine {
     pub fn materialize_params(&self, params: &mut ParamSet, quantize_bf16: bool) {
         for (gi, group) in self.groups.iter().enumerate() {
             let full = self.full_master(gi);
-            unflatten_group_into(params, group, &full, quantize_bf16);
+            unflatten_group_into(params, group, &full, quantize_bf16)
+                .expect("gathered master matches live ParamSet layout");
         }
     }
 }
@@ -212,13 +219,16 @@ mod tests {
             &ref_model.params,
             build_groups(&cfg, GroupLayout::LayerWise),
             hyper,
-        );
+        )
+        .unwrap();
         let mut grads_per_step = Vec::new();
         for s in 0..3u64 {
             let batch = toy_batch(&cfg, 100 + s);
             let mut grads = ParamSet::zeros(&cfg);
             ref_model.loss_and_grad(&batch, &mut grads);
-            ref_opt.step(&mut ref_model.params, &grads, 1e-3, true);
+            ref_opt
+                .step(&mut ref_model.params, &grads, 1e-3, true)
+                .unwrap();
             grads_per_step.push((batch, grads));
         }
         for world in [1usize, 2, 3, 8] {
@@ -247,7 +257,7 @@ mod tests {
         let groups = build_groups(&cfg, GroupLayout::LayerWise);
         let engine = ZeroEngine::new(&model.params, groups.clone(), 4, AdamWHyper::default());
         for (gi, group) in groups.iter().enumerate() {
-            let flat = flatten_group(&model.params, group);
+            let flat = flatten_group(&model.params, group).unwrap();
             assert_eq!(engine.full_master(gi), flat, "group {gi}");
         }
     }

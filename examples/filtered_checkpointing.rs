@@ -22,7 +22,7 @@ fn main() {
     };
 
     // Show the selection pattern first.
-    let strat = StrategyKind::Filtered.build();
+    let strat = StrategyKind::Filtered.build().unwrap();
     println!("filter strategy selections on {}:", spec.model.model_name);
     for event in 0..6u64 {
         let units = strat.select(event, &spec.model);

@@ -1,0 +1,80 @@
+//! Telemetry smoke: train a deduplicated run, resume it, garbage-collect,
+//! then assert the run journal (`events.jsonl`) aggregates into a sane
+//! report — the same data `llmtailor report` renders.
+//!
+//! Run with: `cargo run --release --example telemetry_report -- [RUN_ROOT]`
+//! (a kept temp directory is used when no run root is given, so CI can
+//! point `llmtailor report` at it afterwards).
+
+use llmt_train::{resume_trainer, Trainer, TrainerConfig};
+use llmtailor::StrategyKind;
+use std::path::PathBuf;
+
+fn main() {
+    let root: PathBuf = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let dir = tempfile::tempdir().expect("tempdir");
+            dir.keep()
+        }
+    };
+    std::fs::create_dir_all(&root).expect("create run root");
+    println!("run root: {}", root.display());
+
+    // Dedup full saves every 2 steps: repeat saves of slow-moving layers
+    // hit the content-addressed store, so the journal records dedup
+    // activity alongside stage timings.
+    let mut config = TrainerConfig::test_default(root.clone());
+    config.ckpt_interval = 2;
+    config.strategy = StrategyKind::Full;
+    config.dedup_checkpoints = true;
+    let mut trainer = Trainer::new(config.clone());
+    trainer.train_until(6, None).expect("training failed");
+    drop(trainer);
+
+    // A resume records a "restore" event, a GC pass records a "gc" event.
+    let mut resumed = resume_trainer(&root.join("checkpoint-6"), config).expect("resume failed");
+    resumed
+        .train_until(8, None)
+        .expect("resumed training failed");
+    drop(resumed);
+    llmtailor::collect_garbage(&root).expect("gc failed");
+
+    let summary = llmtailor::summarize_run(&root).expect("journal must summarize");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).expect("summary serializes")
+    );
+
+    assert!(!summary.torn_tail, "clean run must not report a torn tail");
+    assert_eq!(summary.skipped_lines, 0, "clean run has no corrupt lines");
+    assert_eq!(
+        summary.save_steps,
+        vec![2, 4, 6, 8],
+        "save cadence mismatch"
+    );
+    let saves = &summary.per_kind["save"];
+    let stage_total: u64 = saves.stage_ns.values().sum();
+    assert!(stage_total > 0, "save stage totals must be nonzero");
+    assert!(
+        saves.stage_ns.get("encode").copied().unwrap_or(0) > 0
+            && saves.stage_ns.get("place").copied().unwrap_or(0) > 0
+            && saves.stage_ns.get("commit").copied().unwrap_or(0) > 0,
+        "every sync save stage must record time: {:?}",
+        saves.stage_ns
+    );
+    assert!(saves.bytes > 0 && saves.physical_bytes > 0);
+    assert!(
+        summary.dedup_ratio >= 1.0,
+        "dedup ratio {} < 1",
+        summary.dedup_ratio
+    );
+    let restores = &summary.per_kind["restore"];
+    assert_eq!(restores.events, 1);
+    assert!(
+        restores.stage_ns.values().sum::<u64>() > 0,
+        "restore stages must record time"
+    );
+    assert_eq!(summary.per_kind["gc"].events, 1);
+    println!("telemetry smoke OK");
+}

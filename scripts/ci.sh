@@ -21,3 +21,18 @@ cargo run --release -p llmt-bench --bin ckpt_throughput -- --smoke
 # restore engine must bind identical state with verify-on-read digests
 # checked, and the parallel path must show real speedup on multi-core hosts.
 cargo run --release -p llmt-bench --bin restore_throughput -- --smoke
+
+# Telemetry smoke: a train/resume/GC run must journal every event to
+# events.jsonl (the example asserts nonzero stage totals and cadence),
+# and `llmtailor report --json` must parse the journal and render a
+# nonzero per-stage breakdown for the saves.
+SMOKE_ROOT="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_ROOT"' EXIT
+cargo run --release --example telemetry_report -- "$SMOKE_ROOT"
+REPORT_JSON="$(cargo run --release -q -p llmtailor --bin llmtailor -- report "$SMOKE_ROOT" --json)"
+echo "$REPORT_JSON" | grep -Eq '"place": [1-9]' \
+  || { echo "telemetry report missing nonzero place stage"; exit 1; }
+echo "$REPORT_JSON" | grep -Eq '"commit": [1-9]' \
+  || { echo "telemetry report missing nonzero commit stage"; exit 1; }
+echo "$REPORT_JSON" | grep -q '"torn_tail": false' \
+  || { echo "telemetry report flagged a torn journal on a clean run"; exit 1; }

@@ -153,7 +153,7 @@ fn every_strategy_yields_coverable_logs() {
         StrategyKind::Filtered,
     ] {
         let model = ModelConfig::tiny_test();
-        let built = strategy.build();
+        let built = strategy.build().unwrap();
         let window = built.cover_window();
         let mut log = SaveLog::default();
         for event in 0..window {
