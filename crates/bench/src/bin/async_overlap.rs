@@ -37,6 +37,7 @@ fn run(strategy: StrategyKind, async_ckpt: bool) -> (f64, f64, u64) {
         frozen_units: Vec::new(),
         ckpt_chunk_bytes: None,
         sequential_ckpt_io: false,
+        session_label: None,
     });
     let report = t.train_until(18, None).unwrap();
     (

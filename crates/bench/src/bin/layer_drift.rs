@@ -40,6 +40,7 @@ fn main() {
         frozen_units: Vec::new(),
         ckpt_chunk_bytes: None,
         sequential_ckpt_io: false,
+        session_label: None,
     };
     eprintln!("training 40 steps with full checkpoints every 10...");
     let mut t = Trainer::new(cfg.clone());

@@ -40,6 +40,7 @@ fn main() {
         frozen_units: Vec::new(),
         ckpt_chunk_bytes: None,
         sequential_ckpt_io: false,
+        session_label: None,
     };
     eprintln!("training 120 steps with checkpoints at 60 and 120...");
     let mut t = Trainer::new(tconf.clone());

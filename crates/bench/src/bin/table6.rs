@@ -105,6 +105,7 @@ fn main() {
                 frozen_units: Vec::new(),
                 ckpt_chunk_bytes: None,
                 sequential_ckpt_io: false,
+                session_label: None,
             });
             let report = t.train_until(30, None).unwrap();
             (report.ckpt_io.bytes, report.measured_proportion())

@@ -85,6 +85,7 @@ impl UseCaseSpec {
             frozen_units: Vec::new(),
             ckpt_chunk_bytes: None,
             sequential_ckpt_io: false,
+            session_label: None,
         }
     }
 }

@@ -14,4 +14,7 @@ pub mod digest;
 pub mod store;
 
 pub use digest::{Digest, Hasher};
-pub use store::{ObjectStore, PutOutcome, SweepReport, OBJECTS_DIR};
+pub use store::{
+    is_redirected, redirect_target, write_redirect, ObjectStore, PutObserver, PutOutcome,
+    SweepMark, SweepReport, CASROOT_FILE, OBJECTS_DIR,
+};

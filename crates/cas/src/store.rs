@@ -16,15 +16,22 @@
 
 use crate::digest::Digest;
 use llmt_obs::{Counter, MetricsRegistry};
-use llmt_storage::vfs::Storage;
+use llmt_storage::vfs::{is_transient, Clock, RetryPolicy, Storage};
 use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::SystemTime;
 
 /// Directory name of the store under a run root.
 pub const OBJECTS_DIR: &str = "objects";
+
+/// Redirect file a coordinator drops into a run root whose objects live
+/// in a *shared* store instead of `<run_root>/objects`. Contains the
+/// absolute path of the shared store's root directory (the directory
+/// that holds `objects/`), as UTF-8 text.
+pub const CASROOT_FILE: &str = "CASROOT";
 
 /// Distinguishes concurrent writers staging the same digest (their
 /// payloads are identical, but their `.part` files must not collide).
@@ -52,6 +59,58 @@ pub struct SweepReport {
     pub reclaimed_bytes: u64,
     /// `.part` staging debris files removed.
     pub debris_removed: usize,
+    /// Dead-looking objects (and in-flight `.part` files) *skipped*
+    /// because their mtime postdates the sweep's mark point: they were
+    /// published after the live set was computed, so their liveness is
+    /// unknown. The next sweep, whose census will see them, decides.
+    pub pinned_young: usize,
+}
+
+/// The instant a sweep's liveness census began. Objects that appear in
+/// the store at-or-after this point were necessarily invisible to the
+/// census, so [`ObjectStore::sweep_with_mark`] refuses to delete them —
+/// this closes the race where a concurrent publisher's freshly-`put`
+/// object is swept because the precomputed live set predates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepMark(SystemTime);
+
+impl SweepMark {
+    /// A mark at the current wall-clock instant. Take this *before*
+    /// computing the live set.
+    pub fn now() -> Self {
+        SweepMark(SystemTime::now())
+    }
+
+    /// A mark at an explicit instant (deterministic tests, or callers
+    /// carrying their own epoch clock).
+    pub fn at(t: SystemTime) -> Self {
+        SweepMark(t)
+    }
+
+    /// The mark instant.
+    pub fn instant(&self) -> SystemTime {
+        self.0
+    }
+}
+
+/// Callback invoked on every successful [`ObjectStore::put`] /
+/// [`ObjectStore::put_stream`] — dedup hits included, since a hit means
+/// a new *reference* to an existing object and a GC coordinator must pin
+/// it exactly like a fresh write. Wired via
+/// [`ObjectStore::with_observer`].
+pub trait PutObserver: Send + Sync + std::fmt::Debug {
+    /// Called after the object named by `outcome.digest` is durably in
+    /// the store (or was already present, for hits).
+    fn on_put(&self, outcome: &PutOutcome);
+}
+
+/// Transient-read retry wiring of an [`ObjectStore`] (see
+/// [`ObjectStore::with_read_retry`]).
+#[derive(Debug, Clone)]
+struct ReadRetry {
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
+    retries: Arc<AtomicU64>,
 }
 
 /// Handle on the `objects/` tree of one run root.
@@ -63,6 +122,11 @@ pub struct ObjectStore {
     hits: Option<Arc<Counter>>,
     misses: Option<Arc<Counter>>,
     saved_bytes: Option<Arc<Counter>>,
+    /// Backoff-retry wiring for the read paths (`get` / `object_len` /
+    /// `list`). Absent = fail on the first transient error, as before.
+    read_retry: Option<ReadRetry>,
+    /// Pin callback for GC coordination. Absent outside a coordinator.
+    observer: Option<Arc<dyn PutObserver>>,
 }
 
 impl ObjectStore {
@@ -73,6 +137,22 @@ impl ObjectStore {
             hits: None,
             misses: None,
             saved_bytes: None,
+            read_retry: None,
+            observer: None,
+        }
+    }
+
+    /// The store a run root actually uses: if the root carries a
+    /// [`CASROOT_FILE`] redirect (dropped by a coordinator), the store
+    /// rooted at the *shared* path it names; otherwise the run-local
+    /// `<run_root>/objects`. An unreadable or empty redirect falls back
+    /// to the run-local store — degraded (objects stage locally instead
+    /// of deduplicating into the shared store) but never corrupt, since
+    /// checkpoints hard-link whatever store they were placed from.
+    pub fn resolve(storage: &dyn Storage, run_root: &Path) -> ObjectStore {
+        match redirect_target(storage, run_root) {
+            Some(shared) => Self::for_run_root(&shared),
+            None => Self::for_run_root(run_root),
         }
     }
 
@@ -84,6 +164,52 @@ impl ObjectStore {
         self.misses = Some(metrics.counter("cas.dedup.misses"));
         self.saved_bytes = Some(metrics.counter("cas.dedup.saved_bytes"));
         self
+    }
+
+    /// Retry transient faults on the read paths (`get`, `object_len`,
+    /// `list`) with bounded exponential backoff on `clock`, mirroring
+    /// what [`llmt_storage::vfs::RetryingStorage`] does for writes.
+    /// Terminal errors still surface immediately.
+    pub fn with_read_retry(mut self, policy: RetryPolicy, clock: Arc<dyn Clock>) -> ObjectStore {
+        self.read_retry = Some(ReadRetry {
+            policy,
+            clock,
+            retries: Arc::new(AtomicU64::new(0)),
+        });
+        self
+    }
+
+    /// Transient-read retries absorbed so far (0 when retry is unwired).
+    pub fn read_retries(&self) -> u64 {
+        self.read_retry
+            .as_ref()
+            .map_or(0, |r| r.retries.load(Ordering::SeqCst))
+    }
+
+    /// Observe every successful put (hits included) — the coordinator
+    /// uses this to pin in-flight objects against concurrent sweeps.
+    pub fn with_observer(mut self, observer: Arc<dyn PutObserver>) -> ObjectStore {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Run `op` under the read-retry policy, if one is wired.
+    fn read_op<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let Some(r) = &self.read_retry else {
+            return op();
+        };
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) && attempt < r.policy.max_retries => {
+                    r.clock.sleep(r.policy.delay(attempt));
+                    r.retries.fetch_add(1, Ordering::SeqCst);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The `objects/` directory itself.
@@ -142,11 +268,18 @@ impl ObjectStore {
             if let Some(saved) = &self.saved_bytes {
                 saved.add(len);
             }
-            return Ok(PutOutcome {
+            let out = PutOutcome {
                 digest,
                 len,
                 written: false,
-            });
+            };
+            // A hit is a new *reference*: the observer must pin it, or a
+            // concurrent mark-sweep could census before this caller's
+            // manifest commits and delete the shared object.
+            if let Some(obs) = &self.observer {
+                obs.on_put(&out);
+            }
+            return Ok(out);
         }
         let fanout = path.parent().expect("object path has a fanout dir");
         storage.create_dir_all(fanout)?;
@@ -176,31 +309,40 @@ impl ObjectStore {
         if let Some(misses) = &self.misses {
             misses.incr();
         }
-        Ok(PutOutcome {
+        let out = PutOutcome {
             digest,
             len,
             written: true,
-        })
+        };
+        if let Some(obs) = &self.observer {
+            obs.on_put(&out);
+        }
+        Ok(out)
     }
 
-    /// Read an object's full payload.
+    /// Read an object's full payload. Transient faults are retried when
+    /// [`ObjectStore::with_read_retry`] is wired.
     pub fn get(&self, storage: &dyn Storage, digest: Digest) -> io::Result<Vec<u8>> {
-        storage.read(&self.object_path(digest))
+        let path = self.object_path(digest);
+        self.read_op(|| storage.read(&path))
     }
 
-    /// Stored length of an object.
+    /// Stored length of an object. Retries transients like
+    /// [`ObjectStore::get`].
     pub fn object_len(&self, storage: &dyn Storage, digest: Digest) -> io::Result<u64> {
-        storage.file_len(&self.object_path(digest))
+        let path = self.object_path(digest);
+        self.read_op(|| storage.file_len(&path))
     }
 
     /// Enumerate all stored objects as `(digest, len)`. An absent store
     /// lists as empty. Unparseable names are ignored (they are not
-    /// addressable, so they are GC debris, not objects).
+    /// addressable, so they are GC debris, not objects). Each underlying
+    /// storage op retries transients when retry is wired.
     pub fn list(&self, storage: &dyn Storage) -> io::Result<Vec<(Digest, u64)>> {
         let mut out = Vec::new();
         self.walk(storage, |path| {
             if let Some(d) = object_name(path) {
-                out.push((d, storage.file_len(path)?));
+                out.push((d, self.read_op(|| storage.file_len(path))?));
             }
             Ok(())
         })?;
@@ -208,8 +350,32 @@ impl ObjectStore {
         Ok(out)
     }
 
+    /// Garbage-collect with the mark taken *now*: equivalent to
+    /// [`ObjectStore::sweep_with_mark`] with [`SweepMark::now`], so even
+    /// this legacy entry point refuses to delete objects that appear
+    /// while the walk is in flight.
+    ///
+    /// Callers that compute `live` ahead of time (every real GC does —
+    /// the census reads manifests first) must instead take the mark
+    /// *before* the census and call [`ObjectStore::sweep_with_mark`],
+    /// otherwise an object published between census and sweep is
+    /// deleted out from under its (about-to-commit) checkpoint.
+    pub fn sweep(&self, storage: &dyn Storage, live: &BTreeSet<Digest>) -> io::Result<SweepReport> {
+        self.sweep_with_mark(storage, live, &SweepMark::now())
+    }
+
     /// Garbage-collect: delete every object whose digest is not in
-    /// `live`, plus any `.part` staging debris.
+    /// `live`, plus any `.part` staging debris — except paths whose
+    /// mtime is at-or-after `mark`, which are *pinned* this pass
+    /// ([`SweepReport::pinned_young`]): they were published after the
+    /// live set was computed, so deleting them could tear a concurrent
+    /// publisher's checkpoint. Backends without mtimes report
+    /// `UNIX_EPOCH` and degrade to the unpinned behavior.
+    ///
+    /// The mtime guard is wall-clock based and therefore best-effort
+    /// against out-of-band publishers (coarse filesystem clocks can lag
+    /// the mark by a tick); the coordinator closes the race exactly with
+    /// put-observer pins on top of this.
     ///
     /// Crash safety: the sweep only ever deletes paths that are *dead at
     /// the time of the call* — it never touches a live object, so a kill
@@ -217,11 +383,26 @@ impl ObjectStore {
     /// postpones the remaining deletions to the next sweep. Callers must
     /// compute `live` from committed, non-quarantined manifests *before*
     /// sweeping (checkpoint deletion first, GC second).
-    pub fn sweep(&self, storage: &dyn Storage, live: &BTreeSet<Digest>) -> io::Result<SweepReport> {
+    pub fn sweep_with_mark(
+        &self,
+        storage: &dyn Storage,
+        live: &BTreeSet<Digest>,
+        mark: &SweepMark,
+    ) -> io::Result<SweepReport> {
         let mut report = SweepReport::default();
+        let young = |path: &Path| -> bool {
+            // Uncounted metadata peek; an unreadable mtime (e.g. the
+            // file vanished under a concurrent sweep) counts as young —
+            // when liveness is uncertain, never delete.
+            match storage.mtime(path) {
+                Ok(t) => t >= mark.instant(),
+                Err(_) => true,
+            }
+        };
         self.walk(storage, |path| {
             match object_name(path) {
                 Some(d) if live.contains(&d) => report.live_objects += 1,
+                Some(_) if young(path) => report.pinned_young += 1,
                 Some(_) => {
                     let len = storage.file_len(path)?;
                     storage.remove_file(path)?;
@@ -230,8 +411,14 @@ impl ObjectStore {
                 }
                 None => {
                     if path.extension().is_some_and(|e| e == "part") {
-                        storage.remove_file(path)?;
-                        report.debris_removed += 1;
+                        // A young .part is a concurrent publisher's
+                        // in-flight staging file, not debris.
+                        if young(path) {
+                            report.pinned_young += 1;
+                        } else {
+                            storage.remove_file(path)?;
+                            report.debris_removed += 1;
+                        }
                     }
                 }
             }
@@ -249,13 +436,13 @@ impl ObjectStore {
         if !storage.exists(&self.root) {
             return Ok(());
         }
-        let mut fanouts = storage.list_dir(&self.root)?;
+        let mut fanouts = self.read_op(|| storage.list_dir(&self.root))?;
         fanouts.sort();
         for fanout in fanouts {
             if !fanout.is_dir() {
                 continue;
             }
-            let mut entries = storage.list_dir(&fanout)?;
+            let mut entries = self.read_op(|| storage.list_dir(&fanout))?;
             entries.sort();
             for entry in entries {
                 f(&entry)?;
@@ -263,6 +450,43 @@ impl ObjectStore {
         }
         Ok(())
     }
+}
+
+/// The shared-store root a run root redirects to, if it carries a
+/// readable, non-empty [`CASROOT_FILE`].
+pub fn redirect_target(storage: &dyn Storage, run_root: &Path) -> Option<PathBuf> {
+    let redirect = run_root.join(CASROOT_FILE);
+    if !storage.exists(&redirect) {
+        return None;
+    }
+    let bytes = storage.read(&redirect).ok()?;
+    let text = String::from_utf8(bytes).ok()?;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        None
+    } else {
+        Some(PathBuf::from(trimmed))
+    }
+}
+
+/// Whether `run_root` redirects its objects to a shared store.
+pub fn is_redirected(storage: &dyn Storage, run_root: &Path) -> bool {
+    redirect_target(storage, run_root).is_some()
+}
+
+/// Point `run_root` at the shared store rooted at `shared_root` (the
+/// directory holding `objects/`). Written durably: a run root that loses
+/// its redirect would silently degrade to a private store.
+pub fn write_redirect(
+    storage: &dyn Storage,
+    run_root: &Path,
+    shared_root: &Path,
+) -> io::Result<()> {
+    let redirect = run_root.join(CASROOT_FILE);
+    let mut text = shared_root.display().to_string();
+    text.push('\n');
+    storage.write(&redirect, text.as_bytes())?;
+    storage.sync(&redirect)
 }
 
 /// Parse `<64-hex>.obj` file names back into digests.
@@ -442,6 +666,274 @@ mod tests {
         assert_eq!(report.reclaimed_bytes, 8);
         assert!(s.contains(&fs, live_obj.digest));
         assert!(!s.contains(&fs, dead_obj.digest));
+    }
+
+    #[test]
+    fn sweep_mark_pins_objects_published_after_census() {
+        use std::time::{Duration, SystemTime};
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let fs = LocalFs;
+        let live_obj = s.put(&fs, b"referenced").unwrap();
+        let young = s.put(&fs, b"published after the census").unwrap();
+        let live: BTreeSet<Digest> = [live_obj.digest].into();
+        // The census (live set) predates `young`: a mark taken back then
+        // must pin it instead of sweeping it.
+        let mark = SweepMark::at(SystemTime::now() - Duration::from_secs(10));
+        let r = s.sweep_with_mark(&fs, &live, &mark).unwrap();
+        assert_eq!(r.live_objects, 1);
+        assert_eq!(r.deleted_objects, 0);
+        assert_eq!(r.pinned_young, 1);
+        assert!(s.contains(&fs, young.digest), "young object swept");
+        // The next sweep's census sees it; with a mark that postdates the
+        // object it is an ordinary dead object again.
+        let later = SweepMark::at(SystemTime::now() + Duration::from_secs(10));
+        let r = s.sweep_with_mark(&fs, &live, &later).unwrap();
+        assert_eq!(r.deleted_objects, 1);
+        assert_eq!(r.pinned_young, 0);
+        assert!(!s.contains(&fs, young.digest));
+        assert!(s.contains(&fs, live_obj.digest));
+    }
+
+    #[test]
+    fn sweep_mark_pins_in_flight_part_staging_files() {
+        use std::time::{Duration, SystemTime};
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let fs = LocalFs;
+        let keep = s.put(&fs, b"anchor").unwrap();
+        // Fake a concurrent publisher's in-flight staging file.
+        let fanout = s.object_path(keep.digest);
+        let part = fanout.parent().unwrap().join(format!(
+            "{}.99.part",
+            Digest::of(b"still streaming").to_hex()
+        ));
+        std::fs::write(&part, b"partial payl").unwrap();
+        let live: BTreeSet<Digest> = [keep.digest].into();
+        let mark = SweepMark::at(SystemTime::now() - Duration::from_secs(10));
+        let r = s.sweep_with_mark(&fs, &live, &mark).unwrap();
+        assert_eq!(r.debris_removed, 0, "in-flight staging file deleted");
+        assert_eq!(r.pinned_young, 1);
+        assert!(part.exists());
+        // Once the mark postdates it, it is abandoned debris.
+        let later = SweepMark::at(SystemTime::now() + Duration::from_secs(10));
+        let r = s.sweep_with_mark(&fs, &live, &later).unwrap();
+        assert_eq!(r.debris_removed, 1);
+        assert!(!part.exists());
+    }
+
+    /// Storage wrapper that injects a concurrent `put` into the same
+    /// store the moment the sweep starts walking it (first `list_dir`).
+    #[derive(Debug)]
+    struct PutDuringSweep {
+        store_root: PathBuf,
+        fired: std::sync::atomic::AtomicBool,
+    }
+
+    impl PutDuringSweep {
+        fn fire(&self) {
+            if !self.fired.swap(true, Ordering::SeqCst) {
+                let run_root = self.store_root.parent().unwrap();
+                ObjectStore::for_run_root(run_root)
+                    .put(&LocalFs, b"raced in during the sweep")
+                    .unwrap();
+            }
+        }
+    }
+
+    impl Storage for PutDuringSweep {
+        fn create_dir_all(&self, p: &Path) -> io::Result<()> {
+            LocalFs.create_dir_all(p)
+        }
+        fn write(&self, p: &Path, b: &[u8]) -> io::Result<()> {
+            LocalFs.write(p, b)
+        }
+        fn sync(&self, p: &Path) -> io::Result<()> {
+            LocalFs.sync(p)
+        }
+        fn rename(&self, a: &Path, b: &Path) -> io::Result<()> {
+            LocalFs.rename(a, b)
+        }
+        fn read(&self, p: &Path) -> io::Result<Vec<u8>> {
+            LocalFs.read(p)
+        }
+        fn read_range(&self, p: &Path, o: u64, l: usize) -> io::Result<Vec<u8>> {
+            LocalFs.read_range(p, o, l)
+        }
+        fn list_dir(&self, p: &Path) -> io::Result<Vec<PathBuf>> {
+            self.fire();
+            LocalFs.list_dir(p)
+        }
+        fn remove_dir_all(&self, p: &Path) -> io::Result<()> {
+            LocalFs.remove_dir_all(p)
+        }
+        fn exists(&self, p: &Path) -> bool {
+            LocalFs.exists(p)
+        }
+        fn file_len(&self, p: &Path) -> io::Result<u64> {
+            LocalFs.file_len(p)
+        }
+        fn mtime(&self, p: &Path) -> io::Result<std::time::SystemTime> {
+            LocalFs.mtime(p)
+        }
+        fn hard_link(&self, a: &Path, b: &Path) -> io::Result<()> {
+            LocalFs.hard_link(a, b)
+        }
+        fn remove_file(&self, p: &Path) -> io::Result<()> {
+            LocalFs.remove_file(p)
+        }
+        fn create_stream<'a>(&'a self, p: &Path) -> io::Result<Box<dyn WriteStream + 'a>> {
+            LocalFs.create_stream(p)
+        }
+    }
+    use llmt_storage::vfs::WriteStream;
+
+    #[test]
+    fn put_during_sweep_keeps_the_object() {
+        use std::time::{Duration, SystemTime};
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let anchor = s.put(&LocalFs, b"anchor").unwrap();
+        let live: BTreeSet<Digest> = [anchor.digest].into();
+        let racing = PutDuringSweep {
+            store_root: s.root_dir().to_path_buf(),
+            fired: std::sync::atomic::AtomicBool::new(false),
+        };
+        // Census mark predates the sweep, as in any real GC; the object
+        // `put` mid-walk postdates it and must survive no matter where
+        // the walk is when it lands.
+        let mark = SweepMark::at(SystemTime::now() - Duration::from_secs(10));
+        s.sweep_with_mark(&racing, &live, &mark).unwrap();
+        let raced = Digest::of(b"raced in during the sweep");
+        assert!(
+            s.contains(&LocalFs, raced),
+            "object published during the sweep was deleted"
+        );
+        assert_eq!(
+            s.get(&LocalFs, raced).unwrap(),
+            b"raced in during the sweep"
+        );
+    }
+
+    #[test]
+    fn read_paths_retry_transients_with_injected_clock() {
+        use llmt_storage::vfs::{ManualClock, RetryPolicy};
+        let dir = tempfile::tempdir().unwrap();
+        let plain = store(dir.path());
+        let out = plain.put(&LocalFs, b"retried payload").unwrap();
+        let clock = Arc::new(ManualClock::default());
+        let s = store(dir.path()).with_read_retry(RetryPolicy::default(), clock.clone());
+        let fs = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 0,
+                kind: FaultKind::Transient { failures: 2 },
+            },
+        );
+        // get: ops 0,1 transient, op 2 succeeds.
+        assert_eq!(s.get(&fs, out.digest).unwrap(), b"retried payload");
+        assert_eq!(clock.sleeps(), 2);
+        assert_eq!(s.read_retries(), 2);
+        // object_len and list ride the same policy.
+        let fs = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 0,
+                kind: FaultKind::Transient { failures: 1 },
+            },
+        );
+        assert_eq!(s.object_len(&fs, out.digest).unwrap(), 15);
+        let fs = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 0,
+                kind: FaultKind::Transient { failures: 1 },
+            },
+        );
+        assert_eq!(s.list(&fs).unwrap(), vec![(out.digest, 15)]);
+        assert!(s.read_retries() >= 4);
+    }
+
+    #[test]
+    fn unwired_reads_still_fail_fast_and_terminal_errors_pass_through() {
+        use llmt_storage::vfs::ManualClock;
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let out = s.put(&LocalFs, b"x").unwrap();
+        let fs = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 0,
+                kind: FaultKind::Transient { failures: 1 },
+            },
+        );
+        // No retry wired: first transient surfaces.
+        assert!(s.get(&fs, out.digest).is_err());
+        // Retry wired, but the storage is dead: BrokenPipe is terminal.
+        let clock = Arc::new(ManualClock::default());
+        let s = store(dir.path())
+            .with_read_retry(llmt_storage::vfs::RetryPolicy::default(), clock.clone());
+        let fs = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 0,
+                kind: FaultKind::Crash,
+            },
+        );
+        assert!(s.get(&fs, out.digest).is_err());
+        assert_eq!(clock.sleeps(), 0, "terminal errors must not be retried");
+    }
+
+    #[derive(Debug, Default)]
+    struct RecordingObserver {
+        seen: std::sync::Mutex<Vec<PutOutcome>>,
+    }
+
+    impl PutObserver for RecordingObserver {
+        fn on_put(&self, outcome: &PutOutcome) {
+            self.seen.lock().unwrap().push(*outcome);
+        }
+    }
+
+    #[test]
+    fn observer_sees_misses_and_hits() {
+        let dir = tempfile::tempdir().unwrap();
+        let obs = Arc::new(RecordingObserver::default());
+        let s = store(dir.path()).with_observer(obs.clone());
+        let out = s.put(&LocalFs, b"observed").unwrap();
+        let hit = s.put(&LocalFs, b"observed").unwrap();
+        assert!(out.written && !hit.written);
+        let seen = obs.seen.lock().unwrap();
+        assert_eq!(seen.len(), 2, "hits must be observed too — they pin");
+        assert_eq!(seen[0].digest, out.digest);
+        assert!(seen[0].written);
+        assert!(!seen[1].written);
+    }
+
+    #[test]
+    fn resolve_follows_casroot_redirect() {
+        let shared = tempfile::tempdir().unwrap();
+        let run = tempfile::tempdir().unwrap();
+        // No redirect: the run-local store.
+        let local = ObjectStore::resolve(&LocalFs, run.path());
+        assert_eq!(local.root_dir(), run.path().join(OBJECTS_DIR));
+        // With a redirect: the shared store.
+        write_redirect(&LocalFs, run.path(), shared.path()).unwrap();
+        assert!(is_redirected(&LocalFs, run.path()));
+        assert_eq!(
+            redirect_target(&LocalFs, run.path()).unwrap(),
+            shared.path()
+        );
+        let s = ObjectStore::resolve(&LocalFs, run.path());
+        assert_eq!(s.root_dir(), shared.path().join(OBJECTS_DIR));
+        let out = s.put(&LocalFs, b"lands in the shared store").unwrap();
+        assert!(shared
+            .path()
+            .join(OBJECTS_DIR)
+            .join(&out.digest.to_hex()[..2])
+            .join(format!("{}.obj", out.digest.to_hex()))
+            .exists());
+        assert!(!run.path().join(OBJECTS_DIR).exists());
     }
 
     #[test]

@@ -305,6 +305,11 @@ pub fn save_source(
 /// (`ckpt.save.encode` / `ckpt.save.place` / `ckpt.save.commit`) are
 /// recorded into it in addition to populating the report's
 /// [`StageTimings`].
+///
+/// The place stage's object store is resolved from the run root
+/// ([`ObjectStore::resolve`]): a coordinator-managed run root carrying a
+/// `CASROOT` redirect places objects into the shared store, a standalone
+/// root into its own `<root>/objects`.
 #[allow(clippy::too_many_arguments)]
 pub fn save_source_with(
     storage: &dyn Storage,
@@ -315,6 +320,36 @@ pub fn save_source_with(
     units: &[LayerUnit],
     opts: &SaveOptions,
     metrics: &MetricsRegistry,
+) -> Result<CheckpointReport> {
+    let store = ObjectStore::resolve(storage, root).with_metrics(metrics);
+    save_source_in_store(
+        storage,
+        root,
+        step,
+        source,
+        trainer_state,
+        units,
+        opts,
+        metrics,
+        &store,
+    )
+}
+
+/// [`save_source_with`] against an explicit [`ObjectStore`] — the entry
+/// point for callers that carry their own store handle (the coordinator
+/// wires its shared store with pin observers and read-retry here).
+/// Conventional (non-dedup) saves never touch the store.
+#[allow(clippy::too_many_arguments)]
+pub fn save_source_in_store(
+    storage: &dyn Storage,
+    root: &Path,
+    step: u64,
+    source: &dyn StateSource,
+    trainer_state: &TrainerState,
+    units: &[LayerUnit],
+    opts: &SaveOptions,
+    metrics: &MetricsRegistry,
+    store: &ObjectStore,
 ) -> Result<CheckpointReport> {
     let config = source.model_config();
     for u in units {
@@ -352,7 +387,6 @@ pub fn save_source_with(
 
     let staging = CheckpointPaths::staging_under(root, step);
     let plan = StagePlan {
-        root,
         step,
         source,
         trainer_state,
@@ -362,6 +396,8 @@ pub fn save_source_with(
         full,
         opts,
         metrics,
+        root,
+        store,
     };
     // Single failure path: errors and panics inside the staged phase both
     // funnel through the same best-effort staging cleanup. The async
@@ -407,6 +443,10 @@ struct StagePlan<'a> {
     full: bool,
     opts: &'a SaveOptions,
     metrics: &'a MetricsRegistry,
+    /// Object store the place stage targets (dedup saves only). Resolved
+    /// from the run root by default; the coordinator injects its shared
+    /// store here.
+    store: &'a ObjectStore,
 }
 
 /// Phase 1 + 2 + 3 of the commit protocol, against the staging directory.
@@ -441,7 +481,7 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
     let mut physical_payload = 0u64;
     let mut dedup_bytes = 0u64;
     let mut refs = dedup.then(CasRefs::default);
-    let store = ObjectStore::for_run_root(plan.root).with_metrics(plan.metrics);
+    let store = plan.store;
 
     let mut st_meta = BTreeMap::new();
     st_meta.insert("format".to_string(), "pt".to_string());

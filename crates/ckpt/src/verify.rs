@@ -116,7 +116,7 @@ pub fn verify_checkpoint_on(
             .paths
             .dir
             .parent()
-            .map(llmt_cas::ObjectStore::for_run_root);
+            .map(|root| llmt_cas::ObjectStore::resolve(&*storage, root));
         for (key, object) in refs.iter_all() {
             let link = match key.strip_prefix("rank") {
                 // "rank<r>/group<g>" -> per-(rank, group) optimizer file.

@@ -1,0 +1,64 @@
+//! Typed coordinator failures.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Shorthand result for coordinator operations.
+pub type CoordResult<T> = std::result::Result<T, CoordError>;
+
+/// Everything that can go wrong inside the coordinator. Concurrency
+/// failures are *typed*, never panics: a caller that races another
+/// session gets `Busy`, not a poisoned lock.
+#[derive(Debug)]
+pub enum CoordError {
+    /// The requested session cannot be admitted right now (another
+    /// collector is active, or `try_publisher` found no free permit).
+    Busy(String),
+    /// Malformed run identifier (must be non-empty `[A-Za-z0-9._-]`).
+    InvalidRunId(String),
+    /// An I/O failure, with the path it happened on.
+    Io {
+        /// Path of the failing operation.
+        path: PathBuf,
+        /// Underlying error.
+        source: io::Error,
+    },
+    /// A checkpoint-layer failure (save, verify, manifest load).
+    Ckpt(llmt_ckpt::CkptError),
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::Busy(what) => write!(f, "coordinator busy: {what}"),
+            CoordError::InvalidRunId(id) => {
+                write!(f, "invalid run id '{id}' (want non-empty [A-Za-z0-9._-])")
+            }
+            CoordError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            CoordError::Ckpt(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoordError::Io { source, .. } => Some(source),
+            CoordError::Ckpt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<llmt_ckpt::CkptError> for CoordError {
+    fn from(e: llmt_ckpt::CkptError) -> Self {
+        CoordError::Ckpt(e)
+    }
+}
+
+/// Wrap an `io::Error` with its path, mirroring `llmt_ckpt::error::io_err`.
+pub fn io_err(path: impl Into<PathBuf>) -> impl FnOnce(io::Error) -> CoordError {
+    let path = path.into();
+    move |source| CoordError::Io { path, source }
+}

@@ -1,0 +1,311 @@
+//! The epoch ledger: pure reader/object lifecycle bookkeeping.
+//!
+//! Everything here is plain data — no I/O, no clocks, no threads — so the
+//! safety invariant the coordinator is built on can be property-tested
+//! directly over seeded schedules of begin-read / publish / retire /
+//! sweep events (see `tests/epoch_props.rs`):
+//!
+//! > **No object reachable from an epoch with active readers is ever
+//! > swept.**
+//!
+//! The model, following the decentdb reader-count/epoch ADR:
+//!
+//! * The store has one **monotone epoch**, bumped by every publish and
+//!   every retire. Epochs are logical versions of the store's reachable
+//!   object set.
+//! * A **reader** pins the epoch at which it began: everything reachable
+//!   *at that epoch* must stay readable until the reader ends.
+//! * An **object** is live over a half-open epoch span
+//!   `[published, retired)`; `retired == None` means live now. A reader
+//!   that began at epoch `B` can reach an object iff
+//!   `published <= B < retired` (or the object is still live).
+//! * A **sweep at mark epoch `M`** may delete an object only when it is
+//!   retired, was published *before* `M` (publish-during-mark pinning —
+//!   the fix for the swept-live-object race), and is not reachable by any
+//!   active reader.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lifecycle span of one object, in store epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjSpan {
+    /// Epoch at which the object became reachable.
+    pub published: u64,
+    /// Epoch at which it stopped being referenced (`None` = still live).
+    pub retired: Option<u64>,
+}
+
+/// A reader's pinned begin-epoch. Returned by [`EpochLedger::begin_read`]
+/// and surrendered to [`EpochLedger::end_read`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReaderTicket {
+    /// The store epoch this reader observes.
+    pub epoch: u64,
+}
+
+/// Pure epoch/reader/object bookkeeping (see module docs). Keys are
+/// opaque object identities — the coordinator uses digest hex strings.
+#[derive(Debug, Default)]
+pub struct EpochLedger {
+    epoch: u64,
+    /// begin-epoch -> active reader count.
+    readers: BTreeMap<u64, usize>,
+    objects: BTreeMap<String, ObjSpan>,
+}
+
+impl EpochLedger {
+    /// A fresh ledger at epoch 0 with no readers or objects.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current store epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of active readers across all epochs.
+    pub fn active_readers(&self) -> usize {
+        self.readers.values().sum()
+    }
+
+    /// Begin-epoch of the oldest active reader, if any.
+    pub fn oldest_reader_epoch(&self) -> Option<u64> {
+        self.readers.keys().next().copied()
+    }
+
+    /// Pin the current epoch for a new reader.
+    pub fn begin_read(&mut self) -> ReaderTicket {
+        *self.readers.entry(self.epoch).or_insert(0) += 1;
+        ReaderTicket { epoch: self.epoch }
+    }
+
+    /// Release a reader's pin. Unknown tickets are ignored (double-end is
+    /// a bug upstream, but must never corrupt reachability accounting
+    /// into *unsafety* — at worst objects stay pinned longer).
+    pub fn end_read(&mut self, ticket: ReaderTicket) {
+        if let Some(n) = self.readers.get_mut(&ticket.epoch) {
+            *n -= 1;
+            if *n == 0 {
+                self.readers.remove(&ticket.epoch);
+            }
+        }
+    }
+
+    /// Record a publish of `keys`: bumps the epoch, then marks each key
+    /// live from the new epoch. Re-publishing a retired key resurrects it
+    /// (a dedup hit on a retired-but-still-present object) — keeping its
+    /// *original* publish epoch: the object was on disk the whole time,
+    /// and a reader that began during its earlier life must still count
+    /// as reaching it. (Advancing `published` here would hide that reader
+    /// from the reachability check — exactly the swept-live-object race,
+    /// re-introduced at the ledger level. Keeping the old epoch can only
+    /// over-pin, never under-pin.) Publishing an already-live key is a
+    /// no-op beyond the epoch bump.
+    pub fn publish<I, S>(&mut self, keys: I) -> u64
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.epoch += 1;
+        for key in keys {
+            let key = key.into();
+            match self.objects.get_mut(&key) {
+                Some(span) if span.retired.is_some() => {
+                    span.retired = None;
+                }
+                Some(_) => {}
+                None => {
+                    self.objects.insert(
+                        key,
+                        ObjSpan {
+                            published: self.epoch,
+                            retired: None,
+                        },
+                    );
+                }
+            }
+        }
+        self.epoch
+    }
+
+    /// Record that `keys` stopped being referenced: bumps the epoch, then
+    /// closes each key's span at the new epoch. Unknown or already
+    /// retired keys are ignored.
+    pub fn retire<'a, I>(&mut self, keys: I) -> u64
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        self.epoch += 1;
+        for key in keys {
+            if let Some(span) = self.objects.get_mut(key) {
+                if span.retired.is_none() {
+                    span.retired = Some(self.epoch);
+                }
+            }
+        }
+        self.epoch
+    }
+
+    /// Whether any *active* reader can reach `key`: live objects are
+    /// reachable by everyone; a retired object is reachable by a reader
+    /// that began inside its `[published, retired)` span.
+    pub fn reachable_by_readers(&self, key: &str) -> bool {
+        match self.objects.get(key) {
+            None => false,
+            Some(span) => match span.retired {
+                None => !self.readers.is_empty(),
+                Some(retired) => self
+                    .readers
+                    .keys()
+                    .any(|&b| span.published <= b && b < retired),
+            },
+        }
+    }
+
+    /// Keys a sweep at `mark_epoch` may delete: retired at or before the
+    /// mark, published strictly before it (publish-during-mark pinning),
+    /// and unreachable by every active reader. This is the ledger-level
+    /// statement of the coordinator's GC safety invariant.
+    pub fn sweepable(&self, mark_epoch: u64) -> BTreeSet<String> {
+        self.objects
+            .iter()
+            .filter(|(_, span)| {
+                span.published < mark_epoch && matches!(span.retired, Some(r) if r <= mark_epoch)
+            })
+            .filter(|(key, _)| !self.reachable_by_readers(key))
+            .map(|(key, _)| key.clone())
+            .collect()
+    }
+
+    /// Keys that are retired but still pinned by an active reader — the
+    /// set a forced-progress sweep must keep even though they are dead.
+    pub fn reader_pinned(&self) -> BTreeSet<String> {
+        self.objects
+            .iter()
+            .filter(|(_, span)| span.retired.is_some())
+            .filter(|(key, _)| self.reachable_by_readers(key))
+            .map(|(key, _)| key.clone())
+            .collect()
+    }
+
+    /// Drop bookkeeping for keys that were physically swept.
+    pub fn forget<'a, I>(&mut self, keys: I)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        for key in keys {
+            self.objects.remove(key);
+        }
+    }
+
+    /// Span of `key`, if tracked.
+    pub fn span(&self, key: &str) -> Option<ObjSpan> {
+        self.objects.get(key).copied()
+    }
+
+    /// Number of tracked objects (live + retired-but-unswept).
+    pub fn tracked_objects(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_retire_advance_the_epoch_monotonically() {
+        let mut l = EpochLedger::new();
+        assert_eq!(l.epoch(), 0);
+        let e1 = l.publish(["a"]);
+        let e2 = l.publish(["b"]);
+        let e3 = l.retire(["a"]);
+        assert!(e1 < e2 && e2 < e3);
+        assert_eq!(l.epoch(), e3);
+    }
+
+    #[test]
+    fn retired_object_unreachable_without_readers_is_sweepable() {
+        let mut l = EpochLedger::new();
+        l.publish(["a"]);
+        l.retire(["a"]);
+        let mark = l.epoch();
+        assert_eq!(l.sweepable(mark), BTreeSet::from(["a".to_string()]));
+    }
+
+    #[test]
+    fn reader_inside_the_span_pins_a_retired_object() {
+        let mut l = EpochLedger::new();
+        l.publish(["a"]);
+        let ticket = l.begin_read(); // began while "a" was live
+        l.retire(["a"]);
+        let mark = l.epoch();
+        assert!(l.reachable_by_readers("a"));
+        assert!(l.sweepable(mark).is_empty());
+        assert_eq!(l.reader_pinned(), BTreeSet::from(["a".to_string()]));
+        l.end_read(ticket);
+        assert_eq!(l.sweepable(mark), BTreeSet::from(["a".to_string()]));
+    }
+
+    #[test]
+    fn reader_that_began_after_retirement_does_not_pin() {
+        let mut l = EpochLedger::new();
+        l.publish(["a"]);
+        l.retire(["a"]);
+        let _ticket = l.begin_read(); // "a" already unreachable for it
+        let mark = l.epoch();
+        assert_eq!(l.sweepable(mark), BTreeSet::from(["a".to_string()]));
+    }
+
+    #[test]
+    fn publish_during_or_after_mark_is_pinned() {
+        let mut l = EpochLedger::new();
+        l.publish(["a"]);
+        l.retire(["a"]);
+        let mark = l.epoch();
+        // Published after the mark epoch was taken: never sweepable at
+        // that mark, even once retired.
+        l.publish(["b"]);
+        l.retire(["b"]);
+        assert_eq!(l.sweepable(mark), BTreeSet::from(["a".to_string()]));
+    }
+
+    #[test]
+    fn republish_resurrects_a_retired_key() {
+        let mut l = EpochLedger::new();
+        l.publish(["a"]);
+        l.retire(["a"]);
+        l.publish(["a"]); // dedup hit on a dead-but-present object
+        let mark = l.epoch();
+        assert!(l.sweepable(mark).is_empty());
+        assert_eq!(l.span("a").unwrap().retired, None);
+    }
+
+    #[test]
+    fn resurrection_keeps_the_original_span_for_old_readers() {
+        let mut l = EpochLedger::new();
+        l.publish(["a"]);
+        let ticket = l.begin_read(); // saw "a" during its first life
+        l.retire(["a"]);
+        l.publish(["a"]); // resurrected by a dedup hit
+        l.retire(["a"]); // and retired again
+        let mark = l.epoch();
+        // The old reader must still pin it: its begin-epoch falls in the
+        // original span, which resurrection must not erase.
+        assert!(l.reachable_by_readers("a"));
+        assert!(l.sweepable(mark).is_empty());
+        l.end_read(ticket);
+        assert_eq!(l.sweepable(mark), BTreeSet::from(["a".to_string()]));
+    }
+
+    #[test]
+    fn forget_drops_swept_keys() {
+        let mut l = EpochLedger::new();
+        l.publish(["a", "b"]);
+        l.retire(["a"]);
+        l.forget(["a"]);
+        assert_eq!(l.tracked_objects(), 1);
+        assert!(l.span("a").is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! # llmt-coord — shared checkpoint store coordinator
+//!
+//! LLMTailor's dedup saves put layer payloads into a content-addressed
+//! store; sharing that store across runs multiplies the dedup win (many
+//! fine-tunes of one base model share almost every frozen layer). Sharing
+//! also introduces every classic multi-writer hazard: a GC pass sweeping
+//! an object another run just published, a reader diffing a checkpoint
+//! while its objects are reclaimed underneath it, N runs saturating the
+//! staging disk at once.
+//!
+//! This crate is the coordination layer that makes the shared store safe:
+//!
+//! * [`Coordinator`] owns a shared root and hands out per-run sessions —
+//!   [`PublisherSession`] (save), [`ReaderSession`] (report / verify /
+//!   diff / merge-source), [`CollectorSession`] (GC).
+//! * [`ledger::EpochLedger`] is the pure reachability model underneath:
+//!   monotone store epochs, reader-pinned begin-epochs, per-object
+//!   `[published, retired)` spans. Its invariant — *no object reachable
+//!   from an epoch with active readers is ever swept* — is
+//!   property-tested over seeded schedules in `tests/epoch_props.rs`.
+//! * GC is two-phase and publisher-safe: mark → drain readers (through an
+//!   injected [`Clock`](llmt_storage::vfs::Clock), so tests time out
+//!   deterministically) → sweep, with objects placed during or after the
+//!   mark pinned by a [`PutObserver`](llmt_cas::PutObserver) pin board.
+//!   A drain timeout forces progress without disrupting active readers:
+//!   retired objects they can still reach survive until the next pass.
+//! * Admission control bounds concurrent saves (slots + bytes in
+//!   flight); extra publishers queue with telemetry-visible wait spans
+//!   (`coord.admission.wait`) instead of overrunning the disk.
+//!
+//! Failures are typed ([`CoordError`]), never panics; the whole protocol
+//! runs over the [`Storage`](llmt_storage::vfs::Storage) trait so the
+//! multi-actor chaos sweep in `tests/chaos.rs` can drive publishers ×
+//! readers × collector against fault injection and assert zero torn
+//! reads and zero swept-live objects.
+
+pub mod coordinator;
+pub mod error;
+pub mod ledger;
+
+pub use coordinator::{
+    CollectReport, CollectorSession, CoordConfig, Coordinator, PublisherSession, ReaderSession,
+    RUNS_DIR,
+};
+pub use error::{CoordError, CoordResult};
+pub use ledger::{EpochLedger, ObjSpan, ReaderTicket};

@@ -1,0 +1,215 @@
+//! Property tests over the epoch ledger: seeded schedules of
+//! begin-read / end-read / publish / retire / mark+sweep events, checking
+//! the coordinator's GC safety invariant at the model level:
+//!
+//! > **No object reachable from an epoch with active readers is ever
+//! > deleted.**
+//!
+//! The model mirrors what the coordinator does physically: a `disk` set
+//! holds present objects; a sweep takes a mark at the current epoch,
+//! deletes exactly `ledger.sweepable(mark)` from disk, and forgets those
+//! keys. Each active reader carries the snapshot of objects that were
+//! live when it began — the set the invariant promises stays on disk
+//! until the reader ends.
+
+use llmt_coord::{EpochLedger, ReaderTicket};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const POOL: [&str; 6] = ["k0", "k1", "k2", "k3", "k4", "k5"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    BeginRead,
+    /// Ends the active reader at `index % active.len()` (no-op if none).
+    EndRead(usize),
+    /// Publishes the pool keys selected by the bitmask.
+    Publish(u8),
+    /// Retires the pool keys selected by the bitmask.
+    Retire(u8),
+    /// Mark at the current epoch, then sweep.
+    Sweep,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::BeginRead),
+        2 => any::<usize>().prop_map(Op::EndRead),
+        3 => any::<u8>().prop_map(Op::Publish),
+        3 => any::<u8>().prop_map(Op::Retire),
+        2 => Just(Op::Sweep),
+    ]
+}
+
+fn mask_keys(mask: u8) -> Vec<&'static str> {
+    POOL.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, k)| *k)
+        .collect()
+}
+
+/// An active reader: its ticket plus the objects live when it began.
+struct ActiveReader {
+    ticket: ReaderTicket,
+    snapshot: BTreeSet<String>,
+}
+
+fn live_set(ledger: &EpochLedger) -> BTreeSet<String> {
+    POOL.iter()
+        .filter(|k| matches!(ledger.span(k), Some(span) if span.retired.is_none()))
+        .map(|k| k.to_string())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline invariant, end to end: run the schedule, and after
+    /// every sweep check that each active reader's begin-snapshot is
+    /// still entirely on disk.
+    #[test]
+    fn no_reader_reachable_object_is_ever_deleted(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        let mut ledger = EpochLedger::new();
+        let mut disk: BTreeSet<String> = BTreeSet::new();
+        let mut readers: Vec<ActiveReader> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::BeginRead => {
+                    let snapshot = live_set(&ledger);
+                    let ticket = ledger.begin_read();
+                    readers.push(ActiveReader { ticket, snapshot });
+                }
+                Op::EndRead(i) => {
+                    if !readers.is_empty() {
+                        let r = readers.swap_remove(i % readers.len());
+                        ledger.end_read(r.ticket);
+                    }
+                }
+                Op::Publish(mask) => {
+                    let keys = mask_keys(mask);
+                    ledger.publish(keys.iter().copied());
+                    for k in keys {
+                        disk.insert(k.to_string());
+                    }
+                }
+                Op::Retire(mask) => {
+                    ledger.retire(mask_keys(mask));
+                }
+                Op::Sweep => {
+                    let mark = ledger.epoch();
+                    let doomed = ledger.sweepable(mark);
+                    // Model-level restatement of the invariant: nothing
+                    // sweepable is reachable by an active reader.
+                    for key in &doomed {
+                        prop_assert!(
+                            !ledger.reachable_by_readers(key),
+                            "sweepable key {key} is reader-reachable"
+                        );
+                    }
+                    for key in &doomed {
+                        disk.remove(key);
+                    }
+                    ledger.forget(doomed.iter().map(String::as_str));
+                    // Every active reader's begin-snapshot survived.
+                    for r in &readers {
+                        for key in &r.snapshot {
+                            prop_assert!(
+                                disk.contains(key),
+                                "object {key} (live at reader epoch {}) was swept",
+                                r.ticket.epoch
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publish-during-mark pinning: keys published after a mark epoch is
+    /// taken are never in the sweepable set at that mark, whatever else
+    /// the schedule does afterwards.
+    #[test]
+    fn publish_after_mark_is_never_sweepable_at_that_mark(
+        pre in proptest::collection::vec(op_strategy(), 0..30),
+        late_mask in 1u8..64,
+        post in proptest::collection::vec(op_strategy(), 0..10),
+    ) {
+        let mut ledger = EpochLedger::new();
+        for op in pre {
+            apply_without_sweep(&mut ledger, &op);
+        }
+        let mark = ledger.epoch();
+        // Everything published from here on postdates the mark.
+        ledger.publish(mask_keys(late_mask));
+        for op in post {
+            apply_without_sweep(&mut ledger, &op);
+        }
+        let doomed = ledger.sweepable(mark);
+        for key in mask_keys(late_mask) {
+            // The key may have existed before (published in `pre`); only
+            // spans that now postdate the mark are unconditionally safe.
+            if ledger.span(key).is_some_and(|s| s.published > mark) {
+                prop_assert!(
+                    !doomed.contains(key),
+                    "key {key} published after mark {mark} is sweepable"
+                );
+            }
+        }
+    }
+
+    /// Readers only ever shrink the sweepable set, never grow it: GC with
+    /// readers present is strictly more conservative.
+    #[test]
+    fn readers_only_shrink_the_sweepable_set(
+        ops in proptest::collection::vec(op_strategy(), 1..40)
+    ) {
+        let mut with_readers = EpochLedger::new();
+        let mut without = EpochLedger::new();
+        for op in &ops {
+            match op {
+                Op::BeginRead => {
+                    with_readers.begin_read();
+                }
+                Op::EndRead(_) => {}
+                Op::Publish(mask) => {
+                    with_readers.publish(mask_keys(*mask));
+                    without.publish(mask_keys(*mask));
+                }
+                Op::Retire(mask) => {
+                    with_readers.retire(mask_keys(*mask));
+                    without.retire(mask_keys(*mask));
+                }
+                Op::Sweep => {}
+            }
+        }
+        // Same object history, so the epochs line up op for op only when
+        // reads don't bump epochs — which they don't.
+        prop_assert_eq!(with_readers.epoch(), without.epoch());
+        let mark = with_readers.epoch();
+        let pinned = with_readers.sweepable(mark);
+        let free = without.sweepable(mark);
+        prop_assert!(
+            pinned.is_subset(&free),
+            "readers enlarged the sweepable set: {pinned:?} vs {free:?}"
+        );
+    }
+}
+
+fn apply_without_sweep(ledger: &mut EpochLedger, op: &Op) {
+    match op {
+        Op::BeginRead => {
+            ledger.begin_read();
+        }
+        Op::EndRead(_) | Op::Sweep => {}
+        Op::Publish(mask) => {
+            ledger.publish(mask_keys(*mask));
+        }
+        Op::Retire(mask) => {
+            ledger.retire(mask_keys(*mask));
+        }
+    }
+}

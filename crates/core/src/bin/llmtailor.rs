@@ -25,6 +25,7 @@ fn main() -> ExitCode {
         Some("du") => cmd_du(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -90,6 +91,16 @@ USAGE:
   llmtailor diff <CHECKPOINT_A> <CHECKPOINT_B>
       Per-unit RMS change between two checkpoints of the same run — the
       layer-wise non-uniformity that motivates selective checkpointing.
+
+  llmtailor serve --store <DIR> [--attach <RUN_ID>] [--gc] [--json]
+      Open (creating if necessary) a shared checkpoint store: one
+      content-addressed object pool that any number of training runs save
+      into concurrently through the store coordinator. --attach registers
+      a run id and redirects its run root to the shared store; trainers
+      pointed at that run root then dedup against every other attached
+      run. --gc executes one coordinated two-phase GC pass (mark -> reader
+      drain -> sweep) that is safe against concurrent publishers and
+      readers. Without --gc, prints the store's status.
 ";
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -391,6 +402,66 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             };
             println!("    {stage:<10} {:>12.3} ms  {pct:>5.1}%", *ns as f64 / 1e6);
         }
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let store_root = PathBuf::from(require(args, "--store")?);
+    let coord = llmt_coord::Coordinator::open(&store_root).map_err(|e| e.to_string())?;
+    if let Some(run_id) = opt(args, "--attach")? {
+        let run_root = coord.attach_run(&run_id).map_err(|e| e.to_string())?;
+        println!(
+            "attached run '{run_id}' at {} (objects -> {})",
+            run_root.display(),
+            store_root.display()
+        );
+    }
+    if flag(args, "--gc") {
+        let collector = coord.collector().map_err(|e| e.to_string())?;
+        let report = collector.collect().map_err(|e| e.to_string())?;
+        if flag(args, "--json") {
+            println!(
+                "{{\"mark_epoch\":{},\"drained\":{},\"live_digests\":{},\
+                 \"retired_removed\":{},\"deleted_objects\":{},\"reclaimed_bytes\":{},\
+                 \"pinned_young\":{}}}",
+                report.mark_epoch,
+                report.drained,
+                report.live_digests,
+                report.retired_removed,
+                report.sweep.deleted_objects,
+                report.sweep.reclaimed_bytes,
+                report.sweep.pinned_young
+            );
+        } else {
+            println!(
+                "gc pass at epoch {}: {} live digest(s), {} object(s) deleted \
+                 ({} bytes reclaimed), {} retired checkpoint dir(s) removed{}",
+                report.mark_epoch,
+                report.live_digests,
+                report.sweep.deleted_objects,
+                report.sweep.reclaimed_bytes,
+                report.retired_removed,
+                if report.drained {
+                    String::new()
+                } else {
+                    format!(
+                        " — forced progress with {} active reader(s)",
+                        report.readers_at_sweep
+                    )
+                }
+            );
+        }
+        return Ok(());
+    }
+    let runs = coord.attached_runs().map_err(|e| e.to_string())?;
+    println!("shared store: {}", store_root.display());
+    println!("  epoch:          {}", coord.epoch());
+    println!("  active readers: {}", coord.active_readers());
+    println!("  attached runs:  {}", runs.len());
+    for run in &runs {
+        let steps = scan_run_root(&coord.run_root(run)).committed_steps();
+        println!("    {run} ({} committed checkpoint(s))", steps.len());
     }
     Ok(())
 }

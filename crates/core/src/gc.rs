@@ -17,7 +17,7 @@
 //! dangerous.
 
 use crate::error::{Result, TailorError};
-use llmt_cas::{Digest, ObjectStore, SweepReport};
+use llmt_cas::{Digest, ObjectStore, SweepMark, SweepReport};
 use llmt_ckpt::{scan_run_root, PartialManifest};
 use llmt_obs::RunEvent;
 use llmt_storage::vfs::{LocalFs, Storage};
@@ -100,14 +100,32 @@ fn referenced_digests(run_root: &Path) -> Result<BTreeMap<Digest, usize>> {
 }
 
 /// Garbage-collect the object store of `run_root` through `storage`:
-/// census live digests from committed manifests, then sweep everything
-/// else (dead objects and `.part` staging debris).
+/// take a sweep mark, census live digests from committed manifests, then
+/// sweep everything else (dead objects and `.part` staging debris) that
+/// predates the mark. Objects published after the mark are pinned until
+/// the next pass, so a save racing this GC never loses a just-put object.
+///
+/// Refuses run roots redirected into a shared store (`CASROOT`): a
+/// single-run census cannot see the other runs' references, so sweeping
+/// from here would delete their live objects. Shared stores are collected
+/// by the coordinator (`llmt-coord`), which censuses every attached run.
 pub fn collect_garbage_on(storage: &dyn Storage, run_root: &Path) -> Result<GcReport> {
+    if llmt_cas::is_redirected(storage, run_root) {
+        return Err(TailorError::Plan(format!(
+            "{} is redirected into a shared object store (CASROOT); \
+             a single-run GC would sweep other runs' live objects — \
+             collect through the store coordinator instead",
+            run_root.display()
+        )));
+    }
+    // Mark *before* the census: anything put after this instant is pinned
+    // by the sweep regardless of whether the census saw its reference.
+    let mark = SweepMark::now();
     let scan = scan_run_root(run_root);
     let live = live_digests(run_root)?;
     let store = ObjectStore::for_run_root(run_root);
     let sweep = store
-        .sweep(storage, &live)
+        .sweep_with_mark(storage, &live, &mark)
         .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(store.root_dir())(e)))?;
     // Journal the pass on the same storage the sweep ran on, and
     // propagate failures: a storage that dies mid-append is the same
@@ -131,9 +149,12 @@ pub fn collect_garbage(run_root: &Path) -> Result<GcReport> {
 }
 
 /// Measure a run's logical vs physical footprint (see [`DuReport`]).
+///
+/// For a run redirected into a shared store, the object tallies cover the
+/// *shared* store (all tenants), while checkpoint tallies stay per-run.
 pub fn du_run(run_root: &Path) -> Result<DuReport> {
     let scan = scan_run_root(run_root);
-    let store = ObjectStore::for_run_root(run_root);
+    let store = ObjectStore::resolve(&LocalFs, run_root);
     let objects = store
         .list(&LocalFs)
         .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(store.root_dir())(e)))?;
@@ -257,6 +278,21 @@ mod tests {
         // Survivor still verifies byte-for-byte.
         let verify = llmt_ckpt::verify_checkpoint(&dir.path().join("checkpoint-2")).unwrap();
         assert!(verify.ok(), "{:?}", verify.findings);
+    }
+
+    #[test]
+    fn gc_refuses_redirected_run_roots() {
+        let dir = tempfile::tempdir().unwrap();
+        let run = dir.path().join("runs/a");
+        let shared = dir.path().join("store");
+        std::fs::create_dir_all(&run).unwrap();
+        std::fs::create_dir_all(&shared).unwrap();
+        llmt_cas::write_redirect(&LocalFs, &run, &shared).unwrap();
+        let err = collect_garbage(&run).unwrap_err();
+        assert!(
+            err.to_string().contains("coordinator"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

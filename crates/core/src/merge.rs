@@ -109,14 +109,14 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
     fs.create_dir_all(&out.global_step_dir())
         .map_err(llmt_ckpt::error::io_err(out.global_step_dir()))?;
 
-    // --- Dedup detection: an `objects/` store next to the output means
-    // the assembled checkpoint references layer payloads by digest — a
-    // source layer whose bytes are already stored is *linked*, never read
-    // or copied.
+    // --- Dedup detection: an `objects/` store next to the output (or a
+    // `CASROOT` redirect to a shared one) means the assembled checkpoint
+    // references layer payloads by digest — a source layer whose bytes are
+    // already stored is *linked*, never read or copied.
     let store = plan
         .output
         .parent()
-        .map(ObjectStore::for_run_root)
+        .map(|root| ObjectStore::resolve(&fs, root))
         .filter(|s| s.is_present(&fs));
     let mut source_manifests: BTreeMap<PathBuf, PartialManifest> = BTreeMap::new();
     if store.is_some() {

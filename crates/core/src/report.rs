@@ -7,7 +7,7 @@
 //! report fail, it just costs the torn line.
 
 use crate::error::{Result, TailorError};
-use llmt_obs::{read_journal, RunEvent, EVENTS_FILE};
+use llmt_obs::{read_merged_journal, RunEvent, EVENTS_FILE};
 use llmt_storage::vfs::LocalFs;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -108,13 +108,15 @@ pub fn summarize_events(events: &[RunEvent]) -> RunSummary {
     summary
 }
 
-/// Read `<run_root>/events.jsonl` and aggregate it. A missing journal is
-/// an error — the run recorded nothing to report on — but a *torn* one is
-/// not: the readable prefix is summarized and [`RunSummary::torn_tail`]
-/// says a line was dropped.
+/// Read `<run_root>/events.jsonl` plus every per-session
+/// `events-*.jsonl` (concurrent sessions journal separately; see
+/// [`llmt_obs::read_merged_journal`]) and aggregate the merged stream. A
+/// missing journal is an error — the run recorded nothing to report on —
+/// but a *torn* one is not: the readable prefix is summarized and
+/// [`RunSummary::torn_tail`] says a line was dropped.
 pub fn summarize_run(run_root: &Path) -> Result<RunSummary> {
     let path = run_root.join(EVENTS_FILE);
-    let read = read_journal(&LocalFs, &path)
+    let read = read_merged_journal(&LocalFs, run_root)
         .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(&path)(e)))?;
     if read.events.is_empty() && !read.torn_tail && read.skipped == 0 {
         return Err(TailorError::Plan(format!(
@@ -187,6 +189,24 @@ mod tests {
         assert_eq!(s.save_steps, vec![2, 4]);
         assert!(!s.torn_tail);
         assert_eq!(s.skipped_lines, 0);
+    }
+
+    #[test]
+    fn summarize_run_merges_per_session_journals() {
+        use llmt_obs::Journal;
+        use std::sync::Arc;
+        let dir = tempfile::tempdir().unwrap();
+        let fs: Arc<dyn llmt_storage::vfs::Storage> = Arc::new(LocalFs);
+        Journal::for_session(fs.clone(), dir.path(), "run-a")
+            .append(&save(2, 10, 10))
+            .unwrap();
+        Journal::for_session(fs, dir.path(), "run-b")
+            .append(&save(4, 10, 5))
+            .unwrap();
+        let s = summarize_run(dir.path()).unwrap();
+        assert_eq!(s.save_steps, vec![2, 4]);
+        assert_eq!(s.per_kind["save"].events, 2);
+        assert!((s.dedup_ratio - 20.0 / 15.0).abs() < 1e-12);
     }
 
     #[test]

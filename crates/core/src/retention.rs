@@ -69,9 +69,12 @@ pub fn prune_run(run_root: &Path, config: &ModelConfig, keep_last: usize) -> Res
     // Deduplicated runs: deleting checkpoints dropped references, so
     // objects no one points at anymore are garbage now. Order matters
     // (checkpoints first, GC second) — the census must not see references
-    // from directories about to disappear.
+    // from directories about to disappear. Runs redirected into a shared
+    // store skip the GC: only the coordinator sees every tenant's
+    // references, and it reclaims the dropped objects on its next pass.
+    let fs = llmt_storage::vfs::LocalFs;
     let store = llmt_cas::ObjectStore::for_run_root(run_root);
-    if store.is_present(&llmt_storage::vfs::LocalFs) {
+    if store.is_present(&fs) && !llmt_cas::is_redirected(&fs, run_root) {
         crate::gc::collect_garbage(run_root)?;
     }
     Ok(prunable)

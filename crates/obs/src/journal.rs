@@ -23,6 +23,34 @@ use std::sync::Arc;
 /// Journal file name under the run root.
 pub const EVENTS_FILE: &str = "events.jsonl";
 
+/// Prefix of per-session journal files (`events-<label>.jsonl`).
+///
+/// Concurrent sessions against one run root (or one shared store root)
+/// must not append to the same file: `Storage::append` is a read +
+/// rewrite, so two interleaved writers can silently drop or interleave
+/// each other's lines. Each session appends to its own
+/// `events-<label>.jsonl` instead, and [`read_merged_journal`] folds all
+/// of them (plus the legacy single-writer `events.jsonl`) back into one
+/// event stream at report time.
+pub const SESSION_EVENTS_PREFIX: &str = "events-";
+
+/// File name of the per-session journal for `label`, with the label
+/// sanitized to filesystem-safe characters (`[A-Za-z0-9._-]`, everything
+/// else mapped to `-`).
+pub fn session_events_file(label: &str) -> String {
+    let safe: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    format!("{SESSION_EVENTS_PREFIX}{safe}.jsonl")
+}
+
 /// One run event: a completed or failed save, restore, merge, or GC.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunEvent {
@@ -100,6 +128,16 @@ impl Journal {
         }
     }
 
+    /// A per-session journal at `<run_root>/events-<label>.jsonl` — the
+    /// concurrency-safe variant of [`Journal::at_run_root`]: sessions
+    /// never share an append target (see [`SESSION_EVENTS_PREFIX`]).
+    pub fn for_session(storage: Arc<dyn Storage>, run_root: &Path, label: &str) -> Self {
+        Journal {
+            storage,
+            path: run_root.join(session_events_file(label)),
+        }
+    }
+
     /// The journal file path.
     pub fn path(&self) -> &Path {
         &self.path
@@ -135,6 +173,39 @@ pub fn read_journal(storage: &dyn Storage, path: &Path) -> io::Result<JournalRea
     }
     let bytes = storage.read(path)?;
     Ok(parse_journal(&bytes))
+}
+
+/// Read every journal under `run_root` — the single-writer `events.jsonl`
+/// plus all per-session `events-*.jsonl` files — as one merged stream.
+///
+/// Per-file order is preserved, files are visited in sorted name order,
+/// and the merged stream is stable-sorted by step so interleaved sessions
+/// produce a coherent timeline. Torn tails OR together (any writer that
+/// died mid-append is reported); skipped line counts sum.
+pub fn read_merged_journal(storage: &dyn Storage, run_root: &Path) -> io::Result<JournalRead> {
+    let mut merged = read_journal(storage, &run_root.join(EVENTS_FILE))?;
+    let mut session_files: Vec<PathBuf> = match storage.list_dir(run_root) {
+        Ok(entries) => entries
+            .into_iter()
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(SESSION_EVENTS_PREFIX) && n.ends_with(".jsonl"))
+            })
+            .collect(),
+        // A run root that does not exist (or is unreadable as a
+        // directory) simply has no session journals.
+        Err(_) => Vec::new(),
+    };
+    session_files.sort();
+    for path in session_files {
+        let r = read_journal(storage, &path)?;
+        merged.events.extend(r.events);
+        merged.skipped += r.skipped;
+        merged.torn_tail |= r.torn_tail;
+    }
+    merged.events.sort_by_key(|ev| ev.step);
+    Ok(merged)
 }
 
 /// Parse journal bytes per the torn-tail rule.
@@ -233,6 +304,77 @@ mod tests {
     #[test]
     fn empty_journal_parses_empty() {
         assert_eq!(parse_journal(b""), JournalRead::default());
+    }
+
+    #[test]
+    fn session_labels_sanitize_to_filesystem_safe_names() {
+        assert_eq!(session_events_file("run-3"), "events-run-3.jsonl");
+        assert_eq!(session_events_file("a/b c"), "events-a-b-c.jsonl");
+    }
+
+    #[test]
+    fn per_session_journals_merge_with_the_legacy_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let fs: Arc<dyn Storage> = Arc::new(LocalFs);
+        let legacy = Journal::at_run_root(fs.clone(), dir.path());
+        legacy.append(&ev("save", 1)).unwrap();
+        let a = Journal::for_session(fs.clone(), dir.path(), "run-a");
+        let b = Journal::for_session(fs.clone(), dir.path(), "run-b");
+        a.append(&ev("save", 2)).unwrap();
+        b.append(&ev("save", 3)).unwrap();
+        a.append(&ev("save", 4)).unwrap();
+        let r = read_merged_journal(&LocalFs, dir.path()).unwrap();
+        let steps: Vec<u64> = r.events.iter().map(|e| e.step).collect();
+        assert_eq!(steps, vec![1, 2, 3, 4]);
+        assert_eq!(r.skipped, 0);
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn two_concurrent_writers_never_tear_each_others_lines() {
+        // The race per-session journals exist to prevent: two threads
+        // appending many lines each. With separate files every line must
+        // survive intact; the merged read sees all of them.
+        let dir = tempfile::tempdir().unwrap();
+        let fs: Arc<dyn Storage> = Arc::new(LocalFs);
+        let root = dir.path().to_path_buf();
+        let handles: Vec<_> = (0..2)
+            .map(|w| {
+                let fs = fs.clone();
+                let root = root.clone();
+                std::thread::spawn(move || {
+                    let j = Journal::for_session(fs, &root, &format!("writer-{w}"));
+                    for i in 0..50u64 {
+                        j.append(&ev("save", w * 1000 + i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = read_merged_journal(&LocalFs, &root).unwrap();
+        assert_eq!(r.events.len(), 100);
+        assert_eq!(r.skipped, 0);
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn merged_read_reports_a_torn_session_tail() {
+        let dir = tempfile::tempdir().unwrap();
+        let fs: Arc<dyn Storage> = Arc::new(LocalFs);
+        Journal::for_session(fs.clone(), dir.path(), "ok")
+            .append(&ev("save", 1))
+            .unwrap();
+        // Session "dead" died mid-append: complete line, then a torn one.
+        let mut bytes = serde_json::to_string(&ev("save", 2)).unwrap().into_bytes();
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"{\"kind\":\"sa");
+        std::fs::write(dir.path().join(session_events_file("dead")), &bytes).unwrap();
+        let r = read_merged_journal(&LocalFs, dir.path()).unwrap();
+        assert_eq!(r.events.len(), 2);
+        assert!(r.torn_tail);
+        assert_eq!(r.skipped, 0);
     }
 
     #[test]

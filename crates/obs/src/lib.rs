@@ -24,7 +24,10 @@
 
 pub mod journal;
 
-pub use journal::{append_event, read_journal, Journal, JournalRead, RunEvent, EVENTS_FILE};
+pub use journal::{
+    append_event, read_journal, read_merged_journal, session_events_file, Journal, JournalRead,
+    RunEvent, EVENTS_FILE, SESSION_EVENTS_PREFIX,
+};
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;

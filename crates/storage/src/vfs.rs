@@ -85,6 +85,18 @@ pub trait Storage: Send + Sync + fmt::Debug {
     /// whole-file ones.
     fn create_stream<'a>(&'a self, path: &Path) -> io::Result<Box<dyn WriteStream + 'a>>;
 
+    /// Last-modification time of the file at `path`. A metadata peek,
+    /// like [`Storage::exists`]: not counted by fault injectors. The
+    /// mark-aware object-store sweep uses this to skip objects staged
+    /// *after* its liveness census began; backends without modification
+    /// times return [`std::time::UNIX_EPOCH`] ("arbitrarily old"), which
+    /// degrades to the pre-mark sweep behavior rather than pinning
+    /// everything forever.
+    fn mtime(&self, path: &Path) -> io::Result<std::time::SystemTime> {
+        let _ = path;
+        Ok(std::time::UNIX_EPOCH)
+    }
+
     /// Append `bytes` to `path`, creating the file if absent. The one
     /// consumer is the run-event journal (`events.jsonl`): checkpoint
     /// payload files are still written exactly once, but journal lines
@@ -174,6 +186,10 @@ impl Storage for LocalFs {
 
     fn file_len(&self, path: &Path) -> io::Result<u64> {
         Ok(fs::metadata(path)?.len())
+    }
+
+    fn mtime(&self, path: &Path) -> io::Result<std::time::SystemTime> {
+        fs::metadata(path)?.modified()
     }
 
     fn hard_link(&self, from: &Path, to: &Path) -> io::Result<()> {
@@ -469,6 +485,12 @@ impl<S: Storage> Storage for FaultyFs<S> {
         self.inner.exists(path)
     }
 
+    fn mtime(&self, path: &Path) -> io::Result<std::time::SystemTime> {
+        // Metadata peek, like `exists`: uncounted, so adding mtime guards
+        // to the sweep does not shift existing kill-point schedules.
+        self.inner.mtime(path)
+    }
+
     fn file_len(&self, path: &Path) -> io::Result<u64> {
         let idx = self.tick()?;
         self.gate(idx, false)?;
@@ -721,6 +743,10 @@ impl<S: Storage> Storage for RetryingStorage<S> {
 
     fn exists(&self, path: &Path) -> bool {
         self.inner.exists(path)
+    }
+
+    fn mtime(&self, path: &Path) -> io::Result<std::time::SystemTime> {
+        self.retry(|s| s.mtime(path))
     }
 
     fn file_len(&self, path: &Path) -> io::Result<u64> {
@@ -1210,6 +1236,29 @@ mod tests {
         assert_eq!(s.read(&p).unwrap(), b"a\nb\n");
         assert_eq!(s.retry_count(), 2);
         assert_eq!(clock.sleeps(), 2);
+    }
+
+    #[test]
+    fn mtime_is_an_uncounted_metadata_peek() {
+        let dir = tmpdir("mtime");
+        let f = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 1,
+                kind: FaultKind::Permanent,
+            },
+        );
+        let p = dir.join("m");
+        f.write(&p, b"x").unwrap(); // op 0
+        let before = std::time::SystemTime::now();
+        let t = f.mtime(&p).unwrap();
+        assert!(t <= before || t.duration_since(before).unwrap().as_secs() < 5);
+        assert!(t > std::time::UNIX_EPOCH);
+        // Uncounted and never gated: storage is "full" from op 1 onward,
+        // but the metadata peek still answers without consuming an op.
+        assert_eq!(f.ops_attempted(), 1);
+        f.mtime(&p).unwrap();
+        assert_eq!(f.ops_attempted(), 1);
     }
 
     #[test]

@@ -98,6 +98,14 @@ pub struct TrainerConfig {
     /// deterministic (fault injection); pure overhead otherwise.
     #[serde(default)]
     pub sequential_ckpt_io: bool,
+    /// Journal run events to a per-session file
+    /// (`events-<label>.jsonl`) instead of the shared `events.jsonl`.
+    /// Required whenever several sessions write into one run root — the
+    /// store coordinator labels every session it admits — because
+    /// interleaved appends to a single journal can tear each other.
+    /// `report` merges all session journals back into one stream.
+    #[serde(default)]
+    pub session_label: Option<String>,
 }
 
 impl TrainerConfig {
@@ -123,6 +131,17 @@ impl TrainerConfig {
             frozen_units: Vec::new(),
             ckpt_chunk_bytes: None,
             sequential_ckpt_io: false,
+            session_label: None,
+        }
+    }
+
+    /// The journal this configuration implies: per-session when
+    /// [`Self::session_label`] is set, the run root's `events.jsonl`
+    /// otherwise.
+    fn build_journal(&self, storage: Arc<dyn Storage>) -> Journal {
+        match &self.session_label {
+            Some(label) => Journal::for_session(storage, &self.run_root, label),
+            None => Journal::at_run_root(storage, &self.run_root),
         }
     }
 
@@ -330,7 +349,7 @@ impl Trainer {
                 &metrics,
             )
         });
-        let journal = Journal::at_run_root(storage.clone(), &config.run_root);
+        let journal = config.build_journal(storage.clone());
         Trainer {
             config,
             model,
@@ -391,7 +410,7 @@ impl Trainer {
                 &metrics,
             )
         });
-        let journal = Journal::at_run_root(storage.clone(), &config.run_root);
+        let journal = config.build_journal(storage.clone());
         Trainer {
             config,
             model,

@@ -22,6 +22,12 @@ cargo run --release -p llmt-bench --bin ckpt_throughput -- --smoke
 # checked, and the parallel path must show real speedup on multi-core hosts.
 cargo run --release -p llmt-bench --bin restore_throughput -- --smoke
 
+# Concurrency smoke: 4 runs checkpointing concurrently into one shared
+# store through the coordinator must all commit and deep-verify, dedup
+# across runs, respect the admission byte budget, and survive a
+# coordinated GC pass.
+cargo run --release -p llmt-bench --bin concurrent_runs -- --smoke
+
 # Telemetry smoke: a train/resume/GC run must journal every event to
 # events.jsonl (the example asserts nonzero stage totals and cadence),
 # and `llmtailor report --json` must parse the journal and render a
