@@ -64,6 +64,10 @@ pub struct SweepReport {
     /// published after the live set was computed, so their liveness is
     /// unknown. The next sweep, whose census will see them, decides.
     pub pinned_young: usize,
+    /// Dead-looking objects kept because the caller's live pin guard
+    /// claimed them at deletion time ([`ObjectStore::sweep_guarded`]) —
+    /// references that arrived after the keep-set was snapshotted.
+    pub pinned_by_guard: usize,
 }
 
 /// The instant a sweep's liveness census began. Objects that appear in
@@ -249,7 +253,8 @@ impl ObjectStore {
     /// Streaming [`ObjectStore::put`]: the caller has already digested
     /// the payload (one bounded-memory traversal, e.g. the checkpoint
     /// engine's encode pass) and supplies the content in chunks. A dedup
-    /// hit still costs zero counted storage ops and never consumes the
+    /// hit still costs zero counted storage ops (the re-dating touch is
+    /// an uncounted metadata op, like `exists`) and never consumes the
     /// iterator. On a miss the chunks are re-hashed as they are staged;
     /// a digest mismatch removes the `.part` file and fails the put, so
     /// a buggy caller can never place bytes under the wrong name.
@@ -261,25 +266,42 @@ impl ObjectStore {
         chunks: impl IntoIterator<Item = &'a [u8]>,
     ) -> io::Result<PutOutcome> {
         let path = self.object_path(digest);
+        // A hit is a new *reference*, and must be protected like a fresh
+        // write: re-date the object so a concurrent mark-sweep's mtime
+        // guard pins it (the hit may be on an old, currently-dead object
+        // — e.g. a frozen base layer whose last referencing checkpoint
+        // was just retired — that a sweep already in flight would
+        // otherwise delete before this caller's manifest commits). The
+        // touch is an uncounted metadata op, so a hit stays free of
+        // counted storage ops. If the object vanished between the
+        // existence check and the touch (a racing sweep won), fall
+        // through and stage it again like a miss; any other touch
+        // failure degrades to the old unre-dated behavior, where the
+        // observer pin still protects in-process callers.
         if storage.exists(&path) {
-            if let Some(hits) = &self.hits {
-                hits.incr();
+            match storage.touch(&path) {
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Ok(()) | Err(_) => {
+                    if let Some(hits) = &self.hits {
+                        hits.incr();
+                    }
+                    if let Some(saved) = &self.saved_bytes {
+                        saved.add(len);
+                    }
+                    let out = PutOutcome {
+                        digest,
+                        len,
+                        written: false,
+                    };
+                    // The observer must pin hits too, or a concurrent
+                    // mark-sweep could census before this caller's
+                    // manifest commits and delete the shared object.
+                    if let Some(obs) = &self.observer {
+                        obs.on_put(&out);
+                    }
+                    return Ok(out);
+                }
             }
-            if let Some(saved) = &self.saved_bytes {
-                saved.add(len);
-            }
-            let out = PutOutcome {
-                digest,
-                len,
-                written: false,
-            };
-            // A hit is a new *reference*: the observer must pin it, or a
-            // concurrent mark-sweep could census before this caller's
-            // manifest commits and delete the shared object.
-            if let Some(obs) = &self.observer {
-                obs.on_put(&out);
-            }
-            return Ok(out);
         }
         let fanout = path.parent().expect("object path has a fanout dir");
         storage.create_dir_all(fanout)?;
@@ -374,8 +396,10 @@ impl ObjectStore {
     ///
     /// The mtime guard is wall-clock based and therefore best-effort
     /// against out-of-band publishers (coarse filesystem clocks can lag
-    /// the mark by a tick); the coordinator closes the race exactly with
-    /// put-observer pins on top of this.
+    /// the mark by a tick). It covers dedup *hits* as well as fresh
+    /// writes, because [`ObjectStore::put_stream`] re-dates an existing
+    /// object on every hit; the coordinator closes the race exactly with
+    /// put-observer pins on top of this ([`ObjectStore::sweep_guarded`]).
     ///
     /// Crash safety: the sweep only ever deletes paths that are *dead at
     /// the time of the call* — it never touches a live object, so a kill
@@ -389,6 +413,27 @@ impl ObjectStore {
         live: &BTreeSet<Digest>,
         mark: &SweepMark,
     ) -> io::Result<SweepReport> {
+        self.sweep_guarded(storage, live, mark, &|_| false)
+    }
+
+    /// [`ObjectStore::sweep_with_mark`] with a live pin guard: `pinned`
+    /// is consulted *per object at deletion time*, so a reference that
+    /// lands after the caller snapshotted its keep-set but before the
+    /// walk reaches the object still saves it. The coordinator passes
+    /// its pin board here — unlike the mtime guard (wall-clock, so
+    /// coarse filesystem timestamps can lag the mark by a tick), the
+    /// guard is exact for in-process publishers.
+    ///
+    /// An object that vanishes mid-pass (a racing out-of-band sweep or
+    /// manual cleanup got there first) counts as deleted and the walk
+    /// continues — only real I/O failures abort the sweep.
+    pub fn sweep_guarded(
+        &self,
+        storage: &dyn Storage,
+        live: &BTreeSet<Digest>,
+        mark: &SweepMark,
+        pinned: &dyn Fn(Digest) -> bool,
+    ) -> io::Result<SweepReport> {
         let mut report = SweepReport::default();
         let young = |path: &Path| -> bool {
             // Uncounted metadata peek; an unreadable mtime (e.g. the
@@ -399,16 +444,24 @@ impl ObjectStore {
                 Err(_) => true,
             }
         };
+        let gone = |e: &io::Error| e.kind() == io::ErrorKind::NotFound;
         self.walk(storage, |path| {
             match object_name(path) {
                 Some(d) if live.contains(&d) => report.live_objects += 1,
                 Some(_) if young(path) => report.pinned_young += 1,
-                Some(_) => {
-                    let len = storage.file_len(path)?;
-                    storage.remove_file(path)?;
-                    report.deleted_objects += 1;
-                    report.reclaimed_bytes += len;
-                }
+                Some(d) if pinned(d) => report.pinned_by_guard += 1,
+                Some(_) => match storage.file_len(path) {
+                    Ok(len) => match storage.remove_file(path) {
+                        Ok(()) => {
+                            report.deleted_objects += 1;
+                            report.reclaimed_bytes += len;
+                        }
+                        Err(e) if gone(&e) => report.deleted_objects += 1,
+                        Err(e) => return Err(e),
+                    },
+                    Err(e) if gone(&e) => report.deleted_objects += 1,
+                    Err(e) => return Err(e),
+                },
                 None => {
                     if path.extension().is_some_and(|e| e == "part") {
                         // A young .part is a concurrent publisher's
@@ -416,8 +469,11 @@ impl ObjectStore {
                         if young(path) {
                             report.pinned_young += 1;
                         } else {
-                            storage.remove_file(path)?;
-                            report.debris_removed += 1;
+                            match storage.remove_file(path) {
+                                Ok(()) => report.debris_removed += 1,
+                                Err(e) if gone(&e) => report.debris_removed += 1,
+                                Err(e) => return Err(e),
+                            }
                         }
                     }
                 }
@@ -776,6 +832,9 @@ mod tests {
         fn mtime(&self, p: &Path) -> io::Result<std::time::SystemTime> {
             LocalFs.mtime(p)
         }
+        fn touch(&self, p: &Path) -> io::Result<()> {
+            LocalFs.touch(p)
+        }
         fn hard_link(&self, a: &Path, b: &Path) -> io::Result<()> {
             LocalFs.hard_link(a, b)
         }
@@ -813,6 +872,226 @@ mod tests {
             s.get(&LocalFs, raced).unwrap(),
             b"raced in during the sweep"
         );
+    }
+
+    /// Set an object's mtime far into the past, simulating a long-dead
+    /// object (e.g. a frozen base layer last referenced by a checkpoint
+    /// retired ages ago).
+    fn age_object(path: &Path) {
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(3600);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .unwrap()
+            .set_times(std::fs::FileTimes::new().set_modified(old))
+            .unwrap();
+    }
+
+    #[test]
+    fn dedup_hit_redates_a_dead_object_so_the_mark_guard_pins_it() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let fs = LocalFs;
+        let out = s.put(&fs, b"frozen base layer").unwrap();
+        age_object(&s.object_path(out.digest));
+        // A sweep's census starts now and sees the object as dead...
+        let mark = SweepMark::now();
+        // ...then a publisher dedup-hits it before the sweep arrives.
+        // The hit must re-date it so the mark guard applies.
+        let hit = s.put(&fs, b"frozen base layer").unwrap();
+        assert!(!hit.written);
+        let r = s.sweep_with_mark(&fs, &BTreeSet::new(), &mark).unwrap();
+        assert_eq!(
+            r.deleted_objects, 0,
+            "swept an object a live hit references"
+        );
+        assert_eq!(r.pinned_young, 1);
+        assert!(s.contains(&fs, out.digest));
+    }
+
+    /// Storage whose `touch` loses the race to a concurrent sweep: the
+    /// object vanishes between the existence check and the touch.
+    #[derive(Debug)]
+    struct SweptBeforeTouch;
+
+    impl Storage for SweptBeforeTouch {
+        fn create_dir_all(&self, p: &Path) -> io::Result<()> {
+            LocalFs.create_dir_all(p)
+        }
+        fn write(&self, p: &Path, b: &[u8]) -> io::Result<()> {
+            LocalFs.write(p, b)
+        }
+        fn sync(&self, p: &Path) -> io::Result<()> {
+            LocalFs.sync(p)
+        }
+        fn rename(&self, a: &Path, b: &Path) -> io::Result<()> {
+            LocalFs.rename(a, b)
+        }
+        fn read(&self, p: &Path) -> io::Result<Vec<u8>> {
+            LocalFs.read(p)
+        }
+        fn read_range(&self, p: &Path, o: u64, l: usize) -> io::Result<Vec<u8>> {
+            LocalFs.read_range(p, o, l)
+        }
+        fn list_dir(&self, p: &Path) -> io::Result<Vec<PathBuf>> {
+            LocalFs.list_dir(p)
+        }
+        fn remove_dir_all(&self, p: &Path) -> io::Result<()> {
+            LocalFs.remove_dir_all(p)
+        }
+        fn exists(&self, p: &Path) -> bool {
+            LocalFs.exists(p)
+        }
+        fn file_len(&self, p: &Path) -> io::Result<u64> {
+            LocalFs.file_len(p)
+        }
+        fn touch(&self, p: &Path) -> io::Result<()> {
+            // The racing sweep deletes the object just before our touch.
+            LocalFs.remove_file(p)?;
+            LocalFs.touch(p)
+        }
+        fn hard_link(&self, a: &Path, b: &Path) -> io::Result<()> {
+            LocalFs.hard_link(a, b)
+        }
+        fn remove_file(&self, p: &Path) -> io::Result<()> {
+            LocalFs.remove_file(p)
+        }
+        fn create_stream<'a>(&'a self, p: &Path) -> io::Result<Box<dyn WriteStream + 'a>> {
+            LocalFs.create_stream(p)
+        }
+    }
+
+    #[test]
+    fn hit_on_an_object_swept_mid_put_restages_it() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        s.put(&LocalFs, b"about to vanish").unwrap();
+        // The existence check sees the object, then the touch finds it
+        // deleted: the put must fall through to staging, not return a
+        // "hit" on a file that no longer exists.
+        let out = s.put(&SweptBeforeTouch, b"about to vanish").unwrap();
+        assert!(out.written, "vanished object reported as a dedup hit");
+        assert_eq!(s.get(&LocalFs, out.digest).unwrap(), b"about to vanish");
+    }
+
+    #[test]
+    fn sweep_guard_saves_objects_pinned_after_the_keep_set_snapshot() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let fs = LocalFs;
+        let dead = s.put(&fs, b"dead but re-referenced").unwrap();
+        age_object(&s.object_path(dead.digest));
+        let mark = SweepMark::now();
+        // Keep-set is empty (snapshotted before the reference arrived),
+        // but the live guard — the coordinator's pin board — claims the
+        // object at deletion time.
+        let r = s
+            .sweep_guarded(&fs, &BTreeSet::new(), &mark, &|d| d == dead.digest)
+            .unwrap();
+        assert_eq!(r.deleted_objects, 0);
+        assert_eq!(r.pinned_by_guard, 1);
+        assert!(s.contains(&fs, dead.digest));
+        // Without the guard claim it is an ordinary dead object.
+        let r = s
+            .sweep_guarded(&fs, &BTreeSet::new(), &mark, &|_| false)
+            .unwrap();
+        assert_eq!(r.deleted_objects, 1);
+        assert!(!s.contains(&fs, dead.digest));
+    }
+
+    /// Storage that simulates an out-of-band actor deleting an object
+    /// mid-sweep: the first dead object probed vanishes either before
+    /// `file_len` or between `file_len` and `remove_file`.
+    #[derive(Debug)]
+    struct VanishingObject {
+        at_len: bool,
+        fired: std::sync::atomic::AtomicBool,
+    }
+
+    impl VanishingObject {
+        fn new(at_len: bool) -> Self {
+            VanishingObject {
+                at_len,
+                fired: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl Storage for VanishingObject {
+        fn create_dir_all(&self, p: &Path) -> io::Result<()> {
+            LocalFs.create_dir_all(p)
+        }
+        fn write(&self, p: &Path, b: &[u8]) -> io::Result<()> {
+            LocalFs.write(p, b)
+        }
+        fn sync(&self, p: &Path) -> io::Result<()> {
+            LocalFs.sync(p)
+        }
+        fn rename(&self, a: &Path, b: &Path) -> io::Result<()> {
+            LocalFs.rename(a, b)
+        }
+        fn read(&self, p: &Path) -> io::Result<Vec<u8>> {
+            LocalFs.read(p)
+        }
+        fn read_range(&self, p: &Path, o: u64, l: usize) -> io::Result<Vec<u8>> {
+            LocalFs.read_range(p, o, l)
+        }
+        fn list_dir(&self, p: &Path) -> io::Result<Vec<PathBuf>> {
+            LocalFs.list_dir(p)
+        }
+        fn remove_dir_all(&self, p: &Path) -> io::Result<()> {
+            LocalFs.remove_dir_all(p)
+        }
+        fn exists(&self, p: &Path) -> bool {
+            LocalFs.exists(p)
+        }
+        fn file_len(&self, p: &Path) -> io::Result<u64> {
+            if self.at_len && !self.fired.swap(true, Ordering::SeqCst) {
+                LocalFs.remove_file(p)?;
+            }
+            LocalFs.file_len(p)
+        }
+        fn mtime(&self, p: &Path) -> io::Result<std::time::SystemTime> {
+            LocalFs.mtime(p)
+        }
+        fn touch(&self, p: &Path) -> io::Result<()> {
+            LocalFs.touch(p)
+        }
+        fn hard_link(&self, a: &Path, b: &Path) -> io::Result<()> {
+            LocalFs.hard_link(a, b)
+        }
+        fn remove_file(&self, p: &Path) -> io::Result<()> {
+            if !self.at_len && !self.fired.swap(true, Ordering::SeqCst) {
+                LocalFs.remove_file(p)?;
+            }
+            LocalFs.remove_file(p)
+        }
+        fn create_stream<'a>(&'a self, p: &Path) -> io::Result<Box<dyn WriteStream + 'a>> {
+            LocalFs.create_stream(p)
+        }
+    }
+
+    #[test]
+    fn sweep_tolerates_objects_removed_out_of_band_mid_pass() {
+        for at_len in [true, false] {
+            let dir = tempfile::tempdir().unwrap();
+            let s = store(dir.path());
+            let live_obj = s.put(&LocalFs, b"still referenced").unwrap();
+            s.put(&LocalFs, b"dead one").unwrap();
+            s.put(&LocalFs, b"dead two").unwrap();
+            for payload in [b"dead one".as_slice(), b"dead two"] {
+                age_object(&s.object_path(Digest::of(payload)));
+            }
+            age_object(&s.object_path(live_obj.digest));
+            let live: BTreeSet<Digest> = [live_obj.digest].into();
+            let fs = VanishingObject::new(at_len);
+            // The first dead object vanishes mid-pass; the sweep must
+            // keep walking and still reclaim the second one.
+            let r = s.sweep(&fs, &live).unwrap();
+            assert_eq!(r.deleted_objects, 2, "at_len={at_len}");
+            assert_eq!(r.live_objects, 1);
+            assert_eq!(s.list(&LocalFs).unwrap(), vec![(live_obj.digest, 16)]);
+        }
     }
 
     #[test]

@@ -33,6 +33,27 @@
 //! All storage goes through the [`Storage`] trait and all waiting through
 //! the [`Clock`] trait, so the whole coordination protocol is
 //! deterministically testable under fault injection (see `tests/chaos.rs`).
+//!
+//! # Cross-process model
+//!
+//! The *exact* protections (pin board, epoch ledger, admission) live in
+//! this process's memory: publishers and readers of one store should go
+//! through one coordinator process. Actors in other processes are still
+//! protected, by two on-disk mechanisms:
+//!
+//! * every `put` — dedup hits included — re-dates its object
+//!   ([`Storage::touch`]), so any collector's mtime mark guard refuses to
+//!   sweep objects referenced since its census began, whichever process
+//!   the reference came from;
+//! * collectors exclude each other across processes through the
+//!   [`GC_LOCK_FILE`] advisory lock, so two `llmtailor serve --gc`
+//!   invocations can never sweep concurrently.
+//!
+//! What cross-process operation does **not** get is reader pinning: a
+//! reader in another process is invisible to this collector's drain, so
+//! long cross-process reads of *retired* checkpoints race directory
+//! reclamation. Run readers through the owning coordinator process (or
+//! only read live checkpoints) when sharing a store between processes.
 
 use crate::error::{io_err, CoordError, CoordResult};
 use crate::ledger::{EpochLedger, ReaderTicket};
@@ -50,6 +71,19 @@ use std::time::Duration;
 
 /// Subdirectory of the shared root holding per-run roots.
 pub const RUNS_DIR: &str = "runs";
+
+/// Cross-process collector lock file under the shared root. The in-memory
+/// `collector_active` flag only guards sessions of *one* coordinator
+/// process; this advisory file makes two `llmtailor serve --gc`
+/// invocations on the same store exclude each other too. Held for the
+/// lifetime of a [`CollectorSession`]; a collector that dies without
+/// dropping its session leaves the file behind, which
+/// [`Coordinator::break_collector_lock`] (CLI: `serve --break-gc-lock`)
+/// clears.
+pub const GC_LOCK_FILE: &str = "gc.lock";
+
+/// Distinguishes concurrent lock attempts staging their tmp lock files.
+static LOCK_NONCE: AtomicU64 = AtomicU64::new(0);
 
 /// Tuning knobs for a coordinator.
 #[derive(Debug, Clone)]
@@ -90,6 +124,13 @@ struct PinBoard {
 impl PinBoard {
     fn snapshot(&self) -> BTreeSet<Digest> {
         self.pins.lock().expect("coord pin lock").clone()
+    }
+
+    /// Whether `digest` is currently pinned. The sweep consults this per
+    /// object *at deletion time*, so a pin that lands after the keep-set
+    /// snapshot (a dedup hit racing the sweep) still saves its object.
+    fn contains(&self, digest: Digest) -> bool {
+        self.pins.lock().expect("coord pin lock").contains(&digest)
     }
 
     /// Drop pins that `census` now protects; keep in-flight ones.
@@ -419,10 +460,17 @@ impl Coordinator {
     }
 
     /// Begin a collector session. Only one collector may be active at a
-    /// time; a second concurrent request gets `Busy`, never a deadlock.
+    /// time — across processes, not just within this coordinator: a
+    /// cross-process advisory lock file ([`GC_LOCK_FILE`]) on the shared
+    /// root backs the in-memory singleton. A second concurrent request
+    /// gets `Busy`, never a deadlock.
     pub fn collector(&self) -> CoordResult<CollectorSession> {
         if self.shared.collector_active.swap(true, Ordering::SeqCst) {
             return Err(CoordError::Busy("another collector is active".into()));
+        }
+        if let Err(e) = self.acquire_collector_lock() {
+            self.shared.collector_active.store(false, Ordering::SeqCst);
+            return Err(e);
         }
         self.shared
             .metrics
@@ -431,6 +479,49 @@ impl Coordinator {
         Ok(CollectorSession {
             shared: self.shared.clone(),
         })
+    }
+
+    /// Take the cross-process collector lock: stage a unique tmp file,
+    /// then hard-link it to [`GC_LOCK_FILE`] — link creation is atomic
+    /// and fails with `AlreadyExists` when another process holds the
+    /// lock, so there is no check-then-create window.
+    fn acquire_collector_lock(&self) -> CoordResult<()> {
+        let storage = &*self.shared.storage;
+        let lock = self.shared.root.join(GC_LOCK_FILE);
+        let nonce = LOCK_NONCE.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .shared
+            .root
+            .join(format!("{GC_LOCK_FILE}.{}.{nonce}.tmp", std::process::id()));
+        let info = format!("collector pid {}\n", std::process::id());
+        storage.write(&tmp, info.as_bytes()).map_err(io_err(&tmp))?;
+        let linked = storage.hard_link(&tmp, &lock);
+        let _ = storage.remove_file(&tmp);
+        match linked {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                Err(CoordError::Busy(format!(
+                    "another process holds the collector lock at {}; if that \
+                     process is dead, remove the file (`llmtailor serve --store \
+                     <DIR> --break-gc-lock`)",
+                    lock.display()
+                )))
+            }
+            Err(e) => Err(io_err(&lock)(e)),
+        }
+    }
+
+    /// Remove a stale [`GC_LOCK_FILE`] left behind by a collector process
+    /// that died mid-pass. Returns whether a lock file was removed.
+    /// Operator recovery only: breaking the lock while a live collector
+    /// holds it re-opens the double-collector races it exists to prevent.
+    pub fn break_collector_lock(&self) -> CoordResult<bool> {
+        let lock = self.shared.root.join(GC_LOCK_FILE);
+        match self.shared.storage.remove_file(&lock) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(io_err(&lock)(e)),
+        }
     }
 }
 
@@ -666,13 +757,22 @@ impl CollectorSession {
 
         // --- Retired checkpoint directories: remove the ones no active
         // reader can reach. A reader can reach a retired checkpoint iff
-        // it began before the retirement epoch.
+        // it began before the retirement epoch. Lock the retired list
+        // *before* reading the oldest reader: `retire_checkpoint` bumps
+        // the ledger while holding this lock, so the ordering makes the
+        // reachability check atomic with respect to concurrent retires —
+        // without it, a reader could begin and a checkpoint retire after
+        // its begin-epoch in the gap, and a stale `oldest_reader` would
+        // let us remove a directory that reader can legitimately reach.
+        // (A reader that begins *after* the read pins the then-current
+        // epoch, which is >= every retire_epoch already in the list, so
+        // it can never reach the entries judged here.)
+        let mut retired = shared.retired.lock().expect("coord retired lock");
         let oldest_reader = shared
             .ledger
             .lock()
             .expect("coord ledger")
             .oldest_reader_epoch();
-        let mut retired = shared.retired.lock().expect("coord retired lock");
         let mut removed = 0usize;
         let mut kept: Vec<RetiredCheckpoint> = Vec::new();
         for rc in retired.drain(..) {
@@ -724,10 +824,15 @@ impl CollectorSession {
         keep.extend(pinned.iter().copied());
         keep.extend(reader_pinned.iter().copied());
 
-        // --- Sweep, mark-aware.
+        // --- Sweep, mark-aware, consulting the live pin board per object
+        // at deletion time: a dedup hit that lands after the keep-set
+        // snapshot above (pinning an old, currently-dead object whose
+        // mtime predates the mark) still saves its object.
         let store = ObjectStore::for_run_root(&shared.root).with_metrics(&shared.metrics);
         let sweep = store
-            .sweep_with_mark(&*shared.storage, &keep, &sweep_mark)
+            .sweep_guarded(&*shared.storage, &keep, &sweep_mark, &|d| {
+                shared.pins.contains(d)
+            })
             .map_err(io_err(store.root_dir()))?;
 
         // --- Bookkeeping: census-protected pins can be released (their
@@ -769,6 +874,12 @@ impl CollectorSession {
 
 impl Drop for CollectorSession {
     fn drop(&mut self) {
+        // Release the cross-process lock before the in-process flag, so
+        // once `collector_active` reads false the file is already gone.
+        // Best-effort: a removal failure leaves a stale lock that
+        // `break_collector_lock` clears.
+        let lock = self.shared.root.join(GC_LOCK_FILE);
+        let _ = self.shared.storage.remove_file(&lock);
         self.shared.collector_active.store(false, Ordering::SeqCst);
     }
 }
@@ -811,6 +922,43 @@ mod tests {
             other => panic!("expected Busy, got {other:?}"),
         }
         drop(first);
+        coord.collector().unwrap();
+    }
+
+    #[test]
+    fn collector_lock_excludes_collectors_from_other_processes() {
+        let dir = tempfile::tempdir().unwrap();
+        // Two coordinators on one root model two `llmtailor serve`
+        // processes: their in-memory state is disjoint, so only the
+        // on-disk lock can mediate.
+        let ours = Coordinator::open(dir.path()).unwrap();
+        let theirs = Coordinator::open(dir.path()).unwrap();
+        let held = ours.collector().unwrap();
+        assert!(dir.path().join(GC_LOCK_FILE).exists());
+        match theirs.collector() {
+            Err(CoordError::Busy(msg)) => assert!(msg.contains(GC_LOCK_FILE)),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        drop(held);
+        assert!(!dir.path().join(GC_LOCK_FILE).exists());
+        theirs.collector().unwrap();
+    }
+
+    #[test]
+    fn stale_collector_lock_is_breakable() {
+        let dir = tempfile::tempdir().unwrap();
+        let coord = Coordinator::open(dir.path()).unwrap();
+        // A collector process that died mid-pass left its lock behind.
+        std::fs::write(dir.path().join(GC_LOCK_FILE), b"collector pid 999999\n").unwrap();
+        match coord.collector() {
+            Err(CoordError::Busy(_)) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert!(coord.break_collector_lock().unwrap());
+        assert!(
+            !coord.break_collector_lock().unwrap(),
+            "second break is a no-op"
+        );
         coord.collector().unwrap();
     }
 

@@ -21,9 +21,14 @@
 //! * GC is two-phase and publisher-safe: mark → drain readers (through an
 //!   injected [`Clock`](llmt_storage::vfs::Clock), so tests time out
 //!   deterministically) → sweep, with objects placed during or after the
-//!   mark pinned by a [`PutObserver`](llmt_cas::PutObserver) pin board.
-//!   A drain timeout forces progress without disrupting active readers:
-//!   retired objects they can still reach survive until the next pass.
+//!   mark pinned by a [`PutObserver`](llmt_cas::PutObserver) pin board
+//!   that the sweep consults per object at deletion time. Collectors are
+//!   a singleton across *processes* too, via the [`GC_LOCK_FILE`]
+//!   advisory lock on the shared root; dedup hits re-date their object
+//!   so the store-level mtime mark guard covers references from
+//!   uncoordinated processes as well. A drain timeout forces progress
+//!   without disrupting active readers: retired objects they can still
+//!   reach survive until the next pass.
 //! * Admission control bounds concurrent saves (slots + bytes in
 //!   flight); extra publishers queue with telemetry-visible wait spans
 //!   (`coord.admission.wait`) instead of overrunning the disk.
@@ -40,7 +45,7 @@ pub mod ledger;
 
 pub use coordinator::{
     CollectReport, CollectorSession, CoordConfig, Coordinator, PublisherSession, ReaderSession,
-    RUNS_DIR,
+    GC_LOCK_FILE, RUNS_DIR,
 };
 pub use error::{CoordError, CoordResult};
 pub use ledger::{EpochLedger, ObjSpan, ReaderTicket};

@@ -93,6 +93,7 @@ USAGE:
       layer-wise non-uniformity that motivates selective checkpointing.
 
   llmtailor serve --store <DIR> [--attach <RUN_ID>] [--gc] [--json]
+                  [--break-gc-lock]
       Open (creating if necessary) a shared checkpoint store: one
       content-addressed object pool that any number of training runs save
       into concurrently through the store coordinator. --attach registers
@@ -100,7 +101,11 @@ USAGE:
       pointed at that run root then dedup against every other attached
       run. --gc executes one coordinated two-phase GC pass (mark -> reader
       drain -> sweep) that is safe against concurrent publishers and
-      readers. Without --gc, prints the store's status.
+      readers; a gc.lock file on the store root keeps GC passes from
+      different processes mutually exclusive, and --break-gc-lock removes
+      a lock left behind by a collector process that died mid-pass (only
+      use it when that process is confirmed dead). Without --gc, prints
+      the store's status.
 ";
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -416,6 +421,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             run_root.display(),
             store_root.display()
         );
+    }
+    if flag(args, "--break-gc-lock") {
+        if coord.break_collector_lock().map_err(|e| e.to_string())? {
+            println!("removed stale collector lock");
+        } else {
+            println!("no collector lock to remove");
+        }
     }
     if flag(args, "--gc") {
         let collector = coord.collector().map_err(|e| e.to_string())?;

@@ -97,6 +97,20 @@ pub trait Storage: Send + Sync + fmt::Debug {
         Ok(std::time::UNIX_EPOCH)
     }
 
+    /// Refresh the last-modification time of the file at `path` to the
+    /// current instant, without touching its contents. The object store
+    /// re-dates dedup-hit objects through this so a concurrent
+    /// mark-sweep's mtime guard covers new *references*, not just new
+    /// writes — including references from other processes, which no
+    /// in-memory pin board can see. Like [`Storage::mtime`], a metadata
+    /// op: not counted by fault injectors. Backends without modification
+    /// times (whose `mtime` returns `UNIX_EPOCH`) may keep this default
+    /// no-op — their sweeps never consult mtimes anyway.
+    fn touch(&self, path: &Path) -> io::Result<()> {
+        let _ = path;
+        Ok(())
+    }
+
     /// Append `bytes` to `path`, creating the file if absent. The one
     /// consumer is the run-event journal (`events.jsonl`): checkpoint
     /// payload files are still written exactly once, but journal lines
@@ -190,6 +204,11 @@ impl Storage for LocalFs {
 
     fn mtime(&self, path: &Path) -> io::Result<std::time::SystemTime> {
         fs::metadata(path)?.modified()
+    }
+
+    fn touch(&self, path: &Path) -> io::Result<()> {
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_times(fs::FileTimes::new().set_modified(std::time::SystemTime::now()))
     }
 
     fn hard_link(&self, from: &Path, to: &Path) -> io::Result<()> {
@@ -491,6 +510,12 @@ impl<S: Storage> Storage for FaultyFs<S> {
         self.inner.mtime(path)
     }
 
+    fn touch(&self, path: &Path) -> io::Result<()> {
+        // Uncounted like `mtime`: a dedup hit must stay a pure metadata
+        // interaction, and re-dating hits must not shift kill schedules.
+        self.inner.touch(path)
+    }
+
     fn file_len(&self, path: &Path) -> io::Result<u64> {
         let idx = self.tick()?;
         self.gate(idx, false)?;
@@ -747,6 +772,10 @@ impl<S: Storage> Storage for RetryingStorage<S> {
 
     fn mtime(&self, path: &Path) -> io::Result<std::time::SystemTime> {
         self.retry(|s| s.mtime(path))
+    }
+
+    fn touch(&self, path: &Path) -> io::Result<()> {
+        self.retry(|s| s.touch(path))
     }
 
     fn file_len(&self, path: &Path) -> io::Result<u64> {
@@ -1259,6 +1288,42 @@ mod tests {
         assert_eq!(f.ops_attempted(), 1);
         f.mtime(&p).unwrap();
         assert_eq!(f.ops_attempted(), 1);
+    }
+
+    #[test]
+    fn touch_redates_a_file_without_changing_bytes_or_op_counts() {
+        let dir = tmpdir("touch");
+        let f = FaultyFs::new(
+            LocalFs,
+            FaultSpec {
+                at_op: 1,
+                kind: FaultKind::Permanent,
+            },
+        );
+        let p = dir.join("t");
+        f.write(&p, b"payload").unwrap(); // op 0
+        let old = std::time::SystemTime::now() - Duration::from_secs(3600);
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&p)
+            .unwrap()
+            .set_times(fs::FileTimes::new().set_modified(old))
+            .unwrap();
+        let before_touch = f.mtime(&p).unwrap();
+        // Storage is "full" from op 1 onward, but touch is an uncounted
+        // metadata op and must still go through.
+        assert_eq!(
+            f.write(&p, b"blocked").unwrap_err().kind(), // op 1
+            io::ErrorKind::StorageFull
+        );
+        f.touch(&p).unwrap();
+        assert!(f.mtime(&p).unwrap() > before_touch);
+        assert_eq!(std::fs::read(&p).unwrap(), b"payload");
+        assert_eq!(f.ops_attempted(), 2);
+        // Touching a missing file reports NotFound (the dedup-hit fall
+        // through-to-restage signal).
+        let e = f.touch(&dir.join("missing")).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::NotFound);
     }
 
     #[test]
