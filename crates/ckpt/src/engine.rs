@@ -423,6 +423,72 @@ pub fn save_source_in_store(
     }
 }
 
+/// A save committed through a tier-placement policy: the report plus
+/// which placement (index into the candidate list) admitted it.
+#[derive(Debug)]
+pub struct PlacedSave {
+    /// The committed save's report.
+    pub report: CheckpointReport,
+    /// Index of the storage that admitted the save.
+    pub placement: usize,
+}
+
+/// Whether a save failure is an *admission* failure — the target tier
+/// refused the bytes for capacity reasons (ENOSPC) — as opposed to a
+/// hard I/O or format error. Admission failures are the only failures a
+/// placement policy may fall through on: anything else means the save
+/// itself is suspect and must surface.
+pub fn is_admission_error(e: &CkptError) -> bool {
+    matches!(e, CkptError::Io(_, io) if io.kind() == std::io::ErrorKind::StorageFull)
+}
+
+/// [`save_source_with`] against an ordered list of candidate storages
+/// (fastest first): the save is durable-committed at the first tier that
+/// admits it, falling through on [`is_admission_error`] failures only.
+/// This is the place/commit-stage tier policy: a byte-capacity-bounded
+/// memory tier that cannot hold the checkpoint simply cedes to the next
+/// tier down, after its staging leftovers are cleaned up by the normal
+/// single-failure path.
+#[allow(clippy::too_many_arguments)]
+pub fn save_source_placed(
+    placements: &[&dyn Storage],
+    root: &Path,
+    step: u64,
+    source: &dyn StateSource,
+    trainer_state: &TrainerState,
+    units: &[LayerUnit],
+    opts: &SaveOptions,
+    metrics: &MetricsRegistry,
+) -> Result<PlacedSave> {
+    assert!(!placements.is_empty(), "need at least one placement");
+    let last = placements.len() - 1;
+    for (i, storage) in placements.iter().enumerate() {
+        match save_source_with(
+            *storage,
+            root,
+            step,
+            source,
+            trainer_state,
+            units,
+            opts,
+            metrics,
+        ) {
+            Ok(report) => {
+                metrics.counter(&format!("ckpt.place.tier{i}")).incr();
+                return Ok(PlacedSave {
+                    report,
+                    placement: i,
+                });
+            }
+            Err(e) if i < last && is_admission_error(&e) => {
+                metrics.counter("ckpt.place.fallthrough").incr();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("loop returns on the last placement")
+}
+
 /// Best-effort staging removal. If the storage is dead (simulated crash)
 /// this fails silently — exactly the torn state the scanner quarantines.
 fn cleanup_staging(storage: &dyn Storage, staging: &CheckpointPaths) {

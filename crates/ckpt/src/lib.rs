@@ -44,7 +44,10 @@ pub mod verify;
 pub mod writer;
 pub mod zero_meta;
 
-pub use engine::{LiveState, Parallelism, SaveOptions, StateSource, DEFAULT_CHUNK_BYTES};
+pub use engine::{
+    is_admission_error, save_source_placed, LiveState, Parallelism, PlacedSave, SaveOptions,
+    StateSource, DEFAULT_CHUNK_BYTES,
+};
 pub use error::{CkptError, Result};
 pub use layout::{scan_run_root, CheckpointPaths, CommitStatus, QuarantinedDir, ScanReport};
 pub use manifest::{effective_save_log, CasRefs, ObjectRef, PartialManifest};

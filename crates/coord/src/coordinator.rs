@@ -391,6 +391,22 @@ impl Coordinator {
         Ok(ids)
     }
 
+    /// Tier residency/drain status per attached run, for runs using a
+    /// tiered checkpoint store (`llmt-tier`). Runs without a persisted
+    /// tier state are skipped; a corrupt state file is an error.
+    pub fn drain_status(&self) -> CoordResult<Vec<(String, llmt_tier::TierStatus)>> {
+        let mut out = Vec::new();
+        for run_id in self.attached_runs()? {
+            let run_root = self.run_root(&run_id);
+            if let Some(status) = llmt_tier::load_status(&*self.shared.storage, &run_root)
+                .map_err(io_err(&run_root))?
+            {
+                out.push((run_id, status));
+            }
+        }
+        Ok(out)
+    }
+
     /// Admit a publisher for `run_id`, blocking until a save slot and
     /// `declared_bytes` of budget are free. The wait is recorded as the
     /// `coord.admission.wait` span.
@@ -910,6 +926,32 @@ mod tests {
         // Idempotent.
         coord.attach_run("run-1").unwrap();
         assert_eq!(coord.attached_runs().unwrap(), vec!["run-1".to_string()]);
+    }
+
+    #[test]
+    fn drain_status_surfaces_tiered_runs_only() {
+        let dir = tempfile::tempdir().unwrap();
+        let coord = Coordinator::open(dir.path()).unwrap();
+        let plain = coord.attach_run("plain").unwrap();
+        let tiered = coord.attach_run("tiered").unwrap();
+        assert!(
+            coord.drain_status().unwrap().is_empty(),
+            "no tier state yet"
+        );
+        // Opening a tier manager persists `.tier/state.json` in its root.
+        let _mgr = llmt_tier::TierManager::open(
+            &tiered,
+            Arc::new(LocalFs),
+            llmt_tier::TierConfig::default(),
+            Arc::new(llmt_storage::vfs::ManualClock::default()),
+            llmt_obs::MetricsRegistry::new(),
+        )
+        .unwrap();
+        let status = coord.drain_status().unwrap();
+        assert_eq!(status.len(), 1);
+        assert_eq!(status[0].0, "tiered");
+        assert_eq!(status[0].1.pending_drains, 0);
+        let _ = plain;
     }
 
     #[test]

@@ -347,6 +347,25 @@ fn cmd_du(args: &[String]) -> Result<(), String> {
             println!("    {unit:<16} {n}");
         }
     }
+    if let Some(tier) = &du.tier {
+        println!("  tiered store:");
+        let cap = tier
+            .mem_capacity
+            .map(|c| format!(" / {c} capacity"))
+            .unwrap_or_default();
+        println!(
+            "    mem resident:    {} bytes{cap}",
+            tier.mem_resident_bytes
+        );
+        println!("    fs resident:     {} bytes", tier.fs_resident_bytes);
+        println!("    object resident: {} bytes", tier.object_resident_bytes);
+        println!("    drained (life):  {} bytes", tier.drained_bytes);
+        println!("    evictions:       {}", tier.evictions);
+        println!("    pending drains:  {}", tier.pending_drains);
+        if !tier.lost_on_crash.is_empty() {
+            println!("    lost on crash:   {:?}", tier.lost_on_crash);
+        }
+    }
     Ok(())
 }
 
@@ -407,6 +426,20 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             };
             println!("    {stage:<10} {:>12.3} ms  {pct:>5.1}%", *ns as f64 / 1e6);
         }
+    }
+    for (tier, t) in &summary.per_tier {
+        println!(
+            "  tier {tier}: {} placement(s) ({} bytes), {} drain hop(s) \
+             ({} bytes resident, {} copied, {} files), {} eviction(s) ({} bytes)",
+            t.placements,
+            t.placed_bytes,
+            t.drains,
+            t.drained_bytes,
+            t.drain_copied_bytes,
+            t.drained_files,
+            t.evictions,
+            t.evicted_bytes
+        );
     }
     Ok(())
 }
@@ -474,6 +507,26 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     for run in &runs {
         let steps = scan_run_root(&coord.run_root(run)).committed_steps();
         println!("    {run} ({} committed checkpoint(s))", steps.len());
+    }
+    let drains = coord.drain_status().map_err(|e| e.to_string())?;
+    if !drains.is_empty() {
+        println!("  tiered runs:");
+        for (run, tier) in &drains {
+            println!(
+                "    {run}: mem {} / fs {} / object {} bytes resident, \
+                 {} pending drain(s), {} eviction(s){}",
+                tier.mem_resident_bytes,
+                tier.fs_resident_bytes,
+                tier.object_resident_bytes,
+                tier.pending_drains,
+                tier.evictions,
+                if tier.lost_on_crash.is_empty() {
+                    String::new()
+                } else {
+                    format!(", lost on crash: {:?}", tier.lost_on_crash)
+                }
+            );
+        }
     }
     Ok(())
 }

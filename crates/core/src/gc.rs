@@ -56,6 +56,11 @@ pub struct DuReport {
     pub dedup_ratio: f64,
     /// Distinct object count per layer unit key (weights objects).
     pub per_unit_objects: BTreeMap<String, usize>,
+    /// Per-tier residency breakdown, when the run uses a tiered store
+    /// (`llmt-tier`): resident bytes per tier, pending drain queue
+    /// depth, evictions, drained bytes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tier: Option<llmt_tier::TierStatus>,
 }
 
 /// Digests referenced by committed, non-quarantined checkpoints under
@@ -204,6 +209,10 @@ pub fn du_run(run_root: &Path) -> Result<DuReport> {
     } else {
         1.0
     };
+    // Tiered runs persist residency next to the checkpoints; fold the
+    // per-tier breakdown in when present.
+    report.tier = llmt_tier::load_status(&LocalFs, run_root)
+        .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(run_root)(e)))?;
     Ok(report)
 }
 

@@ -52,6 +52,50 @@ impl KindSummary {
     }
 }
 
+/// Aggregate of tier-tagged journal events for one storage tier
+/// (`place`/`drain`/`evict` from the tiered store, see `llmt-tier`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct TierSummary {
+    /// Saves durable-committed on this tier.
+    pub placements: u64,
+    /// Bytes committed onto this tier at save time.
+    pub placed_bytes: u64,
+    /// Drain hops that landed a copy on this tier.
+    pub drains: u64,
+    /// Checkpoint bytes those hops made resident here.
+    pub drained_bytes: u64,
+    /// Bytes physically copied by those hops (resume skips re-copies).
+    pub drain_copied_bytes: u64,
+    /// Files physically copied by those hops.
+    pub drained_files: u64,
+    /// Checkpoints evicted *from* this tier (write-back eviction).
+    pub evictions: u64,
+    /// Bytes freed by those evictions.
+    pub evicted_bytes: u64,
+}
+
+impl TierSummary {
+    fn absorb(&mut self, ev: &RunEvent) {
+        match ev.kind.as_str() {
+            "place" => {
+                self.placements += 1;
+                self.placed_bytes += ev.bytes;
+            }
+            "drain" => {
+                self.drains += 1;
+                self.drained_bytes += ev.bytes;
+                self.drain_copied_bytes += ev.physical_bytes;
+                self.drained_files += ev.files;
+            }
+            "evict" => {
+                self.evictions += 1;
+                self.evicted_bytes += ev.bytes;
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Everything `llmtailor report` prints, aggregated from one run's
 /// journal.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
@@ -74,6 +118,9 @@ pub struct RunSummary {
     pub retries: u64,
     /// Per-kind aggregates (`save`, `restore`, `merge`, `gc`).
     pub per_kind: BTreeMap<String, KindSummary>,
+    /// Per-tier aggregates of tier-tagged events, keyed by tier name
+    /// (`mem`, `fs`, `object`). Empty for runs without a tiered store.
+    pub per_tier: BTreeMap<String, TierSummary>,
 }
 
 /// Aggregate the parsed `events` of one run.
@@ -90,6 +137,9 @@ pub fn summarize_events(events: &[RunEvent]) -> RunSummary {
             .entry(ev.kind.clone())
             .or_default()
             .absorb(ev);
+        if let Some(tier) = &ev.tier {
+            summary.per_tier.entry(tier.clone()).or_default().absorb(ev);
+        }
         if ev.kind == "save" {
             summary.save_steps.push(ev.step);
         }
@@ -166,6 +216,34 @@ mod tests {
         assert_eq!(saves.stage_ns["place"], 60);
         assert_eq!(saves.stage_ns["commit"], 15);
         assert!((s.dedup_ratio - 1.5).abs() < 1e-12, "{}", s.dedup_ratio);
+        assert_eq!(s.per_kind["gc"].events, 1);
+    }
+
+    #[test]
+    fn summary_breaks_out_tier_tagged_events_per_tier() {
+        let mut place = RunEvent::new("place", 2);
+        place.bytes = 900;
+        place.tier = Some("mem".into());
+        let mut drain = RunEvent::new("drain", 2);
+        drain.bytes = 900;
+        drain.physical_bytes = 400; // resume skipped the rest
+        drain.files = 5;
+        drain.tier = Some("fs".into());
+        let mut evict = RunEvent::new("evict", 2);
+        evict.bytes = 900;
+        evict.tier = Some("mem".into());
+        let s = summarize_events(&[place, drain, evict, RunEvent::new("gc", 0)]);
+        assert_eq!(s.per_tier.len(), 2);
+        let mem = &s.per_tier["mem"];
+        assert_eq!((mem.placements, mem.placed_bytes), (1, 900));
+        assert_eq!((mem.evictions, mem.evicted_bytes), (1, 900));
+        assert_eq!(mem.drains, 0);
+        let fs = &s.per_tier["fs"];
+        assert_eq!(fs.drains, 1);
+        assert_eq!(fs.drained_bytes, 900);
+        assert_eq!(fs.drain_copied_bytes, 400);
+        assert_eq!(fs.drained_files, 5);
+        // Untagged events never land in the tier breakdown.
         assert_eq!(s.per_kind["gc"].events, 1);
     }
 

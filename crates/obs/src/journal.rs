@@ -82,6 +82,11 @@ pub struct RunEvent {
     /// Error message when the operation failed.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
+    /// Storage tier the event concerns (`"mem"`, `"fs"`, `"object"`).
+    /// Set by tier-placement, drain, and eviction events; absent for
+    /// tier-agnostic events, and absent in pre-tiering journals.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tier: Option<String>,
 }
 
 impl RunEvent {

@@ -25,6 +25,6 @@ pub use meter::{IoTally, RestoreTimings, StageTimings};
 pub use model::{GpuStepModel, StorageModel};
 pub use projection::{checkpoint_bytes, proportion, CheckpointBytes};
 pub use vfs::{
-    is_transient, Clock, FaultKind, FaultSpec, FaultyFs, LocalFs, ManualClock, RetryPolicy,
-    RetryingStorage, Storage, SystemClock, WriteStream,
+    is_transient, range_past_eof, Clock, FaultKind, FaultSpec, FaultyFs, LocalFs, ManualClock,
+    RetryPolicy, RetryingStorage, Storage, SystemClock, WriteStream,
 };

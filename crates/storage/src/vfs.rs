@@ -131,6 +131,75 @@ pub trait Storage: Send + Sync + fmt::Debug {
     }
 }
 
+/// Shared handles delegate: a tier stack composes `Arc<dyn Storage>`
+/// layers, and each layer must itself be usable wherever a `Storage` is
+/// expected without re-wrapping.
+impl<S: Storage + ?Sized> Storage for Arc<S> {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        (**self).create_dir_all(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        (**self).write(path, bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        (**self).sync(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        (**self).rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        (**self).read(path)
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        (**self).read_range(path, offset, len)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        (**self).list_dir(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        (**self).remove_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        (**self).exists(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        (**self).file_len(path)
+    }
+
+    fn hard_link(&self, from: &Path, to: &Path) -> io::Result<()> {
+        (**self).hard_link(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        (**self).remove_file(path)
+    }
+
+    fn create_stream<'a>(&'a self, path: &Path) -> io::Result<Box<dyn WriteStream + 'a>> {
+        (**self).create_stream(path)
+    }
+
+    fn mtime(&self, path: &Path) -> io::Result<std::time::SystemTime> {
+        (**self).mtime(path)
+    }
+
+    fn touch(&self, path: &Path) -> io::Result<()> {
+        (**self).touch(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        (**self).append(path, bytes)
+    }
+}
+
 /// Incremental file-write handle returned by [`Storage::create_stream`].
 ///
 /// Usage contract: any number of [`WriteStream::write_chunk`] calls in
@@ -145,6 +214,31 @@ pub trait WriteStream {
     /// Flush the file to durable storage (`fsync`). Call once, after the
     /// last chunk.
     fn finish(&mut self) -> io::Result<()>;
+}
+
+/// The typed error every [`Storage::read_range`] implementation must
+/// return for a read past EOF: kind [`io::ErrorKind::UnexpectedEof`],
+/// message naming the path, the requested range, and the actual length.
+/// Returns `None` when the range fits. Shared by [`LocalFs`], the
+/// in-memory tier, and any future backend, so the restore engine can rely
+/// on short files *always* erroring instead of silently truncating.
+pub fn range_past_eof(path: &Path, offset: u64, len: usize, file_len: u64) -> Option<io::Error> {
+    match offset.checked_add(len as u64) {
+        Some(end) if end <= file_len => None,
+        // Overflowing offset+len is by definition past EOF.
+        _ => Some(short_read_err(path, offset, len, file_len)),
+    }
+}
+
+fn short_read_err(path: &Path, offset: u64, len: usize, file_len: u64) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        format!(
+            "read_range past EOF: {} holds {file_len} byte(s), requested [{offset}, {})",
+            path.display(),
+            offset.saturating_add(len as u64),
+        ),
+    )
 }
 
 /// Direct passthrough to the local filesystem via `std::fs`.
@@ -176,9 +270,22 @@ impl Storage for LocalFs {
 
     fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
         let mut f = fs::File::open(path)?;
+        let file_len = f.metadata()?.len();
+        if let Some(e) = range_past_eof(path, offset, len, file_len) {
+            return Err(e);
+        }
         f.seek(SeekFrom::Start(offset))?;
         let mut buf = vec![0u8; len];
-        f.read_exact(&mut buf)?;
+        // The length check above can race a concurrent truncation; keep
+        // the short-read error typed (and path-attributed) in that case
+        // too instead of surfacing a bare "failed to fill whole buffer".
+        f.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                short_read_err(path, offset, len, file_len)
+            } else {
+                e
+            }
+        })?;
         Ok(buf)
     }
 
@@ -890,6 +997,57 @@ mod tests {
         assert!(fs.exists(&q));
         assert_eq!(fs.list_dir(&dir).unwrap(), vec![q]);
         fs.remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite regression: past-EOF / short-file `read_range` must be a
+    /// typed `UnexpectedEof` error — never a panic, never a silently
+    /// truncated buffer. (The in-memory tier runs the same checks in
+    /// `llmt-tier`.)
+    #[test]
+    fn read_range_past_eof_is_a_typed_error_never_truncation() {
+        let dir = tmpdir("range-eof");
+        let p = dir.join("f.bin");
+        LocalFs.write(&p, b"0123456789").unwrap();
+        let check = |s: &dyn Storage| {
+            // Fully past EOF, straddling EOF, and offset==len with len>0.
+            for (off, len) in [(20u64, 1usize), (8, 5), (10, 1), (0, 11)] {
+                let e = s.read_range(&p, off, len).unwrap_err();
+                assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "({off},{len})");
+                let msg = e.to_string();
+                assert!(msg.contains("f.bin"), "error names the path: {msg}");
+            }
+            // Offset+len overflow is past EOF, not a panic.
+            let e = s.read_range(&p, u64::MAX, 2).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+            // Boundary reads still work.
+            assert_eq!(s.read_range(&p, 10, 0).unwrap(), b"");
+            assert_eq!(s.read_range(&p, 4, 6).unwrap(), b"456789");
+        };
+        check(&LocalFs);
+        check(&FaultyFs::new(LocalFs, FaultSpec::never()));
+        check(&RetryingStorage::with_defaults(LocalFs));
+        let arc: Arc<dyn Storage> = Arc::new(LocalFs);
+        check(&arc);
+        LocalFs.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn arc_storage_delegates_everything() {
+        let dir = tmpdir("arc-delegate");
+        let s: Arc<dyn Storage> = Arc::new(LocalFs);
+        let p = dir.join("a");
+        s.write(&p, b"payload").unwrap();
+        s.sync(&p).unwrap();
+        assert_eq!(s.read(&p).unwrap(), b"payload");
+        assert_eq!(s.file_len(&p).unwrap(), 7);
+        let mut h = s.create_stream(&dir.join("b")).unwrap();
+        h.write_chunk(b"xy").unwrap();
+        h.finish().unwrap();
+        drop(h);
+        assert_eq!(s.read(&dir.join("b")).unwrap(), b"xy");
+        s.append(&dir.join("b"), b"z").unwrap();
+        assert_eq!(s.read(&dir.join("b")).unwrap(), b"xyz");
+        s.remove_dir_all(&dir).unwrap();
     }
 
     #[test]

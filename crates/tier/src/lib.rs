@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Tiered checkpoint storage: host-memory staging → local FS →
+//! simulated object store, with lazy bandwidth-bounded draining.
+//!
+//! Both DataStates-LLM papers (PAPERS.md) locate the biggest win beyond
+//! async snapshots in *lazy draining through a storage hierarchy*: the
+//! trainer unblocks as soon as state is captured on the fastest tier,
+//! and lower tiers fill in the background under per-tier bandwidth
+//! budgets. This crate is that hierarchy for the LLMTailor stack:
+//!
+//! * [`MemStorage`] — a byte-capacity-bounded in-memory tier behind the
+//!   standard `Storage` trait, so the unmodified save engine can commit
+//!   into it.
+//! * [`ModeledStorage`]/[`FlakeSpec`] — the simulated object-store
+//!   tier: latency/bandwidth charged to the injectable `Clock` from the
+//!   calibrated `StorageModel`, plus deterministic transient errors so
+//!   `RetryingStorage` paths are exercised for real.
+//! * [`TierManager`] — tier-placement saves (highest admissible tier
+//!   commits; ENOSPC falls through), a crash-resumable drain journal,
+//!   write-back capacity eviction, and read-through restores (nearest
+//!   tier wins, lower-tier hits promote).
+//!
+//! The durability contract and crash matrix live in the
+//! [`manager`] module docs and DESIGN.md §Tiered storage.
+
+pub mod manager;
+pub mod mem;
+pub mod sim;
+
+pub use manager::{
+    load_status, spawn_drainer, CheckpointResidency, DrainRecord, DrainReport, DrainerHandle,
+    FileRec, ObjectTierConfig, Residency, TierConfig, TierLevel, TierManager, TierSaveReport,
+    TierState, TierStatus, TieredReadStorage, DRAIN_JOURNAL, OBJECT_DIR, STATE_FILE, TIER_DIR,
+};
+pub use mem::MemStorage;
+pub use sim::{FlakeSpec, ModeledStorage, RebasedStorage};

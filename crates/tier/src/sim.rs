@@ -1,0 +1,442 @@
+//! Simulated remote tiers: a latency/bandwidth cost model charged to an
+//! injectable [`Clock`], deterministic transient-error injection so
+//! [`RetryingStorage`](llmt_storage::RetryingStorage) paths are
+//! exercised, and a path rebaser so a "remote" tier can live in a
+//! subdirectory of the same backing [`Storage`].
+
+use llmt_storage::vfs::{Clock, Storage, WriteStream};
+use llmt_storage::StorageModel;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic transient-error schedule: of every `period` counted
+/// ops, the first `failures` fail with [`io::ErrorKind::Interrupted`].
+/// Each retry consumes a fresh op index, so a flake heals after
+/// `failures` consecutive attempts — unless `failures == period`, which
+/// makes every op fail and models a permanently unreachable store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FlakeSpec {
+    /// Cycle length in ops. `0` disables injection.
+    pub period: u64,
+    /// Failing ops at the start of each cycle.
+    pub failures: u64,
+}
+
+impl FlakeSpec {
+    /// No injected errors.
+    pub fn none() -> Self {
+        FlakeSpec {
+            period: 0,
+            failures: 0,
+        }
+    }
+
+    /// Every op fails: a dead endpoint, for permanent-error tests.
+    pub fn always() -> Self {
+        FlakeSpec {
+            period: 1,
+            failures: 1,
+        }
+    }
+
+    fn hits(&self, idx: u64) -> bool {
+        self.period > 0 && idx % self.period < self.failures
+    }
+}
+
+/// [`Storage`] decorator charging a [`StorageModel`]'s time costs to a
+/// [`Clock`] and injecting [`FlakeSpec`] transients. With a
+/// `ManualClock` this yields deterministic modeled wall-clock for the
+/// object-store tier without slowing tests; with a `SystemClock` it
+/// actually throttles, which is what the `tiered_training` example uses
+/// to make the background drain visible.
+pub struct ModeledStorage<S: Storage> {
+    inner: S,
+    model: StorageModel,
+    clock: Arc<dyn Clock>,
+    flake: FlakeSpec,
+    ops: AtomicU64,
+}
+
+impl<S: Storage> fmt::Debug for ModeledStorage<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModeledStorage")
+            .field("inner", &self.inner)
+            .field("model", &self.model)
+            .field("flake", &self.flake)
+            .field("ops", &self.ops.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+fn charge(clock: &dyn Clock, seconds: f64) {
+    if seconds > 0.0 {
+        clock.sleep(Duration::from_secs_f64(seconds));
+    }
+}
+
+impl<S: Storage> ModeledStorage<S> {
+    /// Wrap `inner`, charging `model` costs to `clock`.
+    pub fn new(inner: S, model: StorageModel, clock: Arc<dyn Clock>) -> Self {
+        Self::with_flake(inner, model, clock, FlakeSpec::none())
+    }
+
+    /// Wrap `inner` with transient-error injection on top of the model.
+    pub fn with_flake(
+        inner: S,
+        model: StorageModel,
+        clock: Arc<dyn Clock>,
+        flake: FlakeSpec,
+    ) -> Self {
+        ModeledStorage {
+            inner,
+            model,
+            clock,
+            flake,
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Ops attempted so far (including injected failures).
+    pub fn ops_attempted(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// The wrapped storage.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Gate an op: count it and fail transiently per the flake schedule.
+    /// Fires *before* any effect, so every injected failure is safe to
+    /// retry.
+    fn gate(&self) -> io::Result<()> {
+        let idx = self.ops.fetch_add(1, Ordering::SeqCst);
+        if self.flake.hits(idx) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient at object-store op {idx}"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn meta_cost(&self) -> f64 {
+        self.model.per_file_latency
+    }
+}
+
+impl<S: Storage> Storage for ModeledStorage<S> {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.create_dir_all(path)?;
+        charge(&*self.clock, self.meta_cost());
+        Ok(())
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.gate()?;
+        self.inner.write(path, bytes)?;
+        charge(&*self.clock, self.model.write_time(bytes.len() as u64, 1));
+        Ok(())
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.sync(path)?;
+        charge(&*self.clock, self.meta_cost());
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.rename(from, to)?;
+        charge(&*self.clock, self.meta_cost());
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.gate()?;
+        let bytes = self.inner.read(path)?;
+        charge(&*self.clock, self.model.read_time(bytes.len() as u64, 1));
+        Ok(bytes)
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        self.gate()?;
+        let bytes = self.inner.read_range(path, offset, len)?;
+        charge(&*self.clock, self.model.read_time(bytes.len() as u64, 1));
+        Ok(bytes)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.gate()?;
+        let out = self.inner.list_dir(path)?;
+        charge(&*self.clock, self.meta_cost());
+        Ok(out)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.remove_dir_all(path)?;
+        charge(&*self.clock, self.meta_cost());
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        // Metadata peek: uncounted and free, matching FaultyFs.
+        self.inner.exists(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.gate()?;
+        let n = self.inner.file_len(path)?;
+        charge(&*self.clock, self.meta_cost());
+        Ok(n)
+    }
+
+    fn hard_link(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.hard_link(from, to)?;
+        charge(&*self.clock, self.meta_cost());
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.remove_file(path)?;
+        charge(&*self.clock, self.meta_cost());
+        Ok(())
+    }
+
+    fn create_stream<'a>(&'a self, path: &Path) -> io::Result<Box<dyn WriteStream + 'a>> {
+        self.gate()?;
+        let inner = self.inner.create_stream(path)?;
+        charge(&*self.clock, self.meta_cost());
+        Ok(Box::new(ModeledStream { fs: self, inner }))
+    }
+
+    fn mtime(&self, path: &Path) -> io::Result<std::time::SystemTime> {
+        self.inner.mtime(path)
+    }
+
+    fn touch(&self, path: &Path) -> io::Result<()> {
+        self.inner.touch(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.gate()?;
+        self.inner.append(path, bytes)?;
+        charge(&*self.clock, self.model.write_time(bytes.len() as u64, 1));
+        Ok(())
+    }
+}
+
+struct ModeledStream<'a, S: Storage> {
+    fs: &'a ModeledStorage<S>,
+    inner: Box<dyn WriteStream + 'a>,
+}
+
+impl<S: Storage> WriteStream for ModeledStream<'_, S> {
+    fn write_chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.fs.gate()?;
+        self.inner.write_chunk(bytes)?;
+        charge(&*self.fs.clock, bytes.len() as f64 / self.fs.model.write_bw);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.fs.gate()?;
+        self.inner.finish()?;
+        charge(&*self.fs.clock, self.fs.meta_cost());
+        Ok(())
+    }
+}
+
+/// [`Storage`] decorator translating a path prefix, so a simulated
+/// remote tier can be backed by a subdirectory (`<root>/.tier/object`)
+/// of the same underlying storage. Crucially this keeps a chaos
+/// sweep's *one* op counter spanning both the real tree and the
+/// "remote" tree when both wrap the same `FaultyFs`.
+pub struct RebasedStorage<S: Storage> {
+    inner: S,
+    from: PathBuf,
+    to: PathBuf,
+}
+
+impl<S: Storage> fmt::Debug for RebasedStorage<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RebasedStorage")
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl<S: Storage> RebasedStorage<S> {
+    /// Paths under `from` are served from the same relative path under
+    /// `to`; paths outside `from` pass through unchanged.
+    pub fn new(inner: S, from: impl Into<PathBuf>, to: impl Into<PathBuf>) -> Self {
+        RebasedStorage {
+            inner,
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+
+    fn rebase(&self, path: &Path) -> PathBuf {
+        match path.strip_prefix(&self.from) {
+            Ok(rel) => self.to.join(rel),
+            Err(_) => path.to_path_buf(),
+        }
+    }
+}
+
+impl<S: Storage> Storage for RebasedStorage<S> {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(&self.rebase(path))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write(&self.rebase(path), bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        self.inner.sync(&self.rebase(path))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(&self.rebase(from), &self.rebase(to))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(&self.rebase(path))
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        self.inner.read_range(&self.rebase(path), offset, len)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        // Entries come back under `to`; report them under `from` so the
+        // caller sees a coherent namespace.
+        let based = self.rebase(path);
+        let out = self.inner.list_dir(&based)?;
+        Ok(out
+            .into_iter()
+            .map(|p| match p.strip_prefix(&self.to) {
+                Ok(rel) => self.from.join(rel),
+                Err(_) => p,
+            })
+            .collect())
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_dir_all(&self.rebase(path))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(&self.rebase(path))
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.file_len(&self.rebase(path))
+    }
+
+    fn hard_link(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.hard_link(&self.rebase(from), &self.rebase(to))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(&self.rebase(path))
+    }
+
+    fn create_stream<'a>(&'a self, path: &Path) -> io::Result<Box<dyn WriteStream + 'a>> {
+        self.inner.create_stream(&self.rebase(path))
+    }
+
+    fn mtime(&self, path: &Path) -> io::Result<std::time::SystemTime> {
+        self.inner.mtime(&self.rebase(path))
+    }
+
+    fn touch(&self, path: &Path) -> io::Result<()> {
+        self.inner.touch(&self.rebase(path))
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.inner.append(&self.rebase(path), bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStorage;
+    use llmt_storage::ManualClock;
+
+    #[test]
+    fn modeled_storage_charges_clock_per_model() {
+        let clock = Arc::new(ManualClock::default());
+        let model = StorageModel {
+            write_bw: 1e9,
+            read_bw: 2e9,
+            per_file_latency: 0.001,
+        };
+        let s = ModeledStorage::new(MemStorage::new(1 << 20), model, clock.clone());
+        s.write(Path::new("/a"), &vec![0u8; 1_000_000]).unwrap();
+        // 1 MB at 1 GB/s = 1 ms, plus 1 ms latency.
+        let after_write = clock.slept_nanos();
+        assert!(
+            (1_900_000..=2_100_000).contains(&after_write),
+            "{after_write}"
+        );
+        s.read(Path::new("/a")).unwrap();
+        // 1 MB at 2 GB/s = 0.5 ms, plus 1 ms latency.
+        let read_cost = clock.slept_nanos() - after_write;
+        assert!((1_400_000..=1_600_000).contains(&read_cost), "{read_cost}");
+    }
+
+    #[test]
+    fn flake_schedule_is_deterministic_and_heals() {
+        let clock = Arc::new(ManualClock::default());
+        let s = ModeledStorage::with_flake(
+            MemStorage::new(1 << 20),
+            StorageModel::local_nvme(),
+            clock,
+            FlakeSpec {
+                period: 3,
+                failures: 2,
+            },
+        );
+        // Ops 0,1 fail; op 2 succeeds; ops 3,4 fail; op 5 succeeds...
+        assert_eq!(
+            s.write(Path::new("/a"), b"x").unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+        assert_eq!(
+            s.write(Path::new("/a"), b"x").unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+        s.write(Path::new("/a"), b"x").unwrap();
+        assert_eq!(s.ops_attempted(), 3);
+    }
+
+    #[test]
+    fn rebase_translates_only_the_prefix() {
+        let mem = Arc::new(MemStorage::new(1 << 20));
+        let r = RebasedStorage::new(mem.clone(), "/run", "/backing/object/run");
+        r.write(Path::new("/run/ckpt/a"), b"aa").unwrap();
+        assert!(mem.exists(Path::new("/backing/object/run/ckpt/a")));
+        assert_eq!(r.read(Path::new("/run/ckpt/a")).unwrap(), b"aa");
+        let ls = r.list_dir(Path::new("/run/ckpt")).unwrap();
+        assert_eq!(ls, vec![PathBuf::from("/run/ckpt/a")]);
+        // Outside the prefix: passthrough.
+        r.write(Path::new("/elsewhere"), b"e").unwrap();
+        assert!(mem.exists(Path::new("/elsewhere")));
+    }
+}

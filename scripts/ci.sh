@@ -28,6 +28,22 @@ cargo run --release -p llmt-bench --bin restore_throughput -- --smoke
 # coordinated GC pass.
 cargo run --release -p llmt-bench --bin concurrent_runs -- --smoke
 
+# Tier smoke: committing on the memory tier must unblock in <= 25% of a
+# synchronous flush to the modeled durable target, the drain must leave
+# zero pending hops, and every tier must serve a verified bit-exact
+# restore.
+cargo run --release -p llmt-bench --bin tier_drain -- --smoke
+
+# Drain chaos: kill the process at every drain-copy op in turn; no
+# committed checkpoint may be lost (volatile-only ones are reported, any
+# durable copy restores bit-exact, interrupted queues resume).
+cargo test -q -p llmt-tier --test drain_chaos
+
+# Tiered-training smoke: background drainer keeps up while the run keeps
+# saving onto the memory tier; per-stage spans and per-tier residency
+# must come out populated.
+cargo run --release --example tiered_training
+
 # Telemetry smoke: a train/resume/GC run must journal every event to
 # events.jsonl (the example asserts nonzero stage totals and cadence),
 # and `llmtailor report --json` must parse the journal and render a
