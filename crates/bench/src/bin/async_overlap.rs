@@ -23,6 +23,7 @@ fn run(strategy: StrategyKind, async_ckpt: bool) -> (f64, f64, u64) {
         seed: 9,
         data_seed: 9,
         world_size: 4,
+        tensor_parallel: 1,
         micro_batch: 2,
         grad_accum: 1,
         seq_len: 48,

@@ -21,6 +21,7 @@ fn main() {
         seed: 11,
         data_seed: 11,
         world_size: 2,
+        tensor_parallel: 1,
         micro_batch: 2,
         grad_accum: 1,
         seq_len: 48,

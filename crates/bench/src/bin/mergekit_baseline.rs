@@ -26,6 +26,7 @@ fn main() {
         seed: 5,
         data_seed: 5,
         world_size: 2,
+        tensor_parallel: 1,
         micro_batch: 2,
         grad_accum: 1,
         seq_len: 32,

@@ -20,6 +20,7 @@ fn measured(model: ModelConfig, task: DataTask, strategy: StrategyKind) -> (u64,
         seed: 3,
         data_seed: 3,
         world_size: 4,
+        tensor_parallel: 1,
         micro_batch: 2,
         grad_accum: 1,
         seq_len: 48,

@@ -91,6 +91,7 @@ fn main() {
                 seed: 3,
                 data_seed: 3,
                 world_size: 4,
+                tensor_parallel: 1,
                 micro_batch: 2,
                 grad_accum: 1,
                 seq_len: 48,

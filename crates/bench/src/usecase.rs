@@ -66,6 +66,7 @@ impl UseCaseSpec {
             seed: self.seed,
             data_seed: self.seed ^ 0x5EED,
             world_size: self.world,
+            tensor_parallel: 1,
             micro_batch: 2,
             grad_accum: 2,
             seq_len: 48,

@@ -51,7 +51,7 @@ use llmt_optim::GroupSpec;
 use llmt_storage::vfs::Storage;
 use llmt_storage::StageTimings;
 use llmt_tensor::{DType, RawTensor, Shape};
-use llmt_zero::{ShardState, ZeroEngine};
+use llmt_zero::{ShardState, Topology, ZeroEngine};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -119,6 +119,19 @@ pub trait StateSource: Sync {
     fn group_specs(&self) -> &[GroupSpec];
     /// Simulated data-parallel world size.
     fn world_size(&self) -> usize;
+    /// dp×tp topology the shards were produced at. The default treats the
+    /// world as pure data-parallel, which is correct for every pre-topology
+    /// source; topology-aware sources override it.
+    fn topology(&self) -> Topology {
+        Topology::dp_only(self.world_size())
+    }
+    /// Per-tp-slice dp-shard lengths of group `gid` (`tp` entries), or
+    /// `None` when the topology is pure data-parallel and the uniform
+    /// `ceil(numel / world)` formula applies.
+    fn tp_shard_lens(&self, gid: usize) -> Option<Vec<usize>> {
+        let _ = gid;
+        None
+    }
     /// Elements per rank shard of group `gid`.
     fn shard_len(&self, gid: usize) -> usize;
     /// 1-based count of completed optimizer steps.
@@ -150,6 +163,15 @@ impl StateSource for LiveState<'_> {
 
     fn world_size(&self) -> usize {
         self.engine.world_size
+    }
+
+    fn topology(&self) -> Topology {
+        self.engine.topology()
+    }
+
+    fn tp_shard_lens(&self, gid: usize) -> Option<Vec<usize>> {
+        let topo = self.engine.topology();
+        (topo.tp > 1).then(|| self.engine.shard_lens(gid)[..topo.tp].to_vec())
     }
 
     fn shard_len(&self, gid: usize) -> usize {
@@ -697,9 +719,13 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
         Ok(bytes.len() as u64)
     };
 
-    // 3. ZeRO metadata.
+    // 3. ZeRO metadata. The topology is recorded only when it actually
+    //    has a tensor-parallel dimension: a pure-dp save stays
+    //    byte-identical to pre-topology checkpoints.
+    let topo = plan.source.topology();
     let zero_meta = ZeroMeta {
         world_size: world,
+        saved_topology: (topo.tp > 1).then_some(topo),
         num_layers: config.num_hidden_layers,
         tied: config.tie_word_embeddings,
         optimizer_step: plan.source.optimizer_step(),
@@ -713,6 +739,7 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
                 numel: g.numel,
                 shard_len: plan.source.shard_len(g.id),
                 weight_decay: g.weight_decay,
+                tp_shard_lens: plan.source.tp_shard_lens(g.id),
             })
             .collect(),
     };
@@ -737,6 +764,7 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
         weight_digests: digests,
         full: plan.full,
         objects: refs,
+        topology: (topo.tp > 1).then_some(topo),
     };
     let manifest_json = serde_json::to_string_pretty(&manifest)?;
     meta_bytes += put(&staging.manifest(), manifest_json.as_bytes())?;

@@ -12,6 +12,7 @@ use crate::error::{io_err, CkptError, Result};
 use crate::layout::{scan_run_root, ScanReport};
 use llmt_model::LayerUnit;
 use llmt_storage::vfs::Storage;
+use llmt_zero::Topology;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
@@ -76,6 +77,11 @@ pub struct PartialManifest {
     /// manifest on disk, via the serde default).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub objects: Option<CasRefs>,
+    /// dp×tp topology the checkpoint was saved at. Absent in pre-topology
+    /// manifests, which are pure data-parallel; use
+    /// [`PartialManifest::topology_or`] which folds the default in.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub topology: Option<Topology>,
 }
 
 impl PartialManifest {
@@ -94,6 +100,12 @@ impl PartialManifest {
     /// Does the manifest contain a unit?
     pub fn has_unit(&self, unit: LayerUnit) -> bool {
         self.units.contains(&unit)
+    }
+
+    /// The saved topology, treating a pre-topology manifest as pure
+    /// data-parallel over `world` ranks.
+    pub fn topology_or(&self, world: usize) -> Topology {
+        self.topology.unwrap_or_else(|| Topology::dp_only(world))
     }
 }
 
@@ -219,6 +231,7 @@ mod tests {
             weight_digests: digests,
             full: false,
             objects: None,
+            topology: None,
         };
         m.save(&p).unwrap();
         let back = PartialManifest::load(&p).unwrap();
@@ -264,6 +277,7 @@ mod tests {
                 weight_digests: BTreeMap::new(),
                 full: false,
                 objects: None,
+                topology: None,
             };
             m.save(&cp.manifest()).unwrap();
             if committed {
@@ -301,6 +315,7 @@ mod tests {
             weight_digests: BTreeMap::new(),
             full: false,
             objects: None,
+            topology: None,
         };
         m.save(&cp.manifest()).unwrap();
         let bytes = std::fs::read(cp.manifest()).unwrap();

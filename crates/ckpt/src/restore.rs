@@ -22,13 +22,15 @@
 //! file — the read path gets the same chaos coverage as the save path.
 //!
 //! The new capability over the old per-caller readers is
-//! *resharding-on-load*: a [`RestoreRequest::world_size`] differing from
-//! the saved layout regathers each parameter group's flat buffer via
-//! [`llmt_zero::gather`] and re-partitions it with
-//! [`llmt_zero::partition_padded`], so a run checkpointed at
-//! `world_size=2` resumes bit-exactly at `world_size=4` and vice versa
-//! (shard padding is provably zero, and the ZeRO engine's trajectory is
-//! world-size-invariant).
+//! *resharding-on-load*: a [`RestoreRequest::topology`] differing from
+//! the saved dp×tp layout computes an offline [`llmt_zero::ReshardPlan`]
+//! per parameter group — a pure list of copy operations between the
+//! saved and target tilings — and the bind stage executes it, so a run
+//! checkpointed at `{dp=4, tp=1}` resumes bit-exactly at `{dp=2, tp=2}`
+//! and vice versa (both tilings are exact partitions of the same flat
+//! buffers, and the ZeRO engine's trajectory is partition-invariant).
+//! The legacy [`RestoreRequest::world_size`] integer is deprecated and
+//! forwards to a pure data-parallel topology.
 
 use crate::engine::Parallelism;
 use crate::error::{io_err, CkptError, Result};
@@ -43,10 +45,11 @@ use llmt_cas::{Digest, Hasher};
 use llmt_model::naming::unit_param_specs;
 use llmt_model::{LayerUnit, ModelConfig};
 use llmt_obs::MetricsRegistry;
+use llmt_optim::{build_groups, GroupLayout};
 use llmt_storage::vfs::{LocalFs, Storage};
 use llmt_storage::RestoreTimings;
 use llmt_tensor::RawTensor;
-use llmt_zero::{gather, partition_padded, RankState, ShardState};
+use llmt_zero::{GroupPlan, GroupTopoLayout, RankState, ShardState, Topology};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -69,9 +72,16 @@ pub enum RestoreScope {
 /// What to restore and how.
 #[derive(Debug, Clone)]
 pub struct RestoreRequest {
-    /// Target world size for the bound optimizer rank states. `None`
-    /// keeps the saved layout; `Some(w)` with `w != saved` reshards every
-    /// group via gather → re-partition.
+    /// Target dp×tp topology for the bound optimizer rank states. `None`
+    /// keeps the saved topology; a differing target reshards every group
+    /// through an offline [`llmt_zero::ReshardPlan`].
+    pub topology: Option<Topology>,
+    /// Legacy pure-dp spelling of [`RestoreRequest::topology`]:
+    /// `Some(w)` forwards to `Topology { dp: w, tp: 1 }` when `topology`
+    /// is unset. Setting both to conflicting values is an error.
+    #[deprecated(
+        note = "set `topology` instead; a bare world size maps to `Topology::dp_only(w)`"
+    )]
     pub world_size: Option<usize>,
     /// Payload selection.
     pub scope: RestoreScope,
@@ -92,13 +102,35 @@ pub struct RestoreRequest {
 
 impl Default for RestoreRequest {
     fn default() -> Self {
+        #[allow(deprecated)]
         RestoreRequest {
+            topology: None,
             world_size: None,
             scope: RestoreScope::Full,
             verify: true,
             parallelism: Parallelism::Rayon,
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             require_committed: true,
+        }
+    }
+}
+
+impl RestoreRequest {
+    /// The requested target topology with the deprecated `world_size`
+    /// field folded in: `topology` wins, a bare world size maps to pure
+    /// data parallelism, and `None` means "keep the saved topology".
+    /// Conflicting settings of both fields are refused.
+    pub fn target_topology(&self) -> Result<Option<Topology>> {
+        #[allow(deprecated)]
+        let legacy = self.world_size;
+        match (self.topology, legacy) {
+            (Some(t), Some(w)) if t.world() != w => Err(CkptError::Incompatible(format!(
+                "RestoreRequest sets topology {t} ({} ranks) but also legacy world_size {w}",
+                t.world()
+            ))),
+            (Some(t), _) => Ok(Some(t)),
+            (None, Some(w)) => Ok(Some(Topology::dp_only(w))),
+            (None, None) => Ok(None),
         }
     }
 }
@@ -122,7 +154,11 @@ pub struct RestoreReport {
     pub saved_world_size: usize,
     /// World size the bound rank states target.
     pub world_size: usize,
-    /// Whether optimizer state was regathered and re-partitioned.
+    /// dp×tp topology the checkpoint was saved at.
+    pub saved_topology: Topology,
+    /// dp×tp topology the bound rank states target.
+    pub topology: Topology,
+    /// Whether optimizer state was remapped through a reshard plan.
     pub resharded: bool,
     /// Per-stage timings (fetch/decode/validate are summed across
     /// parallel workers; enumerate/bind are wall-clock).
@@ -261,6 +297,21 @@ pub fn restore_checkpoint_with(
             dir.display()
         )));
     }
+    let saved_topo = meta.topology();
+    if saved_topo.world() != saved_world {
+        return Err(CkptError::Format(format!(
+            "{}: zero_meta.json topology {saved_topo} covers {} ranks but world_size is {saved_world}",
+            dir.display(),
+            saved_topo.world()
+        )));
+    }
+    let requested_topo = req.target_topology()?;
+    let target_topo = requested_topo.unwrap_or(saved_topo);
+    if target_topo.validate().is_err() {
+        return Err(CkptError::Incompatible(format!(
+            "target topology {target_topo} is degenerate (both degrees must be positive)"
+        )));
+    }
     let refs = manifest.as_ref().and_then(|m| m.objects.as_ref());
     let dedup = refs.is_some();
 
@@ -374,7 +425,9 @@ pub fn restore_checkpoint_with(
         bytes_fetched: outs.iter().map(|o| o.bytes).sum(),
         digests_verified: outs.iter().map(|o| o.digests_verified).sum(),
         saved_world_size: saved_world,
-        world_size: req.world_size.unwrap_or(saved_world),
+        world_size: target_topo.world(),
+        saved_topology: saved_topo,
+        topology: target_topo,
         resharded: false,
         timings: RestoreTimings {
             enumerate_ns,
@@ -431,16 +484,10 @@ pub fn restore_checkpoint_with(
 
     let mut ranks = Vec::new();
     if req.scope != RestoreScope::WeightsOnly {
-        let target = req.world_size.unwrap_or(saved_world);
-        if target == 0 {
-            return Err(CkptError::Incompatible(
-                "target world size must be positive".to_string(),
-            ));
-        }
         if meta.is_full() {
-            ranks = bind_ranks(&meta, shard_map, target)?;
-            report.resharded = target != saved_world;
-        } else if req.world_size.is_some() {
+            ranks = bind_ranks(&meta, &config, shard_map, target_topo)?;
+            report.resharded = target_topo != saved_topo;
+        } else if requested_topo.is_some() {
             return Err(CkptError::Incompatible(format!(
                 "checkpoint-{} is partial; assemble a full one with LLMTailor first",
                 paths.step
@@ -542,23 +589,28 @@ fn validate_file(
             }
         }
         FileKind::Shards { rank, gids } => {
+            let topo = meta.topology();
             for gid in gids {
                 let group = meta.groups.get(*gid).ok_or_else(|| {
                     CkptError::Format(format!(
                         "rank {rank} group {gid}: not described by zero_meta.json"
                     ))
                 })?;
-                let want = group.numel.div_ceil(meta.world_size);
+                let want = group.expected_shard_len(&topo, *rank).ok_or_else(|| {
+                    CkptError::Format(format!(
+                        "rank {rank} group {gid}: no expected shard length under \
+                         topology {topo} (inconsistent zero_meta.json)"
+                    ))
+                })?;
                 for name in shard_tensor_names(*gid) {
                     let t = by_name.get(name.as_str()).ok_or_else(|| {
                         CkptError::Missing(format!("shard tensor '{name}' of rank {rank}"))
                     })?;
                     if t.shape().numel() != want {
                         return Err(CkptError::Format(format!(
-                            "rank {rank} shard tensor '{name}': length {} != ceil({} / {})",
+                            "rank {rank} shard tensor '{name}': length {} != expected \
+                             {want} under topology {topo}",
                             t.shape().numel(),
-                            group.numel,
-                            meta.world_size
                         )));
                     }
                 }
@@ -568,17 +620,79 @@ fn validate_file(
     Ok(verified)
 }
 
-/// Bind fetched shards into rank states at `target` world size,
-/// regathering and re-partitioning every group when the layout changes.
+/// Rebuild each group's tensor layout so a reshard plan knows where every
+/// member tensor lives inside the group-flat buffers.
+///
+/// A pure-dp → pure-dp remap never needs tensor boundaries (every layout
+/// degenerates to one whole-buffer run), so it uses synthetic flat
+/// layouts unconditionally. Any tensor-parallel endpoint reconstructs the
+/// real composition from the model config, trying the layer-wise layout
+/// first and the stock 2-group layout second, matched against the saved
+/// metadata's group count and element counts.
+fn reconstruct_layouts(
+    meta: &ZeroMeta,
+    config: &ModelConfig,
+    from: Topology,
+    to: Topology,
+) -> Result<Vec<GroupTopoLayout>> {
+    if from.tp == 1 && to.tp == 1 {
+        return Ok(meta
+            .groups
+            .iter()
+            .map(|g| GroupTopoLayout::flat(g.id, g.numel))
+            .collect());
+    }
+    let mut shapes: HashMap<String, Vec<usize>> = HashMap::new();
+    for unit in LayerUnit::all(config) {
+        for spec in unit_param_specs(config, unit) {
+            shapes.insert(spec.name, spec.shape);
+        }
+    }
+    for layout in [GroupLayout::LayerWise, GroupLayout::Stock] {
+        let groups = build_groups(config, layout);
+        let matches = groups.len() == meta.groups.len()
+            && groups
+                .iter()
+                .zip(&meta.groups)
+                .all(|(g, m)| g.id == m.id && g.numel == m.numel);
+        if matches {
+            return groups
+                .iter()
+                .map(|g| {
+                    GroupTopoLayout::from_group(g, |n| shapes.get(n).cloned())
+                        .map_err(|e| CkptError::Format(format!("reshard plan: {e}")))
+                })
+                .collect();
+        }
+    }
+    Err(CkptError::Incompatible(format!(
+        "cannot reconstruct the optimizer group composition from config \
+         '{}' for a tensor-parallel remap ({from} -> {to})",
+        config.model_name
+    )))
+}
+
+/// Bind fetched shards into rank states at the `target` topology,
+/// executing a per-group [`GroupPlan`] when the layout changes. The plan
+/// is computed offline (pure interval arithmetic, no I/O) and validates
+/// every source shard length before any element moves.
 fn bind_ranks(
     meta: &ZeroMeta,
+    config: &ModelConfig,
     mut shard_map: HashMap<(usize, usize), ShardState>,
-    target: usize,
+    target: Topology,
 ) -> Result<Vec<RankState>> {
+    let from = meta.topology();
+    let saved = from.world();
     let n_groups = meta.groups.len();
-    let saved = meta.world_size;
-    let mut per_rank: Vec<Vec<ShardState>> =
-        (0..target).map(|_| Vec::with_capacity(n_groups)).collect();
+    let mut per_rank: Vec<Vec<ShardState>> = (0..target.world())
+        .map(|_| Vec::with_capacity(n_groups))
+        .collect();
+    let layouts = if target == from {
+        Vec::new()
+    } else {
+        reconstruct_layouts(meta, config, from, target)?
+    };
     for gid in 0..n_groups {
         let mut saved_shards = Vec::with_capacity(saved);
         for rank in 0..saved {
@@ -588,35 +702,22 @@ fn bind_ranks(
                     .ok_or_else(|| CkptError::Missing(format!("rank {rank} group {gid} shard")))?,
             );
         }
-        if target == saved {
+        if target == from {
             for (rank, shard) in saved_shards.into_iter().enumerate() {
                 per_rank[rank].push(shard);
             }
             continue;
         }
-        let numel = meta.groups[gid].numel;
-        let want = numel.div_ceil(saved);
-        for (rank, s) in saved_shards.iter().enumerate() {
-            for (name, buf) in [
-                ("master", &s.master),
-                ("exp_avg", &s.exp_avg),
-                ("exp_avg_sq", &s.exp_avg_sq),
-            ] {
-                if buf.len() != want {
-                    return Err(CkptError::Format(format!(
-                        "rank {rank} group {gid} {name}: length {} != ceil({numel} / {saved})",
-                        buf.len()
-                    )));
-                }
-            }
-        }
-        let regather = |f: fn(&ShardState) -> &Vec<f32>| -> Vec<Vec<f32>> {
-            let flats: Vec<Vec<f32>> = saved_shards.iter().map(|s| f(s).clone()).collect();
-            partition_padded(&gather(&flats, numel), target)
+        let plan = GroupPlan::compute(&layouts[gid], &from, &target)
+            .map_err(|e| CkptError::Incompatible(format!("reshard plan: {e}")))?;
+        let remap = |f: fn(&ShardState) -> &Vec<f32>| -> Result<Vec<Vec<f32>>> {
+            let srcs: Vec<&[f32]> = saved_shards.iter().map(|s| f(s).as_slice()).collect();
+            plan.apply(&srcs)
+                .map_err(|e| CkptError::Format(format!("reshard: {e}")))
         };
-        let masters = regather(|s| &s.master);
-        let exp_avgs = regather(|s| &s.exp_avg);
-        let exp_avg_sqs = regather(|s| &s.exp_avg_sq);
+        let masters = remap(|s| &s.master)?;
+        let exp_avgs = remap(|s| &s.exp_avg)?;
+        let exp_avg_sqs = remap(|s| &s.exp_avg_sq)?;
         for (rank, ((master, exp_avg), exp_avg_sq)) in masters
             .into_iter()
             .zip(exp_avgs)
@@ -643,7 +744,7 @@ mod tests {
     use llmt_model::{Batch, Model, ModelConfig, ParamSet};
     use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
     use llmt_tensor::rng::Prng;
-    use llmt_zero::ZeroEngine;
+    use llmt_zero::{gather, ZeroEngine};
 
     fn write_ckpt(
         root: &Path,
@@ -754,7 +855,7 @@ mod tests {
             let state = restore_checkpoint(
                 &ckpt,
                 &RestoreRequest {
-                    world_size: Some(target),
+                    topology: Some(Topology::dp_only(target)),
                     scope: RestoreScope::OptimizerOnly,
                     ..Default::default()
                 },
@@ -762,6 +863,8 @@ mod tests {
             .unwrap();
             assert_eq!(state.ranks.len(), target);
             assert_eq!(state.report.resharded, target != 2);
+            assert_eq!(state.report.topology, Topology::dp_only(target));
+            assert_eq!(state.report.saved_topology, Topology::dp_only(2));
             // Gathering the restored shards reproduces the engine's flat
             // group buffers exactly, pad dropped.
             for (gid, g) in state.zero_meta.groups.iter().enumerate() {
@@ -856,7 +959,7 @@ mod tests {
         let err = restore_checkpoint(
             &ckpt,
             &RestoreRequest {
-                world_size: Some(4),
+                topology: Some(Topology::dp_only(4)),
                 ..Default::default()
             },
         )
@@ -885,5 +988,92 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("layers.1"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_world_size_forwards_to_topology() {
+        let cfg = ModelConfig::tiny_test();
+        let dir = tempfile::tempdir().unwrap();
+        write_ckpt(dir.path(), &cfg, 10, 2, &LayerUnit::all(&cfg), false);
+        let ckpt = dir.path().join("checkpoint-10");
+        let state = restore_checkpoint(
+            &ckpt,
+            &RestoreRequest {
+                world_size: Some(4),
+                scope: RestoreScope::OptimizerOnly,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(state.ranks.len(), 4);
+        assert_eq!(state.report.topology, Topology::dp_only(4));
+        assert!(state.report.resharded);
+        // Conflicting topology + legacy world size is refused.
+        let err = restore_checkpoint(
+            &ckpt,
+            &RestoreRequest {
+                topology: Some(Topology { dp: 2, tp: 2 }),
+                world_size: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CkptError::Incompatible(_)), "{err}");
+        // Agreeing values are fine: topology wins, 4 = 2*2 ranks.
+        let state = restore_checkpoint(
+            &ckpt,
+            &RestoreRequest {
+                topology: Some(Topology { dp: 2, tp: 2 }),
+                world_size: Some(4),
+                scope: RestoreScope::OptimizerOnly,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(state.report.topology, Topology { dp: 2, tp: 2 });
+    }
+
+    #[test]
+    fn tensor_parallel_remap_preserves_every_element() {
+        let cfg = ModelConfig::tiny_test();
+        let dir = tempfile::tempdir().unwrap();
+        let (_, engine) = write_ckpt(dir.path(), &cfg, 10, 2, &LayerUnit::all(&cfg), false);
+        let ckpt = dir.path().join("checkpoint-10");
+        for target in [
+            Topology { dp: 1, tp: 2 },
+            Topology { dp: 2, tp: 2 },
+            Topology { dp: 3, tp: 2 },
+        ] {
+            let state = restore_checkpoint(
+                &ckpt,
+                &RestoreRequest {
+                    topology: Some(target),
+                    scope: RestoreScope::OptimizerOnly,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(state.ranks.len(), target.world());
+            assert!(state.report.resharded);
+            // Regathering the tp-sharded states through the layout
+            // reproduces the engine's flat buffers bit-exactly.
+            let layouts =
+                reconstruct_layouts(&state.zero_meta, &cfg, Topology::dp_only(2), target).unwrap();
+            for (gid, g) in state.zero_meta.groups.iter().enumerate() {
+                let shards: Vec<Vec<f32>> = state
+                    .ranks
+                    .iter()
+                    .map(|r| r.shards[gid].master.clone())
+                    .collect();
+                let got = layouts[gid].gather_at(&target, &shards).unwrap();
+                let saved: Vec<Vec<f32>> = engine
+                    .ranks
+                    .iter()
+                    .map(|r| r.shards[gid].master.clone())
+                    .collect();
+                assert_eq!(got, gather(&saved, g.numel), "group {gid} target {target}");
+            }
+        }
     }
 }

@@ -119,7 +119,8 @@ pub fn image_digest(
     for (_, t) in tensors {
         h.update(t.bytes());
     }
-    Ok((prefix, prefix.len() as u64 + data_len, h.finalize()))
+    let total = prefix.len() as u64 + data_len;
+    Ok((prefix, total, h.finalize()))
 }
 
 /// Streaming variant of [`write_file_on`]: tensor bytes go through a

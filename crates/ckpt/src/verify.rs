@@ -248,17 +248,36 @@ pub fn verify_checkpoint_on(
             &mut report,
         );
     }
+    let topo = meta.topology();
+    if topo.world() != meta.world_size {
+        find(
+            "zero_meta.json",
+            format!(
+                "topology {topo} covers {} ranks but world_size is {}",
+                topo.world(),
+                meta.world_size
+            ),
+            &mut report,
+        );
+    }
     for g in &meta.groups {
-        let want = g.numel.div_ceil(meta.world_size);
-        if g.shard_len != want {
-            find(
+        // At tp = 1 the uniform ceil formula applies; at tp > 1 rank 0's
+        // length must match the recorded per-tp-slice table.
+        match g.expected_shard_len(&topo, 0) {
+            Some(want) if g.shard_len != want => find(
                 &format!("group {}", g.id),
                 format!(
-                    "shard_len {} != ceil({} / {})",
-                    g.shard_len, g.numel, meta.world_size
+                    "shard_len {} != expected {want} under topology {topo}",
+                    g.shard_len
                 ),
                 &mut report,
-            );
+            ),
+            None => find(
+                &format!("group {}", g.id),
+                format!("no expected shard length under topology {topo} (missing tp_shard_lens?)"),
+                &mut report,
+            ),
+            _ => {}
         }
     }
 
@@ -278,7 +297,9 @@ pub fn verify_checkpoint_on(
                 ),
                 Ok(shard) => {
                     report.shards_checked += 1;
-                    let want = meta.groups[*gid].shard_len;
+                    let want = meta.groups[*gid]
+                        .expected_shard_len(&topo, rank)
+                        .unwrap_or(meta.groups[*gid].shard_len);
                     for (name, buf) in [
                         ("master", &shard.master),
                         ("exp_avg", &shard.exp_avg),

@@ -393,6 +393,7 @@ mod tests {
         let cfg = ModelConfig::tiny_test();
         let (model, engine, ts) = make_state(&cfg, 2, GroupLayout::LayerWise);
         let dir = tempfile::tempdir().unwrap();
+        let units = LayerUnit::all(&cfg);
         let req_at = |step: u64| SaveRequest {
             root: dir.path(),
             step,
@@ -400,7 +401,7 @@ mod tests {
             params: &model.params,
             engine: &engine,
             trainer_state: &ts,
-            units: &LayerUnit::all(&cfg),
+            units: &units,
         };
 
         let r1 = save_checkpoint_dedup(&req_at(10)).unwrap();

@@ -561,7 +561,7 @@ fn manifest_digests(manifest_path: &Path) -> CoordResult<BTreeSet<Digest>> {
     if let Some(refs) = manifest.objects {
         for (key, object) in refs.iter_all() {
             let digest = Digest::parse_hex(&object.digest).map_err(|e| {
-                CoordError::Ckpt(llmt_ckpt::CkptError::Corrupt(format!(
+                CoordError::Ckpt(llmt_ckpt::CkptError::Format(format!(
                     "{}: malformed digest for '{key}': {e}",
                     manifest_path.display()
                 )))

@@ -20,6 +20,7 @@ fn main() -> ExitCode {
         Some("merge") => cmd_merge(&args[1..]),
         Some("autorecipe") => cmd_autorecipe(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("prune") => cmd_prune(&args[1..]),
         Some("du") => cmd_du(&args[1..]),
@@ -60,6 +61,16 @@ USAGE:
   llmtailor inspect <CHECKPOINT_DIR>
       Print a checkpoint's step, stored units, optimizer group inventory
       and on-disk size.
+
+  llmtailor convert <SRC_DIR> --output <DIR> (--dp <N> [--tp <M>] | --consolidated)
+      Convert between checkpoint layouts and topologies. With --dp/--tp,
+      restore SRC at the {dp, tp} target topology (verify-on-read stays
+      on) and re-save it as a full sharded checkpoint under --output —
+      bit-exact for weights and optimizer state at any remap. With
+      --consolidated, strip SRC down to model.safetensors + config.json.
+      SRC may itself be a consolidated directory (e.g. a MergeKit merge):
+      converting it to --dp/--tp imports it as a trainable checkpoint at
+      step 0 with freshly initialized optimizer state.
 
   llmtailor verify <CHECKPOINT_DIR> [--deep]
       Check integrity: commit marker, manifest digests, tensor shapes,
@@ -221,6 +232,7 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     println!("  step:       {}", h.trainer_state.global_step);
     println!("  task:       {}", h.trainer_state.task);
     println!("  world size: {}", h.zero_meta.world_size);
+    println!("  topology:   {}", h.zero_meta.topology());
     println!(
         "  groups:     {} total, {} present ({})",
         h.zero_meta.groups.len(),
@@ -243,6 +255,54 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     if let Some(cp) = CheckpointPaths::open(Path::new(dir)) {
         if let Ok(bytes) = cp.total_bytes() {
             println!("  on disk:    {bytes} bytes");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let src = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| "convert requires a source directory".to_string())?;
+    let output = PathBuf::from(require(args, "--output")?);
+    let consolidated = flag(args, "--consolidated");
+    let dp = opt(args, "--dp")?;
+    let target = match (consolidated, dp) {
+        (true, None) => llmtailor::TargetLayout::Consolidated,
+        (false, Some(dp)) => {
+            let dp: usize = dp.parse().map_err(|_| "--dp must be an integer")?;
+            let tp: usize = match opt(args, "--tp")? {
+                Some(t) => t.parse().map_err(|_| "--tp must be an integer")?,
+                None => 1,
+            };
+            llmtailor::TargetLayout::Sharded(llmt_zero::Topology { dp, tp })
+        }
+        _ => return Err("convert needs exactly one of --dp [--tp] or --consolidated".into()),
+    };
+    let report = llmtailor::convert_checkpoint(Path::new(src), &output, target)
+        .map_err(|e| e.to_string())?;
+    match report.target {
+        llmtailor::TargetLayout::Consolidated => println!(
+            "consolidated {} (step {}) into {}",
+            src,
+            report.step,
+            report.output.display()
+        ),
+        llmtailor::TargetLayout::Sharded(topo) => {
+            let from = match report.source_topology {
+                Some(f) => format!("{f}"),
+                None => "consolidated weights".to_string(),
+            };
+            println!(
+                "converted {src} ({from}) -> {} at {topo}{}",
+                report.output.display(),
+                if report.fresh_optimizer {
+                    ", fresh optimizer state"
+                } else {
+                    ""
+                }
+            );
         }
     }
     Ok(())

@@ -22,6 +22,7 @@
 //! baseline.
 
 pub mod autorecipe;
+pub mod convert;
 pub mod diff;
 pub mod dynamic;
 pub mod error;
@@ -33,6 +34,7 @@ pub mod report;
 pub mod retention;
 pub mod strategy;
 
+pub use convert::{convert_checkpoint, convert_checkpoint_on, ConvertReport, TargetLayout};
 pub use diff::{diff_checkpoints, UnitDiff};
 pub use dynamic::{MagnitudeStrategy, UnitDelta};
 pub use error::{PlanError, Result, TailorError};

@@ -431,6 +431,9 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
     // --- 4. Metadata files (paper §4.4) ----------------------------------
     let zero_meta = ZeroMeta {
         world_size: plan.world_size,
+        // Shards are copied through rank-for-rank, so the assembled
+        // checkpoint keeps the donor's dp×tp topology.
+        saved_topology: donor_meta.saved_topology,
         num_layers: donor_meta.num_layers,
         tied: donor_meta.tied,
         optimizer_step: donor_meta.optimizer_step,
@@ -448,6 +451,7 @@ pub fn execute_plan(plan: &MergePlan, mode: LoadMode, pattern: LoadPattern) -> R
         weight_digests: digests,
         full: true,
         objects: refs,
+        topology: donor_meta.saved_topology,
     };
     manifest.save(&out.manifest())?;
     // Seal the assembled checkpoint with a commit marker: resume refuses

@@ -75,6 +75,19 @@ impl MergePlan {
                     h.zero_meta.world_size
                 )));
             }
+            // Same world size is not enough: {dp=4, tp=1} and {dp=2, tp=2}
+            // shard along different tensor boundaries, and merge copies
+            // shard files rank-for-rank. Reshard with `llmtailor convert`
+            // before merging across topologies.
+            if h.zero_meta.topology() != base.zero_meta.topology() {
+                return Err(TailorError::Plan(format!(
+                    "{}: topology {} != base topology {} \
+                     (reshard with `llmtailor convert` first)",
+                    path.display(),
+                    h.zero_meta.topology(),
+                    base.zero_meta.topology()
+                )));
+            }
         }
 
         // Assign units: slices first (no overlaps), base fills the rest.

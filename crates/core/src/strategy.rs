@@ -346,7 +346,10 @@ mod tests {
 
     #[test]
     fn dynamic_build_is_a_typed_error_not_a_panic() {
-        let err = StrategyKind::dynamic_default().build().unwrap_err();
+        let err = StrategyKind::dynamic_default()
+            .build()
+            .err()
+            .expect("dynamic build must fail");
         assert!(matches!(
             err,
             PlanError::StatefulStrategy {

@@ -4,9 +4,9 @@
 //! All checkpoint bytes come through `llmt_ckpt::restore` — the unified
 //! parallel pipeline with verify-on-read — so resume gets streamed
 //! digest checks and fault-injection coverage for free. Because the
-//! restore engine reshards optimizer state on load, the configured
-//! `world_size` no longer has to match the saved layout: a run saved at
-//! `world_size=2` resumes bit-exactly at `world_size=4` and vice versa.
+//! restore engine executes a reshard plan on load, the configured dp×tp
+//! topology no longer has to match the saved layout: a run saved at
+//! `{dp=4, tp=1}` resumes bit-exactly at `{dp=2, tp=2}` and vice versa.
 
 use crate::trainer::{Trainer, TrainerConfig};
 use llmt_ckpt::{CkptError, RestoreRequest, RestoreScope, Result};
@@ -34,8 +34,8 @@ pub fn resume_trainer(dir: &Path, config: TrainerConfig) -> Result<Trainer> {
 /// them. Fails on partial checkpoints (merge them first), on quarantined
 /// directories (torn or tampered saves must never be trained on — see
 /// DESIGN.md, "Crash consistency & failure model") and on model-config
-/// mismatches. A `config.world_size` differing from the saved layout is
-/// fine: the restore engine regathers and re-partitions every group.
+/// mismatches. A configured topology differing from the saved layout is
+/// fine: the restore engine plans and executes the remap for every group.
 pub fn resume_trainer_on(
     storage: Arc<dyn Storage>,
     dir: &Path,
@@ -47,7 +47,7 @@ pub fn resume_trainer_on(
         storage,
         dir,
         &RestoreRequest {
-            world_size: Some(config.world_size),
+            topology: Some(config.topology()),
             scope: RestoreScope::OptimizerOnly,
             ..RestoreRequest::default()
         },
@@ -61,10 +61,10 @@ pub fn resume_trainer_on(
 
     // Model + engine skeletons, then overwrite all state from the restore.
     let mut model = Model::new(config.model_config.clone(), config.seed);
-    let mut engine = ZeroEngine::new(
+    let mut engine = ZeroEngine::with_topology(
         &model.params,
         build_groups(&config.model_config, GroupLayout::LayerWise),
-        config.world_size,
+        config.topology(),
         AdamWHyper {
             weight_decay: 0.01,
             ..Default::default()

@@ -23,7 +23,7 @@ use llmt_model::{LayerUnit, ModelConfig, ParamSet};
 use llmt_obs::{Counter, Gauge, MetricsRegistry};
 use llmt_optim::GroupSpec;
 use llmt_tensor::RawTensor;
-use llmt_zero::{ShardState, ZeroEngine};
+use llmt_zero::{ShardState, Topology, ZeroEngine};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -223,11 +223,21 @@ impl SnapshotTracker {
             blocks.insert(*unit, self.capture_unit(config, params, zero, *unit)?);
         }
         let shard_lens = (0..groups.len()).map(|gid| zero.shard_len(gid)).collect();
+        let topology = zero.topology();
+        // Per-tp-slice shard lengths, captured while the live engine is
+        // still around (the async writer only sees this snapshot). The
+        // first `tp` linear ranks are dp-rank 0's tp slices, and every dp
+        // rank of one slice shares the slice's length.
+        let tp_shard_lens = (0..groups.len())
+            .map(|gid| (topology.tp > 1).then(|| zero.shard_lens(gid)[..topology.tp].to_vec()))
+            .collect();
         Ok(CowSnapshot {
             config: config.clone(),
             groups,
             shard_lens,
             world_size: zero.world_size,
+            topology,
+            tp_shard_lens,
             optimizer_step: zero.step_count,
             blocks,
         })
@@ -247,8 +257,12 @@ pub struct CowSnapshot {
     pub groups: Vec<GroupSpec>,
     /// Per-group shard lengths.
     pub shard_lens: Vec<usize>,
-    /// Simulated data-parallel world size.
+    /// Simulated total world size (`dp * tp` linear ranks).
     pub world_size: usize,
+    /// dp×tp topology of the captured engine.
+    pub topology: Topology,
+    /// Per-group, per-tp-slice shard lengths (`None` for pure-dp groups).
+    pub tp_shard_lens: Vec<Option<Vec<usize>>>,
     /// Completed optimizer steps at capture time.
     pub optimizer_step: u64,
     /// The captured unit payloads.
@@ -281,6 +295,14 @@ impl StateSource for CowSnapshot {
 
     fn world_size(&self) -> usize {
         self.world_size
+    }
+
+    fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    fn tp_shard_lens(&self, gid: usize) -> Option<Vec<usize>> {
+        self.tp_shard_lens[gid].clone()
     }
 
     fn shard_len(&self, gid: usize) -> usize {

@@ -16,7 +16,7 @@ use llmt_storage::vfs::{
 };
 use llmt_storage::{IoTally, RestoreTimings, StageTimings};
 use llmt_tensor::rng::Prng;
-use llmt_zero::ZeroEngine;
+use llmt_zero::{Topology, ZeroEngine};
 use llmtailor::StrategyKind;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -37,8 +37,14 @@ pub struct TrainerConfig {
     /// Data seed (corpus/QA construction; batch order comes from the
     /// checkpointed RNG).
     pub data_seed: u64,
-    /// Simulated data-parallel ranks.
+    /// Simulated data-parallel ranks (the ZeRO shard count per tensor-
+    /// parallel slice).
     pub world_size: usize,
+    /// Simulated tensor-parallel degree. Total ranks are
+    /// `world_size * tensor_parallel`; 1 (the serde default, so existing
+    /// configs parse unchanged) is pure data parallelism.
+    #[serde(default = "default_tensor_parallel")]
+    pub tensor_parallel: usize,
     /// Sequences per micro-batch.
     pub micro_batch: usize,
     /// Gradient-accumulation steps per optimizer step.
@@ -108,7 +114,20 @@ pub struct TrainerConfig {
     pub session_label: Option<String>,
 }
 
+/// Serde default for [`TrainerConfig::tensor_parallel`].
+fn default_tensor_parallel() -> usize {
+    1
+}
+
 impl TrainerConfig {
+    /// The dp×tp topology this configuration trains at.
+    pub fn topology(&self) -> Topology {
+        Topology {
+            dp: self.world_size,
+            tp: self.tensor_parallel,
+        }
+    }
+
     /// A small, fast configuration for tests.
     pub fn test_default(run_root: PathBuf) -> Self {
         TrainerConfig {
@@ -117,6 +136,7 @@ impl TrainerConfig {
             seed: 1,
             data_seed: 1,
             world_size: 2,
+            tensor_parallel: 1,
             micro_batch: 2,
             grad_accum: 1,
             seq_len: 16,
@@ -315,10 +335,10 @@ impl Trainer {
     /// harness injects a [`FaultyFs`] here to kill saves mid-write).
     pub fn with_storage(config: TrainerConfig, storage: Arc<dyn Storage>) -> Self {
         let model = Model::new(config.model_config.clone(), config.seed);
-        let engine = ZeroEngine::new(
+        let engine = ZeroEngine::with_topology(
             &model.params,
             build_groups(&config.model_config, GroupLayout::LayerWise),
-            config.world_size,
+            config.topology(),
             AdamWHyper {
                 weight_decay: 0.01,
                 ..Default::default()

@@ -6,7 +6,7 @@
 //! in parallel, then all-gathers the masters back into the BF16 model
 //! copy. Checkpointing reads [`RankState`]s; resuming writes them back.
 
-use crate::partition::{gather, partition_padded, shard_size};
+use crate::topology::{GroupTopoLayout, PlanError, Topology};
 use llmt_model::ParamSet;
 use llmt_optim::flat::{flatten_group, unflatten_group_into};
 use llmt_optim::{adamw_update, AdamWHyper, GroupSpec};
@@ -42,13 +42,17 @@ pub struct RankState {
     pub shards: Vec<ShardState>,
 }
 
-/// Sharded grouped AdamW across `world_size` simulated data-parallel ranks.
+/// Sharded grouped AdamW across `topology.world()` simulated ranks —
+/// data-parallel ZeRO shards of tensor-parallel slices.
 #[derive(Debug, Clone)]
 pub struct ZeroEngine {
-    /// Number of simulated ranks ("GPUs").
+    /// Total number of simulated ranks (`topology.world()`).
     pub world_size: usize,
+    topology: Topology,
     groups: Vec<GroupSpec>,
-    /// Per-rank optimizer state.
+    layouts: Vec<GroupTopoLayout>,
+    /// Per-rank optimizer state, indexed by linear rank
+    /// (`dp_rank * tp + tp_rank`).
     pub ranks: Vec<RankState>,
     /// 1-based AdamW step counter (0 before any step).
     pub step_count: u64,
@@ -57,34 +61,62 @@ pub struct ZeroEngine {
 }
 
 impl ZeroEngine {
-    /// Initialize: partition the model's current parameters into per-rank
-    /// master shards with zeroed moments.
+    /// Initialize a pure data-parallel engine (`{dp: world_size, tp: 1}`):
+    /// partition the model's current parameters into per-rank master
+    /// shards with zeroed moments.
     pub fn new(
         params: &ParamSet,
         groups: Vec<GroupSpec>,
         world_size: usize,
         hyper: AdamWHyper,
     ) -> Self {
-        assert!(world_size > 0);
+        Self::with_topology(params, groups, Topology::dp_only(world_size), hyper)
+    }
+
+    /// Initialize at an explicit dp×tp topology. Each tensor is first
+    /// split across tp ranks (Megatron row/column convention, exact
+    /// partition), each tp slice then ZeRO-sharded across dp ranks. The
+    /// parameter trajectory is bit-identical for every topology — AdamW
+    /// is element-wise, so any exact partition is an implementation
+    /// detail.
+    pub fn with_topology(
+        params: &ParamSet,
+        groups: Vec<GroupSpec>,
+        topology: Topology,
+        hyper: AdamWHyper,
+    ) -> Self {
+        topology.validate().expect("degenerate topology");
+        // Invariant: `groups` was built from the same config as `params`,
+        // so every member exists. Malformed *checkpoint* data never
+        // reaches this path — the restore engine validates shards and
+        // `load_rank_state` guards shapes.
+        let layouts: Vec<GroupTopoLayout> = groups
+            .iter()
+            .map(|g| {
+                GroupTopoLayout::from_group(g, |n| params.get(n).map(|t| t.shape().dims().to_vec()))
+                    .expect("group layout matches live ParamSet")
+            })
+            .collect();
+        let world_size = topology.world();
         let mut ranks: Vec<RankState> = (0..world_size)
             .map(|_| RankState {
                 shards: Vec::with_capacity(groups.len()),
             })
             .collect();
-        for group in &groups {
-            // Invariant: `groups` was built from the same config as
-            // `params`, so every member exists. Malformed *checkpoint*
-            // data never reaches this path — the restore engine validates
-            // shards and `load_rank_state` guards shapes.
+        for (group, layout) in groups.iter().zip(&layouts) {
             let flat = flatten_group(params, group).expect("group layout matches live ParamSet");
-            let shards = partition_padded(&flat, world_size);
+            let shards = layout
+                .partition_at(&topology, &flat)
+                .expect("valid topology partitions any group");
             for (r, shard) in shards.into_iter().enumerate() {
                 ranks[r].shards.push(ShardState::zeros_like(shard));
             }
         }
         ZeroEngine {
             world_size,
+            topology,
             groups,
+            layouts,
             ranks,
             step_count: 0,
             hyper,
@@ -96,6 +128,16 @@ impl ZeroEngine {
         &self.groups
     }
 
+    /// The engine's dp×tp topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The tp-aware flat-buffer layouts, one per group (plan inputs).
+    pub fn layouts(&self) -> &[GroupTopoLayout] {
+        &self.layouts
+    }
+
     /// One sharded optimizer step. Gradients are flattened per group,
     /// "reduce-scattered" (sliced) to ranks, each shard updated in parallel,
     /// and masters all-gathered back into `params` (BF16-rounded when
@@ -103,12 +145,15 @@ impl ZeroEngine {
     pub fn step(&mut self, params: &mut ParamSet, grads: &ParamSet, lr: f32, quantize_bf16: bool) {
         self.step_count += 1;
         let step = self.step_count;
-        let world = self.world_size;
+        let topo = self.topology;
         let hyper = self.hyper;
         for (gi, group) in self.groups.iter().enumerate() {
+            let layout = &self.layouts[gi];
             let flat_grad =
                 flatten_group(grads, group).expect("group layout matches live gradient ParamSet");
-            let grad_shards = partition_padded(&flat_grad, world);
+            let grad_shards = layout
+                .partition_at(&topo, &flat_grad)
+                .expect("valid topology partitions any group");
             let hp = AdamWHyper {
                 lr,
                 weight_decay: group.weight_decay,
@@ -135,7 +180,9 @@ impl ZeroEngine {
                 .iter()
                 .map(|r| r.shards[gi].master.clone())
                 .collect();
-            let full = gather(&master_shards, group.numel);
+            let full = layout
+                .gather_at(&topo, &master_shards)
+                .expect("engine shards match engine layout");
             unflatten_group_into(params, group, &full, quantize_bf16)
                 .expect("gathered master matches live ParamSet layout");
         }
@@ -148,34 +195,63 @@ impl ZeroEngine {
             .iter()
             .map(|r| r.shards[group_id].master.clone())
             .collect();
-        gather(&shards, self.groups[group_id].numel)
+        self.layouts[group_id]
+            .gather_at(&self.topology, &shards)
+            .expect("engine shards match engine layout")
     }
 
-    /// Expected shard length for a group under this engine's world size.
+    /// Rank-0 shard length for a group. At `tp = 1` every rank shares this
+    /// length (`ceil(numel / world)`); at `tp > 1` use [`Self::shard_lens`]
+    /// for the per-rank lengths.
     pub fn shard_len(&self, group_id: usize) -> usize {
-        shard_size(self.groups[group_id].numel, self.world_size)
+        self.shard_lens(group_id)[0]
+    }
+
+    /// Padded shard length per linear rank for a group.
+    pub fn shard_lens(&self, group_id: usize) -> Vec<usize> {
+        self.layouts[group_id]
+            .shard_lens(&self.topology)
+            .expect("engine topology is valid")
     }
 
     /// Replace one rank's state wholesale (checkpoint resume path).
     /// Panics if the shard shapes do not match this engine's layout.
     pub fn load_rank_state(&mut self, rank: usize, state: RankState) {
-        assert!(rank < self.world_size, "rank out of range");
-        assert_eq!(
-            state.shards.len(),
-            self.groups.len(),
-            "group count mismatch in rank state"
-        );
+        if let Err(e) = self.try_load_rank_state(rank, state) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Self::load_rank_state`] for load paths fed by untrusted
+    /// checkpoint data: shape mismatches come back as a typed error.
+    pub fn try_load_rank_state(&mut self, rank: usize, state: RankState) -> Result<(), PlanError> {
+        if rank >= self.world_size {
+            return Err(PlanError::RankCountMismatch {
+                got: rank,
+                expect: self.world_size,
+            });
+        }
+        if state.shards.len() != self.groups.len() {
+            return Err(PlanError::RankCountMismatch {
+                got: state.shards.len(),
+                expect: self.groups.len(),
+            });
+        }
         for (gi, sh) in state.shards.iter().enumerate() {
-            let want = self.shard_len(gi);
-            assert_eq!(sh.master.len(), want, "group {gi} master shard length");
-            assert_eq!(sh.exp_avg.len(), want, "group {gi} exp_avg shard length");
-            assert_eq!(
-                sh.exp_avg_sq.len(),
-                want,
-                "group {gi} exp_avg_sq shard length"
-            );
+            let want = self.shard_lens(gi)[rank];
+            for buf in [&sh.master, &sh.exp_avg, &sh.exp_avg_sq] {
+                if buf.len() != want {
+                    return Err(PlanError::ShortSource {
+                        group: gi,
+                        rank,
+                        got: buf.len(),
+                        expect: want,
+                    });
+                }
+            }
         }
         self.ranks[rank] = state;
+        Ok(())
     }
 
     /// Write the gathered masters into `params` without stepping (used
@@ -250,6 +326,57 @@ mod tests {
         }
     }
 
+    /// The same invariant across dp×tp topologies: the second partition
+    /// dimension is also an implementation detail — every topology's
+    /// trajectory is bit-identical to the unsharded reference.
+    #[test]
+    fn topology_sharded_equals_unsharded() {
+        let cfg = ModelConfig::tiny_test();
+        let base = Model::new(cfg.clone(), 13);
+        let hyper = AdamWHyper {
+            weight_decay: 0.01,
+            ..Default::default()
+        };
+        let mut ref_model = base.clone();
+        let mut ref_opt = GroupedAdamW::new(
+            &ref_model.params,
+            build_groups(&cfg, GroupLayout::LayerWise),
+            hyper,
+        )
+        .unwrap();
+        let batches: Vec<Batch> = (0..3u64).map(|s| toy_batch(&cfg, 300 + s)).collect();
+        for batch in &batches {
+            let mut grads = ParamSet::zeros(&cfg);
+            ref_model.loss_and_grad(batch, &mut grads);
+            ref_opt
+                .step(&mut ref_model.params, &grads, 1e-3, true)
+                .unwrap();
+        }
+        for topo in [
+            Topology { dp: 1, tp: 2 },
+            Topology { dp: 2, tp: 2 },
+            Topology { dp: 3, tp: 2 },
+            Topology { dp: 2, tp: 3 },
+        ] {
+            let mut m = base.clone();
+            let mut engine = ZeroEngine::with_topology(
+                &m.params,
+                build_groups(&cfg, GroupLayout::LayerWise),
+                topo,
+                hyper,
+            );
+            assert_eq!(engine.world_size, topo.world());
+            for batch in &batches {
+                let mut grads = ParamSet::zeros(&cfg);
+                m.loss_and_grad(batch, &mut grads);
+                engine.step(&mut m.params, &grads, 1e-3, true);
+            }
+            for ((_, a), (_, b)) in m.params.iter().zip(ref_model.params.iter()) {
+                assert_eq!(a.data(), b.data(), "{topo} diverged");
+            }
+        }
+    }
+
     #[test]
     fn full_master_reassembles_initial_params() {
         let cfg = ModelConfig::tiny_test();
@@ -314,7 +441,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shard length")]
+    #[should_panic(expected = "source shard")]
     fn load_rank_state_validates_shapes() {
         let cfg = ModelConfig::tiny_test();
         let model = Model::new(cfg.clone(), 5);

@@ -15,6 +15,10 @@
 
 pub mod engine;
 pub mod partition;
+pub mod topology;
 
 pub use engine::{RankState, ShardState, ZeroEngine};
-pub use partition::{gather, partition_padded, shard_range, shard_size};
+pub use partition::{
+    gather, partition_padded, shard_range, shard_size, try_gather, try_shard_range, PartitionError,
+};
+pub use topology::{CopyOp, GroupPlan, GroupTopoLayout, PlanError, ReshardPlan, Topology, TpSplit};

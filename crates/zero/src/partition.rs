@@ -6,6 +6,47 @@
 //! file have the same layout — the property LLMTailor's shard copying
 //! relies on.
 
+use std::fmt;
+
+/// Typed shard-arithmetic failure. Malformed checkpoint metadata can drive
+/// these functions with out-of-range ranks or undersized shard sets; the
+/// load path must surface that as an error, never a panic (PR 5 invariant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A world size (or dp/tp degree) of zero was supplied.
+    ZeroWorld,
+    /// A rank index at or beyond the world size was supplied.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// The world size it must be below.
+        world: usize,
+    },
+    /// The shards supplied to [`try_gather`] do not cover the buffer.
+    ShortShards {
+        /// Elements the shards cover.
+        have: usize,
+        /// Elements the buffer needs.
+        need: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::ZeroWorld => write!(f, "world size must be positive"),
+            PartitionError::RankOutOfRange { rank, world } => {
+                write!(f, "rank {rank} out of world {world}")
+            }
+            PartitionError::ShortShards { have, need } => {
+                write!(f, "shards cover {have} elements but {need} are required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
 /// Elements per rank shard (`ceil(n / world)`).
 pub fn shard_size(n: usize, world: usize) -> usize {
     assert!(world > 0, "world size must be positive");
@@ -15,11 +56,30 @@ pub fn shard_size(n: usize, world: usize) -> usize {
 /// The half-open range of *real* (unpadded) elements rank `r` owns.
 /// May be empty for trailing ranks of tiny buffers.
 pub fn shard_range(n: usize, world: usize, rank: usize) -> std::ops::Range<usize> {
-    assert!(rank < world, "rank {rank} out of world {world}");
+    match try_shard_range(n, world, rank) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`shard_range`]: returns a typed error instead of panicking on
+/// an out-of-range rank or zero world. Use this on load paths fed by
+/// untrusted checkpoint metadata.
+pub fn try_shard_range(
+    n: usize,
+    world: usize,
+    rank: usize,
+) -> Result<std::ops::Range<usize>, PartitionError> {
+    if world == 0 {
+        return Err(PartitionError::ZeroWorld);
+    }
+    if rank >= world {
+        return Err(PartitionError::RankOutOfRange { rank, world });
+    }
     let s = shard_size(n, world);
     let start = (rank * s).min(n);
     let end = ((rank + 1) * s).min(n);
-    start..end
+    Ok(start..end)
 }
 
 /// Split a flat buffer into `world` equal shards, padding the tail with
@@ -39,6 +99,16 @@ pub fn partition_padded(flat: &[f32], world: usize) -> Vec<Vec<f32>> {
 
 /// Reassemble shards into the original `n`-element buffer, dropping pad.
 pub fn gather(shards: &[Vec<f32>], n: usize) -> Vec<f32> {
+    match try_gather(shards, n) {
+        Ok(out) => out,
+        Err(e) => panic!("shards too small to cover {n} elements: {e}"),
+    }
+}
+
+/// Fallible [`gather`]: returns a typed error when the shards are too small
+/// to cover `n` elements instead of panicking. Use this on load paths fed
+/// by untrusted checkpoint metadata.
+pub fn try_gather(shards: &[Vec<f32>], n: usize) -> Result<Vec<f32>, PartitionError> {
     let mut out = Vec::with_capacity(n);
     for shard in shards {
         if out.len() >= n {
@@ -47,8 +117,13 @@ pub fn gather(shards: &[Vec<f32>], n: usize) -> Vec<f32> {
         let take = (n - out.len()).min(shard.len());
         out.extend_from_slice(&shard[..take]);
     }
-    assert_eq!(out.len(), n, "shards too small to cover {n} elements");
-    out
+    if out.len() != n {
+        return Err(PartitionError::ShortShards {
+            have: out.len(),
+            need: n,
+        });
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -105,6 +180,25 @@ mod tests {
     #[should_panic(expected = "out of world")]
     fn rank_bounds_checked() {
         shard_range(10, 2, 2);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        assert_eq!(
+            try_shard_range(10, 0, 0).unwrap_err(),
+            PartitionError::ZeroWorld
+        );
+        assert_eq!(
+            try_shard_range(10, 2, 2).unwrap_err(),
+            PartitionError::RankOutOfRange { rank: 2, world: 2 }
+        );
+        assert_eq!(try_shard_range(10, 2, 1).unwrap(), 5..10);
+        let shards = vec![vec![1.0f32, 2.0]];
+        assert_eq!(
+            try_gather(&shards, 5).unwrap_err(),
+            PartitionError::ShortShards { have: 2, need: 5 }
+        );
+        assert_eq!(try_gather(&shards, 2).unwrap(), vec![1.0, 2.0]);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Randomized round-trip properties of the topology layer: partition at
+//! one dp×tp topology, plan the remap offline, apply it, and the target
+//! shards must be **bit-exactly** what a direct partition at the target
+//! would produce — for arbitrary tensor compositions, shapes, and
+//! topology pairs.
+//!
+//! Plain `#[test]`s over a seeded [`Prng`] rather than `proptest!`, so
+//! the sweep is deterministic, shrink-free, and runs in every build
+//! environment the crate compiles in.
+
+use llmt_optim::GroupSpec;
+use llmt_tensor::rng::Prng;
+use llmt_zero::{GroupPlan, GroupTopoLayout, Topology};
+use std::collections::HashMap;
+
+/// A random tensor composition: mixed 1D/2D shapes, some names steering
+/// the column-split classification (`o_proj.` / `down_proj.`).
+fn random_group(rng: &mut Prng, id: usize) -> (GroupSpec, HashMap<String, Vec<usize>>) {
+    let n_tensors = 1 + rng.below(5);
+    let mut names = Vec::new();
+    let mut shapes = HashMap::new();
+    let mut numel = 0usize;
+    for i in 0..n_tensors {
+        let name = match rng.below(4) {
+            0 => format!("layers.{id}.self_attn.o_proj.t{i}.weight"),
+            1 => format!("layers.{id}.mlp.down_proj.t{i}.weight"),
+            2 => format!("layers.{id}.mlp.gate_proj.t{i}.weight"),
+            _ => format!("layers.{id}.norm.t{i}.weight"),
+        };
+        let shape = if rng.below(4) == 0 {
+            vec![1 + rng.below(24)]
+        } else {
+            vec![1 + rng.below(9), 1 + rng.below(9)]
+        };
+        numel += shape.iter().product::<usize>();
+        shapes.insert(name.clone(), shape);
+        names.push(name);
+    }
+    (
+        GroupSpec {
+            id,
+            weight_decay: 0.0,
+            names,
+            numel,
+            unit: None,
+        },
+        shapes,
+    )
+}
+
+/// Arbitrary bit patterns, NaN payloads included: bit-exactness means
+/// nothing was re-encoded along the way.
+fn random_flat(rng: &mut Prng, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|_| f32::from_bits(rng.next_u64() as u32))
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+const TOPOLOGIES: [Topology; 8] = [
+    Topology { dp: 1, tp: 1 },
+    Topology { dp: 2, tp: 1 },
+    Topology { dp: 3, tp: 1 },
+    Topology { dp: 4, tp: 1 },
+    Topology { dp: 1, tp: 2 },
+    Topology { dp: 2, tp: 2 },
+    Topology { dp: 3, tp: 2 },
+    Topology { dp: 2, tp: 4 },
+];
+
+/// partition(A) → plan(A→B) → apply == partition(B), bitwise, for random
+/// compositions and every topology pair.
+#[test]
+fn plan_apply_matches_direct_partition() {
+    let mut rng = Prng::seed_from_u64(0xA11CE);
+    for case in 0..40 {
+        let (group, shapes) = random_group(&mut rng, case);
+        let layout = GroupTopoLayout::from_group(&group, |n| shapes.get(n).cloned()).unwrap();
+        let flat = random_flat(&mut rng, group.numel);
+        for from in &TOPOLOGIES {
+            let src = layout.partition_at(from, &flat).unwrap();
+            for to in &TOPOLOGIES {
+                let plan = GroupPlan::compute(&layout, from, to).unwrap();
+                let src_refs: Vec<&[f32]> = src.iter().map(|s| s.as_slice()).collect();
+                let got = plan.apply(&src_refs).unwrap();
+                let want = layout.partition_at(to, &flat).unwrap();
+                assert_eq!(got.len(), want.len(), "case {case}: {from} -> {to}");
+                for (r, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        bits(g),
+                        bits(w),
+                        "case {case}: {from} -> {to}, rank {r} shard diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Gathering the remapped shards reproduces the original flat buffer:
+/// the plan moved every element exactly once — full coverage, no
+/// overlap, no re-encoding.
+#[test]
+fn remapped_shards_regather_to_the_original_buffer() {
+    let mut rng = Prng::seed_from_u64(0xB0B);
+    for case in 0..40 {
+        let (group, shapes) = random_group(&mut rng, case);
+        let layout = GroupTopoLayout::from_group(&group, |n| shapes.get(n).cloned()).unwrap();
+        let flat = random_flat(&mut rng, group.numel);
+        for from in &TOPOLOGIES {
+            let src = layout.partition_at(from, &flat).unwrap();
+            for to in &TOPOLOGIES {
+                let plan = GroupPlan::compute(&layout, from, to).unwrap();
+                let src_refs: Vec<&[f32]> = src.iter().map(|s| s.as_slice()).collect();
+                let remapped = plan.apply(&src_refs).unwrap();
+                let regathered = layout.gather_at(to, &remapped).unwrap();
+                assert_eq!(
+                    bits(&regathered),
+                    bits(&flat),
+                    "case {case}: {from} -> {to} lost or duplicated elements"
+                );
+            }
+        }
+    }
+}
+
+/// Shard lengths tile exactly: for any topology, the per-rank unpadded
+/// coverage sums to numel, and every pad slot the plan writes is +0.0.
+#[test]
+fn plans_recreate_padding_as_positive_zero() {
+    let mut rng = Prng::seed_from_u64(0xDADA);
+    for case in 0..20 {
+        let (group, shapes) = random_group(&mut rng, case);
+        let layout = GroupTopoLayout::from_group(&group, |n| shapes.get(n).cloned()).unwrap();
+        // All-NaN payload: any pad slot that leaked payload would be NaN.
+        let flat = vec![f32::from_bits(0x7FC0_1234); group.numel];
+        for from in &TOPOLOGIES {
+            let src = layout.partition_at(from, &flat).unwrap();
+            for to in &TOPOLOGIES {
+                let plan = GroupPlan::compute(&layout, from, to).unwrap();
+                let src_refs: Vec<&[f32]> = src.iter().map(|s| s.as_slice()).collect();
+                let remapped = plan.apply(&src_refs).unwrap();
+                let lens = layout.shard_lens(to).unwrap();
+                let payload: usize = remapped
+                    .iter()
+                    .map(|s| s.iter().filter(|v| v.is_nan()).count())
+                    .sum();
+                assert_eq!(payload, group.numel, "case {case}: {from} -> {to} coverage");
+                for (r, shard) in remapped.iter().enumerate() {
+                    assert_eq!(shard.len(), lens[r], "case {case}: rank {r} len");
+                    for v in shard.iter().filter(|v| !v.is_nan()) {
+                        assert_eq!(
+                            v.to_bits(),
+                            0f32.to_bits(),
+                            "case {case}: {from} -> {to} rank {r}: pad not +0.0"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

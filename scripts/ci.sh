@@ -58,3 +58,15 @@ echo "$REPORT_JSON" | grep -Eq '"commit": [1-9]' \
   || { echo "telemetry report missing nonzero commit stage"; exit 1; }
 echo "$REPORT_JSON" | grep -q '"torn_tail": false' \
   || { echo "telemetry report flagged a torn journal on a clean run"; exit 1; }
+
+# Cross-topology resume matrix: every {dp=1..4} x {tp=1,2} remap pair
+# must resume bit-exactly (weights, loss trajectory, optimizer state)
+# through verify-on-read and the fault-injection VFS, and a mid-restore
+# crash during a tensor-parallel remap must fail clean.
+cargo test -q -p llmt-train --test topology_matrix
+
+# Reshard smoke: plan + restore every remap pair on the tiny model,
+# check the plan/report invariants, and emit the per-pair timing JSON.
+cargo run --release -p llmt-bench --bin reshard_matrix -- --smoke --out "$SMOKE_ROOT/BENCH_reshard_matrix.json"
+grep -q '"restore_secs"' "$SMOKE_ROOT/BENCH_reshard_matrix.json" \
+  || { echo "reshard matrix bench emitted no per-pair timings"; exit 1; }
