@@ -38,6 +38,8 @@ fn run(strategy: StrategyKind, async_ckpt: bool) -> (f64, f64, u64) {
         frozen_units: Vec::new(),
         ckpt_chunk_bytes: None,
         sequential_ckpt_io: false,
+        ckpt_compress: false,
+        ckpt_delta_chain: 0,
         session_label: None,
     });
     let report = t.train_until(18, None).unwrap();

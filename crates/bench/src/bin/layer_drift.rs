@@ -41,6 +41,8 @@ fn main() {
         frozen_units: Vec::new(),
         ckpt_chunk_bytes: None,
         sequential_ckpt_io: false,
+        ckpt_compress: false,
+        ckpt_delta_chain: 0,
         session_label: None,
     };
     eprintln!("training 40 steps with full checkpoints every 10...");

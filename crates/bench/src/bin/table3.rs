@@ -35,6 +35,8 @@ fn measured(model: ModelConfig, task: DataTask, strategy: StrategyKind) -> (u64,
         frozen_units: Vec::new(),
         ckpt_chunk_bytes: None,
         sequential_ckpt_io: false,
+        ckpt_compress: false,
+        ckpt_delta_chain: 0,
         session_label: None,
     });
     let report = t.train_until(24, None).unwrap();

@@ -106,6 +106,8 @@ fn main() {
                 frozen_units: Vec::new(),
                 ckpt_chunk_bytes: None,
                 sequential_ckpt_io: false,
+                ckpt_compress: false,
+                ckpt_delta_chain: 0,
                 session_label: None,
             });
             let report = t.train_until(30, None).unwrap();

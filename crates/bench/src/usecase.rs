@@ -86,6 +86,8 @@ impl UseCaseSpec {
             frozen_units: Vec::new(),
             ckpt_chunk_bytes: None,
             sequential_ckpt_io: false,
+            ckpt_compress: false,
+            ckpt_delta_chain: 0,
             session_label: None,
         }
     }

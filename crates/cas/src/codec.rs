@@ -1,0 +1,596 @@
+//! Typed object encodings for the content-addressed store.
+//!
+//! PR 2's store held exactly one kind of object: the raw decoded bytes
+//! of a unit payload, keyed by their SHA-256 digest. This module adds a
+//! self-describing *encoded* object format so the store can also hold
+//!
+//! * `Full { codec }` — the whole payload, byte-compressed; and
+//! * `Delta { base, codec }` — a compressed XOR diff against another
+//!   object (the same unit at the previous checkpoint), whose decoded
+//!   bytes hash to this object's own digest.
+//!
+//! The object's *name* never changes meaning: `objects/<hh>/<hex>.obj`
+//! is still the SHA-256 of the **decoded** bytes, so manifests,
+//! verify-on-read digests, refcounted GC liveness, and resharding are
+//! all untouched by encoding. Only the file's *contents* differ, and a
+//! fixed magic header tells readers which kind they are holding.
+//!
+//! Legacy raw objects have no header: their first 8 bytes are a
+//! safetensors header-length prefix (a little-endian `u64` that is in
+//! practice a few KiB). The magic constant is chosen so its LE value is
+//! ~3.5e18 — no real safetensors header is that long, so raw and
+//! encoded objects cannot be confused.
+//!
+//! The byte codec is an in-repo LZSS (no external dependencies): a
+//! 64 KiB sliding window, minimum match 4, maximum match 259, with flag
+//! bytes grouping eight literal-or-match tokens. It is not zstd, but on
+//! the diff streams deltas produce (mostly zero bytes) it reaches the
+//! compression ratios that make every-step checkpointing affordable,
+//! and it round-trips bit-exactly (property-tested in
+//! `crates/cas/tests/codec_props.rs`).
+//!
+//! Float tensors need one more trick: the XOR diff of a weight array
+//! across one optimizer step zeroes the sign/exponent byte of nearly
+//! every element while the low mantissa bytes stay noisy, so zeros land
+//! *interleaved* — one per 4-byte element — where an LZ matcher cannot
+//! use them. [`Codec::ShuffleLzss`] transposes the buffer into byte
+//! planes (Blosc-style shuffle, stride 4) first, turning those
+//! per-element zeros into whole contiguous planes of zeros that LZSS
+//! collapses. Writers pick whichever codec actually yields the smaller
+//! payload; readers just dispatch on the tag in the header.
+
+use std::io;
+
+/// Magic prefix of every encoded object file. As a little-endian `u64`
+/// this reads ~0x314A424F544D4C4C ≈ 3.5e18, far beyond any plausible
+/// safetensors header length, so legacy raw objects (which start with
+/// that length) can never alias it.
+pub const OBJECT_MAGIC: &[u8; 8] = b"LLMTOBJ1";
+
+/// Object kind tag: a self-contained compressed payload.
+pub const KIND_FULL: u8 = 1;
+/// Object kind tag: a compressed XOR diff against a base object.
+pub const KIND_DELTA: u8 = 2;
+
+/// Codec tag: payload bytes are stored verbatim.
+pub const CODEC_RAW: u8 = 0;
+/// Codec tag: payload bytes are LZSS-compressed.
+pub const CODEC_LZSS: u8 = 1;
+/// Codec tag: payload bytes are byte-plane shuffled (stride 4), then
+/// LZSS-compressed.
+pub const CODEC_SHUFFLE_LZSS: u8 = 2;
+
+/// Fixed header length for `Full` objects (magic + kind + codec +
+/// logical length).
+pub const FULL_HEADER_LEN: usize = 8 + 1 + 1 + 8;
+/// Fixed header length for `Delta` objects (`Full` header + 32-byte raw
+/// base digest).
+pub const DELTA_HEADER_LEN: usize = FULL_HEADER_LEN + 32;
+
+/// Byte codec of an encoded object's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Stored verbatim (used when compression would not shrink).
+    Raw,
+    /// In-repo LZSS compression.
+    Lzss,
+    /// Stride-4 byte-plane shuffle, then LZSS. XOR diffs of float
+    /// tensors zero the sign/exponent byte of almost every element but
+    /// leave the low mantissa bytes noisy; interleaved single zeros are
+    /// invisible to an LZ matcher, while shuffling gathers each byte
+    /// plane into a contiguous run it compresses well.
+    ShuffleLzss,
+}
+
+impl Codec {
+    fn tag(self) -> u8 {
+        match self {
+            Codec::Raw => CODEC_RAW,
+            Codec::Lzss => CODEC_LZSS,
+            Codec::ShuffleLzss => CODEC_SHUFFLE_LZSS,
+        }
+    }
+
+    fn from_tag(tag: u8) -> io::Result<Self> {
+        match tag {
+            CODEC_RAW => Ok(Codec::Raw),
+            CODEC_LZSS => Ok(Codec::Lzss),
+            CODEC_SHUFFLE_LZSS => Ok(Codec::ShuffleLzss),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown object codec tag {other}"),
+            )),
+        }
+    }
+
+    /// Encode `bytes` with this codec.
+    pub fn encode(self, bytes: &[u8]) -> Vec<u8> {
+        match self {
+            Codec::Raw => bytes.to_vec(),
+            Codec::Lzss => lzss_compress(bytes),
+            Codec::ShuffleLzss => lzss_compress(&shuffle4(bytes)),
+        }
+    }
+
+    /// Decode a payload produced by [`Codec::encode`]. `logical_len` is
+    /// the expected decoded length; a mismatch is `InvalidData`.
+    pub fn decode(self, payload: &[u8], logical_len: u64) -> io::Result<Vec<u8>> {
+        let out = match self {
+            Codec::Raw => payload.to_vec(),
+            Codec::Lzss => lzss_decompress(payload)?,
+            Codec::ShuffleLzss => unshuffle4(&lzss_decompress(payload)?),
+        };
+        if out.len() as u64 != logical_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "encoded object decoded to {} bytes, header claims {logical_len}",
+                    out.len()
+                ),
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Parsed header of an object file: what the bytes after it mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// Pre-encoding object: the file *is* the decoded payload.
+    LegacyRaw,
+    /// Self-contained encoded payload.
+    Full {
+        /// Payload codec.
+        codec: Codec,
+        /// Decoded length in bytes.
+        logical_len: u64,
+    },
+    /// Compressed XOR diff against `base` (decoded lengths must match).
+    Delta {
+        /// Payload codec of the diff stream.
+        codec: Codec,
+        /// Decoded length in bytes (equals the base's decoded length).
+        logical_len: u64,
+        /// Digest of the base object the diff applies to.
+        base: crate::Digest,
+    },
+}
+
+impl ObjectKind {
+    /// Length of the header this kind occupies in the object file
+    /// (0 for legacy raw objects).
+    pub fn header_len(&self) -> usize {
+        match self {
+            ObjectKind::LegacyRaw => 0,
+            ObjectKind::Full { .. } => FULL_HEADER_LEN,
+            ObjectKind::Delta { .. } => DELTA_HEADER_LEN,
+        }
+    }
+}
+
+/// Whether `bytes` begin with the encoded-object magic.
+pub fn is_encoded(bytes: &[u8]) -> bool {
+    bytes.len() >= OBJECT_MAGIC.len() && &bytes[..OBJECT_MAGIC.len()] == OBJECT_MAGIC
+}
+
+/// Serialize a `Full` header.
+pub fn full_header(codec: Codec, logical_len: u64) -> Vec<u8> {
+    let mut h = Vec::with_capacity(FULL_HEADER_LEN);
+    h.extend_from_slice(OBJECT_MAGIC);
+    h.push(KIND_FULL);
+    h.push(codec.tag());
+    h.extend_from_slice(&logical_len.to_le_bytes());
+    h
+}
+
+/// Serialize a `Delta` header.
+pub fn delta_header(codec: Codec, logical_len: u64, base: &crate::Digest) -> Vec<u8> {
+    let mut h = Vec::with_capacity(DELTA_HEADER_LEN);
+    h.extend_from_slice(OBJECT_MAGIC);
+    h.push(KIND_DELTA);
+    h.push(codec.tag());
+    h.extend_from_slice(&logical_len.to_le_bytes());
+    h.extend_from_slice(&base.0);
+    h
+}
+
+/// Parse the header of an object file's leading bytes. Bytes without
+/// the magic are a legacy raw object; bytes with the magic but a
+/// malformed or truncated header are `InvalidData`.
+pub fn parse_header(bytes: &[u8]) -> io::Result<ObjectKind> {
+    if !is_encoded(bytes) {
+        return Ok(ObjectKind::LegacyRaw);
+    }
+    if bytes.len() < FULL_HEADER_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "encoded object shorter than its fixed header",
+        ));
+    }
+    let kind = bytes[8];
+    let codec = Codec::from_tag(bytes[9])?;
+    let logical_len = u64::from_le_bytes(bytes[10..18].try_into().expect("8 bytes"));
+    match kind {
+        KIND_FULL => Ok(ObjectKind::Full { codec, logical_len }),
+        KIND_DELTA => {
+            if bytes.len() < DELTA_HEADER_LEN {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "delta object shorter than its header",
+                ));
+            }
+            let mut raw = [0u8; 32];
+            raw.copy_from_slice(&bytes[18..50]);
+            Ok(ObjectKind::Delta {
+                codec,
+                logical_len,
+                base: crate::Digest(raw),
+            })
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown object kind tag {other}"),
+        )),
+    }
+}
+
+/// XOR `a` into `b` element-wise. Both diffing (current ⊕ previous) and
+/// patching (previous ⊕ diff) are this same involution; equal lengths
+/// are the caller's contract (same unit, same config ⇒ same safetensors
+/// image length).
+pub fn xor_into(acc: &mut [u8], other: &[u8]) -> io::Result<()> {
+    if acc.len() != other.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "xor length mismatch: {} vs {} bytes",
+                acc.len(),
+                other.len()
+            ),
+        ));
+    }
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a ^= *b;
+    }
+    Ok(())
+}
+
+/// Gather byte plane `k` of every aligned 4-byte group into a
+/// contiguous run: `[a0 b0 c0 d0 a1 b1 c1 d1 ..]` becomes
+/// `[a0 a1 .. b0 b1 .. c0 c1 .. d0 d1 ..]`, with any tail bytes (length
+/// not a multiple of 4) appended verbatim. A length-preserving
+/// bijection on arbitrary byte strings — it never inspects content, so
+/// it is safe on whole unit files (safetensors header included).
+pub fn shuffle4(buf: &[u8]) -> Vec<u8> {
+    let lanes = buf.len() / 4;
+    let mut out = Vec::with_capacity(buf.len());
+    for lane in 0..4 {
+        for group in 0..lanes {
+            out.push(buf[group * 4 + lane]);
+        }
+    }
+    out.extend_from_slice(&buf[lanes * 4..]);
+    out
+}
+
+/// Inverse of [`shuffle4`].
+pub fn unshuffle4(buf: &[u8]) -> Vec<u8> {
+    let lanes = buf.len() / 4;
+    let mut out = vec![0u8; buf.len()];
+    for lane in 0..4 {
+        for group in 0..lanes {
+            out[group * 4 + lane] = buf[lane * lanes + group];
+        }
+    }
+    out[lanes * 4..].copy_from_slice(&buf[lanes * 4..]);
+    out
+}
+
+// ---------------------------------------------------------------------
+// LZSS: 64 KiB window, min match 4, max match 259.
+//
+// Token stream: a flag byte announces the next eight tokens, LSB first.
+// Flag bit 0 → one literal byte. Flag bit 1 → a match: u16 LE distance
+// (1..=65535 back from the current position) followed by one length
+// byte storing `len - MIN_MATCH` (so 4..=259). The match finder is a
+// hash chain over 4-byte prefixes with a bounded probe depth — linear
+// time, and good enough on the near-zero diff streams deltas produce.
+// ---------------------------------------------------------------------
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 259;
+const WINDOW: usize = 65535;
+const HASH_BITS: u32 = 15;
+const MAX_PROBES: usize = 32;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// LZSS-compress `input`. Always succeeds; the output of incompressible
+/// input grows by one flag byte per eight literals (callers compare
+/// sizes and fall back to raw storage when that happens).
+pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; input.len()];
+    let mut pos = 0usize;
+    let mut flag_at = usize::MAX;
+    let mut flag_bit = 8u8;
+
+    let mut push_token = |out: &mut Vec<u8>, is_match: bool| -> usize {
+        if flag_bit == 8 {
+            out.push(0);
+            flag_at = out.len() - 1;
+            flag_bit = 0;
+        }
+        if is_match {
+            out[flag_at] |= 1 << flag_bit;
+        }
+        flag_bit += 1;
+        flag_at
+    };
+
+    while pos < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if pos + MIN_MATCH <= input.len() {
+            let h = hash4(&input[pos..]);
+            let mut cand = head[h];
+            let mut probes = 0usize;
+            while cand != usize::MAX && probes < MAX_PROBES {
+                let dist = pos - cand;
+                if dist > WINDOW {
+                    break;
+                }
+                let limit = (input.len() - pos).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && input[cand + l] == input[pos + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l == limit {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                probes += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            push_token(&mut out, true);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Index every covered position so later matches can start
+            // inside this one.
+            let end = pos + best_len;
+            while pos < end {
+                if pos + MIN_MATCH <= input.len() {
+                    let h = hash4(&input[pos..]);
+                    prev[pos] = head[h];
+                    head[h] = pos;
+                }
+                pos += 1;
+            }
+        } else {
+            push_token(&mut out, false);
+            out.push(input[pos]);
+            if pos + MIN_MATCH <= input.len() {
+                let h = hash4(&input[pos..]);
+                prev[pos] = head[h];
+                head[h] = pos;
+            }
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Decompress an LZSS stream produced by [`lzss_compress`]. Malformed
+/// streams (matches reaching before the start, truncated tokens) are
+/// `InvalidData`, never a panic — encoded objects cross the same
+/// trust boundary as any other checkpoint payload.
+pub fn lzss_decompress(input: &[u8]) -> io::Result<Vec<u8>> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("lzss: {what}"));
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut i = 0usize;
+    while i < input.len() {
+        let flags = input[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= input.len() {
+                break;
+            }
+            if flags & (1 << bit) == 0 {
+                out.push(input[i]);
+                i += 1;
+            } else {
+                if i + 3 > input.len() {
+                    return Err(bad("truncated match token"));
+                }
+                let dist = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+                let len = input[i + 2] as usize + MIN_MATCH;
+                i += 3;
+                if dist == 0 || dist > out.len() {
+                    return Err(bad("match distance outside produced output"));
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are the point (dist < len repeats);
+                // byte-at-a-time keeps the semantics exact.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Digest;
+
+    #[test]
+    fn lzss_round_trips_typical_payloads() {
+        let cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            vec![0u8; 1],
+            vec![0u8; 100_000],
+            (0..255u8).collect(),
+            (0..20_000u32)
+                .flat_map(|v| (v % 97).to_le_bytes())
+                .collect(),
+            b"abcabcabcabcabcabc".to_vec(),
+        ];
+        for case in cases {
+            let packed = lzss_compress(&case);
+            let back = lzss_decompress(&packed).unwrap();
+            assert_eq!(back, case);
+        }
+    }
+
+    #[test]
+    fn lzss_compresses_sparse_diff_streams_hard() {
+        // The delta codec's bread and butter: a long run of zeros with a
+        // few changed bytes sprinkled in.
+        let mut diff = vec![0u8; 1 << 16];
+        for i in (0..diff.len()).step_by(4099) {
+            diff[i] = 0xAB;
+        }
+        let packed = lzss_compress(&diff);
+        assert!(
+            packed.len() * 20 < diff.len(),
+            "sparse diff compressed to {} of {} bytes",
+            packed.len(),
+            diff.len()
+        );
+        assert_eq!(lzss_decompress(&packed).unwrap(), diff);
+    }
+
+    #[test]
+    fn lzss_rejects_malformed_streams_without_panicking() {
+        // A match token pointing before the start of the output.
+        let bogus = [0b0000_0001u8, 0xFF, 0xFF, 10];
+        assert!(lzss_decompress(&bogus).is_err());
+        // Truncated match token.
+        let truncated = [0b0000_0001u8, 0x01];
+        assert!(lzss_decompress(&truncated).is_err());
+        // Zero distance.
+        let zero = [0b0000_0011u8, b'x', 0x00, 0x00, 0x00];
+        assert!(lzss_decompress(&zero).is_err());
+    }
+
+    #[test]
+    fn headers_round_trip_and_legacy_bytes_parse_as_raw() {
+        let d = Digest::of(b"base");
+        let full = full_header(Codec::Lzss, 12345);
+        assert_eq!(full.len(), FULL_HEADER_LEN);
+        assert_eq!(
+            parse_header(&full).unwrap(),
+            ObjectKind::Full {
+                codec: Codec::Lzss,
+                logical_len: 12345
+            }
+        );
+        let delta = delta_header(Codec::Lzss, 777, &d);
+        assert_eq!(delta.len(), DELTA_HEADER_LEN);
+        assert_eq!(
+            parse_header(&delta).unwrap(),
+            ObjectKind::Delta {
+                codec: Codec::Lzss,
+                logical_len: 777,
+                base: d
+            }
+        );
+        // A safetensors image starts with a small LE header length —
+        // nothing like the magic.
+        let mut legacy = 192u64.to_le_bytes().to_vec();
+        legacy.extend_from_slice(b"{\"t\":{}}");
+        assert_eq!(parse_header(&legacy).unwrap(), ObjectKind::LegacyRaw);
+    }
+
+    #[test]
+    fn malformed_headers_are_invalid_data() {
+        let mut short = OBJECT_MAGIC.to_vec();
+        short.push(KIND_FULL);
+        assert!(parse_header(&short).is_err());
+        let mut bad_kind = full_header(Codec::Raw, 1);
+        bad_kind[8] = 9;
+        assert!(parse_header(&bad_kind).is_err());
+        let mut bad_codec = full_header(Codec::Raw, 1);
+        bad_codec[9] = 7;
+        assert!(parse_header(&bad_codec).is_err());
+        let mut truncated_delta = delta_header(Codec::Raw, 1, &Digest::of(b"x"));
+        truncated_delta.truncate(30);
+        assert!(parse_header(&truncated_delta).is_err());
+    }
+
+    #[test]
+    fn shuffle4_is_a_bijection_for_every_tail_length() {
+        for n in 0..70usize {
+            let buf: Vec<u8> = (0..n as u32).map(|i| (i * 37 + 11) as u8).collect();
+            let shuffled = shuffle4(&buf);
+            assert_eq!(shuffled.len(), buf.len());
+            assert_eq!(unshuffle4(&shuffled), buf);
+        }
+        assert_eq!(
+            shuffle4(&[1, 2, 3, 4, 5, 6, 7, 8, 9]),
+            vec![1, 5, 2, 6, 3, 7, 4, 8, 9]
+        );
+    }
+
+    #[test]
+    fn shuffle_codec_beats_plain_lzss_on_float_style_diffs() {
+        // An XOR diff of a float array across one small update: bytes
+        // 0..2 of each element noisy, byte 2 mostly small, byte 3 zero.
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let diff: Vec<u8> = (0..8192)
+            .flat_map(|_| [rnd() as u8, rnd() as u8, (rnd() % 8) as u8, 0u8])
+            .collect();
+        let plain = Codec::Lzss.encode(&diff);
+        let shuffled = Codec::ShuffleLzss.encode(&diff);
+        assert!(
+            shuffled.len() < diff.len() * 4 / 5,
+            "shuffled diff stayed at {} of {} bytes",
+            shuffled.len(),
+            diff.len()
+        );
+        assert!(
+            shuffled.len() < plain.len(),
+            "shuffle did not beat plain lzss ({} vs {})",
+            shuffled.len(),
+            plain.len()
+        );
+        assert_eq!(
+            Codec::ShuffleLzss
+                .decode(&shuffled, diff.len() as u64)
+                .unwrap(),
+            diff
+        );
+    }
+
+    #[test]
+    fn xor_is_an_involution() {
+        let a: Vec<u8> = (0..1000u32).flat_map(|v| v.to_le_bytes()).collect();
+        let b: Vec<u8> = (0..1000u32).flat_map(|v| (v * 7).to_le_bytes()).collect();
+        let mut diff = a.clone();
+        xor_into(&mut diff, &b).unwrap();
+        let mut back = diff.clone();
+        xor_into(&mut back, &b).unwrap();
+        assert_eq!(back, a);
+        let mut short = vec![0u8; 3];
+        assert!(xor_into(&mut short, &a).is_err());
+    }
+}

@@ -10,11 +10,13 @@
 //!
 //! See `DESIGN.md`, "Content-addressed layer store".
 
+pub mod codec;
 pub mod digest;
 pub mod store;
 
+pub use codec::{Codec, ObjectKind};
 pub use digest::{Digest, Hasher};
 pub use store::{
-    is_redirected, redirect_target, write_redirect, ObjectStore, PutObserver, PutOutcome,
-    SweepMark, SweepReport, CASROOT_FILE, OBJECTS_DIR,
+    is_redirected, redirect_target, write_redirect, CompactReport, ObjectInfo, ObjectStore,
+    PutObserver, PutOutcome, SweepMark, SweepReport, CASROOT_FILE, OBJECTS_DIR,
 };

@@ -14,8 +14,9 @@
 //! fsynced and atomically renamed into place, so a kill leaves either
 //! debris (swept by GC) or a complete, correctly-named object.
 
+use crate::codec::{self, Codec, ObjectKind};
 use crate::digest::Digest;
-use llmt_obs::{Counter, MetricsRegistry};
+use llmt_obs::{Counter, Histogram, MetricsRegistry};
 use llmt_storage::vfs::{is_transient, Clock, RetryPolicy, Storage};
 use std::collections::BTreeSet;
 use std::io;
@@ -37,15 +38,50 @@ pub const CASROOT_FILE: &str = "CASROOT";
 /// payloads are identical, but their `.part` files must not collide).
 static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
 
+/// Upper bound on any chain walk. Far above any configured chain cap;
+/// only header corruption (a reference cycle) can reach it, and hitting
+/// it is `InvalidData`, never an infinite loop.
+const MAX_CHAIN_WALK: usize = 4096;
+
 /// Result of [`ObjectStore::put`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PutOutcome {
-    /// Content digest — the object's identity.
+    /// Content digest — the object's identity. Always the digest of the
+    /// *decoded* payload, whatever encoding the object file uses.
     pub digest: Digest,
-    /// Payload length in bytes.
+    /// Logical (decoded) payload length in bytes.
     pub len: u64,
+    /// Bytes this put physically staged into the store: the encoded
+    /// object size on a miss (== `len` for raw objects), 0 on a hit.
+    pub stored_len: u64,
     /// False when the store already held the object (dedup hit).
     pub written: bool,
+    /// Depth of the delta chain this put created: 0 for raw/full
+    /// objects and dedup hits, `1 + chain_len(base)` for delta puts.
+    pub chain_depth: usize,
+}
+
+/// What an object file holds, without decoding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// Parsed object header (legacy raw files parse as
+    /// [`ObjectKind::LegacyRaw`]).
+    pub kind: ObjectKind,
+    /// On-disk size of the object file, header included.
+    pub stored_len: u64,
+}
+
+/// Result of [`ObjectStore::compact_chains`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Objects whose headers the pass examined.
+    pub examined: usize,
+    /// Delta objects rewritten as self-contained `Full` objects.
+    pub compacted: usize,
+    /// On-disk bytes of the rewritten objects before compaction.
+    pub bytes_before: u64,
+    /// On-disk bytes of the same objects after compaction.
+    pub bytes_after: u64,
 }
 
 /// Result of [`ObjectStore::sweep`].
@@ -126,6 +162,12 @@ pub struct ObjectStore {
     hits: Option<Arc<Counter>>,
     misses: Option<Arc<Counter>>,
     saved_bytes: Option<Arc<Counter>>,
+    /// Delta-object accounting (`cas.delta.*`), in-memory like the dedup
+    /// counters. Absent unless wired to a registry.
+    delta_puts: Option<Arc<Counter>>,
+    delta_saved_bytes: Option<Arc<Counter>>,
+    compactions: Option<Arc<Counter>>,
+    chain_len_hist: Option<Arc<Histogram>>,
     /// Backoff-retry wiring for the read paths (`get` / `object_len` /
     /// `list`). Absent = fail on the first transient error, as before.
     read_retry: Option<ReadRetry>,
@@ -141,6 +183,10 @@ impl ObjectStore {
             hits: None,
             misses: None,
             saved_bytes: None,
+            delta_puts: None,
+            delta_saved_bytes: None,
+            compactions: None,
+            chain_len_hist: None,
             read_retry: None,
             observer: None,
         }
@@ -167,6 +213,10 @@ impl ObjectStore {
         self.hits = Some(metrics.counter("cas.dedup.hits"));
         self.misses = Some(metrics.counter("cas.dedup.misses"));
         self.saved_bytes = Some(metrics.counter("cas.dedup.saved_bytes"));
+        self.delta_puts = Some(metrics.counter("cas.delta.puts"));
+        self.delta_saved_bytes = Some(metrics.counter("cas.delta.bytes_saved"));
+        self.compactions = Some(metrics.counter("cas.delta.compactions"));
+        self.chain_len_hist = Some(metrics.histogram("cas.delta.chain_len"));
         self
     }
 
@@ -277,30 +327,14 @@ impl ObjectStore {
         // existence check and the touch (a racing sweep won), fall
         // through and stage it again like a miss; any other touch
         // failure degrades to the old unre-dated behavior, where the
-        // observer pin still protects in-process callers.
+        // observer pin still protects in-process callers. The hit may be
+        // on a *delta* object (same content, previously stored as a diff
+        // chain), in which case the whole base chain is re-dated and
+        // pinned — a live delta whose base gets swept is undecodable.
         if storage.exists(&path) {
-            match storage.touch(&path) {
+            match self.touch_chain(storage, digest) {
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-                Ok(()) | Err(_) => {
-                    if let Some(hits) = &self.hits {
-                        hits.incr();
-                    }
-                    if let Some(saved) = &self.saved_bytes {
-                        saved.add(len);
-                    }
-                    let out = PutOutcome {
-                        digest,
-                        len,
-                        written: false,
-                    };
-                    // The observer must pin hits too, or a concurrent
-                    // mark-sweep could census before this caller's
-                    // manifest commits and delete the shared object.
-                    if let Some(obs) = &self.observer {
-                        obs.on_put(&out);
-                    }
-                    return Ok(out);
-                }
+                Ok(_) | Err(_) => return Ok(self.count_hit(digest, len)),
             }
         }
         let fanout = path.parent().expect("object path has a fanout dir");
@@ -334,12 +368,55 @@ impl ObjectStore {
         let out = PutOutcome {
             digest,
             len,
+            stored_len: len,
             written: true,
+            chain_depth: 0,
         };
         if let Some(obs) = &self.observer {
             obs.on_put(&out);
         }
         Ok(out)
+    }
+
+    /// Account (and observe) a dedup hit on `digest` with logical length
+    /// `len`. Purely in-memory bookkeeping.
+    fn count_hit(&self, digest: Digest, len: u64) -> PutOutcome {
+        if let Some(hits) = &self.hits {
+            hits.incr();
+        }
+        if let Some(saved) = &self.saved_bytes {
+            saved.add(len);
+        }
+        let out = PutOutcome {
+            digest,
+            len,
+            stored_len: 0,
+            written: false,
+            chain_depth: 0,
+        };
+        // The observer must pin hits too, or a concurrent mark-sweep
+        // could census before this caller's manifest commits and delete
+        // the shared object.
+        if let Some(obs) = &self.observer {
+            obs.on_put(&out);
+        }
+        out
+    }
+
+    /// If the store already holds `digest`, register the new reference
+    /// (chain-wide re-dating touch, dedup counters, observer pin) and
+    /// return the hit outcome; `None` means the caller must stage the
+    /// object. This is the encoded-save policy's pre-check: a hit on an
+    /// existing object — raw, compressed, or a delta chain — costs no
+    /// staging at all.
+    pub fn note_hit(&self, storage: &dyn Storage, digest: Digest, len: u64) -> Option<PutOutcome> {
+        if !storage.exists(&self.object_path(digest)) {
+            return None;
+        }
+        match self.touch_chain(storage, digest) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Ok(_) | Err(_) => Some(self.count_hit(digest, len)),
+        }
     }
 
     /// Read an object's full payload. Transient faults are retried when
@@ -370,6 +447,435 @@ impl ObjectStore {
         })?;
         out.sort();
         Ok(out)
+    }
+
+    /// Sidecar marker of a delta object: `<hex>.delta` next to
+    /// `<hex>.obj`, containing the base digest in hex. The marker exists
+    /// so the *hit* path can tell "plain object" from "delta chain" with
+    /// an uncounted `exists` peek — reading the object header would cost
+    /// every dedup hit a storage read. It is written durably *before*
+    /// the delta object becomes visible and removed when the object is
+    /// compacted into a `Full` or deleted, so a visible delta always has
+    /// its marker; the object header stays the authoritative record.
+    fn delta_marker_path(&self, digest: Digest) -> PathBuf {
+        let hex = digest.to_hex();
+        self.root.join(&hex[..2]).join(format!("{hex}.delta"))
+    }
+
+    /// Re-date `digest` *and every base under it* so a concurrent
+    /// mark-sweep's mtime guard pins the whole chain — re-dating only
+    /// the tip would let the sweep collect a live delta's base. Returns
+    /// the digests visited, tip first. `NotFound` on the tip means the
+    /// object vanished (a racing sweep won); a broken link further down
+    /// ends the walk without error — the authoritative header-based
+    /// sweep expansion and GC census decide what that means.
+    pub fn touch_chain(&self, storage: &dyn Storage, digest: Digest) -> io::Result<Vec<Digest>> {
+        let mut visited = Vec::new();
+        let mut cur = digest;
+        loop {
+            let path = self.object_path(cur);
+            match storage.touch(&path) {
+                Ok(()) => {}
+                Err(e) if visited.is_empty() => return Err(e),
+                Err(_) => break,
+            }
+            visited.push(cur);
+            if visited.len() > MAX_CHAIN_WALK {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("delta chain under {digest} exceeds {MAX_CHAIN_WALK} hops (cycle?)"),
+                ));
+            }
+            // Uncounted peek: non-delta objects end the walk for free.
+            let marker = self.delta_marker_path(cur);
+            if !storage.exists(&marker) {
+                break;
+            }
+            let _ = storage.touch(&marker);
+            let Some(base) = self.read_marker(storage, &marker) else {
+                break;
+            };
+            if visited.contains(&base) {
+                break;
+            }
+            cur = base;
+        }
+        Ok(visited)
+    }
+
+    /// Parse a delta marker's base digest; unreadable or malformed
+    /// markers read as `None` (the object header stays authoritative).
+    fn read_marker(&self, storage: &dyn Storage, marker: &Path) -> Option<Digest> {
+        let bytes = self.read_op(|| storage.read(marker)).ok()?;
+        let text = String::from_utf8(bytes).ok()?;
+        Digest::parse_hex(text.trim()).ok()
+    }
+
+    /// Read just enough of an object file to parse its header.
+    fn header_peek(&self, storage: &dyn Storage, digest: Digest) -> io::Result<ObjectKind> {
+        let path = self.object_path(digest);
+        let head = match self.read_op(|| storage.read_range(&path, 0, codec::DELTA_HEADER_LEN)) {
+            Ok(bytes) => bytes,
+            // Shorter than the largest header: small enough to read whole.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                self.read_op(|| storage.read(&path))?
+            }
+            Err(e) => return Err(e),
+        };
+        codec::parse_header(&head)
+    }
+
+    /// The kind and stored size of an object, without decoding it.
+    pub fn object_info(&self, storage: &dyn Storage, digest: Digest) -> io::Result<ObjectInfo> {
+        Ok(ObjectInfo {
+            kind: self.header_peek(storage, digest)?,
+            stored_len: self.object_len(storage, digest)?,
+        })
+    }
+
+    /// Number of delta hops under `digest`: 0 for raw/`Full` objects,
+    /// 1 + the base's chain length for a delta.
+    pub fn chain_len(&self, storage: &dyn Storage, digest: Digest) -> io::Result<usize> {
+        let mut len = 0usize;
+        let mut cur = digest;
+        loop {
+            match self.header_peek(storage, cur)? {
+                ObjectKind::Delta { base, .. } => {
+                    len += 1;
+                    if len > MAX_CHAIN_WALK {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("delta chain under {digest} exceeds {MAX_CHAIN_WALK} hops"),
+                        ));
+                    }
+                    cur = base;
+                }
+                _ => return Ok(len),
+            }
+        }
+    }
+
+    /// Store an encoded self-contained (`Full`) object whose *decoded*
+    /// bytes hash to `digest`. The payload is decoded and re-hashed
+    /// before the object becomes visible — like the raw put's staged
+    /// re-hash, a buggy caller can never place bytes under the wrong
+    /// name. A hit on an existing object skips staging entirely.
+    pub fn put_full_encoded(
+        &self,
+        storage: &dyn Storage,
+        digest: Digest,
+        codec: Codec,
+        payload: &[u8],
+        logical_len: u64,
+    ) -> io::Result<PutOutcome> {
+        if let Some(hit) = self.note_hit(storage, digest, logical_len) {
+            return Ok(hit);
+        }
+        let decoded = codec.decode(payload, logical_len)?;
+        if Digest::of(&decoded) != digest {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("encoded payload does not decode to claimed digest {digest}"),
+            ));
+        }
+        drop(decoded);
+        let mut file = codec::full_header(codec, logical_len);
+        file.extend_from_slice(payload);
+        self.stage_object(storage, digest, &file)?;
+        if let Some(misses) = &self.misses {
+            misses.incr();
+        }
+        let out = PutOutcome {
+            digest,
+            len: logical_len,
+            stored_len: file.len() as u64,
+            written: true,
+            chain_depth: 0,
+        };
+        if let Some(obs) = &self.observer {
+            obs.on_put(&out);
+        }
+        Ok(out)
+    }
+
+    /// Store a delta object: `payload` is the encoded XOR diff of the
+    /// new content against `base_image` (the decoded bytes of the object
+    /// named `base`, which the caller necessarily holds — it computed
+    /// the diff). The decoded-and-patched bytes must hash to `digest`.
+    ///
+    /// Ordering makes the new reference safe against a concurrent
+    /// mark-sweep: the base chain is re-dated (and observer-pinned)
+    /// first, then the marker sidecar lands, then the object itself is
+    /// staged and renamed in. If the base vanished under a racing sweep
+    /// the put fails with `NotFound` and the caller falls back to a full
+    /// object; after the rename the base is re-checked, so a delta never
+    /// outlives the sweep that collected its base.
+    pub fn put_delta(
+        &self,
+        storage: &dyn Storage,
+        digest: Digest,
+        base: Digest,
+        base_image: &[u8],
+        codec: Codec,
+        payload: &[u8],
+    ) -> io::Result<PutOutcome> {
+        let logical_len = base_image.len() as u64;
+        if let Some(hit) = self.note_hit(storage, digest, logical_len) {
+            return Ok(hit);
+        }
+        // Verify before anything becomes visible: diff must decode,
+        // match the base length, and patch back to the claimed digest.
+        let mut patched = codec.decode(payload, logical_len)?;
+        codec::xor_into(&mut patched, base_image)?;
+        if Digest::of(&patched) != digest {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("delta payload does not patch to claimed digest {digest}"),
+            ));
+        }
+        drop(patched);
+        // Re-date and pin the base chain so no concurrent sweep collects
+        // it between here and this object's manifest commit.
+        let chain = self.touch_chain(storage, base)?;
+        if let Some(obs) = &self.observer {
+            for d in &chain {
+                obs.on_put(&PutOutcome {
+                    digest: *d,
+                    len: 0,
+                    stored_len: 0,
+                    written: false,
+                    chain_depth: 0,
+                });
+            }
+        }
+        let depth = 1 + self.chain_len(storage, base)?;
+        // Marker before object: a visible delta must always announce its
+        // chain to the uncounted hit-path peek. A crash in between
+        // leaves an orphan marker, swept as debris.
+        let marker = self.delta_marker_path(digest);
+        let fanout = marker.parent().expect("marker path has a fanout dir");
+        storage.create_dir_all(fanout)?;
+        let mut text = base.to_hex();
+        text.push('\n');
+        storage.write(&marker, text.as_bytes())?;
+        storage.sync(&marker)?;
+        let mut file = codec::delta_header(codec, logical_len, &base);
+        file.extend_from_slice(payload);
+        self.stage_object(storage, digest, &file)?;
+        // The base chain was alive when touched; re-check now that the
+        // delta is visible, in case a sweep's deletion raced the touch.
+        if !storage.exists(&self.object_path(base)) {
+            let _ = storage.remove_file(&self.object_path(digest));
+            let _ = storage.remove_file(&marker);
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("delta base {base} was swept during the put"),
+            ));
+        }
+        if let Some(misses) = &self.misses {
+            misses.incr();
+        }
+        if let Some(puts) = &self.delta_puts {
+            puts.incr();
+        }
+        if let Some(saved) = &self.delta_saved_bytes {
+            saved.add(logical_len.saturating_sub(file.len() as u64));
+        }
+        if let Some(hist) = &self.chain_len_hist {
+            hist.record(depth as u64);
+        }
+        let out = PutOutcome {
+            digest,
+            len: logical_len,
+            stored_len: file.len() as u64,
+            written: true,
+            chain_depth: depth,
+        };
+        if let Some(obs) = &self.observer {
+            obs.on_put(&out);
+        }
+        Ok(out)
+    }
+
+    /// Stage `file` (already fully encoded, header included) under the
+    /// object name for `digest`: `.part` staging, fsync, atomic rename,
+    /// fanout sync — the same crash-safety protocol as raw puts.
+    fn stage_object(&self, storage: &dyn Storage, digest: Digest, file: &[u8]) -> io::Result<()> {
+        let path = self.object_path(digest);
+        let fanout = path.parent().expect("object path has a fanout dir");
+        storage.create_dir_all(fanout)?;
+        let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+        let tmp = fanout.join(format!("{}.{nonce}.part", digest.to_hex()));
+        let mut stream = storage.create_stream(&tmp)?;
+        stream.write_chunk(file)?;
+        stream.finish()?;
+        drop(stream);
+        match storage.rename(&tmp, &path) {
+            Ok(()) => {}
+            // Backends whose rename refuses existing targets (the
+            // in-memory tier): replace non-atomically. Such tiers are
+            // volatile — their contents do not survive a crash — so the
+            // remove/rename window costs nothing durable.
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                storage.remove_file(&path)?;
+                storage.rename(&tmp, &path)?;
+            }
+            Err(e) => return Err(e),
+        }
+        storage.sync(fanout)
+    }
+
+    /// Materialize the *decoded* bytes of `digest`, walking delta chains
+    /// down to their base and verifying the SHA-256 of every hop's
+    /// decoded image against that hop's object name on the way back up.
+    ///
+    /// Readers holding an encoded checkpoint hard link must materialize
+    /// through the store by logical digest instead of decoding the
+    /// link's bytes: after a compaction rewrites the chain, the link
+    /// still points at the *old* delta inode, whose base may since have
+    /// been collected — the store path always holds a decodable object
+    /// for every live digest. A `NotFound` mid-walk (a compaction or
+    /// sweep rewrote the chain underneath us) retries the whole walk
+    /// against the fresh objects before giving up.
+    pub fn materialize(&self, storage: &dyn Storage, digest: Digest) -> io::Result<Vec<u8>> {
+        let mut last_err = None;
+        for attempt in 0..3 {
+            match self.materialize_once(storage, digest) {
+                Ok(bytes) => return Ok(bytes),
+                Err(e) if attempt < 2 && e.kind() == io::ErrorKind::NotFound => {
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("loop stored an error before falling through"))
+    }
+
+    fn materialize_once(&self, storage: &dyn Storage, digest: Digest) -> io::Result<Vec<u8>> {
+        // Walk the chain tip -> base, collecting each hop's file bytes.
+        let mut hops: Vec<(Digest, ObjectKind, Vec<u8>)> = Vec::new();
+        let mut cur = digest;
+        loop {
+            if hops.len() > MAX_CHAIN_WALK {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("delta chain under {digest} exceeds {MAX_CHAIN_WALK} hops (cycle?)"),
+                ));
+            }
+            let file = self.get(storage, cur)?;
+            let kind = codec::parse_header(&file)?;
+            let next = match kind {
+                ObjectKind::Delta { base, .. } => Some(base),
+                _ => None,
+            };
+            hops.push((cur, kind, file));
+            match next {
+                Some(base) => cur = base,
+                None => break,
+            }
+        }
+        // Decode base -> tip, verifying each hop's digest as we go.
+        let mut image: Vec<u8> = Vec::new();
+        for (hop_digest, kind, file) in hops.into_iter().rev() {
+            image = match kind {
+                ObjectKind::LegacyRaw => file,
+                ObjectKind::Full { codec, logical_len } => {
+                    codec.decode(&file[codec::FULL_HEADER_LEN..], logical_len)?
+                }
+                ObjectKind::Delta {
+                    codec, logical_len, ..
+                } => {
+                    let mut diff = codec.decode(&file[codec::DELTA_HEADER_LEN..], logical_len)?;
+                    codec::xor_into(&mut diff, &image)?;
+                    diff
+                }
+            };
+            if Digest::of(&image) != hop_digest {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("object {hop_digest} decoded to bytes with a different digest"),
+                ));
+            }
+        }
+        Ok(image)
+    }
+
+    /// Rewrite every delta object whose chain is longer than `max_chain`
+    /// hops into a fresh self-contained `Full` object under the *same*
+    /// object name (WAL-truncate idiom: stage the replacement completely,
+    /// fsync, atomically swap, then drop the marker). `max_chain = 0`
+    /// flattens every delta. Concurrent readers are never broken: the
+    /// object path holds either the old chain or the new `Full` at every
+    /// instant, readers materialize by digest through this path, and
+    /// orphaned bases stay until the next GC census drops them.
+    pub fn compact_chains(
+        &self,
+        storage: &dyn Storage,
+        max_chain: usize,
+    ) -> io::Result<CompactReport> {
+        let mut report = CompactReport::default();
+        for (digest, stored_len) in self.list(storage)? {
+            report.examined += 1;
+            let depth = match self.chain_len(storage, digest) {
+                Ok(d) => d,
+                // The object (or its chain) vanished under a concurrent
+                // sweep — nothing left to compact.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            if depth == 0 || depth <= max_chain {
+                continue;
+            }
+            let image = match self.materialize(storage, digest) {
+                Ok(img) => img,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let packed = codec::lzss_compress(&image);
+            let shuffled = codec::lzss_compress(&codec::shuffle4(&image));
+            let (codec, payload) = if shuffled.len() < packed.len() && shuffled.len() < image.len()
+            {
+                (Codec::ShuffleLzss, shuffled)
+            } else if packed.len() < image.len() {
+                (Codec::Lzss, packed)
+            } else {
+                (Codec::Raw, image.clone())
+            };
+            let mut file = codec::full_header(codec, image.len() as u64);
+            file.extend_from_slice(&payload);
+            self.stage_object(storage, digest, &file)?;
+            // Marker last: a crash before this leaves a Full object with
+            // a stale marker — the hit-path walk tolerates it (the chain
+            // touch just stops at a missing base) and the next compaction
+            // pass removes it.
+            let _ = storage.remove_file(&self.delta_marker_path(digest));
+            report.compacted += 1;
+            report.bytes_before += stored_len;
+            report.bytes_after += file.len() as u64;
+            if let Some(c) = &self.compactions {
+                c.incr();
+            }
+        }
+        // Self-heal stale markers from earlier interrupted passes.
+        let mut stale = Vec::new();
+        self.walk(storage, |path| {
+            if path.extension().is_some_and(|e| e == "delta") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    if let Ok(d) = Digest::parse_hex(stem) {
+                        if self.contains(storage, d)
+                            && !matches!(self.header_peek(storage, d), Ok(ObjectKind::Delta { .. }))
+                        {
+                            stale.push(path.to_path_buf());
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        for marker in stale {
+            let _ = storage.remove_file(&marker);
+        }
+        Ok(report)
     }
 
     /// Garbage-collect with the mark taken *now*: equivalent to
@@ -435,6 +941,15 @@ impl ObjectStore {
         pinned: &dyn Fn(Digest) -> bool,
     ) -> io::Result<SweepReport> {
         let mut report = SweepReport::default();
+        // A live delta's whole base chain is reachable, even though no
+        // manifest names the bases directly: expand the keep-set
+        // transitively over the authoritative object headers before
+        // deleting anything. Deltas referenced only *after* the census
+        // (a racing publisher) are covered separately: their put
+        // re-dates the chain, so the mtime guard pins the bases, and
+        // observer pins cover in-process callers.
+        let live = self.expand_over_bases(storage, live);
+        let live = &live;
         let young = |path: &Path| -> bool {
             // Uncounted metadata peek; an unreadable mtime (e.g. the
             // file vanished under a concurrent sweep) counts as young —
@@ -450,11 +965,13 @@ impl ObjectStore {
                 Some(d) if live.contains(&d) => report.live_objects += 1,
                 Some(_) if young(path) => report.pinned_young += 1,
                 Some(d) if pinned(d) => report.pinned_by_guard += 1,
-                Some(_) => match storage.file_len(path) {
+                Some(d) => match storage.file_len(path) {
                     Ok(len) => match storage.remove_file(path) {
                         Ok(()) => {
                             report.deleted_objects += 1;
                             report.reclaimed_bytes += len;
+                            // A dead delta takes its marker with it.
+                            let _ = storage.remove_file(&self.delta_marker_path(d));
                         }
                         Err(e) if gone(&e) => report.deleted_objects += 1,
                         Err(e) => return Err(e),
@@ -475,12 +992,56 @@ impl ObjectStore {
                                 Err(e) => return Err(e),
                             }
                         }
+                    } else if path.extension().is_some_and(|e| e == "delta") {
+                        // A delta marker belongs to its object; it is
+                        // debris only when the object is gone (a crash
+                        // between marker write and object rename) and it
+                        // is old enough that no in-flight put owns it.
+                        if !storage.exists(path) {
+                            // Already removed alongside its object
+                            // earlier in this very pass.
+                        } else if storage.exists(&path.with_extension("obj")) || young(path) {
+                            // Owned or possibly in-flight: keep.
+                        } else {
+                            match storage.remove_file(path) {
+                                Ok(()) => report.debris_removed += 1,
+                                Err(e) if gone(&e) => report.debris_removed += 1,
+                                Err(e) => return Err(e),
+                            }
+                        }
                     }
                 }
             }
             Ok(())
         })?;
         Ok(report)
+    }
+
+    /// Close `live` over delta bases: any chain hop under a live digest
+    /// is itself reachable. Bases are discovered from the authoritative
+    /// object headers; the uncounted marker peek keeps the expansion
+    /// free for non-delta objects (the overwhelmingly common case).
+    /// Errors reading a header degrade to *not* expanding that hop —
+    /// never to deleting more.
+    fn expand_over_bases(
+        &self,
+        storage: &dyn Storage,
+        live: &BTreeSet<Digest>,
+    ) -> BTreeSet<Digest> {
+        let mut expanded = live.clone();
+        let mut queue: Vec<Digest> = live.iter().copied().collect();
+        while let Some(d) = queue.pop() {
+            if !storage.exists(&self.delta_marker_path(d)) {
+                continue;
+            }
+            let Ok(ObjectKind::Delta { base, .. }) = self.header_peek(storage, d) else {
+                continue;
+            };
+            if expanded.insert(base) {
+                queue.push(base);
+            }
+        }
+        expanded
     }
 
     /// Visit every file in the fanout tree.
@@ -1258,6 +1819,328 @@ mod tests {
             let report = s.sweep(&LocalFs, &live).unwrap();
             assert_eq!(report.live_objects, 2, "kill at op {k}");
             assert_eq!(s.list(&LocalFs).unwrap().len(), 2, "kill at op {k}");
+        }
+    }
+
+    /// Deterministic pseudo-random base image plus `n` successors that
+    /// each differ from their predecessor in a sparse run of bytes —
+    /// the shape a training step leaves behind.
+    fn chain_images(n: usize, len: usize) -> Vec<Vec<u8>> {
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let base: Vec<u8> = (0..len).map(|_| (step() & 0xff) as u8).collect();
+        let mut images = vec![base];
+        for i in 1..=n {
+            let mut next = images[i - 1].clone();
+            let at = (step() as usize) % (len - 32);
+            for b in &mut next[at..at + 24] {
+                *b = (step() & 0xff) as u8;
+            }
+            images.push(next);
+        }
+        images
+    }
+
+    /// Put `images[0]` raw, then every successor as an LZSS-encoded XOR
+    /// delta against its predecessor. Returns the digests, base first.
+    fn put_chain(s: &ObjectStore, fs: &dyn Storage, images: &[Vec<u8>]) -> Vec<Digest> {
+        let mut digests = vec![s.put(fs, &images[0]).unwrap().digest];
+        for i in 1..images.len() {
+            let digest = Digest::of(&images[i]);
+            let mut diff = images[i].clone();
+            codec::xor_into(&mut diff, &images[i - 1]).unwrap();
+            // Alternate codecs hop to hop: a chain mixes whatever each
+            // writer found smallest, and decode must not care.
+            let hop_codec = match i % 3 {
+                0 => Codec::Raw,
+                1 => Codec::Lzss,
+                _ => Codec::ShuffleLzss,
+            };
+            let payload = hop_codec.encode(&diff);
+            let out = s
+                .put_delta(
+                    fs,
+                    digest,
+                    digests[i - 1],
+                    &images[i - 1],
+                    hop_codec,
+                    &payload,
+                )
+                .unwrap();
+            assert_eq!(out.chain_depth, i);
+            assert_eq!(out.len, images[i].len() as u64);
+            digests.push(digest);
+        }
+        digests
+    }
+
+    #[test]
+    fn delta_chain_materializes_bit_exact_at_every_hop() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let images = chain_images(5, 4096);
+        let digests = put_chain(&s, &LocalFs, &images);
+        for (i, d) in digests.iter().enumerate() {
+            assert_eq!(s.materialize(&LocalFs, *d).unwrap(), images[i], "hop {i}");
+            assert_eq!(s.chain_len(&LocalFs, *d).unwrap(), i);
+        }
+        let info = s.object_info(&LocalFs, digests[5]).unwrap();
+        assert!(matches!(info.kind, ObjectKind::Delta { base, .. } if base == digests[4]));
+        assert!(matches!(
+            s.object_info(&LocalFs, digests[0]).unwrap().kind,
+            ObjectKind::LegacyRaw
+        ));
+        // Deltas of near-identical 4 KiB images are far smaller on disk.
+        assert!(info.stored_len < images[5].len() as u64 / 4);
+    }
+
+    #[test]
+    fn put_full_encoded_roundtrips_and_hits() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let image = vec![7u8; 8192]; // compresses hard
+        let digest = Digest::of(&image);
+        let payload = Codec::Lzss.encode(&image);
+        let out = s
+            .put_full_encoded(&LocalFs, digest, Codec::Lzss, &payload, image.len() as u64)
+            .unwrap();
+        assert!(out.written);
+        assert!(out.stored_len < image.len() as u64 / 10);
+        assert_eq!(s.materialize(&LocalFs, digest).unwrap(), image);
+        let hit = s
+            .put_full_encoded(&LocalFs, digest, Codec::Lzss, &payload, image.len() as u64)
+            .unwrap();
+        assert!(!hit.written);
+        assert_eq!(hit.stored_len, 0);
+    }
+
+    #[test]
+    fn encoded_puts_reject_payloads_that_do_not_decode_to_the_digest() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let images = chain_images(1, 1024);
+        let base = s.put(&LocalFs, &images[0]).unwrap().digest;
+        let bogus = Digest::of(b"something else entirely");
+        let mut diff = images[1].clone();
+        codec::xor_into(&mut diff, &images[0]).unwrap();
+        let payload = Codec::Lzss.encode(&diff);
+        let err = s
+            .put_delta(&LocalFs, bogus, base, &images[0], Codec::Lzss, &payload)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(!s.contains(&LocalFs, bogus), "rejected delta was staged");
+        let err = s
+            .put_full_encoded(
+                &LocalFs,
+                bogus,
+                Codec::Lzss,
+                &payload,
+                images[1].len() as u64,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(!s.contains(&LocalFs, bogus));
+    }
+
+    #[test]
+    fn materialize_verifies_digests_on_every_hop() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let images = chain_images(3, 2048);
+        let digests = put_chain(&s, &LocalFs, &images);
+        // Corrupt a payload byte of the mid-chain delta, past its header.
+        let victim = s.object_path(digests[1]);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&victim, &bytes).unwrap();
+        let err = s.materialize(&LocalFs, digests[3]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        // The base below the corruption still materializes.
+        assert_eq!(s.materialize(&LocalFs, digests[0]).unwrap(), images[0]);
+    }
+
+    #[test]
+    fn compact_flattens_deep_chains_without_breaking_readers() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let images = chain_images(5, 4096);
+        let digests = put_chain(&s, &LocalFs, &images);
+        let report = s.compact_chains(&LocalFs, 2).unwrap();
+        assert!(report.compacted >= 1, "{report:?}");
+        assert_eq!(report.examined, digests.len());
+        for (i, d) in digests.iter().enumerate() {
+            assert_eq!(s.materialize(&LocalFs, *d).unwrap(), images[i], "hop {i}");
+            let hops = s.chain_len(&LocalFs, *d).unwrap();
+            assert!(hops <= 2, "hop {i} still {hops} deep after compaction");
+        }
+        // A flattened object sheds its chain marker; surviving shallow
+        // deltas keep theirs. (Which objects got flattened depends on
+        // walk order — compacting a mid-chain object shortens every
+        // chain above it — so assert the invariant, not the victims.)
+        for d in &digests {
+            let is_delta = matches!(
+                s.object_info(&LocalFs, *d).unwrap().kind,
+                ObjectKind::Delta { .. }
+            );
+            assert_eq!(
+                s.delta_marker_path(*d).exists(),
+                is_delta,
+                "marker out of sync for {d}"
+            );
+        }
+        // Idempotent: a second pass finds nothing deep.
+        let again = s.compact_chains(&LocalFs, 2).unwrap();
+        assert_eq!(again.compacted, 0);
+    }
+
+    #[test]
+    fn sweep_keeps_delta_bases_reachable_from_live_tips() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let images = chain_images(3, 2048);
+        let digests = put_chain(&s, &LocalFs, &images);
+        let doomed = s.put(&LocalFs, b"unreferenced and old").unwrap().digest;
+        for (d, _) in s.list(&LocalFs).unwrap() {
+            age_object(&s.object_path(d));
+        }
+        // Only the tip is manifest-referenced; its bases are live by
+        // transitivity over the delta headers.
+        let live = BTreeSet::from([digests[3]]);
+        let report = s.sweep(&LocalFs, &live).unwrap();
+        assert_eq!(report.live_objects, 4, "{report:?}");
+        assert_eq!(report.deleted_objects, 1);
+        assert!(!s.contains(&LocalFs, doomed));
+        assert_eq!(s.materialize(&LocalFs, digests[3]).unwrap(), images[3]);
+    }
+
+    #[test]
+    fn hit_on_a_delta_tip_redates_the_whole_chain() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let images = chain_images(2, 2048);
+        let digests = put_chain(&s, &LocalFs, &images);
+        for d in &digests {
+            age_object(&s.object_path(*d));
+        }
+        // A sweep's census starts now and sees the chain as dead...
+        let mark = SweepMark::now();
+        // ...then a dedup hit on the tip lands before the sweep does.
+        // The hit must re-date tip *and* bases, or the sweep collects
+        // the bases out from under the new reference.
+        assert!(s
+            .note_hit(&LocalFs, digests[2], images[2].len() as u64)
+            .is_some());
+        let report = s
+            .sweep_with_mark(&LocalFs, &BTreeSet::new(), &mark)
+            .unwrap();
+        assert_eq!(report.pinned_young, 3, "{report:?}");
+        assert_eq!(s.materialize(&LocalFs, digests[2]).unwrap(), images[2]);
+    }
+
+    #[test]
+    fn killed_put_delta_leaves_base_usable_and_retry_succeeds() {
+        let images = chain_images(1, 2048);
+        let digest = Digest::of(&images[1]);
+        let mut diff = images[1].clone();
+        codec::xor_into(&mut diff, &images[0]).unwrap();
+        let payload = Codec::Lzss.encode(&diff);
+        // Census the op count of a clean delta put.
+        let census_dir = tempfile::tempdir().unwrap();
+        let cs = store(census_dir.path());
+        let base = cs.put(&LocalFs, &images[0]).unwrap().digest;
+        let census_fs = FaultyFs::new(LocalFs, FaultSpec::never());
+        cs.put_delta(&census_fs, digest, base, &images[0], Codec::Lzss, &payload)
+            .unwrap();
+        let total_ops = census_fs.ops_attempted();
+        assert!(total_ops > 3);
+
+        for k in 0..total_ops {
+            let dir = tempfile::tempdir().unwrap();
+            let s = store(dir.path());
+            let base = s.put(&LocalFs, &images[0]).unwrap().digest;
+            let fs = FaultyFs::with_seed(
+                LocalFs,
+                FaultSpec {
+                    at_op: k,
+                    kind: FaultKind::TornWrite { keep_bytes: None },
+                },
+                k,
+            );
+            let _ = s.put_delta(&fs, digest, base, &images[0], Codec::Lzss, &payload);
+            // Whatever the crash left, the base is intact and a clean
+            // retry converges to a materializable tip.
+            assert_eq!(
+                s.materialize(&LocalFs, base).unwrap(),
+                images[0],
+                "kill at op {k} harmed the base"
+            );
+            s.put_delta(&LocalFs, digest, base, &images[0], Codec::Lzss, &payload)
+                .unwrap();
+            assert_eq!(
+                s.materialize(&LocalFs, digest).unwrap(),
+                images[1],
+                "kill at op {k}: retry did not converge"
+            );
+        }
+    }
+
+    #[test]
+    fn killed_compaction_leaves_old_chain_or_new_full_never_torn() {
+        let images = chain_images(4, 2048);
+        // Census a clean compaction pass.
+        let census_dir = tempfile::tempdir().unwrap();
+        let cs = store(census_dir.path());
+        put_chain(&cs, &LocalFs, &images);
+        let census_fs = FaultyFs::new(LocalFs, FaultSpec::never());
+        cs.compact_chains(&census_fs, 1).unwrap();
+        let total_ops = census_fs.ops_attempted();
+        assert!(total_ops > 3);
+
+        for k in 0..total_ops {
+            let dir = tempfile::tempdir().unwrap();
+            let s = store(dir.path());
+            let digests = put_chain(&s, &LocalFs, &images);
+            let fs = FaultyFs::with_seed(
+                LocalFs,
+                FaultSpec {
+                    at_op: k,
+                    kind: FaultKind::TornWrite { keep_bytes: None },
+                },
+                k,
+            );
+            let _ = s.compact_chains(&fs, 1);
+            // Every digest must still decode bit-exact: each object is
+            // either the old chain or the new Full, never a torn hybrid.
+            for (i, d) in digests.iter().enumerate() {
+                assert_eq!(
+                    s.materialize(&LocalFs, *d).unwrap(),
+                    images[i],
+                    "kill at op {k} tore object {i}"
+                );
+            }
+            // A clean pass after the crash finishes the flattening and
+            // clears any stale markers the crash stranded.
+            s.compact_chains(&LocalFs, 1).unwrap();
+            for (i, d) in digests.iter().enumerate() {
+                assert!(s.chain_len(&LocalFs, *d).unwrap() <= 1, "kill at op {k}");
+                assert_eq!(s.materialize(&LocalFs, *d).unwrap(), images[i]);
+                let marker = s.delta_marker_path(*d);
+                if marker.exists() {
+                    assert!(
+                        matches!(
+                            s.object_info(&LocalFs, *d).unwrap().kind,
+                            ObjectKind::Delta { .. }
+                        ),
+                        "kill at op {k}: stale marker on non-delta object {i}"
+                    );
+                }
+            }
         }
     }
 }

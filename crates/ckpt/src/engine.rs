@@ -37,13 +37,14 @@
 //! [`llmt_storage::IoTally`] by the trainer.
 
 use crate::error::{io_err, CkptError, Result};
-use crate::layout::{commit_marker_contents, CheckpointPaths};
+use crate::layout::{commit_marker_contents, CheckpointPaths, CommitStatus};
 use crate::manifest::{CasRefs, ObjectRef, PartialManifest};
 use crate::safetensors;
 use crate::trainer_state::TrainerState;
 use crate::writer::{CheckpointReport, SaveRequest};
 use crate::zero_meta::{shard_tensor_names, GroupMeta, ZeroMeta};
-use llmt_cas::{ObjectStore, PutOutcome};
+use llmt_cas::codec::{self, Codec};
+use llmt_cas::{Digest, ObjectStore, PutOutcome};
 use llmt_model::naming::unit_param_specs;
 use llmt_model::{LayerUnit, ModelConfig, ParamSet};
 use llmt_obs::MetricsRegistry;
@@ -82,6 +83,16 @@ pub struct SaveOptions {
     /// Route payloads through the content-addressed store at
     /// `<root>/objects/` instead of writing them in place.
     pub dedup: bool,
+    /// LZ-compress store objects when that shrinks them (dedup saves
+    /// only). Manifests keep the digest and length of the *decoded*
+    /// bytes, so readers, verify-on-read, and resharding are unaffected.
+    pub compress: bool,
+    /// Maximum delta-chain depth for store objects; 0 disables delta
+    /// encoding. When a previous committed checkpoint holds the same
+    /// logical key at equal length, the payload is stored as a
+    /// compressed XOR diff against it — the every-step-checkpointing
+    /// mode (dedup saves only).
+    pub delta_chain: usize,
     /// Streaming chunk size in bytes (clamped to at least 1).
     pub chunk_bytes: usize,
     /// Shard-file write strategy for conventional saves.
@@ -92,6 +103,8 @@ impl Default for SaveOptions {
     fn default() -> Self {
         SaveOptions {
             dedup: false,
+            compress: false,
+            delta_chain: 0,
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             parallelism: Parallelism::Rayon,
         }
@@ -259,6 +272,174 @@ pub fn place_tensors_object(
         .hard_link(&store.object_path(out.digest), dest)
         .map_err(io_err(dest))?;
     Ok(out)
+}
+
+/// How the place stage encodes store objects, derived from
+/// [`SaveOptions`] plus the previous committed checkpoint's object refs
+/// (the delta bases).
+struct PlacePolicy<'a> {
+    compress: bool,
+    delta_chain: usize,
+    prev: Option<&'a CasRefs>,
+}
+
+impl PlacePolicy<'_> {
+    fn encoding(&self) -> bool {
+        self.compress || self.delta_chain > 0
+    }
+
+    /// The previous checkpoint's object for logical key `key`, parsed —
+    /// only if it is a *different* object of the *same decoded length*
+    /// (XOR deltas require equal-length images; an identical digest is a
+    /// dedup hit, not a delta).
+    fn base_for(&self, key: &str, digest: Digest, len: u64) -> Option<(Digest, u64)> {
+        let r = self.prev?.weights.get(key).or(self.prev?.optim.get(key))?;
+        let base = Digest::parse_hex(&r.digest).ok()?;
+        (base != digest && r.bytes == len).then_some((base, r.bytes))
+    }
+}
+
+/// Object refs of the newest committed checkpoint strictly below `step`
+/// under `root`, read through `storage`. This is what the delta place
+/// policy bases XOR diffs on; `None` when there is no committed
+/// predecessor or it was not deduplicated.
+pub fn previous_refs_on(storage: &dyn Storage, root: &Path, step: u64) -> Option<CasRefs> {
+    let mut best: Option<u64> = None;
+    for p in storage.list_dir(root).ok()? {
+        if CheckpointPaths::is_staging_dir(&p) {
+            continue;
+        }
+        let name = p.file_name()?.to_str()?;
+        let Some(s) = name.strip_prefix("checkpoint-") else {
+            continue;
+        };
+        let Ok(n) = s.parse::<u64>() else { continue };
+        if n < step && best.is_none_or(|b| n > b) {
+            best = Some(n);
+        }
+    }
+    let paths = CheckpointPaths::under(root, best?);
+    let marker = storage.read(&paths.commit_marker()).ok()?;
+    let manifest_bytes = storage.read(&paths.manifest()).ok()?;
+    if CommitStatus::evaluate(Some(&marker), Some(&manifest_bytes)) != CommitStatus::Committed {
+        return None;
+    }
+    serde_json::from_slice::<PartialManifest>(&manifest_bytes)
+        .ok()?
+        .objects
+}
+
+/// Encode `image` with every byte codec and keep the smallest payload.
+/// Plain LZSS wins on structured byte streams (headers, sparse diffs
+/// with contiguous runs); the byte-plane shuffle wins on float tensor
+/// diffs, where the zeroed exponent bytes are interleaved one-per-
+/// element and invisible to an LZ matcher until gathered into planes.
+fn smallest_encoding(image: &[u8]) -> (Codec, Vec<u8>) {
+    let plain = Codec::Lzss.encode(image);
+    let shuffled = Codec::ShuffleLzss.encode(image);
+    if shuffled.len() < plain.len() {
+        (Codec::ShuffleLzss, shuffled)
+    } else {
+        (Codec::Lzss, plain)
+    }
+}
+
+/// [`place_tensors_object`] with the codec/delta policy applied: a dedup
+/// hit (which re-dates the base chain) short-circuits everything; a miss
+/// tries, in order, an XOR delta against the previous checkpoint's `key`
+/// object, an LZ-compressed `Full`, and finally the raw streamed put —
+/// each taken only when it actually shrinks the stored bytes. The
+/// manifest-facing outcome (logical digest + length) is identical across
+/// all four paths; only `stored_len` differs.
+#[allow(clippy::too_many_arguments)]
+fn place_tensors_encoded(
+    storage: &dyn Storage,
+    store: &ObjectStore,
+    tensors: &[(String, RawTensor)],
+    metadata: &BTreeMap<String, String>,
+    chunk_bytes: usize,
+    dest: &Path,
+    key: &str,
+    policy: &PlacePolicy,
+) -> Result<PutOutcome> {
+    if !policy.encoding() {
+        return place_tensors_object(storage, store, tensors, metadata, chunk_bytes, dest);
+    }
+    let (prefix, len, digest) = safetensors::image_digest(tensors, metadata)?;
+    let link = |out: PutOutcome| -> Result<PutOutcome> {
+        storage
+            .hard_link(&store.object_path(out.digest), dest)
+            .map_err(io_err(dest))?;
+        Ok(out)
+    };
+    if let Some(hit) = store.note_hit(storage, digest, len) {
+        return link(hit);
+    }
+
+    // Encoding needs the whole decoded image in memory (units are the
+    // bounded dedup granule, so this is a per-unit, not per-model, cost).
+    let mut image = Vec::with_capacity(len as usize);
+    image.extend_from_slice(&prefix);
+    for (_, t) in tensors {
+        image.extend_from_slice(t.bytes());
+    }
+
+    // 1. Delta against the previous checkpoint's object for this key,
+    //    when the chain has headroom and the diff actually shrinks. Any
+    //    store-side failure (base swept mid-save, chain walk error)
+    //    falls through to a self-contained encoding — deltas are an
+    //    optimization, never a correctness dependency.
+    if policy.delta_chain > 0 {
+        if let Some((base, _)) = policy.base_for(key, digest, len) {
+            let headroom = store
+                .chain_len(storage, base)
+                .map(|d| d < policy.delta_chain)
+                .unwrap_or(false);
+            if headroom {
+                if let Ok(base_image) = store.materialize(storage, base) {
+                    if base_image.len() == image.len() {
+                        let mut diff = image.clone();
+                        codec::xor_into(&mut diff, &base_image).map_err(io_err(dest))?;
+                        let (delta_codec, payload) = smallest_encoding(&diff);
+                        if ((codec::DELTA_HEADER_LEN + payload.len()) as u64) < len {
+                            match store.put_delta(
+                                storage,
+                                digest,
+                                base,
+                                &base_image,
+                                delta_codec,
+                                &payload,
+                            ) {
+                                Ok(out) => return link(out),
+                                // Base swept between materialize and put:
+                                // fall through to a self-contained object.
+                                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                                Err(e) => return Err(io_err(store.root_dir())(e)),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Self-contained compressed object, when that shrinks it.
+    if policy.compress {
+        let (full_codec, payload) = smallest_encoding(&image);
+        if ((codec::FULL_HEADER_LEN + payload.len()) as u64) < len {
+            let out = store
+                .put_full_encoded(storage, digest, full_codec, &payload, len)
+                .map_err(io_err(store.root_dir()))?;
+            return link(out);
+        }
+    }
+
+    // 3. Raw object, streamed in bounded chunks.
+    let chunk_bytes = chunk_bytes.max(1);
+    let out = store
+        .put_stream(storage, digest, len, image.chunks(chunk_bytes))
+        .map_err(io_err(store.root_dir()))?;
+    link(out)
 }
 
 /// Save a checkpoint from a live-state [`SaveRequest`]. This is what the
@@ -568,8 +749,31 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
     // objects the store already held.
     let mut physical_payload = 0u64;
     let mut dedup_bytes = 0u64;
+    // Delta/compression accounting across placed objects.
+    let mut delta_objects = 0u64;
+    let mut delta_saved_bytes = 0u64;
+    let mut delta_max_chain = 0u64;
+    let mut tally = |out: &PutOutcome| {
+        if out.written {
+            delta_saved_bytes += out.len.saturating_sub(out.stored_len);
+            if out.chain_depth > 0 {
+                delta_objects += 1;
+                delta_max_chain = delta_max_chain.max(out.chain_depth as u64);
+            }
+        }
+    };
     let mut refs = dedup.then(CasRefs::default);
     let store = plan.store;
+    // Delta bases come from the newest committed predecessor's manifest;
+    // resolving it is one read pair, done once per save.
+    let prev_refs = (dedup && plan.opts.delta_chain > 0)
+        .then(|| previous_refs_on(storage, plan.root, plan.step))
+        .flatten();
+    let policy = PlacePolicy {
+        compress: plan.opts.compress,
+        delta_chain: plan.opts.delta_chain,
+        prev: prev_refs.as_ref(),
+    };
 
     let mut st_meta = BTreeMap::new();
     st_meta.insert("format".to_string(), "pt".to_string());
@@ -591,17 +795,20 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
 
             let sp = plan.metrics.span("ckpt.save.place");
             let key = unit.as_string();
-            let out = place_tensors_object(
+            let out = place_tensors_encoded(
                 storage,
-                &store,
+                store,
                 &tensors,
                 &st_meta,
                 chunk,
                 &staging.unit_weights(&key),
+                &key,
+                &policy,
             )?;
             timings.place_ns += sp.finish();
+            tally(&out);
             if out.written {
-                physical_payload += out.len;
+                physical_payload += out.stored_len;
             } else {
                 dedup_bytes += out.len;
             }
@@ -655,22 +862,26 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
                 timings.encode_ns += sp.finish();
 
                 let sp = plan.metrics.span("ckpt.save.place");
-                let out = place_tensors_object(
+                let key = CasRefs::optim_key(rank, *gid);
+                let out = place_tensors_encoded(
                     storage,
-                    &store,
+                    store,
                     &tensors,
                     &BTreeMap::new(),
                     chunk,
                     &staging.optim_group(rank, *gid),
+                    &key,
+                    &policy,
                 )?;
                 timings.place_ns += sp.finish();
+                tally(&out);
                 if out.written {
-                    physical_payload += out.len;
+                    physical_payload += out.stored_len;
                 } else {
                     dedup_bytes += out.len;
                 }
                 refs.optim.insert(
-                    CasRefs::optim_key(rank, *gid),
+                    key,
                     ObjectRef {
                         digest: out.digest.to_hex(),
                         bytes: out.len,
@@ -803,6 +1014,9 @@ fn write_staged_and_commit(storage: &dyn Storage, plan: &StagePlan) -> Result<Ch
             total_bytes
         },
         dedup_bytes,
+        delta_objects,
+        delta_saved_bytes,
+        delta_max_chain,
         timings,
     })
 }

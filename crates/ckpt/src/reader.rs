@@ -16,6 +16,7 @@ use crate::manifest::PartialManifest;
 use crate::safetensors::{self, SafetensorsIndex};
 use crate::trainer_state::TrainerState;
 use crate::zero_meta::{shard_tensor_names, ZeroMeta};
+use llmt_cas::{codec, Digest, ObjectStore};
 use llmt_model::naming::unit_param_specs;
 use llmt_model::{LayerUnit, ModelConfig};
 use llmt_storage::vfs::{LocalFs, Storage};
@@ -78,10 +79,25 @@ pub struct CheckpointHandle {
     /// weights live in per-unit files instead of one `model.safetensors`.
     /// `None` for conventional checkpoints.
     cas_weight_unit: Option<HashMap<String, String>>,
+    /// Manifest object digest of each CAS-backed file, keyed by path.
+    /// Encoded links (compressed fulls, delta chains) are materialized
+    /// through the store by this logical digest.
+    object_refs: HashMap<PathBuf, Digest>,
+    /// Store handle for materializing encoded objects (dedup checkpoints).
+    store: Option<ObjectStore>,
     /// Whole-file tensor caches (eager mode), keyed by file path.
     file_cache: HashMap<PathBuf, HashMap<String, RawTensor>>,
     /// Parsed headers (lazy mode), keyed by file path.
     file_index: HashMap<PathBuf, SafetensorsIndex>,
+}
+
+/// Parse a `rank<r>/group<g>` optimizer object key.
+fn parse_optim_key(key: &str) -> Option<(usize, usize)> {
+    let (r, g) = key.split_once('/')?;
+    Some((
+        r.strip_prefix("rank")?.parse().ok()?,
+        g.strip_prefix("group")?.parse().ok()?,
+    ))
 }
 
 impl CheckpointHandle {
@@ -144,6 +160,23 @@ impl CheckpointHandle {
             }
             map
         });
+        let mut object_refs = HashMap::new();
+        if let Some(objs) = manifest.as_ref().and_then(|m| m.objects.as_ref()) {
+            for (key, r) in &objs.weights {
+                if let Ok(d) = Digest::parse_hex(&r.digest) {
+                    object_refs.insert(paths.unit_weights(key), d);
+                }
+            }
+            for (key, r) in &objs.optim {
+                if let (Some((rank, gid)), Ok(d)) =
+                    (parse_optim_key(key), Digest::parse_hex(&r.digest))
+                {
+                    object_refs.insert(paths.optim_group(rank, gid), d);
+                }
+            }
+        }
+        let store = (!object_refs.is_empty())
+            .then(|| ObjectStore::resolve(&*storage, dir.parent().unwrap_or(dir)));
         Ok(CheckpointHandle {
             paths,
             config,
@@ -155,6 +188,8 @@ impl CheckpointHandle {
             storage,
             stats: IoStats::default(),
             cas_weight_unit,
+            object_refs,
+            store,
             file_cache: HashMap::new(),
             file_index: HashMap::new(),
         })
@@ -211,6 +246,38 @@ impl CheckpointHandle {
         }
     }
 
+    /// Decode an encoded (compressed / delta-chained) store object into
+    /// its logical safetensors image via the store's chain walk, which
+    /// verifies every hop's decoded digest against its object name.
+    fn materialize_encoded(&mut self, path: &Path) -> Result<Vec<u8>> {
+        let want = self.object_refs.get(path).copied().ok_or_else(|| {
+            CkptError::Format(format!(
+                "{}: encoded store object without a manifest object ref",
+                path.display()
+            ))
+        })?;
+        let store = self.store.as_ref().ok_or_else(|| {
+            CkptError::Format(format!(
+                "{}: encoded store object outside a deduplicated checkpoint",
+                path.display()
+            ))
+        })?;
+        store
+            .materialize(&*self.storage, want)
+            .map_err(io_err(path))
+    }
+
+    /// Whether the CAS-backed file at `path` holds an *encoded* object
+    /// (by magic peek) — such files cannot serve range reads and are
+    /// materialized eagerly even in lazy mode.
+    fn is_encoded_file(&self, path: &Path) -> bool {
+        self.object_refs.contains_key(path)
+            && matches!(
+                self.storage.read_range(path, 0, codec::OBJECT_MAGIC.len()),
+                Ok(head) if head == codec::OBJECT_MAGIC
+            )
+    }
+
     /// Load a file's contents (eager) or header (lazy) into the cache.
     fn ensure_file_loaded(&mut self, path: &Path) -> Result<()> {
         match self.mode {
@@ -225,6 +292,11 @@ impl CheckpointHandle {
                         path,
                         crate::DEFAULT_CHUNK_BYTES,
                     )?;
+                    let bytes = if codec::is_encoded(&bytes) {
+                        self.materialize_encoded(path)?
+                    } else {
+                        bytes
+                    };
                     let (tensors, _) = safetensors::decode_image(path, &bytes)?;
                     self.stats.bytes_read += bytes.len() as u64;
                     self.stats.files_opened += 1;
@@ -234,11 +306,24 @@ impl CheckpointHandle {
                 }
             }
             LoadMode::LazyRange => {
-                if !self.file_index.contains_key(path) {
-                    let index = safetensors::open_index_on(&*self.storage, path)?;
-                    self.stats.files_opened += 1;
-                    self.stats.bytes_read += index.data_start; // header bytes
-                    self.file_index.insert(path.to_path_buf(), index);
+                if !self.file_index.contains_key(path) && !self.file_cache.contains_key(path) {
+                    if self.is_encoded_file(path) {
+                        // Encoded objects have no in-place safetensors
+                        // header to range-read against; fall back to a
+                        // full materialize into the eager cache.
+                        let bytes = self.materialize_encoded(path)?;
+                        let (tensors, _) = safetensors::decode_image(path, &bytes)?;
+                        self.stats.bytes_read += bytes.len() as u64;
+                        self.stats.files_opened += 1;
+                        self.stats.full_loads += 1;
+                        self.file_cache
+                            .insert(path.to_path_buf(), tensors.into_iter().collect());
+                    } else {
+                        let index = safetensors::open_index_on(&*self.storage, path)?;
+                        self.stats.files_opened += 1;
+                        self.stats.bytes_read += index.data_start; // header bytes
+                        self.file_index.insert(path.to_path_buf(), index);
+                    }
                 }
             }
         }
@@ -249,15 +334,19 @@ impl CheckpointHandle {
     fn fetch_tensor(&mut self, path: &Path, name: &str) -> Result<RawTensor> {
         self.ensure_file_loaded(path)?;
         self.stats.tensor_reads += 1;
-        match self.mode {
-            LoadMode::EagerFull => self
-                .file_cache
-                .get(path)
-                .unwrap()
+        let from_cache = |cache: &HashMap<String, RawTensor>| {
+            cache
                 .get(name)
                 .cloned()
-                .ok_or_else(|| CkptError::Missing(format!("tensor '{name}'"))),
+                .ok_or_else(|| CkptError::Missing(format!("tensor '{name}'")))
+        };
+        match self.mode {
+            LoadMode::EagerFull => from_cache(self.file_cache.get(path).unwrap()),
             LoadMode::LazyRange => {
+                // Encoded objects were materialized into the eager cache.
+                if let Some(cache) = self.file_cache.get(path) {
+                    return from_cache(cache);
+                }
                 let index = self.file_index.get(path).unwrap();
                 let t = safetensors::read_tensor_at_on(&*self.storage, path, index, name)?;
                 self.stats.bytes_read += t.byte_len() as u64;

@@ -41,7 +41,7 @@ use crate::safetensors;
 use crate::trainer_state::TrainerState;
 use crate::zero_meta::{shard_tensor_names, ZeroMeta};
 use crate::DEFAULT_CHUNK_BYTES;
-use llmt_cas::{Digest, Hasher};
+use llmt_cas::{codec, Digest, Hasher, ObjectStore};
 use llmt_model::naming::unit_param_specs;
 use llmt_model::{LayerUnit, ModelConfig};
 use llmt_obs::MetricsRegistry;
@@ -372,10 +372,36 @@ pub fn restore_checkpoint_with(
     let fetch_ns = AtomicU64::new(0);
     let decode_ns = AtomicU64::new(0);
     let validate_ns = AtomicU64::new(0);
+    // Deduplicated checkpoints may hard-link *encoded* store objects
+    // (compressed fulls or delta chains); those are materialized through
+    // the store, which walks the chain verifying every hop's decoded
+    // digest against its object name.
+    let store = dedup.then(|| ObjectStore::resolve(&*storage, dir.parent().unwrap_or(dir)));
     let run_one = |(plan_idx, plan): (usize, &FilePlan)| -> Result<FileOut> {
         let sp = metrics.span("ckpt.restore.fetch");
-        let (bytes, digest) = fetch_file_on(&*storage, &plan.path, req.chunk_bytes)
+        let (mut bytes, mut digest) = fetch_file_on(&*storage, &plan.path, req.chunk_bytes)
             .map_err(|e| annotate(e, &plan.subject))?;
+        if codec::is_encoded(&bytes) {
+            let (store, expect) = match (&store, &plan.expect) {
+                (Some(s), Some(e)) => (s, e),
+                _ => {
+                    return Err(CkptError::Format(format!(
+                        "{}: encoded store object without a manifest object ref",
+                        plan.subject
+                    )))
+                }
+            };
+            let want = Digest::parse_hex(&expect.digest).map_err(|e| {
+                CkptError::Format(format!(
+                    "{}: unparseable manifest digest '{}': {e}",
+                    plan.subject, expect.digest
+                ))
+            })?;
+            bytes = store
+                .materialize(&*storage, want)
+                .map_err(|e| annotate(io_err(&plan.path)(e), &plan.subject))?;
+            digest = want;
+        }
         fetch_ns.fetch_add(sp.finish(), Ordering::Relaxed);
 
         let sp = metrics.span("ckpt.restore.decode");
@@ -693,6 +719,10 @@ fn bind_ranks(
     } else {
         reconstruct_layouts(meta, config, from, target)?
     };
+    // `layouts` is intentionally empty (and unindexed) on the
+    // same-topology fast path, so zipping it in place of `gid` indexing
+    // would be wrong.
+    #[allow(clippy::needless_range_loop)]
     for gid in 0..n_groups {
         let mut saved_shards = Vec::with_capacity(saved);
         for rank in 0..saved {

@@ -153,19 +153,47 @@ pub fn verify_checkpoint_on(
                     &mut report,
                 ),
                 Ok((bytes, actual)) => {
-                    if bytes.len() as u64 != object.bytes {
-                        find(
-                            key,
-                            format!("object length {} != manifest {}", bytes.len(), object.bytes),
-                            &mut report,
-                        );
-                    }
-                    if actual != digest {
-                        find(
-                            key,
-                            format!("object digest mismatch: manifest {digest}, file {actual}"),
-                            &mut report,
-                        );
+                    // Encoded objects (compressed fulls, delta chains)
+                    // are compared against their *decoded* image: the
+                    // store's chain walk re-derives it, verifying every
+                    // hop's digest along the way. Raw objects compare
+                    // the streamed bytes directly.
+                    let decoded = if llmt_cas::codec::is_encoded(&bytes) {
+                        match store
+                            .as_ref()
+                            .ok_or_else(|| {
+                                std::io::Error::other("encoded object outside a run root")
+                            })
+                            .and_then(|s| s.materialize(&*storage, digest))
+                        {
+                            Ok(image) => Some((image.len() as u64, digest)),
+                            Err(e) => {
+                                find(
+                                    key,
+                                    format!("encoded object failed to materialize: {e}"),
+                                    &mut report,
+                                );
+                                None
+                            }
+                        }
+                    } else {
+                        Some((bytes.len() as u64, actual))
+                    };
+                    if let Some((len, actual)) = decoded {
+                        if len != object.bytes {
+                            find(
+                                key,
+                                format!("object length {len} != manifest {}", object.bytes),
+                                &mut report,
+                            );
+                        }
+                        if actual != digest {
+                            find(
+                                key,
+                                format!("object digest mismatch: manifest {digest}, file {actual}"),
+                                &mut report,
+                            );
+                        }
                     }
                 }
             }

@@ -72,6 +72,14 @@ pub struct CheckpointReport {
     pub physical_bytes: u64,
     /// Payload bytes satisfied by objects already in the store.
     pub dedup_bytes: u64,
+    /// Store objects this save placed as XOR deltas against a previous
+    /// checkpoint's objects.
+    pub delta_objects: u64,
+    /// Bytes delta/compression encoding avoided writing (logical minus
+    /// stored, summed over encoded objects this save placed).
+    pub delta_saved_bytes: u64,
+    /// Deepest delta chain this save created (0 when no deltas placed).
+    pub delta_max_chain: u64,
     /// Wall-clock time spent in each engine stage of this save
     /// (snapshot/encode/place/commit). `snapshot_ns` is zero for sync
     /// saves, which borrow live state; async saves fill it in from the

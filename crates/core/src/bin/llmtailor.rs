@@ -24,6 +24,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("prune") => cmd_prune(&args[1..]),
         Some("du") => cmd_du(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -89,9 +90,18 @@ USAGE:
 
   llmtailor du --run-root <DIR> [--json]
       Disk usage of a run: logical bytes (what the checkpoints would
-      occupy without deduplication), physical bytes (object store counted
-      once plus per-checkpoint metadata), the dedup ratio, and the number
-      of distinct stored objects per layer unit.
+      occupy without deduplication or encoding), physical bytes (object
+      store counted once plus per-checkpoint metadata), the dedup ratio,
+      the number of distinct stored objects per layer unit, and the
+      delta/compression breakdown of the object store (delta objects,
+      compressed full objects, longest chain, decoded payload bytes).
+
+  llmtailor compact --run-root <DIR> [--max-chain <N>]
+      Rewrite every delta chain longer than N hops (default 0: flatten
+      all deltas) into self-contained full objects, in place and safe
+      against concurrent readers. Bounds restore latency after many
+      every-step delta saves; orphaned bases become garbage for the next
+      GC pass.
 
   llmtailor report <RUN_ROOT> [--json]
       Summarize the run's events.jsonl journal: per-stage time breakdowns
@@ -401,6 +411,17 @@ fn cmd_du(args: &[String]) -> Result<(), String> {
         "  objects:               {} ({} bytes)",
         du.object_count, du.object_bytes
     );
+    if du.delta_objects > 0 || du.encoded_full_objects > 0 {
+        println!(
+            "  encoded objects:       {} delta (longest chain {}), {} compressed full; \
+             {} bytes decoded vs {} stored",
+            du.delta_objects,
+            du.delta_max_chain,
+            du.encoded_full_objects,
+            du.object_logical_bytes,
+            du.object_bytes
+        );
+    }
     if !du.per_unit_objects.is_empty() {
         println!("  distinct objects per unit:");
         for (unit, n) in &du.per_unit_objects {
@@ -426,6 +447,22 @@ fn cmd_du(args: &[String]) -> Result<(), String> {
             println!("    lost on crash:   {:?}", tier.lost_on_crash);
         }
     }
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), String> {
+    let run_root = PathBuf::from(require(args, "--run-root")?);
+    let max_chain = match opt(args, "--max-chain")? {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|e| format!("--max-chain: {e}"))?,
+        None => 0,
+    };
+    let report = llmtailor::compact_run(&run_root, max_chain).map_err(|e| e.to_string())?;
+    println!(
+        "examined {} object(s), compacted {} delta(s): {} bytes -> {} bytes",
+        report.examined, report.compacted, report.bytes_before, report.bytes_after
+    );
     Ok(())
 }
 
@@ -464,6 +501,15 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     );
     println!("  dedup:    ratio {:.3}", summary.dedup_ratio);
     println!("  retries:  {}", summary.retries);
+    if summary.delta_objects > 0 || summary.compactions > 0 {
+        println!(
+            "  deltas:   {} object(s), {} bytes saved, longest chain {}, {} compaction(s)",
+            summary.delta_objects,
+            summary.delta_saved_bytes,
+            summary.delta_max_chain,
+            summary.compactions
+        );
+    }
     for (kind, k) in &summary.per_kind {
         println!(
             "  {kind}: {} event(s), {} bytes logical, {} physical, {} files, \

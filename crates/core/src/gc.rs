@@ -17,7 +17,7 @@
 //! dangerous.
 
 use crate::error::{Result, TailorError};
-use llmt_cas::{Digest, ObjectStore, SweepMark, SweepReport};
+use llmt_cas::{CompactReport, Digest, ObjectKind, ObjectStore, SweepMark, SweepReport};
 use llmt_ckpt::{scan_run_root, PartialManifest};
 use llmt_obs::RunEvent;
 use llmt_storage::vfs::{LocalFs, Storage};
@@ -54,6 +54,20 @@ pub struct DuReport {
     pub object_bytes: u64,
     /// `logical_bytes / physical_bytes` (1.0 when nothing is shared).
     pub dedup_ratio: f64,
+    /// Delta objects currently in the store (encoded against a base).
+    #[serde(default)]
+    pub delta_objects: usize,
+    /// Self-contained compressed (`Full`) objects in the store.
+    #[serde(default)]
+    pub encoded_full_objects: usize,
+    /// Longest delta chain in the store, in hops.
+    #[serde(default)]
+    pub delta_max_chain: usize,
+    /// Decoded payload bytes behind all objects — equals
+    /// [`DuReport::object_bytes`] when nothing is encoded; the gap is
+    /// what delta/compression encoding saved on disk.
+    #[serde(default)]
+    pub object_logical_bytes: u64,
     /// Distinct object count per layer unit key (weights objects).
     pub per_unit_objects: BTreeMap<String, usize>,
     /// Per-tier residency breakdown, when the run uses a tiered store
@@ -153,6 +167,40 @@ pub fn collect_garbage(run_root: &Path) -> Result<GcReport> {
     collect_garbage_on(&LocalFs, run_root)
 }
 
+/// Rewrite every delta chain longer than `max_chain` hops in the run's
+/// object store into self-contained `Full` objects
+/// ("`llmtailor compact`"), then journal the pass as a `compact` event.
+///
+/// Safe against concurrent readers (the object path holds either the
+/// old chain or the new `Full` at every instant) and safe on shared
+/// stores — the rewrite keeps each object's name, so other runs'
+/// references stay valid. Orphaned bases become dead objects for the
+/// next GC census.
+pub fn compact_run_on(
+    storage: &dyn Storage,
+    run_root: &Path,
+    max_chain: usize,
+) -> Result<CompactReport> {
+    let store = ObjectStore::resolve(storage, run_root);
+    let report = store
+        .compact_chains(storage, max_chain)
+        .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(store.root_dir())(e)))?;
+    let mut ev = RunEvent::new("compact", 0);
+    ev.compactions = report.compacted as u64;
+    ev.bytes = report.bytes_before;
+    ev.physical_bytes = report.bytes_after;
+    ev.files = report.examined as u64;
+    let events_path = run_root.join(llmt_obs::EVENTS_FILE);
+    llmt_obs::append_event(storage, &events_path, &ev)
+        .map_err(|e| TailorError::Ckpt(llmt_ckpt::error::io_err(&events_path)(e)))?;
+    Ok(report)
+}
+
+/// [`compact_run_on`] on the local filesystem.
+pub fn compact_run(run_root: &Path, max_chain: usize) -> Result<CompactReport> {
+    compact_run_on(&LocalFs, run_root, max_chain)
+}
+
 /// Measure a run's logical vs physical footprint (see [`DuReport`]).
 ///
 /// For a run redirected into a shared store, the object tallies cover the
@@ -172,6 +220,29 @@ pub fn du_run(run_root: &Path) -> Result<DuReport> {
         physical_bytes: object_bytes,
         ..DuReport::default()
     };
+    // Break the store down by object kind: deltas and compressed Full
+    // objects occupy fewer bytes on disk than the payloads they decode
+    // to — that gap is the `du` logical-vs-physical story for encoding.
+    for (digest, stored) in &objects {
+        match store.object_info(&LocalFs, *digest) {
+            Ok(info) => match info.kind {
+                ObjectKind::Delta { logical_len, .. } => {
+                    report.delta_objects += 1;
+                    report.object_logical_bytes += logical_len;
+                    if let Ok(hops) = store.chain_len(&LocalFs, *digest) {
+                        report.delta_max_chain = report.delta_max_chain.max(hops);
+                    }
+                }
+                ObjectKind::Full { logical_len, .. } => {
+                    report.encoded_full_objects += 1;
+                    report.object_logical_bytes += logical_len;
+                }
+                ObjectKind::LegacyRaw => report.object_logical_bytes += stored,
+            },
+            // Vanished under a concurrent sweep: count what we saw.
+            Err(_) => report.object_logical_bytes += stored,
+        }
+    }
     let mut unit_objects: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for cp in &scan.committed {
         let apparent = cp
@@ -187,8 +258,21 @@ pub fn du_run(run_root: &Path) -> Result<DuReport> {
         match refs {
             // Deduplicated checkpoint: its payload files are hard links
             // into the store, already counted once in `object_bytes`.
+            // An *encoded* link appears at its encoded (on-disk) size in
+            // `apparent`, while a full save would have written the
+            // decoded bytes — so subtract the actual stored size and
+            // credit the logical size instead.
             Some(refs) => {
-                report.physical_bytes += apparent.saturating_sub(refs.total_bytes());
+                let mut linked: u64 = 0;
+                for (_, object) in refs.iter_all() {
+                    let stored = Digest::parse_hex(&object.digest)
+                        .ok()
+                        .and_then(|d| store.object_len(&LocalFs, d).ok())
+                        .unwrap_or(object.bytes);
+                    linked += stored;
+                    report.logical_bytes += object.bytes.saturating_sub(stored);
+                }
+                report.physical_bytes += apparent.saturating_sub(linked);
                 for (key, object) in &refs.weights {
                     unit_objects
                         .entry(key.clone())

@@ -38,7 +38,10 @@ pub use convert::{convert_checkpoint, convert_checkpoint_on, ConvertReport, Targ
 pub use diff::{diff_checkpoints, UnitDiff};
 pub use dynamic::{MagnitudeStrategy, UnitDelta};
 pub use error::{PlanError, Result, TailorError};
-pub use gc::{collect_garbage, collect_garbage_on, du_run, live_digests, DuReport, GcReport};
+pub use gc::{
+    collect_garbage, collect_garbage_on, compact_run, compact_run_on, du_run, live_digests,
+    DuReport, GcReport,
+};
 pub use merge::{execute_plan, merge_with_recipe, LoadPattern, MergeReport};
 pub use plan::MergePlan;
 pub use recipe::{MergeRecipe, SliceSpec};

@@ -32,6 +32,14 @@ pub struct KindSummary {
     pub retries: u64,
     /// Events that recorded an error.
     pub errors: u64,
+    /// Delta objects written instead of full copies.
+    pub delta_objects: u64,
+    /// Bytes delta encoding avoided writing.
+    pub delta_saved_bytes: u64,
+    /// Longest delta chain any event created.
+    pub delta_max_chain: u64,
+    /// Delta chains rewritten into fresh full objects.
+    pub compactions: u64,
     /// Summed per-stage nanoseconds.
     pub stage_ns: BTreeMap<String, u64>,
 }
@@ -46,6 +54,10 @@ impl KindSummary {
         self.dedup_saved_bytes += ev.dedup_saved_bytes;
         self.retries += ev.retries;
         self.errors += u64::from(ev.error.is_some());
+        self.delta_objects += ev.delta_objects;
+        self.delta_saved_bytes += ev.delta_saved_bytes;
+        self.delta_max_chain = self.delta_max_chain.max(ev.delta_max_chain);
+        self.compactions += ev.compactions;
         for (stage, ns) in &ev.stages {
             *self.stage_ns.entry(stage.clone()).or_insert(0) += ns;
         }
@@ -116,6 +128,14 @@ pub struct RunSummary {
     pub dedup_ratio: f64,
     /// Storage retries absorbed across all events.
     pub retries: u64,
+    /// Delta objects written across all saves (delta-chained CAS).
+    pub delta_objects: u64,
+    /// Bytes delta encoding avoided writing across all saves.
+    pub delta_saved_bytes: u64,
+    /// Longest delta chain any save created.
+    pub delta_max_chain: u64,
+    /// Delta chains rewritten into full objects (`llmtailor compact`).
+    pub compactions: u64,
     /// Per-kind aggregates (`save`, `restore`, `merge`, `gc`).
     pub per_kind: BTreeMap<String, KindSummary>,
     /// Per-tier aggregates of tier-tagged events, keyed by tier name
@@ -132,6 +152,10 @@ pub fn summarize_events(events: &[RunEvent]) -> RunSummary {
     };
     for ev in events {
         summary.retries += ev.retries;
+        summary.delta_objects += ev.delta_objects;
+        summary.delta_saved_bytes += ev.delta_saved_bytes;
+        summary.delta_max_chain = summary.delta_max_chain.max(ev.delta_max_chain);
+        summary.compactions += ev.compactions;
         summary
             .per_kind
             .entry(ev.kind.clone())
@@ -245,6 +269,29 @@ mod tests {
         assert_eq!(fs.drained_files, 5);
         // Untagged events never land in the tier breakdown.
         assert_eq!(s.per_kind["gc"].events, 1);
+    }
+
+    #[test]
+    fn summary_aggregates_delta_counters() {
+        let mut a = save(2, 1000, 400);
+        a.delta_objects = 3;
+        a.delta_saved_bytes = 500;
+        a.delta_max_chain = 2;
+        let mut b = save(3, 1000, 300);
+        b.delta_objects = 2;
+        b.delta_saved_bytes = 600;
+        b.delta_max_chain = 4;
+        let mut gc = RunEvent::new("compact", 0);
+        gc.compactions = 5;
+        let s = summarize_events(&[a, b, gc]);
+        assert_eq!(s.delta_objects, 5);
+        assert_eq!(s.delta_saved_bytes, 1100);
+        assert_eq!(s.delta_max_chain, 4);
+        assert_eq!(s.compactions, 5);
+        let saves = &s.per_kind["save"];
+        assert_eq!(saves.delta_objects, 5);
+        assert_eq!(saves.delta_max_chain, 4);
+        assert_eq!(s.per_kind["compact"].compactions, 5);
     }
 
     #[test]

@@ -76,6 +76,21 @@ pub struct RunEvent {
     /// Storage retries absorbed while producing this event.
     #[serde(default)]
     pub retries: u64,
+    /// Delta objects placed by this event (XOR diffs against a previous
+    /// checkpoint's object). Zero in pre-delta journals.
+    #[serde(default)]
+    pub delta_objects: u64,
+    /// Bytes delta/compressed encoding avoided writing (logical minus
+    /// stored, summed over encoded objects placed by this event).
+    #[serde(default)]
+    pub delta_saved_bytes: u64,
+    /// Longest delta chain depth placed or compacted by this event.
+    #[serde(default)]
+    pub delta_max_chain: u64,
+    /// Delta chains rewritten into fresh `Full` objects (compaction
+    /// events).
+    #[serde(default)]
+    pub compactions: u64,
     /// Per-stage nanoseconds (e.g. `encode`, `place`, `commit`).
     #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     pub stages: BTreeMap<String, u64>,

@@ -23,11 +23,12 @@
 
 use crate::mem::MemStorage;
 use crate::sim::{FlakeSpec, ModeledStorage, RebasedStorage};
+use llmt_cas::{Digest, ObjectKind, ObjectStore};
 use llmt_ckpt::engine::{save_source_placed, LiveState, SaveOptions};
 use llmt_ckpt::writer::SaveRequest;
 use llmt_ckpt::{
-    restore_checkpoint_with, CheckpointPaths, CheckpointReport, CkptError, RestoreRequest,
-    RestoredState,
+    restore_checkpoint_with, CheckpointPaths, CheckpointReport, CkptError, PartialManifest,
+    RestoreRequest, RestoredState,
 };
 use llmt_obs::{Journal, MetricsRegistry, RunEvent};
 use llmt_storage::vfs::{Clock, RetryPolicy, RetryingStorage, Storage, WriteStream};
@@ -594,8 +595,10 @@ impl TierManager {
         // commit marker last — the drain copies in this exact order.
         let placement_storage: &dyn Storage = placements[placed.placement];
         let dir = CheckpointPaths::under(&self.root, req.step).dir;
-        let files = self
+        let mut files = self
             .collect_files(placement_storage, &dir)
+            .map_err(|e| CkptError::Io(dir.clone(), e))?;
+        self.append_object_chains(placement_storage, req.step, &mut files)
             .map_err(|e| CkptError::Io(dir.clone(), e))?;
         let bytes: u64 = files.iter().map(|f| f.bytes).sum();
 
@@ -659,6 +662,78 @@ impl TierManager {
         // a marker ahead of the payload it vouches for.
         files.sort_by_key(|f| f.path.ends_with(llmt_ckpt::layout::COMMIT_FILE));
         Ok(files)
+    }
+
+    /// Encoded checkpoint links decode through the object store at
+    /// restore time (`objects/<hh>/<hex>.obj`, the tip plus every delta
+    /// base under it), so a drained copy must carry those store files
+    /// too — otherwise the destination tier holds payload it cannot
+    /// materialize. Raw links need nothing: their bytes are already in
+    /// the checkpoint directory. Re-sorts so the commit marker stays
+    /// strictly last in the copy order.
+    fn append_object_chains(
+        &self,
+        storage: &dyn Storage,
+        step: u64,
+        files: &mut Vec<FileRec>,
+    ) -> io::Result<()> {
+        // A run redirected into a shared store (CASROOT) keeps its
+        // objects outside the run root; the drain only mirrors the run
+        // root, so there is nothing tier-local to carry.
+        if llmt_cas::is_redirected(storage, &self.root) {
+            return Ok(());
+        }
+        let store = ObjectStore::for_run_root(&self.root);
+        let paths = CheckpointPaths::under(&self.root, step);
+        let Ok(manifest_bytes) = storage.read(&paths.manifest()) else {
+            return Ok(()); // pre-manifest save: nothing content-addressed
+        };
+        let manifest: PartialManifest = serde_json::from_slice(&manifest_bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let Some(refs) = manifest.objects else {
+            return Ok(());
+        };
+        let mut chain: BTreeSet<Digest> = BTreeSet::new();
+        for (_, object) in refs.iter_all() {
+            let Ok(mut cur) = Digest::parse_hex(&object.digest) else {
+                continue;
+            };
+            // A missing object ends the walk: the store is
+            // authoritative at restore time.
+            while let Ok(info) = store.object_info(storage, cur) {
+                match info.kind {
+                    // Raw objects restore straight from the link.
+                    ObjectKind::LegacyRaw => break,
+                    ObjectKind::Full { .. } => {
+                        chain.insert(cur);
+                        break;
+                    }
+                    ObjectKind::Delta { base, .. } => {
+                        if !chain.insert(cur) {
+                            break; // shared tail already walked
+                        }
+                        cur = base;
+                    }
+                }
+            }
+        }
+        for digest in chain {
+            let path = store.object_path(digest);
+            let bytes = storage.file_len(&path)?;
+            let rel = path
+                .strip_prefix(&self.root)
+                .map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("{} outside run root", path.display()),
+                    )
+                })?
+                .to_string_lossy()
+                .into_owned();
+            files.push(FileRec { path: rel, bytes });
+        }
+        files.sort_by_key(|f| f.path.ends_with(llmt_ckpt::layout::COMMIT_FILE));
+        Ok(())
     }
 
     fn tier_storage(&self, level: TierLevel) -> Option<Arc<dyn Storage>> {

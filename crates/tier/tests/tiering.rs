@@ -397,3 +397,106 @@ fn tiered_restore_rejects_quarantined_directories() {
     mgr.restore_from(TierLevel::Object, 6, &RestoreRequest::default())
         .expect("object copy independent of fs marker");
 }
+
+#[test]
+fn drains_carry_delta_chains_to_every_tier() {
+    let tmp = tempfile::tempdir().unwrap();
+    let root = tmp.path();
+    let cfg = ModelConfig::tiny_test();
+    let (mgr, _clock, _metrics) = open_mgr(root, cfg_all_tiers());
+
+    // One evolving run — small optimizer steps, so consecutive unit
+    // images differ sparsely and the engine's delta path engages. The
+    // drain planner must then ship whole chains (every base a delta
+    // needs), not just the objects the tip manifest names directly.
+    let mut model = Model::new(cfg.clone(), 42);
+    let mut engine = ZeroEngine::new(
+        &model.params,
+        build_groups(&cfg, GroupLayout::LayerWise),
+        2,
+        AdamWHyper::default(),
+    );
+    let mut rng = Prng::seed_from_u64(42);
+    let units = LayerUnit::all(&cfg);
+    let opts = SaveOptions {
+        dedup: true,
+        compress: true,
+        delta_chain: 4,
+        ..SaveOptions::default()
+    };
+    let mut delta_objects = 0u64;
+    let last_step = 4u64;
+    for step in 1..=last_step {
+        let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+        let batch = Batch::new(tokens, 2, 8);
+        let mut grads = ParamSet::zeros(&cfg);
+        model.loss_and_grad(&batch, &mut grads);
+        engine.step(&mut model.params, &grads, 1e-4, true);
+        let ts = TrainerState {
+            global_step: step,
+            ckpt_event: step,
+            lr_schedule: LrSchedule::Constant { lr: 1e-4 },
+            last_lr: 1e-4,
+            loss_history: vec![(step, 3.0)],
+            data_rng: Prng::seed_from_u64(step),
+            task: "tier-delta".into(),
+            model_name: cfg.model_name.clone(),
+            micro_batch: 2,
+            grad_accum: 1,
+            seq_len: 8,
+        };
+        let saved = mgr
+            .save(
+                &SaveRequest {
+                    root,
+                    step,
+                    config: &cfg,
+                    params: &model.params,
+                    engine: &engine,
+                    trainer_state: &ts,
+                    units: &units,
+                },
+                &opts,
+            )
+            .expect("tiered delta save");
+        assert_eq!(saved.placed, TierLevel::Mem);
+        delta_objects += saved.report.delta_objects;
+    }
+    assert!(
+        delta_objects > 0,
+        "run never wrote a delta object; the chain-drain path went unexercised"
+    );
+
+    mgr.drain_all().expect("drain");
+    assert_eq!(mgr.pending_drains(), 0);
+
+    // The durable tiers hold every chain hop: a verify=true restore of
+    // the tip decodes delta objects whose bases were only reachable
+    // through chain expansion, and must match the live weights.
+    let expected: Vec<(String, Vec<u8>)> = model
+        .params
+        .iter()
+        .map(|(spec, t)| {
+            let bytes: Vec<u8> = t.data().iter().flat_map(|v| v.to_le_bytes()).collect();
+            (spec.name.clone(), bytes)
+        })
+        .collect();
+    for level in [TierLevel::Mem, TierLevel::Fs, TierLevel::Object] {
+        let st = mgr
+            .restore_from(level, last_step, &RestoreRequest::default())
+            .unwrap_or_else(|e| panic!("restore from {level}: {e}"));
+        assert_eq!(st.trainer_state.global_step, last_step);
+        for (name, bytes) in &expected {
+            let restored = st
+                .weights
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("{level}: tensor {name} missing"));
+            assert_eq!(
+                restored.1.bytes(),
+                &bytes[..],
+                "{level}: tensor {name} diverged"
+            );
+        }
+    }
+}

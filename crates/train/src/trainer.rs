@@ -104,6 +104,17 @@ pub struct TrainerConfig {
     /// deterministic (fault injection); pure overhead otherwise.
     #[serde(default)]
     pub sequential_ckpt_io: bool,
+    /// LZ-compress store objects when that shrinks them (dedup saves
+    /// only). Manifest digests stay those of the decoded bytes, so
+    /// readers and verify-on-read are unaffected.
+    #[serde(default)]
+    pub ckpt_compress: bool,
+    /// Maximum delta-chain depth for store objects; 0 disables delta
+    /// encoding. With a small cap and `ckpt_interval: 1` this is the
+    /// every-step-checkpointing mode: each save stores compressed XOR
+    /// diffs against the previous checkpoint's units.
+    #[serde(default)]
+    pub ckpt_delta_chain: usize,
     /// Journal run events to a per-session file
     /// (`events-<label>.jsonl`) instead of the shared `events.jsonl`.
     /// Required whenever several sessions write into one run root — the
@@ -151,6 +162,8 @@ impl TrainerConfig {
             frozen_units: Vec::new(),
             ckpt_chunk_bytes: None,
             sequential_ckpt_io: false,
+            ckpt_compress: false,
+            ckpt_delta_chain: 0,
             session_label: None,
         }
     }
@@ -619,6 +632,9 @@ impl Trainer {
         let hits = self.metrics.counter_value("cas.dedup.hits");
         ev.dedup_hits = hits - self.dedup_hits_logged;
         self.dedup_hits_logged = hits;
+        ev.delta_objects = ck.delta_objects;
+        ev.delta_saved_bytes = ck.delta_saved_bytes;
+        ev.delta_max_chain = ck.delta_max_chain;
         if let Some(c) = &self.retry_counter {
             let retries = c.load(Ordering::SeqCst);
             ev.retries = retries - self.retries_logged;
@@ -659,6 +675,8 @@ impl Trainer {
     fn save_options(&self) -> SaveOptions {
         SaveOptions {
             dedup: self.config.dedup_checkpoints,
+            compress: self.config.ckpt_compress,
+            delta_chain: self.config.ckpt_delta_chain,
             chunk_bytes: self
                 .config
                 .ckpt_chunk_bytes

@@ -70,3 +70,12 @@ cargo test -q -p llmt-train --test topology_matrix
 cargo run --release -p llmt-bench --bin reshard_matrix -- --smoke --out "$SMOKE_ROOT/BENCH_reshard_matrix.json"
 grep -q '"restore_secs"' "$SMOKE_ROOT/BENCH_reshard_matrix.json" \
   || { echo "reshard matrix bench emitted no per-pair timings"; exit 1; }
+
+# Delta smoke: 20 every-step checkpoints through the delta-chained
+# compressed CAS must store <= 40% of the bytes full saves would write,
+# restore bit-exact from the deepest chain (including through transient
+# storage faults behind the retry wrapper), and survive chain compaction
+# with every checkpoint still deep-verifying.
+cargo run --release -p llmt-bench --bin delta_ratio -- --smoke --out "$SMOKE_ROOT/BENCH_delta_ratio.json"
+grep -q '"restore_per_chain"' "$SMOKE_ROOT/BENCH_delta_ratio.json" \
+  || { echo "delta ratio bench emitted no per-chain restore timings"; exit 1; }
