@@ -171,6 +171,11 @@ pub struct ObjectStore {
     /// Backoff-retry wiring for the read paths (`get` / `object_len` /
     /// `list`). Absent = fail on the first transient error, as before.
     read_retry: Option<ReadRetry>,
+    /// Chain-walk restarts absorbed by [`ObjectStore::materialize`] after
+    /// a concurrent compaction/sweep rewrote a chain mid-walk. Always
+    /// counted; mirrored into `cas.materialize.retries` when wired.
+    mat_retries: Arc<AtomicU64>,
+    mat_retry_counter: Option<Arc<Counter>>,
     /// Pin callback for GC coordination. Absent outside a coordinator.
     observer: Option<Arc<dyn PutObserver>>,
 }
@@ -188,6 +193,8 @@ impl ObjectStore {
             compactions: None,
             chain_len_hist: None,
             read_retry: None,
+            mat_retries: Arc::new(AtomicU64::new(0)),
+            mat_retry_counter: None,
             observer: None,
         }
     }
@@ -217,6 +224,7 @@ impl ObjectStore {
         self.delta_saved_bytes = Some(metrics.counter("cas.delta.bytes_saved"));
         self.compactions = Some(metrics.counter("cas.delta.compactions"));
         self.chain_len_hist = Some(metrics.histogram("cas.delta.chain_len"));
+        self.mat_retry_counter = Some(metrics.counter("cas.materialize.retries"));
         self
     }
 
@@ -238,6 +246,12 @@ impl ObjectStore {
         self.read_retry
             .as_ref()
             .map_or(0, |r| r.retries.load(Ordering::SeqCst))
+    }
+
+    /// Chain-walk restarts [`ObjectStore::materialize`] absorbed so far
+    /// (a concurrent compaction or sweep rewrote the chain mid-walk).
+    pub fn materialize_retries(&self) -> u64 {
+        self.mat_retries.load(Ordering::SeqCst)
     }
 
     /// Observe every successful put (hits included) — the coordinator
@@ -735,20 +749,35 @@ impl ObjectStore {
     /// still points at the *old* delta inode, whose base may since have
     /// been collected — the store path always holds a decodable object
     /// for every live digest. A `NotFound` mid-walk (a compaction or
-    /// sweep rewrote the chain underneath us) retries the whole walk
-    /// against the fresh objects before giving up.
+    /// sweep rewrote the chain underneath us) restarts the whole walk
+    /// from the tip against the fresh objects. Restarts are governed by
+    /// the wired [`RetryPolicy`]/clock when present — bounded attempts
+    /// with backoff, so a compaction storm (the daemon's background
+    /// compactor rewriting chains in a loop) cannot exhaust a healthy
+    /// read in two blind tries — and counted in the
+    /// `cas.materialize.retries` metric.
     pub fn materialize(&self, storage: &dyn Storage, digest: Digest) -> io::Result<Vec<u8>> {
-        let mut last_err = None;
-        for attempt in 0..3 {
+        let max_restarts = self
+            .read_retry
+            .as_ref()
+            .map_or(2, |r| r.policy.max_retries.max(2));
+        let mut attempt = 0u32;
+        loop {
             match self.materialize_once(storage, digest) {
                 Ok(bytes) => return Ok(bytes),
-                Err(e) if attempt < 2 && e.kind() == io::ErrorKind::NotFound => {
-                    last_err = Some(e);
+                Err(e) if attempt < max_restarts && e.kind() == io::ErrorKind::NotFound => {
+                    if let Some(r) = &self.read_retry {
+                        r.clock.sleep(r.policy.delay(attempt));
+                    }
+                    self.mat_retries.fetch_add(1, Ordering::SeqCst);
+                    if let Some(c) = &self.mat_retry_counter {
+                        c.incr();
+                    }
+                    attempt += 1;
                 }
                 Err(e) => return Err(e),
             }
         }
-        Err(last_err.expect("loop stored an error before falling through"))
     }
 
     fn materialize_once(&self, storage: &dyn Storage, digest: Digest) -> io::Result<Vec<u8>> {
@@ -1997,6 +2026,162 @@ mod tests {
         // Idempotent: a second pass finds nothing deep.
         let again = s.compact_chains(&LocalFs, 2).unwrap();
         assert_eq!(again.compacted, 0);
+    }
+
+    /// Storage that answers `NotFound` for the first `misses` reads of
+    /// one object path — the signature of a compaction storm rewriting
+    /// a chain under a walker over and over.
+    #[derive(Debug)]
+    struct MissingHop {
+        victim: PathBuf,
+        misses: AtomicU64,
+    }
+
+    impl Storage for MissingHop {
+        fn create_dir_all(&self, p: &Path) -> io::Result<()> {
+            LocalFs.create_dir_all(p)
+        }
+        fn write(&self, p: &Path, b: &[u8]) -> io::Result<()> {
+            LocalFs.write(p, b)
+        }
+        fn sync(&self, p: &Path) -> io::Result<()> {
+            LocalFs.sync(p)
+        }
+        fn rename(&self, a: &Path, b: &Path) -> io::Result<()> {
+            LocalFs.rename(a, b)
+        }
+        fn read(&self, p: &Path) -> io::Result<Vec<u8>> {
+            if p == self.victim {
+                let left = self.misses.load(Ordering::SeqCst);
+                if left > 0 {
+                    self.misses.fetch_sub(1, Ordering::SeqCst);
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        "hop rewritten by a concurrent compaction",
+                    ));
+                }
+            }
+            LocalFs.read(p)
+        }
+        fn read_range(&self, p: &Path, o: u64, l: usize) -> io::Result<Vec<u8>> {
+            LocalFs.read_range(p, o, l)
+        }
+        fn list_dir(&self, p: &Path) -> io::Result<Vec<PathBuf>> {
+            LocalFs.list_dir(p)
+        }
+        fn remove_dir_all(&self, p: &Path) -> io::Result<()> {
+            LocalFs.remove_dir_all(p)
+        }
+        fn exists(&self, p: &Path) -> bool {
+            LocalFs.exists(p)
+        }
+        fn file_len(&self, p: &Path) -> io::Result<u64> {
+            LocalFs.file_len(p)
+        }
+        fn hard_link(&self, a: &Path, b: &Path) -> io::Result<()> {
+            LocalFs.hard_link(a, b)
+        }
+        fn remove_file(&self, p: &Path) -> io::Result<()> {
+            LocalFs.remove_file(p)
+        }
+        fn create_stream<'a>(&'a self, p: &Path) -> io::Result<Box<dyn WriteStream + 'a>> {
+            LocalFs.create_stream(p)
+        }
+    }
+
+    #[test]
+    fn materialize_restarts_from_tip_under_the_wired_retry_policy() {
+        use llmt_storage::vfs::{ManualClock, RetryPolicy};
+        let dir = tempfile::tempdir().unwrap();
+        let metrics = MetricsRegistry::new();
+        let images = chain_images(2, 1024);
+        let digests = put_chain(&store(dir.path()), &LocalFs, &images);
+        let clock = Arc::new(ManualClock::default());
+        let policy = RetryPolicy {
+            max_retries: 6,
+            ..RetryPolicy::default()
+        };
+        let s = store(dir.path())
+            .with_metrics(&metrics)
+            .with_read_retry(policy, clock.clone());
+        // Five straight NotFounds on the mid-chain hop would exhaust the
+        // old two blind retries; the wired policy keeps restarting from
+        // the tip with backoff until the chain reads clean.
+        let fs = MissingHop {
+            victim: s.object_path(digests[1]),
+            misses: AtomicU64::new(5),
+        };
+        assert_eq!(s.materialize(&fs, digests[2]).unwrap(), images[2]);
+        assert_eq!(s.materialize_retries(), 5);
+        assert_eq!(metrics.counter_value("cas.materialize.retries"), 5);
+        assert_eq!(clock.sleeps(), 5, "each restart backs off on the clock");
+        // Unwired store keeps the old bound: three attempts, then give up.
+        let bare = store(dir.path());
+        let fs = MissingHop {
+            victim: bare.object_path(digests[1]),
+            misses: AtomicU64::new(3),
+        };
+        let err = bare.materialize(&fs, digests[2]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert_eq!(bare.materialize_retries(), 2);
+    }
+
+    #[test]
+    fn reader_racing_compaction_and_sweep_loop_stays_bit_exact() {
+        use llmt_storage::vfs::{ManualClock, RetryPolicy};
+        let dir = tempfile::tempdir().unwrap();
+        let root = dir.path().to_path_buf();
+        // Tip digest -> expected image, grown by the writer each round.
+        let tips: Arc<std::sync::Mutex<Vec<(Digest, Vec<u8>)>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let (root, tips, done) = (root.clone(), tips.clone(), done.clone());
+            std::thread::spawn(move || {
+                let clock = Arc::new(ManualClock::default());
+                let s = store(&root).with_read_retry(RetryPolicy::default(), clock);
+                let mut reads = 0u64;
+                while !done.load(Ordering::SeqCst) || reads == 0 {
+                    let Some((tip, want)) = tips.lock().unwrap().last().cloned() else {
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    let got = s
+                        .materialize(&LocalFs, tip)
+                        .unwrap_or_else(|e| panic!("live tip {tip} failed to materialize: {e}"));
+                    assert_eq!(got, want, "tip {tip} decoded to different bytes");
+                    reads += 1;
+                }
+                (reads, s.materialize_retries())
+            })
+        };
+        let s = store(&root);
+        for round in 0u8..30 {
+            // Fresh content every round so each chain is new objects.
+            let mut images = vec![vec![round.wrapping_mul(7) ^ 0x11; 2048]];
+            for i in 1..4usize {
+                let mut next = images[i - 1].clone();
+                next[(i * 131 + round as usize * 17) % 2048] ^= 0xa5;
+                images.push(next);
+            }
+            let digests = put_chain(&s, &LocalFs, &images);
+            tips.lock().unwrap().push((digests[3], images[3].clone()));
+            // Flatten every chain, then sweep the orphaned bases — the
+            // window where a mid-walk reader sees NotFound.
+            s.compact_chains(&LocalFs, 0).unwrap();
+            for (d, _) in s.list(&LocalFs).unwrap() {
+                age_object(&s.object_path(d));
+            }
+            let live: BTreeSet<Digest> = tips.lock().unwrap().iter().map(|(d, _)| *d).collect();
+            s.sweep(&LocalFs, &live).unwrap();
+        }
+        done.store(true, Ordering::SeqCst);
+        let (reads, _retries) = reader.join().unwrap();
+        assert!(reads > 0, "reader never observed a tip");
+        // Every published tip survived the compaction/sweep storm.
+        for (tip, want) in tips.lock().unwrap().iter() {
+            assert_eq!(&s.materialize(&LocalFs, *tip).unwrap(), want);
+        }
     }
 
     #[test]

@@ -341,13 +341,23 @@ impl CheckpointHandle {
                 .ok_or_else(|| CkptError::Missing(format!("tensor '{name}'")))
         };
         match self.mode {
-            LoadMode::EagerFull => from_cache(self.file_cache.get(path).unwrap()),
+            LoadMode::EagerFull => {
+                let cache = self.file_cache.get(path).ok_or_else(|| {
+                    CkptError::Format(format!(
+                        "{}: file vanished from the eager cache after load",
+                        path.display()
+                    ))
+                })?;
+                from_cache(cache)
+            }
             LoadMode::LazyRange => {
                 // Encoded objects were materialized into the eager cache.
                 if let Some(cache) = self.file_cache.get(path) {
                     return from_cache(cache);
                 }
-                let index = self.file_index.get(path).unwrap();
+                let index = self.file_index.get(path).ok_or_else(|| {
+                    CkptError::Format(format!("{}: no range index after load", path.display()))
+                })?;
                 let t = safetensors::read_tensor_at_on(&*self.storage, path, index, name)?;
                 self.stats.bytes_read += t.byte_len() as u64;
                 Ok(t)

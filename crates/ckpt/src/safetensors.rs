@@ -258,15 +258,20 @@ pub fn decode_image(path: &Path, all: &[u8]) -> Result<TensorsAndMetadata> {
             path.display()
         )));
     }
-    let hlen = u64::from_le_bytes(all[..8].try_into().unwrap()) as usize;
-    if all.len() < 8 + hlen {
-        return Err(CkptError::Format(format!(
-            "{}: truncated header",
-            path.display()
-        )));
-    }
-    let index = parse_header(path, &all[8..8 + hlen], (8 + hlen) as u64)?;
-    let data = &all[8 + hlen..];
+    let hlen = u64::from_le_bytes(all[..8].try_into().expect("slice is 8 bytes")) as usize;
+    // Untrusted boundary: checked add — a header length near usize::MAX
+    // must not wrap past the bounds check into a slice panic.
+    let data_start = match 8usize.checked_add(hlen) {
+        Some(ds) if ds <= all.len() => ds,
+        _ => {
+            return Err(CkptError::Format(format!(
+                "{}: truncated header",
+                path.display()
+            )))
+        }
+    };
+    let index = parse_header(path, &all[8..data_start], data_start as u64)?;
+    let data = &all[data_start..];
     let mut out = Vec::with_capacity(index.entries.len());
     for (name, dtype, shape, b, e) in &index.entries {
         let (b, e) = (*b as usize, *e as usize);
@@ -292,7 +297,26 @@ pub fn open_index(path: &Path) -> Result<SafetensorsIndex> {
 /// [`open_index`] through a [`Storage`].
 pub fn open_index_on(storage: &dyn Storage, path: &Path) -> Result<SafetensorsIndex> {
     let len_buf = storage.read_range(path, 0, 8).map_err(io_err(path))?;
-    let hlen = u64::from_le_bytes(len_buf.try_into().unwrap()) as usize;
+    // Untrusted boundary (a daemon serves indexes over client-supplied
+    // run roots): a backend returning a short buffer is a typed error,
+    // not a panic, and the claimed header length must fit inside the
+    // file before it sizes an allocation.
+    let len_buf: [u8; 8] = len_buf.try_into().map_err(|b: Vec<u8>| {
+        CkptError::Format(format!(
+            "{}: short read of the header length prefix ({} bytes)",
+            path.display(),
+            b.len()
+        ))
+    })?;
+    let hlen = u64::from_le_bytes(len_buf);
+    let file_len = storage.file_len(path).map_err(io_err(path))?;
+    if hlen.saturating_add(8) > file_len {
+        return Err(CkptError::Format(format!(
+            "{}: header length {hlen} exceeds file length {file_len}",
+            path.display()
+        )));
+    }
+    let hlen = hlen as usize;
     let header = storage.read_range(path, 8, hlen).map_err(io_err(path))?;
     parse_header(path, &header, 8 + hlen as u64)
 }

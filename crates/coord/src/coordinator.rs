@@ -630,6 +630,32 @@ impl PublisherSession {
         Ok(report)
     }
 
+    /// Publish an already-written `checkpoint-<step>` under this
+    /// session's run root into the epoch ledger, returning how many
+    /// object digests were published.
+    ///
+    /// This is the commit half of the *cross-process* save path: a
+    /// client of the checkpoint daemon writes its dedup save directly
+    /// into the shared store (through the `CASROOT` redirect of the run
+    /// root this session granted), then asks the daemon — which owns the
+    /// ledger — to make the checkpoint reachable. Objects the client
+    /// placed are not on the in-process pin board, but dedup placement
+    /// re-dates objects, so the store-level mtime mark guard covers them
+    /// until the census after this publish sees the manifest.
+    pub fn publish_committed(&self, step: u64) -> CoordResult<usize> {
+        let manifest = self
+            .run_root
+            .join(format!("checkpoint-{step}"))
+            .join("partial_manifest.json");
+        let digests = manifest_digests(&manifest)?;
+        self.shared
+            .ledger
+            .lock()
+            .expect("coord ledger")
+            .publish(digests.iter().map(|d| d.to_hex()));
+        Ok(digests.len())
+    }
+
     /// Withdraw `checkpoint-<step>` from service. The directory stays on
     /// disk — readers that began while it was live keep an intact view —
     /// and is physically removed by a later collector pass once no active

@@ -28,6 +28,8 @@ fn main() -> ExitCode {
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("save") => cmd_save(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -104,10 +106,13 @@ USAGE:
       GC pass.
 
   llmtailor report <RUN_ROOT> [--json]
+                   [--daemon <SOCKET>]
       Summarize the run's events.jsonl journal: per-stage time breakdowns
       for saves and restores, save cadence, dedup ratio, retry and fault
       counts. A torn final journal line (writer died mid-append) is
-      skipped, never an error.
+      skipped, never an error. With --daemon the positional argument is a
+      tenant RUN_ID of a running llmtailord: the run root is resolved
+      through the daemon and its per-tenant counters are printed too.
 
   llmtailor diff <CHECKPOINT_A> <CHECKPOINT_B>
       Per-unit RMS change between two checkpoints of the same run — the
@@ -127,6 +132,21 @@ USAGE:
       a lock left behind by a collector process that died mid-pass (only
       use it when that process is confirmed dead). Without --gc, prints
       the store's status.
+
+  llmtailor save --daemon <SOCKET> --run <RUN_ID> --steps <N> [--seed <S>]
+      Client mode against a running llmtailord: run a tiny synthetic
+      training loop and publish one checkpoint per step through daemon
+      publisher sessions (save-begin -> dedup save into the granted run
+      root -> save-commit). Exercises the full multi-tenant store path;
+      real trainers use the same protocol via
+      llmt_train::Trainer::checkpoint_via_daemon.
+
+  llmtailor resume --daemon <SOCKET> --run <RUN_ID> [--deep]
+      Client mode: open a reader session pinning the store epoch, locate
+      the run's newest committed checkpoint, verify it through the
+      daemon (--deep streams every payload byte), and print the step to
+      resume from.
+
 ";
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -467,10 +487,33 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    let run_root = args
+    let daemon_sock = opt(args, "--daemon")?;
+    let positional = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .ok_or_else(|| "report requires a run root directory".to_string())?;
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--daemon"))
+        .map(|(_, a)| a.clone())
+        .ok_or_else(|| {
+            "report requires a run root directory (or a run id with --daemon)".to_string()
+        })?;
+    let run_root = match &daemon_sock {
+        Some(sock) => {
+            let mut client =
+                llmt_daemon::DaemonClient::connect(Path::new(sock)).map_err(|e| e.to_string())?;
+            let root = client.attach(&positional).map_err(|e| e.to_string())?;
+            let status = client.status().map_err(|e| e.to_string())?;
+            if let Some(t) = status.runs.iter().find(|t| t.run == positional) {
+                println!(
+                    "daemon tenant '{}': {} save(s) ({} bytes) committed via daemon, \
+                     {} pending drain(s)",
+                    t.run, t.saves_committed, t.published_bytes, t.pending_drains
+                );
+            }
+            root.display().to_string()
+        }
+        None => positional,
+    };
+    let run_root = run_root.as_str();
     let summary = llmtailor::summarize_run(Path::new(run_root)).map_err(|e| e.to_string())?;
     if flag(args, "--json") {
         println!(
@@ -634,6 +677,151 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// Client mode: a tiny synthetic training run publishing every-step
+/// checkpoints through daemon sessions. A deliberately small stand-in
+/// for a trainer process (`llmt-train` wires the real one through
+/// `Trainer::checkpoint_via_daemon`); what matters here is the
+/// protocol: save-begin admission, a dedup save into the granted run
+/// root, commit-publish.
+fn cmd_save(args: &[String]) -> Result<(), String> {
+    use llmt_ckpt::engine::SaveOptions;
+    use llmt_ckpt::writer::SaveRequest;
+    use llmt_model::{Batch, LayerUnit, Model, ModelConfig, ParamSet};
+    use llmt_optim::{build_groups, AdamWHyper, GroupLayout, LrSchedule};
+    use llmt_tensor::rng::Prng;
+    use llmt_zero::ZeroEngine;
+
+    let socket = PathBuf::from(require(args, "--daemon")?);
+    let run = require(args, "--run")?;
+    let steps: u64 = require(args, "--steps")?
+        .parse()
+        .map_err(|_| "--steps must be an integer".to_string())?;
+    let seed: u64 = opt(args, "--seed")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--seed must be an integer".to_string())
+        })
+        .transpose()?
+        .unwrap_or(42);
+
+    let cfg = ModelConfig::tiny_test();
+    let mut model = Model::new(cfg.clone(), seed);
+    let mut engine = ZeroEngine::new(
+        &model.params,
+        build_groups(&cfg, GroupLayout::LayerWise),
+        2,
+        AdamWHyper::default(),
+    );
+    let mut rng = Prng::seed_from_u64(seed);
+    let units = LayerUnit::all(&cfg);
+    let storage = llmt_storage::vfs::LocalFs;
+    let mut client = llmt_daemon::DaemonClient::connect(&socket)
+        .map_err(|e| format!("{}: {e}", socket.display()))?;
+
+    let mut published_total = 0usize;
+    for step in 1..=steps {
+        // One real optimizer step per checkpoint, so consecutive saves
+        // share most of their bytes (the dedup case the store exists for)
+        // without being identical.
+        let tokens: Vec<u32> = (0..16).map(|_| rng.below(cfg.vocab_size) as u32).collect();
+        let batch = Batch::new(tokens, 2, 8);
+        let mut grads = ParamSet::zeros(&cfg);
+        model.loss_and_grad(&batch, &mut grads);
+        engine.step(&mut model.params, &grads, 1e-3, true);
+        let ts = llmt_ckpt::TrainerState {
+            global_step: step,
+            ckpt_event: step - 1,
+            lr_schedule: LrSchedule::Constant { lr: 1e-3 },
+            last_lr: 1e-3,
+            loss_history: vec![(step, 3.0)],
+            data_rng: Prng::seed_from_u64(seed ^ step),
+            task: "daemon-client".into(),
+            model_name: cfg.model_name.clone(),
+            micro_batch: 2,
+            grad_accum: 1,
+            seq_len: 8,
+        };
+        let (session, run_root) = client
+            .save_begin(&run, 8 << 20, true)
+            .map_err(|e| e.to_string())?;
+        let req = SaveRequest {
+            root: &run_root,
+            step,
+            config: &cfg,
+            params: &model.params,
+            engine: &engine,
+            trainer_state: &ts,
+            units: &units,
+        };
+        let save_opts = SaveOptions {
+            dedup: true,
+            ..SaveOptions::default()
+        };
+        let saved = llmt_ckpt::engine::save(&storage, &req, &save_opts);
+        match saved {
+            Ok(_) => {
+                published_total += client
+                    .save_commit(session, step)
+                    .map_err(|e| e.to_string())?;
+            }
+            Err(e) => {
+                let _ = client.save_abort(session);
+                return Err(format!("save at step {step} failed: {e}"));
+            }
+        }
+    }
+    println!(
+        "published {steps} checkpoint(s) for run '{run}' through {} ({published_total} object \
+         digest(s))",
+        socket.display()
+    );
+    Ok(())
+}
+
+/// Client mode: find and verify the newest committed checkpoint of a
+/// daemon tenant, printing the step to resume from. The reader session
+/// pins the store epoch for the whole exchange, so a concurrent GC pass
+/// cannot sweep the checkpoint while we look at it.
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let socket = PathBuf::from(require(args, "--daemon")?);
+    let run = require(args, "--run")?;
+    let deep = flag(args, "--deep");
+    let mut client = llmt_daemon::DaemonClient::connect(&socket)
+        .map_err(|e| format!("{}: {e}", socket.display()))?;
+    let (session, epoch, checkpoints) = client.read_begin(&run).map_err(|e| e.to_string())?;
+    let newest = checkpoints
+        .last()
+        .cloned()
+        .ok_or_else(|| format!("run '{run}' has no committed checkpoints"))?;
+    let (ok, findings) = client
+        .verify(session, &newest, deep)
+        .map_err(|e| e.to_string())?;
+    if !ok {
+        for f in &findings {
+            eprintln!("  FAIL {f}");
+        }
+        let _ = client.read_end(session);
+        return Err(format!(
+            "{}: {} integrity problem(s) found",
+            newest.display(),
+            findings.len()
+        ));
+    }
+    let handle = CheckpointHandle::open(&newest, LoadMode::LazyRange).map_err(|e| e.to_string())?;
+    client.read_end(session).map_err(|e| e.to_string())?;
+    println!(
+        "resume run '{run}' from step {} ({}, store epoch {epoch}{})",
+        handle.trainer_state.global_step,
+        newest.display(),
+        if deep {
+            ", deep-verified"
+        } else {
+            ", verified"
+        }
+    );
     Ok(())
 }
 

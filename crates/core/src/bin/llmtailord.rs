@@ -1,0 +1,182 @@
+//! `llmtailord` — the resident multi-tenant checkpoint daemon.
+//!
+//! ```text
+//! llmtailord serve --store DIR [--socket PATH] [...]
+//! llmtailord status (--socket PATH | --store DIR) [--json]
+//! llmtailord shutdown (--socket PATH | --store DIR)
+//! ```
+//!
+//! `serve` owns the shared store root until a `shutdown` request
+//! arrives; `status` and `shutdown` are thin protocol clients. Training
+//! runs talk to the daemon either through `llmtailor save/resume
+//! --daemon` or programmatically via `llmt_daemon::DaemonClient`.
+
+use llmt_daemon::{Daemon, DaemonClient, DaemonConfig, DEFAULT_SOCKET_FILE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+llmtailord - resident multi-tenant checkpoint daemon
+
+USAGE:
+  llmtailord serve --store <DIR> [--socket <PATH>] [--gc-interval-ms <N>]
+                   [--drain-interval-ms <N>] [--save-slots <N>]
+                   [--max-inflight-bytes <N>]
+      Own the shared checkpoint store at <DIR> and serve concurrent runs
+      over a Unix socket (default <DIR>/llmtailord.sock) until a shutdown
+      request arrives. Periodic guarded GC and the checkpoint-tier
+      drainer run as background tasks; --gc-interval-ms 0 or
+      --drain-interval-ms 0 disables the respective task.
+
+  llmtailord status (--socket <PATH> | --store <DIR>) [--json]
+      Print the daemon's status: store epoch, active sessions, lifetime
+      save/GC counters, and one row per tenant run (committed steps,
+      published bytes, pending tier drains, crash-loss report).
+
+  llmtailord shutdown (--socket <PATH> | --store <DIR>)
+      Request clean shutdown: the daemon stops accepting work, retires
+      open sessions, flushes pending tier drains, and removes its
+      socket.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn opt(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{name} requires a value")),
+    }
+}
+
+fn require(args: &[String], name: &str) -> Result<String, String> {
+    opt(args, name)?.ok_or_else(|| format!("missing required option {name}"))
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_u64(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    opt(args, name)?
+        .map(|v| v.parse().map_err(|_| format!("{name} must be an integer")))
+        .transpose()
+}
+
+/// The socket to talk to: explicit `--socket`, or the default file
+/// inside `--store`.
+fn socket_path(args: &[String]) -> Result<PathBuf, String> {
+    if let Some(sock) = opt(args, "--socket")? {
+        return Ok(PathBuf::from(sock));
+    }
+    if let Some(store) = opt(args, "--store")? {
+        return Ok(PathBuf::from(store).join(DEFAULT_SOCKET_FILE));
+    }
+    Err("need --socket <PATH> or --store <DIR>".into())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let store = PathBuf::from(require(args, "--store")?);
+    let mut config = DaemonConfig::default();
+    if let Some(sock) = opt(args, "--socket")? {
+        config.socket = Some(PathBuf::from(sock));
+    }
+    if let Some(ms) = parse_u64(args, "--gc-interval-ms")? {
+        config.gc_interval = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(ms) = parse_u64(args, "--drain-interval-ms")? {
+        config.drain_interval = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(slots) = parse_u64(args, "--save-slots")? {
+        if slots == 0 {
+            return Err("--save-slots must be at least 1".into());
+        }
+        config.coord.save_slots = slots as usize;
+    }
+    if let Some(bytes) = parse_u64(args, "--max-inflight-bytes")? {
+        config.coord.max_inflight_bytes = bytes;
+    }
+    let daemon = Daemon::serve(&store, config).map_err(|e| e.to_string())?;
+    println!(
+        "llmtailord serving {} on {}",
+        daemon.root().display(),
+        daemon.socket().display()
+    );
+    daemon.join();
+    println!("llmtailord: clean shutdown");
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let socket = socket_path(args)?;
+    let mut client = DaemonClient::connect(&socket).map_err(|e| e.to_string())?;
+    let status = client.status().map_err(|e| e.to_string())?;
+    if flag(args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&status).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("daemon root: {}", status.root);
+    println!("  epoch:             {}", status.epoch);
+    println!("  active readers:    {}", status.active_readers);
+    println!("  active publishers: {}", status.active_publishers);
+    println!(
+        "  saves:             {} begun, {} committed",
+        status.saves_begun, status.saves_committed
+    );
+    println!(
+        "  gc:                {} pass(es), {} deferred",
+        status.gc_passes, status.gc_deferred
+    );
+    println!("  pending drains:    {}", status.drain_pending);
+    println!("  tenants ({}):", status.runs.len());
+    for t in &status.runs {
+        println!(
+            "    {}: steps {:?}, {} save(s) ({} bytes) via daemon, {} pending drain(s){}",
+            t.run,
+            t.committed_steps,
+            t.saves_committed,
+            t.published_bytes,
+            t.pending_drains,
+            if t.lost_on_crash.is_empty() {
+                String::new()
+            } else {
+                format!(", lost on crash: {:?}", t.lost_on_crash)
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    let socket = socket_path(args)?;
+    let mut client = DaemonClient::connect(&socket).map_err(|e| e.to_string())?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    println!("shutdown requested");
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! # llmt-daemon — the resident multi-tenant checkpoint daemon
+//!
+//! PR 6 made the shared checkpoint store *safe* for many runs; this
+//! crate makes it *resident*. `llmtailord` is one long-running process
+//! that owns one coordinator-managed store root and serves many
+//! concurrent training runs over local IPC — a Unix domain socket
+//! speaking newline-delimited JSON ([`protocol`]).
+//!
+//! The division of labor with `llmt-coord` is deliberate: the
+//! coordinator is a *library* (correct for N actors in one process, or
+//! N processes each opening the root), while the daemon is the
+//! *deployment shape* the paper's shared-store experiments assume — one
+//! owner per node, so admission budgets, the GC singleton, and the tier
+//! drainer have a home that outlives any single run. Clients never ship
+//! tensor bytes over the socket: a publisher session grants a run root
+//! whose `CASROOT` redirect points into the shared store, the client
+//! saves directly through the filesystem, and only the tiny
+//! commit/publish control messages cross the IPC boundary.
+//!
+//! * [`Daemon`] / [`DaemonConfig`] — the server ([`server`]).
+//! * [`DaemonClient`] — the blocking client ([`client`]).
+//! * [`protocol`] — the wire types, shared by both.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::DaemonClient;
+pub use protocol::{DaemonStatus, GcSummary, Request, Response, TenantStatus, DEFAULT_SOCKET_FILE};
+pub use server::{Daemon, DaemonConfig};

@@ -1,0 +1,291 @@
+//! Wire protocol for `llmtailord`: newline-delimited JSON over a Unix
+//! domain socket.
+//!
+//! One request line in, one response line out, in order, per connection.
+//! The framing is deliberately primitive — a `\n`-terminated
+//! `serde_json` object per message — so any language with a JSON library
+//! and a socket can drive the daemon, and a protocol trace is readable
+//! with `cat`. Messages are capped at [`MAX_LINE_BYTES`]; control
+//! messages are tiny, and nothing bulk (tensor payloads) ever crosses
+//! the socket — clients write checkpoint bytes straight to the shared
+//! store through their session's run root.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Socket file created inside the daemon's store root by default.
+pub const DEFAULT_SOCKET_FILE: &str = "llmtailord.sock";
+
+/// Hard cap on one protocol line. A `Status` reply for hundreds of runs
+/// stays far below this; anything bigger is a framing bug or garbage.
+pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "cmd", rename_all = "snake_case")]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Attach (create if needed) run `run` under the shared root without
+    /// starting a session. Returns the run root.
+    Attach { run: String },
+    /// Open a publisher session for `run`, declaring `declared_bytes` of
+    /// save traffic for admission control. With `wait` the daemon holds
+    /// the request until a slot frees; without it a full store answers
+    /// [`Response::Busy`] immediately.
+    SaveBegin {
+        run: String,
+        declared_bytes: u64,
+        wait: bool,
+    },
+    /// Commit `checkpoint-<step>` written under the session's run root:
+    /// the daemon publishes its manifest digests into the epoch ledger
+    /// and releases the session.
+    SaveCommit { session: u64, step: u64 },
+    /// Release a publisher session without publishing anything.
+    SaveAbort { session: u64 },
+    /// Open a reader session (pins the current store epoch) and list
+    /// `run`'s committed checkpoints.
+    ReadBegin { run: String },
+    /// Verify a checkpoint directory through the reader session.
+    /// `dir` must live under the daemon's store root.
+    Verify {
+        session: u64,
+        dir: String,
+        deep: bool,
+    },
+    /// Release a reader session.
+    ReadEnd { session: u64 },
+    /// Retire `checkpoint-<step>` through a publisher session.
+    Retire { session: u64, step: u64 },
+    /// Run one guarded GC pass now.
+    Gc,
+    /// Drain pending checkpoint-tier hops for `run` until its queue is
+    /// empty.
+    Drain { run: String },
+    /// Daemon-wide status snapshot.
+    Status,
+    /// Begin clean shutdown: stop accepting work, retire sessions, exit.
+    Shutdown,
+}
+
+/// One daemon response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "reply", rename_all = "snake_case")]
+pub enum Response {
+    /// Liveness answer.
+    Pong,
+    /// Generic success.
+    Ok,
+    /// Run attached at `run_root`.
+    Attached { run_root: String },
+    /// Publisher session admitted; save into `run_root`.
+    SaveStarted { session: u64, run_root: String },
+    /// Commit published `published` object digests.
+    Committed { published: usize },
+    /// Reader session open at `epoch`; committed checkpoint dirs listed.
+    ReadStarted {
+        session: u64,
+        epoch: u64,
+        checkpoints: Vec<String>,
+    },
+    /// Verify outcome; `findings` is empty when `ok`.
+    Verified { ok: bool, findings: Vec<String> },
+    /// GC pass ran.
+    Gc(GcSummary),
+    /// GC declined to run because publishers were in flight.
+    GcDeferred { active_publishers: usize },
+    /// Tier drain finished for the run.
+    Drained { hops: u64, bytes: u64 },
+    /// Daemon-wide status.
+    Status(DaemonStatus),
+    /// Shutdown acknowledged; the daemon exits after open connections
+    /// retire.
+    ShuttingDown,
+    /// The store is at its admission limit (non-waiting `SaveBegin`).
+    Busy { message: String },
+    /// The request failed; the daemon stays up.
+    Err { message: String },
+}
+
+/// What one guarded GC pass did (the daemon-facing subset of
+/// `llmt_coord::CollectReport`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcSummary {
+    /// Store epoch the mark was taken at.
+    pub mark_epoch: u64,
+    /// Whether readers drained before the sweep (false = forced).
+    pub drained: bool,
+    /// Distinct digests found live by the census.
+    pub live_digests: usize,
+    /// Store objects deleted.
+    pub deleted_objects: usize,
+    /// Bytes reclaimed by the sweep.
+    pub reclaimed_bytes: u64,
+    /// Retired checkpoint directories physically removed.
+    pub retired_removed: usize,
+}
+
+/// Daemon-wide status, also emitted by `llmtailord status --json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaemonStatus {
+    /// Shared store root the daemon owns.
+    pub root: String,
+    /// Current store epoch.
+    pub epoch: u64,
+    /// Reader sessions currently pinning an epoch.
+    pub active_readers: usize,
+    /// Publisher sessions currently admitted.
+    pub active_publishers: usize,
+    /// Publisher sessions admitted over the daemon's lifetime.
+    pub saves_begun: u64,
+    /// Checkpoints committed over the daemon's lifetime.
+    pub saves_committed: u64,
+    /// GC passes completed.
+    pub gc_passes: u64,
+    /// GC passes deferred because publishers were in flight.
+    pub gc_deferred: u64,
+    /// Checkpoint-tier hops still queued across all runs.
+    pub drain_pending: usize,
+    /// Per-tenant rows, sorted by run id.
+    pub runs: Vec<TenantStatus>,
+}
+
+/// One tenant's row in [`DaemonStatus`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStatus {
+    /// Run id.
+    pub run: String,
+    /// Committed checkpoint steps, ascending.
+    pub committed_steps: Vec<u64>,
+    /// Checkpoints this daemon committed for the run.
+    pub saves_committed: u64,
+    /// Logical bytes this daemon published for the run.
+    pub published_bytes: u64,
+    /// Tier hops still queued for the run (0 without a tier state).
+    pub pending_drains: usize,
+    /// Committed steps the run's tier state reports lost to a crash.
+    pub lost_on_crash: Vec<u64>,
+}
+
+/// Serialize `msg` and write it as one `\n`-terminated line.
+pub fn write_message<T: Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
+    let mut line = serde_json::to_string(msg).map_err(io::Error::other)?;
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Incremental `\n`-splitting reader.
+///
+/// Deliberately *not* `BufReader::read_line`: the daemon reads with a
+/// socket timeout so connection threads can observe shutdown, and a
+/// timed-out `read_line` leaves an unspecified partial line behind. This
+/// reader owns its buffer, so a timeout simply means "no complete line
+/// yet" and already-received bytes survive the next attempt.
+#[derive(Debug, Default)]
+pub struct LineReader {
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read until one full line is buffered, EOF, or `should_stop`.
+    ///
+    /// Returns `Ok(None)` on clean EOF (or a stop observed while
+    /// waiting). Timeout errors (`WouldBlock` / `TimedOut`) poll
+    /// `should_stop` and retry; `Interrupted` retries.
+    pub fn next_line(
+        &mut self,
+        r: &mut impl Read,
+        should_stop: &dyn Fn() -> bool,
+    ) -> io::Result<Option<String>> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the '\n'
+                let line = String::from_utf8(line)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                return Ok(Some(line));
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("protocol line exceeds {MAX_LINE_BYTES} bytes"),
+                ));
+            }
+            match r.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if should_stop() {
+                        return Ok(None);
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_as_tagged_json() {
+        let reqs = vec![
+            Request::Ping,
+            Request::SaveBegin {
+                run: "r1".into(),
+                declared_bytes: 42,
+                wait: true,
+            },
+            Request::SaveCommit {
+                session: 7,
+                step: 3,
+            },
+            Request::Status,
+        ];
+        for req in reqs {
+            let line = serde_json::to_string(&req).unwrap();
+            assert!(line.contains("\"cmd\""), "{line}");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn line_reader_splits_partial_and_coalesced_lines() {
+        struct Chunks(Vec<Vec<u8>>);
+        impl Read for Chunks {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                let c = self.0.remove(0);
+                buf[..c.len()].copy_from_slice(&c);
+                Ok(c.len())
+            }
+        }
+        // "ab\ncd" arrives split mid-line and coalesced across lines.
+        let mut r = Chunks(vec![b"a".to_vec(), b"b\ncd\ne".to_vec(), b"f\n".to_vec()]);
+        let mut lr = LineReader::new();
+        let stop = || false;
+        assert_eq!(lr.next_line(&mut r, &stop).unwrap().as_deref(), Some("ab"));
+        assert_eq!(lr.next_line(&mut r, &stop).unwrap().as_deref(), Some("cd"));
+        assert_eq!(lr.next_line(&mut r, &stop).unwrap().as_deref(), Some("ef"));
+        assert_eq!(lr.next_line(&mut r, &stop).unwrap(), None);
+    }
+}

@@ -505,6 +505,11 @@ impl TierManager {
                 }
             }
         }
+        // A step recorded as lost by an *earlier* crash that survives
+        // this recovery with a durable copy (re-saved, then drained or
+        // probe-completed above) is no longer lost.
+        let survivors = &state.checkpoints;
+        state.lost_on_crash.retain(|s| !survivors.contains_key(s));
         // A checkpoint that lost its Mem copy also lost Mem as a drain
         // *source*; pending hops now source from the fs tier, which
         // recovery requires to be resident (it is, unless `lost` above).
@@ -620,6 +625,12 @@ impl TierManager {
                     pending,
                 },
             );
+            // A step recorded as crash-lost that is re-saved durably is
+            // no longer lost; a memory placement stays on the books
+            // until its first durable drain lands.
+            if level != TierLevel::Mem {
+                st.lost_on_crash.retain(|s| *s != req.step);
+            }
         }
         self.persist_state()
             .map_err(|e| CkptError::Io(self.state_path(), e))?;
@@ -834,6 +845,11 @@ impl TierManager {
             res.resident.insert(target);
             let b = res.bytes;
             st.drained_bytes += b;
+            // The step now has a durable copy; a loss recorded for it by
+            // an earlier crash is stale.
+            if target != TierLevel::Mem {
+                st.lost_on_crash.retain(|s| *s != step);
+            }
             b
         };
         self.persist_state()?;

@@ -213,6 +213,61 @@ fn restart_records_volatile_only_checkpoints_as_lost() {
 }
 
 #[test]
+fn resaving_a_lost_step_durably_clears_the_loss_report() {
+    let tmp = tempfile::tempdir().unwrap();
+    let root = tmp.path();
+    let cfg = ModelConfig::tiny_test();
+    {
+        let (mgr, _clock, _m) = open_mgr(root, cfg_all_tiers());
+        save_step(&mgr, root, &cfg, 5);
+        // No drain: the only committed copy is volatile.
+    }
+    let (mgr, _clock, _m) = open_mgr(root, cfg_all_tiers());
+    assert_eq!(mgr.status().lost_on_crash, vec![5]);
+
+    // Re-save the same step. The commit lands on memory again, so the
+    // loss stands until the first durable copy exists.
+    assert_eq!(save_step(&mgr, root, &cfg, 5), TierLevel::Mem);
+    assert_eq!(
+        mgr.status().lost_on_crash,
+        vec![5],
+        "a volatile re-save must not clear the loss yet"
+    );
+    let r = mgr.drain_step().unwrap().expect("fs hop");
+    assert_eq!(r.to, TierLevel::Fs);
+    assert!(
+        mgr.status().lost_on_crash.is_empty(),
+        "durable re-publish must clear the stale loss entry"
+    );
+    // And the cleared report survives crash + recovery.
+    drop(mgr);
+    let (mgr, _clock, _m) = open_mgr(root, cfg_all_tiers());
+    assert!(mgr.status().lost_on_crash.is_empty());
+    assert!(load_status(&LocalFs, root)
+        .unwrap()
+        .expect("state file")
+        .lost_on_crash
+        .is_empty());
+    mgr.restore(5, &RestoreRequest::default())
+        .expect("re-saved step restores from its durable copy");
+
+    // A re-save that places directly on a durable tier clears the loss
+    // at commit time, no drain needed.
+    let tmp2 = tempfile::tempdir().unwrap();
+    let root2 = tmp2.path();
+    {
+        let (mgr, _clock, _m) = open_mgr(root2, cfg_all_tiers());
+        save_step(&mgr, root2, &cfg, 7);
+    }
+    let mut fs_only = cfg_all_tiers();
+    fs_only.mem_capacity = Some(4 << 10); // too small: falls through to fs
+    let (mgr, _clock, _m) = open_mgr(root2, fs_only);
+    assert_eq!(mgr.status().lost_on_crash, vec![7]);
+    assert_eq!(save_step(&mgr, root2, &cfg, 7), TierLevel::Fs);
+    assert!(mgr.status().lost_on_crash.is_empty());
+}
+
+#[test]
 fn restart_resumes_interrupted_drain_queue() {
     let tmp = tempfile::tempdir().unwrap();
     let root = tmp.path();

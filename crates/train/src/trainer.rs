@@ -591,6 +591,21 @@ impl Trainer {
     /// Write a checkpoint now, using the configured strategy for unit
     /// selection, and record the decisions in the save log.
     pub fn checkpoint(&mut self) -> Result<CheckpointReport> {
+        let storage = self.storage.clone();
+        let metrics = self.metrics.clone();
+        let opts = self.save_options();
+        self.checkpoint_with(move |req| engine::save_with(&*storage, req, &opts, &metrics))
+    }
+
+    /// [`Trainer::checkpoint`] with the actual save delegated to `save`:
+    /// the trainer does everything around the write — strategy-driven
+    /// unit selection, save-log recording, event journaling — while the
+    /// closure decides *where* and *through what* the bytes go (the
+    /// private run root, a coordinator session, a daemon session).
+    pub fn checkpoint_with<F>(&mut self, save: F) -> Result<CheckpointReport>
+    where
+        F: FnOnce(&SaveRequest<'_>) -> Result<CheckpointReport>,
+    {
         let units = self.select_units();
         let ts = self.trainer_state();
         let req = SaveRequest {
@@ -602,7 +617,7 @@ impl Trainer {
             trainer_state: &ts,
             units: &units,
         };
-        let report = engine::save_with(&*self.storage, &req, &self.save_options(), &self.metrics)?;
+        let report = save(&req)?;
         for u in &report.units {
             self.save_log.record(*u, self.step);
         }
@@ -612,6 +627,63 @@ impl Trainer {
             .save_on(&*self.storage, &self.config.run_root.join("save_log.json"))?;
         self.journal_save(self.step, &report)?;
         Ok(report)
+    }
+
+    /// Bytes a full save of this run is expected to place, for daemon
+    /// admission control: projected model + optimizer payload plus a
+    /// metadata allowance. Declaring high is safe (budget is returned at
+    /// session end); declaring low would defeat the inflight-bytes cap.
+    pub fn declared_save_bytes(&self) -> u64 {
+        let params = self.model.params.numel() as u64;
+        let world = (self.config.world_size * self.config.tensor_parallel) as u64;
+        let proj = llmt_storage::checkpoint_bytes(params, world);
+        proj.model + proj.optim + (1 << 20)
+    }
+
+    /// Checkpoint through a running `llmtailord`: admit a publisher
+    /// session (blocking on the daemon's admission budget), save into
+    /// the granted run root — whose `CASROOT` redirect lands every
+    /// object in the daemon's shared store — then ask the daemon to
+    /// publish the committed manifest. On a failed save the session is
+    /// aborted so its admission budget frees immediately.
+    ///
+    /// Dedup is forced on, as with any shared-store save; the trainer's
+    /// own save log and event journal stay under its private run root.
+    pub fn checkpoint_via_daemon(
+        &mut self,
+        client: &mut llmt_daemon::DaemonClient,
+        run: &str,
+    ) -> Result<CheckpointReport> {
+        let declared = self.declared_save_bytes();
+        let (session, run_root) = client
+            .save_begin(run, declared, true)
+            .map_err(io_err(&self.config.run_root))?;
+        let storage = self.storage.clone();
+        let metrics = self.metrics.clone();
+        let opts = SaveOptions {
+            dedup: true,
+            ..self.save_options()
+        };
+        let step = self.step;
+        let result = self.checkpoint_with(move |req| {
+            let req = SaveRequest {
+                root: &run_root,
+                ..*req
+            };
+            engine::save_with(&*storage, &req, &opts, &metrics)
+        });
+        match result {
+            Ok(report) => {
+                client
+                    .save_commit(session, step)
+                    .map_err(io_err(&self.config.run_root))?;
+                Ok(report)
+            }
+            Err(e) => {
+                let _ = client.save_abort(session);
+                Err(e)
+            }
+        }
     }
 
     /// The run-wide metrics registry.

@@ -71,6 +71,49 @@ cargo run --release -p llmt-bench --bin reshard_matrix -- --smoke --out "$SMOKE_
 grep -q '"restore_secs"' "$SMOKE_ROOT/BENCH_reshard_matrix.json" \
   || { echo "reshard matrix bench emitted no per-pair timings"; exit 1; }
 
+# Daemon smoke: a resident llmtailord serving two concurrent client
+# processes over its socket — both runs commit through daemon sessions,
+# `status --json` reports the tenants, and shutdown is clean (socket
+# removed, server process exits zero).
+DAEMON_ROOT="$SMOKE_ROOT/daemon-store"
+mkdir -p "$DAEMON_ROOT"
+cargo run --release -q -p llmtailor --bin llmtailord -- serve --store "$DAEMON_ROOT" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$DAEMON_ROOT/llmtailord.sock" ] && break
+  sleep 0.1
+done
+[ -S "$DAEMON_ROOT/llmtailord.sock" ] \
+  || { echo "llmtailord never bound its socket"; exit 1; }
+cargo run --release -q -p llmtailor --bin llmtailor -- save --daemon "$DAEMON_ROOT/llmtailord.sock" --run smoke-a --steps 2 &
+SAVE_A=$!
+cargo run --release -q -p llmtailor --bin llmtailor -- save --daemon "$DAEMON_ROOT/llmtailord.sock" --run smoke-b --steps 2 &
+SAVE_B=$!
+wait "$SAVE_A" || { echo "daemon client save smoke-a failed"; exit 1; }
+wait "$SAVE_B" || { echo "daemon client save smoke-b failed"; exit 1; }
+cargo run --release -q -p llmtailor --bin llmtailor -- resume --daemon "$DAEMON_ROOT/llmtailord.sock" --run smoke-a --deep \
+  || { echo "daemon-held checkpoint failed verified resume"; exit 1; }
+STATUS_JSON="$(cargo run --release -q -p llmtailor --bin llmtailord -- status --socket "$DAEMON_ROOT/llmtailord.sock" --json)"
+echo "$STATUS_JSON" | grep -q '"run": "smoke-a"' \
+  || { echo "daemon status missing tenant smoke-a"; exit 1; }
+echo "$STATUS_JSON" | grep -q '"run": "smoke-b"' \
+  || { echo "daemon status missing tenant smoke-b"; exit 1; }
+echo "$STATUS_JSON" | grep -Eq '"saves_committed": [1-9]' \
+  || { echo "daemon status shows no committed saves"; exit 1; }
+cargo run --release -q -p llmtailor --bin llmtailord -- shutdown --socket "$DAEMON_ROOT/llmtailord.sock"
+wait "$DAEMON_PID" || { echo "llmtailord exited non-zero"; exit 1; }
+[ ! -e "$DAEMON_ROOT/llmtailord.sock" ] \
+  || { echo "llmtailord left its socket behind"; exit 1; }
+
+# Daemon-routed concurrency bench: the same 4x2 contention shape as the
+# embedded-coordinator smoke, but through llmtailord sessions; emits the
+# overhead measurement as JSON.
+cargo run --release -p llmt-bench --bin concurrent_runs -- --smoke --daemon --out "$SMOKE_ROOT/BENCH_daemon_concurrent.json"
+grep -q '"mode": "daemon"' "$SMOKE_ROOT/BENCH_daemon_concurrent.json" \
+  || { echo "daemon concurrency bench emitted no daemon-mode report"; exit 1; }
+grep -Eq '"checkpoints": [1-9]' "$SMOKE_ROOT/BENCH_daemon_concurrent.json" \
+  || { echo "daemon concurrency bench committed no checkpoints"; exit 1; }
+
 # Delta smoke: 20 every-step checkpoints through the delta-chained
 # compressed CAS must store <= 40% of the bytes full saves would write,
 # restore bit-exact from the deepest chain (including through transient
